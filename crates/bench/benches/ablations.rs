@@ -1,0 +1,268 @@
+//! Ablation benches for the design choices called out in DESIGN.md.
+//!
+//! Each group pins one axis of the design and compares the alternatives on
+//! the standard workload (uniform 1E5 points, 1 % star 10-gons):
+//!
+//! * **expansion_policy** — the paper's segment heuristic vs the provably
+//!   complete cell test.
+//! * **seed_index** — R-tree NN (paper) vs kd-tree NN vs the Delaunay
+//!   greedy walk (no second index).
+//! * **filter_index** — traditional method over R-tree vs kd-tree vs PR
+//!   quadtree.
+//! * **rtree_build** — query time on an STR-bulk-loaded tree vs a tree
+//!   grown by one-at-a-time Guttman inserts.
+//! * **scratch_reuse** — reusing the epoch-stamped visited set vs paying a
+//!   fresh allocation per query.
+//! * **distribution** — both methods on uniform vs clustered data.
+//! * **insertion_order** — Delaunay construction with Hilbert ordering vs
+//!   input order.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vaq_bench::{polygon_batch, standard_engine, HARNESS_SEED};
+use vaq_core::{AreaQueryEngine, ExpansionPolicy, FilterIndex, SeedIndex};
+use vaq_rtree::SplitAlgorithm;
+use vaq_delaunay::{InsertionOrder, Triangulation};
+use vaq_workload::{generate, Distribution};
+
+const N: usize = 100_000;
+
+fn expansion_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_expansion_policy");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let engine = standard_engine(N);
+    let mut scratch = engine.new_scratch();
+    let polygons = polygon_batch(0.01, 64);
+    for (name, policy) in [
+        ("segment", ExpansionPolicy::Segment),
+        ("cell", ExpansionPolicy::Cell),
+    ] {
+        group.bench_function(name, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let poly = &polygons[i % polygons.len()];
+                i += 1;
+                black_box(
+                    engine
+                        .voronoi_with(poly, policy, SeedIndex::RTree, &mut scratch)
+                        .indices
+                        .len(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn seed_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_seed_index");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let pts = generate(N, Distribution::Uniform, HARNESS_SEED ^ N as u64);
+    let engine = AreaQueryEngine::builder(&pts).with_kdtree().build();
+    let mut scratch = engine.new_scratch();
+    let polygons = polygon_batch(0.01, 64);
+    for (name, seed) in [
+        ("rtree_nn", SeedIndex::RTree),
+        ("kdtree_nn", SeedIndex::KdTree),
+        ("delaunay_walk", SeedIndex::DelaunayWalk),
+    ] {
+        group.bench_function(name, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let poly = &polygons[i % polygons.len()];
+                i += 1;
+                black_box(
+                    engine
+                        .voronoi_with(poly, ExpansionPolicy::Segment, seed, &mut scratch)
+                        .indices
+                        .len(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn filter_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_filter_index");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let pts = generate(N, Distribution::Uniform, HARNESS_SEED ^ N as u64);
+    let engine = AreaQueryEngine::builder(&pts)
+        .with_kdtree()
+        .with_quadtree()
+        .build();
+    let polygons = polygon_batch(0.01, 64);
+    for (name, filter) in [
+        ("rtree", FilterIndex::RTree),
+        ("kdtree", FilterIndex::KdTree),
+        ("quadtree", FilterIndex::Quadtree),
+    ] {
+        group.bench_function(name, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let poly = &polygons[i % polygons.len()];
+                i += 1;
+                black_box(engine.traditional_with(poly, filter).indices.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn rtree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_rtree_build");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let pts = generate(N, Distribution::Uniform, HARNESS_SEED ^ N as u64);
+    let bulk = AreaQueryEngine::build(&pts);
+    let incremental = AreaQueryEngine::builder(&pts).incremental_rtree().build();
+    let rstar = AreaQueryEngine::builder(&pts)
+        .incremental_rtree()
+        .rtree_algorithm(SplitAlgorithm::RStar)
+        .build();
+    let polygons = polygon_batch(0.01, 64);
+    for (name, engine) in [
+        ("str_bulk", &bulk),
+        ("guttman_inserts", &incremental),
+        ("rstar_inserts", &rstar),
+    ] {
+        group.bench_function(name, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let poly = &polygons[i % polygons.len()];
+                i += 1;
+                black_box(engine.traditional(poly).indices.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn scratch_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scratch_reuse");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let engine = standard_engine(N);
+    let polygons = polygon_batch(0.01, 64);
+    group.bench_function("reused_scratch", |b| {
+        let mut scratch = engine.new_scratch();
+        let mut i = 0;
+        b.iter(|| {
+            let poly = &polygons[i % polygons.len()];
+            i += 1;
+            black_box(
+                engine
+                    .voronoi_with(
+                        poly,
+                        ExpansionPolicy::Segment,
+                        SeedIndex::RTree,
+                        &mut scratch,
+                    )
+                    .indices
+                    .len(),
+            )
+        });
+    });
+    group.bench_function("fresh_scratch_per_query", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let poly = &polygons[i % polygons.len()];
+            i += 1;
+            black_box(engine.voronoi(poly).indices.len())
+        });
+    });
+    group.finish();
+}
+
+fn distribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_distribution");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let polygons = polygon_batch(0.01, 64);
+    for (name, dist) in [
+        ("uniform", Distribution::Uniform),
+        (
+            "clustered",
+            Distribution::Clustered {
+                clusters: 20,
+                sigma: 0.02,
+            },
+        ),
+    ] {
+        let pts = generate(N, dist, HARNESS_SEED);
+        let engine = AreaQueryEngine::build(&pts);
+        let mut scratch = engine.new_scratch();
+        group.bench_function(format!("traditional_{name}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let poly = &polygons[i % polygons.len()];
+                i += 1;
+                black_box(engine.traditional(poly).indices.len())
+            });
+        });
+        group.bench_function(format!("voronoi_{name}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let poly = &polygons[i % polygons.len()];
+                i += 1;
+                black_box(
+                    engine
+                        .voronoi_with(
+                            poly,
+                            ExpansionPolicy::Segment,
+                            SeedIndex::RTree,
+                            &mut scratch,
+                        )
+                        .indices
+                        .len(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn insertion_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_insertion_order");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    let pts = generate(N, Distribution::Uniform, HARNESS_SEED ^ N as u64);
+    for (name, order) in [
+        ("hilbert", InsertionOrder::Hilbert),
+        ("input_order", InsertionOrder::Input),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    Triangulation::with_order(&pts, order)
+                        .unwrap()
+                        .triangle_count(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    expansion_policy,
+    seed_index,
+    filter_index,
+    rtree_build,
+    scratch_reuse,
+    distribution,
+    insertion_order
+);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Component micro-benches: the cost of each substrate operation the two
+//! area-query methods are built from. These explain *why* the end-to-end
+//! numbers look the way they do (e.g. how much of a query is index
+//! traversal vs containment testing vs neighbour expansion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vaq_bench::{polygon_batch, HARNESS_SEED};
+use vaq_delaunay::{cell_polygon, Triangulation};
+use vaq_geom::{Point, Rect, Segment};
+use vaq_kdtree::KdTree;
+use vaq_quadtree::Quadtree;
+use vaq_rtree::RTree;
+use vaq_workload::{generate, Distribution};
+
+const N: usize = 100_000;
+
+fn points() -> Vec<Point> {
+    generate(N, Distribution::Uniform, HARNESS_SEED ^ N as u64)
+}
+
+fn build_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    let pts = points();
+    group.bench_function(BenchmarkId::new("delaunay", N), |b| {
+        b.iter(|| black_box(Triangulation::new(&pts).unwrap().triangle_count()));
+    });
+    group.bench_function(BenchmarkId::new("rtree_str_bulk", N), |b| {
+        b.iter(|| black_box(RTree::bulk_load(&pts).len()));
+    });
+    group.bench_function(BenchmarkId::new("rtree_guttman_inserts", N), |b| {
+        b.iter(|| {
+            let mut t = RTree::new();
+            for (i, &p) in pts.iter().enumerate() {
+                t.insert(i as u32, p);
+            }
+            black_box(t.len())
+        });
+    });
+    group.bench_function(BenchmarkId::new("kdtree", N), |b| {
+        b.iter(|| black_box(KdTree::build(&pts).len()));
+    });
+    group.bench_function(BenchmarkId::new("quadtree", N), |b| {
+        b.iter(|| black_box(Quadtree::bulk_load(&pts).len()));
+    });
+    group.finish();
+}
+
+fn query_primitive_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    let pts = points();
+    let rtree = RTree::bulk_load(&pts);
+    let tri = Triangulation::new(&pts).unwrap();
+    let polygons = polygon_batch(0.01, 32);
+    let window = Rect::new(Point::new(-2.0, -2.0), Point::new(3.0, 3.0));
+
+    group.bench_function("rtree_window_1pct", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let poly = &polygons[i % polygons.len()];
+            i += 1;
+            black_box(rtree.window(&poly.mbr()).len())
+        });
+    });
+    group.bench_function("rtree_nn", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let q = Point::new(
+                (i % 997) as f64 / 997.0,
+                (i % 787) as f64 / 787.0,
+            );
+            black_box(rtree.nearest(q).unwrap().0)
+        });
+    });
+    group.bench_function("delaunay_walk_nn", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let q = Point::new(
+                (i % 997) as f64 / 997.0,
+                (i % 787) as f64 / 787.0,
+            );
+            black_box(tri.nearest_vertex(q, None))
+        });
+    });
+    group.bench_function("point_in_10gon", |b| {
+        let poly = &polygons[0];
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let q = Point::new((i % 991) as f64 / 991.0, (i % 773) as f64 / 773.0);
+            black_box(poly.contains(q))
+        });
+    });
+    group.bench_function("segment_intersects_10gon", |b| {
+        let poly = &polygons[0];
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let a = Point::new((i % 991) as f64 / 991.0, (i % 773) as f64 / 773.0);
+            let d = Point::new((i % 13) as f64 / 1300.0, (i % 7) as f64 / 700.0);
+            black_box(poly.intersects_segment(&Segment::new(a, a + d)))
+        });
+    });
+    group.bench_function("neighbor_scan", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 1) % tri.vertex_count() as u32;
+            black_box(tri.neighbors(v).len())
+        });
+    });
+    group.bench_function("voronoi_cell_extraction", |b| {
+        let mut v = 0u32;
+        b.iter(|| {
+            v = (v + 1) % tri.vertex_count() as u32;
+            black_box(cell_polygon(&tri, v, &window).len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, build_benches, query_primitive_benches);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! # vaq-bench — benchmark harness
+//!
+//! Regenerates every table and figure of the evaluation section of *Area
+//! Queries Based on Voronoi Diagrams* (ICDE 2020), plus the ablation
+//! studies called out in DESIGN.md.
+//!
+//! * `cargo run --release -p vaq-bench --bin reproduce` — runs the paper's
+//!   two sweeps, prints Table I / Table II in the paper's layout, and
+//!   writes `results/table1.csv`, `results/table2.csv` and
+//!   `results/fig{4,5,6,7}.csv` (each figure is a column pair of the
+//!   corresponding table, exactly as in the paper).
+//! * `cargo bench -p vaq-bench` — Criterion timing benches:
+//!   `fig4_time_vs_data_size`, `fig6_time_vs_query_size`, `components`
+//!   (substrate micro-benches), `ablations` (design-choice comparisons).
+//!
+//! This library crate holds the small helpers the benches and the binary
+//! share: pre-generated polygon batches and engine construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vaq_core::AreaQueryEngine;
+use vaq_geom::Polygon;
+use vaq_workload::{generate, random_query_polygon, unit_space, Distribution, PolygonSpec};
+
+/// Deterministic base seed shared by the whole harness.
+pub const HARNESS_SEED: u64 = 0x1CDE_2020;
+
+/// Builds the standard engine (uniform points, STR R-tree + Delaunay) for
+/// a benchmark dataset of `n` points.
+pub fn standard_engine(n: usize) -> AreaQueryEngine {
+    let pts = generate(n, Distribution::Uniform, HARNESS_SEED ^ n as u64);
+    AreaQueryEngine::build(&pts)
+}
+
+/// Pre-generates `count` random 10-gon query polygons of the given query
+/// size, so polygon generation stays out of the timed region.
+pub fn polygon_batch(query_size: f64, count: usize) -> Vec<Polygon> {
+    let space = unit_space();
+    let spec = PolygonSpec::with_query_size(query_size);
+    (0..count as u64)
+        .map(|i| random_query_polygon(&space, &spec, HARNESS_SEED.wrapping_add(i * 7919)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_are_deterministic() {
+        let a = polygon_batch(0.01, 3);
+        let b = polygon_batch(0.01, 3);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.vertices(), y.vertices());
+        }
+        let e = standard_engine(500);
+        assert_eq!(e.len(), 500);
+    }
+}

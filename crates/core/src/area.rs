@@ -1,0 +1,129 @@
+//! The query-area abstraction.
+//!
+//! The paper evaluates on simple polygons, but neither method cares what
+//! the area *is* — they need exactly five operations. [`QueryArea`]
+//! captures them, so the engine answers queries over plain polygons and
+//! over [`Region`]s (polygons with holes) with the same code.
+//!
+//! **Contract**: the area's interior must be *connected* (a polygon always
+//! is; a region is as long as its holes don't touch each other or the
+//! outer ring — see [`Region::validate_nesting`]). The Voronoi method's
+//! completeness argument (the connectivity lemma in [`crate::classify`])
+//! needs connectedness; the traditional method does not, but a
+//! disconnected "area" is two queries in disguise anyway.
+
+use vaq_geom::{Point, Polygon, Rect, Region, Segment};
+
+/// Operations the area-query methods need from a query area.
+pub trait QueryArea {
+    /// Minimum bounding rectangle (drives the traditional filter).
+    fn mbr(&self) -> Rect;
+
+    /// Exact closed containment test (the refinement primitive).
+    fn contains(&self, p: Point) -> bool;
+
+    /// `true` when the segment crosses or touches the area's boundary;
+    /// used by the segment expansion policy where one endpoint is known to
+    /// be outside the area.
+    fn boundary_intersects_segment(&self, s: &Segment) -> bool;
+
+    /// `true` when the closed area shares a point with the closed polygon
+    /// (used by the cell expansion policy with a convex Voronoi cell).
+    fn intersects_polygon(&self, poly: &Polygon) -> bool;
+
+    /// Some point inside the area (the paper's "arbitrary position in A",
+    /// which seeds the Voronoi method).
+    fn interior_point(&self) -> Point;
+}
+
+impl QueryArea for Polygon {
+    #[inline]
+    fn mbr(&self) -> Rect {
+        Polygon::mbr(self)
+    }
+
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        Polygon::contains(self, p)
+    }
+
+    #[inline]
+    fn boundary_intersects_segment(&self, s: &Segment) -> bool {
+        Polygon::boundary_intersects_segment(self, s)
+    }
+
+    #[inline]
+    fn intersects_polygon(&self, poly: &Polygon) -> bool {
+        Polygon::intersects_polygon(self, poly)
+    }
+
+    #[inline]
+    fn interior_point(&self) -> Point {
+        Polygon::interior_point(self)
+    }
+}
+
+impl QueryArea for Region {
+    #[inline]
+    fn mbr(&self) -> Rect {
+        Region::mbr(self)
+    }
+
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        Region::contains(self, p)
+    }
+
+    #[inline]
+    fn boundary_intersects_segment(&self, s: &Segment) -> bool {
+        Region::boundary_intersects_segment(self, s)
+    }
+
+    #[inline]
+    fn intersects_polygon(&self, poly: &Polygon) -> bool {
+        Region::intersects_polygon(self, poly)
+    }
+
+    #[inline]
+    fn interior_point(&self) -> Point {
+        Region::interior_point(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn tri() -> Polygon {
+        Polygon::new(vec![p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)]).unwrap()
+    }
+
+    /// The trait methods forward to the inherent ones.
+    #[test]
+    fn polygon_forwarding() {
+        let a = tri();
+        assert_eq!(QueryArea::mbr(&a), Polygon::mbr(&a));
+        assert!(QueryArea::contains(&a, p(0.2, 0.2)));
+        assert!(QueryArea::boundary_intersects_segment(
+            &a,
+            &Segment::new(p(-1.0, 0.5), p(1.0, 0.5))
+        ));
+        assert!(QueryArea::contains(&a, QueryArea::interior_point(&a)));
+    }
+
+    #[test]
+    fn region_forwarding() {
+        let outer = Polygon::new(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)]).unwrap();
+        let hole = Polygon::new(vec![p(1.0, 1.0), p(3.0, 1.0), p(3.0, 3.0), p(1.0, 3.0)]).unwrap();
+        let r = Region::new(outer, vec![hole]);
+        assert!(QueryArea::contains(&r, p(0.5, 0.5)));
+        assert!(!QueryArea::contains(&r, p(2.0, 2.0)));
+        let ip = QueryArea::interior_point(&r);
+        assert!(QueryArea::contains(&r, ip));
+        assert!(QueryArea::intersects_polygon(&r, &tri()));
+    }
+}

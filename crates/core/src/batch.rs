@@ -1,0 +1,117 @@
+//! Batch query execution: answer many area queries over one engine,
+//! optionally in parallel.
+//!
+//! The engine is immutable after construction and `Sync`; the only
+//! per-query mutable state is the [`crate::scratch::QueryScratch`]. Batch
+//! execution hands
+//! each worker thread its own scratch and splits the query list into
+//! contiguous chunks — embarrassingly parallel, no locking on the hot
+//! path. This is the throughput-oriented serving mode of a GIS backend,
+//! complementing the paper's latency-oriented single-query evaluation.
+
+use crate::area::QueryArea;
+use crate::engine::{AreaQueryEngine, QueryResult, SeedIndex};
+use crate::voronoi_query::ExpansionPolicy;
+
+impl AreaQueryEngine {
+    /// Answers `areas` sequentially with the Voronoi method, reusing one
+    /// scratch across the batch.
+    pub fn voronoi_batch<A: QueryArea>(&self, areas: &[A]) -> Vec<QueryResult> {
+        let mut scratch = self.new_scratch();
+        areas
+            .iter()
+            .map(|a| {
+                self.voronoi_with(a, ExpansionPolicy::Segment, SeedIndex::RTree, &mut scratch)
+            })
+            .collect()
+    }
+
+    /// Answers `areas` with the Voronoi method on `threads` worker
+    /// threads (contiguous chunks, one scratch per worker). Results come
+    /// back in input order.
+    ///
+    /// `threads == 0` or `1` falls back to the sequential path.
+    pub fn voronoi_batch_parallel<A: QueryArea + Sync>(
+        &self,
+        areas: &[A],
+        threads: usize,
+    ) -> Vec<QueryResult> {
+        if threads <= 1 || areas.len() <= 1 {
+            return self.voronoi_batch(areas);
+        }
+        let chunk = areas.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = areas
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || self.voronoi_batch(part)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("batch worker does not panic"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use vaq_geom::{Point, Polygon};
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    fn squares() -> Vec<Polygon> {
+        (0..16)
+            .map(|k| {
+                let cx = 0.2 + 0.04 * f64::from(k);
+                Polygon::new(vec![
+                    Point::new(cx - 0.1, 0.3),
+                    Point::new(cx + 0.1, 0.3),
+                    Point::new(cx + 0.1, 0.6),
+                    Point::new(cx - 0.1, 0.6),
+                ])
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_individual_queries() {
+        let engine = AreaQueryEngine::build(&uniform(3000, 17));
+        let areas = squares();
+        let batch = engine.voronoi_batch(&areas);
+        for (area, got) in areas.iter().zip(&batch) {
+            assert_eq!(got.sorted_indices(), engine.voronoi(area).sorted_indices());
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let engine = AreaQueryEngine::build(&uniform(3000, 18));
+        let areas = squares();
+        let seq = engine.voronoi_batch(&areas);
+        for threads in [1, 2, 4, 7] {
+            let par = engine.voronoi_batch_parallel(&areas, threads);
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.indices, b.indices, "threads={threads}");
+                assert_eq!(a.stats.candidates, b.stats.candidates);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let engine = AreaQueryEngine::build(&uniform(100, 19));
+        let areas: Vec<Polygon> = Vec::new();
+        assert!(engine.voronoi_batch(&areas).is_empty());
+        assert!(engine.voronoi_batch_parallel(&areas, 4).is_empty());
+    }
+}

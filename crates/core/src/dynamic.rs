@@ -1,0 +1,346 @@
+//! Dynamic updates on top of the static engine: the base + delta pattern.
+//!
+//! The Delaunay triangulation behind the Voronoi method is built once
+//! (rebuilding the CSR adjacency per insert would be wasteful), so the
+//! engine itself is static — the same trade-off the paper's setup makes.
+//! Real deployments still need inserts and deletes between rebuilds. The
+//! standard answer, used by LSM-style spatial stores, is an overlay:
+//!
+//! * a **base** [`AreaQueryEngine`] over the last compaction's points;
+//! * a **delta** buffer of points inserted since, scanned linearly at
+//!   query time (cheap while small);
+//! * a **tombstone** set masking deleted base points;
+//! * [`DynamicAreaQueryEngine::compact`] folds delta and tombstones into a
+//!   fresh base when the overlay grows past a threshold.
+//!
+//! Query results use stable external ids handed out at insertion, so ids
+//! survive compaction.
+
+use crate::area::QueryArea;
+use crate::engine::AreaQueryEngine;
+use crate::scratch::QueryScratch;
+use std::collections::HashSet;
+use vaq_geom::Point;
+
+/// Fraction of the base size the delta may reach before
+/// [`DynamicAreaQueryEngine::maybe_compact`] rebuilds.
+pub const DEFAULT_COMPACT_RATIO: f64 = 0.25;
+
+/// A dynamic area-query engine: static base + linear delta + tombstones.
+pub struct DynamicAreaQueryEngine {
+    base: AreaQueryEngine,
+    /// Stable external id of each base point (parallel to base points).
+    base_ids: Vec<u64>,
+    /// Points inserted since the last compaction, with their ids.
+    delta: Vec<(u64, Point)>,
+    /// External ids deleted since the last compaction (base or delta).
+    tombstones: HashSet<u64>,
+    /// Next external id to hand out.
+    next_id: u64,
+    scratch: QueryScratch,
+}
+
+impl DynamicAreaQueryEngine {
+    /// Builds over an initial point set; ids `0..n as u64` are assigned in
+    /// input order.
+    pub fn new(points: &[Point]) -> DynamicAreaQueryEngine {
+        let base = AreaQueryEngine::build(points);
+        let scratch = base.new_scratch();
+        DynamicAreaQueryEngine {
+            base_ids: (0..points.len() as u64).collect(),
+            next_id: points.len() as u64,
+            base,
+            delta: Vec::new(),
+            tombstones: HashSet::new(),
+            scratch,
+        }
+    }
+
+    /// Number of live points (base + delta − tombstones).
+    pub fn len(&self) -> usize {
+        self.base_ids.len() + self.delta.len() - self.tombstones.len()
+    }
+
+    /// `true` when no live points remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Points buffered in the delta (a compaction-pressure signal).
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Inserts a point, returning its stable id.
+    pub fn insert(&mut self, p: Point) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.delta.push((id, p));
+        id
+    }
+
+    /// Deletes the point with external id `id`. Returns `false` when the
+    /// id is unknown or already deleted.
+    pub fn remove(&mut self, id: u64) -> bool {
+        if self.tombstones.contains(&id) {
+            return false;
+        }
+        let exists = self.base_ids.binary_search(&id).is_ok()
+            || self.delta.iter().any(|&(d, _)| d == id);
+        if exists {
+            self.tombstones.insert(id);
+        }
+        exists
+    }
+
+    /// Answers the area query with the Voronoi method on the base plus a
+    /// linear scan of the delta; tombstoned ids are filtered. Returns
+    /// stable external ids, ascending.
+    pub fn query<A: QueryArea>(&mut self, area: &A) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        if !self.base.is_empty() {
+            let r = self.base.voronoi_with(
+                area,
+                crate::voronoi_query::ExpansionPolicy::Segment,
+                crate::engine::SeedIndex::RTree,
+                &mut self.scratch,
+            );
+            out.extend(
+                r.indices
+                    .iter()
+                    .map(|&i| self.base_ids[i as usize])
+                    .filter(|id| !self.tombstones.contains(id)),
+            );
+        }
+        out.extend(
+            self.delta
+                .iter()
+                .filter(|(id, p)| !self.tombstones.contains(id) && area.contains(*p))
+                .map(|&(id, _)| id),
+        );
+        out.sort_unstable();
+        out
+    }
+
+    /// Compacts when the overlay (delta + tombstones) exceeds
+    /// [`DEFAULT_COMPACT_RATIO`] of the base. Returns `true` if a rebuild
+    /// happened.
+    pub fn maybe_compact(&mut self) -> bool {
+        let overlay = self.delta.len() + self.tombstones.len();
+        if (overlay as f64) <= (self.base_ids.len().max(16) as f64) * DEFAULT_COMPACT_RATIO {
+            return false;
+        }
+        self.compact();
+        true
+    }
+
+    /// Folds delta and tombstones into a fresh base engine.
+    pub fn compact(&mut self) {
+        let mut ids = Vec::with_capacity(self.len());
+        let mut pts = Vec::with_capacity(self.len());
+        for (idx, &id) in self.base_ids.iter().enumerate() {
+            if !self.tombstones.contains(&id) {
+                ids.push(id);
+                pts.push(self.base.points()[idx]);
+            }
+        }
+        for &(id, p) in &self.delta {
+            if !self.tombstones.contains(&id) {
+                ids.push(id);
+                pts.push(p);
+            }
+        }
+        // Keep base_ids sorted so `remove` can binary-search them.
+        let mut order: Vec<usize> = (0..ids.len()).collect();
+        order.sort_unstable_by_key(|&i| ids[i]);
+        self.base_ids = order.iter().map(|&i| ids[i]).collect();
+        let pts: Vec<Point> = order.iter().map(|&i| pts[i]).collect();
+        self.base = AreaQueryEngine::build(&pts);
+        self.scratch = self.base.new_scratch();
+        self.delta.clear();
+        self.tombstones.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use vaq_geom::Polygon;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+    }
+
+    fn square(cx: f64, cy: f64, half: f64) -> Polygon {
+        Polygon::new(vec![
+            p(cx - half, cy - half),
+            p(cx + half, cy - half),
+            p(cx + half, cy + half),
+            p(cx - half, cy + half),
+        ])
+        .unwrap()
+    }
+
+    /// Oracle tracking live (id, point) pairs by hand.
+    struct Oracle {
+        live: Vec<(u64, Point)>,
+    }
+
+    impl Oracle {
+        fn query(&self, area: &Polygon) -> Vec<u64> {
+            let mut v: Vec<u64> = self
+                .live
+                .iter()
+                .filter(|(_, q)| area.contains(*q))
+                .map(|&(id, _)| id)
+                .collect();
+            v.sort_unstable();
+            v
+        }
+    }
+
+    #[test]
+    fn insert_query_remove_roundtrip() {
+        let initial = uniform(500, 7);
+        let mut eng = DynamicAreaQueryEngine::new(&initial);
+        let mut oracle = Oracle {
+            live: initial
+                .iter()
+                .enumerate()
+                .map(|(i, &q)| (i as u64, q))
+                .collect(),
+        };
+        let area = square(0.5, 0.5, 0.22);
+        assert_eq!(eng.query(&area), oracle.query(&area));
+
+        // Insert new points (some inside, some outside the area).
+        for &q in &uniform(100, 8) {
+            let id = eng.insert(q);
+            oracle.live.push((id, q));
+        }
+        assert_eq!(eng.query(&area), oracle.query(&area));
+        assert_eq!(eng.len(), 600);
+
+        // Delete a mix of base and delta points.
+        for id in [3u64, 250, 499, 510, 577] {
+            assert!(eng.remove(id));
+            oracle.live.retain(|&(i, _)| i != id);
+        }
+        assert!(!eng.remove(3), "double delete");
+        assert!(!eng.remove(99_999), "unknown id");
+        assert_eq!(eng.len(), 595);
+        assert_eq!(eng.query(&area), oracle.query(&area));
+    }
+
+    #[test]
+    fn compaction_preserves_answers_and_ids() {
+        let initial = uniform(300, 9);
+        let mut eng = DynamicAreaQueryEngine::new(&initial);
+        let mut oracle = Oracle {
+            live: initial
+                .iter()
+                .enumerate()
+                .map(|(i, &q)| (i as u64, q))
+                .collect(),
+        };
+        for &q in &uniform(200, 10) {
+            let id = eng.insert(q);
+            oracle.live.push((id, q));
+        }
+        for id in (0..300u64).step_by(3) {
+            eng.remove(id);
+            oracle.live.retain(|&(i, _)| i != id);
+        }
+        let area = square(0.45, 0.55, 0.3);
+        let before = eng.query(&area);
+        assert_eq!(before, oracle.query(&area));
+
+        assert!(eng.maybe_compact(), "overlay is large enough to compact");
+        assert_eq!(eng.delta_len(), 0);
+        assert_eq!(eng.query(&area), before, "answers survive compaction");
+
+        // Ids remain stable and deletable after compaction.
+        let victim = before[0];
+        assert!(eng.remove(victim));
+        oracle.live.retain(|&(i, _)| i != victim);
+        assert_eq!(eng.query(&area), oracle.query(&area));
+    }
+
+    #[test]
+    fn maybe_compact_respects_threshold() {
+        let mut eng = DynamicAreaQueryEngine::new(&uniform(400, 11));
+        for &q in &uniform(10, 12) {
+            eng.insert(q);
+        }
+        assert!(!eng.maybe_compact(), "10/400 is below the ratio");
+        for &q in &uniform(200, 13) {
+            eng.insert(q);
+        }
+        assert!(eng.maybe_compact());
+    }
+
+    #[test]
+    fn starts_empty_and_grows() {
+        let mut eng = DynamicAreaQueryEngine::new(&[]);
+        assert!(eng.is_empty());
+        let area = square(0.5, 0.5, 0.4);
+        assert!(eng.query(&area).is_empty());
+        let a = eng.insert(p(0.5, 0.5));
+        let b = eng.insert(p(0.9, 0.95));
+        assert_eq!(eng.query(&area), vec![a]);
+        eng.compact();
+        assert_eq!(eng.query(&area), vec![a]);
+        assert_eq!(eng.len(), 2);
+        assert!(eng.remove(b));
+        assert_eq!(eng.len(), 1);
+    }
+
+    #[test]
+    fn randomized_operations_against_oracle() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let initial = uniform(200, 15);
+        let mut eng = DynamicAreaQueryEngine::new(&initial);
+        let mut oracle = Oracle {
+            live: initial
+                .iter()
+                .enumerate()
+                .map(|(i, &q)| (i as u64, q))
+                .collect(),
+        };
+        for step in 0..400 {
+            match rng.gen_range(0..10) {
+                0..=4 => {
+                    let q = p(rng.gen(), rng.gen());
+                    let id = eng.insert(q);
+                    oracle.live.push((id, q));
+                }
+                5..=7 => {
+                    if let Some(&(id, _)) = oracle
+                        .live
+                        .get(rng.gen_range(0..oracle.live.len().max(1)))
+                    {
+                        eng.remove(id);
+                        oracle.live.retain(|&(i, _)| i != id);
+                    }
+                }
+                8 => {
+                    eng.maybe_compact();
+                }
+                _ => {
+                    let area = square(rng.gen(), rng.gen(), 0.1 + rng.gen::<f64>() * 0.2);
+                    assert_eq!(eng.query(&area), oracle.query(&area), "step {step}");
+                }
+            }
+        }
+        eng.compact();
+        let area = square(0.5, 0.5, 0.35);
+        assert_eq!(eng.query(&area), oracle.query(&area));
+    }
+}

@@ -1,0 +1,655 @@
+//! The area-query engine: owns the point set and its indexes, and exposes
+//! both competing query methods behind one API.
+//!
+//! Build once per dataset, query many times — the workflow of the paper's
+//! experiments (and of any GIS serving area queries):
+//!
+//! ```
+//! use vaq_core::{AreaQueryEngine, ExpansionPolicy};
+//! use vaq_geom::{Point, Polygon};
+//!
+//! let pts = vec![
+//!     Point::new(0.2, 0.2),
+//!     Point::new(0.8, 0.3),
+//!     Point::new(0.5, 0.9),
+//!     Point::new(0.45, 0.4),
+//! ];
+//! let engine = AreaQueryEngine::build(&pts);
+//! let area = Polygon::new(vec![
+//!     Point::new(0.1, 0.1),
+//!     Point::new(0.7, 0.15),
+//!     Point::new(0.5, 0.6),
+//! ]).unwrap();
+//!
+//! let trad = engine.traditional(&area);
+//! let voro = engine.voronoi(&area);
+//! assert_eq!(trad.sorted_indices(), voro.sorted_indices());
+//! ```
+//!
+//! On realistic data sizes the Voronoi method validates far fewer
+//! candidates than the window query (the point of the paper); the
+//! `voronoi_produces_fewer_candidates_on_irregular_areas` test below and
+//! the benchmark harness quantify it.
+
+use crate::area::QueryArea;
+use crate::payload::RecordStore;
+use crate::scratch::QueryScratch;
+use crate::stats::QueryStats;
+use crate::traditional::{
+    traditional_area_query, traditional_area_query_kdtree, traditional_area_query_quadtree,
+    FilterIndex,
+};
+use crate::voronoi_query::{arbitrary_position_in, voronoi_area_query, ExpansionPolicy};
+use crate::classify::{classify_points, PointClass};
+use vaq_delaunay::Triangulation;
+use vaq_geom::{Point, Rect};
+use vaq_kdtree::KdTree;
+use vaq_quadtree::Quadtree;
+use vaq_rtree::{RTree, SplitAlgorithm};
+
+/// Which index answers the Voronoi method's seed nearest-neighbour query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SeedIndex {
+    /// R-tree best-first NN — the paper's choice ("for fairness, the index
+    /// used to provide the NN query in our method is also R-tree").
+    #[default]
+    RTree,
+    /// kd-tree NN (ablation; requires [`EngineBuilder::with_kdtree`]).
+    KdTree,
+    /// Greedy walk on the Delaunay graph itself — no second index at all
+    /// (ablation).
+    DelaunayWalk,
+}
+
+/// The outcome of one area query: matching point ids plus statistics.
+#[derive(Clone, Debug, Default)]
+pub struct QueryResult {
+    /// Input indices of the matching points. Order is method-dependent
+    /// (index traversal order / BFS discovery order) but deterministic.
+    pub indices: Vec<u32>,
+    /// Work counters for the query.
+    pub stats: QueryStats,
+}
+
+impl QueryResult {
+    /// The matching indices in ascending order (for comparisons).
+    pub fn sorted_indices(&self) -> Vec<u32> {
+        let mut v = self.indices.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Builder for [`AreaQueryEngine`] with optional extra indexes and tuning.
+pub struct EngineBuilder {
+    points: Vec<Point>,
+    rtree_fanout: usize,
+    incremental_rtree: bool,
+    rtree_algorithm: SplitAlgorithm,
+    build_kdtree: bool,
+    build_quadtree: bool,
+    payload_bytes: usize,
+}
+
+impl EngineBuilder {
+    /// Starts a builder over a copy of `points`.
+    pub fn new(points: &[Point]) -> EngineBuilder {
+        EngineBuilder {
+            points: points.to_vec(),
+            rtree_fanout: vaq_rtree::DEFAULT_MAX_ENTRIES,
+            incremental_rtree: false,
+            rtree_algorithm: SplitAlgorithm::Quadratic,
+            build_kdtree: false,
+            build_quadtree: false,
+            payload_bytes: 0,
+        }
+    }
+
+    /// Sets the R-tree fan-out (max entries per node).
+    pub fn rtree_fanout(mut self, fanout: usize) -> EngineBuilder {
+        self.rtree_fanout = fanout;
+        self
+    }
+
+    /// Builds the R-tree by one-at-a-time inserts instead of STR bulk
+    /// loading (ablation of bulk-load quality).
+    pub fn incremental_rtree(mut self) -> EngineBuilder {
+        self.incremental_rtree = true;
+        self
+    }
+
+    /// Insertion heuristics for the incremental R-tree (Guttman quadratic
+    /// or R\*; only meaningful with [`EngineBuilder::incremental_rtree`]).
+    pub fn rtree_algorithm(mut self, algorithm: SplitAlgorithm) -> EngineBuilder {
+        self.rtree_algorithm = algorithm;
+        self
+    }
+
+    /// Also builds a kd-tree (enables [`SeedIndex::KdTree`] and
+    /// [`FilterIndex::KdTree`]).
+    pub fn with_kdtree(mut self) -> EngineBuilder {
+        self.build_kdtree = true;
+        self
+    }
+
+    /// Also builds a PR quadtree (enables [`FilterIndex::Quadtree`]).
+    pub fn with_quadtree(mut self) -> EngineBuilder {
+        self.build_quadtree = true;
+        self
+    }
+
+    /// Attaches a simulated geometry record of `bytes` bytes to every
+    /// point; candidate validation must then materialise the record before
+    /// the exact test, restoring the refinement cost model of the paper's
+    /// disk-backed GIS setting (see [`RecordStore`]). `0` (the default)
+    /// disables the simulation.
+    pub fn payload_bytes(mut self, bytes: usize) -> EngineBuilder {
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// Builds the engine: R-tree, Delaunay triangulation and any requested
+    /// extra indexes.
+    pub fn build(self) -> AreaQueryEngine {
+        let rtree = if self.incremental_rtree {
+            let mut t = RTree::with_algorithm(self.rtree_fanout, self.rtree_algorithm);
+            for (i, &p) in self.points.iter().enumerate() {
+                t.insert(i as u32, p);
+            }
+            t
+        } else {
+            RTree::bulk_load_with_params(&self.points, self.rtree_fanout)
+        };
+        let tri = if self.points.is_empty() {
+            None
+        } else {
+            Some(Triangulation::new(&self.points).expect("finite, non-empty input"))
+        };
+        let kdtree = self.build_kdtree.then(|| KdTree::build(&self.points));
+        let quadtree = self.build_quadtree.then(|| Quadtree::bulk_load(&self.points));
+        let records = (self.payload_bytes > 0)
+            .then(|| RecordStore::generate(self.points.len(), self.payload_bytes, 0x5EED));
+        let data_bbox = Rect::from_points(self.points.iter().copied());
+        AreaQueryEngine {
+            points: self.points,
+            rtree,
+            tri,
+            kdtree,
+            quadtree,
+            records,
+            data_bbox,
+        }
+    }
+}
+
+/// Pre-built indexes over one point set, answering area queries with both
+/// the traditional and the Voronoi-based method.
+pub struct AreaQueryEngine {
+    points: Vec<Point>,
+    rtree: RTree,
+    /// `None` only for an empty point set.
+    tri: Option<Triangulation>,
+    kdtree: Option<KdTree>,
+    quadtree: Option<Quadtree>,
+    /// Simulated geometry records (None = pure in-memory regime).
+    records: Option<RecordStore>,
+    data_bbox: Rect,
+}
+
+impl AreaQueryEngine {
+    /// Builds with defaults: STR-bulk-loaded R-tree + Delaunay
+    /// triangulation (exactly the paper's setup).
+    pub fn build(points: &[Point]) -> AreaQueryEngine {
+        EngineBuilder::new(points).build()
+    }
+
+    /// Starts a [`EngineBuilder`] for non-default configurations.
+    pub fn builder(points: &[Point]) -> EngineBuilder {
+        EngineBuilder::new(points)
+    }
+
+    /// The indexed points (input order).
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The underlying R-tree.
+    pub fn rtree(&self) -> &RTree {
+        &self.rtree
+    }
+
+    /// The underlying triangulation (`None` for an empty engine).
+    pub fn triangulation(&self) -> Option<&Triangulation> {
+        self.tri.as_ref()
+    }
+
+    /// Fresh scratch space for [`AreaQueryEngine::voronoi_with`]; reuse it
+    /// across queries on one thread.
+    pub fn new_scratch(&self) -> QueryScratch {
+        QueryScratch::new(self.tri.as_ref().map_or(0, Triangulation::vertex_count))
+    }
+
+    /// Clipping window for on-demand Voronoi cells: the data extent joined
+    /// with the query area, grown by its own diagonal so unbounded hull
+    /// cells keep a representative shape around the region of interest.
+    fn cell_window<A: QueryArea>(&self, area: &A) -> Rect {
+        let r = self.data_bbox.union(&area.mbr());
+        r.expand((r.width() + r.height()).max(1.0))
+    }
+
+    /// Traditional filter–refine query with the R-tree (the paper's
+    /// baseline).
+    pub fn traditional<A: QueryArea>(&self, area: &A) -> QueryResult {
+        self.traditional_with(area, FilterIndex::RTree)
+    }
+
+    /// Traditional query with an explicit filter index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested index was not built (see
+    /// [`EngineBuilder::with_kdtree`] / [`EngineBuilder::with_quadtree`]).
+    pub fn traditional_with<A: QueryArea>(&self, area: &A, filter: FilterIndex) -> QueryResult {
+        let mut stats = QueryStats::default();
+        let indices = match filter {
+            FilterIndex::RTree => traditional_area_query(
+                &self.rtree,
+                &self.points,
+                area,
+                self.records.as_ref(),
+                &mut stats,
+            ),
+            FilterIndex::KdTree => traditional_area_query_kdtree(
+                self.kdtree
+                    .as_ref()
+                    .expect("kd-tree not built; use EngineBuilder::with_kdtree"),
+                &self.points,
+                area,
+                self.records.as_ref(),
+                &mut stats,
+            ),
+            FilterIndex::Quadtree => traditional_area_query_quadtree(
+                self.quadtree
+                    .as_ref()
+                    .expect("quadtree not built; use EngineBuilder::with_quadtree"),
+                &self.points,
+                area,
+                self.records.as_ref(),
+                &mut stats,
+            ),
+        };
+        QueryResult { indices, stats }
+    }
+
+    /// Voronoi-based area query (Algorithm 1) with the paper's defaults:
+    /// R-tree seed NN and the segment expansion policy. Allocates fresh
+    /// scratch; for repeated queries prefer [`AreaQueryEngine::voronoi_with`].
+    pub fn voronoi<A: QueryArea>(&self, area: &A) -> QueryResult {
+        let mut scratch = self.new_scratch();
+        self.voronoi_with(
+            area,
+            ExpansionPolicy::Segment,
+            SeedIndex::RTree,
+            &mut scratch,
+        )
+    }
+
+    /// Voronoi-based area query with explicit policy, seed index and
+    /// reusable scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SeedIndex::KdTree`] is requested but the kd-tree was not
+    /// built.
+    pub fn voronoi_with<A: QueryArea>(
+        &self,
+        area: &A,
+        policy: ExpansionPolicy,
+        seed_index: SeedIndex,
+        scratch: &mut QueryScratch,
+    ) -> QueryResult {
+        let mut stats = QueryStats::default();
+        let Some(tri) = self.tri.as_ref() else {
+            return QueryResult {
+                indices: Vec::new(),
+                stats,
+            };
+        };
+        // Line 3–4 of Algorithm 1: seed with NN(P, pA) for an arbitrary
+        // position pA inside A.
+        let pa = arbitrary_position_in(area);
+        let seed = match seed_index {
+            SeedIndex::RTree => {
+                let (id, _) = self
+                    .rtree
+                    .nearest_with_stats(pa, &mut stats.index)
+                    .expect("engine is non-empty");
+                tri.canonical(id as usize)
+            }
+            SeedIndex::KdTree => {
+                let (id, _) = self
+                    .kdtree
+                    .as_ref()
+                    .expect("kd-tree not built; use EngineBuilder::with_kdtree")
+                    .nearest(pa)
+                    .expect("engine is non-empty");
+                tri.canonical(id as usize)
+            }
+            SeedIndex::DelaunayWalk => tri.nearest_vertex(pa, None),
+        };
+        stats.seed = Some(seed);
+        let window = self.cell_window(area);
+        let canonical = voronoi_area_query(
+            tri,
+            area,
+            seed,
+            policy,
+            &window,
+            self.records.as_ref(),
+            scratch,
+            &mut stats,
+        );
+        // Expand canonical vertices back to input indices (duplicates).
+        let mut indices = Vec::with_capacity(canonical.len());
+        for v in canonical {
+            indices.extend_from_slice(tri.inputs_of(v));
+        }
+        stats.result_size = indices.len();
+        QueryResult { indices, stats }
+    }
+
+    /// Counts the points inside `area` without materialising them — the
+    /// aggregate form of the area query (`SELECT COUNT(*) WHERE
+    /// Contains(A, p)`), using the Voronoi method's candidate generation.
+    ///
+    /// Count queries magnify the paper's point: with no result set to
+    /// build, candidate generation and validation are the *entire* cost.
+    pub fn voronoi_count<A: QueryArea>(&self, area: &A, scratch: &mut QueryScratch) -> usize {
+        let Some(tri) = self.tri.as_ref() else {
+            return 0;
+        };
+        // Algorithm 1 with counting instead of collection: reuse the BFS
+        // and sum duplicate multiplicities of accepted canonical vertices.
+        let mut stats = QueryStats::default();
+        let pa = arbitrary_position_in(area);
+        let (id, _) = self.rtree.nearest(pa).expect("engine is non-empty");
+        let seed = tri.canonical(id as usize);
+        let window = self.cell_window(area);
+        let canonical = voronoi_area_query(
+            tri,
+            area,
+            seed,
+            ExpansionPolicy::Segment,
+            &window,
+            self.records.as_ref(),
+            scratch,
+            &mut stats,
+        );
+        canonical.iter().map(|&v| tri.inputs_of(v).len()).sum()
+    }
+
+    /// Counts the points inside `area` with the traditional method
+    /// (window count is not enough — the exact test still runs per
+    /// candidate; only the result vector is avoided).
+    pub fn traditional_count<A: QueryArea>(&self, area: &A) -> usize {
+        let mut count = 0usize;
+        self.rtree.window_for_each(&area.mbr(), |_, p| {
+            if area.contains(p) {
+                count += 1;
+            }
+        });
+        count
+    }
+
+    /// Reference oracle: a linear scan validating every point. `O(n·|A|)`.
+    pub fn brute_force<A: QueryArea>(&self, area: &A) -> Vec<u32> {
+        self.points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| area.contains(**p))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Classifies every canonical vertex as internal / boundary / external
+    /// relative to `area` (see [`PointClass`]). Returns `None` for an empty
+    /// engine.
+    pub fn classify<A: QueryArea>(&self, area: &A) -> Option<Vec<PointClass>> {
+        let tri = self.tri.as_ref()?;
+        let window = self.cell_window(area);
+        Some(classify_points(tri, area, &window))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use vaq_geom::Polygon;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+    }
+
+    fn star_polygon(c: Point, r_max: f64, k: usize, seed: u64) -> Polygon {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut angles: Vec<f64> = (0..k)
+            .map(|_| rng.gen::<f64>() * std::f64::consts::TAU)
+            .collect();
+        angles.sort_by(f64::total_cmp);
+        Polygon::new(
+            angles
+                .iter()
+                .map(|&a| {
+                    let r = r_max * (0.3 + 0.7 * rng.gen::<f64>());
+                    p(c.x + r * a.cos(), c.y + r * a.sin())
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn methods_agree_with_each_other_and_brute_force() {
+        let pts = uniform(600, 81);
+        let engine = AreaQueryEngine::builder(&pts).with_kdtree().with_quadtree().build();
+        let mut scratch = engine.new_scratch();
+        for seed in 0..8u64 {
+            let area = star_polygon(p(0.5, 0.5), 0.25, 10, seed);
+            let mut want = engine.brute_force(&area);
+            want.sort_unstable();
+            assert_eq!(engine.traditional(&area).sorted_indices(), want);
+            assert_eq!(
+                engine
+                    .traditional_with(&area, FilterIndex::KdTree)
+                    .sorted_indices(),
+                want
+            );
+            assert_eq!(
+                engine
+                    .traditional_with(&area, FilterIndex::Quadtree)
+                    .sorted_indices(),
+                want
+            );
+            for policy in [ExpansionPolicy::Segment, ExpansionPolicy::Cell] {
+                for seed_idx in [SeedIndex::RTree, SeedIndex::KdTree, SeedIndex::DelaunayWalk] {
+                    let r = engine.voronoi_with(&area, policy, seed_idx, &mut scratch);
+                    assert_eq!(
+                        r.sorted_indices(),
+                        want,
+                        "policy {policy:?}, seed {seed_idx:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn voronoi_produces_fewer_candidates_on_irregular_areas() {
+        let pts = uniform(3000, 82);
+        let engine = AreaQueryEngine::build(&pts);
+        let mut scratch = engine.new_scratch();
+        let mut total_trad = 0usize;
+        let mut total_voro = 0usize;
+        for seed in 0..10u64 {
+            let area = star_polygon(p(0.5, 0.5), 0.2, 10, 1000 + seed);
+            let t = engine.traditional(&area);
+            let v = engine.voronoi_with(
+                &area,
+                ExpansionPolicy::Segment,
+                SeedIndex::RTree,
+                &mut scratch,
+            );
+            total_trad += t.stats.candidates;
+            total_voro += v.stats.candidates;
+        }
+        assert!(
+            total_voro < total_trad,
+            "voronoi candidates {total_voro} should undercut traditional {total_trad}"
+        );
+    }
+
+    #[test]
+    fn empty_engine_answers_empty() {
+        let engine = AreaQueryEngine::build(&[]);
+        let area = star_polygon(p(0.5, 0.5), 0.2, 10, 1);
+        assert!(engine.is_empty());
+        assert!(engine.traditional(&area).indices.is_empty());
+        assert!(engine.voronoi(&area).indices.is_empty());
+        assert!(engine.brute_force(&area).is_empty());
+        assert!(engine.classify(&area).is_none());
+    }
+
+    #[test]
+    fn single_point_engine() {
+        let engine = AreaQueryEngine::build(&[p(0.5, 0.5)]);
+        let inside = Polygon::new(vec![p(0.0, 0.0), p(1.0, 0.0), p(0.5, 1.0)]).unwrap();
+        assert_eq!(engine.voronoi(&inside).indices, vec![0]);
+        assert_eq!(engine.traditional(&inside).indices, vec![0]);
+        let outside = Polygon::new(vec![p(5.0, 5.0), p(6.0, 5.0), p(5.5, 6.0)]).unwrap();
+        assert!(engine.voronoi(&outside).indices.is_empty());
+        assert!(engine.traditional(&outside).indices.is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_are_all_reported() {
+        let pts = vec![
+            p(0.5, 0.5),
+            p(0.5, 0.5),
+            p(0.5, 0.5),
+            p(0.9, 0.9),
+            p(0.1, 0.9),
+        ];
+        let engine = AreaQueryEngine::build(&pts);
+        let area = Polygon::new(vec![p(0.4, 0.4), p(0.6, 0.4), p(0.6, 0.6), p(0.4, 0.6)]).unwrap();
+        let v = engine.voronoi(&area);
+        assert_eq!(v.sorted_indices(), vec![0, 1, 2]);
+        assert_eq!(v.stats.result_size, 3);
+        let t = engine.traditional(&area);
+        assert_eq!(t.sorted_indices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn collinear_dataset_still_answers_correctly() {
+        let pts: Vec<Point> = (0..50).map(|i| p(f64::from(i) * 0.02, 0.5)).collect();
+        let engine = AreaQueryEngine::build(&pts);
+        let area = Polygon::new(vec![p(0.25, 0.4), p(0.55, 0.4), p(0.55, 0.6), p(0.25, 0.6)])
+            .unwrap();
+        let mut want = engine.brute_force(&area);
+        want.sort_unstable();
+        assert!(!want.is_empty());
+        assert_eq!(engine.voronoi(&area).sorted_indices(), want);
+        assert_eq!(engine.traditional(&area).sorted_indices(), want);
+    }
+
+    #[test]
+    fn incremental_rtree_engine_matches_bulk() {
+        let pts = uniform(300, 83);
+        let bulk = AreaQueryEngine::build(&pts);
+        let inc = AreaQueryEngine::builder(&pts).incremental_rtree().build();
+        let area = star_polygon(p(0.5, 0.5), 0.3, 10, 84);
+        assert_eq!(
+            bulk.traditional(&area).sorted_indices(),
+            inc.traditional(&area).sorted_indices()
+        );
+        assert_eq!(
+            bulk.voronoi(&area).sorted_indices(),
+            inc.voronoi(&area).sorted_indices()
+        );
+    }
+
+    #[test]
+    fn stats_identities_hold() {
+        let pts = uniform(1000, 85);
+        let engine = AreaQueryEngine::build(&pts);
+        let area = star_polygon(p(0.5, 0.5), 0.25, 10, 86);
+        let t = engine.traditional(&area);
+        assert_eq!(t.stats.result_size, t.indices.len());
+        assert_eq!(t.stats.accepted, t.indices.len());
+        assert_eq!(t.stats.containment_tests, t.stats.candidates as u64);
+        assert_eq!(
+            t.stats.redundant_validations(),
+            t.stats.candidates - t.stats.accepted
+        );
+        let v = engine.voronoi(&area);
+        assert_eq!(v.stats.result_size, v.indices.len());
+        assert_eq!(v.stats.containment_tests, v.stats.candidates as u64);
+        assert!(v.stats.seed.is_some());
+        assert!(v.stats.candidates <= t.stats.candidates);
+    }
+
+    #[test]
+    fn count_queries_match_materialised_results() {
+        let pts = uniform(2000, 89);
+        let engine = AreaQueryEngine::build(&pts);
+        let mut scratch = engine.new_scratch();
+        for seed in 0..5u64 {
+            let area = star_polygon(p(0.5, 0.5), 0.25, 10, 900 + seed);
+            let want = engine.brute_force(&area).len();
+            assert_eq!(engine.voronoi_count(&area, &mut scratch), want);
+            assert_eq!(engine.traditional_count(&area), want);
+        }
+        // Duplicates are counted with multiplicity.
+        let dup_engine = AreaQueryEngine::build(&[
+            p(0.5, 0.5),
+            p(0.5, 0.5),
+            p(0.5, 0.5),
+            p(0.9, 0.9),
+        ]);
+        let mut s = dup_engine.new_scratch();
+        let area = star_polygon(p(0.5, 0.5), 0.2, 10, 1);
+        let want = dup_engine.brute_force(&area).len();
+        assert_eq!(dup_engine.voronoi_count(&area, &mut s), want);
+        // Empty engine counts zero.
+        let empty = AreaQueryEngine::build(&[]);
+        let mut s = empty.new_scratch();
+        assert_eq!(empty.voronoi_count(&area, &mut s), 0);
+        assert_eq!(empty.traditional_count(&area), 0);
+    }
+
+    #[test]
+    fn classify_counts_match_query_results() {
+        let pts = uniform(400, 87);
+        let engine = AreaQueryEngine::build(&pts);
+        let area = star_polygon(p(0.5, 0.5), 0.3, 10, 88);
+        let classes = engine.classify(&area).unwrap();
+        let internal = classes.iter().filter(|&&c| c == PointClass::Internal).count();
+        assert_eq!(internal, engine.brute_force(&area).len());
+    }
+}

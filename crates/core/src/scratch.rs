@@ -1,0 +1,108 @@
+//! Reusable per-thread query scratch space.
+//!
+//! The Voronoi BFS needs a visited set over the canonical vertices and a
+//! candidate queue. Allocating a fresh `Vec<bool>` per query would cost
+//! `O(n)` per query (1 MB at n = 10⁶) and dominate small queries, so the
+//! engine hands out a [`QueryScratch`] that callers reuse across queries:
+//! the visited set is an epoch-stamped array that clears in `O(1)`.
+//!
+//! Keeping the scratch external (instead of `RefCell` inside the engine)
+//! keeps the engine `Sync`, so experiment repetitions can run on threads
+//! sharing one engine, each with its own scratch.
+
+use std::collections::VecDeque;
+
+/// Epoch-stamped visited set + BFS queue, reusable across queries.
+#[derive(Clone, Debug, Default)]
+pub struct QueryScratch {
+    stamps: Vec<u32>,
+    epoch: u32,
+    pub(crate) queue: VecDeque<u32>,
+}
+
+impl QueryScratch {
+    /// Creates scratch able to serve queries over `n` canonical vertices.
+    pub fn new(n: usize) -> QueryScratch {
+        QueryScratch {
+            stamps: vec![0; n],
+            epoch: 0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Starts a new query: clears the visited set in `O(1)` and empties
+    /// the queue. Grows the stamp array if the vertex count increased.
+    pub(crate) fn begin(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: old stamps could collide with the new epoch.
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+    }
+
+    /// Marks `v` visited; returns `true` when it was not visited before.
+    #[inline]
+    pub(crate) fn mark(&mut self, v: u32) -> bool {
+        let slot = &mut self.stamps[v as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// `true` when `v` has been marked in the current query.
+    #[inline]
+    pub(crate) fn is_marked(&self, v: u32) -> bool {
+        self.stamps[v as usize] == self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_reports_first_visit_only() {
+        let mut s = QueryScratch::new(4);
+        s.begin(4);
+        assert!(s.mark(2));
+        assert!(!s.mark(2));
+        assert!(s.is_marked(2));
+        assert!(!s.is_marked(1));
+    }
+
+    #[test]
+    fn begin_resets_in_constant_time() {
+        let mut s = QueryScratch::new(3);
+        s.begin(3);
+        assert!(s.mark(0));
+        s.begin(3);
+        assert!(!s.is_marked(0), "fresh epoch forgets old marks");
+        assert!(s.mark(0));
+    }
+
+    #[test]
+    fn grows_for_larger_vertex_counts() {
+        let mut s = QueryScratch::new(1);
+        s.begin(10);
+        assert!(s.mark(9));
+    }
+
+    #[test]
+    fn epoch_wraparound_is_safe() {
+        let mut s = QueryScratch::new(2);
+        s.epoch = u32::MAX - 1;
+        s.begin(2); // epoch -> MAX
+        assert!(s.mark(0));
+        s.begin(2); // wraps: stamps cleared, epoch restarts at 1
+        assert!(!s.is_marked(0));
+        assert!(s.mark(0));
+    }
+}

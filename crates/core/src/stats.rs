@@ -1,0 +1,64 @@
+//! Per-query statistics matching what the paper measures.
+//!
+//! The paper's evaluation reports, per configuration: the **result size**,
+//! the **candidate number** (how many points reached the geometric
+//! validation step) and the **times of redundant validations** (validated
+//! candidates that were *not* in the result — the pure waste each method
+//! incurs). These counters reproduce those columns exactly, plus the
+//! index-level access counts that explain the time differences.
+
+use vaq_rtree::AccessStats;
+
+/// Counters for a single area query (either method).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QueryStats {
+    /// Points returned (after duplicate expansion).
+    pub result_size: usize,
+    /// Candidates that underwent geometric validation. For the traditional
+    /// method this is the window-query output ("candidate number" in
+    /// Tables I–II); for the Voronoi method it is every point popped from
+    /// the candidate queue.
+    pub candidates: usize,
+    /// Candidates whose validation succeeded (before duplicate expansion).
+    pub accepted: usize,
+    /// Exact point-in-polygon tests performed.
+    pub containment_tests: u64,
+    /// Segment–area intersection tests (Voronoi method, segment policy).
+    pub segment_tests: u64,
+    /// Voronoi-cell–area intersection tests (Voronoi method, cell policy).
+    pub cell_tests: u64,
+    /// Spatial-index node/entry accesses (window query or seed NN).
+    pub index: AccessStats,
+    /// The canonical seed vertex of the Voronoi method, when applicable.
+    pub seed: Option<u32>,
+    /// Checksum of the payload records materialised during validation
+    /// (see `EngineBuilder::payload_bytes`). Non-zero only when the engine
+    /// simulates record loading; it both proves the bytes were actually
+    /// read and keeps the optimiser from eliding the loads.
+    pub payload_checksum: u64,
+}
+
+impl QueryStats {
+    /// Validations wasted on points outside the area — the quantity
+    /// plotted in the paper's Figures 5 and 7.
+    pub fn redundant_validations(&self) -> usize {
+        self.candidates - self.accepted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redundant_is_candidates_minus_accepted() {
+        let s = QueryStats {
+            result_size: 10,
+            candidates: 14,
+            accepted: 10,
+            ..QueryStats::default()
+        };
+        assert_eq!(s.redundant_validations(), 4);
+        assert_eq!(QueryStats::default().redundant_validations(), 0);
+    }
+}

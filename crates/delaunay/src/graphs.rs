@@ -1,0 +1,256 @@
+//! Proximity graphs derived from the Delaunay triangulation.
+//!
+//! Two classics that every Delaunay library is expected to export, both
+//! subgraphs of the triangulation (so they cost `O(n α(n))` and `O(n)`
+//! respectively once the triangulation exists):
+//!
+//! * the **Euclidean minimum spanning tree** — the EMST of a point set is
+//!   a subgraph of its Delaunay triangulation, so Kruskal over the `O(n)`
+//!   Delaunay edges replaces the naive `O(n²)` edge set;
+//! * the **Gabriel graph** — the edges whose diametral circle contains no
+//!   other site; a Delaunay edge `(u, v)` is Gabriel iff no *Voronoi
+//!   neighbour* of `u` or `v` lies strictly inside the diametral circle
+//!   (checking the two cells' neighbourhoods suffices because the nearest
+//!   site to the circle's centre is a neighbour of whichever of `u`, `v`
+//!   owns that centre's cell).
+//!
+//! Both respect the degenerate collinear mode: the path edges are exactly
+//! the EMST there, and the Gabriel test still applies.
+
+use crate::triangulation::Triangulation;
+
+/// Disjoint-set forest with path halving and union by size.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        true
+    }
+}
+
+impl Triangulation {
+    /// Every undirected Delaunay edge as a `(u, v)` pair with `u < v`.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for v in 0..self.vertex_count() as u32 {
+            for &u in self.neighbors(v) {
+                if v < u {
+                    out.push((v, u));
+                }
+            }
+        }
+        out
+    }
+
+    /// The Euclidean minimum spanning tree over the canonical vertices, as
+    /// `(u, v)` edges with `u < v`. Exactly `vertex_count() − 1` edges
+    /// (the Delaunay graph is connected). Ties between equal-length edges
+    /// are broken by vertex ids, making the output deterministic.
+    pub fn euclidean_mst(&self) -> Vec<(u32, u32)> {
+        let mut edges = self.edges();
+        edges.sort_by(|&(a1, b1), &(a2, b2)| {
+            let d1 = self.point(a1).dist_sq(self.point(b1));
+            let d2 = self.point(a2).dist_sq(self.point(b2));
+            d1.total_cmp(&d2).then(a1.cmp(&a2)).then(b1.cmp(&b2))
+        });
+        let mut uf = UnionFind::new(self.vertex_count());
+        let mut mst = Vec::with_capacity(self.vertex_count().saturating_sub(1));
+        for (u, v) in edges {
+            if uf.union(u, v) {
+                mst.push((u, v));
+                if mst.len() + 1 == self.vertex_count() {
+                    break;
+                }
+            }
+        }
+        mst
+    }
+
+    /// The Gabriel graph: Delaunay edges whose open diametral disk is
+    /// empty of other sites. Returned as `(u, v)` pairs with `u < v`.
+    pub fn gabriel_graph(&self) -> Vec<(u32, u32)> {
+        self.edges()
+            .into_iter()
+            .filter(|&(u, v)| self.is_gabriel_edge(u, v))
+            .collect()
+    }
+
+    /// `true` when the open diametral disk of edge `(u, v)` contains no
+    /// other site. Only the Voronoi neighbours of `u` and `v` need
+    /// checking: the disk's centre is the edge midpoint, whose nearest
+    /// site other than `u`/`v` is a Voronoi neighbour of one of them.
+    fn is_gabriel_edge(&self, u: u32, v: u32) -> bool {
+        let pu = self.point(u);
+        let pv = self.point(v);
+        let centre = pu.midpoint(pv);
+        let radius_sq = centre.dist_sq(pu);
+        let blocked = |w: &u32| {
+            let w = *w;
+            w != u && w != v && self.point(w).dist_sq(centre) < radius_sq
+        };
+        !self.neighbors(u).iter().any(blocked) && !self.neighbors(v).iter().any(blocked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use vaq_geom::Point;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+    }
+
+    /// Naive O(n²) Prim MST weight for cross-checking.
+    fn brute_mst_weight(pts: &[Point]) -> f64 {
+        let n = pts.len();
+        let mut in_tree = vec![false; n];
+        let mut best = vec![f64::INFINITY; n];
+        best[0] = 0.0;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let (v, d) = best
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !in_tree[*i])
+                .map(|(i, &d)| (i, d))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("a vertex remains");
+            in_tree[v] = true;
+            total += d.sqrt();
+            for w in 0..n {
+                if !in_tree[w] {
+                    best[w] = best[w].min(pts[v].dist_sq(pts[w]));
+                }
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn mst_weight_matches_brute_force() {
+        for seed in 0..5u64 {
+            let pts = uniform(120, seed);
+            let tri = Triangulation::new(&pts).unwrap();
+            let mst = tri.euclidean_mst();
+            assert_eq!(mst.len(), pts.len() - 1);
+            let weight: f64 = mst
+                .iter()
+                .map(|&(u, v)| tri.point(u).dist(tri.point(v)))
+                .sum();
+            let want = brute_mst_weight(&pts);
+            assert!(
+                (weight - want).abs() < 1e-9 * want.max(1.0),
+                "seed {seed}: {weight} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn mst_spans_without_cycles() {
+        let pts = uniform(200, 9);
+        let tri = Triangulation::new(&pts).unwrap();
+        let mst = tri.euclidean_mst();
+        let mut uf = UnionFind::new(pts.len());
+        for &(u, v) in &mst {
+            assert!(uf.union(u, v), "cycle through edge ({u},{v})");
+        }
+        let root = uf.find(0);
+        assert!(
+            (1..pts.len() as u32).all(|v| uf.find(v) == root),
+            "MST does not span"
+        );
+    }
+
+    #[test]
+    fn gabriel_is_between_mst_and_delaunay() {
+        // Classic sandwich: EMST ⊆ Gabriel ⊆ Delaunay.
+        let pts = uniform(150, 11);
+        let tri = Triangulation::new(&pts).unwrap();
+        let gabriel: std::collections::HashSet<(u32, u32)> =
+            tri.gabriel_graph().into_iter().collect();
+        let delaunay: std::collections::HashSet<(u32, u32)> =
+            tri.edges().into_iter().collect();
+        assert!(gabriel.is_subset(&delaunay));
+        for (u, v) in tri.euclidean_mst() {
+            let key = if u < v { (u, v) } else { (v, u) };
+            assert!(gabriel.contains(&key), "MST edge ({u},{v}) not Gabriel");
+        }
+        // On random data the Gabriel graph is a proper subgraph.
+        assert!(gabriel.len() < delaunay.len());
+    }
+
+    #[test]
+    fn gabriel_matches_brute_force_definition() {
+        let pts = uniform(80, 13);
+        let tri = Triangulation::new(&pts).unwrap();
+        let got: std::collections::HashSet<(u32, u32)> =
+            tri.gabriel_graph().into_iter().collect();
+        for (u, v) in tri.edges() {
+            let centre = pts[u as usize].midpoint(pts[v as usize]);
+            let r_sq = centre.dist_sq(pts[u as usize]);
+            let empty = (0..pts.len() as u32)
+                .filter(|&w| w != u && w != v)
+                .all(|w| pts[w as usize].dist_sq(centre) >= r_sq);
+            assert_eq!(got.contains(&(u, v)), empty, "edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn collinear_mode_mst_is_the_path() {
+        let pts: Vec<Point> = (0..10).map(|i| p(f64::from(i), 2.0)).collect();
+        let tri = Triangulation::new(&pts).unwrap();
+        let mut mst = tri.euclidean_mst();
+        mst.sort_unstable();
+        let want: Vec<(u32, u32)> = (0..9).map(|i| (i, i + 1)).collect();
+        assert_eq!(mst, want);
+        // Every path edge is Gabriel on a line.
+        assert_eq!(tri.gabriel_graph().len(), 9);
+    }
+
+    #[test]
+    fn single_and_two_point_graphs() {
+        let tri = Triangulation::new(&[p(0.0, 0.0)]).unwrap();
+        assert!(tri.euclidean_mst().is_empty());
+        assert!(tri.gabriel_graph().is_empty());
+        let tri = Triangulation::new(&[p(0.0, 0.0), p(1.0, 0.0)]).unwrap();
+        assert_eq!(tri.euclidean_mst(), vec![(0, 1)]);
+        assert_eq!(tri.gabriel_graph(), vec![(0, 1)]);
+    }
+}

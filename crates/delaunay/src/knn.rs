@@ -1,0 +1,164 @@
+//! k-nearest-neighbour search on the Delaunay graph.
+//!
+//! This is the VoR-tree kNN technique (Sharifzadeh & Shahabi, VLDB 2010 —
+//! reference \[8\] of the reproduced paper) without the R-tree wrapping:
+//! find the nearest site by greedy descent, then grow the answer set
+//! best-first over Voronoi neighbours. Correctness rests on the classical
+//! property that the *(i+1)*-th nearest site to a query point is a Voronoi
+//! neighbour of one of the *i* nearest sites, so the frontier of the
+//! explored region always contains the next answer.
+
+use crate::triangulation::Triangulation;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use vaq_geom::Point;
+
+/// Min-heap item: canonical vertex keyed by squared distance to the query.
+struct Frontier {
+    dist_sq: f64,
+    v: u32,
+}
+
+impl PartialEq for Frontier {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist_sq == other.dist_sq
+    }
+}
+impl Eq for Frontier {}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.dist_sq.total_cmp(&self.dist_sq) // reversed: min-heap
+    }
+}
+
+impl Triangulation {
+    /// The `k` canonical vertices nearest to `q`, closest first, as
+    /// `(vertex, squared distance)` pairs. Returns fewer when the
+    /// triangulation has fewer vertices. Ties at the k-th distance are
+    /// broken arbitrarily.
+    ///
+    /// Runs in `O(k · d̄ · log k)` after the initial greedy descent, where
+    /// `d̄ ≈ 6` is the average Delaunay degree — no spatial index needed.
+    pub fn k_nearest_vertices(&self, q: Point, k: usize) -> Vec<(u32, f64)> {
+        let mut out = Vec::with_capacity(k.min(self.vertex_count()));
+        if k == 0 || self.vertex_count() == 0 {
+            return out;
+        }
+        let start = self.nearest_vertex(q, None);
+        let mut visited = vec![false; self.vertex_count()];
+        let mut heap = BinaryHeap::new();
+        visited[start as usize] = true;
+        heap.push(Frontier {
+            dist_sq: self.point(start).dist_sq(q),
+            v: start,
+        });
+        while let Some(Frontier { dist_sq, v }) = heap.pop() {
+            out.push((v, dist_sq));
+            if out.len() == k {
+                break;
+            }
+            for &u in self.neighbors(v) {
+                if !visited[u as usize] {
+                    visited[u as usize] = true;
+                    heap.push(Frontier {
+                        dist_sq: self.point(u).dist_sq(q),
+                        v: u,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+    }
+
+    fn brute_knn_dists(pts: &[Point], q: Point, k: usize) -> Vec<f64> {
+        let mut d: Vec<f64> = pts.iter().map(|s| s.dist_sq(q)).collect();
+        d.sort_by(f64::total_cmp);
+        d.truncate(k);
+        d
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = uniform(400, 61);
+        let tri = Triangulation::new(&pts).unwrap();
+        let mut rng = StdRng::seed_from_u64(62);
+        for _ in 0..100 {
+            let q = p(rng.gen::<f64>() * 1.2 - 0.1, rng.gen::<f64>() * 1.2 - 0.1);
+            let k = rng.gen_range(1..30usize);
+            let got: Vec<f64> = tri
+                .k_nearest_vertices(q, k)
+                .iter()
+                .map(|&(_, d)| d)
+                .collect();
+            assert_eq!(got, brute_knn_dists(&pts, q, k), "q={q} k={k}");
+        }
+    }
+
+    #[test]
+    fn knn_is_sorted_and_respects_k() {
+        let pts = uniform(100, 63);
+        let tri = Triangulation::new(&pts).unwrap();
+        let got = tri.k_nearest_vertices(p(0.5, 0.5), 20);
+        assert_eq!(got.len(), 20);
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!(tri.k_nearest_vertices(p(0.5, 0.5), 0).is_empty());
+        assert_eq!(tri.k_nearest_vertices(p(0.5, 0.5), 1000).len(), 100);
+    }
+
+    #[test]
+    fn knn_on_degenerate_path() {
+        let pts: Vec<Point> = (0..20).map(|i| p(f64::from(i), 0.0)).collect();
+        let tri = Triangulation::new(&pts).unwrap();
+        assert!(tri.is_degenerate());
+        let got: Vec<u32> = tri
+            .k_nearest_vertices(p(7.2, 0.0), 4)
+            .iter()
+            .map(|&(v, _)| v)
+            .collect();
+        assert_eq!(got, vec![7, 8, 6, 9]);
+    }
+
+    #[test]
+    fn knn_with_duplicates_counts_canonical_vertices() {
+        let pts = vec![p(0.0, 0.0), p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)];
+        let tri = Triangulation::new(&pts).unwrap();
+        // Three canonical vertices only.
+        let got = tri.k_nearest_vertices(p(0.1, 0.1), 10);
+        assert_eq!(got.len(), 3);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_knn_matches_brute(seed in 0u64..3000, n in 1usize..150, k in 1usize..20) {
+            let pts = uniform(n, seed);
+            let tri = Triangulation::new(&pts).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x4B4E4E);
+            let q = p(rng.gen::<f64>(), rng.gen::<f64>());
+            let got: Vec<f64> = tri.k_nearest_vertices(q, k).iter().map(|&(_, d)| d).collect();
+            proptest::prop_assert_eq!(got, brute_knn_dists(&pts, q, k.min(n)));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # vaq-delaunay — Delaunay triangulation and Voronoi diagrams
+//!
+//! The Voronoi-adjacency substrate for the reproduction of *Area Queries
+//! Based on Voronoi Diagrams* (ICDE 2020). The paper's Algorithm 1 needs
+//! one oracle: `VN(P, p)`, the Voronoi neighbours of a site `p` — which,
+//! by duality (Property 4 of the paper), are the Delaunay neighbours of
+//! `p`. This crate provides:
+//!
+//! * [`Triangulation`] — an incremental Bowyer–Watson Delaunay
+//!   triangulation with ghost triangles, Hilbert-ordered insertion and
+//!   adaptive exact predicates. Exposes the CSR neighbour oracle
+//!   ([`Triangulation::neighbors`]), point location
+//!   ([`Triangulation::locate`]), the convex hull and a greedy
+//!   nearest-vertex walk ([`Triangulation::nearest_vertex`], the
+//!   Voronoi-walk ablation of the paper's R-tree seed query).
+//! * [`VoronoiDiagram`] / [`cell_polygon`] — explicit Voronoi cells,
+//!   clipped to a window, computed by half-plane clipping. The area-query
+//!   engine's *cell expansion policy* uses [`cell_polygon`] on demand.
+//! * [`hilbert`] — the Hilbert-curve ordering used for fast insertion.
+//!
+//! Degenerate inputs are first-class: exact duplicates are merged (with a
+//! two-way index mapping), and fully collinear inputs (including 1 or 2
+//! points) fall back to a path-mode structure whose adjacency is still the
+//! correct Voronoi adjacency.
+//!
+//! ## Example
+//!
+//! ```
+//! use vaq_geom::Point;
+//! use vaq_delaunay::Triangulation;
+//!
+//! let pts = vec![
+//!     Point::new(0.0, 0.0),
+//!     Point::new(1.0, 0.0),
+//!     Point::new(0.0, 1.0),
+//!     Point::new(1.0, 1.0),
+//!     Point::new(0.5, 0.5),
+//! ];
+//! let tri = Triangulation::new(&pts).unwrap();
+//! // The centre point is a Voronoi neighbour of all four corners.
+//! assert_eq!(tri.neighbors(4), &[0, 1, 2, 3]);
+//! // Greedy walk finds the nearest site.
+//! assert_eq!(tri.nearest_vertex(Point::new(0.9, 0.1), None), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graphs;
+pub mod hilbert;
+pub mod knn;
+pub mod mesh;
+pub mod triangulation;
+pub mod voronoi;
+
+pub use triangulation::{DelaunayError, InsertionOrder, Locate, Triangulation};
+pub use voronoi::{cell_polygon, VoronoiCell, VoronoiDiagram};

@@ -1,0 +1,1153 @@
+//! Incremental Delaunay triangulation: Bowyer–Watson insertion with ghost
+//! triangles, Hilbert-ordered insertion, and a stochastic remembering walk
+//! for point location.
+//!
+//! # Algorithm
+//!
+//! * **Ghost triangles** close the mesh: every hull edge `a→b` (CCW, region
+//!   on its left) has a ghost triangle on the reversed edge `b→a` whose
+//!   third vertex is the symbolic [`GHOST`]. Point location and cavity
+//!   carving then need no boundary cases; inserting outside the hull is the
+//!   same code path as inserting inside.
+//! * **Bowyer–Watson**: each insertion locates the triangle whose (possibly
+//!   ghost) circumdisk contains the new point, grows the *cavity* of all
+//!   such triangles by breadth-first search, deletes it, and re-triangulates
+//!   by fanning the new vertex to the cavity boundary.
+//! * **Robustness**: all orientation and in-circle decisions go through the
+//!   adaptive exact predicates in [`vaq_geom::predicates`], so the structure
+//!   is correct even for the cocircular / collinear degeneracies that grid
+//!   data produces. Inputs that are *entirely* collinear (including n = 1, 2)
+//!   cannot be triangulated; they fall back to a **degenerate path mode** in
+//!   which the Delaunay graph is the sorted path along the line — the
+//!   correct limit of the Voronoi adjacency.
+//! * **Duplicates** (exactly equal coordinates) are merged up front; every
+//!   input index maps to a canonical vertex via [`Triangulation::canonical`]
+//!   and back via [`Triangulation::inputs_of`].
+
+use crate::hilbert::hilbert_sort;
+use crate::mesh::{Mesh, GHOST, NONE};
+use vaq_geom::{incircle, orient2d, Point};
+
+/// Order in which points are fed to the incremental algorithm.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InsertionOrder {
+    /// Sort along a Hilbert curve first (fast: walks are `O(1)` expected).
+    #[default]
+    Hilbert,
+    /// Insert in input order (ablation baseline; walks can be `O(√n)`).
+    Input,
+}
+
+/// Errors from [`Triangulation::new`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DelaunayError {
+    /// The input point slice was empty.
+    EmptyInput,
+    /// A coordinate was NaN or infinite; payload is the input index.
+    NonFiniteCoordinate(usize),
+}
+
+impl std::fmt::Display for DelaunayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DelaunayError::EmptyInput => write!(f, "cannot triangulate an empty point set"),
+            DelaunayError::NonFiniteCoordinate(i) => {
+                write!(f, "point at input index {i} has a non-finite coordinate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DelaunayError {}
+
+/// Result of locating a point in the triangulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Locate {
+    /// The point coincides exactly with this vertex.
+    Vertex(u32),
+    /// The point lies inside (or on the boundary of) this finite triangle.
+    Face(u32),
+    /// The point lies strictly outside the convex hull; payload is a ghost
+    /// triangle whose hull edge faces the point.
+    Outside(u32),
+    /// The triangulation is in degenerate (collinear) mode and has no
+    /// triangles to locate in.
+    Degenerate,
+}
+
+/// A cavity-boundary edge recorded during Bowyer–Watson carving.
+#[derive(Clone, Copy)]
+struct BoundaryEdge {
+    /// Directed edge `(a, b)` with the cavity (and the new point) on its left.
+    a: u32,
+    b: u32,
+    /// The surviving triangle on the outside of the edge.
+    outer: u32,
+}
+
+/// xorshift64* step; cheap deterministic randomness for the stochastic walk.
+#[inline]
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Internal construction state shared by the walk and insertion routines.
+struct Core {
+    pts: Vec<Point>,
+    mesh: Mesh,
+    /// Per-slot visit stamps for cavity BFS (avoids clearing a bitmap).
+    stamps: Vec<u32>,
+    epoch: u32,
+    /// A live finite triangle used as the walk start hint.
+    last_finite: u32,
+    rng: u64,
+    /// Scratch buffers reused across insertions.
+    stack: Vec<u32>,
+    bad: Vec<u32>,
+    boundary: Vec<BoundaryEdge>,
+    new_tris: Vec<(u32, u32, u32)>, // (a, triangle id, b) per boundary edge
+}
+
+impl Core {
+    /// `true` when the (possibly ghost) circumdisk of `t` strictly contains `p`.
+    fn is_bad(&self, t: u32, p: Point) -> bool {
+        let tri = self.mesh.tri(t);
+        match tri.ghost_slot() {
+            None => {
+                let a = self.pts[tri.v[0] as usize];
+                let b = self.pts[tri.v[1] as usize];
+                let c = self.pts[tri.v[2] as usize];
+                incircle(a, b, c, p) > 0.0
+            }
+            Some(g) => {
+                // Ghost circumdisk = open half-plane strictly left of the
+                // reversed hull edge (u, v), plus the open edge itself.
+                let u = self.pts[tri.v[(g + 1) % 3] as usize];
+                let v = self.pts[tri.v[(g + 2) % 3] as usize];
+                let o = orient2d(u, v, p);
+                if o != 0.0 {
+                    return o > 0.0;
+                }
+                let d = v - u;
+                (p - u).dot(d) > 0.0 && (v - p).dot(d) > 0.0
+            }
+        }
+    }
+
+    /// Stochastic remembering walk from `start` (a live finite triangle).
+    fn walk(&mut self, p: Point, start: u32) -> Locate {
+        let mut t = start;
+        let mut prev = NONE;
+        // With exact predicates the stochastic walk terminates with
+        // probability 1; the cap only guards against an implementation bug.
+        let max_steps = 4 * self.mesh.slots() + 64;
+        for _ in 0..max_steps {
+            let tri = *self.mesh.tri(t);
+            if tri.is_ghost() {
+                // Check for coincidence with the hull vertices first.
+                let g = tri.ghost_slot().expect("is_ghost");
+                for k in 1..3 {
+                    let w = tri.v[(g + k) % 3];
+                    if self.pts[w as usize] == p {
+                        return Locate::Vertex(w);
+                    }
+                }
+                return Locate::Outside(t);
+            }
+            let r = (next_rand(&mut self.rng) % 3) as usize;
+            let mut next = NONE;
+            for k in 0..3 {
+                let i = (r + k) % 3;
+                if tri.n[i] == prev {
+                    continue;
+                }
+                let (a, b) = tri.edge(i);
+                if orient2d(self.pts[a as usize], self.pts[b as usize], p) < 0.0 {
+                    next = tri.n[i];
+                    break;
+                }
+            }
+            if next == NONE {
+                for i in 0..3 {
+                    if self.pts[tri.v[i] as usize] == p {
+                        return Locate::Vertex(tri.v[i]);
+                    }
+                }
+                return Locate::Face(t);
+            }
+            prev = t;
+            t = next;
+        }
+        unreachable!("point-location walk failed to terminate (mesh corrupt?)");
+    }
+
+    /// Inserts vertex `vid` (coordinates already in `pts`) whose containing
+    /// region was located as triangle `seed` (finite or ghost; always bad).
+    fn insert_in_cavity(&mut self, vid: u32, p: Point) {
+        let seed = match self.walk(p, self.last_finite) {
+            Locate::Vertex(_) => {
+                // Duplicates are merged before insertion; tolerate anyway.
+                debug_assert!(false, "duplicate point reached insertion");
+                return;
+            }
+            Locate::Face(t) | Locate::Outside(t) => t,
+            Locate::Degenerate => unreachable!("walk never returns Degenerate"),
+        };
+
+        // Grow the cavity of strictly-bad triangles by BFS from the seed.
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.stamps.resize(self.mesh.slots(), 0);
+        self.stack.clear();
+        self.bad.clear();
+        self.boundary.clear();
+        self.stamps[seed as usize] = epoch;
+        self.stack.push(seed);
+        while let Some(t) = self.stack.pop() {
+            self.bad.push(t);
+            let tri = *self.mesh.tri(t);
+            for i in 0..3 {
+                let nb = tri.n[i];
+                if self.stamps[nb as usize] == epoch {
+                    continue;
+                }
+                if self.is_bad(nb, p) {
+                    self.stamps[nb as usize] = epoch;
+                    self.stack.push(nb);
+                } else {
+                    let (a, b) = tri.edge(i);
+                    self.boundary.push(BoundaryEdge { a, b, outer: nb });
+                }
+            }
+        }
+
+        // Delete the cavity; its slots are recycled by the fan below.
+        for k in 0..self.bad.len() {
+            let t = self.bad[k];
+            self.mesh.release(t);
+        }
+
+        // Fan the new vertex to every boundary edge. Each new triangle is
+        // (a, b, vid): CCW when finite (the cavity, hence vid, lies on the
+        // left of (a, b)); ghosts (a or b == GHOST) keep the convention that
+        // the finite cyclic edge is the reversed hull edge.
+        self.new_tris.clear();
+        let mut finite_example = NONE;
+        for k in 0..self.boundary.len() {
+            let e = self.boundary[k];
+            let t = self.mesh.alloc([e.a, e.b, vid]);
+            if e.a != GHOST && e.b != GHOST {
+                finite_example = t;
+            }
+            self.new_tris.push((e.a, t, e.b));
+        }
+        self.stamps.resize(self.mesh.slots(), 0);
+
+        // Link each new triangle to the outside survivor and to its two
+        // siblings around vid. The cavity boundary is a single cycle, so the
+        // sibling starting at `b` is unique; the boundary is small (typically
+        // < 10 edges) so a linear scan beats hashing.
+        for k in 0..self.boundary.len() {
+            let e = self.boundary[k];
+            let (_, t, b) = self.new_tris[k];
+            self.mesh.link(t, 2, e.outer);
+            let next = self
+                .new_tris
+                .iter()
+                .find(|&&(a2, _, _)| a2 == b)
+                .map(|&(_, t2, _)| t2)
+                .expect("cavity boundary is a closed cycle");
+            // Edge (b, vid) is opposite slot 0 of t; the reversed edge
+            // (vid, b) is opposite slot 1 of the sibling.
+            self.mesh.tri_mut(t).n[0] = next;
+            self.mesh.tri_mut(next).n[1] = t;
+        }
+
+        debug_assert!(finite_example != NONE, "insertion created no finite triangle");
+        self.last_finite = finite_example;
+    }
+}
+
+/// An immutable Delaunay triangulation with precomputed Voronoi-neighbour
+/// adjacency (the paper's `VN(P, p)` oracle).
+///
+/// Build once with [`Triangulation::new`]; query adjacency, location and
+/// nearest vertices afterwards. Input points may contain exact duplicates —
+/// they are merged into canonical vertices, with both directions of the
+/// mapping exposed.
+pub struct Triangulation {
+    /// Unique (canonical) points, indexed by vertex id.
+    pts: Vec<Point>,
+    /// Input index → canonical vertex id.
+    canon: Vec<u32>,
+    /// CSR: canonical vertex → the input indices that collapsed onto it.
+    members_off: Vec<u32>,
+    members: Vec<u32>,
+    mesh: Mesh,
+    /// CSR adjacency over canonical vertices (each row sorted ascending).
+    adj_off: Vec<u32>,
+    adj: Vec<u32>,
+    /// Hull vertices in CCW order; in degenerate mode, the path order.
+    hull: Vec<u32>,
+    degenerate: bool,
+    last_finite: u32,
+}
+
+impl Triangulation {
+    /// Builds the Delaunay triangulation of `points` with Hilbert-ordered
+    /// insertion.
+    ///
+    /// # Errors
+    ///
+    /// [`DelaunayError::EmptyInput`] for an empty slice and
+    /// [`DelaunayError::NonFiniteCoordinate`] if any coordinate is NaN or
+    /// infinite. Collinear input (including 1 or 2 points) is *not* an
+    /// error; it produces a triangulation in degenerate path mode (see
+    /// [`Triangulation::is_degenerate`]).
+    pub fn new(points: &[Point]) -> Result<Triangulation, DelaunayError> {
+        Triangulation::with_order(points, InsertionOrder::Hilbert)
+    }
+
+    /// As [`Triangulation::new`] with an explicit insertion order.
+    pub fn with_order(
+        points: &[Point],
+        order: InsertionOrder,
+    ) -> Result<Triangulation, DelaunayError> {
+        if points.is_empty() {
+            return Err(DelaunayError::EmptyInput);
+        }
+        if let Some(i) = points.iter().position(|p| !p.is_finite()) {
+            return Err(DelaunayError::NonFiniteCoordinate(i));
+        }
+
+        let (pts, canon, members_off, members) = dedup(points);
+
+        // Choose the first triangle: the first two points of the insertion
+        // order plus the first point not collinear with them. If none
+        // exists the whole input is collinear → degenerate path mode.
+        let ins_order: Vec<u32> = match order {
+            InsertionOrder::Hilbert => hilbert_sort(&pts),
+            InsertionOrder::Input => (0..pts.len() as u32).collect(),
+        };
+        let tri0 = if pts.len() >= 3 {
+            let i0 = ins_order[0];
+            let i1 = ins_order[1];
+            ins_order[2..]
+                .iter()
+                .copied()
+                .find(|&i2| {
+                    orient2d(pts[i0 as usize], pts[i1 as usize], pts[i2 as usize]) != 0.0
+                })
+                .map(|i2| (i0, i1, i2))
+        } else {
+            None
+        };
+
+        let Some((i0, i1, i2)) = tri0 else {
+            return Ok(Triangulation::degenerate_path(
+                pts,
+                canon,
+                members_off,
+                members,
+            ));
+        };
+
+        // Orient the seed triangle CCW.
+        let (i0, i1) = if orient2d(pts[i0 as usize], pts[i1 as usize], pts[i2 as usize]) < 0.0 {
+            (i1, i0)
+        } else {
+            (i0, i1)
+        };
+        debug_assert!(orient2d(pts[i0 as usize], pts[i1 as usize], pts[i2 as usize]) > 0.0);
+
+        let mut core = Core {
+            mesh: Mesh::with_capacity(2 * pts.len() + 16),
+            pts,
+            stamps: Vec::new(),
+            epoch: 0,
+            last_finite: 0,
+            rng: 0x9E37_79B9_7F4A_7C15,
+            stack: Vec::new(),
+            bad: Vec::new(),
+            boundary: Vec::new(),
+            new_tris: Vec::new(),
+        };
+
+        // Seed triangle plus its three ghosts.
+        let t = core.mesh.alloc([i0, i1, i2]);
+        let g01 = core.mesh.alloc([i1, i0, GHOST]);
+        let g12 = core.mesh.alloc([i2, i1, GHOST]);
+        let g20 = core.mesh.alloc([i0, i2, GHOST]);
+        core.mesh.link(t, 2, g01); // edge (i0,i1) ↔ ghost (i1,i0)
+        core.mesh.link(t, 0, g12); // edge (i1,i2) ↔ ghost (i2,i1)
+        core.mesh.link(t, 1, g20); // edge (i2,i0) ↔ ghost (i0,i2)
+        // Ghost-to-ghost links around the hull: ghosts share GHOST-incident
+        // edges. Ghost (i1,i0,G): edge (i0,G) is shared with ghost (i0,i2,G)
+        // whose edge (G,i0) matches reversed, etc.
+        core.mesh.link(g01, 0, g20); // (i0,G) ↔ (G,i0)
+        core.mesh.link(g01, 1, g12); // (G,i1) ↔ (i1,G)
+        core.mesh.link(g12, 0, g01); // redundant with previous, harmless
+        core.mesh.link(g12, 1, g20); // (G,i2) ↔ (i2,G)
+        core.mesh.link(g20, 0, g12);
+        core.mesh.link(g20, 1, g01);
+        debug_assert_eq!(core.mesh.check_links(), Ok(()));
+        core.last_finite = t;
+
+        for &v in &ins_order {
+            if v == i0 || v == i1 || v == i2 {
+                continue;
+            }
+            let p = core.pts[v as usize];
+            core.insert_in_cavity(v, p);
+        }
+
+        let (adj_off, adj) = build_adjacency(&core.mesh, core.pts.len());
+        let hull = extract_hull(&core.mesh);
+        Ok(Triangulation {
+            pts: core.pts,
+            canon,
+            members_off,
+            members,
+            mesh: core.mesh,
+            adj_off,
+            adj,
+            hull,
+            degenerate: false,
+            last_finite: core.last_finite,
+        })
+    }
+
+    /// Builds the degenerate "triangulation" of an entirely collinear point
+    /// set: the Delaunay graph collapses to the path along the line, which
+    /// is exactly the Voronoi adjacency of collinear sites.
+    fn degenerate_path(
+        pts: Vec<Point>,
+        canon: Vec<u32>,
+        members_off: Vec<u32>,
+        members: Vec<u32>,
+    ) -> Triangulation {
+        let mut order: Vec<u32> = (0..pts.len() as u32).collect();
+        // Lexicographic order equals order along any line.
+        order.sort_by(|&a, &b| pts[a as usize].cmp_lex(&pts[b as usize]));
+        let n = pts.len();
+        let mut adj_off = vec![0u32; n + 1];
+        let mut adj = Vec::with_capacity(2 * n.saturating_sub(1));
+        // Degree 2 inside the path, 1 at the ends (0 for a single point).
+        let mut deg = vec![0u32; n];
+        for w in order.windows(2) {
+            deg[w[0] as usize] += 1;
+            deg[w[1] as usize] += 1;
+        }
+        for v in 0..n {
+            adj_off[v + 1] = adj_off[v] + deg[v];
+        }
+        adj.resize(adj_off[n] as usize, 0);
+        let mut cursor: Vec<u32> = adj_off[..n].to_vec();
+        for w in order.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            adj[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+            adj[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
+        }
+        for v in 0..n {
+            adj[adj_off[v] as usize..adj_off[v + 1] as usize].sort_unstable();
+        }
+        Triangulation {
+            pts,
+            canon,
+            members_off,
+            members,
+            mesh: Mesh::new(),
+            adj_off,
+            adj,
+            hull: order,
+            degenerate: true,
+            last_finite: NONE,
+        }
+    }
+
+    /// Number of canonical (unique) vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// Number of input points (before duplicate merging).
+    #[inline]
+    pub fn input_count(&self) -> usize {
+        self.canon.len()
+    }
+
+    /// The coordinates of canonical vertex `v`.
+    #[inline]
+    pub fn point(&self, v: u32) -> Point {
+        self.pts[v as usize]
+    }
+
+    /// All canonical vertex coordinates, indexed by vertex id.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.pts
+    }
+
+    /// The canonical vertex that input index `i` collapsed onto.
+    #[inline]
+    pub fn canonical(&self, i: usize) -> u32 {
+        self.canon[i]
+    }
+
+    /// The input indices that collapsed onto canonical vertex `v`
+    /// (always at least one).
+    #[inline]
+    pub fn inputs_of(&self, v: u32) -> &[u32] {
+        let lo = self.members_off[v as usize] as usize;
+        let hi = self.members_off[v as usize + 1] as usize;
+        &self.members[lo..hi]
+    }
+
+    /// `true` when the input was entirely collinear (including 1 or 2
+    /// points) and the structure is the degenerate path described in the
+    /// module docs. There are no triangles in this mode, but adjacency,
+    /// nearest-vertex walks and Voronoi cells all still work.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.degenerate
+    }
+
+    /// The Voronoi neighbours `VN(P, p)` of canonical vertex `v`, sorted
+    /// ascending. This is the oracle at the heart of the paper's
+    /// Algorithm 1.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.adj_off[v as usize] as usize;
+        let hi = self.adj_off[v as usize + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Degree of canonical vertex `v` in the Delaunay graph.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Total number of Delaunay edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Convex-hull vertices in CCW order (degenerate mode: path order).
+    #[inline]
+    pub fn hull(&self) -> &[u32] {
+        &self.hull
+    }
+
+    /// Iterates over the finite triangles as CCW vertex triples.
+    pub fn triangles(&self) -> impl Iterator<Item = [u32; 3]> + '_ {
+        self.mesh
+            .live_ids()
+            .filter(move |&t| !self.mesh.tri(t).is_ghost())
+            .map(move |t| self.mesh.tri(t).v)
+    }
+
+    /// Number of finite triangles.
+    pub fn triangle_count(&self) -> usize {
+        self.triangles().count()
+    }
+
+    /// Locates `p` in the triangulation. Returns [`Locate::Degenerate`] in
+    /// degenerate path mode.
+    pub fn locate(&self, p: Point) -> Locate {
+        if self.degenerate {
+            // The path has no faces; report coincident vertices at least.
+            if let Some(v) = (0..self.pts.len() as u32).find(|&v| self.pts[v as usize] == p) {
+                return Locate::Vertex(v);
+            }
+            return Locate::Degenerate;
+        }
+        // The walk needs mutable scratch (its RNG); clone a tiny shim.
+        let mut rng = p.x.to_bits() ^ p.y.to_bits().rotate_left(32) | 1;
+        let mut t = self.last_finite;
+        let mut prev = NONE;
+        let max_steps = 4 * self.mesh.slots() + 64;
+        for _ in 0..max_steps {
+            let tri = *self.mesh.tri(t);
+            if tri.is_ghost() {
+                let g = tri.ghost_slot().expect("is_ghost");
+                for k in 1..3 {
+                    let w = tri.v[(g + k) % 3];
+                    if self.pts[w as usize] == p {
+                        return Locate::Vertex(w);
+                    }
+                }
+                return Locate::Outside(t);
+            }
+            let r = (next_rand(&mut rng) % 3) as usize;
+            let mut next = NONE;
+            for k in 0..3 {
+                let i = (r + k) % 3;
+                if tri.n[i] == prev {
+                    continue;
+                }
+                let (a, b) = tri.edge(i);
+                if orient2d(self.pts[a as usize], self.pts[b as usize], p) < 0.0 {
+                    next = tri.n[i];
+                    break;
+                }
+            }
+            if next == NONE {
+                for i in 0..3 {
+                    if self.pts[tri.v[i] as usize] == p {
+                        return Locate::Vertex(tri.v[i]);
+                    }
+                }
+                return Locate::Face(t);
+            }
+            prev = t;
+            t = next;
+        }
+        unreachable!("point-location walk failed to terminate");
+    }
+
+    /// The canonical vertex nearest to `q`, found by greedy descent on the
+    /// Delaunay graph from `hint` (any vertex; defaults to 0).
+    ///
+    /// Correctness follows from the Voronoi property: a vertex that is not
+    /// the nearest neighbour of `q` always has a Voronoi (hence Delaunay)
+    /// neighbour strictly closer to `q`, so the descent cannot get stuck at
+    /// a non-answer; distances strictly decrease, so it terminates. Ties
+    /// (equidistant sites) may return any of the tied vertices.
+    pub fn nearest_vertex(&self, q: Point, hint: Option<u32>) -> u32 {
+        let mut v = hint.unwrap_or(0).min(self.pts.len() as u32 - 1);
+        let mut dv = self.pts[v as usize].dist_sq(q);
+        loop {
+            let mut best = v;
+            let mut bd = dv;
+            for &u in self.neighbors(v) {
+                let d = self.pts[u as usize].dist_sq(q);
+                if d < bd {
+                    bd = d;
+                    best = u;
+                }
+            }
+            if best == v {
+                return v;
+            }
+            v = best;
+            dv = bd;
+        }
+    }
+
+    /// Verifies the Delaunay empty-circumcircle property on every internal
+    /// edge. `O(triangles)`; intended for tests.
+    pub fn is_delaunay(&self) -> bool {
+        for t in self.mesh.live_ids() {
+            let tri = self.mesh.tri(t);
+            if tri.is_ghost() {
+                continue;
+            }
+            let [a, b, c] = tri.v;
+            let (pa, pb, pc) = (
+                self.pts[a as usize],
+                self.pts[b as usize],
+                self.pts[c as usize],
+            );
+            for i in 0..3 {
+                let nb = tri.n[i];
+                let ntri = self.mesh.tri(nb);
+                if ntri.is_ghost() {
+                    continue;
+                }
+                let (ea, eb) = tri.edge(i);
+                let j = ntri
+                    .slot_of_edge(eb, ea)
+                    .expect("neighbour shares reversed edge");
+                let apex = ntri.v[j];
+                if incircle(pa, pb, pc, self.pts[apex as usize]) > 0.0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Structural self-check (mutual neighbour links). Test helper.
+    pub fn check_structure(&self) -> Result<(), String> {
+        if self.degenerate {
+            return Ok(());
+        }
+        self.mesh.check_links()
+    }
+}
+
+/// Merges exactly-coincident input points.
+///
+/// Returns `(unique_points, canon, members_off, members)` where `canon`
+/// maps each input index to its canonical vertex (numbered in order of
+/// first occurrence) and the CSR (`members_off`, `members`) maps each
+/// canonical vertex back to its input indices (ascending).
+fn dedup(points: &[Point]) -> (Vec<Point>, Vec<u32>, Vec<u32>, Vec<u32>) {
+    let n = points.len();
+    let mut sorted: Vec<u32> = (0..n as u32).collect();
+    sorted.sort_by(|&a, &b| {
+        points[a as usize]
+            .cmp_lex(&points[b as usize])
+            .then(a.cmp(&b))
+    });
+    // rep[i] = smallest input index with coordinates equal to points[i].
+    let mut rep = vec![0u32; n];
+    let mut run_start = 0;
+    for k in 0..n {
+        if k > 0 && points[sorted[k] as usize] != points[sorted[run_start] as usize] {
+            run_start = k;
+        }
+        rep[sorted[k] as usize] = sorted[run_start];
+    }
+    // Canonical ids in order of first occurrence.
+    let mut canon = vec![u32::MAX; n];
+    let mut pts = Vec::new();
+    for i in 0..n {
+        if rep[i] == i as u32 {
+            canon[i] = pts.len() as u32;
+            pts.push(points[i]);
+        }
+    }
+    for i in 0..n {
+        canon[i] = canon[rep[i] as usize];
+    }
+    // Members CSR.
+    let k = pts.len();
+    let mut members_off = vec![0u32; k + 1];
+    for i in 0..n {
+        members_off[canon[i] as usize + 1] += 1;
+    }
+    for v in 0..k {
+        members_off[v + 1] += members_off[v];
+    }
+    let mut members = vec![0u32; n];
+    let mut cursor: Vec<u32> = members_off[..k].to_vec();
+    for (i, &c) in canon.iter().enumerate() {
+        members[cursor[c as usize] as usize] = i as u32;
+        cursor[c as usize] += 1;
+    }
+    (pts, canon, members_off, members)
+}
+
+/// Builds the CSR Voronoi-neighbour adjacency from the closed mesh.
+///
+/// Every finite triangle contributes its three CCW directed edges; every
+/// ghost contributes its single finite directed edge (the reversed hull
+/// edge). Together these enumerate each undirected Delaunay edge exactly
+/// once per direction, so no deduplication is needed.
+fn build_adjacency(mesh: &Mesh, n: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut deg = vec![0u32; n];
+    for t in mesh.live_ids() {
+        let tri = mesh.tri(t);
+        match tri.ghost_slot() {
+            None => {
+                for i in 0..3 {
+                    deg[tri.v[i] as usize] += 1;
+                }
+            }
+            Some(g) => deg[tri.v[(g + 1) % 3] as usize] += 1,
+        }
+    }
+    let mut off = vec![0u32; n + 1];
+    for v in 0..n {
+        off[v + 1] = off[v] + deg[v];
+    }
+    let mut adj = vec![0u32; off[n] as usize];
+    let mut cursor: Vec<u32> = off[..n].to_vec();
+    let push = |src: u32, dst: u32, adj: &mut Vec<u32>, cursor: &mut Vec<u32>| {
+        adj[cursor[src as usize] as usize] = dst;
+        cursor[src as usize] += 1;
+    };
+    for t in mesh.live_ids() {
+        let tri = mesh.tri(t);
+        match tri.ghost_slot() {
+            None => {
+                for i in 0..3 {
+                    push(tri.v[i], tri.v[(i + 1) % 3], &mut adj, &mut cursor);
+                }
+            }
+            Some(g) => {
+                let u = tri.v[(g + 1) % 3];
+                let v = tri.v[(g + 2) % 3];
+                push(u, v, &mut adj, &mut cursor);
+            }
+        }
+    }
+    for v in 0..n {
+        adj[off[v] as usize..off[v + 1] as usize].sort_unstable();
+    }
+    (off, adj)
+}
+
+/// Extracts the CCW hull cycle from the ghost triangles.
+fn extract_hull(mesh: &Mesh) -> Vec<u32> {
+    // Each ghost's finite edge (u, v) is the reversed hull edge, i.e. the
+    // hull contains v → u.
+    let mut next: Vec<(u32, u32)> = Vec::new();
+    for t in mesh.live_ids() {
+        let tri = mesh.tri(t);
+        if let Some(g) = tri.ghost_slot() {
+            let u = tri.v[(g + 1) % 3];
+            let v = tri.v[(g + 2) % 3];
+            next.push((v, u));
+        }
+    }
+    if next.is_empty() {
+        return Vec::new();
+    }
+    next.sort_unstable();
+    let start = next.iter().map(|&(v, _)| v).min().expect("non-empty");
+    let mut hull = Vec::with_capacity(next.len());
+    let mut cur = start;
+    loop {
+        hull.push(cur);
+        let k = next
+            .binary_search_by_key(&cur, |&(v, _)| v)
+            .expect("hull cycle is closed");
+        cur = next[k].1;
+        if cur == start {
+            break;
+        }
+        debug_assert!(hull.len() <= next.len(), "hull cycle corrupt");
+    }
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use vaq_geom::convex_hull_indices;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    /// Brute-force nearest canonical vertex.
+    fn brute_nn(pts: &[Point], q: Point) -> f64 {
+        pts.iter().map(|s| s.dist_sq(q)).fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let r = Triangulation::new(&[]);
+        assert!(matches!(r, Err(DelaunayError::EmptyInput)));
+    }
+
+    #[test]
+    fn non_finite_input_is_an_error() {
+        let r = Triangulation::new(&[p(0.0, 0.0), p(f64::NAN, 1.0)]);
+        assert!(matches!(r, Err(DelaunayError::NonFiniteCoordinate(1))));
+    }
+
+    #[test]
+    fn single_point_is_degenerate_with_no_neighbors() {
+        let t = Triangulation::new(&[p(3.0, 4.0)]).unwrap();
+        assert!(t.is_degenerate());
+        assert_eq!(t.vertex_count(), 1);
+        assert_eq!(t.neighbors(0), &[] as &[u32]);
+        assert_eq!(t.nearest_vertex(p(100.0, -5.0), None), 0);
+    }
+
+    #[test]
+    fn two_points_form_a_path() {
+        let t = Triangulation::new(&[p(0.0, 0.0), p(1.0, 0.0)]).unwrap();
+        assert!(t.is_degenerate());
+        assert_eq!(t.neighbors(0), &[1]);
+        assert_eq!(t.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn collinear_points_form_a_sorted_path() {
+        // Input deliberately out of line order.
+        let pts = vec![p(3.0, 3.0), p(0.0, 0.0), p(2.0, 2.0), p(1.0, 1.0)];
+        let t = Triangulation::new(&pts).unwrap();
+        assert!(t.is_degenerate());
+        // Path order along the line: 1 (0,0) – 3 (1,1) – 2 (2,2) – 0 (3,3).
+        assert_eq!(t.neighbors(1), &[3]);
+        assert_eq!(t.neighbors(3), &[1, 2]);
+        assert_eq!(t.neighbors(2), &[0, 3]);
+        assert_eq!(t.neighbors(0), &[2]);
+        assert_eq!(t.edge_count(), 3);
+        assert_eq!(t.locate(p(0.5, 0.5)), Locate::Degenerate);
+        assert_eq!(t.locate(p(1.0, 1.0)), Locate::Vertex(3));
+    }
+
+    #[test]
+    fn triangle_of_three_points() {
+        let t = Triangulation::new(&[p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)]).unwrap();
+        assert!(!t.is_degenerate());
+        assert_eq!(t.triangle_count(), 1);
+        assert_eq!(t.edge_count(), 3);
+        assert_eq!(t.hull().len(), 3);
+        assert!(t.is_delaunay());
+        t.check_structure().unwrap();
+        // Every vertex neighbours the other two.
+        for v in 0..3 {
+            assert_eq!(t.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn square_with_centre_point() {
+        let pts = vec![
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(1.0, 1.0),
+            p(0.0, 1.0),
+            p(0.5, 0.5),
+        ];
+        let t = Triangulation::new(&pts).unwrap();
+        assert_eq!(t.triangle_count(), 4);
+        assert!(t.is_delaunay());
+        t.check_structure().unwrap();
+        // The centre neighbours all four corners.
+        assert_eq!(t.neighbors(4), &[0, 1, 2, 3]);
+        assert_eq!(t.hull().len(), 4);
+    }
+
+    #[test]
+    fn cocircular_grid_is_still_delaunay() {
+        // A 5×5 integer grid: every unit square's four corners are
+        // cocircular, exercising the incircle == 0 tie handling.
+        let mut pts = Vec::new();
+        for x in 0..5 {
+            for y in 0..5 {
+                pts.push(p(f64::from(x), f64::from(y)));
+            }
+        }
+        let t = Triangulation::new(&pts).unwrap();
+        assert!(!t.is_degenerate());
+        assert!(t.is_delaunay());
+        t.check_structure().unwrap();
+        // Euler: V - E + F = 2, with F = triangles + outer face.
+        let v = t.vertex_count() as i64;
+        let e = t.edge_count() as i64;
+        let f = t.triangle_count() as i64 + 1;
+        assert_eq!(v - e + f, 2);
+        // A triangulated 4×4-square grid has exactly 2·16 = 32 triangles.
+        assert_eq!(t.triangle_count(), 32);
+        assert_eq!(t.hull().len(), 16);
+    }
+
+    #[test]
+    fn duplicates_are_merged_and_mapped() {
+        let pts = vec![
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(0.0, 0.0), // dup of 0
+            p(0.0, 1.0),
+            p(1.0, 0.0), // dup of 1
+            p(0.0, 0.0), // dup of 0
+        ];
+        let t = Triangulation::new(&pts).unwrap();
+        assert_eq!(t.vertex_count(), 3);
+        assert_eq!(t.input_count(), 6);
+        assert_eq!(t.canonical(0), 0);
+        assert_eq!(t.canonical(2), 0);
+        assert_eq!(t.canonical(5), 0);
+        assert_eq!(t.canonical(1), 1);
+        assert_eq!(t.canonical(4), 1);
+        assert_eq!(t.canonical(3), 2);
+        assert_eq!(t.inputs_of(0), &[0, 2, 5]);
+        assert_eq!(t.inputs_of(1), &[1, 4]);
+        assert_eq!(t.inputs_of(2), &[3]);
+    }
+
+    #[test]
+    fn negative_zero_merges_with_positive_zero() {
+        let pts = vec![p(-0.0, 0.0), p(0.0, -0.0), p(1.0, 1.0)];
+        let t = Triangulation::new(&pts).unwrap();
+        assert_eq!(t.vertex_count(), 2);
+    }
+
+    #[test]
+    fn random_points_delaunay_and_euler() {
+        for seed in 0..4 {
+            let pts = uniform(400, seed);
+            let t = Triangulation::new(&pts).unwrap();
+            assert!(t.is_delaunay(), "seed {seed}");
+            t.check_structure().unwrap();
+            let v = t.vertex_count() as i64;
+            let e = t.edge_count() as i64;
+            let f = t.triangle_count() as i64 + 1;
+            assert_eq!(v - e + f, 2, "Euler failed at seed {seed}");
+            // With all vertices on or inside the hull:
+            // E = 3V - 3 - H, T = 2V - 2 - H.
+            let h = t.hull().len() as i64;
+            assert_eq!(e, 3 * v - 3 - h);
+            assert_eq!(t.triangle_count() as i64, 2 * v - 2 - h);
+        }
+    }
+
+    #[test]
+    fn hull_matches_monotone_chain() {
+        let pts = uniform(300, 7);
+        let t = Triangulation::new(&pts).unwrap();
+        let expect = convex_hull_indices(&pts);
+        let mut hull = t.hull().to_vec();
+        // Same set of vertices (rotation/start may differ).
+        let mut expect_sorted: Vec<u32> = expect.iter().map(|&i| i as u32).collect();
+        expect_sorted.sort_unstable();
+        hull.sort_unstable();
+        assert_eq!(hull, expect_sorted);
+    }
+
+    #[test]
+    fn insertion_orders_agree() {
+        let pts = uniform(250, 99);
+        let a = Triangulation::with_order(&pts, InsertionOrder::Hilbert).unwrap();
+        let b = Triangulation::with_order(&pts, InsertionOrder::Input).unwrap();
+        assert!(a.is_delaunay() && b.is_delaunay());
+        // The Delaunay triangulation is unique for points in general
+        // position, so the adjacency structures must be identical.
+        for v in 0..pts.len() as u32 {
+            assert_eq!(a.neighbors(v), b.neighbors(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn locate_classifies_inside_outside_vertex() {
+        let pts = vec![p(0.0, 0.0), p(4.0, 0.0), p(0.0, 4.0), p(4.0, 4.0)];
+        let t = Triangulation::new(&pts).unwrap();
+        match t.locate(p(1.0, 1.0)) {
+            Locate::Face(f) => {
+                let tri = t.mesh.tri(f);
+                assert!(!tri.is_ghost());
+            }
+            other => panic!("expected Face, got {other:?}"),
+        }
+        assert!(matches!(t.locate(p(10.0, 10.0)), Locate::Outside(_)));
+        assert_eq!(t.locate(p(4.0, 0.0)), Locate::Vertex(1));
+    }
+
+    #[test]
+    fn nearest_vertex_matches_brute_force() {
+        let pts = uniform(500, 11);
+        let t = Triangulation::new(&pts).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let q = p(rng.gen::<f64>() * 1.4 - 0.2, rng.gen::<f64>() * 1.4 - 0.2);
+            let v = t.nearest_vertex(q, None);
+            let got = t.point(v).dist_sq(q);
+            let want = brute_nn(&pts, q);
+            assert!(
+                (got - want).abs() <= 1e-12 * (1.0 + want),
+                "q={q}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_vertex_on_degenerate_path() {
+        let pts: Vec<Point> = (0..10).map(|i| p(f64::from(i), 0.0)).collect();
+        let t = Triangulation::new(&pts).unwrap();
+        assert!(t.is_degenerate());
+        assert_eq!(t.nearest_vertex(p(3.4, 5.0), None), 3);
+        assert_eq!(t.nearest_vertex(p(8.6, -2.0), Some(0)), 9);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_irreflexive() {
+        let pts = uniform(300, 5);
+        let t = Triangulation::new(&pts).unwrap();
+        for v in 0..t.vertex_count() as u32 {
+            for &u in t.neighbors(v) {
+                assert_ne!(u, v, "self-loop at {v}");
+                assert!(
+                    t.neighbors(u).binary_search(&v).is_ok(),
+                    "asymmetric edge {v}–{u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn points_on_hull_edges_and_repeated_builds() {
+        // Points exactly on the seed triangle's edges (on-edge insertion).
+        let pts = vec![
+            p(0.0, 0.0),
+            p(2.0, 0.0),
+            p(0.0, 2.0),
+            p(1.0, 0.0), // on hull edge
+            p(0.0, 1.0), // on hull edge
+            p(1.0, 1.0), // on hull edge (hypotenuse)
+        ];
+        let t = Triangulation::new(&pts).unwrap();
+        assert!(t.is_delaunay());
+        t.check_structure().unwrap();
+        assert_eq!(t.hull().len(), 6, "all points lie on the hull");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_delaunay_on_random_clouds(seed in 0u64..5000, n in 3usize..120) {
+            let pts = uniform(n, seed);
+            let t = Triangulation::new(&pts).unwrap();
+            proptest::prop_assert!(t.is_delaunay());
+            proptest::prop_assert!(t.check_structure().is_ok());
+            let v = t.vertex_count() as i64;
+            let e = t.edge_count() as i64;
+            let f = t.triangle_count() as i64 + 1;
+            proptest::prop_assert_eq!(v - e + f, 2);
+        }
+
+        #[test]
+        fn prop_delaunay_on_snapped_grids(seed in 0u64..5000, n in 3usize..80) {
+            // Snap coordinates to a coarse grid: many exact duplicates,
+            // collinear runs and cocircular quadruples.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| {
+                    p(
+                        f64::from(rng.gen_range(0..8i32)),
+                        f64::from(rng.gen_range(0..8i32)),
+                    )
+                })
+                .collect();
+            let t = Triangulation::new(&pts).unwrap();
+            proptest::prop_assert!(t.check_structure().is_ok());
+            if !t.is_degenerate() {
+                proptest::prop_assert!(t.is_delaunay());
+            }
+            // Every input index maps to a vertex with identical coordinates.
+            for (i, q) in pts.iter().enumerate() {
+                proptest::prop_assert_eq!(t.point(t.canonical(i)), *q);
+            }
+        }
+
+        #[test]
+        fn prop_nearest_vertex_exact(seed in 0u64..2000) {
+            let pts = uniform(60, seed);
+            let t = Triangulation::new(&pts).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+            for _ in 0..20 {
+                let q = p(rng.gen::<f64>(), rng.gen::<f64>());
+                let v = t.nearest_vertex(q, Some(rng.gen_range(0..60)));
+                let got = t.point(v).dist_sq(q);
+                let want = brute_nn(&pts, q);
+                proptest::prop_assert!((got - want).abs() <= 1e-12 * (1.0 + want));
+            }
+        }
+    }
+}

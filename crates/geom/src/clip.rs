@@ -1,0 +1,158 @@
+//! Polygon clipping: Sutherland–Hodgman against half-planes and rectangles.
+//!
+//! Used to materialise Voronoi cells: a cell is the intersection of the
+//! half-planes towards its generator, clipped to a finite bounding window.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// Clips `poly` (a convex or star-shaped ring) to the closed half-plane on
+/// the **left** of the directed line `a → b`.
+///
+/// Sutherland–Hodgman step. The sidedness test uses the plain floating-point
+/// cross product: clipping introduces approximate intersection vertices
+/// anyway, so exact predicates would buy nothing here.
+pub fn clip_halfplane(poly: &[Point], a: Point, b: Point) -> Vec<Point> {
+    let d = b - a;
+    let side = |p: Point| d.cross(p - a); // > 0 left, < 0 right
+    let n = poly.len();
+    let mut out = Vec::with_capacity(n + 2);
+    if n == 0 {
+        return out;
+    }
+    for i in 0..n {
+        let cur = poly[i];
+        let nxt = poly[(i + 1) % n];
+        let sc = side(cur);
+        let sn = side(nxt);
+        if sc >= 0.0 {
+            out.push(cur);
+            if sn < 0.0 {
+                out.push(line_crossing(cur, nxt, sc, sn));
+            }
+        } else if sn >= 0.0 {
+            out.push(line_crossing(cur, nxt, sc, sn));
+        }
+    }
+    out
+}
+
+/// Intersection of the segment `cur → nxt` with the clip line, given the
+/// signed side values of the endpoints (of opposite sign).
+#[inline]
+fn line_crossing(cur: Point, nxt: Point, sc: f64, sn: f64) -> Point {
+    let t = sc / (sc - sn);
+    cur.lerp(nxt, t)
+}
+
+/// Clips a ring to an axis-aligned rectangle (four half-plane passes).
+pub fn clip_rect(poly: &[Point], rect: &Rect) -> Vec<Point> {
+    let c = rect.corners();
+    let mut out = poly.to_vec();
+    for i in 0..4 {
+        if out.is_empty() {
+            break;
+        }
+        out = clip_halfplane(&out, c[i], c[(i + 1) % 4]);
+    }
+    out
+}
+
+/// Clips a ring to the half-plane of points at least as close to `p` as to
+/// `q` (the perpendicular-bisector half-plane containing `p`).
+///
+/// This is the primitive that carves a Voronoi cell out of a window:
+/// `cell(p) = window ∩ ⋂_q bisector_halfplane(p, q)`.
+pub fn clip_bisector(poly: &[Point], p: Point, q: Point) -> Vec<Point> {
+    let m = p.midpoint(q);
+    // Direction along the bisector such that `p` lies on the left.
+    let dir = (q - p).perp();
+    clip_halfplane(poly, m, m + dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Polygon;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn unit_square() -> Vec<Point> {
+        vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)]
+    }
+
+    fn area(ring: &[Point]) -> f64 {
+        Polygon::new_unchecked(ring.to_vec()).area()
+    }
+
+    #[test]
+    fn clip_square_by_vertical_line() {
+        // Keep left of upward line x = 0.5 → keeps x <= 0.5 half.
+        let out = clip_halfplane(&unit_square(), p(0.5, 0.0), p(0.5, 1.0));
+        assert!((area(&out) - 0.5).abs() < 1e-12);
+        assert!(out.iter().all(|v| v.x <= 0.5 + 1e-12));
+    }
+
+    #[test]
+    fn clip_away_everything() {
+        let out = clip_halfplane(&unit_square(), p(2.0, 0.0), p(2.0, 1.0));
+        // Line x=2 keeps left side (x <= 2): everything stays.
+        assert_eq!(out.len(), 4);
+        // Opposite direction keeps x >= 2: nothing remains.
+        let out = clip_halfplane(&unit_square(), p(2.0, 1.0), p(2.0, 0.0));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn clip_diagonal() {
+        // Keep the half-plane left of the line from (0,1) to (1,0):
+        // that is the lower-left triangle x + y <= 1.
+        let out = clip_halfplane(&unit_square(), p(0.0, 1.0), p(1.0, 0.0));
+        assert!((area(&out) - 0.5).abs() < 1e-12);
+        // Reversed direction keeps the other half.
+        let out2 = clip_halfplane(&unit_square(), p(1.0, 0.0), p(0.0, 1.0));
+        assert!((area(&out2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_rect_window() {
+        let big = vec![p(-1.0, -1.0), p(3.0, -1.0), p(3.0, 3.0), p(-1.0, 3.0)];
+        let window = Rect::new(p(0.0, 0.0), p(1.0, 1.0));
+        let out = clip_rect(&big, &window);
+        assert!((area(&out) - 1.0).abs() < 1e-12);
+        // Disjoint polygon clips to nothing.
+        let off = vec![p(5.0, 5.0), p(6.0, 5.0), p(6.0, 6.0)];
+        assert!(clip_rect(&off, &window).is_empty());
+    }
+
+    #[test]
+    fn bisector_keeps_generator_side() {
+        let gen = p(0.25, 0.5);
+        let other = p(0.75, 0.5);
+        let out = clip_bisector(&unit_square(), gen, other);
+        // Remaining region: x <= 0.5.
+        assert!((area(&out) - 0.5).abs() < 1e-12);
+        assert!(out.iter().all(|v| v.x <= 0.5 + 1e-12));
+        // Every remaining vertex is at least as close to gen as to other.
+        for &v in &out {
+            assert!(v.dist_sq(gen) <= v.dist_sq(other) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn successive_bisectors_form_cell() {
+        // Generator in the middle of four neighbours → cell is the centred
+        // half-unit square.
+        let gen = p(0.5, 0.5);
+        let neighbours = [p(0.0, 0.5), p(1.0, 0.5), p(0.5, 0.0), p(0.5, 1.0)];
+        let mut cell = unit_square();
+        for &q in &neighbours {
+            cell = clip_bisector(&cell, gen, q);
+        }
+        assert!((area(&cell) - 0.25).abs() < 1e-12);
+        let poly = Polygon::new_unchecked(cell);
+        assert!(poly.contains(gen));
+    }
+}

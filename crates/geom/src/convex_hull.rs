@@ -1,0 +1,137 @@
+//! Convex hulls via Andrew's monotone chain.
+
+use crate::point::Point;
+use crate::predicates::orient2d;
+
+/// Indices of the convex hull of `points`, in counter-clockwise order,
+/// starting from the lexicographically smallest point.
+///
+/// Collinear points on the hull boundary are **excluded** (strict hull).
+/// Duplicate points are handled; fewer than three distinct non-collinear
+/// points yield a degenerate hull of 1–2 indices.
+pub fn convex_hull_indices(points: &[Point]) -> Vec<usize> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| points[a].cmp_lex(&points[b]));
+    idx.dedup_by(|a, b| points[*a] == points[*b]);
+    let m = idx.len();
+    if m <= 2 {
+        return idx;
+    }
+
+    let mut hull: Vec<usize> = Vec::with_capacity(2 * m);
+    // Lower hull.
+    for &i in &idx {
+        while hull.len() >= 2
+            && orient2d(
+                points[hull[hull.len() - 2]],
+                points[hull[hull.len() - 1]],
+                points[i],
+            ) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(i);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &i in idx.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && orient2d(
+                points[hull[hull.len() - 2]],
+                points[hull[hull.len() - 1]],
+                points[i],
+            ) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(i);
+    }
+    hull.pop(); // last point equals the first
+    if hull.len() < 3 {
+        // All points collinear: return the two extremes.
+        hull.truncate(2);
+    }
+    hull
+}
+
+/// Hull vertices as points (see [`convex_hull_indices`]).
+pub fn convex_hull_points(points: &[Point]) -> Vec<Point> {
+    convex_hull_indices(points)
+        .into_iter()
+        .map(|i| points[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Polygon;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn square_with_interior_points() {
+        let pts = vec![
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(1.0, 1.0),
+            p(0.0, 1.0),
+            p(0.5, 0.5),
+            p(0.25, 0.75),
+        ];
+        let hull = convex_hull_indices(&pts);
+        assert_eq!(hull.len(), 4);
+        let hull_pts = convex_hull_points(&pts);
+        let poly = Polygon::new(hull_pts).unwrap();
+        assert!(poly.is_ccw());
+        assert!(poly.is_convex());
+        assert_eq!(poly.area(), 1.0);
+    }
+
+    #[test]
+    fn collinear_points_excluded() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0), p(1.0, 1.0)];
+        let hull = convex_hull_indices(&pts);
+        assert_eq!(hull.len(), 3);
+        assert!(!hull.contains(&1)); // the collinear midpoint
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull_indices(&[]).is_empty());
+        assert_eq!(convex_hull_indices(&[p(1.0, 1.0)]), vec![0]);
+        assert_eq!(convex_hull_indices(&[p(1.0, 1.0), p(2.0, 2.0)]).len(), 2);
+        // All collinear.
+        let line = vec![p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0), p(3.0, 3.0)];
+        let hull = convex_hull_indices(&line);
+        assert_eq!(hull.len(), 2);
+        assert!(hull.contains(&0) && hull.contains(&3));
+        // Duplicates.
+        let dups = vec![p(0.0, 0.0), p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)];
+        assert_eq!(convex_hull_indices(&dups).len(), 3);
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        // Deterministic pseudo-random points (LCG) — no rand dependency here.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let pts: Vec<Point> = (0..200).map(|_| p(next(), next())).collect();
+        let hull = convex_hull_points(&pts);
+        assert!(hull.len() >= 3);
+        let poly = Polygon::new(hull).unwrap();
+        assert!(poly.is_convex());
+        for &q in &pts {
+            assert!(poly.contains(q), "hull must contain {q}");
+        }
+    }
+}

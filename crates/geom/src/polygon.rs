@@ -1,0 +1,657 @@
+//! Simple polygons: the query areas of the paper.
+//!
+//! A [`Polygon`] is a closed region bounded by a simple (non-self-
+//! intersecting) ring of vertices. All containment semantics are **closed**:
+//! boundary points count as inside, matching the paper's definition of an
+//! area query ("all elements contained in a specified area").
+
+use crate::point::Point;
+use crate::predicates::orient2d;
+use crate::rect::Rect;
+use crate::segment::Segment;
+use crate::GeomError;
+
+/// A polygon given by its vertex ring (implicitly closed, no repeated
+/// first/last vertex). May be convex or concave; vertices may wind either
+/// way.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon, validating that it has at least three vertices,
+    /// all coordinates are finite, and its area is non-zero.
+    ///
+    /// Simplicity (non-self-intersection) is *not* verified here because the
+    /// check is `O(n²)`; call [`Polygon::is_simple`] when needed.
+    pub fn new(vertices: Vec<Point>) -> Result<Polygon, GeomError> {
+        if vertices.len() < 3 {
+            return Err(GeomError::TooFewVertices(vertices.len()));
+        }
+        if let Some(p) = vertices.iter().find(|p| !p.is_finite()) {
+            return Err(GeomError::NonFiniteCoordinate(*p));
+        }
+        let poly = Polygon { vertices };
+        if poly.signed_area() == 0.0 {
+            return Err(GeomError::DegeneratePolygon);
+        }
+        Ok(poly)
+    }
+
+    /// Creates a polygon without any validation.
+    ///
+    /// Useful for internal construction where the invariants are known to
+    /// hold (e.g. clipped Voronoi cells).
+    pub fn new_unchecked(vertices: Vec<Point>) -> Polygon {
+        Polygon { vertices }
+    }
+
+    /// The vertex ring.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` when the polygon has no vertices (only possible via
+    /// [`Polygon::new_unchecked`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Iterates over the boundary edges in ring order.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Signed area: positive for counter-clockwise winding (shoelace).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            sum += p.x * q.y - q.x * p.y;
+        }
+        sum / 2.0
+    }
+
+    /// Unsigned area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Boundary length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.length()).sum()
+    }
+
+    /// Area-weighted centroid. Falls back to the vertex average for
+    /// degenerate (zero-area) rings.
+    pub fn centroid(&self) -> Point {
+        let n = self.vertices.len();
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut a = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+            a += w;
+        }
+        if a.abs() < f64::MIN_POSITIVE {
+            let inv = 1.0 / n as f64;
+            let sum = self
+                .vertices
+                .iter()
+                .fold(Point::ORIGIN, |acc, &p| acc + p);
+            return sum * inv;
+        }
+        Point::new(cx / (3.0 * a), cy / (3.0 * a))
+    }
+
+    /// Minimum bounding rectangle of the polygon.
+    ///
+    /// This is the window the traditional filter step queries — the paper's
+    /// whole argument is about `area(MBR) ≫ area(polygon)`.
+    pub fn mbr(&self) -> Rect {
+        Rect::from_points(self.vertices.iter().copied())
+    }
+
+    /// `true` when the vertices wind counter-clockwise.
+    #[inline]
+    pub fn is_ccw(&self) -> bool {
+        self.signed_area() > 0.0
+    }
+
+    /// The polygon with reversed winding.
+    pub fn reversed(&self) -> Polygon {
+        let mut v = self.vertices.clone();
+        v.reverse();
+        Polygon { vertices: v }
+    }
+
+    /// `true` when `p` lies inside the polygon or exactly on its boundary.
+    ///
+    /// Robust crossing-number test: the straddle rule uses strict/non-strict
+    /// `y` comparisons so each crossing is counted exactly once, and all
+    /// sidedness decisions go through the exact [`orient2d`] predicate.
+    /// This is the `Contains(A, p)` primitive of the paper's Algorithm 1 and
+    /// of the traditional refine step.
+    pub fn contains(&self, p: Point) -> bool {
+        let n = self.vertices.len();
+        if n < 3 {
+            return false;
+        }
+        let mut inside = false;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[(i + 1) % n];
+            // Boundary check first: exact, and also catches horizontal edges
+            // that the straddle rule skips.
+            if Rect::new(vi, vj).contains_point(p) && orient2d(vi, vj, p) == 0.0 {
+                return true;
+            }
+            if (vi.y > p.y) != (vj.y > p.y) {
+                let o = orient2d(vi, vj, p);
+                // For an upward edge, a crossing to the right of p means p is
+                // strictly left of the directed edge; downward is symmetric.
+                if o != 0.0 && (o > 0.0) == (vj.y > vi.y) {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// `true` when `p` lies strictly inside (boundary excluded).
+    pub fn contains_strict(&self, p: Point) -> bool {
+        self.contains(p) && !self.on_boundary(p)
+    }
+
+    /// `true` when `p` lies exactly on the boundary ring.
+    pub fn on_boundary(&self, p: Point) -> bool {
+        self.edges().any(|e| e.contains_point(p))
+    }
+
+    /// `true` when the segment shares at least one point with the **closed
+    /// region** bounded by the polygon.
+    ///
+    /// This is the `Intersects(line, A)` primitive of Algorithm 1: a segment
+    /// intersects the area when it crosses/touches the boundary *or* lies
+    /// entirely inside.
+    pub fn intersects_segment(&self, s: &Segment) -> bool {
+        // Cheap reject: the segment's bbox must meet the polygon's MBR.
+        if !self.mbr().intersects(&s.bbox()) {
+            return false;
+        }
+        if self.contains(s.a) || self.contains(s.b) {
+            return true;
+        }
+        self.edges().any(|e| e.intersects(s))
+    }
+
+    /// `true` when the segment crosses or touches the polygon's **boundary
+    /// ring** (ignoring full containment).
+    ///
+    /// When one endpoint is already known to lie outside the polygon this
+    /// is equivalent to [`Polygon::intersects_segment`] — a segment from an
+    /// outside point shares a point with the closed region iff it reaches
+    /// the boundary — while skipping both containment tests. The Voronoi
+    /// area query's expansion step (where the popped point has just failed
+    /// the containment test) uses this fast path.
+    pub fn boundary_intersects_segment(&self, s: &Segment) -> bool {
+        if !self.mbr().intersects(&s.bbox()) {
+            return false;
+        }
+        self.edges().any(|e| e.intersects(s))
+    }
+
+    /// `true` when the closed rectangle and the closed polygon share a point.
+    pub fn intersects_rect(&self, r: &Rect) -> bool {
+        if r.is_empty() || !self.mbr().intersects(r) {
+            return false;
+        }
+        // Any polygon vertex inside the rect?
+        if self.vertices.iter().any(|&v| r.contains_point(v)) {
+            return true;
+        }
+        // Any rect corner inside the polygon (covers rect ⊂ polygon)?
+        if r.corners().iter().any(|&c| self.contains(c)) {
+            return true;
+        }
+        // Any boundary crossing?
+        let corners = r.corners();
+        (0..4).any(|i| {
+            let side = Segment::new(corners[i], corners[(i + 1) % 4]);
+            self.edges().any(|e| e.intersects(&side))
+        })
+    }
+
+    /// `true` when this polygon's closed region intersects another polygon's
+    /// closed region. `O(n·m)`; used by the cell expansion policy where one
+    /// operand is a small convex Voronoi cell.
+    pub fn intersects_polygon(&self, other: &Polygon) -> bool {
+        if other.is_empty() || self.is_empty() || !self.mbr().intersects(&other.mbr()) {
+            return false;
+        }
+        if other.vertices.iter().any(|&v| self.contains(v)) {
+            return true;
+        }
+        if self.vertices.iter().any(|&v| other.contains(v)) {
+            return true;
+        }
+        self.edges().any(|e| other.edges().any(|f| e.intersects(&f)))
+    }
+
+    /// `true` when no two non-adjacent edges intersect and adjacent edges
+    /// share only their common vertex. `O(n²)`.
+    pub fn is_simple(&self) -> bool {
+        let n = self.vertices.len();
+        if n < 3 {
+            return false;
+        }
+        let edges: Vec<Segment> = self.edges().collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let adjacent = j == i + 1 || (i == 0 && j == n - 1);
+                if adjacent {
+                    // Shared vertex only: the far endpoint of one edge must
+                    // not lie on the other edge.
+                    let (e, f) = (&edges[i], &edges[j]);
+                    let shared = if j == i + 1 { e.b } else { e.a };
+                    let e_far = if j == i + 1 { e.a } else { e.b };
+                    let f_far = if j == i + 1 { f.b } else { f.a };
+                    debug_assert!(
+                        (j == i + 1 && e.b == f.a) || (i == 0 && j == n - 1 && e.a == f.b)
+                    );
+                    let _ = shared;
+                    if e.contains_point(f_far) || f.contains_point(e_far) {
+                        return false;
+                    }
+                } else if edges[i].intersects(&edges[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` when all turns share one orientation (collinear runs allowed).
+    pub fn is_convex(&self) -> bool {
+        let n = self.vertices.len();
+        if n < 3 {
+            return false;
+        }
+        let mut saw_pos = false;
+        let mut saw_neg = false;
+        for i in 0..n {
+            let o = orient2d(
+                self.vertices[i],
+                self.vertices[(i + 1) % n],
+                self.vertices[(i + 2) % n],
+            );
+            if o > 0.0 {
+                saw_pos = true;
+            } else if o < 0.0 {
+                saw_neg = true;
+            }
+            if saw_pos && saw_neg {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The polygon translated by `(dx, dy)`.
+    pub fn translated(&self, dx: f64, dy: f64) -> Polygon {
+        Polygon {
+            vertices: self
+                .vertices
+                .iter()
+                .map(|&p| Point::new(p.x + dx, p.y + dy))
+                .collect(),
+        }
+    }
+
+    /// The polygon scaled by `factor` about `about`.
+    pub fn scaled(&self, factor: f64, about: Point) -> Polygon {
+        Polygon {
+            vertices: self
+                .vertices
+                .iter()
+                .map(|&p| about + (p - about) * factor)
+                .collect(),
+        }
+    }
+
+    /// A point guaranteed to lie strictly inside the polygon.
+    ///
+    /// Used as the "arbitrary position in A" from which Algorithm 1 seeds
+    /// its nearest-neighbour query. The centroid of a concave polygon can
+    /// fall outside it, so this uses the classic representative-point
+    /// construction: cast a horizontal line at a height that avoids every
+    /// vertex, and take the midpoint of the first inside-span.
+    pub fn interior_point(&self) -> Point {
+        let c = self.centroid();
+        if self.contains_strict(c) {
+            return c;
+        }
+        // Choose a scan height strictly between two distinct vertex ys,
+        // as close to the middle of the y-extent as possible.
+        let mut ys: Vec<f64> = self.vertices.iter().map(|p| p.y).collect();
+        ys.sort_by(f64::total_cmp);
+        ys.dedup();
+        debug_assert!(ys.len() >= 2, "validated polygons have positive area");
+        let mid = (ys[0] + ys[ys.len() - 1]) / 2.0;
+        // Pick the gap [ys[k], ys[k+1]) containing (or nearest to) mid.
+        let mut best = (f64::INFINITY, 0usize);
+        for k in 0..ys.len() - 1 {
+            let g = (ys[k] + ys[k + 1]) / 2.0;
+            let d = (g - mid).abs();
+            if ys[k + 1] > ys[k] && d < best.0 {
+                best = (d, k);
+            }
+        }
+        let y = (ys[best.1] + ys[best.1 + 1]) / 2.0;
+        // Collect x-crossings of the horizontal line at y. Because y avoids
+        // every vertex, each straddling edge crosses exactly once.
+        let mut xs: Vec<f64> = Vec::new();
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if (a.y > y) != (b.y > y) {
+                xs.push(a.x + (b.x - a.x) * (y - a.y) / (b.y - a.y));
+            }
+        }
+        xs.sort_by(f64::total_cmp);
+        debug_assert!(xs.len() >= 2 && xs.len() % 2 == 0);
+        // Midpoint of the widest inside-span for numerical headroom.
+        let mut best_span = (xs[0], xs[1]);
+        let mut best_w = xs[1] - xs[0];
+        for k in (0..xs.len() - 1).step_by(2) {
+            let w = xs[k + 1] - xs[k];
+            if w > best_w {
+                best_w = w;
+                best_span = (xs[k], xs[k + 1]);
+            }
+        }
+        Point::new((best_span.0 + best_span.1) / 2.0, y)
+    }
+
+    /// Winding number of `p` — a slower containment oracle used by tests.
+    /// Non-zero winding means inside (for simple polygons this agrees with
+    /// the crossing-number rule except exactly on the boundary).
+    pub fn winding_number(&self, p: Point) -> i32 {
+        let n = self.vertices.len();
+        let mut wn = 0i32;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if a.y <= p.y {
+                if b.y > p.y && orient2d(a, b, p) > 0.0 {
+                    wn += 1;
+                }
+            } else if b.y <= p.y && orient2d(a, b, p) < 0.0 {
+                wn -= 1;
+            }
+        }
+        wn
+    }
+}
+
+impl From<Rect> for Polygon {
+    fn from(r: Rect) -> Polygon {
+        Polygon {
+            vertices: r.corners().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn square() -> Polygon {
+        Polygon::new(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)]).unwrap()
+    }
+
+    /// Concave "L" shape.
+    fn ell() -> Polygon {
+        Polygon::new(vec![
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 1.0),
+            p(1.0, 1.0),
+            p(1.0, 4.0),
+            p(0.0, 4.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(matches!(
+            Polygon::new(vec![p(0.0, 0.0), p(1.0, 1.0)]),
+            Err(GeomError::TooFewVertices(2))
+        ));
+        assert!(matches!(
+            Polygon::new(vec![p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)]),
+            Err(GeomError::DegeneratePolygon)
+        ));
+        assert!(matches!(
+            Polygon::new(vec![p(0.0, 0.0), p(1.0, f64::NAN), p(2.0, 0.0)]),
+            Err(GeomError::NonFiniteCoordinate(_))
+        ));
+        assert!(square().is_simple());
+    }
+
+    #[test]
+    fn areas_and_winding() {
+        let sq = square();
+        assert_eq!(sq.area(), 16.0);
+        assert!(sq.is_ccw());
+        assert!(!sq.reversed().is_ccw());
+        assert_eq!(sq.reversed().area(), 16.0);
+        assert_eq!(ell().area(), 7.0);
+        assert_eq!(sq.perimeter(), 16.0);
+    }
+
+    #[test]
+    fn centroid_square() {
+        assert!(square().centroid().approx_eq(p(2.0, 2.0), 1e-12));
+        // Winding direction must not change the centroid.
+        assert!(square().reversed().centroid().approx_eq(p(2.0, 2.0), 1e-12));
+    }
+
+    #[test]
+    fn mbr_of_ell() {
+        let b = ell().mbr();
+        assert_eq!(b.min, p(0.0, 0.0));
+        assert_eq!(b.max, p(4.0, 4.0));
+        // The crux of the paper: MBR area (16) ≫ polygon area (7).
+        assert!(b.area() > 2.0 * ell().area());
+    }
+
+    #[test]
+    fn contains_convex() {
+        let sq = square();
+        assert!(sq.contains(p(2.0, 2.0)));
+        assert!(sq.contains(p(0.0, 0.0))); // vertex
+        assert!(sq.contains(p(2.0, 0.0))); // edge
+        assert!(sq.contains(p(4.0, 4.0)));
+        assert!(!sq.contains(p(4.0 + 1e-12, 2.0)));
+        assert!(!sq.contains(p(-1.0, 2.0)));
+    }
+
+    #[test]
+    fn contains_concave() {
+        let l = ell();
+        assert!(l.contains(p(0.5, 3.0))); // vertical arm
+        assert!(l.contains(p(3.0, 0.5))); // horizontal arm
+        assert!(!l.contains(p(2.0, 2.0))); // the notch
+        assert!(l.contains(p(1.0, 1.0))); // reflex vertex
+        assert!(l.contains(p(2.0, 1.0))); // notch edge
+        assert!(!l.contains(p(2.0, 1.0 + 1e-12)));
+    }
+
+    #[test]
+    fn contains_agrees_for_both_windings() {
+        let l = ell();
+        let r = l.reversed();
+        let probes = [
+            p(0.5, 3.0),
+            p(3.0, 0.5),
+            p(2.0, 2.0),
+            p(1.0, 1.0),
+            p(-0.5, 0.5),
+            p(0.0, 2.0),
+        ];
+        for q in probes {
+            assert_eq!(l.contains(q), r.contains(q), "probe {q}");
+        }
+    }
+
+    #[test]
+    fn strict_vs_closed_containment() {
+        let sq = square();
+        assert!(sq.contains(p(0.0, 2.0)));
+        assert!(!sq.contains_strict(p(0.0, 2.0)));
+        assert!(sq.contains_strict(p(2.0, 2.0)));
+        assert!(sq.on_boundary(p(0.0, 2.0)));
+        assert!(!sq.on_boundary(p(2.0, 2.0)));
+    }
+
+    #[test]
+    fn segment_intersection_closed_region() {
+        let sq = square();
+        // Fully inside.
+        assert!(sq.intersects_segment(&Segment::new(p(1.0, 1.0), p(2.0, 2.0))));
+        // Crossing.
+        assert!(sq.intersects_segment(&Segment::new(p(-1.0, 2.0), p(5.0, 2.0))));
+        // Touching a vertex from outside.
+        assert!(sq.intersects_segment(&Segment::new(p(-1.0, -1.0), p(0.0, 0.0))));
+        // Fully outside.
+        assert!(!sq.intersects_segment(&Segment::new(p(5.0, 5.0), p(6.0, 5.0))));
+        // Outside the notch of the L: endpoints outside, no crossing.
+        assert!(!ell().intersects_segment(&Segment::new(p(2.0, 2.0), p(3.0, 3.0))));
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let l = ell();
+        assert!(l.intersects_rect(&Rect::new(p(0.0, 0.0), p(0.5, 0.5))));
+        // Rect fully in the notch: MBRs overlap but regions don't.
+        assert!(!l.intersects_rect(&Rect::new(p(2.0, 2.0), p(3.5, 3.5))));
+        // Rect containing the whole polygon.
+        assert!(l.intersects_rect(&Rect::new(p(-1.0, -1.0), p(5.0, 5.0))));
+        assert!(!l.intersects_rect(&Rect::new(p(10.0, 10.0), p(11.0, 11.0))));
+    }
+
+    #[test]
+    fn polygon_polygon_intersection() {
+        let sq = square();
+        let shifted = sq.translated(3.0, 3.0);
+        assert!(sq.intersects_polygon(&shifted));
+        let far = sq.translated(10.0, 0.0);
+        assert!(!sq.intersects_polygon(&far));
+        // Nested polygons intersect.
+        let inner = sq.scaled(0.25, p(2.0, 2.0));
+        assert!(sq.intersects_polygon(&inner));
+        assert!(inner.intersects_polygon(&sq));
+    }
+
+    #[test]
+    fn simplicity_detection() {
+        assert!(square().is_simple());
+        assert!(ell().is_simple());
+        // Bowtie. Its signed area is exactly zero (the two lobes cancel), so
+        // `Polygon::new` would reject it as degenerate; bypass validation.
+        let bow = Polygon::new_unchecked(vec![p(0.0, 0.0), p(2.0, 2.0), p(2.0, 0.0), p(0.0, 2.0)]);
+        assert!(!bow.is_simple());
+        // An asymmetric bowtie has nonzero signed area and passes validation,
+        // but is still non-simple.
+        let bow2 =
+            Polygon::new(vec![p(0.0, 0.0), p(4.0, 3.0), p(4.0, 0.0), p(0.0, 2.0)]).unwrap();
+        assert!(!bow2.is_simple());
+    }
+
+    #[test]
+    fn convexity() {
+        assert!(square().is_convex());
+        assert!(!ell().is_convex());
+        assert!(square().reversed().is_convex());
+    }
+
+    #[test]
+    fn interior_point_inside() {
+        // Concave polygon whose centroid falls in the notch: a "U" shape.
+        let u = Polygon::new(vec![
+            p(0.0, 0.0),
+            p(5.0, 0.0),
+            p(5.0, 5.0),
+            p(4.0, 5.0),
+            p(4.0, 1.0),
+            p(1.0, 1.0),
+            p(1.0, 5.0),
+            p(0.0, 5.0),
+        ])
+        .unwrap();
+        let ip = u.interior_point();
+        assert!(u.contains_strict(ip), "got {ip}");
+        assert!(square().contains_strict(square().interior_point()));
+        assert!(ell().contains_strict(ell().interior_point()));
+    }
+
+    #[test]
+    fn winding_number_oracle_agrees() {
+        let l = ell();
+        for q in [
+            p(0.5, 0.5),
+            p(3.5, 0.5),
+            p(2.0, 2.0),
+            p(-1.0, 0.5),
+            p(0.5, 3.9),
+        ] {
+            let by_crossing = l.contains(q) && !l.on_boundary(q);
+            let by_winding = l.winding_number(q) != 0;
+            assert_eq!(by_crossing, by_winding, "probe {q}");
+        }
+    }
+
+    #[test]
+    fn from_rect() {
+        let poly: Polygon = Rect::new(p(0.0, 0.0), p(2.0, 1.0)).into();
+        assert_eq!(poly.area(), 2.0);
+        assert!(poly.is_ccw());
+        assert!(poly.is_convex());
+    }
+
+    #[test]
+    fn scaled_and_translated() {
+        let sq = square();
+        let t = sq.translated(1.0, 2.0);
+        assert_eq!(t.mbr().min, p(1.0, 2.0));
+        let s = sq.scaled(0.5, p(0.0, 0.0));
+        assert_eq!(s.area(), 4.0);
+    }
+}

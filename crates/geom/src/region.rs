@@ -1,0 +1,282 @@
+//! Regions: polygons with holes.
+//!
+//! The paper evaluates on simple polygons, but real GIS query areas
+//! routinely carry holes (a district minus its lakes). The area-query
+//! algorithms extend to regions directly: containment is
+//! outer-minus-holes, and boundary tests range over every ring. The
+//! region's interior stays **connected** as long as no hole touches the
+//! outer ring or another hole, so the connectivity lemma behind the
+//! Voronoi method's BFS continues to hold.
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+use crate::segment::Segment;
+use crate::GeomError;
+
+/// A polygon with zero or more holes.
+///
+/// Containment semantics: a point is inside the region when it is inside
+/// the closed outer ring and not strictly inside any hole — points **on a
+/// hole's boundary belong to the region** (the region is a closed set).
+#[derive(Clone, Debug)]
+pub struct Region {
+    outer: Polygon,
+    holes: Vec<Polygon>,
+}
+
+impl Region {
+    /// Creates a region from an outer ring and holes.
+    ///
+    /// Each ring is validated as a polygon. Holes are expected to lie
+    /// inside the outer ring and be pairwise disjoint; this is the
+    /// caller's contract (checking it exactly is `O(n²)` — use
+    /// [`Region::validate_nesting`] when unsure).
+    pub fn new(outer: Polygon, holes: Vec<Polygon>) -> Region {
+        Region { outer, holes }
+    }
+
+    /// Creates a region from vertex rings, validating each ring.
+    pub fn from_rings(
+        outer: Vec<Point>,
+        holes: Vec<Vec<Point>>,
+    ) -> Result<Region, GeomError> {
+        let outer = Polygon::new(outer)?;
+        let holes = holes.into_iter().map(Polygon::new).collect::<Result<_, _>>()?;
+        Ok(Region { outer, holes })
+    }
+
+    /// A region without holes.
+    pub fn from_polygon(outer: Polygon) -> Region {
+        Region {
+            outer,
+            holes: Vec::new(),
+        }
+    }
+
+    /// The outer ring.
+    pub fn outer(&self) -> &Polygon {
+        &self.outer
+    }
+
+    /// The hole rings.
+    pub fn holes(&self) -> &[Polygon] {
+        &self.holes
+    }
+
+    /// Checks the nesting contract: every hole inside the outer ring,
+    /// holes pairwise disjoint. `O(total² )`; intended for input
+    /// validation at system boundaries.
+    pub fn validate_nesting(&self) -> Result<(), String> {
+        for (i, h) in self.holes.iter().enumerate() {
+            if !h.vertices().iter().all(|&v| self.outer.contains(v))
+                || h.edges().any(|e| self.outer.edges().any(|o| e.intersects_properly(&o)))
+            {
+                return Err(format!("hole {i} is not inside the outer ring"));
+            }
+            for (j, g) in self.holes.iter().enumerate().skip(i + 1) {
+                if h.intersects_polygon(g) {
+                    return Err(format!("holes {i} and {j} overlap"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// MBR of the region (the outer ring's MBR).
+    pub fn mbr(&self) -> Rect {
+        self.outer.mbr()
+    }
+
+    /// Area of the region: outer minus holes.
+    pub fn area(&self) -> f64 {
+        self.outer.area() - self.holes.iter().map(Polygon::area).sum::<f64>()
+    }
+
+    /// `true` when `p` is in the closed region: inside (or on) the outer
+    /// ring and not strictly inside any hole.
+    pub fn contains(&self, p: Point) -> bool {
+        self.outer.contains(p) && !self.holes.iter().any(|h| h.contains_strict(p))
+    }
+
+    /// `true` when the segment crosses or touches any ring of the region's
+    /// boundary.
+    pub fn boundary_intersects_segment(&self, s: &Segment) -> bool {
+        self.outer.boundary_intersects_segment(s)
+            || self.holes.iter().any(|h| h.boundary_intersects_segment(s))
+    }
+
+    /// `true` when the segment shares at least one point with the closed
+    /// region.
+    pub fn intersects_segment(&self, s: &Segment) -> bool {
+        self.contains(s.a) || self.contains(s.b) || self.boundary_intersects_segment(s)
+    }
+
+    /// `true` when the closed region and `poly`'s closed area share a
+    /// point.
+    pub fn intersects_polygon(&self, poly: &Polygon) -> bool {
+        if !self.outer.intersects_polygon(poly) {
+            return false;
+        }
+        // They overlap through the outer ring; the overlap misses the
+        // region only if poly sits strictly inside one hole.
+        !self.holes.iter().any(|h| {
+            poly.vertices().iter().all(|&v| h.contains_strict(v))
+                && !poly.edges().any(|e| h.boundary_intersects_segment(&e))
+        })
+    }
+
+    /// A point guaranteed to lie inside the region.
+    ///
+    /// Probes the outer ring's interior point first, then deterministic
+    /// points along outer-ring diagonals until one avoids all holes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the region has effectively no interior (holes cover the
+    /// outer ring), which violates the construction contract.
+    pub fn interior_point(&self) -> Point {
+        let candidate = self.outer.interior_point();
+        if self.contains_strictly_between_rings(candidate) {
+            return candidate;
+        }
+        // The candidate fell inside a hole. Probe along the segments from
+        // it towards each outer vertex and edge midpoint, at parameters
+        // biased to both ends (a centred hole is escaped near the outer
+        // ring; a rim hole near the candidate).
+        let mut targets: Vec<Point> = self.outer.vertices().to_vec();
+        targets.extend(self.outer.edges().map(|e| e.midpoint()));
+        for depth in 1..12 {
+            let t0 = 1.0 / f64::from(1 << depth);
+            for &t in &[t0, 1.0 - t0] {
+                for &v in &targets {
+                    let probe = candidate.lerp(v, t);
+                    if self.contains_strictly_between_rings(probe) {
+                        return probe;
+                    }
+                }
+            }
+        }
+        panic!("region has no discoverable interior (holes cover the outer ring?)");
+    }
+
+    /// Interior test that also rejects hole boundaries (a seed point on a
+    /// hole edge is legal but fragile; prefer strictly interior).
+    fn contains_strictly_between_rings(&self, p: Point) -> bool {
+        self.outer.contains_strict(p) && !self.holes.iter().any(|h| h.contains(p))
+    }
+}
+
+impl From<Polygon> for Region {
+    fn from(outer: Polygon) -> Region {
+        Region::from_polygon(outer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn square(cx: f64, cy: f64, half: f64) -> Polygon {
+        Polygon::new(vec![
+            p(cx - half, cy - half),
+            p(cx + half, cy - half),
+            p(cx + half, cy + half),
+            p(cx - half, cy + half),
+        ])
+        .unwrap()
+    }
+
+    fn donut() -> Region {
+        Region::new(square(0.5, 0.5, 0.4), vec![square(0.5, 0.5, 0.2)])
+    }
+
+    #[test]
+    fn containment_excludes_hole_interiors() {
+        let r = donut();
+        assert!(r.contains(p(0.15, 0.5)), "in the ring");
+        assert!(!r.contains(p(0.5, 0.5)), "hole centre excluded");
+        assert!(!r.contains(p(0.95, 0.95)), "outside the outer ring");
+        // Closed semantics: both boundaries belong to the region.
+        assert!(r.contains(p(0.1, 0.5)), "outer boundary");
+        assert!(r.contains(p(0.3, 0.5)), "hole boundary");
+    }
+
+    #[test]
+    fn area_subtracts_holes() {
+        let r = donut();
+        assert!((r.area() - (0.64 - 0.16)).abs() < 1e-12);
+        assert_eq!(r.mbr(), square(0.5, 0.5, 0.4).mbr());
+    }
+
+    #[test]
+    fn segment_tests_see_hole_boundaries() {
+        let r = donut();
+        // A segment inside the hole, not touching its boundary: misses.
+        let inside_hole = Segment::new(p(0.45, 0.5), p(0.55, 0.5));
+        assert!(!r.intersects_segment(&inside_hole));
+        // A segment crossing from the hole into the ring: hits.
+        let crossing = Segment::new(p(0.5, 0.5), p(0.15, 0.5));
+        assert!(r.intersects_segment(&crossing));
+        assert!(r.boundary_intersects_segment(&crossing));
+        // A segment entirely in the ring: hits (endpoint containment).
+        let ring_seg = Segment::new(p(0.15, 0.45), p(0.15, 0.55));
+        assert!(r.intersects_segment(&ring_seg));
+        assert!(!r.boundary_intersects_segment(&ring_seg));
+    }
+
+    #[test]
+    fn polygon_intersection_respects_holes() {
+        let r = donut();
+        // A polygon strictly inside the hole does not meet the region.
+        assert!(!r.intersects_polygon(&square(0.5, 0.5, 0.05)));
+        // One that pokes out of the hole does.
+        assert!(r.intersects_polygon(&square(0.5, 0.5, 0.25)));
+        // One in the ring does.
+        assert!(r.intersects_polygon(&square(0.15, 0.5, 0.04)));
+        // One entirely outside does not.
+        assert!(!r.intersects_polygon(&square(2.0, 2.0, 0.1)));
+    }
+
+    #[test]
+    fn interior_point_avoids_holes() {
+        let r = donut();
+        let ip = r.interior_point();
+        assert!(r.contains(ip));
+        assert!(!square(0.5, 0.5, 0.2).contains(ip), "must not be in the hole");
+        // A region without holes just returns the polygon's interior point.
+        let plain = Region::from_polygon(square(0.2, 0.2, 0.1));
+        assert!(plain.contains(plain.interior_point()));
+    }
+
+    #[test]
+    fn nesting_validation() {
+        assert!(donut().validate_nesting().is_ok());
+        // Hole outside the outer ring.
+        let bad = Region::new(square(0.5, 0.5, 0.2), vec![square(2.0, 2.0, 0.1)]);
+        assert!(bad.validate_nesting().is_err());
+        // Overlapping holes.
+        let bad = Region::new(
+            square(0.5, 0.5, 0.4),
+            vec![square(0.45, 0.5, 0.1), square(0.55, 0.5, 0.1)],
+        );
+        assert!(bad.validate_nesting().is_err());
+    }
+
+    #[test]
+    fn multiple_holes() {
+        let r = Region::new(
+            square(0.5, 0.5, 0.45),
+            vec![square(0.3, 0.3, 0.08), square(0.7, 0.7, 0.08)],
+        );
+        assert!(r.validate_nesting().is_ok());
+        assert!(!r.contains(p(0.3, 0.3)));
+        assert!(!r.contains(p(0.7, 0.7)));
+        assert!(r.contains(p(0.3, 0.7)));
+        assert!((r.area() - (0.81 - 2.0 * 0.0256)).abs() < 1e-9);
+    }
+}

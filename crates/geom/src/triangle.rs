@@ -1,0 +1,111 @@
+//! Triangle utilities: circumcircles, areas, containment.
+
+use crate::point::Point;
+use crate::predicates::orient2d;
+
+/// Twice the signed area of the triangle `(a, b, c)` — positive when CCW.
+///
+/// This is the *exact-sign* value from [`orient2d`]; its magnitude is an
+/// ordinary floating-point approximation.
+#[inline]
+pub fn signed_area2(a: Point, b: Point, c: Point) -> f64 {
+    orient2d(a, b, c)
+}
+
+/// Unsigned area of the triangle `(a, b, c)`.
+#[inline]
+pub fn area(a: Point, b: Point, c: Point) -> f64 {
+    signed_area2(a, b, c).abs() / 2.0
+}
+
+/// Circumcentre of the triangle `(a, b, c)`.
+///
+/// Returns `None` when the points are exactly collinear (no circumcircle).
+/// Computed relative to `a` for better conditioning.
+pub fn circumcenter(a: Point, b: Point, c: Point) -> Option<Point> {
+    if orient2d(a, b, c) == 0.0 {
+        return None;
+    }
+    let abx = b.x - a.x;
+    let aby = b.y - a.y;
+    let acx = c.x - a.x;
+    let acy = c.y - a.y;
+    let d = 2.0 * (abx * acy - aby * acx);
+    let ab_sq = abx * abx + aby * aby;
+    let ac_sq = acx * acx + acy * acy;
+    let ux = (acy * ab_sq - aby * ac_sq) / d;
+    let uy = (abx * ac_sq - acx * ab_sq) / d;
+    Some(Point::new(a.x + ux, a.y + uy))
+}
+
+/// Squared circumradius of the triangle `(a, b, c)`, or `None` if collinear.
+pub fn circumradius_sq(a: Point, b: Point, c: Point) -> Option<f64> {
+    circumcenter(a, b, c).map(|o| o.dist_sq(a))
+}
+
+/// `true` when `p` lies inside or on the boundary of the triangle `(a, b, c)`.
+///
+/// Works for both orientations of the triangle; exact on boundaries.
+pub fn contains(a: Point, b: Point, c: Point, p: Point) -> bool {
+    let d1 = orient2d(a, b, p);
+    let d2 = orient2d(b, c, p);
+    let d3 = orient2d(c, a, p);
+    let has_neg = d1 < 0.0 || d2 < 0.0 || d3 < 0.0;
+    let has_pos = d1 > 0.0 || d2 > 0.0 || d3 > 0.0;
+    !(has_neg && has_pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn area_and_orientation() {
+        let (a, b, c) = (p(0.0, 0.0), p(4.0, 0.0), p(0.0, 3.0));
+        assert_eq!(area(a, b, c), 6.0);
+        assert!(signed_area2(a, b, c) > 0.0);
+        assert!(signed_area2(a, c, b) < 0.0);
+        assert_eq!(area(a, b, p(8.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn circumcenter_right_triangle() {
+        // Circumcentre of a right triangle is the hypotenuse midpoint.
+        let o = circumcenter(p(0.0, 0.0), p(4.0, 0.0), p(0.0, 3.0)).unwrap();
+        assert!(o.approx_eq(p(2.0, 1.5), 1e-12));
+        let r_sq = circumradius_sq(p(0.0, 0.0), p(4.0, 0.0), p(0.0, 3.0)).unwrap();
+        assert!((r_sq - 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circumcenter_equidistant() {
+        let (a, b, c) = (p(1.3, 2.7), p(-4.1, 0.2), p(2.2, -3.3));
+        let o = circumcenter(a, b, c).unwrap();
+        let (da, db, dc) = (o.dist(a), o.dist(b), o.dist(c));
+        assert!((da - db).abs() < 1e-9);
+        assert!((db - dc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circumcenter_collinear_is_none() {
+        assert!(circumcenter(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)).is_none());
+    }
+
+    #[test]
+    fn containment_closed() {
+        let (a, b, c) = (p(0.0, 0.0), p(4.0, 0.0), p(0.0, 4.0));
+        assert!(contains(a, b, c, p(1.0, 1.0))); // interior
+        assert!(contains(a, b, c, p(2.0, 0.0))); // edge
+        assert!(contains(a, b, c, p(0.0, 0.0))); // vertex
+        assert!(contains(a, b, c, p(2.0, 2.0))); // hypotenuse
+        assert!(!contains(a, b, c, p(3.0, 3.0)));
+        assert!(!contains(a, b, c, p(-0.1, 1.0)));
+        // Same answers for the CW orientation.
+        assert!(contains(a, c, b, p(1.0, 1.0)));
+        assert!(!contains(a, c, b, p(3.0, 3.0)));
+    }
+}

@@ -1,0 +1,292 @@
+//! Property-based tests for the geometry kernel: the robust predicates
+//! against exact integer arithmetic, containment against a winding-number
+//! oracle, and the algebraic symmetries every primitive must satisfy.
+
+use proptest::prelude::*;
+use vaq_geom::{
+    clip_bisector, clip_halfplane, convex_hull_points, incircle, orient2d, Point, Polygon, Rect,
+    Segment,
+};
+
+fn pt(x: f64, y: f64) -> Point {
+    Point::new(x, y)
+}
+
+/// Three-way sign of an f64 (`f64::signum` maps ±0 to ±1, which is wrong
+/// for predicate comparisons).
+fn sign(x: f64) -> i32 {
+    if x > 0.0 {
+        1
+    } else if x < 0.0 {
+        -1
+    } else {
+        0
+    }
+}
+
+/// Exact orientation sign over integer coordinates via i128 arithmetic.
+fn exact_orient_sign(ax: i64, ay: i64, bx: i64, by: i64, cx: i64, cy: i64) -> i32 {
+    let det = i128::from(bx - ax) * i128::from(cy - ay)
+        - i128::from(by - ay) * i128::from(cx - ax);
+    match det.cmp(&0) {
+        std::cmp::Ordering::Less => -1,
+        std::cmp::Ordering::Equal => 0,
+        std::cmp::Ordering::Greater => 1,
+    }
+}
+
+/// Winding-number containment oracle (non-zero rule; boundary handled
+/// separately). Independent implementation for cross-checking `contains`.
+fn winding_contains(poly: &Polygon, p: Point) -> bool {
+    if poly.on_boundary(p) {
+        return true;
+    }
+    poly.winding_number(p) != 0
+}
+
+/// Strategy: coordinates on a coarse integer grid — maximal degeneracy
+/// pressure (collinear triples, coincident points are common).
+fn grid_coord() -> impl Strategy<Value = i64> {
+    -8i64..9
+}
+
+/// Strategy: "nasty" float coordinates around 1.0 where rounding errors in
+/// naive determinants are likely.
+fn nasty_coord() -> impl Strategy<Value = f64> {
+    (0i32..400).prop_map(|k| 1.0 + f64::from(k) * f64::EPSILON * 3.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// orient2d must agree with exact integer arithmetic on grid points.
+    #[test]
+    fn orient2d_matches_exact_integers(
+        ax in grid_coord(), ay in grid_coord(),
+        bx in grid_coord(), by in grid_coord(),
+        cx in grid_coord(), cy in grid_coord(),
+    ) {
+        let got = orient2d(
+            pt(ax as f64, ay as f64),
+            pt(bx as f64, by as f64),
+            pt(cx as f64, cy as f64),
+        );
+        let want = exact_orient_sign(ax, ay, bx, by, cx, cy);
+        prop_assert_eq!(
+            sign(got),
+            want,
+            "orient2d sign mismatch at ({},{}) ({},{}) ({},{})",
+            ax, ay, bx, by, cx, cy
+        );
+    }
+
+    /// orient2d never reports a wrong *nonzero* sign on adversarial floats:
+    /// antisymmetry under operand swap is exact.
+    #[test]
+    fn orient2d_antisymmetry_on_nasty_floats(
+        ax in nasty_coord(), ay in nasty_coord(),
+        bx in nasty_coord(), by in nasty_coord(),
+        cx in nasty_coord(), cy in nasty_coord(),
+    ) {
+        let a = pt(ax, ay);
+        let b = pt(bx, by);
+        let c = pt(cx, cy);
+        let abc = orient2d(a, b, c);
+        let bca = orient2d(b, c, a);
+        let cab = orient2d(c, a, b);
+        let bac = orient2d(b, a, c);
+        // Cyclic permutations preserve the sign; a swap negates it.
+        prop_assert_eq!(sign(abc), sign(bca));
+        prop_assert_eq!(sign(abc), sign(cab));
+        prop_assert_eq!(sign(abc), -sign(bac));
+    }
+
+    /// incircle symmetry: cyclic permutations of the first three arguments
+    /// preserve the sign (they preserve orientation).
+    #[test]
+    fn incircle_cyclic_symmetry(
+        coords in proptest::array::uniform8(grid_coord()),
+    ) {
+        let [ax, ay, bx, by, cx, cy, dx, dy] = coords;
+        let a = pt(ax as f64, ay as f64);
+        let b = pt(bx as f64, by as f64);
+        let c = pt(cx as f64, cy as f64);
+        let d = pt(dx as f64, dy as f64);
+        let abc = incircle(a, b, c, d);
+        let bca = incircle(b, c, a, d);
+        let cab = incircle(c, a, b, d);
+        prop_assert_eq!(sign(abc), sign(bca));
+        prop_assert_eq!(sign(abc), sign(cab));
+    }
+
+    /// The circumcircle's defining points are *on* the circle: incircle of
+    /// any of the three defining points is exactly zero.
+    #[test]
+    fn incircle_of_defining_point_is_zero(
+        coords in proptest::array::uniform6(grid_coord()),
+    ) {
+        let [ax, ay, bx, by, cx, cy] = coords;
+        let a = pt(ax as f64, ay as f64);
+        let b = pt(bx as f64, by as f64);
+        let c = pt(cx as f64, cy as f64);
+        prop_assert_eq!(incircle(a, b, c, a), 0.0);
+        prop_assert_eq!(incircle(a, b, c, b), 0.0);
+        prop_assert_eq!(incircle(a, b, c, c), 0.0);
+    }
+
+    /// Segment intersection is symmetric and invariant under endpoint
+    /// reversal.
+    #[test]
+    fn segment_intersection_symmetries(
+        coords in proptest::array::uniform8(grid_coord()),
+    ) {
+        let [ax, ay, bx, by, cx, cy, dx, dy] = coords;
+        let s = Segment::new(pt(ax as f64, ay as f64), pt(bx as f64, by as f64));
+        let t = Segment::new(pt(cx as f64, cy as f64), pt(dx as f64, dy as f64));
+        let hit = s.intersects(&t);
+        prop_assert_eq!(hit, t.intersects(&s), "argument symmetry");
+        prop_assert_eq!(hit, s.reversed().intersects(&t), "reversal invariance");
+        prop_assert_eq!(hit, s.intersects(&t.reversed()));
+        // intersection_point is Some exactly when they intersect.
+        prop_assert_eq!(s.intersection_point(&t).is_some(), hit);
+    }
+
+    /// Shared-endpoint segments always intersect.
+    #[test]
+    fn segments_sharing_an_endpoint_intersect(
+        coords in proptest::array::uniform6(grid_coord()),
+    ) {
+        let [ax, ay, bx, by, cx, cy] = coords;
+        let a = pt(ax as f64, ay as f64);
+        let s = Segment::new(a, pt(bx as f64, by as f64));
+        let t = Segment::new(a, pt(cx as f64, cy as f64));
+        prop_assert!(s.intersects(&t));
+    }
+
+    /// `Polygon::contains` agrees with the independent winding-number
+    /// oracle on random star polygons and random probes.
+    #[test]
+    fn containment_matches_winding_oracle(
+        seed in 0u64..10_000,
+        probes in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 16),
+    ) {
+        // Deterministic star polygon from the seed.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut angles: Vec<f64> = (0..8).map(|_| next() * std::f64::consts::TAU).collect();
+        angles.sort_by(f64::total_cmp);
+        let verts: Vec<Point> = angles
+            .iter()
+            .map(|&t| pt(0.5 + (0.1 + 0.3 * next()) * t.cos(), 0.5 + (0.1 + 0.3 * next()) * t.sin()))
+            .collect();
+        let Ok(poly) = Polygon::new(verts) else { return Ok(()); };
+        for (x, y) in probes {
+            let p = pt(x, y);
+            let want = winding_contains(&poly, p);
+            prop_assert_eq!(poly.contains(p), want, "probe {}", p);
+        }
+    }
+
+    /// Convex hull: contains all inputs, is convex, and is invariant under
+    /// input permutation.
+    #[test]
+    fn convex_hull_invariants(
+        coords in proptest::collection::vec((grid_coord(), grid_coord()), 3..40),
+    ) {
+        let pts: Vec<Point> = coords.iter().map(|&(x, y)| pt(x as f64, y as f64)).collect();
+        let hull = convex_hull_points(&pts);
+        if hull.len() >= 3 {
+            let hull_poly = Polygon::new_unchecked(hull.clone());
+            prop_assert!(hull_poly.is_convex());
+            for &p in &pts {
+                prop_assert!(hull_poly.contains(p), "hull must contain {}", p);
+            }
+        }
+        // Permutation invariance (as a set of vertices).
+        let mut rev = pts.clone();
+        rev.reverse();
+        let mut h1: Vec<(u64, u64)> =
+            hull.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+        let mut h2: Vec<(u64, u64)> = convex_hull_points(&rev)
+            .iter()
+            .map(|p| (p.x.to_bits(), p.y.to_bits()))
+            .collect();
+        h1.sort_unstable();
+        h2.sort_unstable();
+        prop_assert_eq!(h1, h2);
+    }
+
+    /// Half-plane clipping never grows the area and is idempotent.
+    #[test]
+    fn clipping_shrinks_and_is_idempotent(
+        coords in proptest::array::uniform4(grid_coord()),
+    ) {
+        let [ax, ay, bx, by] = coords;
+        let a = pt(ax as f64, ay as f64);
+        let b = pt(bx as f64, by as f64);
+        prop_assume!(a != b);
+        let square = vec![pt(-10.0, -10.0), pt(10.0, -10.0), pt(10.0, 10.0), pt(-10.0, 10.0)];
+        let clipped = clip_halfplane(&square, a, b);
+        let area = |ring: &[Point]| {
+            if ring.len() < 3 { 0.0 } else { Polygon::new_unchecked(ring.to_vec()).area() }
+        };
+        prop_assert!(area(&clipped) <= area(&square) + 1e-9);
+        let twice = clip_halfplane(&clipped, a, b);
+        prop_assert!((area(&twice) - area(&clipped)).abs() < 1e-9, "idempotent");
+    }
+
+    /// Bisector clipping keeps exactly the generator's side: every vertex
+    /// of the clipped ring is at least as close to the generator.
+    #[test]
+    fn bisector_keeps_closer_side(
+        px in 0.0f64..1.0, py in 0.0f64..1.0,
+        qx in 0.0f64..1.0, qy in 0.0f64..1.0,
+    ) {
+        let p = pt(px, py);
+        let q = pt(qx, qy);
+        prop_assume!(p.dist_sq(q) > 1e-12);
+        let square = vec![pt(0.0, 0.0), pt(1.0, 0.0), pt(1.0, 1.0), pt(0.0, 1.0)];
+        let cell = clip_bisector(&square, p, q);
+        for v in &cell {
+            prop_assert!(v.dist_sq(p) <= v.dist_sq(q) + 1e-9);
+        }
+    }
+
+    /// Rect algebra: union contains both operands; intersection is
+    /// contained in both; `intersects` agrees with `intersection`.
+    #[test]
+    fn rect_algebra(
+        coords in proptest::array::uniform8(grid_coord()),
+    ) {
+        let [ax, ay, bx, by, cx, cy, dx, dy] = coords;
+        let r1 = Rect::new(pt(ax as f64, ay as f64), pt(bx as f64, by as f64));
+        let r2 = Rect::new(pt(cx as f64, cy as f64), pt(dx as f64, dy as f64));
+        let u = r1.union(&r2);
+        prop_assert!(u.contains_rect(&r1) && u.contains_rect(&r2));
+        match r1.intersection(&r2) {
+            Some(i) => {
+                prop_assert!(r1.intersects(&r2));
+                prop_assert!(r1.contains_rect(&i) && r2.contains_rect(&i));
+            }
+            None => prop_assert!(!r1.intersects(&r2)),
+        }
+    }
+
+    /// Polygon area is translation-invariant and scales quadratically.
+    #[test]
+    fn area_under_similarity_transforms(
+        seedx in -5i64..5, seedy in -5i64..5, scale in 1u32..5,
+    ) {
+        let tri = Polygon::new(vec![pt(0.0, 0.0), pt(4.0, 1.0), pt(1.0, 3.0)]).unwrap();
+        let moved = tri.translated(seedx as f64, seedy as f64);
+        prop_assert!((moved.area() - tri.area()).abs() < 1e-12);
+        let s = f64::from(scale);
+        let scaled = tri.scaled(s, pt(0.0, 0.0));
+        prop_assert!((scaled.area() - tri.area() * s * s).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,490 @@
+//! # vaq-quadtree — point-region (PR) quadtree
+//!
+//! A PR quadtree over 2-D points, used by the reproduction of *Area Queries
+//! Based on Voronoi Diagrams* (ICDE 2020) as an **ablation baseline** for
+//! the traditional method's window-query filter (the paper's related work
+//! lists quadtrees among the classical spatial indexes).
+//!
+//! A PR quadtree recursively subdivides a fixed square region into four
+//! quadrants; points live in leaf buckets of bounded capacity. Unlike the
+//! R-tree, the decomposition is space-driven, so duplicate points cannot be
+//! separated by subdivision — leaves at the maximum depth are allowed to
+//! overflow instead.
+//!
+//! ## Example
+//!
+//! ```
+//! use vaq_geom::{Point, Rect};
+//! use vaq_quadtree::Quadtree;
+//!
+//! let region = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+//! let mut qt = Quadtree::new(region);
+//! qt.insert(0, Point::new(0.1, 0.1)).unwrap();
+//! qt.insert(1, Point::new(0.9, 0.2)).unwrap();
+//! qt.insert(2, Point::new(0.5, 0.7)).unwrap();
+//! let mut hits = qt.window(&Rect::new(Point::new(0.0, 0.0), Point::new(0.6, 1.0)));
+//! hits.sort_unstable();
+//! assert_eq!(hits, vec![0, 2]);
+//! let (nn, _d2) = qt.nearest(Point::new(0.8, 0.3)).unwrap();
+//! assert_eq!(nn, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use vaq_geom::{Point, Rect};
+
+/// Default leaf bucket capacity.
+pub const DEFAULT_CAPACITY: usize = 16;
+
+/// Default maximum subdivision depth. With 30 levels the smallest quadrant
+/// side is `2⁻³⁰` of the region — beyond that duplicates-in-a-bucket is the
+/// sane behaviour.
+pub const DEFAULT_MAX_DEPTH: usize = 30;
+
+/// Error returned when inserting a point outside the tree's fixed region.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OutOfRegion {
+    /// The rejected point.
+    pub point: Point,
+}
+
+impl std::fmt::Display for OutOfRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "point {} lies outside the quadtree region", self.point)
+    }
+}
+
+impl std::error::Error for OutOfRegion {}
+
+enum Node {
+    /// Bucket of `(id, point)` pairs.
+    Leaf(Vec<(u32, Point)>),
+    /// Child node ids in quadrant order: [SW, SE, NW, NE].
+    Internal([u32; 4]),
+}
+
+/// A PR quadtree over a fixed square region.
+pub struct Quadtree {
+    nodes: Vec<Node>,
+    region: Rect,
+    capacity: usize,
+    max_depth: usize,
+    len: usize,
+}
+
+/// The quadrant of `p` within the rect centred at `(cx, cy)`:
+/// SW=0, SE=1, NW=2, NE=3. Points exactly on a split line go east/north
+/// (the `>=` side), which keeps insert and query decisions consistent.
+#[inline]
+fn quadrant(cx: f64, cy: f64, p: Point) -> usize {
+    usize::from(p.x >= cx) + 2 * usize::from(p.y >= cy)
+}
+
+/// The sub-rectangle of quadrant `q` of `r`.
+fn child_rect(r: &Rect, q: usize) -> Rect {
+    let c = r.center();
+    match q {
+        0 => Rect::new(r.min, c),
+        1 => Rect::new(Point::new(c.x, r.min.y), Point::new(r.max.x, c.y)),
+        2 => Rect::new(Point::new(r.min.x, c.y), Point::new(c.x, r.max.y)),
+        _ => Rect::new(c, r.max),
+    }
+}
+
+impl Quadtree {
+    /// Creates an empty tree covering `region` with default parameters.
+    pub fn new(region: Rect) -> Quadtree {
+        Quadtree::with_params(region, DEFAULT_CAPACITY, DEFAULT_MAX_DEPTH)
+    }
+
+    /// Creates an empty tree with explicit bucket capacity and depth limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or the region is empty.
+    pub fn with_params(region: Rect, capacity: usize, max_depth: usize) -> Quadtree {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(!region.is_empty(), "region must be non-empty");
+        Quadtree {
+            nodes: vec![Node::Leaf(Vec::new())],
+            region,
+            capacity,
+            max_depth,
+            len: 0,
+        }
+    }
+
+    /// Builds a tree over `points` (ids `0..n`), sizing the region to their
+    /// bounding box (expanded slightly so boundary points are interior).
+    pub fn bulk_load(points: &[Point]) -> Quadtree {
+        let bbox = if points.is_empty() {
+            Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+        } else {
+            let b = Rect::from_points(points.iter().copied());
+            let margin = (b.width().max(b.height()) * 1e-9).max(1e-12);
+            b.expand(margin)
+        };
+        let mut qt = Quadtree::new(bbox);
+        for (i, &p) in points.iter().enumerate() {
+            qt.insert(i as u32, p)
+                .expect("bbox contains every input point");
+        }
+        qt
+    }
+
+    /// The fixed region covered by the tree.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts point `p` with caller id `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfRegion`] when `p` is outside the tree's fixed region.
+    pub fn insert(&mut self, id: u32, p: Point) -> Result<(), OutOfRegion> {
+        if !self.region.contains_point(p) {
+            return Err(OutOfRegion { point: p });
+        }
+        let mut node = 0u32;
+        let mut rect = self.region;
+        let mut depth = 0usize;
+        loop {
+            match &mut self.nodes[node as usize] {
+                Node::Internal(children) => {
+                    let c = rect.center();
+                    let q = quadrant(c.x, c.y, p);
+                    node = children[q];
+                    rect = child_rect(&rect, q);
+                    depth += 1;
+                }
+                Node::Leaf(bucket) => {
+                    bucket.push((id, p));
+                    self.len += 1;
+                    if bucket.len() > self.capacity && depth < self.max_depth {
+                        self.split_leaf(node, &rect);
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Splits an over-capacity leaf into four children, redistributing its
+    /// bucket. If every point lands in one child (duplicates), the child
+    /// will split again on the next insert until `max_depth` stops it.
+    fn split_leaf(&mut self, node: u32, rect: &Rect) {
+        let bucket = match std::mem::replace(
+            &mut self.nodes[node as usize],
+            Node::Internal([0; 4]),
+        ) {
+            Node::Leaf(b) => b,
+            Node::Internal(_) => unreachable!("split_leaf called on internal node"),
+        };
+        let base = self.nodes.len() as u32;
+        for _ in 0..4 {
+            self.nodes.push(Node::Leaf(Vec::new()));
+        }
+        let c = rect.center();
+        for (id, p) in bucket {
+            let q = quadrant(c.x, c.y, p);
+            match &mut self.nodes[(base + q as u32) as usize] {
+                Node::Leaf(b) => b.push((id, p)),
+                Node::Internal(_) => unreachable!("children are fresh leaves"),
+            }
+        }
+        self.nodes[node as usize] = Node::Internal([base, base + 1, base + 2, base + 3]);
+    }
+
+    /// Ids of all points inside the closed rectangle `rect`.
+    pub fn window(&self, rect: &Rect) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.window_for_each(rect, |id| out.push(id));
+        out
+    }
+
+    /// Number of points inside `rect` without materialising them.
+    pub fn window_count(&self, rect: &Rect) -> usize {
+        let mut n = 0usize;
+        self.window_for_each(rect, |_| n += 1);
+        n
+    }
+
+    /// Visits the id of every point inside `rect`.
+    pub fn window_for_each<F: FnMut(u32)>(&self, rect: &Rect, mut f: F) {
+        let mut stack = vec![(0u32, self.region)];
+        while let Some((node, r)) = stack.pop() {
+            if !rect.intersects(&r) {
+                continue;
+            }
+            match &self.nodes[node as usize] {
+                Node::Leaf(bucket) => {
+                    for &(id, p) in bucket {
+                        if rect.contains_point(p) {
+                            f(id);
+                        }
+                    }
+                }
+                Node::Internal(children) => {
+                    for (q, &ch) in children.iter().enumerate() {
+                        stack.push((ch, child_rect(&r, q)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The nearest point to `q` as `(id, squared distance)`, or `None` for
+    /// an empty tree. Best-first search over quadrants.
+    pub fn nearest(&self, q: Point) -> Option<(u32, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        struct Item {
+            d: f64,
+            node: u32,
+            rect: Rect,
+        }
+        impl PartialEq for Item {
+            fn eq(&self, o: &Self) -> bool {
+                self.d == o.d
+            }
+        }
+        impl Eq for Item {}
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl Ord for Item {
+            fn cmp(&self, o: &Self) -> Ordering {
+                o.d.total_cmp(&self.d) // min-heap
+            }
+        }
+        let mut best: Option<(u32, f64)> = None;
+        let mut heap = BinaryHeap::new();
+        heap.push(Item {
+            d: self.region.min_dist_sq(q),
+            node: 0,
+            rect: self.region,
+        });
+        while let Some(Item { d, node, rect }) = heap.pop() {
+            if let Some((_, bd)) = best {
+                if d >= bd {
+                    break;
+                }
+            }
+            match &self.nodes[node as usize] {
+                Node::Leaf(bucket) => {
+                    for &(id, p) in bucket {
+                        let pd = p.dist_sq(q);
+                        if best.is_none_or(|(_, bd)| pd < bd) {
+                            best = Some((id, pd));
+                        }
+                    }
+                }
+                Node::Internal(children) => {
+                    for (qi, &ch) in children.iter().enumerate() {
+                        let cr = child_rect(&rect, qi);
+                        heap.push(Item {
+                            d: cr.min_dist_sq(q),
+                            node: ch,
+                            rect: cr,
+                        });
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Verifies that every point is stored in the leaf whose region
+    /// contains it and that internal nodes have no buckets. Test helper.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut count = 0usize;
+        let mut stack = vec![(0u32, self.region, 0usize)];
+        while let Some((node, r, depth)) = stack.pop() {
+            match &self.nodes[node as usize] {
+                Node::Leaf(bucket) => {
+                    count += bucket.len();
+                    if bucket.len() > self.capacity && depth < self.max_depth {
+                        return Err(format!(
+                            "leaf over capacity ({}) above max depth",
+                            bucket.len()
+                        ));
+                    }
+                    for &(id, p) in bucket {
+                        // A point on a split boundary belongs to the >= side;
+                        // containment in the closed rect is the weaker check
+                        // that must always hold.
+                        if !r.contains_point(p) {
+                            return Err(format!("point {id} at {p} outside its leaf rect"));
+                        }
+                    }
+                }
+                Node::Internal(children) => {
+                    for (q, &ch) in children.iter().enumerate() {
+                        stack.push((ch, child_rect(&r, q), depth + 1));
+                    }
+                }
+            }
+        }
+        if count != self.len {
+            return Err(format!("len {} but {} stored points", self.len, count));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+    }
+
+    fn brute_window(pts: &[Point], r: &Rect) -> Vec<u32> {
+        let mut v: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| r.contains_point(**q))
+            .map(|(i, _)| i as u32)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn reject_out_of_region() {
+        let mut qt = Quadtree::new(Rect::new(p(0.0, 0.0), p(1.0, 1.0)));
+        assert!(qt.insert(0, p(1.5, 0.5)).is_err());
+        assert!(qt.insert(0, p(0.5, 0.5)).is_ok());
+        assert_eq!(qt.len(), 1);
+    }
+
+    #[test]
+    fn quadrant_assignment_on_boundaries() {
+        // Points exactly on the centre lines go to the >= side.
+        assert_eq!(quadrant(0.5, 0.5, p(0.5, 0.5)), 3);
+        assert_eq!(quadrant(0.5, 0.5, p(0.5, 0.0)), 1);
+        assert_eq!(quadrant(0.5, 0.5, p(0.0, 0.5)), 2);
+        assert_eq!(quadrant(0.5, 0.5, p(0.0, 0.0)), 0);
+    }
+
+    #[test]
+    fn window_matches_brute_force() {
+        let pts = uniform(600, 51);
+        let qt = Quadtree::bulk_load(&pts);
+        qt.check_invariants().unwrap();
+        let mut rng = StdRng::seed_from_u64(52);
+        for _ in 0..100 {
+            let c = p(rng.gen::<f64>(), rng.gen::<f64>());
+            let r = Rect::from_center(c, rng.gen::<f64>() * 0.4, rng.gen::<f64>() * 0.4);
+            let mut got = qt.window(&r);
+            got.sort_unstable();
+            assert_eq!(got, brute_window(&pts, &r));
+            assert_eq!(qt.window_count(&r), got.len());
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = uniform(400, 53);
+        let qt = Quadtree::bulk_load(&pts);
+        let mut rng = StdRng::seed_from_u64(54);
+        for _ in 0..200 {
+            let q = p(rng.gen::<f64>() * 1.4 - 0.2, rng.gen::<f64>() * 1.4 - 0.2);
+            let (_, d) = qt.nearest(q).unwrap();
+            let want = pts.iter().map(|s| s.dist_sq(q)).fold(f64::INFINITY, f64::min);
+            assert_eq!(d, want, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn many_duplicates_do_not_split_forever() {
+        let mut qt = Quadtree::with_params(Rect::new(p(0.0, 0.0), p(1.0, 1.0)), 2, 8);
+        for i in 0..100 {
+            qt.insert(i, p(0.25, 0.25)).unwrap();
+        }
+        qt.check_invariants().unwrap();
+        assert_eq!(qt.len(), 100);
+        assert_eq!(
+            qt.window_count(&Rect::from_center(p(0.25, 0.25), 0.01, 0.01)),
+            100
+        );
+    }
+
+    #[test]
+    fn points_on_split_lines() {
+        // Centre of the region and quadrant corners: exercise >= routing.
+        let mut qt = Quadtree::with_params(Rect::new(p(0.0, 0.0), p(1.0, 1.0)), 1, 10);
+        let pts = [
+            p(0.5, 0.5),
+            p(0.5, 0.25),
+            p(0.25, 0.5),
+            p(0.75, 0.5),
+            p(0.5, 0.75),
+        ];
+        for (i, &q) in pts.iter().enumerate() {
+            qt.insert(i as u32, q).unwrap();
+        }
+        qt.check_invariants().unwrap();
+        let r = Rect::new(p(0.5, 0.0), p(1.0, 1.0));
+        let mut got = qt.window(&r);
+        got.sort_unstable();
+        assert_eq!(got, brute_window(&pts, &r));
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let qt = Quadtree::new(Rect::new(p(0.0, 0.0), p(1.0, 1.0)));
+        assert!(qt.is_empty());
+        assert!(qt.window(&Rect::new(p(0.0, 0.0), p(1.0, 1.0))).is_empty());
+        assert_eq!(qt.nearest(p(0.5, 0.5)), None);
+        assert_eq!(Quadtree::bulk_load(&[]).len(), 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_queries_match_brute(seed in 0u64..3000, n in 1usize..200) {
+            let pts = uniform(n, seed);
+            let qt = Quadtree::bulk_load(&pts);
+            qt.check_invariants().unwrap();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+            for _ in 0..6 {
+                let c = p(rng.gen::<f64>(), rng.gen::<f64>());
+                let r = Rect::from_center(c, rng.gen::<f64>() * 0.5, rng.gen::<f64>() * 0.5);
+                let mut got = qt.window(&r);
+                got.sort_unstable();
+                proptest::prop_assert_eq!(got, brute_window(&pts, &r));
+                let q = p(rng.gen::<f64>(), rng.gen::<f64>());
+                let (_, d) = qt.nearest(q).unwrap();
+                let want = pts.iter().map(|s| s.dist_sq(q)).fold(f64::INFINITY, f64::min);
+                proptest::prop_assert_eq!(d, want);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # vaq-rtree — R-tree spatial index
+//!
+//! A from-scratch main-memory R-tree over 2-D points, built for the
+//! reproduction of *Area Queries Based on Voronoi Diagrams* (ICDE 2020).
+//! It plays both roles the paper assigns to an index:
+//!
+//! * the **traditional baseline**'s filter step is a window query with the
+//!   query area's MBR ([`RTree::window`] /
+//!   [`RTree::window_with_stats`]);
+//! * the **Voronoi method**'s seed lookup is a nearest-neighbour query
+//!   ([`RTree::nearest`]) — the paper uses the same R-tree "for fairness".
+//!
+//! Construction is either incremental ([`RTree::insert`], Guttman with
+//! quadratic split) or bulk ([`RTree::bulk_load`], sort-tile-recursive).
+//! Deletion ([`RTree::remove`]) condenses underflowing nodes and
+//! re-inserts orphaned points. Every query has a `_with_stats` variant
+//! feeding the [`AccessStats`] counters the benchmark harness reports.
+//!
+//! ## Example
+//!
+//! ```
+//! use vaq_geom::{Point, Rect};
+//! use vaq_rtree::RTree;
+//!
+//! let pts = vec![
+//!     Point::new(0.1, 0.1),
+//!     Point::new(0.9, 0.2),
+//!     Point::new(0.5, 0.7),
+//! ];
+//! let tree = RTree::bulk_load(&pts);
+//! let mut hits = tree.window(&Rect::new(Point::new(0.0, 0.0), Point::new(0.6, 1.0)));
+//! hits.sort_unstable();
+//! assert_eq!(hits, vec![0, 2]);
+//! let (nearest, _d2) = tree.nearest(Point::new(0.8, 0.3)).unwrap();
+//! assert_eq!(nearest, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod query;
+pub mod rstar;
+pub mod tree;
+
+pub use query::AccessStats;
+pub use tree::{RTree, SplitAlgorithm, DEFAULT_MAX_ENTRIES};

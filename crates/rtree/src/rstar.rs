@@ -1,0 +1,240 @@
+//! R\*-tree insertion heuristics (Beckmann, Kriegel, Schneider, Seeger,
+//! SIGMOD 1990), selectable per tree via
+//! [`SplitAlgorithm`](crate::tree::SplitAlgorithm).
+//!
+//! Three ingredients distinguish R\* from Guttman's original:
+//!
+//! 1. **ChooseSubtree** descends into the child whose rectangle needs the
+//!    least *overlap* enlargement at the level above the leaves (least
+//!    *area* enlargement higher up, like Guttman).
+//! 2. **Forced reinsertion**: the first time a node overflows at each
+//!    level during one insertion, the `p ≈ 30 %` entries furthest from the
+//!    node's centre are removed and re-inserted instead of splitting —
+//!    this retro-fits the tree towards a better global shape.
+//! 3. **The R\* split** picks the split axis by minimum total margin over
+//!    all legal distributions of a sorted entry list, then the
+//!    distribution with minimum overlap (ties: minimum total area).
+//!
+//! Only the heuristics live here; the tree plumbing stays in
+//! [`crate::tree`].
+
+use crate::node::{Entry, Node};
+use vaq_geom::Rect;
+
+/// Fraction of a node's entries removed by forced reinsertion.
+pub(crate) const REINSERT_FRACTION: f64 = 0.30;
+
+/// R\* `ChooseSubtree` for the level immediately above the leaves:
+/// least overlap enlargement, ties by least area enlargement, then least
+/// area. `O(M²)` in the node fan-out.
+pub(crate) fn choose_subtree_overlap(node: &Node, r: &Rect) -> usize {
+    let mut best = 0;
+    let mut best_overlap = f64::INFINITY;
+    let mut best_enlarge = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for (i, e) in node.entries.iter().enumerate() {
+        let grown = e.rect.union(r);
+        let mut overlap_delta = 0.0;
+        for (j, f) in node.entries.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            overlap_delta += intersection_area(&grown, &f.rect)
+                - intersection_area(&e.rect, &f.rect);
+        }
+        let enlarge = e.rect.enlargement(r);
+        let area = e.rect.area();
+        if (overlap_delta, enlarge, area) < (best_overlap, best_enlarge, best_area) {
+            best = i;
+            best_overlap = overlap_delta;
+            best_enlarge = enlarge;
+            best_area = area;
+        }
+    }
+    best
+}
+
+fn intersection_area(a: &Rect, b: &Rect) -> f64 {
+    a.intersection(b).map_or(0.0, |i| i.area())
+}
+
+/// The entries to re-insert when `node` first overflows at its level:
+/// the `p` entries whose centres are furthest from the node's MBR centre,
+/// ordered closest-first (R\*'s "close reinsert").
+pub(crate) fn reinsert_victims(node: &mut Node, max_entries: usize) -> Vec<Entry> {
+    let p = ((max_entries as f64 * REINSERT_FRACTION).ceil() as usize).max(1);
+    let centre = node.mbr().center();
+    node.entries.sort_by(|a, b| {
+        a.rect
+            .center()
+            .dist_sq(centre)
+            .total_cmp(&b.rect.center().dist_sq(centre))
+    });
+    let keep = node.entries.len() - p;
+    // The tail of the ascending sort is the victim set, already in
+    // closest-first order — exactly R*'s "close reinsert".
+    node.entries.split_off(keep)
+}
+
+/// The R\* topological split: returns the two groups.
+pub(crate) fn rstar_split(entries: Vec<Entry>, min_fill: usize) -> (Vec<Entry>, Vec<Entry>) {
+    debug_assert!(entries.len() >= 2 * min_fill);
+    let m = entries.len();
+    let k_max = m - 2 * min_fill + 1; // number of legal distributions per sort
+
+    // Choose the split axis: the one whose sorted distributions have the
+    // smallest total margin (perimeter) sum.
+    let mut best_axis = 0;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..2 {
+        let sorted = sorted_by_axis(&entries, axis);
+        let (prefix, suffix) = boundary_rects(&sorted);
+        let mut margin_sum = 0.0;
+        for k in 0..k_max {
+            let split_at = min_fill + k;
+            margin_sum += prefix[split_at - 1].perimeter() + suffix[split_at].perimeter();
+        }
+        if margin_sum < best_margin {
+            best_margin = margin_sum;
+            best_axis = axis;
+        }
+    }
+
+    // Along the chosen axis, pick the distribution with minimal overlap
+    // (ties: minimal total area).
+    let sorted = sorted_by_axis(&entries, best_axis);
+    let (prefix, suffix) = boundary_rects(&sorted);
+    let mut best_split = min_fill;
+    let mut best_key = (f64::INFINITY, f64::INFINITY);
+    for k in 0..k_max {
+        let split_at = min_fill + k;
+        let r1 = prefix[split_at - 1];
+        let r2 = suffix[split_at];
+        let key = (intersection_area(&r1, &r2), r1.area() + r2.area());
+        if key < best_key {
+            best_key = key;
+            best_split = split_at;
+        }
+    }
+    let mut g1 = sorted;
+    let g2 = g1.split_off(best_split);
+    (g1, g2)
+}
+
+/// Entries sorted by `(min, max)` along the axis.
+fn sorted_by_axis(entries: &[Entry], axis: usize) -> Vec<Entry> {
+    let mut v = entries.to_vec();
+    v.sort_by(|a, b| {
+        let (amin, amax, bmin, bmax) = if axis == 0 {
+            (a.rect.min.x, a.rect.max.x, b.rect.min.x, b.rect.max.x)
+        } else {
+            (a.rect.min.y, a.rect.max.y, b.rect.min.y, b.rect.max.y)
+        };
+        amin.total_cmp(&bmin).then(amax.total_cmp(&bmax))
+    });
+    v
+}
+
+/// `prefix[i]` = MBR of `sorted[..=i]`, `suffix[i]` = MBR of `sorted[i..]`.
+fn boundary_rects(sorted: &[Entry]) -> (Vec<Rect>, Vec<Rect>) {
+    let m = sorted.len();
+    let mut prefix = Vec::with_capacity(m);
+    let mut acc = Rect::EMPTY;
+    for e in sorted {
+        acc = acc.union(&e.rect);
+        prefix.push(acc);
+    }
+    let mut suffix = vec![Rect::EMPTY; m];
+    let mut acc = Rect::EMPTY;
+    for i in (0..m).rev() {
+        acc = acc.union(&sorted[i].rect);
+        suffix[i] = acc;
+    }
+    (prefix, suffix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_geom::Point;
+
+    fn entry(id: u32, x: f64, y: f64) -> Entry {
+        Entry::for_point(id, Point::new(x, y))
+    }
+
+    #[test]
+    fn split_separates_two_clusters_cleanly() {
+        // Two obvious clusters along x; the R* split must not mix them.
+        // Give the points vertical spread as well — fully collinear input
+        // has zero overlap *and* zero area for every distribution, leaving
+        // nothing to discriminate on.
+        let mut entries = Vec::new();
+        for i in 0..5 {
+            entries.push(entry(i, f64::from(i) * 0.01, 0.1 * f64::from(i)));
+            entries.push(entry(100 + i, 10.0 + f64::from(i) * 0.01, 0.1 * f64::from(i)));
+        }
+        let (g1, g2) = rstar_split(entries, 3);
+        let left_ids: Vec<u32> = g1.iter().map(|e| e.child).collect();
+        let right_ids: Vec<u32> = g2.iter().map(|e| e.child).collect();
+        assert!(
+            left_ids.iter().all(|&i| i < 100) && right_ids.iter().all(|&i| i >= 100)
+                || left_ids.iter().all(|&i| i >= 100) && right_ids.iter().all(|&i| i < 100),
+            "clusters mixed: {left_ids:?} | {right_ids:?}"
+        );
+        // Disjoint groups have zero overlap.
+        let r1 = g1.iter().fold(Rect::EMPTY, |a, e| a.union(&e.rect));
+        let r2 = g2.iter().fold(Rect::EMPTY, |a, e| a.union(&e.rect));
+        assert!(!r1.intersects(&r2));
+    }
+
+    #[test]
+    fn split_respects_min_fill() {
+        let entries: Vec<Entry> = (0..9)
+            .map(|i| entry(i, f64::from(i), f64::from(i % 3)))
+            .collect();
+        let (g1, g2) = rstar_split(entries, 4);
+        assert!(g1.len() >= 4 && g2.len() >= 4);
+        assert_eq!(g1.len() + g2.len(), 9);
+    }
+
+    #[test]
+    fn victims_are_the_furthest_entries() {
+        let mut node = Node::new(0);
+        for i in 0..10 {
+            node.entries.push(entry(i, f64::from(i), 0.0)); // centre ≈ 4.5
+        }
+        let victims = reinsert_victims(&mut node, 10);
+        assert_eq!(victims.len(), 3); // ceil(10 × 0.3)
+        assert_eq!(node.entries.len(), 7);
+        // Victims are from the extremes (0, 9, 8 or 1 — furthest from 4.5).
+        for v in &victims {
+            let d = (v.rect.min.x - 4.5).abs();
+            assert!(d >= 2.5, "victim {} too central", v.child);
+        }
+    }
+
+    #[test]
+    fn choose_subtree_prefers_zero_overlap_growth() {
+        // Two children: inserting into the left one would make it overlap
+        // the right one; a third child can absorb the point with no new
+        // overlap. The R* rule must pick it.
+        let mut node = Node::new(1);
+        node.entries.push(Entry {
+            rect: Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            child: 0,
+        });
+        node.entries.push(Entry {
+            rect: Rect::new(Point::new(1.1, 0.0), Point::new(2.0, 1.0)),
+            child: 1,
+        });
+        node.entries.push(Entry {
+            rect: Rect::new(Point::new(0.0, 1.2), Point::new(2.0, 2.0)),
+            child: 2,
+        });
+        // Point between child 0 and child 1 horizontally, nearer child 2's
+        // band vertically: growing 0 or 1 would create overlap with each
+        // other; growing 2 creates none.
+        let r = Rect::from_point(Point::new(1.05, 1.15));
+        assert_eq!(choose_subtree_overlap(&node, &r), 2);
+    }
+}

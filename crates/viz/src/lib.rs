@@ -1,0 +1,275 @@
+//! # vaq-viz — dependency-free SVG visualisation
+//!
+//! Renders the scenes of the reproduced paper's figures: point sets,
+//! Voronoi diagrams, query polygons, and candidate/result overlays
+//! (Fig. 2: the two methods' candidate sets; Fig. 3: Voronoi diagram and
+//! Delaunay triangulation). Output is plain SVG markup written with no
+//! external dependencies, so it can run anywhere the workspace builds.
+//!
+//! ## Example
+//!
+//! ```
+//! use vaq_geom::{Point, Rect};
+//! use vaq_viz::Scene;
+//!
+//! let mut scene = Scene::new(Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)), 400.0);
+//! scene.points(&[Point::new(0.3, 0.4)], 2.0, "black");
+//! scene.circle(Point::new(0.3, 0.4), 6.0, "none", "red");
+//! let svg = scene.finish();
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.ends_with("</svg>\n"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use vaq_delaunay::{Triangulation, VoronoiDiagram};
+use vaq_geom::{Point, Polygon, Rect};
+
+/// An SVG scene over a world-coordinate viewport.
+///
+/// World coordinates are mapped to pixels with the y-axis flipped (SVG's y
+/// grows downward; geometry's grows upward), so rendered scenes match the
+/// mathematical orientation of the paper's figures.
+pub struct Scene {
+    body: String,
+    world: Rect,
+    scale: f64,
+    width_px: f64,
+    height_px: f64,
+}
+
+impl Scene {
+    /// Creates a scene showing `world`, `width_px` pixels wide (height
+    /// follows from the aspect ratio).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world` is empty or `width_px` is not positive.
+    pub fn new(world: Rect, width_px: f64) -> Scene {
+        assert!(!world.is_empty(), "world viewport must be non-empty");
+        assert!(width_px > 0.0, "pixel width must be positive");
+        let scale = width_px / world.width();
+        Scene {
+            body: String::new(),
+            world,
+            scale,
+            width_px,
+            height_px: world.height() * scale,
+        }
+    }
+
+    /// World → pixel transform (y flipped).
+    fn px(&self, p: Point) -> (f64, f64) {
+        (
+            (p.x - self.world.min.x) * self.scale,
+            self.height_px - (p.y - self.world.min.y) * self.scale,
+        )
+    }
+
+    /// Draws a set of filled dots.
+    pub fn points(&mut self, pts: &[Point], radius: f64, fill: &str) {
+        for &p in pts {
+            let (x, y) = self.px(p);
+            let _ = writeln!(
+                self.body,
+                r#"<circle cx="{x:.2}" cy="{y:.2}" r="{radius}" fill="{fill}"/>"#
+            );
+        }
+    }
+
+    /// Draws one circle with explicit fill and stroke.
+    pub fn circle(&mut self, c: Point, radius: f64, fill: &str, stroke: &str) {
+        let (x, y) = self.px(c);
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{x:.2}" cy="{y:.2}" r="{radius}" fill="{fill}" stroke="{stroke}"/>"#
+        );
+    }
+
+    /// Draws a line segment.
+    pub fn segment(&mut self, a: Point, b: Point, stroke: &str, width: f64) {
+        let (x1, y1) = self.px(a);
+        let (x2, y2) = self.px(b);
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width}"/>"#
+        );
+    }
+
+    /// Draws a closed ring (polygon outline with optional translucent fill).
+    pub fn ring(&mut self, ring: &[Point], stroke: &str, width: f64, fill: &str) {
+        if ring.len() < 2 {
+            return;
+        }
+        let mut d = String::new();
+        for (i, &p) in ring.iter().enumerate() {
+            let (x, y) = self.px(p);
+            let _ = write!(d, "{}{x:.2},{y:.2} ", if i == 0 { "M" } else { "L" });
+        }
+        d.push('Z');
+        let _ = writeln!(
+            self.body,
+            r#"<path d="{d}" stroke="{stroke}" stroke-width="{width}" fill="{fill}"/>"#
+        );
+    }
+
+    /// Draws a polygon (outline + fill colour, `"none"` for no fill).
+    pub fn polygon(&mut self, poly: &Polygon, stroke: &str, width: f64, fill: &str) {
+        self.ring(poly.vertices(), stroke, width, fill);
+    }
+
+    /// Draws every Delaunay edge of a triangulation.
+    pub fn delaunay_edges(&mut self, tri: &Triangulation, stroke: &str, width: f64) {
+        for v in 0..tri.vertex_count() as u32 {
+            for &u in tri.neighbors(v) {
+                if u > v {
+                    self.segment(tri.point(v), tri.point(u), stroke, width);
+                }
+            }
+        }
+    }
+
+    /// Draws every (clipped) Voronoi cell boundary of a diagram.
+    pub fn voronoi_cells(&mut self, vd: &VoronoiDiagram, stroke: &str, width: f64) {
+        for cell in &vd.cells {
+            self.ring(&cell.polygon, stroke, width, "none");
+        }
+    }
+
+    /// Adds an SVG `<text>` label at a world position.
+    pub fn label(&mut self, at: Point, text: &str, size_px: f64, fill: &str) {
+        let (x, y) = self.px(at);
+        let escaped = text
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size_px}" fill="{fill}" font-family="sans-serif">{escaped}</text>"#
+        );
+    }
+
+    /// Finalises the scene into a complete SVG document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
+viewBox=\"0 0 {:.0} {:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width_px, self.height_px, self.width_px, self.height_px, self.body
+        )
+    }
+}
+
+/// Renders the paper's Fig. 2-style scene: all points in grey, the result
+/// set in black, the method's extra (redundant) candidates in green, and
+/// the query polygon outlined. Render once per method to compare candidate
+/// sets visually.
+pub fn candidate_scene(
+    world: Rect,
+    width_px: f64,
+    points: &[Point],
+    area: &Polygon,
+    result: &[u32],
+    candidates: &[u32],
+) -> String {
+    let mut scene = Scene::new(world, width_px);
+    scene.points(points, 1.5, "#bbbbbb");
+    let result_set: std::collections::HashSet<u32> = result.iter().copied().collect();
+    let extra: Vec<Point> = candidates
+        .iter()
+        .filter(|id| !result_set.contains(id))
+        .map(|&id| points[id as usize])
+        .collect();
+    scene.points(&extra, 2.5, "green");
+    let result_pts: Vec<Point> = result.iter().map(|&id| points[id as usize]).collect();
+    scene.points(&result_pts, 2.5, "black");
+    scene.polygon(area, "black", 1.5, "none");
+    scene.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn world() -> Rect {
+        Rect::new(p(0.0, 0.0), p(1.0, 1.0))
+    }
+
+    #[test]
+    fn svg_document_structure() {
+        let mut s = Scene::new(world(), 300.0);
+        s.points(&[p(0.5, 0.5)], 2.0, "black");
+        s.segment(p(0.0, 0.0), p(1.0, 1.0), "blue", 1.0);
+        s.label(p(0.1, 0.9), "a < b & c", 12.0, "black");
+        let svg = s.finish();
+        assert!(svg.starts_with("<svg xmlns"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("<line"));
+        assert!(svg.contains("a &lt; b &amp; c"), "labels must be escaped");
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let mut s = Scene::new(world(), 100.0);
+        s.points(&[p(0.0, 0.0)], 1.0, "black"); // world bottom-left
+        let svg = s.finish();
+        // Bottom-left in world = (0, 100) in pixels.
+        assert!(svg.contains(r#"cx="0.00" cy="100.00""#), "{svg}");
+    }
+
+    #[test]
+    fn ring_closes_path() {
+        let mut s = Scene::new(world(), 100.0);
+        s.ring(
+            &[p(0.1, 0.1), p(0.9, 0.1), p(0.5, 0.9)],
+            "red",
+            1.0,
+            "none",
+        );
+        let svg = s.finish();
+        assert!(svg.contains("Z\" stroke=\"red\""));
+    }
+
+    #[test]
+    fn renders_triangulation_and_voronoi() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts: Vec<Point> = (0..40)
+            .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let tri = Triangulation::new(&pts).unwrap();
+        let vd = VoronoiDiagram::new(&tri, world());
+        let mut s = Scene::new(world(), 400.0);
+        s.delaunay_edges(&tri, "#999999", 0.5);
+        s.voronoi_cells(&vd, "#3366cc", 0.5);
+        s.points(&pts, 2.0, "black");
+        let svg = s.finish();
+        // Every Delaunay edge drawn once.
+        assert_eq!(svg.matches("<line").count(), tri.edge_count());
+        assert_eq!(svg.matches("<path").count(), 40);
+    }
+
+    #[test]
+    fn candidate_scene_highlights_sets() {
+        let pts = vec![p(0.2, 0.2), p(0.5, 0.5), p(0.8, 0.8)];
+        let area = Polygon::new(vec![p(0.4, 0.4), p(0.6, 0.4), p(0.6, 0.6), p(0.4, 0.6)]).unwrap();
+        let svg = candidate_scene(world(), 200.0, &pts, &area, &[1], &[0, 1]);
+        assert!(svg.contains("green"), "extra candidate rendered");
+        assert!(svg.contains("black"), "result rendered");
+        // 3 grey + 1 green + 1 black = 5 circles.
+        assert_eq!(svg.matches("<circle").count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_world_rejected() {
+        Scene::new(Rect::EMPTY, 100.0);
+    }
+}

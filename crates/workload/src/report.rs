@@ -1,0 +1,148 @@
+//! Table and CSV rendering of experiment results, in the layout of the
+//! paper's Table I / Table II.
+
+use crate::experiment::ConfigResult;
+use std::fmt::Write as _;
+
+/// CSV header matching [`to_csv`].
+pub const CSV_HEADER: &str = "data_size,query_size,reps,result_size,\
+trad_candidates,trad_redundant,trad_time_us,\
+voro_candidates,voro_redundant,voro_time_us,\
+time_saving_pct,candidate_saving_pct";
+
+/// Renders rows as CSV (header + one line per configuration).
+pub fn to_csv(rows: &[ConfigResult]) -> String {
+    let mut s = String::from(CSV_HEADER);
+    s.push('\n');
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{},{},{},{:.2},{:.2},{:.2},{:.3},{:.2},{:.2},{:.3},{:.1},{:.1}",
+            r.data_size,
+            r.query_size,
+            r.reps,
+            r.result_size,
+            r.traditional.candidates,
+            r.traditional.redundant,
+            r.traditional.time_us,
+            r.voronoi.candidates,
+            r.voronoi.redundant,
+            r.voronoi.time_us,
+            r.time_saving_pct(),
+            r.candidate_saving_pct(),
+        );
+    }
+    s
+}
+
+/// Renders rows as a markdown table in the layout of the paper's tables:
+/// one row per configuration, method columns side by side.
+///
+/// `sweep_column` labels the varying parameter: `"Data size"` (Table I) or
+/// `"Query size"` (Table II).
+pub fn to_markdown(rows: &[ConfigResult], sweep_column: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "| {sweep_column} | Result size | Trad candidates | Trad time (µs) | \
+Voro candidates | Voro time (µs) | Time saved | Candidates saved |"
+    );
+    let _ = writeln!(s, "|---|---|---|---|---|---|---|---|");
+    for r in rows {
+        let sweep_value = if sweep_column.to_lowercase().contains("query") {
+            format!("{:.0}%", r.query_size * 100.0)
+        } else {
+            format!("{:.0e}", r.data_size as f64)
+        };
+        let _ = writeln!(
+            s,
+            "| {} | {:.2} | {:.2} | {:.1} | {:.2} | {:.1} | {:.1}% | {:.1}% |",
+            sweep_value,
+            r.result_size,
+            r.traditional.candidates,
+            r.traditional.time_us,
+            r.voronoi.candidates,
+            r.voronoi.time_us,
+            r.time_saving_pct(),
+            r.candidate_saving_pct(),
+        );
+    }
+    s
+}
+
+/// Renders one figure series as CSV: the x column plus one column per
+/// method, using `pick` to select the plotted quantity (time, redundant
+/// validations, …).
+pub fn figure_csv(
+    rows: &[ConfigResult],
+    x_label: &str,
+    y_label: &str,
+    pick: impl Fn(&ConfigResult) -> (f64, f64, f64),
+) -> String {
+    let mut s = format!("{x_label},{y_label}_traditional,{y_label}_voronoi\n");
+    for r in rows {
+        let (x, t, v) = pick(r);
+        let _ = writeln!(s, "{x},{t:.3},{v:.3}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::MethodMeasurement;
+
+    fn row(n: usize, qs: f64) -> ConfigResult {
+        ConfigResult {
+            data_size: n,
+            query_size: qs,
+            reps: 10,
+            result_size: 50.0,
+            traditional: MethodMeasurement {
+                candidates: 100.0,
+                redundant: 50.0,
+                time_us: 200.0,
+            },
+            voronoi: MethodMeasurement {
+                candidates: 60.0,
+                redundant: 10.0,
+                time_us: 150.0,
+            },
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&[row(100_000, 0.01), row(200_000, 0.01)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("data_size,"));
+        assert!(lines[1].starts_with("100000,0.01,10,50.00,100.00,"));
+        // time saved = 1 - 150/200 = 25 %; candidates saved = 40 %.
+        assert!(lines[1].ends_with("25.0,40.0"));
+    }
+
+    #[test]
+    fn markdown_formats_sweep_value_by_column() {
+        let md = to_markdown(&[row(100_000, 0.01)], "Data size");
+        assert!(md.contains("| 1e5 |"), "{md}");
+        let md = to_markdown(&[row(100_000, 0.08)], "Query size");
+        assert!(md.contains("| 8% |"), "{md}");
+    }
+
+    #[test]
+    fn figure_csv_picks_series() {
+        let rows = [row(100_000, 0.01)];
+        let csv = figure_csv(&rows, "data_size", "time_us", |r| {
+            (
+                r.data_size as f64,
+                r.traditional.time_us,
+                r.voronoi.time_us,
+            )
+        });
+        assert_eq!(
+            csv,
+            "data_size,time_us_traditional,time_us_voronoi\n100000,200.000,150.000\n"
+        );
+    }
+}

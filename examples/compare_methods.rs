@@ -1,0 +1,98 @@
+//! Side-by-side comparison of every method configuration on one dataset:
+//! the two expansion policies, the three filter indexes and timing, over a
+//! sweep of query sizes. A miniature of the paper's evaluation you can run
+//! in seconds.
+//!
+//! ```text
+//! cargo run --release --example compare_methods
+//! ```
+
+use std::time::Instant;
+use voronoi_area_query::core::{AreaQueryEngine, ExpansionPolicy, FilterIndex, SeedIndex};
+use voronoi_area_query::workload::{
+    generate, random_query_polygon, unit_space, Distribution, PolygonSpec,
+};
+
+fn main() {
+    const N: usize = 100_000;
+    const REPS: u64 = 50;
+
+    let points = generate(N, Distribution::Uniform, 99);
+    let engine = AreaQueryEngine::builder(&points)
+        .with_kdtree()
+        .with_quadtree()
+        .build();
+    let mut scratch = engine.new_scratch();
+    let space = unit_space();
+
+    println!("dataset: {N} uniform points; {REPS} random 10-gon queries per size\n");
+    println!(
+        "{:<10} {:>10} {:>14} {:>14} {:>12} {:>12}",
+        "query size", "result", "trad cand", "voro cand", "trad µs", "voro µs"
+    );
+
+    for qs in [0.01, 0.04, 0.16] {
+        let spec = PolygonSpec::with_query_size(qs);
+        let mut result = 0usize;
+        let mut trad_cand = 0usize;
+        let mut voro_cand = 0usize;
+        let mut trad_us = 0.0;
+        let mut voro_us = 0.0;
+        for rep in 0..REPS {
+            let poly = random_query_polygon(&space, &spec, 1000 + rep);
+
+            let t = Instant::now();
+            let rt = engine.traditional(&poly);
+            trad_us += t.elapsed().as_secs_f64() * 1e6;
+
+            let t = Instant::now();
+            let rv = engine.voronoi_with(
+                &poly,
+                ExpansionPolicy::Segment,
+                SeedIndex::RTree,
+                &mut scratch,
+            );
+            voro_us += t.elapsed().as_secs_f64() * 1e6;
+
+            assert_eq!(rt.sorted_indices(), rv.sorted_indices());
+            result += rt.stats.result_size;
+            trad_cand += rt.stats.candidates;
+            voro_cand += rv.stats.candidates;
+        }
+        let k = REPS as f64;
+        println!(
+            "{:<10} {:>10.1} {:>14.1} {:>14.1} {:>12.1} {:>12.1}",
+            format!("{}%", qs * 100.0),
+            result as f64 / k,
+            trad_cand as f64 / k,
+            voro_cand as f64 / k,
+            trad_us / k,
+            voro_us / k
+        );
+    }
+
+    // One polygon, every configuration: all must agree.
+    let poly = random_query_polygon(&space, &PolygonSpec::with_query_size(0.02), 7777);
+    let reference = engine.traditional(&poly).sorted_indices();
+    println!("\nagreement check on a 2% query ({} results):", reference.len());
+    for (name, filter) in [
+        ("traditional/rtree", FilterIndex::RTree),
+        ("traditional/kdtree", FilterIndex::KdTree),
+        ("traditional/quadtree", FilterIndex::Quadtree),
+    ] {
+        let r = engine.traditional_with(&poly, filter);
+        assert_eq!(r.sorted_indices(), reference);
+        println!("  {name:24} ok ({} candidates)", r.stats.candidates);
+    }
+    for (name, policy) in [
+        ("voronoi/segment", ExpansionPolicy::Segment),
+        ("voronoi/cell", ExpansionPolicy::Cell),
+    ] {
+        let r = engine.voronoi_with(&poly, policy, SeedIndex::RTree, &mut scratch);
+        assert_eq!(r.sorted_indices(), reference);
+        println!(
+            "  {name:24} ok ({} candidates, {} segment tests, {} cell tests)",
+            r.stats.candidates, r.stats.segment_tests, r.stats.cell_tests
+        );
+    }
+}

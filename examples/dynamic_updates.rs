@@ -1,0 +1,67 @@
+//! A living dataset: WKT-defined district queries over a point set that
+//! receives inserts and deletes between queries, served by the
+//! base + delta [`DynamicAreaQueryEngine`].
+//!
+//! ```text
+//! cargo run --release --example dynamic_updates
+//! ```
+
+use voronoi_area_query::core::DynamicAreaQueryEngine;
+use voronoi_area_query::geom::Point;
+use voronoi_area_query::workload::io::{points_from_csv, region_from_wkt};
+use voronoi_area_query::workload::{generate, Distribution};
+
+fn main() {
+    // Bootstrap from a CSV snapshot (here: inline; in practice a file).
+    let snapshot = "x,y\n0.21,0.30\n0.47,0.52\n0.68,0.25\n0.81,0.77\n0.33,0.66\n";
+    let mut points = points_from_csv(snapshot).expect("valid CSV");
+    // Top it up with synthetic POIs.
+    points.extend(generate(20_000, Distribution::Uniform, 314));
+
+    let mut engine = DynamicAreaQueryEngine::new(&points);
+    println!("bootstrapped with {} points", engine.len());
+
+    // A district with a lake (hole) straight from WKT.
+    let district = region_from_wkt(
+        "POLYGON ((0.30 0.30, 0.70 0.28, 0.75 0.60, 0.52 0.72, 0.28 0.62), \
+                  (0.45 0.42, 0.55 0.42, 0.55 0.52, 0.45 0.52))",
+    )
+    .expect("valid WKT");
+    district.validate_nesting().expect("well-nested rings");
+
+    let before = engine.query(&district);
+    println!("district holds {} POIs (lake excluded)", before.len());
+
+    // A new batch of POIs opens inside the district…
+    let mut new_ids = Vec::new();
+    for k in 0..50 {
+        let t = f64::from(k) / 50.0;
+        let id = engine.insert(Point::new(0.35 + 0.25 * t, 0.34 + 0.2 * t));
+        new_ids.push(id);
+    }
+    // …and some close down.
+    for &id in before.iter().take(20) {
+        assert!(engine.remove(id));
+    }
+    let after = engine.query(&district);
+    println!(
+        "after 50 openings and 20 closures: {} POIs (delta buffer: {})",
+        after.len(),
+        engine.delta_len()
+    );
+
+    // Compaction folds the updates into a fresh base; answers are stable.
+    engine.compact();
+    let compacted = engine.query(&district);
+    assert_eq!(after, compacted);
+    println!(
+        "compacted: {} POIs, delta buffer {} — answers unchanged",
+        compacted.len(),
+        engine.delta_len()
+    );
+
+    // The new ids survive compaction and remain addressable.
+    assert!(engine.remove(new_ids[0]));
+    assert_eq!(engine.query(&district).len(), compacted.len() - 1);
+    println!("id stability across compaction: ok");
+}

@@ -1,0 +1,220 @@
+//! `vaq` — command-line area queries over CSV point sets.
+//!
+//! ```text
+//! vaq query --points pts.csv --area "POLYGON ((0 0, 1 0, 0.5 1))" [--method voronoi|traditional|both] [--count]
+//! vaq info  --points pts.csv
+//! vaq svg   --points pts.csv --area "POLYGON (…)" --out scene.svg
+//! ```
+//!
+//! * `query` prints matching point indices (or just the count with
+//!   `--count`) and per-method statistics to stderr.
+//! * `info` prints dataset statistics: extent, Delaunay/Voronoi facts.
+//! * `svg` renders the query scene (points, result, redundant candidates,
+//!   area outline) to an SVG file.
+//!
+//! The area accepts WKT `POLYGON`, including interior rings (holes);
+//! `--area-file` reads the WKT from a file instead.
+
+use std::fs;
+use std::process::ExitCode;
+use voronoi_area_query::core::{AreaQueryEngine, PointClass};
+use voronoi_area_query::geom::Region;
+use voronoi_area_query::viz::candidate_scene;
+use voronoi_area_query::workload::io::{points_from_csv, region_from_wkt};
+
+struct Options {
+    command: String,
+    points_path: Option<String>,
+    area_wkt: Option<String>,
+    method: String,
+    count_only: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or(USAGE)?;
+    let mut o = Options {
+        command,
+        points_path: None,
+        area_wkt: None,
+        method: String::from("voronoi"),
+        count_only: false,
+        out: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--points" => o.points_path = Some(args.next().ok_or("--points needs a path")?),
+            "--area" => o.area_wkt = Some(args.next().ok_or("--area needs WKT")?),
+            "--area-file" => {
+                let path = args.next().ok_or("--area-file needs a path")?;
+                let text = fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                o.area_wkt = Some(text);
+            }
+            "--method" => o.method = args.next().ok_or("--method needs a value")?,
+            "--count" => o.count_only = true,
+            "--out" => o.out = Some(args.next().ok_or("--out needs a path")?),
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+        }
+    }
+    Ok(o)
+}
+
+const USAGE: &str = "usage: vaq <query|info|svg> --points FILE.csv \
+[--area WKT | --area-file FILE] [--method voronoi|traditional|both] [--count] [--out FILE.svg]";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let o = parse_args()?;
+    let points_path = o.points_path.as_deref().ok_or("--points is required")?;
+    let csv = fs::read_to_string(points_path)
+        .map_err(|e| format!("cannot read {points_path}: {e}"))?;
+    let points = points_from_csv(&csv).map_err(|e| format!("{points_path}: {e}"))?;
+    if points.is_empty() {
+        return Err(format!("{points_path}: no points"));
+    }
+
+    match o.command.as_str() {
+        "info" => info(&points),
+        "query" => {
+            let area = required_area(&o)?;
+            query(&points, &area, &o.method, o.count_only)
+        }
+        "svg" => {
+            let area = required_area(&o)?;
+            let out = o.out.as_deref().ok_or("svg requires --out FILE.svg")?;
+            svg(&points, &area, out)
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn required_area(o: &Options) -> Result<Region, String> {
+    let wkt = o.area_wkt.as_deref().ok_or("--area or --area-file is required")?;
+    let region = region_from_wkt(wkt).map_err(|e| format!("bad area WKT: {e}"))?;
+    region
+        .validate_nesting()
+        .map_err(|e| format!("bad area rings: {e}"))?;
+    Ok(region)
+}
+
+fn info(points: &[voronoi_area_query::geom::Point]) -> Result<(), String> {
+    let engine = AreaQueryEngine::build(points);
+    let tri = engine.triangulation().expect("non-empty input");
+    let bbox = voronoi_area_query::geom::Rect::from_points(points.iter().copied());
+    println!("points:            {}", points.len());
+    println!("unique points:     {}", tri.vertex_count());
+    println!(
+        "extent:            [{}, {}] x [{}, {}]",
+        bbox.min.x, bbox.max.x, bbox.min.y, bbox.max.y
+    );
+    println!("delaunay edges:    {}", tri.edge_count());
+    println!("delaunay triangles:{}", tri.triangle_count());
+    println!("hull vertices:     {}", tri.hull().len());
+    println!("degenerate (line): {}", tri.is_degenerate());
+    let mean_degree =
+        2.0 * tri.edge_count() as f64 / tri.vertex_count().max(1) as f64;
+    println!("mean voronoi deg:  {mean_degree:.2}");
+    Ok(())
+}
+
+fn query(
+    points: &[voronoi_area_query::geom::Point],
+    area: &Region,
+    method: &str,
+    count_only: bool,
+) -> Result<(), String> {
+    let engine = AreaQueryEngine::build(points);
+    let run_voronoi = matches!(method, "voronoi" | "both");
+    let run_traditional = matches!(method, "traditional" | "both");
+    if !run_voronoi && !run_traditional {
+        return Err(format!("unknown method {method:?} (voronoi|traditional|both)"));
+    }
+    let mut printed = false;
+    if run_voronoi {
+        let r = engine.voronoi(area);
+        eprintln!(
+            "voronoi:     {} results, {} candidates, {} redundant validations",
+            r.stats.result_size,
+            r.stats.candidates,
+            r.stats.redundant_validations()
+        );
+        emit(&r.sorted_indices(), count_only, &mut printed);
+    }
+    if run_traditional {
+        let r = engine.traditional(area);
+        eprintln!(
+            "traditional: {} results, {} candidates, {} redundant validations",
+            r.stats.result_size,
+            r.stats.candidates,
+            r.stats.redundant_validations()
+        );
+        emit(&r.sorted_indices(), count_only, &mut printed);
+    }
+    Ok(())
+}
+
+/// Prints the result once (both methods return the same set under
+/// `--method both`).
+fn emit(indices: &[u32], count_only: bool, printed: &mut bool) {
+    if *printed {
+        return;
+    }
+    *printed = true;
+    if count_only {
+        println!("{}", indices.len());
+    } else {
+        let mut out = String::with_capacity(indices.len() * 7);
+        for id in indices {
+            out.push_str(&id.to_string());
+            out.push('\n');
+        }
+        print!("{out}");
+    }
+}
+
+fn svg(
+    points: &[voronoi_area_query::geom::Point],
+    area: &Region,
+    out: &str,
+) -> Result<(), String> {
+    let engine = AreaQueryEngine::build(points);
+    let r = engine.voronoi(area);
+    // Redundant candidates for the overlay: boundary-class points.
+    let tri = engine.triangulation().expect("non-empty input");
+    let classes = engine.classify(area).expect("non-empty input");
+    let mut candidates = r.indices.clone();
+    for (v, class) in classes.iter().enumerate() {
+        if *class == PointClass::Boundary {
+            candidates.extend_from_slice(tri.inputs_of(v as u32));
+        }
+    }
+    let world = voronoi_area_query::geom::Rect::from_points(points.iter().copied())
+        .union(&area.mbr());
+    let margin = (world.width().max(world.height())) * 0.05;
+    let scene = candidate_scene(
+        world.expand(margin),
+        800.0,
+        points,
+        area.outer(),
+        &r.indices,
+        &candidates,
+    );
+    fs::write(out, scene).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!(
+        "wrote {out}: {} results, {} candidates highlighted",
+        r.stats.result_size,
+        candidates.len()
+    );
+    Ok(())
+}

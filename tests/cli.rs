@@ -1,0 +1,178 @@
+//! End-to-end test of the `vaq` command-line binary: CSV in, WKT area,
+//! results/count/SVG out.
+
+use std::process::Command;
+
+fn vaq() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vaq"))
+}
+
+fn write_points(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("pts.csv");
+    let mut csv = String::from("x,y\n");
+    // A 10×10 jittered grid, deterministic.
+    for i in 0..100 {
+        let x = f64::from(i % 10) / 10.0 + 0.05;
+        let y = f64::from(i / 10) / 10.0 + 0.05;
+        csv.push_str(&format!("{x},{y}\n"));
+    }
+    std::fs::write(&path, csv).expect("write csv");
+    path
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("vaq-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn query_count_matches_both_methods() {
+    let dir = temp_dir("count");
+    let pts = write_points(&dir);
+    let out = vaq()
+        .args([
+            "query",
+            "--points",
+            pts.to_str().unwrap(),
+            "--area",
+            "POLYGON ((0.0 0.0, 0.5 0.0, 0.5 0.5, 0.0 0.5))",
+            "--method",
+            "both",
+            "--count",
+        ])
+        .output()
+        .expect("run vaq");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // The quarter square holds the 5×5 sub-grid.
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "25");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("voronoi:"), "{stderr}");
+    assert!(stderr.contains("traditional:"), "{stderr}");
+}
+
+#[test]
+fn query_lists_indices() {
+    let dir = temp_dir("list");
+    let pts = write_points(&dir);
+    let out = vaq()
+        .args([
+            "query",
+            "--points",
+            pts.to_str().unwrap(),
+            "--area",
+            "POLYGON ((0.0 0.0, 0.22 0.0, 0.22 0.22, 0.0 0.22))",
+        ])
+        .output()
+        .expect("run vaq");
+    assert!(out.status.success());
+    let ids: Vec<&str> = std::str::from_utf8(&out.stdout)
+        .unwrap()
+        .lines()
+        .collect();
+    // Points (0.05,0.05), (0.15,0.05), (0.05,0.15), (0.15,0.15) → ids 0,1,10,11.
+    assert_eq!(ids, vec!["0", "1", "10", "11"]);
+}
+
+#[test]
+fn query_supports_region_with_hole() {
+    let dir = temp_dir("hole");
+    let pts = write_points(&dir);
+    let full = "POLYGON ((0.0 0.0, 1.0 0.0, 1.0 1.0, 0.0 1.0))";
+    let holed = "POLYGON ((0.0 0.0, 1.0 0.0, 1.0 1.0, 0.0 1.0), \
+                 (0.2 0.2, 0.8 0.2, 0.8 0.8, 0.2 0.8))";
+    let count = |wkt: &str| -> usize {
+        let out = vaq()
+            .args([
+                "query",
+                "--points",
+                pts.to_str().unwrap(),
+                "--area",
+                wkt,
+                "--count",
+            ])
+            .output()
+            .expect("run vaq");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).trim().parse().unwrap()
+    };
+    assert_eq!(count(full), 100);
+    // The hole (0.2..0.8)² strictly excludes the 5×5 inner grid points at
+    // 0.25..0.75 → wait: 0.25,0.35,...,0.75 is 6 values; points ON the hole
+    // boundary stay in the region, and none of the grid points lie on it.
+    let inner = (0..100)
+        .filter(|i| {
+            let x = f64::from(i % 10) / 10.0 + 0.05;
+            let y = f64::from(i / 10) / 10.0 + 0.05;
+            (0.2..=0.8).contains(&x) && (0.2..=0.8).contains(&y)
+        })
+        .count();
+    assert_eq!(count(holed), 100 - inner);
+}
+
+#[test]
+fn info_reports_dataset_facts() {
+    let dir = temp_dir("info");
+    let pts = write_points(&dir);
+    let out = vaq()
+        .args(["info", "--points", pts.to_str().unwrap()])
+        .output()
+        .expect("run vaq");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("points:            100"), "{stdout}");
+    assert!(stdout.contains("hull vertices:"), "{stdout}");
+}
+
+#[test]
+fn svg_writes_a_scene() {
+    let dir = temp_dir("svg");
+    let pts = write_points(&dir);
+    let svg_path = dir.join("scene.svg");
+    let out = vaq()
+        .args([
+            "svg",
+            "--points",
+            pts.to_str().unwrap(),
+            "--area",
+            "POLYGON ((0.1 0.1, 0.6 0.15, 0.3 0.7))",
+            "--out",
+            svg_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run vaq");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let svg = std::fs::read_to_string(&svg_path).expect("svg written");
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.contains("<circle"));
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let dir = temp_dir("bad");
+    let pts = write_points(&dir);
+    // Missing area.
+    let out = vaq()
+        .args(["query", "--points", pts.to_str().unwrap()])
+        .output()
+        .expect("run vaq");
+    assert!(!out.status.success());
+    // Malformed WKT.
+    let out = vaq()
+        .args([
+            "query",
+            "--points",
+            pts.to_str().unwrap(),
+            "--area",
+            "POLYGON ((not numbers))",
+        ])
+        .output()
+        .expect("run vaq");
+    assert!(!out.status.success());
+    // Missing file.
+    let out = vaq()
+        .args(["info", "--points", "/nonexistent/file.csv"])
+        .output()
+        .expect("run vaq");
+    assert!(!out.status.success());
+}
