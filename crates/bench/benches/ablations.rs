@@ -22,8 +22,9 @@ use std::hint::black_box;
 use std::time::Duration;
 use vaq_bench::{polygon_batch, standard_engine, HARNESS_SEED};
 use vaq_core::{AreaQueryEngine, ExpansionPolicy, FilterIndex, SeedIndex};
-use vaq_rtree::SplitAlgorithm;
 use vaq_delaunay::{InsertionOrder, Triangulation};
+use vaq_geom::PreparedPolygon;
+use vaq_rtree::SplitAlgorithm;
 use vaq_workload::{generate, Distribution};
 
 const N: usize = 100_000;
@@ -255,6 +256,69 @@ fn insertion_order(c: &mut Criterion) {
     group.finish();
 }
 
+/// Raw vs prepared query areas, end to end, at a large vertex count
+/// (k = 256): the regime where `O(k)` per-candidate primitives dominate.
+/// `prepared_once` prepares outside the timed region (the serving path);
+/// `prepared_per_query` includes the build, bounding the break-even.
+fn prepared_area(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_prepared_area");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let engine = standard_engine(N);
+    let mut scratch = engine.new_scratch();
+    let polygons = vaq_bench::polygon_batch_with(0.01, 64, 256);
+    group.bench_function("raw", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let poly = &polygons[i % polygons.len()];
+            i += 1;
+            black_box(
+                engine
+                    .voronoi_with(
+                        poly,
+                        ExpansionPolicy::Segment,
+                        SeedIndex::RTree,
+                        &mut scratch,
+                    )
+                    .indices
+                    .len(),
+            )
+        });
+    });
+    let prepared: Vec<PreparedPolygon> = polygons
+        .iter()
+        .map(|p| PreparedPolygon::new(p.clone()))
+        .collect();
+    group.bench_function("prepared_once", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let poly = &prepared[i % prepared.len()];
+            i += 1;
+            black_box(
+                engine
+                    .voronoi_with(
+                        poly,
+                        ExpansionPolicy::Segment,
+                        SeedIndex::RTree,
+                        &mut scratch,
+                    )
+                    .indices
+                    .len(),
+            )
+        });
+    });
+    group.bench_function("prepared_per_query", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let poly = &polygons[i % polygons.len()];
+            i += 1;
+            black_box(engine.voronoi_prepared(poly).indices.len())
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     expansion_policy,
@@ -263,6 +327,7 @@ criterion_group!(
     rtree_build,
     scratch_reuse,
     distribution,
-    insertion_order
+    insertion_order,
+    prepared_area
 );
 criterion_main!(benches);

@@ -8,7 +8,7 @@ use std::hint::black_box;
 use std::time::Duration;
 use vaq_bench::{polygon_batch, HARNESS_SEED};
 use vaq_delaunay::{cell_polygon, Triangulation};
-use vaq_geom::{Point, Rect, Segment};
+use vaq_geom::{Point, PreparedPolygon, Rect, Segment};
 use vaq_kdtree::KdTree;
 use vaq_quadtree::Quadtree;
 use vaq_rtree::RTree;
@@ -73,10 +73,7 @@ fn query_primitive_benches(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            let q = Point::new(
-                (i % 997) as f64 / 997.0,
-                (i % 787) as f64 / 787.0,
-            );
+            let q = Point::new((i % 997) as f64 / 997.0, (i % 787) as f64 / 787.0);
             black_box(rtree.nearest(q).unwrap().0)
         });
     });
@@ -84,10 +81,7 @@ fn query_primitive_benches(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            let q = Point::new(
-                (i % 997) as f64 / 997.0,
-                (i % 787) as f64 / 787.0,
-            );
+            let q = Point::new((i % 997) as f64 / 997.0, (i % 787) as f64 / 787.0);
             black_box(tri.nearest_vertex(q, None))
         });
     });
@@ -127,5 +121,85 @@ fn query_primitive_benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, build_benches, query_primitive_benches);
+/// Raw vs prepared query-area primitives across query-polygon vertex
+/// counts: the regime of the paper's Fig. 6 (query time vs query size),
+/// where the per-candidate `contains` and per-frontier segment tests
+/// dominate. The raw primitives are `O(k)`; prepared are `O(log k)`-ish.
+fn prepared_area_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prepared_area");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    for k in [8usize, 64, 256, 1024] {
+        let poly = &vaq_bench::polygon_batch_with(0.05, 1, k)[0];
+        let prep = PreparedPolygon::new(poly.clone());
+        let mbr = poly.mbr();
+        group.bench_function(BenchmarkId::new("contains_raw", k), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let q = Point::new(
+                    mbr.min.x + (i % 991) as f64 / 991.0 * mbr.width(),
+                    mbr.min.y + (i % 773) as f64 / 773.0 * mbr.height(),
+                );
+                black_box(poly.contains(q))
+            });
+        });
+        group.bench_function(BenchmarkId::new("contains_prepared", k), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let q = Point::new(
+                    mbr.min.x + (i % 991) as f64 / 991.0 * mbr.width(),
+                    mbr.min.y + (i % 773) as f64 / 773.0 * mbr.height(),
+                );
+                black_box(prep.contains(q))
+            });
+        });
+        let d = (mbr.width() + mbr.height()) * 0.02;
+        group.bench_function(BenchmarkId::new("segment_raw", k), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let a = Point::new(
+                    mbr.min.x + (i % 991) as f64 / 991.0 * mbr.width(),
+                    mbr.min.y + (i % 773) as f64 / 773.0 * mbr.height(),
+                );
+                black_box(
+                    poly.boundary_intersects_segment(&Segment::new(
+                        a,
+                        Point::new(a.x + d, a.y + d),
+                    )),
+                )
+            });
+        });
+        group.bench_function(BenchmarkId::new("segment_prepared", k), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let a = Point::new(
+                    mbr.min.x + (i % 991) as f64 / 991.0 * mbr.width(),
+                    mbr.min.y + (i % 773) as f64 / 773.0 * mbr.height(),
+                );
+                black_box(
+                    prep.boundary_intersects_segment(&Segment::new(
+                        a,
+                        Point::new(a.x + d, a.y + d),
+                    )),
+                )
+            });
+        });
+        group.bench_function(BenchmarkId::new("prepare_build", k), |b| {
+            b.iter(|| black_box(PreparedPolygon::new(poly.clone()).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    build_benches,
+    query_primitive_benches,
+    prepared_area_benches
+);
 criterion_main!(benches);

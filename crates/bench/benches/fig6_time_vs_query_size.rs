@@ -10,6 +10,7 @@ use std::hint::black_box;
 use std::time::Duration;
 use vaq_bench::{polygon_batch, standard_engine};
 use vaq_core::{ExpansionPolicy, SeedIndex};
+use vaq_geom::PreparedPolygon;
 
 fn fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_time_vs_query_size");
@@ -47,6 +48,47 @@ fn fig6(c: &mut Criterion) {
                 )
             });
         });
+        // Prepared once per polygon outside the timed region — the
+        // serving-path configuration (areas are query-compiled on arrival,
+        // then reused for every candidate/frontier test).
+        let prepared: Vec<PreparedPolygon> = polygons
+            .iter()
+            .map(|p| PreparedPolygon::new(p.clone()))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("voronoi_prepared", qs_pct),
+            &qs_pct,
+            |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let poly = &prepared[i % prepared.len()];
+                    i += 1;
+                    black_box(
+                        engine
+                            .voronoi_with(
+                                poly,
+                                ExpansionPolicy::Segment,
+                                SeedIndex::RTree,
+                                &mut scratch,
+                            )
+                            .indices
+                            .len(),
+                    )
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("traditional_prepared", qs_pct),
+            &qs_pct,
+            |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let poly = &prepared[i % prepared.len()];
+                    i += 1;
+                    black_box(engine.traditional(poly).indices.len())
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -49,7 +49,8 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "all" | "table1" | "table2" | "fig4" | "fig5" | "fig6" | "fig7" | "ablation" => {
+            "all" | "table1" | "table2" | "fig4" | "fig5" | "fig6" | "fig7" | "ablation"
+            | "prepared" => {
                 what = arg;
             }
             "--reps" => {
@@ -66,7 +67,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(String::from(
-                    "usage: reproduce [all|table1|table2|fig4|fig5|fig6|fig7] \
+                    "usage: reproduce [all|table1|table2|fig4|fig5|fig6|fig7|ablation|prepared] \
 [--reps N] [--quick] [--payload BYTES] [--out DIR]",
                 ));
             }
@@ -95,7 +96,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let cfg = SweepConfig {
-        reps: if args.quick { args.reps.div_ceil(4) } else { args.reps },
+        reps: if args.quick {
+            args.reps.div_ceil(4)
+        } else {
+            args.reps
+        },
         payload_bytes: args.payload,
         ..SweepConfig::default()
     };
@@ -133,9 +138,20 @@ fn main() -> ExitCode {
         emit_figure(&args, "fig4", &rows, "data_size", "time_us", |r| {
             (r.data_size as f64, r.traditional.time_us, r.voronoi.time_us)
         });
-        emit_figure(&args, "fig5", &rows, "data_size", "redundant_validations", |r| {
-            (r.data_size as f64, r.traditional.redundant, r.voronoi.redundant)
-        });
+        emit_figure(
+            &args,
+            "fig5",
+            &rows,
+            "data_size",
+            "redundant_validations",
+            |r| {
+                (
+                    r.data_size as f64,
+                    r.traditional.redundant,
+                    r.voronoi.redundant,
+                )
+            },
+        );
     }
 
     if need_t2 {
@@ -165,21 +181,64 @@ fn main() -> ExitCode {
                 r.voronoi.time_us,
             )
         });
-        emit_figure(&args, "fig7", &rows, "query_size_pct", "redundant_validations", |r| {
-            (
-                r.query_size * 100.0,
-                r.traditional.redundant,
-                r.voronoi.redundant,
-            )
-        });
+        emit_figure(
+            &args,
+            "fig7",
+            &rows,
+            "query_size_pct",
+            "redundant_validations",
+            |r| {
+                (
+                    r.query_size * 100.0,
+                    r.traditional.redundant,
+                    r.voronoi.redundant,
+                )
+            },
+        );
     }
 
     if need_ablation {
         run_ablations(&args, &cfg);
     }
 
+    if matches!(args.what.as_str(), "all" | "prepared") {
+        run_prepared_baseline(&args);
+    }
+
     eprintln!("done; outputs in {}", args.out.display());
     ExitCode::SUCCESS
+}
+
+/// Measures raw vs prepared query-area primitives across vertex counts
+/// and records the `BENCH_prepared.json` baseline.
+fn run_prepared_baseline(args: &Args) {
+    use vaq_bench::prepared::{measure_prepared_primitives, prepared_report_json, standard_ks};
+
+    let ks = if args.quick {
+        vec![8, 64, 256]
+    } else {
+        standard_ks()
+    };
+    let probes = if args.quick { 512 } else { 4096 };
+    eprintln!("== Prepared-area primitives: raw vs prepared, k = {ks:?} ==");
+    let rows = measure_prepared_primitives(&ks, probes);
+    for r in &rows {
+        eprintln!(
+            "  k={:>5}  contains {:8.1} -> {:7.1} ns ({:5.1}x)   segment {:8.1} -> {:7.1} ns ({:5.1}x)   prepare {:9.0} ns",
+            r.k,
+            r.contains_raw_ns,
+            r.contains_prepared_ns,
+            r.contains_speedup(),
+            r.segment_raw_ns,
+            r.segment_prepared_ns,
+            r.segment_speedup(),
+            r.prepare_ns,
+        );
+    }
+    let json = prepared_report_json(&rows);
+    let path = args.out.join("BENCH_prepared.json");
+    fs::write(&path, json).expect("write BENCH_prepared.json");
+    eprintln!("wrote {}", path.display());
 }
 
 /// Candidate-level ablations (the Criterion benches cover timing; these
@@ -189,10 +248,14 @@ fn run_ablations(args: &Args, cfg: &SweepConfig) {
     use vaq_workload::Distribution;
 
     let n = if args.quick { 10_000 } else { 100_000 };
-    eprintln!("== Ablations at n={n}, query size 1% ({} reps) ==", cfg.reps);
+    eprintln!(
+        "== Ablations at n={n}, query size 1% ({} reps) ==",
+        cfg.reps
+    );
 
     // 1. Expansion policy: identical results, different boundary tests.
-    let mut rows = String::from("policy,result_size,candidates,redundant,segment_tests,cell_tests\n");
+    let mut rows =
+        String::from("policy,result_size,candidates,redundant,segment_tests,cell_tests\n");
     for (name, policy) in [
         ("segment", ExpansionPolicy::Segment),
         ("cell", ExpansionPolicy::Cell),
@@ -212,7 +275,9 @@ fn run_ablations(args: &Args, cfg: &SweepConfig) {
     fs::write(args.out.join("ablation_policy.csv"), &rows).expect("write csv");
 
     // 2. Distribution: uniform vs clustered.
-    let mut rows = String::from("distribution,result_size,trad_candidates,voro_candidates,candidate_saving_pct\n");
+    let mut rows = String::from(
+        "distribution,result_size,trad_candidates,voro_candidates,candidate_saving_pct\n",
+    );
     for (name, dist) in [
         ("uniform", Distribution::Uniform),
         (
@@ -246,7 +311,8 @@ fn run_ablations(args: &Args, cfg: &SweepConfig) {
     fs::write(args.out.join("ablation_distribution.csv"), &rows).expect("write csv");
 
     // 3. Query-polygon vertex count (the paper fixes 10).
-    let mut rows = String::from("vertices,result_size,trad_candidates,voro_candidates,candidate_saving_pct\n");
+    let mut rows =
+        String::from("vertices,result_size,trad_candidates,voro_candidates,candidate_saving_pct\n");
     let engine = vaq_workload::build_engine(n, cfg);
     for k in [4usize, 10, 20, 40] {
         let sub = SweepConfig {

@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod prepared;
+
 use vaq_core::AreaQueryEngine;
 use vaq_geom::Polygon;
 use vaq_workload::{generate, random_query_polygon, unit_space, Distribution, PolygonSpec};
@@ -36,10 +38,26 @@ pub fn standard_engine(n: usize) -> AreaQueryEngine {
 /// Pre-generates `count` random 10-gon query polygons of the given query
 /// size, so polygon generation stays out of the timed region.
 pub fn polygon_batch(query_size: f64, count: usize) -> Vec<Polygon> {
+    polygon_batch_with(query_size, count, 10)
+}
+
+/// As [`polygon_batch`] with an explicit vertex count — the sweep axis of
+/// the prepared-area benchmarks (raw primitives are `O(k)` in the vertex
+/// count; prepared ones are not).
+pub fn polygon_batch_with(query_size: f64, count: usize, vertices: usize) -> Vec<Polygon> {
     let space = unit_space();
-    let spec = PolygonSpec::with_query_size(query_size);
+    let spec = PolygonSpec {
+        vertices,
+        ..PolygonSpec::with_query_size(query_size)
+    };
     (0..count as u64)
-        .map(|i| random_query_polygon(&space, &spec, HARNESS_SEED.wrapping_add(i * 7919)))
+        .map(|i| {
+            random_query_polygon(
+                &space,
+                &spec,
+                HARNESS_SEED.wrapping_add(i * 7919) ^ vertices as u64,
+            )
+        })
         .collect()
 }
 

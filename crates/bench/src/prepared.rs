@@ -1,0 +1,227 @@
+//! Prepared-area primitive measurements and the `BENCH_prepared.json`
+//! baseline report.
+//!
+//! Measures the two hot-path primitives — `Contains(A, p)` and
+//! `Intersects(segment, A)` — on raw vs prepared query polygons across a
+//! sweep of vertex counts `k`, plus the one-off preparation cost. The
+//! same measurement backs the `reproduce prepared` subcommand (which
+//! records the JSON baseline) and sanity tests.
+//!
+//! Timing is a simple best-of-batches loop over deterministic inputs; the
+//! interesting output is the *ratio* raw/prepared, which is robust to
+//! machine noise at the measured magnitudes.
+
+use crate::{polygon_batch_with, HARNESS_SEED};
+use std::fmt::Write as _;
+use std::time::Instant;
+use vaq_geom::{Point, PreparedPolygon, Segment};
+
+/// Measurements for one query-polygon vertex count.
+#[derive(Clone, Copy, Debug)]
+pub struct PreparedBenchRow {
+    /// Query-polygon vertex count.
+    pub k: usize,
+    /// Mean ns per raw `contains` call.
+    pub contains_raw_ns: f64,
+    /// Mean ns per prepared `contains` call.
+    pub contains_prepared_ns: f64,
+    /// Mean ns per raw `boundary_intersects_segment` call.
+    pub segment_raw_ns: f64,
+    /// Mean ns per prepared `boundary_intersects_segment` call.
+    pub segment_prepared_ns: f64,
+    /// One-off preparation cost, ns.
+    pub prepare_ns: f64,
+}
+
+impl PreparedBenchRow {
+    /// Speedup of prepared over raw `contains`.
+    pub fn contains_speedup(&self) -> f64 {
+        self.contains_raw_ns / self.contains_prepared_ns
+    }
+
+    /// Speedup of prepared over raw segment tests.
+    pub fn segment_speedup(&self) -> f64 {
+        self.segment_raw_ns / self.segment_prepared_ns
+    }
+}
+
+/// Deterministic probe battery: points spread over the unit space plus
+/// points concentrated inside the polygon's MBR (the regime of refine
+/// steps, where raw `contains` cannot bail out early).
+fn probes(mbr: &vaq_geom::Rect, n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            if i % 2 == 0 {
+                Point::new(
+                    mbr.min.x + t * mbr.width(),
+                    mbr.min.y + (1.0 - t) * mbr.height(),
+                )
+            } else {
+                Point::new((i % 97) as f64 / 97.0, (i % 83) as f64 / 83.0)
+            }
+        })
+        .collect()
+}
+
+/// Short probe segments shaped like Voronoi expansion edges near the MBR.
+fn segments(mbr: &vaq_geom::Rect, n: usize) -> Vec<Segment> {
+    let d = (mbr.width() + mbr.height()) * 0.02;
+    probes(mbr, n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let dir = (i % 7) as f64 / 7.0 * std::f64::consts::TAU;
+            Segment::new(a, Point::new(a.x + d * dir.cos(), a.y + d * dir.sin()))
+        })
+        .collect()
+}
+
+/// Times `f` over `reps` batches and returns the best per-call ns (best,
+/// not mean: rejects scheduler noise; inputs are identical across
+/// batches).
+fn time_per_call(calls: usize, reps: usize, mut f: impl FnMut() -> usize) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut sink = 0usize;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        sink = sink.wrapping_add(f());
+        let dt = t0.elapsed().as_secs_f64() * 1e9 / calls as f64;
+        if dt < best {
+            best = dt;
+        }
+    }
+    std::hint::black_box(sink);
+    best
+}
+
+/// Measures raw vs prepared primitives for each vertex count in `ks`.
+///
+/// `probes_per_poly` probes/segments are evaluated per polygon per batch;
+/// results are averaged over `polys` distinct polygons.
+pub fn measure_prepared_primitives(ks: &[usize], probes_per_poly: usize) -> Vec<PreparedBenchRow> {
+    let reps = 5;
+    let polys_per_k = 4;
+    ks.iter()
+        .map(|&k| {
+            let polygons = polygon_batch_with(0.05, polys_per_k, k);
+            let mut row = PreparedBenchRow {
+                k,
+                contains_raw_ns: 0.0,
+                contains_prepared_ns: 0.0,
+                segment_raw_ns: 0.0,
+                segment_prepared_ns: 0.0,
+                prepare_ns: 0.0,
+            };
+            for poly in &polygons {
+                let mbr = poly.mbr();
+                let pts = probes(&mbr, probes_per_poly);
+                let segs = segments(&mbr, probes_per_poly);
+                let t0 = Instant::now();
+                let prep = PreparedPolygon::new(poly.clone());
+                row.prepare_ns += t0.elapsed().as_secs_f64() * 1e9;
+
+                row.contains_raw_ns += time_per_call(pts.len(), reps, || {
+                    pts.iter().filter(|&&p| poly.contains(p)).count()
+                });
+                row.contains_prepared_ns += time_per_call(pts.len(), reps, || {
+                    pts.iter().filter(|&&p| prep.contains(p)).count()
+                });
+                row.segment_raw_ns += time_per_call(segs.len(), reps, || {
+                    segs.iter()
+                        .filter(|s| poly.boundary_intersects_segment(s))
+                        .count()
+                });
+                row.segment_prepared_ns += time_per_call(segs.len(), reps, || {
+                    segs.iter()
+                        .filter(|s| prep.boundary_intersects_segment(s))
+                        .count()
+                });
+                // Exactness spot-check riding along with every measurement.
+                for &p in &pts {
+                    assert_eq!(prep.contains(p), poly.contains(p), "prepared diverged");
+                }
+            }
+            let n = polys_per_k as f64;
+            row.contains_raw_ns /= n;
+            row.contains_prepared_ns /= n;
+            row.segment_raw_ns /= n;
+            row.segment_prepared_ns /= n;
+            row.prepare_ns /= n;
+            row
+        })
+        .collect()
+}
+
+/// The standard `k` sweep of the prepared-area benchmark.
+pub fn standard_ks() -> Vec<usize> {
+    vec![8, 16, 32, 64, 128, 256, 512, 1024]
+}
+
+/// Renders rows as the `BENCH_prepared.json` baseline document.
+pub fn prepared_report_json(rows: &[PreparedBenchRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"benchmark\": \"prepared_query_area_primitives\",");
+    let _ = writeln!(s, "  \"harness_seed\": {HARNESS_SEED},");
+    let _ = writeln!(
+        s,
+        "  \"units\": {{\"time\": \"ns_per_call\", \"prepare\": \"ns_per_build\"}},"
+    );
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"k\": {}, \"contains_raw\": {:.1}, \"contains_prepared\": {:.1}, \
+\"contains_speedup\": {:.2}, \"segment_raw\": {:.1}, \"segment_prepared\": {:.1}, \
+\"segment_speedup\": {:.2}, \"prepare\": {:.0}}}",
+            r.k,
+            r.contains_raw_ns,
+            r.contains_prepared_ns,
+            r.contains_speedup(),
+            r.segment_raw_ns,
+            r.segment_prepared_ns,
+            r.segment_speedup(),
+            r.prepare_ns,
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_rows_are_sane() {
+        // Tiny configuration: correctness of the plumbing, not timing.
+        let rows = measure_prepared_primitives(&[8, 32], 64);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.contains_raw_ns > 0.0);
+            assert!(r.contains_prepared_ns > 0.0);
+            assert!(r.segment_raw_ns > 0.0);
+            assert!(r.segment_prepared_ns > 0.0);
+            assert!(r.prepare_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let rows = [PreparedBenchRow {
+            k: 8,
+            contains_raw_ns: 100.0,
+            contains_prepared_ns: 50.0,
+            segment_raw_ns: 80.0,
+            segment_prepared_ns: 40.0,
+            prepare_ns: 1000.0,
+        }];
+        let json = prepared_report_json(&rows);
+        assert!(json.contains("\"k\": 8"));
+        assert!(json.contains("\"contains_speedup\": 2.00"));
+        assert!(json.contains("\"segment_speedup\": 2.00"));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

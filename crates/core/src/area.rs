@@ -12,7 +12,7 @@
 //! needs connectedness; the traditional method does not, but a
 //! disconnected "area" is two queries in disguise anyway.
 
-use vaq_geom::{Point, Polygon, Rect, Region, Segment};
+use vaq_geom::{Point, Polygon, PreparedPolygon, PreparedRegion, Rect, Region, Segment};
 
 /// Operations the area-query methods need from a query area.
 pub trait QueryArea {
@@ -90,6 +90,64 @@ impl QueryArea for Region {
     }
 }
 
+/// Prepared areas answer the same five operations through their
+/// build-once indexes — results are bit-identical to the raw types (see
+/// `vaq_geom::prepared`), so queries over a [`PreparedPolygon`] return
+/// exactly what the raw [`Polygon`] would, faster.
+impl QueryArea for PreparedPolygon {
+    #[inline]
+    fn mbr(&self) -> Rect {
+        PreparedPolygon::mbr(self)
+    }
+
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        PreparedPolygon::contains(self, p)
+    }
+
+    #[inline]
+    fn boundary_intersects_segment(&self, s: &Segment) -> bool {
+        PreparedPolygon::boundary_intersects_segment(self, s)
+    }
+
+    #[inline]
+    fn intersects_polygon(&self, poly: &Polygon) -> bool {
+        PreparedPolygon::intersects_polygon(self, poly)
+    }
+
+    #[inline]
+    fn interior_point(&self) -> Point {
+        PreparedPolygon::interior_point(self)
+    }
+}
+
+impl QueryArea for PreparedRegion {
+    #[inline]
+    fn mbr(&self) -> Rect {
+        PreparedRegion::mbr(self)
+    }
+
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        PreparedRegion::contains(self, p)
+    }
+
+    #[inline]
+    fn boundary_intersects_segment(&self, s: &Segment) -> bool {
+        PreparedRegion::boundary_intersects_segment(self, s)
+    }
+
+    #[inline]
+    fn intersects_polygon(&self, poly: &Polygon) -> bool {
+        PreparedRegion::intersects_polygon(self, poly)
+    }
+
+    #[inline]
+    fn interior_point(&self) -> Point {
+        PreparedRegion::interior_point(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +171,43 @@ mod tests {
             &Segment::new(p(-1.0, 0.5), p(1.0, 0.5))
         ));
         assert!(QueryArea::contains(&a, QueryArea::interior_point(&a)));
+    }
+
+    /// Prepared areas answer the five operations identically to raw.
+    #[test]
+    fn prepared_forwarding_matches_raw() {
+        let a = tri();
+        let prep = PreparedPolygon::new(a.clone());
+        assert_eq!(QueryArea::mbr(&prep), QueryArea::mbr(&a));
+        assert_eq!(
+            QueryArea::interior_point(&prep),
+            QueryArea::interior_point(&a)
+        );
+        let probes = [p(0.2, 0.2), p(0.0, 0.0), p(0.5, 0.5), p(2.0, 2.0)];
+        for q in probes {
+            assert_eq!(QueryArea::contains(&prep, q), QueryArea::contains(&a, q));
+        }
+        let s = Segment::new(p(-1.0, 0.5), p(1.0, 0.5));
+        assert_eq!(
+            QueryArea::boundary_intersects_segment(&prep, &s),
+            QueryArea::boundary_intersects_segment(&a, &s)
+        );
+        assert_eq!(
+            QueryArea::intersects_polygon(&prep, &tri()),
+            QueryArea::intersects_polygon(&a, &tri())
+        );
+
+        let outer = Polygon::new(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)]).unwrap();
+        let hole = Polygon::new(vec![p(1.0, 1.0), p(3.0, 1.0), p(3.0, 3.0), p(1.0, 3.0)]).unwrap();
+        let r = Region::new(outer, vec![hole]);
+        let prep_r = PreparedRegion::new(r.clone());
+        for q in [p(0.5, 0.5), p(2.0, 2.0), p(5.0, 5.0), p(1.0, 2.0)] {
+            assert_eq!(QueryArea::contains(&prep_r, q), QueryArea::contains(&r, q));
+        }
+        assert_eq!(
+            QueryArea::interior_point(&prep_r),
+            QueryArea::interior_point(&r)
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use crate::area::QueryArea;
 use crate::engine::{AreaQueryEngine, QueryResult, SeedIndex};
 use crate::voronoi_query::ExpansionPolicy;
+use vaq_geom::{Polygon, PreparedPolygon};
 
 impl AreaQueryEngine {
     /// Answers `areas` sequentially with the Voronoi method, reusing one
@@ -20,9 +21,7 @@ impl AreaQueryEngine {
         let mut scratch = self.new_scratch();
         areas
             .iter()
-            .map(|a| {
-                self.voronoi_with(a, ExpansionPolicy::Segment, SeedIndex::RTree, &mut scratch)
-            })
+            .map(|a| self.voronoi_with(a, ExpansionPolicy::Segment, SeedIndex::RTree, &mut scratch))
             .collect()
     }
 
@@ -51,6 +50,37 @@ impl AreaQueryEngine {
                 .collect()
         })
     }
+
+    /// As [`AreaQueryEngine::voronoi_batch`], but every area is
+    /// **prepared once up front** (query compilation: slab index + edge
+    /// grid + cached MBR/interior point) before any query runs, so the
+    /// per-candidate and per-frontier primitives inside the batch hot
+    /// loop are index-backed. Results are identical to the raw batch.
+    pub fn voronoi_batch_prepared(&self, areas: &[Polygon]) -> Vec<QueryResult> {
+        let prepared = prepare_all(areas);
+        self.voronoi_batch(&prepared)
+    }
+
+    /// As [`AreaQueryEngine::voronoi_batch_parallel`] with prepare-once
+    /// semantics: preparation happens once on the calling thread, and the
+    /// immutable prepared areas are shared by every worker.
+    pub fn voronoi_batch_parallel_prepared(
+        &self,
+        areas: &[Polygon],
+        threads: usize,
+    ) -> Vec<QueryResult> {
+        let prepared = prepare_all(areas);
+        self.voronoi_batch_parallel(&prepared, threads)
+    }
+}
+
+/// Query-compiles a slice of polygons (shared helper of the prepared
+/// batch entry points).
+fn prepare_all(areas: &[Polygon]) -> Vec<PreparedPolygon> {
+    areas
+        .iter()
+        .map(|a| PreparedPolygon::new(a.clone()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -103,6 +133,26 @@ mod tests {
             for (a, b) in par.iter().zip(&seq) {
                 assert_eq!(a.indices, b.indices, "threads={threads}");
                 assert_eq!(a.stats.candidates, b.stats.candidates);
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_batch_matches_raw_batch() {
+        let engine = AreaQueryEngine::build(&uniform(3000, 21));
+        let areas = squares();
+        let raw = engine.voronoi_batch(&areas);
+        let prepared = engine.voronoi_batch_prepared(&areas);
+        assert_eq!(raw.len(), prepared.len());
+        for (a, b) in raw.iter().zip(&prepared) {
+            assert_eq!(a.indices, b.indices);
+            assert_eq!(a.stats.candidates, b.stats.candidates);
+            assert_eq!(a.stats.segment_tests, b.stats.segment_tests);
+        }
+        for threads in [2, 4] {
+            let par = engine.voronoi_batch_parallel_prepared(&areas, threads);
+            for (a, b) in raw.iter().zip(&par) {
+                assert_eq!(a.indices, b.indices, "threads={threads}");
             }
         }
     }

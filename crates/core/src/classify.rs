@@ -72,7 +72,9 @@ mod tests {
 
     fn uniform(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+        (0..n)
+            .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
     }
 
     fn setup(seed: u64, n: usize) -> (Vec<Point>, Triangulation, Polygon, Rect) {
@@ -111,10 +113,10 @@ mod tests {
         for seed in [72u64, 73, 74, 75, 76, 77] {
             let (_, tri, area, window) = setup(seed, 250);
             let classes = classify_points(&tri, &area, &window);
-            let in_set =
-                |v: u32| classes[v as usize] != PointClass::External;
-            let members: Vec<u32> =
-                (0..tri.vertex_count() as u32).filter(|&v| in_set(v)).collect();
+            let in_set = |v: u32| classes[v as usize] != PointClass::External;
+            let members: Vec<u32> = (0..tri.vertex_count() as u32)
+                .filter(|&v| in_set(v))
+                .collect();
             if members.is_empty() {
                 continue;
             }
@@ -174,13 +176,8 @@ mod tests {
     fn area_covering_all_points_makes_everything_internal() {
         let pts = uniform(50, 78);
         let tri = Triangulation::new(&pts).unwrap();
-        let area = Polygon::new(vec![
-            p(-1.0, -1.0),
-            p(2.0, -1.0),
-            p(2.0, 2.0),
-            p(-1.0, 2.0),
-        ])
-        .unwrap();
+        let area =
+            Polygon::new(vec![p(-1.0, -1.0), p(2.0, -1.0), p(2.0, 2.0), p(-1.0, 2.0)]).unwrap();
         let window = Rect::new(p(-3.0, -3.0), p(4.0, 4.0));
         let classes = classify_points(&tri, &area, &window);
         assert!(classes.iter().all(|&c| c == PointClass::Internal));
@@ -194,8 +191,14 @@ mod tests {
         let area = Polygon::new(vec![p(10.0, 10.0), p(11.0, 10.0), p(10.5, 11.0)]).unwrap();
         let window = Rect::new(p(-1.0, -1.0), p(12.0, 12.0));
         let classes = classify_points(&tri, &area, &window);
-        let internal = classes.iter().filter(|&&c| c == PointClass::Internal).count();
-        let external = classes.iter().filter(|&&c| c == PointClass::External).count();
+        let internal = classes
+            .iter()
+            .filter(|&&c| c == PointClass::Internal)
+            .count();
+        let external = classes
+            .iter()
+            .filter(|&&c| c == PointClass::External)
+            .count();
         assert_eq!(internal, 0);
         assert!(external > 150, "most points should be external");
     }

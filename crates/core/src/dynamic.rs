@@ -85,8 +85,8 @@ impl DynamicAreaQueryEngine {
         if self.tombstones.contains(&id) {
             return false;
         }
-        let exists = self.base_ids.binary_search(&id).is_ok()
-            || self.delta.iter().any(|&(d, _)| d == id);
+        let exists =
+            self.base_ids.binary_search(&id).is_ok() || self.delta.iter().any(|&(d, _)| d == id);
         if exists {
             self.tombstones.insert(id);
         }
@@ -175,7 +175,9 @@ mod tests {
 
     fn uniform(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+        (0..n)
+            .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
     }
 
     fn square(cx: f64, cy: f64, half: f64) -> Polygon {
@@ -322,9 +324,8 @@ mod tests {
                     oracle.live.push((id, q));
                 }
                 5..=7 => {
-                    if let Some(&(id, _)) = oracle
-                        .live
-                        .get(rng.gen_range(0..oracle.live.len().max(1)))
+                    if let Some(&(id, _)) =
+                        oracle.live.get(rng.gen_range(0..oracle.live.len().max(1)))
                     {
                         eng.remove(id);
                         oracle.live.retain(|&(i, _)| i != id);

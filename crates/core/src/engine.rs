@@ -32,6 +32,7 @@
 //! the benchmark harness quantify it.
 
 use crate::area::QueryArea;
+use crate::classify::{classify_points, PointClass};
 use crate::payload::RecordStore;
 use crate::scratch::QueryScratch;
 use crate::stats::QueryStats;
@@ -40,9 +41,8 @@ use crate::traditional::{
     FilterIndex,
 };
 use crate::voronoi_query::{arbitrary_position_in, voronoi_area_query, ExpansionPolicy};
-use crate::classify::{classify_points, PointClass};
 use vaq_delaunay::Triangulation;
-use vaq_geom::{Point, Rect};
+use vaq_geom::{Point, Polygon, PreparedPolygon, Rect};
 use vaq_kdtree::KdTree;
 use vaq_quadtree::Quadtree;
 use vaq_rtree::{RTree, SplitAlgorithm};
@@ -166,7 +166,9 @@ impl EngineBuilder {
             Some(Triangulation::new(&self.points).expect("finite, non-empty input"))
         };
         let kdtree = self.build_kdtree.then(|| KdTree::build(&self.points));
-        let quadtree = self.build_quadtree.then(|| Quadtree::bulk_load(&self.points));
+        let quadtree = self
+            .build_quadtree
+            .then(|| Quadtree::bulk_load(&self.points));
         let records = (self.payload_bytes > 0)
             .then(|| RecordStore::generate(self.points.len(), self.payload_bytes, 0x5EED));
         let data_bbox = Rect::from_points(self.points.iter().copied());
@@ -368,6 +370,27 @@ impl AreaQueryEngine {
         QueryResult { indices, stats }
     }
 
+    /// Voronoi-based area query over a **prepared** polygon: the area is
+    /// query-compiled once (slab decomposition + edge grid + cached
+    /// MBR/interior point, see [`vaq_geom::prepared`]) and the per-
+    /// candidate `contains` / per-frontier segment tests run against the
+    /// index instead of scanning all `k` polygon edges.
+    ///
+    /// Results are identical to [`AreaQueryEngine::voronoi`] — the
+    /// prepared layer is exact. For repeated queries with the same area,
+    /// prepare once yourself and call [`AreaQueryEngine::voronoi`] with
+    /// the [`PreparedPolygon`]; this convenience re-prepares per call.
+    pub fn voronoi_prepared(&self, area: &Polygon) -> QueryResult {
+        self.voronoi(&PreparedPolygon::new(area.clone()))
+    }
+
+    /// Traditional filter–refine query with a prepared refine step (the
+    /// exact containment tests run against the prepared index). Identical
+    /// results to [`AreaQueryEngine::traditional`].
+    pub fn traditional_prepared(&self, area: &Polygon) -> QueryResult {
+        self.traditional(&PreparedPolygon::new(area.clone()))
+    }
+
     /// Counts the points inside `area` without materialising them — the
     /// aggregate form of the area query (`SELECT COUNT(*) WHERE
     /// Contains(A, p)`), using the Voronoi method's candidate generation.
@@ -444,7 +467,9 @@ mod tests {
 
     fn uniform(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+        (0..n)
+            .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
     }
 
     fn star_polygon(c: Point, r_max: f64, k: usize, seed: u64) -> Polygon {
@@ -468,7 +493,10 @@ mod tests {
     #[test]
     fn methods_agree_with_each_other_and_brute_force() {
         let pts = uniform(600, 81);
-        let engine = AreaQueryEngine::builder(&pts).with_kdtree().with_quadtree().build();
+        let engine = AreaQueryEngine::builder(&pts)
+            .with_kdtree()
+            .with_quadtree()
+            .build();
         let mut scratch = engine.new_scratch();
         for seed in 0..8u64 {
             let area = star_polygon(p(0.5, 0.5), 0.25, 10, seed);
@@ -497,6 +525,46 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// The prepared path must traverse exactly the same BFS (identical
+    /// results *and* identical work counters) — the index only changes
+    /// how each primitive is answered, never its answer.
+    #[test]
+    fn prepared_queries_bit_match_raw_queries() {
+        let pts = uniform(1500, 90);
+        let engine = AreaQueryEngine::build(&pts);
+        for seed in 0..6u64 {
+            let area = star_polygon(p(0.5, 0.5), 0.25, 24, 700 + seed);
+            let raw_v = engine.voronoi(&area);
+            let prep_v = engine.voronoi_prepared(&area);
+            assert_eq!(raw_v.indices, prep_v.indices, "voronoi results");
+            assert_eq!(
+                raw_v.stats.candidates, prep_v.stats.candidates,
+                "voronoi candidates"
+            );
+            assert_eq!(
+                raw_v.stats.segment_tests, prep_v.stats.segment_tests,
+                "voronoi segment tests"
+            );
+            let raw_t = engine.traditional(&area);
+            let prep_t = engine.traditional_prepared(&area);
+            assert_eq!(raw_t.indices, prep_t.indices, "traditional results");
+            assert_eq!(raw_t.stats.candidates, prep_t.stats.candidates);
+            // Classification and counts flow through the same trait.
+            let prep = PreparedPolygon::new(area.clone());
+            assert_eq!(engine.classify(&area), engine.classify(&prep));
+            let mut s1 = engine.new_scratch();
+            let mut s2 = engine.new_scratch();
+            assert_eq!(
+                engine.voronoi_count(&area, &mut s1),
+                engine.voronoi_count(&prep, &mut s2)
+            );
+            assert_eq!(
+                engine.traditional_count(&area),
+                engine.traditional_count(&prep)
+            );
         }
     }
 
@@ -569,8 +637,8 @@ mod tests {
     fn collinear_dataset_still_answers_correctly() {
         let pts: Vec<Point> = (0..50).map(|i| p(f64::from(i) * 0.02, 0.5)).collect();
         let engine = AreaQueryEngine::build(&pts);
-        let area = Polygon::new(vec![p(0.25, 0.4), p(0.55, 0.4), p(0.55, 0.6), p(0.25, 0.6)])
-            .unwrap();
+        let area =
+            Polygon::new(vec![p(0.25, 0.4), p(0.55, 0.4), p(0.55, 0.6), p(0.25, 0.6)]).unwrap();
         let mut want = engine.brute_force(&area);
         want.sort_unstable();
         assert!(!want.is_empty());
@@ -626,12 +694,8 @@ mod tests {
             assert_eq!(engine.traditional_count(&area), want);
         }
         // Duplicates are counted with multiplicity.
-        let dup_engine = AreaQueryEngine::build(&[
-            p(0.5, 0.5),
-            p(0.5, 0.5),
-            p(0.5, 0.5),
-            p(0.9, 0.9),
-        ]);
+        let dup_engine =
+            AreaQueryEngine::build(&[p(0.5, 0.5), p(0.5, 0.5), p(0.5, 0.5), p(0.9, 0.9)]);
         let mut s = dup_engine.new_scratch();
         let area = star_polygon(p(0.5, 0.5), 0.2, 10, 1);
         let want = dup_engine.brute_force(&area).len();
@@ -649,7 +713,10 @@ mod tests {
         let engine = AreaQueryEngine::build(&pts);
         let area = star_polygon(p(0.5, 0.5), 0.3, 10, 88);
         let classes = engine.classify(&area).unwrap();
-        let internal = classes.iter().filter(|&&c| c == PointClass::Internal).count();
+        let internal = classes
+            .iter()
+            .filter(|&&c| c == PointClass::Internal)
+            .count();
         assert_eq!(internal, engine.brute_force(&area).len());
     }
 }

@@ -65,8 +65,8 @@ pub mod traditional;
 pub mod voronoi_query;
 
 pub use area::QueryArea;
-pub use dynamic::DynamicAreaQueryEngine;
 pub use classify::{classify_points, PointClass};
+pub use dynamic::DynamicAreaQueryEngine;
 pub use engine::{AreaQueryEngine, EngineBuilder, QueryResult, SeedIndex};
 pub use payload::RecordStore;
 pub use scratch::QueryScratch;

@@ -67,9 +67,9 @@ impl RecordStore {
     pub fn read(&self, id: u32) -> u64 {
         let lo = id as usize * self.record_bytes;
         let hi = lo + self.record_bytes;
-        self.data[lo..hi]
-            .iter()
-            .fold(0u64, |acc, &b| acc.wrapping_mul(31).wrapping_add(u64::from(b)))
+        self.data[lo..hi].iter().fold(0u64, |acc, &b| {
+            acc.wrapping_mul(31).wrapping_add(u64::from(b))
+        })
     }
 }
 

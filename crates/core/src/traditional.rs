@@ -111,7 +111,9 @@ mod tests {
 
     fn uniform(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+        (0..n)
+            .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
     }
 
     fn brute(pts: &[Point], area: &Polygon) -> Vec<u32> {
@@ -151,7 +153,10 @@ mod tests {
         assert_eq!(got, want);
 
         // All filters produce the same candidate set: the points in the MBR.
-        let in_mbr = pts.iter().filter(|q| area.mbr().contains_point(**q)).count();
+        let in_mbr = pts
+            .iter()
+            .filter(|q| area.mbr().contains_point(**q))
+            .count();
         for s in [&s1, &s2, &s3] {
             assert_eq!(s.candidates, in_mbr);
             assert_eq!(s.accepted, want.len());

@@ -153,7 +153,9 @@ mod tests {
 
     fn uniform(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+        (0..n)
+            .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
     }
 
     /// Random star-shaped polygon around `c`: angles sorted, radii random.
@@ -186,19 +188,23 @@ mod tests {
         r.expand(r.width().max(r.height()) + 1.0)
     }
 
-    fn run(
-        pts: &[Point],
-        area: &Polygon,
-        policy: ExpansionPolicy,
-    ) -> (Vec<u32>, QueryStats) {
+    fn run(pts: &[Point], area: &Polygon, policy: ExpansionPolicy) -> (Vec<u32>, QueryStats) {
         let tri = Triangulation::new(pts).unwrap();
         let pa = arbitrary_position_in(area);
         let seed = tri.nearest_vertex(pa, None);
         let mut scratch = QueryScratch::new(tri.vertex_count());
         let mut stats = QueryStats::default();
         let win = window_for(pts, area);
-        let mut got =
-            voronoi_area_query(&tri, area, seed, policy, &win, None, &mut scratch, &mut stats);
+        let mut got = voronoi_area_query(
+            &tri,
+            area,
+            seed,
+            policy,
+            &win,
+            None,
+            &mut scratch,
+            &mut stats,
+        );
         got.sort_unstable();
         (got, stats)
     }
@@ -255,12 +261,7 @@ mod tests {
     fn area_with_no_points_returns_empty() {
         let pts = uniform(100, 5);
         // A tiny triangle squeezed between grid positions far from points.
-        let area = Polygon::new(vec![
-            p(10.0, 10.0),
-            p(10.001, 10.0),
-            p(10.0, 10.001),
-        ])
-        .unwrap();
+        let area = Polygon::new(vec![p(10.0, 10.0), p(10.001, 10.0), p(10.0, 10.001)]).unwrap();
         let (got, stats) = run(&pts, &area, ExpansionPolicy::Segment);
         assert!(got.is_empty());
         assert_eq!(stats.accepted, 0);
@@ -270,13 +271,8 @@ mod tests {
     #[test]
     fn area_covering_everything_returns_everything() {
         let pts = uniform(200, 6);
-        let area = Polygon::new(vec![
-            p(-1.0, -1.0),
-            p(2.0, -1.0),
-            p(2.0, 2.0),
-            p(-1.0, 2.0),
-        ])
-        .unwrap();
+        let area =
+            Polygon::new(vec![p(-1.0, -1.0), p(2.0, -1.0), p(2.0, 2.0), p(-1.0, 2.0)]).unwrap();
         let want = brute(&pts, &area);
         let (got_seg, stats) = run(&pts, &area, ExpansionPolicy::Segment);
         assert_eq!(got_seg, want);
@@ -322,13 +318,8 @@ mod tests {
         // Add two isolated interior points inside the sliver at both ends.
         pts.push(p(0.5, 0.5));
         pts.push(p(18.5, 0.5));
-        let area = Polygon::new(vec![
-            p(0.2, 0.4),
-            p(18.8, 0.4),
-            p(18.8, 0.6),
-            p(0.2, 0.6),
-        ])
-        .unwrap();
+        let area =
+            Polygon::new(vec![p(0.2, 0.4), p(18.8, 0.4), p(18.8, 0.6), p(0.2, 0.6)]).unwrap();
         let want = brute(&pts, &area);
         assert_eq!(want.len(), 2, "exactly the two sliver points");
         let (got_cell, _) = run(&pts, &area, ExpansionPolicy::Cell);
@@ -343,13 +334,8 @@ mod tests {
     #[test]
     fn degenerate_collinear_point_set() {
         let pts: Vec<Point> = (0..30).map(|i| p(f64::from(i) * 0.1, 0.5)).collect();
-        let area = Polygon::new(vec![
-            p(0.55, 0.0),
-            p(1.45, 0.0),
-            p(1.45, 1.0),
-            p(0.55, 1.0),
-        ])
-        .unwrap();
+        let area =
+            Polygon::new(vec![p(0.55, 0.0), p(1.45, 0.0), p(1.45, 1.0), p(0.55, 1.0)]).unwrap();
         let want = brute(&pts, &area);
         assert!(!want.is_empty());
         let (got_seg, _) = run(&pts, &area, ExpansionPolicy::Segment);

@@ -134,7 +134,9 @@ mod tests {
 
     fn uniform(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+        (0..n)
+            .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
     }
 
     /// Naive O(n²) Prim MST weight for cross-checking.
@@ -205,8 +207,7 @@ mod tests {
         let tri = Triangulation::new(&pts).unwrap();
         let gabriel: std::collections::HashSet<(u32, u32)> =
             tri.gabriel_graph().into_iter().collect();
-        let delaunay: std::collections::HashSet<(u32, u32)> =
-            tri.edges().into_iter().collect();
+        let delaunay: std::collections::HashSet<(u32, u32)> = tri.edges().into_iter().collect();
         assert!(gabriel.is_subset(&delaunay));
         for (u, v) in tri.euclidean_mst() {
             let key = if u < v { (u, v) } else { (v, u) };
@@ -220,8 +221,7 @@ mod tests {
     fn gabriel_matches_brute_force_definition() {
         let pts = uniform(80, 13);
         let tri = Triangulation::new(&pts).unwrap();
-        let got: std::collections::HashSet<(u32, u32)> =
-            tri.gabriel_graph().into_iter().collect();
+        let got: std::collections::HashSet<(u32, u32)> = tri.gabriel_graph().into_iter().collect();
         for (u, v) in tri.edges() {
             let centre = pts[u as usize].midpoint(pts[v as usize]);
             let r_sq = centre.dist_sq(pts[u as usize]);

@@ -88,7 +88,9 @@ mod tests {
 
     fn uniform(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+        (0..n)
+            .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
     }
 
     fn brute_knn_dists(pts: &[Point], q: Point, k: usize) -> Vec<f64> {

@@ -268,7 +268,10 @@ impl Core {
             self.mesh.tri_mut(next).n[1] = t;
         }
 
-        debug_assert!(finite_example != NONE, "insertion created no finite triangle");
+        debug_assert!(
+            finite_example != NONE,
+            "insertion created no finite triangle"
+        );
         self.last_finite = finite_example;
     }
 }
@@ -340,9 +343,7 @@ impl Triangulation {
             ins_order[2..]
                 .iter()
                 .copied()
-                .find(|&i2| {
-                    orient2d(pts[i0 as usize], pts[i1 as usize], pts[i2 as usize]) != 0.0
-                })
+                .find(|&i2| orient2d(pts[i0 as usize], pts[i1 as usize], pts[i2 as usize]) != 0.0)
                 .map(|i2| (i0, i1, i2))
         } else {
             None
@@ -386,9 +387,9 @@ impl Triangulation {
         core.mesh.link(t, 2, g01); // edge (i0,i1) ↔ ghost (i1,i0)
         core.mesh.link(t, 0, g12); // edge (i1,i2) ↔ ghost (i2,i1)
         core.mesh.link(t, 1, g20); // edge (i2,i0) ↔ ghost (i0,i2)
-        // Ghost-to-ghost links around the hull: ghosts share GHOST-incident
-        // edges. Ghost (i1,i0,G): edge (i0,G) is shared with ghost (i0,i2,G)
-        // whose edge (G,i0) matches reversed, etc.
+                                   // Ghost-to-ghost links around the hull: ghosts share GHOST-incident
+                                   // edges. Ghost (i1,i0,G): edge (i0,G) is shared with ghost (i0,i2,G)
+                                   // whose edge (G,i0) matches reversed, etc.
         core.mesh.link(g01, 0, g20); // (i0,G) ↔ (G,i0)
         core.mesh.link(g01, 1, g12); // (G,i1) ↔ (i1,G)
         core.mesh.link(g12, 0, g01); // redundant with previous, harmless
@@ -843,7 +844,9 @@ mod tests {
 
     /// Brute-force nearest canonical vertex.
     fn brute_nn(pts: &[Point], q: Point) -> f64 {
-        pts.iter().map(|s| s.dist_sq(q)).fold(f64::INFINITY, f64::min)
+        pts.iter()
+            .map(|s| s.dist_sq(q))
+            .fold(f64::INFINITY, f64::min)
     }
 
     #[test]

@@ -71,10 +71,7 @@ impl VoronoiDiagram {
                 unbounded: hull_mark[v as usize],
             })
             .collect();
-        VoronoiDiagram {
-            cells,
-            window,
-        }
+        VoronoiDiagram { cells, window }
     }
 
     /// The cell of canonical vertex `v`.
@@ -121,7 +118,9 @@ mod tests {
 
     fn uniform(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+        (0..n)
+            .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
     }
 
     fn unit_window() -> Rect {

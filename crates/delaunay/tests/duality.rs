@@ -12,7 +12,9 @@ fn p(x: f64, y: f64) -> Point {
 
 fn uniform(n: usize, seed: u64) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+    (0..n)
+        .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect()
 }
 
 fn window() -> Rect {
@@ -84,8 +86,7 @@ fn non_adjacent_cells_do_not_overlap() {
         let strictly_inside: Vec<u32> = (0..tri.vertex_count() as u32)
             .filter(|&v| {
                 let ring = &vd.cell(v).polygon;
-                ring.len() >= 3
-                    && Polygon::new_unchecked(ring.clone()).contains_strict(q)
+                ring.len() >= 3 && Polygon::new_unchecked(ring.clone()).contains_strict(q)
             })
             .collect();
         assert!(
@@ -114,9 +115,8 @@ fn cell_polygon_matches_diagram() {
 fn locate_agrees_with_geometry() {
     let pts = uniform(200, 47);
     let tri = Triangulation::new(&pts).unwrap();
-    let hull_poly = Polygon::new_unchecked(
-        tri.hull().iter().map(|&h| tri.point(h)).collect::<Vec<_>>(),
-    );
+    let hull_poly =
+        Polygon::new_unchecked(tri.hull().iter().map(|&h| tri.point(h)).collect::<Vec<_>>());
     let mut rng = StdRng::seed_from_u64(48);
     for _ in 0..400 {
         let q = p(rng.gen::<f64>() * 1.4 - 0.2, rng.gen::<f64>() * 1.4 - 0.2);

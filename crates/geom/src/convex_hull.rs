@@ -122,7 +122,9 @@ mod tests {
         // Deterministic pseudo-random points (LCG) — no rand dependency here.
         let mut state = 0x2545F4914F6CDD1Du64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         let pts: Vec<Point> = (0..200).map(|_| p(next(), next())).collect();

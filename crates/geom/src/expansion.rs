@@ -352,7 +352,7 @@ mod tests {
         // x + y must equal a + b exactly; the tail captures what fl() lost.
         assert_eq!(x, 1e16 + 1.0); // rounds to 1e16 + 2 or stays; whatever fl gives
         assert_eq!(x + y, x); // components non-overlapping: adding tail is no-op in fl
-        // Reconstruct via i128 on an integer case instead:
+                              // Reconstruct via i128 on an integer case instead:
         let (x, y) = two_sum(9_007_199_254_740_992.0, 1.0); // 2^53 + 1 not representable
         assert_eq!(x as i128 + y as i128, 9_007_199_254_740_993);
     }
@@ -364,7 +364,7 @@ mod tests {
         let b = 0.5;
         let (x, y) = two_diff(a, b);
         assert_eq!(x * 2.0, (a - b + y) * 2.0 - y * 2.0 + (x - x)); // identity smoke
-        // Exact check scaled by 2 so everything is an integer:
+                                                                    // Exact check scaled by 2 so everything is an integer:
         assert_eq!((x * 2.0) as i128 + (y * 2.0) as i128, (a * 2.0) as i128 - 1);
         // two_diff_tail agrees with two_diff's tail.
         assert_eq!(two_diff_tail(a, b, a - b), y);

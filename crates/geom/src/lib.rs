@@ -23,6 +23,11 @@
 //!   triangulation hull bookkeeping.
 //! * [`clip`] — Sutherland–Hodgman half-plane clipping, used to clip
 //!   unbounded Voronoi cells to a bounding rectangle.
+//! * [`prepared`] — **query-compiled areas**: [`PreparedPolygon`] /
+//!   [`PreparedRegion`] preprocess a query area once (slab decomposition +
+//!   edge-bucket grid + cached MBR/interior point) so the hot-path
+//!   primitives `contains` and `boundary_intersects_segment` stop scanning
+//!   all edges, while returning bit-identical results to the raw types.
 //!
 //! ## Conventions
 //!
@@ -43,6 +48,7 @@ pub mod expansion;
 pub mod point;
 pub mod polygon;
 pub mod predicates;
+pub mod prepared;
 pub mod rect;
 pub mod region;
 pub mod segment;
@@ -53,6 +59,7 @@ pub use convex_hull::{convex_hull_indices, convex_hull_points};
 pub use point::Point;
 pub use polygon::Polygon;
 pub use predicates::{in_circle, incircle, orient2d, orientation, Orientation};
+pub use prepared::{PreparedPolygon, PreparedRegion};
 pub use rect::Rect;
 pub use region::Region;
 pub use segment::Segment;
@@ -122,7 +129,11 @@ mod tests {
         let r: Rect = poly.mbr();
         assert!(r.contains_point(p));
         assert_eq!(
-            orientation(Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)),
+            orientation(
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.0, 1.0)
+            ),
             Orientation::Ccw
         );
     }

@@ -14,12 +14,32 @@ use crate::GeomError;
 /// A polygon given by its vertex ring (implicitly closed, no repeated
 /// first/last vertex). May be convex or concave; vertices may wind either
 /// way.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// The MBR is computed once at construction and cached: every segment test
+/// starts with an MBR fast-reject, and the traditional filter step queries
+/// it per query — recomputing it `O(n)` per call would put an `O(n)` scan
+/// in front of every `O(1)` reject.
+#[derive(Clone, Debug)]
 pub struct Polygon {
     vertices: Vec<Point>,
+    mbr: Rect,
+}
+
+impl PartialEq for Polygon {
+    fn eq(&self, other: &Polygon) -> bool {
+        // The MBR is derived from the vertices; comparing it would be
+        // redundant.
+        self.vertices == other.vertices
+    }
 }
 
 impl Polygon {
+    /// Internal constructor computing the cached derived data.
+    fn from_vertices(vertices: Vec<Point>) -> Polygon {
+        let mbr = Rect::from_points(vertices.iter().copied());
+        Polygon { vertices, mbr }
+    }
+
     /// Creates a polygon, validating that it has at least three vertices,
     /// all coordinates are finite, and its area is non-zero.
     ///
@@ -32,7 +52,7 @@ impl Polygon {
         if let Some(p) = vertices.iter().find(|p| !p.is_finite()) {
             return Err(GeomError::NonFiniteCoordinate(*p));
         }
-        let poly = Polygon { vertices };
+        let poly = Polygon::from_vertices(vertices);
         if poly.signed_area() == 0.0 {
             return Err(GeomError::DegeneratePolygon);
         }
@@ -44,7 +64,7 @@ impl Polygon {
     /// Useful for internal construction where the invariants are known to
     /// hold (e.g. clipped Voronoi cells).
     pub fn new_unchecked(vertices: Vec<Point>) -> Polygon {
-        Polygon { vertices }
+        Polygon::from_vertices(vertices)
     }
 
     /// The vertex ring.
@@ -115,10 +135,7 @@ impl Polygon {
         }
         if a.abs() < f64::MIN_POSITIVE {
             let inv = 1.0 / n as f64;
-            let sum = self
-                .vertices
-                .iter()
-                .fold(Point::ORIGIN, |acc, &p| acc + p);
+            let sum = self.vertices.iter().fold(Point::ORIGIN, |acc, &p| acc + p);
             return sum * inv;
         }
         Point::new(cx / (3.0 * a), cy / (3.0 * a))
@@ -128,8 +145,9 @@ impl Polygon {
     ///
     /// This is the window the traditional filter step queries — the paper's
     /// whole argument is about `area(MBR) ≫ area(polygon)`.
+    #[inline]
     pub fn mbr(&self) -> Rect {
-        Rect::from_points(self.vertices.iter().copied())
+        self.mbr
     }
 
     /// `true` when the vertices wind counter-clockwise.
@@ -142,7 +160,11 @@ impl Polygon {
     pub fn reversed(&self) -> Polygon {
         let mut v = self.vertices.clone();
         v.reverse();
-        Polygon { vertices: v }
+        // Reversal preserves the vertex set, hence the MBR.
+        Polygon {
+            vertices: v,
+            mbr: self.mbr,
+        }
     }
 
     /// `true` when `p` lies inside the polygon or exactly on its boundary.
@@ -255,7 +277,8 @@ impl Polygon {
         if self.vertices.iter().any(|&v| other.contains(v)) {
             return true;
         }
-        self.edges().any(|e| other.edges().any(|f| e.intersects(&f)))
+        self.edges()
+            .any(|e| other.edges().any(|f| e.intersects(&f)))
     }
 
     /// `true` when no two non-adjacent edges intersect and adjacent edges
@@ -319,24 +342,22 @@ impl Polygon {
 
     /// The polygon translated by `(dx, dy)`.
     pub fn translated(&self, dx: f64, dy: f64) -> Polygon {
-        Polygon {
-            vertices: self
-                .vertices
+        Polygon::from_vertices(
+            self.vertices
                 .iter()
                 .map(|&p| Point::new(p.x + dx, p.y + dy))
                 .collect(),
-        }
+        )
     }
 
     /// The polygon scaled by `factor` about `about`.
     pub fn scaled(&self, factor: f64, about: Point) -> Polygon {
-        Polygon {
-            vertices: self
-                .vertices
+        Polygon::from_vertices(
+            self.vertices
                 .iter()
                 .map(|&p| about + (p - about) * factor)
                 .collect(),
-        }
+        )
     }
 
     /// A point guaranteed to lie strictly inside the polygon.
@@ -380,7 +401,7 @@ impl Polygon {
             }
         }
         xs.sort_by(f64::total_cmp);
-        debug_assert!(xs.len() >= 2 && xs.len() % 2 == 0);
+        debug_assert!(xs.len() >= 2 && xs.len().is_multiple_of(2));
         // Midpoint of the widest inside-span for numerical headroom.
         let mut best_span = (xs[0], xs[1]);
         let mut best_w = xs[1] - xs[0];
@@ -417,9 +438,7 @@ impl Polygon {
 
 impl From<Rect> for Polygon {
     fn from(r: Rect) -> Polygon {
-        Polygon {
-            vertices: r.corners().to_vec(),
-        }
+        Polygon::from_vertices(r.corners().to_vec())
     }
 }
 
@@ -590,8 +609,7 @@ mod tests {
         assert!(!bow.is_simple());
         // An asymmetric bowtie has nonzero signed area and passes validation,
         // but is still non-simple.
-        let bow2 =
-            Polygon::new(vec![p(0.0, 0.0), p(4.0, 3.0), p(4.0, 0.0), p(0.0, 2.0)]).unwrap();
+        let bow2 = Polygon::new(vec![p(0.0, 0.0), p(4.0, 3.0), p(4.0, 0.0), p(0.0, 2.0)]).unwrap();
         assert!(!bow2.is_simple());
     }
 

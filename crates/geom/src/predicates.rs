@@ -315,12 +315,24 @@ fn incircle_exact(pa: Point, pb: Point, pc: Point, pd: Point) -> f64 {
     let clift = lift(&cdx, &cdy);
 
     // Minor determinants: bc = bdx*cdy - cdx*bdy, etc.
-    let bc = expansion_diff(&expansion_product(&bdx, &cdy), &expansion_product(&cdx, &bdy));
-    let ca = expansion_diff(&expansion_product(&cdx, &ady), &expansion_product(&adx, &cdy));
-    let ab = expansion_diff(&expansion_product(&adx, &bdy), &expansion_product(&bdx, &ady));
+    let bc = expansion_diff(
+        &expansion_product(&bdx, &cdy),
+        &expansion_product(&cdx, &bdy),
+    );
+    let ca = expansion_diff(
+        &expansion_product(&cdx, &ady),
+        &expansion_product(&adx, &cdy),
+    );
+    let ab = expansion_diff(
+        &expansion_product(&adx, &bdy),
+        &expansion_product(&bdx, &ady),
+    );
 
     let det = expansion_sum(
-        &expansion_sum(&expansion_product(&alift, &bc), &expansion_product(&blift, &ca)),
+        &expansion_sum(
+            &expansion_product(&alift, &bc),
+            &expansion_product(&blift, &ca),
+        ),
         &expansion_product(&clift, &ab),
     );
     expansion_sign(&det)
@@ -372,7 +384,8 @@ mod tests {
         let alift = adx * adx + ady * ady;
         let blift = bdx * bdx + bdy * bdy;
         let clift = cdx * cdx + cdy * cdy;
-        alift * (bdx * cdy - cdx * bdy) + blift * (cdx * ady - adx * cdy)
+        alift * (bdx * cdy - cdx * bdy)
+            + blift * (cdx * ady - adx * cdy)
             + clift * (adx * bdy - bdx * ady)
     }
 
@@ -461,8 +474,8 @@ mod tests {
         // Tiny inward perturbation must be detected as inside.
         let eps = f64::EPSILON;
         let inside = p(eps, eps); // nudged toward the centre from (0, 0)... on circle?
-        // (eps, eps) vs circle centred (0.5, 0.5) radius sqrt(0.5):
-        // dist² = 2*(0.5-eps)² < 0.5, so strictly inside.
+                                  // (eps, eps) vs circle centred (0.5, 0.5) radius sqrt(0.5):
+                                  // dist² = 2*(0.5-eps)² < 0.5, so strictly inside.
         assert!(incircle(q[0], q[1], q[2], inside) > 0.0);
     }
 

@@ -37,12 +37,12 @@ impl Region {
     }
 
     /// Creates a region from vertex rings, validating each ring.
-    pub fn from_rings(
-        outer: Vec<Point>,
-        holes: Vec<Vec<Point>>,
-    ) -> Result<Region, GeomError> {
+    pub fn from_rings(outer: Vec<Point>, holes: Vec<Vec<Point>>) -> Result<Region, GeomError> {
         let outer = Polygon::new(outer)?;
-        let holes = holes.into_iter().map(Polygon::new).collect::<Result<_, _>>()?;
+        let holes = holes
+            .into_iter()
+            .map(Polygon::new)
+            .collect::<Result<_, _>>()?;
         Ok(Region { outer, holes })
     }
 
@@ -70,7 +70,8 @@ impl Region {
     pub fn validate_nesting(&self) -> Result<(), String> {
         for (i, h) in self.holes.iter().enumerate() {
             if !h.vertices().iter().all(|&v| self.outer.contains(v))
-                || h.edges().any(|e| self.outer.edges().any(|o| e.intersects_properly(&o)))
+                || h.edges()
+                    .any(|e| self.outer.edges().any(|o| e.intersects_properly(&o)))
             {
                 return Err(format!("hole {i} is not inside the outer ring"));
             }
@@ -247,7 +248,10 @@ mod tests {
         let r = donut();
         let ip = r.interior_point();
         assert!(r.contains(ip));
-        assert!(!square(0.5, 0.5, 0.2).contains(ip), "must not be in the hole");
+        assert!(
+            !square(0.5, 0.5, 0.2).contains(ip),
+            "must not be in the hole"
+        );
         // A region without holes just returns the polygon's interior point.
         let plain = Region::from_polygon(square(0.2, 0.2, 0.1));
         assert!(plain.contains(plain.interior_point()));

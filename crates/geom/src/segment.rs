@@ -120,7 +120,11 @@ impl Segment {
         [self.a, self.b]
             .into_iter()
             .find(|&p| other.contains_point(p))
-            .or_else(|| [other.a, other.b].into_iter().find(|&p| self.contains_point(p)))
+            .or_else(|| {
+                [other.a, other.b]
+                    .into_iter()
+                    .find(|&p| self.contains_point(p))
+            })
     }
 
     /// Squared distance from `p` to the closest point of the segment.

@@ -258,7 +258,9 @@ mod tests {
 
     fn uniform(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+        (0..n)
+            .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
     }
 
     fn brute_window(pts: &[Point], r: &Rect) -> Vec<u32> {
@@ -309,7 +311,10 @@ mod tests {
         for _ in 0..300 {
             let q = p(rng.gen::<f64>() * 1.4 - 0.2, rng.gen::<f64>() * 1.4 - 0.2);
             let (_, d) = t.nearest(q).unwrap();
-            let want = pts.iter().map(|s| s.dist_sq(q)).fold(f64::INFINITY, f64::min);
+            let want = pts
+                .iter()
+                .map(|s| s.dist_sq(q))
+                .fold(f64::INFINITY, f64::min);
             assert_eq!(d, want, "q = {q}");
         }
     }
@@ -345,7 +350,11 @@ mod tests {
         let mut got = t.window(&Rect::from_center(p(0.5, 0.5), 0.1, 0.1));
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2]);
-        let mut nn3: Vec<u32> = t.k_nearest(p(0.5, 0.5), 3).iter().map(|&(i, _)| i).collect();
+        let mut nn3: Vec<u32> = t
+            .k_nearest(p(0.5, 0.5), 3)
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
         nn3.sort_unstable();
         assert_eq!(nn3, vec![0, 1, 2]);
     }

@@ -187,10 +187,8 @@ impl Quadtree {
     /// bucket. If every point lands in one child (duplicates), the child
     /// will split again on the next insert until `max_depth` stops it.
     fn split_leaf(&mut self, node: u32, rect: &Rect) {
-        let bucket = match std::mem::replace(
-            &mut self.nodes[node as usize],
-            Node::Internal([0; 4]),
-        ) {
+        let bucket = match std::mem::replace(&mut self.nodes[node as usize], Node::Internal([0; 4]))
+        {
             Node::Leaf(b) => b,
             Node::Internal(_) => unreachable!("split_leaf called on internal node"),
         };
@@ -361,7 +359,9 @@ mod tests {
 
     fn uniform(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+        (0..n)
+            .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
     }
 
     fn brute_window(pts: &[Point], r: &Rect) -> Vec<u32> {
@@ -416,7 +416,10 @@ mod tests {
         for _ in 0..200 {
             let q = p(rng.gen::<f64>() * 1.4 - 0.2, rng.gen::<f64>() * 1.4 - 0.2);
             let (_, d) = qt.nearest(q).unwrap();
-            let want = pts.iter().map(|s| s.dist_sq(q)).fold(f64::INFINITY, f64::min);
+            let want = pts
+                .iter()
+                .map(|s| s.dist_sq(q))
+                .fold(f64::INFINITY, f64::min);
             assert_eq!(d, want, "q = {q}");
         }
     }

@@ -210,7 +210,9 @@ mod tests {
 
     fn uniform(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+        (0..n)
+            .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
     }
 
     fn brute_window(pts: &[Point], r: &Rect) -> Vec<u32> {
@@ -321,7 +323,10 @@ mod tests {
         // The full window touches every node.
         let mut full = AccessStats::default();
         t.window_with_stats(&Rect::new(p(-1.0, -1.0), p(2.0, 2.0)), &mut full);
-        assert!(small.nodes() * 10 < full.nodes(), "small {small:?} vs full {full:?}");
+        assert!(
+            small.nodes() * 10 < full.nodes(),
+            "small {small:?} vs full {full:?}"
+        );
         assert_eq!(full.leaf_entries, 4096);
         // NN should touch roughly a root-to-leaf path worth of nodes.
         let mut nn = AccessStats::default();

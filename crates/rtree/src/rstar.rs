@@ -39,8 +39,8 @@ pub(crate) fn choose_subtree_overlap(node: &Node, r: &Rect) -> usize {
             if i == j {
                 continue;
             }
-            overlap_delta += intersection_area(&grown, &f.rect)
-                - intersection_area(&e.rect, &f.rect);
+            overlap_delta +=
+                intersection_area(&grown, &f.rect) - intersection_area(&e.rect, &f.rect);
         }
         let enlarge = e.rect.enlargement(r);
         let area = e.rect.area();
@@ -171,7 +171,11 @@ mod tests {
         let mut entries = Vec::new();
         for i in 0..5 {
             entries.push(entry(i, f64::from(i) * 0.01, 0.1 * f64::from(i)));
-            entries.push(entry(100 + i, 10.0 + f64::from(i) * 0.01, 0.1 * f64::from(i)));
+            entries.push(entry(
+                100 + i,
+                10.0 + f64::from(i) * 0.01,
+                0.1 * f64::from(i),
+            ));
         }
         let (g1, g2) = rstar_split(entries, 3);
         let left_ids: Vec<u32> = g1.iter().map(|e| e.child).collect();

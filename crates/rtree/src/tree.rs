@@ -326,7 +326,9 @@ impl RTree {
                     self.node_mut(parent).entries[idx].rect = self.node(cur).mbr();
                     if let Some(sib) = new_sibling {
                         let rect = self.node(sib).mbr();
-                        self.node_mut(parent).entries.push(Entry { rect, child: sib });
+                        self.node_mut(parent)
+                            .entries
+                            .push(Entry { rect, child: sib });
                     }
                     cur = parent;
                 }
@@ -359,10 +361,7 @@ impl RTree {
             SplitAlgorithm::RStar => rstar::rstar_split(entries, self.min_entries),
         };
         self.node_mut(n).entries = g1;
-        self.alloc(Node {
-            level,
-            entries: g2,
-        })
+        self.alloc(Node { level, entries: g2 })
     }
 
     // ------------------------------------------------------------------
@@ -622,7 +621,9 @@ mod tests {
 
     fn uniform(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| p(rng.gen::<f64>(), rng.gen::<f64>())).collect()
+        (0..n)
+            .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
     }
 
     #[test]
@@ -644,7 +645,11 @@ mod tests {
             t.check_invariants(true).unwrap();
         }
         assert_eq!(t.len(), 200);
-        assert!(t.height() >= 3, "height {} too small for fanout 4", t.height());
+        assert!(
+            t.height() >= 3,
+            "height {} too small for fanout 4",
+            t.height()
+        );
         let mut ids: Vec<u32> = t.iter().map(|(id, _)| id).collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..200).collect::<Vec<u32>>());

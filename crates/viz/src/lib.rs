@@ -228,12 +228,7 @@ mod tests {
     #[test]
     fn ring_closes_path() {
         let mut s = Scene::new(world(), 100.0);
-        s.ring(
-            &[p(0.1, 0.1), p(0.9, 0.1), p(0.5, 0.9)],
-            "red",
-            1.0,
-            "none",
-        );
+        s.ring(&[p(0.1, 0.1), p(0.9, 0.1), p(0.5, 0.9)], "red", 1.0, "none");
         let svg = s.finish();
         assert!(svg.contains("Z\" stroke=\"red\""));
     }

@@ -133,8 +133,7 @@ mod tests {
         // at least half the points lie within 0.05 of some other 100
         // consecutive points' mean.
         let mean_x: f64 = pts.iter().map(|p| p.x).sum::<f64>() / 3000.0;
-        let var_x: f64 =
-            pts.iter().map(|p| (p.x - mean_x).powi(2)).sum::<f64>() / 3000.0;
+        let var_x: f64 = pts.iter().map(|p| (p.x - mean_x).powi(2)).sum::<f64>() / 3000.0;
         // Uniform variance would be 1/12 ≈ 0.083; clusters give much less
         // unless centres happen to be maximally spread (still < 0.25).
         assert!(var_x < 0.25, "variance {var_x}");

@@ -113,11 +113,7 @@ impl SweepConfig {
 
 /// Measures one configuration on a pre-built engine: `reps` random
 /// polygons, both methods on the same polygon, means reported.
-pub fn run_config(
-    engine: &AreaQueryEngine,
-    query_size: f64,
-    cfg: &SweepConfig,
-) -> ConfigResult {
+pub fn run_config(engine: &AreaQueryEngine, query_size: f64, cfg: &SweepConfig) -> ConfigResult {
     let space = unit_space();
     let spec = cfg.polygon_spec(query_size);
     let mut scratch = engine.new_scratch();
@@ -168,7 +164,11 @@ pub fn run_config(
 
 /// Builds the engine for one dataset of the sweep.
 pub fn build_engine(data_size: usize, cfg: &SweepConfig) -> AreaQueryEngine {
-    let pts = generate(data_size, cfg.distribution, cfg.base_seed ^ data_size as u64);
+    let pts = generate(
+        data_size,
+        cfg.distribution,
+        cfg.base_seed ^ data_size as u64,
+    );
     AreaQueryEngine::builder(&pts)
         .payload_bytes(cfg.payload_bytes)
         .build()
@@ -280,12 +280,9 @@ mod tests {
         assert!(row.result_size <= row.traditional.candidates);
         assert!(row.result_size <= row.voronoi.candidates);
         assert!(
-            (row.traditional.candidates - row.traditional.redundant - row.result_size).abs()
-                < 1e-9
+            (row.traditional.candidates - row.traditional.redundant - row.result_size).abs() < 1e-9
         );
-        assert!(
-            (row.voronoi.candidates - row.voronoi.redundant - row.result_size).abs() < 1e-9
-        );
+        assert!((row.voronoi.candidates - row.voronoi.redundant - row.result_size).abs() < 1e-9);
         assert!(row.traditional.time_us > 0.0 && row.voronoi.time_us > 0.0);
     }
 
@@ -343,6 +340,9 @@ mod tests {
         assert_eq!(paper_data_sizes().len(), 10);
         assert_eq!(paper_data_sizes()[0], 100_000);
         assert_eq!(paper_data_sizes()[9], 1_000_000);
-        assert_eq!(paper_query_sizes(), vec![0.01, 0.02, 0.04, 0.08, 0.16, 0.32]);
+        assert_eq!(
+            paper_query_sizes(),
+            vec![0.01, 0.02, 0.04, 0.08, 0.16, 0.32]
+        );
     }
 }

@@ -263,10 +263,7 @@ mod tests {
             point_from_wkt("POINT (3.5 -2)").unwrap(),
             Point::new(3.5, -2.0)
         );
-        assert_eq!(
-            point_from_wkt("point(0 0)").unwrap(),
-            Point::new(0.0, 0.0)
-        );
+        assert_eq!(point_from_wkt("point(0 0)").unwrap(), Point::new(0.0, 0.0));
         assert!(point_from_wkt("POINT (1)").is_err());
         assert!(point_from_wkt("LINESTRING (0 0, 1 1)").is_err());
     }
@@ -320,7 +317,10 @@ mod tests {
 
     #[test]
     fn wkt_rejects_garbage() {
-        assert!(region_from_wkt("POLYGON (0 0, 1 1)").is_err(), "ring without parens");
+        assert!(
+            region_from_wkt("POLYGON (0 0, 1 1)").is_err(),
+            "ring without parens"
+        );
         assert!(region_from_wkt("POLYGON ((0 0, 1 1)").is_err());
         assert!(region_from_wkt("POLYGON ()").is_err());
         assert!(region_from_wkt("POLYGON ((0 0, 1 0, zero one))").is_err());

@@ -67,13 +67,24 @@ pub fn random_query_polygon(space: &Rect, spec: &PolygonSpec, seed: u64) -> Poly
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Star-shaped ring around the origin: sorted angles, random radii.
-    // Resample the rare near-degenerate angle sets (all angles within a
-    // half-turn can produce needle polygons whose MBR rescale explodes).
+    // Resample the rare degenerate angle sets. Two guards:
+    // * max cyclic angular gap < π — otherwise the origin falls outside
+    //   the vertex hull and the angular-sort construction can
+    //   self-intersect (it is only guaranteed simple for a centre
+    //   interior to the hull);
+    // * MBR not needle-thin — the isotropic rescale below would explode.
     let ring = loop {
         let mut angles: Vec<f64> = (0..spec.vertices)
             .map(|_| rng.gen::<f64>() * std::f64::consts::TAU)
             .collect();
         angles.sort_by(f64::total_cmp);
+        let max_gap = angles.windows(2).map(|w| w[1] - w[0]).fold(
+            std::f64::consts::TAU - (angles[angles.len() - 1] - angles[0]),
+            f64::max,
+        );
+        if max_gap >= std::f64::consts::PI {
+            continue;
+        }
         let ring: Vec<Point> = angles
             .iter()
             .map(|&a| {
@@ -158,9 +169,7 @@ mod tests {
         // irregular/concave query areas).
         let space = unit_space();
         let concave = (0..50u64)
-            .filter(|&s| {
-                !random_query_polygon(&space, &PolygonSpec::default(), s).is_convex()
-            })
+            .filter(|&s| !random_query_polygon(&space, &PolygonSpec::default(), s).is_convex())
             .count();
         assert!(concave > 40, "only {concave}/50 concave");
     }

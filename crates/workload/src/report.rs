@@ -134,11 +134,7 @@ mod tests {
     fn figure_csv_picks_series() {
         let rows = [row(100_000, 0.01)];
         let csv = figure_csv(&rows, "data_size", "time_us", |r| {
-            (
-                r.data_size as f64,
-                r.traditional.time_us,
-                r.voronoi.time_us,
-            )
+            (r.data_size as f64, r.traditional.time_us, r.voronoi.time_us)
         });
         assert_eq!(
             csv,

@@ -74,7 +74,10 @@ fn main() {
     // One polygon, every configuration: all must agree.
     let poly = random_query_polygon(&space, &PolygonSpec::with_query_size(0.02), 7777);
     let reference = engine.traditional(&poly).sorted_indices();
-    println!("\nagreement check on a 2% query ({} results):", reference.len());
+    println!(
+        "\nagreement check on a 2% query ({} results):",
+        reference.len()
+    );
     for (name, filter) in [
         ("traditional/rtree", FilterIndex::RTree),
         ("traditional/kdtree", FilterIndex::KdTree),

@@ -52,7 +52,7 @@ fn main() {
         voronoi.stats.candidates,
         voronoi.stats.redundant_validations()
     );
-    let saved = 100.0
-        * (1.0 - voronoi.stats.candidates as f64 / traditional.stats.candidates as f64);
+    let saved =
+        100.0 * (1.0 - voronoi.stats.candidates as f64 / traditional.stats.candidates as f64);
     println!("candidates saved by the Voronoi method: {saved:.1}%");
 }

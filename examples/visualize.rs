@@ -63,7 +63,14 @@ fn main() {
             voro_candidates.extend_from_slice(tri.inputs_of(v as u32));
         }
     }
-    let svg = candidate_scene(world, 600.0, &points, &area, &voro.indices, &voro_candidates);
+    let svg = candidate_scene(
+        world,
+        600.0,
+        &points,
+        &area,
+        &voro.indices,
+        &voro_candidates,
+    );
     fs::write("results/fig2_voronoi.svg", svg).expect("write svg");
     println!(
         "fig2: result {}, traditional candidates {}, voronoi candidates ≈ {}",

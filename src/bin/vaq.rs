@@ -7,7 +7,9 @@
 //! ```
 //!
 //! * `query` prints matching point indices (or just the count with
-//!   `--count`) and per-method statistics to stderr.
+//!   `--count`) and per-method statistics to stderr. `--prepared`
+//!   query-compiles the area first (slab + edge-grid indexes; identical
+//!   results, faster per-candidate validation on large areas).
 //! * `info` prints dataset statistics: extent, Delaunay/Voronoi facts.
 //! * `svg` renders the query scene (points, result, redundant candidates,
 //!   area outline) to an SVG file.
@@ -18,7 +20,7 @@
 use std::fs;
 use std::process::ExitCode;
 use voronoi_area_query::core::{AreaQueryEngine, PointClass};
-use voronoi_area_query::geom::Region;
+use voronoi_area_query::geom::{PreparedRegion, Region};
 use voronoi_area_query::viz::candidate_scene;
 use voronoi_area_query::workload::io::{points_from_csv, region_from_wkt};
 
@@ -28,6 +30,7 @@ struct Options {
     area_wkt: Option<String>,
     method: String,
     count_only: bool,
+    prepared: bool,
     out: Option<String>,
 }
 
@@ -40,6 +43,7 @@ fn parse_args() -> Result<Options, String> {
         area_wkt: None,
         method: String::from("voronoi"),
         count_only: false,
+        prepared: false,
         out: None,
     };
     while let Some(arg) = args.next() {
@@ -48,12 +52,13 @@ fn parse_args() -> Result<Options, String> {
             "--area" => o.area_wkt = Some(args.next().ok_or("--area needs WKT")?),
             "--area-file" => {
                 let path = args.next().ok_or("--area-file needs a path")?;
-                let text = fs::read_to_string(&path)
-                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let text =
+                    fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
                 o.area_wkt = Some(text);
             }
             "--method" => o.method = args.next().ok_or("--method needs a value")?,
             "--count" => o.count_only = true,
+            "--prepared" => o.prepared = true,
             "--out" => o.out = Some(args.next().ok_or("--out needs a path")?),
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
@@ -62,7 +67,8 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: vaq <query|info|svg> --points FILE.csv \
-[--area WKT | --area-file FILE] [--method voronoi|traditional|both] [--count] [--out FILE.svg]";
+[--area WKT | --area-file FILE] [--method voronoi|traditional|both] [--count] [--prepared] \
+[--out FILE.svg]";
 
 fn main() -> ExitCode {
     match run() {
@@ -77,8 +83,8 @@ fn main() -> ExitCode {
 fn run() -> Result<(), String> {
     let o = parse_args()?;
     let points_path = o.points_path.as_deref().ok_or("--points is required")?;
-    let csv = fs::read_to_string(points_path)
-        .map_err(|e| format!("cannot read {points_path}: {e}"))?;
+    let csv =
+        fs::read_to_string(points_path).map_err(|e| format!("cannot read {points_path}: {e}"))?;
     let points = points_from_csv(&csv).map_err(|e| format!("{points_path}: {e}"))?;
     if points.is_empty() {
         return Err(format!("{points_path}: no points"));
@@ -88,7 +94,7 @@ fn run() -> Result<(), String> {
         "info" => info(&points),
         "query" => {
             let area = required_area(&o)?;
-            query(&points, &area, &o.method, o.count_only)
+            query(&points, &area, &o.method, o.count_only, o.prepared)
         }
         "svg" => {
             let area = required_area(&o)?;
@@ -100,7 +106,10 @@ fn run() -> Result<(), String> {
 }
 
 fn required_area(o: &Options) -> Result<Region, String> {
-    let wkt = o.area_wkt.as_deref().ok_or("--area or --area-file is required")?;
+    let wkt = o
+        .area_wkt
+        .as_deref()
+        .ok_or("--area or --area-file is required")?;
     let region = region_from_wkt(wkt).map_err(|e| format!("bad area WKT: {e}"))?;
     region
         .validate_nesting()
@@ -122,8 +131,7 @@ fn info(points: &[voronoi_area_query::geom::Point]) -> Result<(), String> {
     println!("delaunay triangles:{}", tri.triangle_count());
     println!("hull vertices:     {}", tri.hull().len());
     println!("degenerate (line): {}", tri.is_degenerate());
-    let mean_degree =
-        2.0 * tri.edge_count() as f64 / tri.vertex_count().max(1) as f64;
+    let mean_degree = 2.0 * tri.edge_count() as f64 / tri.vertex_count().max(1) as f64;
     println!("mean voronoi deg:  {mean_degree:.2}");
     Ok(())
 }
@@ -133,16 +141,25 @@ fn query(
     area: &Region,
     method: &str,
     count_only: bool,
+    prepared: bool,
 ) -> Result<(), String> {
     let engine = AreaQueryEngine::build(points);
     let run_voronoi = matches!(method, "voronoi" | "both");
     let run_traditional = matches!(method, "traditional" | "both");
     if !run_voronoi && !run_traditional {
-        return Err(format!("unknown method {method:?} (voronoi|traditional|both)"));
+        return Err(format!(
+            "unknown method {method:?} (voronoi|traditional|both)"
+        ));
     }
+    // Query-compiled area: identical results, per-candidate containment
+    // and segment tests answered from the prepared indexes.
+    let prep = prepared.then(|| PreparedRegion::new(area.clone()));
     let mut printed = false;
     if run_voronoi {
-        let r = engine.voronoi(area);
+        let r = match &prep {
+            Some(p) => engine.voronoi(p),
+            None => engine.voronoi(area),
+        };
         eprintln!(
             "voronoi:     {} results, {} candidates, {} redundant validations",
             r.stats.result_size,
@@ -152,7 +169,10 @@ fn query(
         emit(&r.sorted_indices(), count_only, &mut printed);
     }
     if run_traditional {
-        let r = engine.traditional(area);
+        let r = match &prep {
+            Some(p) => engine.traditional(p),
+            None => engine.traditional(area),
+        };
         eprintln!(
             "traditional: {} results, {} candidates, {} redundant validations",
             r.stats.result_size,
@@ -183,11 +203,7 @@ fn emit(indices: &[u32], count_only: bool, printed: &mut bool) {
     }
 }
 
-fn svg(
-    points: &[voronoi_area_query::geom::Point],
-    area: &Region,
-    out: &str,
-) -> Result<(), String> {
+fn svg(points: &[voronoi_area_query::geom::Point], area: &Region, out: &str) -> Result<(), String> {
     let engine = AreaQueryEngine::build(points);
     let r = engine.voronoi(area);
     // Redundant candidates for the overlay: boundary-class points.
@@ -199,8 +215,8 @@ fn svg(
             candidates.extend_from_slice(tri.inputs_of(v as u32));
         }
     }
-    let world = voronoi_area_query::geom::Rect::from_points(points.iter().copied())
-        .union(&area.mbr());
+    let world =
+        voronoi_area_query::geom::Rect::from_points(points.iter().copied()).union(&area.mbr());
     let margin = (world.width().max(world.height())) * 0.05;
     let scene = candidate_scene(
         world.expand(margin),

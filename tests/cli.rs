@@ -43,12 +43,53 @@ fn query_count_matches_both_methods() {
         ])
         .output()
         .expect("run vaq");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // The quarter square holds the 5×5 sub-grid.
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "25");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("voronoi:"), "{stderr}");
     assert!(stderr.contains("traditional:"), "{stderr}");
+}
+
+#[test]
+fn prepared_query_matches_raw_query() {
+    let dir = temp_dir("prepared");
+    let pts = write_points(&dir);
+    let area = "POLYGON ((0.0 0.0, 1.0 0.0, 1.0 1.0, 0.0 1.0), \
+                (0.2 0.2, 0.8 0.2, 0.8 0.8, 0.2 0.8))";
+    let run = |prepared: bool| -> Vec<String> {
+        let mut args = vec![
+            "query",
+            "--points",
+            pts.to_str().unwrap(),
+            "--area",
+            area,
+            "--method",
+            "both",
+        ];
+        if prepared {
+            args.push("--prepared");
+        }
+        let out = vaq().args(&args).output().expect("run vaq");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::str::from_utf8(&out.stdout)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect()
+    };
+    let raw = run(false);
+    let prepared = run(true);
+    assert!(!raw.is_empty());
+    assert_eq!(raw, prepared, "--prepared must not change results");
 }
 
 #[test]
@@ -66,10 +107,7 @@ fn query_lists_indices() {
         .output()
         .expect("run vaq");
     assert!(out.status.success());
-    let ids: Vec<&str> = std::str::from_utf8(&out.stdout)
-        .unwrap()
-        .lines()
-        .collect();
+    let ids: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
     // Points (0.05,0.05), (0.15,0.05), (0.05,0.15), (0.15,0.15) → ids 0,1,10,11.
     assert_eq!(ids, vec!["0", "1", "10", "11"]);
 }
@@ -93,7 +131,11 @@ fn query_supports_region_with_hole() {
             ])
             .output()
             .expect("run vaq");
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         String::from_utf8_lossy(&out.stdout).trim().parse().unwrap()
     };
     assert_eq!(count(full), 100);
@@ -141,7 +183,11 @@ fn svg_writes_a_scene() {
         ])
         .output()
         .expect("run vaq");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let svg = std::fs::read_to_string(&svg_path).expect("svg written");
     assert!(svg.starts_with("<svg"));
     assert!(svg.contains("<circle"));

@@ -19,7 +19,11 @@ fn assert_all_configs_agree(engine: &AreaQueryEngine, area: &Polygon, context: &
     let mut want = engine.brute_force(area);
     want.sort_unstable();
     let mut scratch = engine.new_scratch();
-    for filter in [FilterIndex::RTree, FilterIndex::KdTree, FilterIndex::Quadtree] {
+    for filter in [
+        FilterIndex::RTree,
+        FilterIndex::KdTree,
+        FilterIndex::Quadtree,
+    ] {
         assert_eq!(
             engine.traditional_with(area, filter).sorted_indices(),
             want,
@@ -46,8 +50,7 @@ fn all_configurations_agree_on_uniform_data() {
     let space = unit_space();
     for qs in [0.01, 0.05, 0.2] {
         for seed in 0..5u64 {
-            let area =
-                random_query_polygon(&space, &PolygonSpec::with_query_size(qs), 100 + seed);
+            let area = random_query_polygon(&space, &PolygonSpec::with_query_size(qs), 100 + seed);
             assert_all_configs_agree(&engine, &area, &format!("uniform qs={qs} seed={seed}"));
         }
     }
@@ -99,10 +102,7 @@ fn axis_aligned_rectangle_queries_have_zero_waste() {
     .unwrap();
     let r = engine.traditional(&area);
     assert_eq!(r.stats.redundant_validations(), 0);
-    assert_eq!(
-        r.sorted_indices(),
-        engine.voronoi(&area).sorted_indices()
-    );
+    assert_eq!(r.sorted_indices(), engine.voronoi(&area).sorted_indices());
 }
 
 #[test]

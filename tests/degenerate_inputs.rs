@@ -23,7 +23,11 @@ fn square(cx: f64, cy: f64, half: f64) -> Polygon {
 fn check_both(engine: &AreaQueryEngine, area: &Polygon, context: &str) {
     let mut want = engine.brute_force(area);
     want.sort_unstable();
-    assert_eq!(engine.traditional(area).sorted_indices(), want, "{context} trad");
+    assert_eq!(
+        engine.traditional(area).sorted_indices(),
+        want,
+        "{context} trad"
+    );
     let mut scratch = engine.new_scratch();
     for policy in [ExpansionPolicy::Segment, ExpansionPolicy::Cell] {
         assert_eq!(
@@ -41,7 +45,10 @@ fn heavy_duplication() {
     // 70 % of points are duplicates of a handful of locations.
     let mut pts = Vec::new();
     for i in 0..30 {
-        pts.push(p(f64::from(i % 6) / 6.0 + 0.05, f64::from(i % 5) / 5.0 + 0.05));
+        pts.push(p(
+            f64::from(i % 6) / 6.0 + 0.05,
+            f64::from(i % 5) / 5.0 + 0.05,
+        ));
     }
     for _ in 0..70 {
         pts.push(p(0.35, 0.25));
@@ -126,7 +133,12 @@ fn needle_thin_query_areas() {
     // A sliver of width 1e-6 crossing the whole space; candidate ring far
     // exceeds the (likely empty) result.
     let pts: Vec<Point> = (0..400)
-        .map(|i| p(f64::from(i % 20) / 20.0 + 0.025, f64::from(i / 20) / 20.0 + 0.025))
+        .map(|i| {
+            p(
+                f64::from(i % 20) / 20.0 + 0.025,
+                f64::from(i / 20) / 20.0 + 0.025,
+            )
+        })
         .collect();
     let engine = AreaQueryEngine::build(&pts);
     let sliver = Polygon::new(vec![

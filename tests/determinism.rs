@@ -73,7 +73,12 @@ fn repeated_queries_on_one_engine_are_stable() {
     // Run the same queries again, interleaved in reverse order.
     for (area, want) in areas.iter().zip(&first).rev() {
         let got = engine
-            .voronoi_with(area, ExpansionPolicy::Segment, SeedIndex::RTree, &mut scratch)
+            .voronoi_with(
+                area,
+                ExpansionPolicy::Segment,
+                SeedIndex::RTree,
+                &mut scratch,
+            )
             .indices;
         assert_eq!(&got, want);
     }

@@ -21,7 +21,9 @@ fn square(cx: f64, cy: f64, half: f64) -> Polygon {
 }
 
 fn check(engine: &AreaQueryEngine, region: &Region, context: &str) {
-    region.validate_nesting().expect("test regions are well-nested");
+    region
+        .validate_nesting()
+        .expect("test regions are well-nested");
     let mut want = engine.brute_force(region);
     want.sort_unstable();
     assert_eq!(

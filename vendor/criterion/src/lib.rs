@@ -1,0 +1,286 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored stub
+//! implements the subset of the Criterion API the bench harness uses:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! group tuning (`sample_size`, `measurement_time`, `warm_up_time`),
+//! `bench_function` / `bench_with_input`, `BenchmarkId` and `Bencher::iter`.
+//!
+//! Measurement is a plain warm-up + timed-batch loop reporting the mean
+//! time per iteration to stdout — no statistics, plotting, or baseline
+//! storage. Good enough to compare variants on one machine in one run.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<D: Display>(function_name: &str, parameter: D) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter<D: Display>(parameter: D) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark identifier (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The display label.
+    fn label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn label(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing tuning parameters.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total time budget for timed batches.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Times `f` and prints the mean per-iteration cost.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.label();
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            b.reset();
+            f(&mut b);
+            if b.iters == 0 {
+                break; // the closure never called iter(); nothing to time
+            }
+        }
+        // Measurement: repeat batches until the budget is spent, capped at
+        // `sample_size` batches.
+        let mut total_iters: u64 = 0;
+        let mut total_time = Duration::ZERO;
+        let meas_start = Instant::now();
+        for _ in 0..self.sample_size {
+            b.reset();
+            f(&mut b);
+            total_iters += b.iters;
+            total_time += b.elapsed;
+            if meas_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        if total_iters == 0 {
+            println!("  {}/{label}: no iterations", self.name);
+            return self;
+        }
+        let per_iter = total_time.as_secs_f64() / total_iters as f64;
+        println!(
+            "  {}/{label}: {} per iter ({} iters)",
+            self.name,
+            format_time(per_iter),
+            total_iters
+        );
+        self
+    }
+
+    /// As [`BenchmarkGroup::bench_function`] with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn reset(&mut self) {
+        self.iters = 0;
+        self.elapsed = Duration::ZERO;
+    }
+
+    /// Times repeated calls of `f`, keeping results observable.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One calibration call, then a small batch: keeps expensive bodies
+        // (engine builds) tolerable while amortising timer overhead for
+        // cheap ones.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed();
+        let batch = if once >= Duration::from_millis(10) {
+            1
+        } else {
+            // Aim for ~10ms batches.
+            (Duration::from_millis(10).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        self.elapsed += once + start.elapsed();
+        self.iters += 1 + batch;
+    }
+}
+
+/// Re-export matching upstream's `criterion::black_box`.
+pub use std::hint::black_box;
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut calls = 0u64;
+        group.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("input", 2), &41u32, |b, &x| {
+            b.iter(|| x + 1);
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("p").label, "p");
+    }
+}

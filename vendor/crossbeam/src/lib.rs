@@ -1,0 +1,135 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no crates.io access, so this vendored stub
+//! maps the two crossbeam APIs the workspace uses onto the standard
+//! library: `channel::bounded` (over `std::sync::mpsc::sync_channel`) and
+//! `thread::scope` (over `std::thread::scope`).
+
+#![forbid(unsafe_code)]
+
+/// Bounded MPSC channels (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when the receiving side hung up.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the sending side hung up.
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Blocks until the value is queued; errs when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives; errs when all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// A bounded channel holding at most `cap` queued values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+/// Scoped threads (subset of `crossbeam::thread`).
+pub mod thread {
+    /// Handle for spawning threads inside a scope.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle
+        /// (crossbeam signature); the return handle joins on scope exit.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            inner.spawn(move || f(&Scope(inner)))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// returning. Unlike crossbeam, child panics propagate by re-panicking
+    /// (the `Err` arm is therefore never constructed), which is
+    /// indistinguishable for callers that `expect` the result.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bounded_channel_roundtrip() {
+        let (tx, rx) = super::channel::bounded::<u32>(1);
+        std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = super::channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let data = [1, 2, 3];
+        let sum = super::thread::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().expect("no panic")
+        })
+        .expect("scope does not panic");
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn pipeline_shape_like_experiment_sweep() {
+        // Mirrors the workload crate's build pipeline: producer thread +
+        // bounded(1) channel + consumer in the scope body.
+        let sizes = [10usize, 20, 30];
+        let (tx, rx) = super::channel::bounded::<usize>(1);
+        let mut out = Vec::new();
+        super::thread::scope(|s| {
+            s.spawn(|_| {
+                for &n in &sizes {
+                    if tx.send(n * 2).is_err() {
+                        break;
+                    }
+                }
+            });
+            for _ in &sizes {
+                out.push(rx.recv().expect("producer lives"));
+            }
+        })
+        .expect("threads do not panic");
+        assert_eq!(out, vec![20, 40, 60]);
+    }
+}
