@@ -21,9 +21,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use vaq_bench::{polygon_batch, standard_engine, HARNESS_SEED};
-use vaq_core::{AreaQueryEngine, ExpansionPolicy, FilterIndex, SeedIndex};
+use vaq_core::{AreaQueryEngine, ExpansionPolicy, FilterIndex, PrepareMode, QuerySpec, SeedIndex};
 use vaq_delaunay::{InsertionOrder, Triangulation};
-use vaq_geom::PreparedPolygon;
 use vaq_rtree::SplitAlgorithm;
 use vaq_workload::{generate, Distribution};
 
@@ -35,23 +34,19 @@ fn expansion_policy(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(2));
     let engine = standard_engine(N);
-    let mut scratch = engine.new_scratch();
+    let mut session = engine.session();
     let polygons = polygon_batch(0.01, 64);
     for (name, policy) in [
         ("segment", ExpansionPolicy::Segment),
         ("cell", ExpansionPolicy::Cell),
     ] {
+        let spec = QuerySpec::voronoi().policy(policy);
         group.bench_function(name, |b| {
             let mut i = 0;
             b.iter(|| {
                 let poly = &polygons[i % polygons.len()];
                 i += 1;
-                black_box(
-                    engine
-                        .voronoi_with(poly, policy, SeedIndex::RTree, &mut scratch)
-                        .indices
-                        .len(),
-                )
+                black_box(session.execute(&spec, poly).count())
             });
         });
     }
@@ -65,24 +60,20 @@ fn seed_index(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     let pts = generate(N, Distribution::Uniform, HARNESS_SEED ^ N as u64);
     let engine = AreaQueryEngine::builder(&pts).with_kdtree().build();
-    let mut scratch = engine.new_scratch();
+    let mut session = engine.session();
     let polygons = polygon_batch(0.01, 64);
     for (name, seed) in [
         ("rtree_nn", SeedIndex::RTree),
         ("kdtree_nn", SeedIndex::KdTree),
         ("delaunay_walk", SeedIndex::DelaunayWalk),
     ] {
+        let spec = QuerySpec::voronoi().seed(seed);
         group.bench_function(name, |b| {
             let mut i = 0;
             b.iter(|| {
                 let poly = &polygons[i % polygons.len()];
                 i += 1;
-                black_box(
-                    engine
-                        .voronoi_with(poly, ExpansionPolicy::Segment, seed, &mut scratch)
-                        .indices
-                        .len(),
-                )
+                black_box(session.execute(&spec, poly).count())
             });
         });
     }
@@ -99,18 +90,20 @@ fn filter_index(c: &mut Criterion) {
         .with_kdtree()
         .with_quadtree()
         .build();
+    let mut session = engine.session();
     let polygons = polygon_batch(0.01, 64);
     for (name, filter) in [
         ("rtree", FilterIndex::RTree),
         ("kdtree", FilterIndex::KdTree),
         ("quadtree", FilterIndex::Quadtree),
     ] {
+        let spec = QuerySpec::traditional().filter(filter);
         group.bench_function(name, |b| {
             let mut i = 0;
             b.iter(|| {
                 let poly = &polygons[i % polygons.len()];
                 i += 1;
-                black_box(engine.traditional_with(poly, filter).indices.len())
+                black_box(session.execute(&spec, poly).count())
             });
         });
     }
@@ -135,12 +128,13 @@ fn rtree_build(c: &mut Criterion) {
         ("guttman_inserts", &incremental),
         ("rstar_inserts", &rstar),
     ] {
+        let mut session = engine.session();
         group.bench_function(name, |b| {
             let mut i = 0;
             b.iter(|| {
                 let poly = &polygons[i % polygons.len()];
                 i += 1;
-                black_box(engine.traditional(poly).indices.len())
+                black_box(session.execute(&QuerySpec::traditional(), poly).count())
             });
         });
     }
@@ -154,31 +148,21 @@ fn scratch_reuse(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     let engine = standard_engine(N);
     let polygons = polygon_batch(0.01, 64);
-    group.bench_function("reused_scratch", |b| {
-        let mut scratch = engine.new_scratch();
+    group.bench_function("reused_session", |b| {
+        let mut session = engine.session();
         let mut i = 0;
         b.iter(|| {
             let poly = &polygons[i % polygons.len()];
             i += 1;
-            black_box(
-                engine
-                    .voronoi_with(
-                        poly,
-                        ExpansionPolicy::Segment,
-                        SeedIndex::RTree,
-                        &mut scratch,
-                    )
-                    .indices
-                    .len(),
-            )
+            black_box(session.execute(&QuerySpec::voronoi(), poly).count())
         });
     });
-    group.bench_function("fresh_scratch_per_query", |b| {
+    group.bench_function("fresh_session_per_query", |b| {
         let mut i = 0;
         b.iter(|| {
             let poly = &polygons[i % polygons.len()];
             i += 1;
-            black_box(engine.voronoi(poly).indices.len())
+            black_box(engine.execute(&QuerySpec::voronoi(), poly).count())
         });
     });
     group.finish();
@@ -202,13 +186,13 @@ fn distribution(c: &mut Criterion) {
     ] {
         let pts = generate(N, dist, HARNESS_SEED);
         let engine = AreaQueryEngine::build(&pts);
-        let mut scratch = engine.new_scratch();
+        let mut session = engine.session();
         group.bench_function(format!("traditional_{name}"), |b| {
             let mut i = 0;
             b.iter(|| {
                 let poly = &polygons[i % polygons.len()];
                 i += 1;
-                black_box(engine.traditional(poly).indices.len())
+                black_box(session.execute(&QuerySpec::traditional(), poly).count())
             });
         });
         group.bench_function(format!("voronoi_{name}"), |b| {
@@ -216,17 +200,7 @@ fn distribution(c: &mut Criterion) {
             b.iter(|| {
                 let poly = &polygons[i % polygons.len()];
                 i += 1;
-                black_box(
-                    engine
-                        .voronoi_with(
-                            poly,
-                            ExpansionPolicy::Segment,
-                            SeedIndex::RTree,
-                            &mut scratch,
-                        )
-                        .indices
-                        .len(),
-                )
+                black_box(session.execute(&QuerySpec::voronoi(), poly).count())
             });
         });
     }
@@ -258,64 +232,32 @@ fn insertion_order(c: &mut Criterion) {
 
 /// Raw vs prepared query areas, end to end, at a large vertex count
 /// (k = 256): the regime where `O(k)` per-candidate primitives dominate.
-/// `prepared_once` prepares outside the timed region (the serving path);
-/// `prepared_per_query` includes the build, bounding the break-even.
+/// `PrepareMode::Cached` is the serving path (prepare on first sight,
+/// reuse thereafter); `PrepareMode::PrepareOnce` re-prepares per query,
+/// bounding the break-even.
 fn prepared_area(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_prepared_area");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(2));
     let engine = standard_engine(N);
-    let mut scratch = engine.new_scratch();
+    let mut session = engine.session();
     let polygons = vaq_bench::polygon_batch_with(0.01, 64, 256);
-    group.bench_function("raw", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let poly = &polygons[i % polygons.len()];
-            i += 1;
-            black_box(
-                engine
-                    .voronoi_with(
-                        poly,
-                        ExpansionPolicy::Segment,
-                        SeedIndex::RTree,
-                        &mut scratch,
-                    )
-                    .indices
-                    .len(),
-            )
+    for (name, prepare) in [
+        ("raw", PrepareMode::Raw),
+        ("prepared_cached", PrepareMode::Cached),
+        ("prepared_per_query", PrepareMode::PrepareOnce),
+    ] {
+        let spec = QuerySpec::voronoi().prepare(prepare);
+        group.bench_function(name, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let poly = &polygons[i % polygons.len()];
+                i += 1;
+                black_box(session.execute(&spec, poly).count())
+            });
         });
-    });
-    let prepared: Vec<PreparedPolygon> = polygons
-        .iter()
-        .map(|p| PreparedPolygon::new(p.clone()))
-        .collect();
-    group.bench_function("prepared_once", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let poly = &prepared[i % prepared.len()];
-            i += 1;
-            black_box(
-                engine
-                    .voronoi_with(
-                        poly,
-                        ExpansionPolicy::Segment,
-                        SeedIndex::RTree,
-                        &mut scratch,
-                    )
-                    .indices
-                    .len(),
-            )
-        });
-    });
-    group.bench_function("prepared_per_query", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let poly = &polygons[i % polygons.len()];
-            i += 1;
-            black_box(engine.voronoi_prepared(poly).indices.len())
-        });
-    });
+    }
     group.finish();
 }
 

@@ -1,8 +1,9 @@
 //! Figure 4 (and the time columns of Table I): query time vs data size.
 //!
 //! Data sizes 1E5…1E6, query size fixed at 1 %, both methods timed on the
-//! same pre-generated random 10-gon stream. The paper's claim to check:
-//! both methods grow roughly linearly and the Voronoi method's advantage
+//! same pre-generated random 10-gon stream through the unified
+//! `QuerySpec`/`QuerySession` surface. The paper's claim to check: both
+//! methods grow roughly linearly and the Voronoi method's advantage
 //! widens with data size (10.6 % at 1E5 → 31.3 % at 1E6 in the paper's
 //! Python setting).
 
@@ -10,7 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use vaq_bench::{polygon_batch, standard_engine};
-use vaq_core::{ExpansionPolicy, SeedIndex};
+use vaq_core::QuerySpec;
 
 fn fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_time_vs_data_size");
@@ -22,33 +23,20 @@ fn fig4(c: &mut Criterion) {
     for k in 1..=10usize {
         let n = k * 100_000;
         let engine = standard_engine(n);
-        let mut scratch = engine.new_scratch();
-        group.bench_with_input(BenchmarkId::new("traditional", n), &n, |b, _| {
-            let mut i = 0;
-            b.iter(|| {
-                let poly = &polygons[i % polygons.len()];
-                i += 1;
-                black_box(engine.traditional(poly).indices.len())
+        let mut session = engine.session();
+        for (name, spec) in [
+            ("traditional", QuerySpec::traditional()),
+            ("voronoi", QuerySpec::voronoi()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let poly = &polygons[i % polygons.len()];
+                    i += 1;
+                    black_box(session.execute(&spec, poly).count())
+                });
             });
-        });
-        group.bench_with_input(BenchmarkId::new("voronoi", n), &n, |b, _| {
-            let mut i = 0;
-            b.iter(|| {
-                let poly = &polygons[i % polygons.len()];
-                i += 1;
-                black_box(
-                    engine
-                        .voronoi_with(
-                            poly,
-                            ExpansionPolicy::Segment,
-                            SeedIndex::RTree,
-                            &mut scratch,
-                        )
-                        .indices
-                        .len(),
-                )
-            });
-        });
+        }
     }
     group.finish();
 }

@@ -1,16 +1,16 @@
 //! Figure 6 (and the time columns of Table II): query time vs query size.
 //!
-//! Data size fixed at 1E5, query size swept 1 %…32 %. The paper's claim to
-//! check: both methods scale linearly in the query size and the Voronoi
-//! method's saving grows with the query size (11.7 % → 37.9 % in the
-//! paper's Python setting).
+//! Data size fixed at 1E5, query size swept 1 %…32 %, every configuration
+//! expressed as a `QuerySpec` over one `QuerySession`. The paper's claim
+//! to check: both methods scale linearly in the query size and the
+//! Voronoi method's saving grows with the query size (11.7 % → 37.9 % in
+//! the paper's Python setting).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use vaq_bench::{polygon_batch, standard_engine};
-use vaq_core::{ExpansionPolicy, SeedIndex};
-use vaq_geom::PreparedPolygon;
+use vaq_core::{PrepareMode, QuerySpec};
 
 fn fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_time_vs_query_size");
@@ -19,76 +19,33 @@ fn fig6(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500));
     let engine = standard_engine(100_000);
-    let mut scratch = engine.new_scratch();
+    let mut session = engine.session();
     for qs_pct in [1u32, 2, 4, 8, 16, 32] {
         let polygons = polygon_batch(f64::from(qs_pct) / 100.0, 64);
-        group.bench_with_input(BenchmarkId::new("traditional", qs_pct), &qs_pct, |b, _| {
-            let mut i = 0;
-            b.iter(|| {
-                let poly = &polygons[i % polygons.len()];
-                i += 1;
-                black_box(engine.traditional(poly).indices.len())
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("voronoi", qs_pct), &qs_pct, |b, _| {
-            let mut i = 0;
-            b.iter(|| {
-                let poly = &polygons[i % polygons.len()];
-                i += 1;
-                black_box(
-                    engine
-                        .voronoi_with(
-                            poly,
-                            ExpansionPolicy::Segment,
-                            SeedIndex::RTree,
-                            &mut scratch,
-                        )
-                        .indices
-                        .len(),
-                )
-            });
-        });
-        // Prepared once per polygon outside the timed region — the
-        // serving-path configuration (areas are query-compiled on arrival,
-        // then reused for every candidate/frontier test).
-        let prepared: Vec<PreparedPolygon> = polygons
-            .iter()
-            .map(|p| PreparedPolygon::new(p.clone()))
-            .collect();
-        group.bench_with_input(
-            BenchmarkId::new("voronoi_prepared", qs_pct),
-            &qs_pct,
-            |b, _| {
+        // The `Cached` rows are the serving-path configuration: areas are
+        // query-compiled on first sight and every repeat of the 64-polygon
+        // stream is served from the session's prepared-area cache.
+        for (name, spec) in [
+            ("traditional", QuerySpec::traditional()),
+            ("voronoi", QuerySpec::voronoi()),
+            (
+                "voronoi_prepared",
+                QuerySpec::voronoi().prepare(PrepareMode::Cached),
+            ),
+            (
+                "traditional_prepared",
+                QuerySpec::traditional().prepare(PrepareMode::Cached),
+            ),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, qs_pct), &qs_pct, |b, _| {
                 let mut i = 0;
                 b.iter(|| {
-                    let poly = &prepared[i % prepared.len()];
+                    let poly = &polygons[i % polygons.len()];
                     i += 1;
-                    black_box(
-                        engine
-                            .voronoi_with(
-                                poly,
-                                ExpansionPolicy::Segment,
-                                SeedIndex::RTree,
-                                &mut scratch,
-                            )
-                            .indices
-                            .len(),
-                    )
+                    black_box(session.execute(&spec, poly).count())
                 });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("traditional_prepared", qs_pct),
-            &qs_pct,
-            |b, _| {
-                let mut i = 0;
-                b.iter(|| {
-                    let poly = &prepared[i % prepared.len()];
-                    i += 1;
-                    black_box(engine.traditional(poly).indices.len())
-                });
-            },
-        );
+            });
+        }
     }
     group.finish();
 }

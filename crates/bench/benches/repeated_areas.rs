@@ -1,0 +1,45 @@
+//! Repeated-areas bench: the same handful of areas queried many times —
+//! the dashboard-serving workload the session's prepared-area cache
+//! targets. Compares the three `PrepareMode`s on an identical query
+//! stream; `cached` should win by roughly the per-query preparation cost
+//! once the cache is warm (see `results/BENCH_query_cache.json` for the
+//! recorded baseline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vaq_bench::{polygon_batch_with, standard_engine};
+use vaq_core::{PrepareMode, QuerySpec};
+
+fn repeated_areas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repeated_areas");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let engine = standard_engine(50_000);
+    // 8 distinct dashboards' worth of large (k = 256) areas, cycled.
+    for k in [64usize, 256] {
+        let areas = polygon_batch_with(0.02, 8, k);
+        for (name, prepare) in [
+            ("raw", PrepareMode::Raw),
+            ("prepare_once", PrepareMode::PrepareOnce),
+            ("cached", PrepareMode::Cached),
+        ] {
+            let spec = QuerySpec::voronoi().prepare(prepare);
+            group.bench_function(BenchmarkId::new(name, k), |b| {
+                // One warm session per mode: the steady-state regime.
+                let mut session = engine.session();
+                let mut i = 0;
+                b.iter(|| {
+                    let area = &areas[i % areas.len()];
+                    i += 1;
+                    black_box(session.execute(&spec, area).count())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, repeated_areas);
+criterion_main!(benches);

@@ -50,7 +50,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "all" | "table1" | "table2" | "fig4" | "fig5" | "fig6" | "fig7" | "ablation"
-            | "prepared" => {
+            | "prepared" | "query-cache" => {
                 what = arg;
             }
             "--reps" => {
@@ -67,7 +67,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(String::from(
-                    "usage: reproduce [all|table1|table2|fig4|fig5|fig6|fig7|ablation|prepared] \
+                    "usage: reproduce \
+[all|table1|table2|fig4|fig5|fig6|fig7|ablation|prepared|query-cache] \
 [--reps N] [--quick] [--payload BYTES] [--out DIR]",
                 ));
             }
@@ -205,6 +206,10 @@ fn main() -> ExitCode {
         run_prepared_baseline(&args);
     }
 
+    if matches!(args.what.as_str(), "all" | "query-cache") {
+        run_query_cache_baseline(&args);
+    }
+
     eprintln!("done; outputs in {}", args.out.display());
     ExitCode::SUCCESS
 }
@@ -238,6 +243,41 @@ fn run_prepared_baseline(args: &Args) {
     let json = prepared_report_json(&rows);
     let path = args.out.join("BENCH_prepared.json");
     fs::write(&path, json).expect("write BENCH_prepared.json");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Measures the repeated-areas (dashboard) workload under the three
+/// prepare modes and records the `BENCH_query_cache.json` baseline.
+fn run_query_cache_baseline(args: &Args) {
+    use vaq_bench::query_cache::{
+        measure_repeated_areas, query_cache_report_json, RepeatedAreasConfig,
+    };
+
+    let cfg = if args.quick {
+        RepeatedAreasConfig::quick()
+    } else {
+        RepeatedAreasConfig::standard()
+    };
+    eprintln!(
+        "== Prepared-area cache: {} areas (k={}) x {} rounds over {} points ==",
+        cfg.distinct_areas, cfg.vertices, cfg.rounds, cfg.data_size
+    );
+    let row = measure_repeated_areas(&cfg);
+    eprintln!(
+        "  raw {:9.1} us/query   prepare-once {:9.1} us/query   cached {:9.1} us/query",
+        row.raw_us, row.prepare_once_us, row.cached_us
+    );
+    eprintln!(
+        "  cached speedup: {:.2}x vs raw, {:.2}x vs prepare-once ({} hits / {} misses, {:.1}% hit rate)",
+        row.speedup_vs_raw(),
+        row.speedup_vs_prepare_once(),
+        row.cache.hits,
+        row.cache.misses,
+        100.0 * row.cache.hit_rate(),
+    );
+    let json = query_cache_report_json(&row);
+    let path = args.out.join("BENCH_query_cache.json");
+    fs::write(&path, json).expect("write BENCH_query_cache.json");
     eprintln!("wrote {}", path.display());
 }
 
@@ -344,7 +384,7 @@ fn ablation_stats(
     engine: &vaq_core::AreaQueryEngine,
     cfg: &SweepConfig,
 ) -> (f64, f64, f64, f64, f64) {
-    use vaq_core::SeedIndex;
+    use vaq_core::QuerySpec;
     use vaq_workload::{random_query_polygon, unit_space, PolygonSpec};
     let spec = PolygonSpec {
         vertices: cfg.polygon_vertices,
@@ -352,16 +392,18 @@ fn ablation_stats(
         min_radius_ratio: cfg.min_radius_ratio,
     };
     let space = unit_space();
-    let mut scratch = engine.new_scratch();
+    let mut session = engine.session();
+    let query_spec = QuerySpec::voronoi().policy(cfg.policy);
     let mut acc = (0.0, 0.0, 0.0, 0.0, 0.0);
     for rep in 0..cfg.reps as u64 {
         let poly = random_query_polygon(&space, &spec, cfg.base_seed.wrapping_add(rep * 31));
-        let r = engine.voronoi_with(&poly, cfg.policy, SeedIndex::RTree, &mut scratch);
-        acc.0 += r.stats.result_size as f64;
-        acc.1 += r.stats.candidates as f64;
-        acc.2 += r.stats.redundant_validations() as f64;
-        acc.3 += r.stats.segment_tests as f64;
-        acc.4 += r.stats.cell_tests as f64;
+        let out = session.execute(&query_spec, &poly);
+        let stats = out.stats();
+        acc.0 += stats.result_size as f64;
+        acc.1 += stats.candidates as f64;
+        acc.2 += stats.redundant_validations() as f64;
+        acc.3 += stats.segment_tests as f64;
+        acc.4 += stats.cell_tests as f64;
     }
     let k = cfg.reps as f64;
     (acc.0 / k, acc.1 / k, acc.2 / k, acc.3 / k, acc.4 / k)

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod prepared;
+pub mod query_cache;
 
 use vaq_core::AreaQueryEngine;
 use vaq_geom::Polygon;

@@ -14,7 +14,63 @@
 
 use vaq_geom::{Point, Polygon, PreparedPolygon, PreparedRegion, Rect, Region, Segment};
 
+/// A content hash of a query area's vertices, keying the per-session
+/// prepared-area cache (see `QuerySession`).
+///
+/// Two areas with the same fingerprint are geometrically identical down to
+/// the last f64 bit: the `words` hold the exact coordinate bit patterns
+/// (plus ring structure), so a 64-bit hash collision is detected by the
+/// full comparison instead of silently answering the wrong query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AreaFingerprint {
+    hash: u64,
+    words: Vec<u64>,
+}
+
+impl AreaFingerprint {
+    /// Builds a fingerprint from the area's content words (FNV-1a hash).
+    pub fn new(words: Vec<u64>) -> AreaFingerprint {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for w in &words {
+            for byte in w.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        AreaFingerprint { hash, words }
+    }
+
+    /// The 64-bit content hash (cheap first-stage comparison).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Encodes a sequence of vertex rings as fingerprint words: a leading ring
+/// count, each ring's length, then every coordinate's exact bit pattern.
+/// The length prefixes make the encoding prefix-free across ring layouts.
+fn ring_words<'a>(rings: impl Iterator<Item = &'a [Point]> + Clone) -> Vec<u64> {
+    let ring_count = rings.clone().count() as u64;
+    let total: usize = rings.clone().map(<[Point]>::len).sum();
+    let mut words = Vec::with_capacity(1 + ring_count as usize + 2 * total);
+    words.push(ring_count);
+    for ring in rings {
+        words.push(ring.len() as u64);
+        for p in ring {
+            words.push(p.x.to_bits());
+            words.push(p.y.to_bits());
+        }
+    }
+    words
+}
+
 /// Operations the area-query methods need from a query area.
+///
+/// The five required methods are the geometric primitives; the two
+/// provided methods ([`QueryArea::fingerprint`] and [`QueryArea::prepare`])
+/// opt an area into the prepared-area machinery of `PrepareMode` — types
+/// that are already their own best representation (a [`Rect`], an already
+/// prepared polygon) keep the `None` defaults and pass through untouched.
 pub trait QueryArea {
     /// Minimum bounding rectangle (drives the traditional filter).
     fn mbr(&self) -> Rect;
@@ -34,6 +90,27 @@ pub trait QueryArea {
     /// Some point inside the area (the paper's "arbitrary position in A",
     /// which seeds the Voronoi method).
     fn interior_point(&self) -> Point;
+
+    /// Content hash of the area's exact vertex data, keying the
+    /// prepared-area cache. `None` (the default) opts out of caching:
+    /// `PrepareMode::Cached` then runs the area as-is.
+    ///
+    /// Contract: `a.fingerprint() == b.fingerprint()` (both `Some`) must
+    /// imply `a` and `b` answer every [`QueryArea`] primitive identically.
+    fn fingerprint(&self) -> Option<AreaFingerprint> {
+        None
+    }
+
+    /// Query-compiles the area into a faster, exactly-equivalent form
+    /// (e.g. [`Polygon`] → [`PreparedPolygon`]). `None` (the default)
+    /// means the area is already its own best representation and prepare
+    /// modes pass it through unchanged.
+    ///
+    /// Contract: the returned area must answer every [`QueryArea`]
+    /// primitive bit-identically to `self`.
+    fn prepare(&self) -> Option<Box<dyn QueryArea>> {
+        None
+    }
 }
 
 impl QueryArea for Polygon {
@@ -61,6 +138,16 @@ impl QueryArea for Polygon {
     fn interior_point(&self) -> Point {
         Polygon::interior_point(self)
     }
+
+    fn fingerprint(&self) -> Option<AreaFingerprint> {
+        Some(AreaFingerprint::new(ring_words(std::iter::once(
+            self.vertices(),
+        ))))
+    }
+
+    fn prepare(&self) -> Option<Box<dyn QueryArea>> {
+        Some(Box::new(PreparedPolygon::new(self.clone())))
+    }
 }
 
 impl QueryArea for Region {
@@ -87,6 +174,50 @@ impl QueryArea for Region {
     #[inline]
     fn interior_point(&self) -> Point {
         Region::interior_point(self)
+    }
+
+    fn fingerprint(&self) -> Option<AreaFingerprint> {
+        let rings = std::iter::once(self.outer().vertices())
+            .chain(self.holes().iter().map(Polygon::vertices));
+        Some(AreaFingerprint::new(ring_words(rings)))
+    }
+
+    fn prepare(&self) -> Option<Box<dyn QueryArea>> {
+        Some(Box::new(PreparedRegion::new(self.clone())))
+    }
+}
+
+/// Axis-aligned window queries through the same API: a [`Rect`] is a
+/// first-class query area. Every primitive is already `O(1)`, so the rect
+/// is its own prepared form — prepare modes pass it through unchanged
+/// (`fingerprint`/`prepare` keep the `None` defaults).
+///
+/// The rect must be non-empty (see [`Rect::is_empty`]); an empty rect has
+/// no interior point to seed the Voronoi method with.
+impl QueryArea for Rect {
+    #[inline]
+    fn mbr(&self) -> Rect {
+        *self
+    }
+
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        self.contains_point(p)
+    }
+
+    fn boundary_intersects_segment(&self, s: &Segment) -> bool {
+        let c = self.corners();
+        (0..4).any(|i| s.intersects(&Segment::new(c[i], c[(i + 1) % 4])))
+    }
+
+    #[inline]
+    fn intersects_polygon(&self, poly: &Polygon) -> bool {
+        poly.intersects_rect(self)
+    }
+
+    #[inline]
+    fn interior_point(&self) -> Point {
+        self.center()
     }
 }
 

@@ -2,32 +2,89 @@
 //! optionally in parallel.
 //!
 //! The engine is immutable after construction and `Sync`; the only
-//! per-query mutable state is the [`crate::scratch::QueryScratch`]. Batch
-//! execution hands
-//! each worker thread its own scratch and splits the query list into
-//! contiguous chunks — embarrassingly parallel, no locking on the hot
-//! path. This is the throughput-oriented serving mode of a GIS backend,
-//! complementing the paper's latency-oriented single-query evaluation.
+//! per-query mutable state is the per-worker
+//! [`QuerySession`]. The single batch entrypoint is
+//! [`AreaQueryEngine::execute_batch`]: any [`QuerySpec`] over any slice of
+//! areas, on any number of worker threads. Workers claim queries from a
+//! **shared atomic work-stealing index** (one `fetch_add` per query, no
+//! other coordination), so skewed query sizes never leave threads idle the
+//! way fixed contiguous chunks did — the thread that drew three heavy
+//! 32 %-size queries no longer gates the batch while its siblings sleep.
+//! Results always come back in input order. This is the
+//! throughput-oriented serving mode of a GIS backend, complementing the
+//! paper's latency-oriented single-query evaluation.
 
 use crate::area::QueryArea;
-use crate::engine::{AreaQueryEngine, QueryResult, SeedIndex};
-use crate::voronoi_query::ExpansionPolicy;
+use crate::engine::{AreaQueryEngine, QueryResult};
+use crate::query::{QueryOutput, QuerySession, QuerySpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use vaq_geom::{Polygon, PreparedPolygon};
 
 impl AreaQueryEngine {
-    /// Answers `areas` sequentially with the Voronoi method, reusing one
-    /// scratch across the batch.
-    pub fn voronoi_batch<A: QueryArea>(&self, areas: &[A]) -> Vec<QueryResult> {
-        let mut scratch = self.new_scratch();
-        areas
-            .iter()
-            .map(|a| self.voronoi_with(a, ExpansionPolicy::Segment, SeedIndex::RTree, &mut scratch))
+    /// Executes `spec` over every area, on `threads` worker threads, and
+    /// returns the outputs **in input order**.
+    ///
+    /// `threads <= 1` (or a batch of at most one query) runs sequentially
+    /// on the calling thread with a single reused session — with
+    /// [`PrepareMode::Cached`](crate::PrepareMode) the prepared-area cache
+    /// then spans the whole batch. The parallel path gives each worker its
+    /// own session and hands out queries through a shared atomic index
+    /// (work stealing): a worker that finishes early keeps pulling work
+    /// instead of idling behind a fixed chunk boundary.
+    pub fn execute_batch<A: QueryArea + Sync>(
+        &self,
+        spec: &QuerySpec,
+        areas: &[A],
+        threads: usize,
+    ) -> Vec<QueryOutput> {
+        if threads <= 1 || areas.len() <= 1 {
+            let mut session = QuerySession::new(self);
+            return areas.iter().map(|a| session.execute(spec, a)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let workers = threads.min(areas.len());
+        let mut slots: Vec<Option<QueryOutput>> = Vec::new();
+        slots.resize_with(areas.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut session = QuerySession::new(self);
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(area) = areas.get(i) else { break };
+                            done.push((i, session.execute(spec, area)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, out) in h.join().expect("batch worker does not panic") {
+                    slots[i] = Some(out);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|o| o.expect("every query index is claimed exactly once"))
             .collect()
     }
 
+    /// Answers `areas` sequentially with the Voronoi method, reusing one
+    /// session across the batch — [`QuerySession::execute`] in a loop with
+    /// the default spec.
+    pub fn voronoi_batch<A: QueryArea>(&self, areas: &[A]) -> Vec<QueryResult> {
+        let spec = QuerySpec::voronoi();
+        let mut session = QuerySession::new(self);
+        collect_results(areas.iter().map(|a| session.execute(&spec, a)).collect())
+    }
+
     /// Answers `areas` with the Voronoi method on `threads` worker
-    /// threads (contiguous chunks, one scratch per worker). Results come
-    /// back in input order.
+    /// threads. Results come back in input order. Wrapper over
+    /// [`AreaQueryEngine::execute_batch`] with the default spec.
     ///
     /// `threads == 0` or `1` falls back to the sequential path.
     pub fn voronoi_batch_parallel<A: QueryArea + Sync>(
@@ -35,20 +92,7 @@ impl AreaQueryEngine {
         areas: &[A],
         threads: usize,
     ) -> Vec<QueryResult> {
-        if threads <= 1 || areas.len() <= 1 {
-            return self.voronoi_batch(areas);
-        }
-        let chunk = areas.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = areas
-                .chunks(chunk)
-                .map(|part| scope.spawn(move || self.voronoi_batch(part)))
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("batch worker does not panic"))
-                .collect()
-        })
+        collect_results(self.execute_batch(&QuerySpec::voronoi(), areas, threads))
     }
 
     /// As [`AreaQueryEngine::voronoi_batch`], but every area is
@@ -72,6 +116,14 @@ impl AreaQueryEngine {
         let prepared = prepare_all(areas);
         self.voronoi_batch_parallel(&prepared, threads)
     }
+}
+
+/// Unwraps a batch of collect-mode outputs into plain results.
+fn collect_results(outputs: Vec<QueryOutput>) -> Vec<QueryResult> {
+    outputs
+        .into_iter()
+        .map(|o| o.into_result().expect("collect-mode batch"))
+        .collect()
 }
 
 /// Query-compiles a slice of polygons (shared helper of the prepared

@@ -41,7 +41,7 @@ pub enum PointClass {
 ///
 /// `window` clips unbounded cells; it must contain all sites and the area
 /// (see `AreaQueryEngine::cell_window`).
-pub fn classify_points<A: QueryArea>(
+pub fn classify_points<A: QueryArea + ?Sized>(
     tri: &Triangulation,
     area: &A,
     window: &Rect,

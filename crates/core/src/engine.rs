@@ -1,11 +1,13 @@
 //! The area-query engine: owns the point set and its indexes, and exposes
-//! both competing query methods behind one API.
+//! every query configuration through one funnel.
 //!
 //! Build once per dataset, query many times — the workflow of the paper's
-//! experiments (and of any GIS serving area queries):
+//! experiments (and of any GIS serving area queries). The intended surface
+//! is a [`QuerySpec`] executed through a
+//! [`QuerySession`](crate::QuerySession):
 //!
 //! ```
-//! use vaq_core::{AreaQueryEngine, ExpansionPolicy};
+//! use vaq_core::{AreaQueryEngine, QuerySpec};
 //! use vaq_geom::{Point, Polygon};
 //!
 //! let pts = vec![
@@ -21,10 +23,19 @@
 //!     Point::new(0.5, 0.6),
 //! ]).unwrap();
 //!
-//! let trad = engine.traditional(&area);
-//! let voro = engine.voronoi(&area);
-//! assert_eq!(trad.sorted_indices(), voro.sorted_indices());
+//! let mut session = engine.session();
+//! let trad = session.execute(&QuerySpec::traditional(), &area);
+//! let voro = session.execute(&QuerySpec::voronoi(), &area);
+//! assert_eq!(
+//!     trad.result().unwrap().sorted_indices(),
+//!     voro.result().unwrap().sorted_indices(),
+//! );
 //! ```
+//!
+//! The named convenience methods below ([`AreaQueryEngine::traditional`],
+//! [`AreaQueryEngine::voronoi`], the counting and prepared variants, …)
+//! are thin wrappers over that same funnel — same results, same stats,
+//! bit for bit (`tests/legacy_equivalence.rs` enforces it).
 //!
 //! On realistic data sizes the Voronoi method validates far fewer
 //! candidates than the window query (the point of the paper); the
@@ -32,17 +43,15 @@
 //! the benchmark harness quantify it.
 
 use crate::area::QueryArea;
-use crate::classify::{classify_points, PointClass};
+use crate::classify::PointClass;
 use crate::payload::RecordStore;
+use crate::query::{OutputMode, PrepareMode, QuerySpec};
 use crate::scratch::QueryScratch;
 use crate::stats::QueryStats;
-use crate::traditional::{
-    traditional_area_query, traditional_area_query_kdtree, traditional_area_query_quadtree,
-    FilterIndex,
-};
-use crate::voronoi_query::{arbitrary_position_in, voronoi_area_query, ExpansionPolicy};
+use crate::traditional::FilterIndex;
+use crate::voronoi_query::ExpansionPolicy;
 use vaq_delaunay::Triangulation;
-use vaq_geom::{Point, Polygon, PreparedPolygon, Rect};
+use vaq_geom::{Point, Polygon, Rect};
 use vaq_kdtree::KdTree;
 use vaq_quadtree::Quadtree;
 use vaq_rtree::{RTree, SplitAlgorithm};
@@ -187,14 +196,14 @@ impl EngineBuilder {
 /// Pre-built indexes over one point set, answering area queries with both
 /// the traditional and the Voronoi-based method.
 pub struct AreaQueryEngine {
-    points: Vec<Point>,
-    rtree: RTree,
+    pub(crate) points: Vec<Point>,
+    pub(crate) rtree: RTree,
     /// `None` only for an empty point set.
-    tri: Option<Triangulation>,
-    kdtree: Option<KdTree>,
-    quadtree: Option<Quadtree>,
+    pub(crate) tri: Option<Triangulation>,
+    pub(crate) kdtree: Option<KdTree>,
+    pub(crate) quadtree: Option<Quadtree>,
     /// Simulated geometry records (None = pure in-memory regime).
-    records: Option<RecordStore>,
+    pub(crate) records: Option<RecordStore>,
     data_bbox: Rect,
 }
 
@@ -244,14 +253,20 @@ impl AreaQueryEngine {
     /// Clipping window for on-demand Voronoi cells: the data extent joined
     /// with the query area, grown by its own diagonal so unbounded hull
     /// cells keep a representative shape around the region of interest.
-    fn cell_window<A: QueryArea>(&self, area: &A) -> Rect {
+    pub(crate) fn cell_window<A: QueryArea + ?Sized>(&self, area: &A) -> Rect {
         let r = self.data_bbox.union(&area.mbr());
         r.expand((r.width() + r.height()).max(1.0))
     }
 
+    /// Unwraps a collect-mode funnel output (the wrappers below always
+    /// request `OutputMode::Collect`).
+    fn collected(out: crate::query::QueryOutput) -> QueryResult {
+        out.into_result().expect("collect-mode query")
+    }
+
     /// Traditional filter–refine query with the R-tree (the paper's
-    /// baseline).
-    pub fn traditional<A: QueryArea>(&self, area: &A) -> QueryResult {
+    /// baseline). Wrapper over `execute(&QuerySpec::traditional(), area)`.
+    pub fn traditional<A: QueryArea + ?Sized>(&self, area: &A) -> QueryResult {
         self.traditional_with(area, FilterIndex::RTree)
     }
 
@@ -261,196 +276,111 @@ impl AreaQueryEngine {
     ///
     /// Panics if the requested index was not built (see
     /// [`EngineBuilder::with_kdtree`] / [`EngineBuilder::with_quadtree`]).
-    pub fn traditional_with<A: QueryArea>(&self, area: &A, filter: FilterIndex) -> QueryResult {
-        let mut stats = QueryStats::default();
-        let indices = match filter {
-            FilterIndex::RTree => traditional_area_query(
-                &self.rtree,
-                &self.points,
-                area,
-                self.records.as_ref(),
-                &mut stats,
-            ),
-            FilterIndex::KdTree => traditional_area_query_kdtree(
-                self.kdtree
-                    .as_ref()
-                    .expect("kd-tree not built; use EngineBuilder::with_kdtree"),
-                &self.points,
-                area,
-                self.records.as_ref(),
-                &mut stats,
-            ),
-            FilterIndex::Quadtree => traditional_area_query_quadtree(
-                self.quadtree
-                    .as_ref()
-                    .expect("quadtree not built; use EngineBuilder::with_quadtree"),
-                &self.points,
-                area,
-                self.records.as_ref(),
-                &mut stats,
-            ),
-        };
-        QueryResult { indices, stats }
+    pub fn traditional_with<A: QueryArea + ?Sized>(
+        &self,
+        area: &A,
+        filter: FilterIndex,
+    ) -> QueryResult {
+        Self::collected(self.run_spec(&QuerySpec::traditional().filter(filter), area, None))
     }
 
     /// Voronoi-based area query (Algorithm 1) with the paper's defaults:
     /// R-tree seed NN and the segment expansion policy. Allocates fresh
-    /// scratch; for repeated queries prefer [`AreaQueryEngine::voronoi_with`].
-    pub fn voronoi<A: QueryArea>(&self, area: &A) -> QueryResult {
-        let mut scratch = self.new_scratch();
-        self.voronoi_with(
-            area,
-            ExpansionPolicy::Segment,
-            SeedIndex::RTree,
-            &mut scratch,
-        )
+    /// scratch; for repeated queries prefer a
+    /// [`QuerySession`](crate::QuerySession) (or
+    /// [`AreaQueryEngine::voronoi_with`]).
+    pub fn voronoi<A: QueryArea + ?Sized>(&self, area: &A) -> QueryResult {
+        Self::collected(self.run_spec(&QuerySpec::voronoi(), area, None))
     }
 
     /// Voronoi-based area query with explicit policy, seed index and
-    /// reusable scratch.
+    /// caller-owned reusable scratch — `execute` with a spec of
+    /// `QuerySpec::voronoi().policy(policy).seed(seed_index)`.
     ///
     /// # Panics
     ///
     /// Panics if [`SeedIndex::KdTree`] is requested but the kd-tree was not
     /// built.
-    pub fn voronoi_with<A: QueryArea>(
+    pub fn voronoi_with<A: QueryArea + ?Sized>(
         &self,
         area: &A,
         policy: ExpansionPolicy,
         seed_index: SeedIndex,
         scratch: &mut QueryScratch,
     ) -> QueryResult {
-        let mut stats = QueryStats::default();
-        let Some(tri) = self.tri.as_ref() else {
-            return QueryResult {
-                indices: Vec::new(),
-                stats,
-            };
-        };
-        // Line 3–4 of Algorithm 1: seed with NN(P, pA) for an arbitrary
-        // position pA inside A.
-        let pa = arbitrary_position_in(area);
-        let seed = match seed_index {
-            SeedIndex::RTree => {
-                let (id, _) = self
-                    .rtree
-                    .nearest_with_stats(pa, &mut stats.index)
-                    .expect("engine is non-empty");
-                tri.canonical(id as usize)
-            }
-            SeedIndex::KdTree => {
-                let (id, _) = self
-                    .kdtree
-                    .as_ref()
-                    .expect("kd-tree not built; use EngineBuilder::with_kdtree")
-                    .nearest(pa)
-                    .expect("engine is non-empty");
-                tri.canonical(id as usize)
-            }
-            SeedIndex::DelaunayWalk => tri.nearest_vertex(pa, None),
-        };
-        stats.seed = Some(seed);
-        let window = self.cell_window(area);
-        let canonical = voronoi_area_query(
-            tri,
-            area,
-            seed,
-            policy,
-            &window,
-            self.records.as_ref(),
-            scratch,
-            &mut stats,
-        );
-        // Expand canonical vertices back to input indices (duplicates).
-        let mut indices = Vec::with_capacity(canonical.len());
-        for v in canonical {
-            indices.extend_from_slice(tri.inputs_of(v));
-        }
-        stats.result_size = indices.len();
-        QueryResult { indices, stats }
+        let spec = QuerySpec::voronoi().policy(policy).seed(seed_index);
+        Self::collected(self.run_spec(&spec, area, Some(scratch)))
     }
 
     /// Voronoi-based area query over a **prepared** polygon: the area is
     /// query-compiled once (slab decomposition + edge grid + cached
-    /// MBR/interior point, see [`vaq_geom::prepared`]) and the per-
+    /// MBR/interior point, see `vaq_geom::prepared`) and the per-
     /// candidate `contains` / per-frontier segment tests run against the
-    /// index instead of scanning all `k` polygon edges.
+    /// index instead of scanning all `k` polygon edges. Wrapper over
+    /// `execute` with [`PrepareMode::PrepareOnce`].
     ///
     /// Results are identical to [`AreaQueryEngine::voronoi`] — the
-    /// prepared layer is exact. For repeated queries with the same area,
-    /// prepare once yourself and call [`AreaQueryEngine::voronoi`] with
-    /// the [`PreparedPolygon`]; this convenience re-prepares per call.
+    /// prepared layer is exact. For repeated queries with the same areas,
+    /// use a [`QuerySession`](crate::QuerySession) with
+    /// [`PrepareMode::Cached`] instead; this convenience re-prepares per
+    /// call.
     pub fn voronoi_prepared(&self, area: &Polygon) -> QueryResult {
-        self.voronoi(&PreparedPolygon::new(area.clone()))
+        let spec = QuerySpec::voronoi().prepare(PrepareMode::PrepareOnce);
+        Self::collected(self.run_spec(&spec, area, None))
     }
 
     /// Traditional filter–refine query with a prepared refine step (the
     /// exact containment tests run against the prepared index). Identical
     /// results to [`AreaQueryEngine::traditional`].
     pub fn traditional_prepared(&self, area: &Polygon) -> QueryResult {
-        self.traditional(&PreparedPolygon::new(area.clone()))
+        let spec = QuerySpec::traditional().prepare(PrepareMode::PrepareOnce);
+        Self::collected(self.run_spec(&spec, area, None))
     }
 
     /// Counts the points inside `area` without materialising them — the
     /// aggregate form of the area query (`SELECT COUNT(*) WHERE
     /// Contains(A, p)`), using the Voronoi method's candidate generation.
+    /// Wrapper over `execute` with [`OutputMode::Count`]: the count runs
+    /// the same seeded, stats-tracked BFS as collection.
     ///
     /// Count queries magnify the paper's point: with no result set to
     /// build, candidate generation and validation are the *entire* cost.
-    pub fn voronoi_count<A: QueryArea>(&self, area: &A, scratch: &mut QueryScratch) -> usize {
-        let Some(tri) = self.tri.as_ref() else {
-            return 0;
-        };
-        // Algorithm 1 with counting instead of collection: reuse the BFS
-        // and sum duplicate multiplicities of accepted canonical vertices.
-        let mut stats = QueryStats::default();
-        let pa = arbitrary_position_in(area);
-        let (id, _) = self.rtree.nearest(pa).expect("engine is non-empty");
-        let seed = tri.canonical(id as usize);
-        let window = self.cell_window(area);
-        let canonical = voronoi_area_query(
-            tri,
-            area,
-            seed,
-            ExpansionPolicy::Segment,
-            &window,
-            self.records.as_ref(),
-            scratch,
-            &mut stats,
-        );
-        canonical.iter().map(|&v| tri.inputs_of(v).len()).sum()
+    pub fn voronoi_count<A: QueryArea + ?Sized>(
+        &self,
+        area: &A,
+        scratch: &mut QueryScratch,
+    ) -> usize {
+        let spec = QuerySpec::voronoi().output(OutputMode::Count);
+        self.run_spec(&spec, area, Some(scratch)).count()
     }
 
     /// Counts the points inside `area` with the traditional method
     /// (window count is not enough — the exact test still runs per
-    /// candidate; only the result vector is avoided).
-    pub fn traditional_count<A: QueryArea>(&self, area: &A) -> usize {
-        let mut count = 0usize;
-        self.rtree.window_for_each(&area.mbr(), |_, p| {
-            if area.contains(p) {
-                count += 1;
-            }
-        });
-        count
+    /// candidate; only the result vector is avoided). Wrapper over
+    /// `execute` with [`OutputMode::Count`].
+    pub fn traditional_count<A: QueryArea + ?Sized>(&self, area: &A) -> usize {
+        let spec = QuerySpec::traditional().output(OutputMode::Count);
+        self.run_spec(&spec, area, None).count()
     }
 
     /// Reference oracle: a linear scan validating every point. `O(n·|A|)`.
-    pub fn brute_force<A: QueryArea>(&self, area: &A) -> Vec<u32> {
-        self.points
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| area.contains(**p))
-            .map(|(i, _)| i as u32)
-            .collect()
+    /// Wrapper over `execute` with
+    /// [`QueryMethod::BruteForce`](crate::QueryMethod::BruteForce); use the
+    /// spec form to get stats too.
+    pub fn brute_force<A: QueryArea + ?Sized>(&self, area: &A) -> Vec<u32> {
+        Self::collected(self.run_spec(&QuerySpec::brute_force(), area, None)).indices
     }
 
     /// Classifies every canonical vertex as internal / boundary / external
     /// relative to `area` (see [`PointClass`]). Returns `None` for an empty
-    /// engine.
-    pub fn classify<A: QueryArea>(&self, area: &A) -> Option<Vec<PointClass>> {
-        let tri = self.tri.as_ref()?;
-        let window = self.cell_window(area);
-        Some(classify_points(tri, area, &window))
+    /// engine. Wrapper over `execute` with [`OutputMode::Classify`].
+    pub fn classify<A: QueryArea + ?Sized>(&self, area: &A) -> Option<Vec<PointClass>> {
+        self.tri.as_ref()?;
+        let spec = QuerySpec::new().output(OutputMode::Classify);
+        match self.run_spec(&spec, area, None) {
+            crate::query::QueryOutput::Classified { classes, .. } => Some(classes),
+            _ => unreachable!("classify-mode query"),
+        }
     }
 }
 
@@ -459,7 +389,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-    use vaq_geom::Polygon;
+    use vaq_geom::{Polygon, PreparedPolygon};
 
     fn p(x: f64, y: f64) -> Point {
         Point::new(x, y)

@@ -17,16 +17,19 @@
 //!   expanding from outside-points only across the area boundary.
 //!   Candidates = internal points + a one-cell-thick boundary ring.
 //!
-//! [`AreaQueryEngine`] packages both behind one API, with configurable
-//! filter/seed indexes and expansion policies for the ablation studies, a
-//! brute-force oracle, and the paper's Section III point classification
-//! ([`classify`]).
+//! [`AreaQueryEngine`] packages both behind **one query surface**: a
+//! [`QuerySpec`] names a point in the evaluation grid (method × filter
+//! index × seed index × expansion policy × prepare mode × output shape)
+//! and a [`QuerySession`] executes it, owning the reusable scratch and a
+//! bounded LRU **prepared-area cache** for dashboard-style repeated
+//! queries. A brute-force oracle and the paper's Section III point
+//! classification ([`classify`]) run through the same funnel.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use vaq_core::AreaQueryEngine;
-//! use vaq_geom::{Point, Polygon};
+//! use vaq_core::{AreaQueryEngine, OutputMode, PrepareMode, QuerySpec};
+//! use vaq_geom::{Point, Polygon, Rect};
 //!
 //! // A tiny dataset and a concave query area.
 //! let pts: Vec<Point> = (0..100)
@@ -40,14 +43,38 @@
 //! ]).unwrap();
 //!
 //! let engine = AreaQueryEngine::build(&pts);
-//! let result = engine.voronoi(&area);
-//! assert_eq!(result.sorted_indices(), engine.traditional(&area).sorted_indices());
+//! let mut session = engine.session();
+//!
+//! // The paper's two methods are one field apart.
+//! let voronoi = session.execute(&QuerySpec::voronoi(), &area);
+//! let traditional = session.execute(&QuerySpec::traditional(), &area);
+//! let result = voronoi.result().unwrap();
+//! assert_eq!(
+//!     result.sorted_indices(),
+//!     traditional.result().unwrap().sorted_indices(),
+//! );
 //! println!(
 //!     "result {} candidates {} redundant {}",
 //!     result.stats.result_size,
 //!     result.stats.candidates,
 //!     result.stats.redundant_validations(),
 //! );
+//!
+//! // Counts, window queries and cached prepared areas ride the same
+//! // funnel: same seeding, same counters, bit-identical answers.
+//! let spec = QuerySpec::voronoi()
+//!     .prepare(PrepareMode::Cached)
+//!     .output(OutputMode::Count);
+//! let n = session.execute(&spec, &area).count();
+//! assert_eq!(n, result.indices.len());
+//! assert_eq!(session.execute(&spec, &area).stats().prepared_cache.hits, 1);
+//! let window = Rect::new(Point::new(0.0, 0.0), Point::new(0.55, 0.55));
+//! assert_eq!(session.execute(&spec, &window).count(), 36);
+//!
+//! // Batches fan out over a shared work-stealing index.
+//! let areas = vec![area.clone(), area];
+//! let outs = engine.execute_batch(&QuerySpec::voronoi(), &areas, 2);
+//! assert_eq!(outs[0].count(), outs[1].count());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -59,17 +86,22 @@ pub mod classify;
 pub mod dynamic;
 pub mod engine;
 pub mod payload;
+pub mod query;
 pub mod scratch;
 pub mod stats;
 pub mod traditional;
 pub mod voronoi_query;
 
-pub use area::QueryArea;
+pub use area::{AreaFingerprint, QueryArea};
 pub use classify::{classify_points, PointClass};
 pub use dynamic::DynamicAreaQueryEngine;
 pub use engine::{AreaQueryEngine, EngineBuilder, QueryResult, SeedIndex};
 pub use payload::RecordStore;
+pub use query::{
+    OutputMode, PrepareMode, QueryMethod, QueryOutput, QuerySession, QuerySpec,
+    DEFAULT_CACHE_CAPACITY,
+};
 pub use scratch::QueryScratch;
-pub use stats::QueryStats;
+pub use stats::{CacheCounters, QueryStats};
 pub use traditional::{traditional_area_query, FilterIndex};
 pub use voronoi_query::{voronoi_area_query, ExpansionPolicy};

@@ -1,0 +1,852 @@
+//! The unified query surface: [`QuerySpec`] describes *what* to run,
+//! [`QuerySession`] owns the per-caller state needed to run it.
+//!
+//! The paper's evaluation is a grid over independent axes — query method,
+//! filter index, seed index, expansion policy, prepared-or-raw area, and
+//! output shape. Instead of one entrypoint per grid cell, [`QuerySpec`] is
+//! a plain-data point in that grid and every query funnels through
+//! [`QuerySession::execute`]:
+//!
+//! ```
+//! use vaq_core::{OutputMode, QuerySpec, SeedIndex};
+//! use vaq_geom::{Point, Polygon};
+//!
+//! let pts: Vec<Point> = (0..100)
+//!     .map(|i| Point::new((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0))
+//!     .collect();
+//! let engine = vaq_core::AreaQueryEngine::build(&pts);
+//! let area = Polygon::new(vec![
+//!     Point::new(0.05, 0.05),
+//!     Point::new(0.85, 0.10),
+//!     Point::new(0.40, 0.85),
+//! ]).unwrap();
+//!
+//! let mut session = engine.session();
+//! let spec = QuerySpec::voronoi().seed(SeedIndex::RTree);
+//! let collected = session.execute(&spec, &area);
+//! let counted = session.execute(&spec.output(OutputMode::Count), &area);
+//! assert_eq!(collected.count(), counted.count());
+//! ```
+//!
+//! The session's two pieces of mutable state are exactly the two things a
+//! caller wants amortised across queries:
+//!
+//! * the reusable [`QueryScratch`] (epoch-stamped visited set — avoids an
+//!   `O(n)` allocation per Voronoi query), created lazily on the first
+//!   query that needs it;
+//! * a bounded LRU **prepared-area cache** keyed by a content hash of the
+//!   area's vertices ([`AreaFingerprint`]). Dashboard-style workloads ask
+//!   the same handful of areas over and over; with
+//!   [`PrepareMode::Cached`] the expensive query-compilation (slab index +
+//!   edge grid, see `vaq_geom::prepared`) happens once per distinct area
+//!   and every repeat is served from the cache. Hit/miss counters are
+//!   surfaced per query in [`QueryStats::prepared_cache`] and as session
+//!   totals in [`QuerySession::cache_counters`].
+//!
+//! Results are **bit-identical across the `prepare` axis** — the prepared
+//! layer is exact, so `Raw`, `PrepareOnce` and `Cached` return the same
+//! indices and the same work counters (only the cache counters differ).
+
+use crate::area::{AreaFingerprint, QueryArea};
+use crate::classify::classify_points;
+use crate::engine::{AreaQueryEngine, QueryResult, SeedIndex};
+use crate::scratch::QueryScratch;
+use crate::stats::{CacheCounters, QueryStats};
+use crate::traditional::{refine, refine_each, FilterIndex};
+use crate::voronoi_query::{arbitrary_position_in, voronoi_area_query, ExpansionPolicy};
+use crate::PointClass;
+use std::rc::Rc;
+
+/// Which algorithm answers the query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueryMethod {
+    /// Traditional filter–refine: window query with `MBR(A)` on the
+    /// [`FilterIndex`], exact validation of every candidate (the paper's
+    /// baseline).
+    Traditional,
+    /// The paper's Algorithm 1: seed with the nearest site to a point of
+    /// `A`, BFS over Voronoi neighbours (the default, as in the paper).
+    #[default]
+    Voronoi,
+    /// Linear scan validating every point — the `O(n·|A|)` oracle, now a
+    /// first-class method so differential tests sweep it through the same
+    /// funnel.
+    BruteForce,
+}
+
+/// Whether (and how) the query area is query-compiled before execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PrepareMode {
+    /// Use the area exactly as passed (the default).
+    #[default]
+    Raw,
+    /// Prepare the area for this one query, then drop the compiled form
+    /// (the `voronoi_prepared` behaviour). Areas without a prepared form
+    /// ([`QueryArea::prepare`] returns `None`) pass through unchanged.
+    PrepareOnce,
+    /// Look the area up in the session's LRU cache by content fingerprint,
+    /// preparing (and inserting) on miss. Repeated areas skip preparation
+    /// entirely. Areas without a fingerprint pass through unchanged.
+    Cached,
+}
+
+/// The shape of the answer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OutputMode {
+    /// Materialise the matching point indices (the default).
+    #[default]
+    Collect,
+    /// Count matching points without materialising them (`SELECT COUNT(*)`
+    /// — candidate generation and validation are the entire cost). Counts
+    /// run the same seeded, stats-tracked path as [`OutputMode::Collect`]:
+    /// every counter, including `result_size`, is bit-identical.
+    Count,
+    /// Classify every canonical vertex as internal / boundary / external
+    /// (the paper's Section III). Classification is defined on the Voronoi
+    /// diagram and ignores `method`, `filter` and `seed`.
+    Classify,
+}
+
+/// A plain-data description of one area query: a point in the evaluation
+/// grid `method × filter × seed × policy × prepare × output`.
+///
+/// The default (`QuerySpec::new()`) is the paper's setup: Voronoi method,
+/// R-tree filter and seed, segment expansion, raw area, collected output.
+/// Builder-style setters return `self`, so specs compose inline;
+/// the fields are public, so struct-update syntax works too.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Which algorithm runs.
+    pub method: QueryMethod,
+    /// Index serving the traditional filter step (ignored by the other
+    /// methods).
+    pub filter: FilterIndex,
+    /// Index serving the Voronoi method's seed NN query (ignored by the
+    /// other methods).
+    pub seed: SeedIndex,
+    /// Expansion test of the Voronoi BFS (ignored by the other methods).
+    pub policy: ExpansionPolicy,
+    /// Whether the area is query-compiled first.
+    pub prepare: PrepareMode,
+    /// The shape of the answer.
+    pub output: OutputMode,
+}
+
+impl QuerySpec {
+    /// The paper's default configuration (equivalent to `default()`).
+    pub fn new() -> QuerySpec {
+        QuerySpec::default()
+    }
+
+    /// A spec for the Voronoi method with the paper's defaults.
+    pub fn voronoi() -> QuerySpec {
+        QuerySpec::default()
+    }
+
+    /// A spec for the traditional filter–refine method.
+    pub fn traditional() -> QuerySpec {
+        QuerySpec {
+            method: QueryMethod::Traditional,
+            ..QuerySpec::default()
+        }
+    }
+
+    /// A spec for the brute-force oracle.
+    pub fn brute_force() -> QuerySpec {
+        QuerySpec {
+            method: QueryMethod::BruteForce,
+            ..QuerySpec::default()
+        }
+    }
+
+    /// Sets the query method.
+    pub fn method(mut self, method: QueryMethod) -> QuerySpec {
+        self.method = method;
+        self
+    }
+
+    /// Sets the traditional filter index.
+    pub fn filter(mut self, filter: FilterIndex) -> QuerySpec {
+        self.filter = filter;
+        self
+    }
+
+    /// Sets the Voronoi seed index.
+    pub fn seed(mut self, seed: SeedIndex) -> QuerySpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the Voronoi expansion policy.
+    pub fn policy(mut self, policy: ExpansionPolicy) -> QuerySpec {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the prepare mode.
+    pub fn prepare(mut self, prepare: PrepareMode) -> QuerySpec {
+        self.prepare = prepare;
+        self
+    }
+
+    /// Sets the output mode.
+    pub fn output(mut self, output: OutputMode) -> QuerySpec {
+        self.output = output;
+        self
+    }
+}
+
+/// The answer to one executed [`QuerySpec`] — one variant per
+/// [`OutputMode`].
+#[derive(Clone, Debug)]
+pub enum QueryOutput {
+    /// `OutputMode::Collect`: the matching indices plus statistics.
+    Collected(QueryResult),
+    /// `OutputMode::Count`: the number of matching points plus statistics.
+    Counted {
+        /// Matching points (duplicates counted with multiplicity).
+        count: usize,
+        /// Work counters — bit-identical to the collecting run's.
+        stats: QueryStats,
+    },
+    /// `OutputMode::Classify`: per-canonical-vertex classes. Empty for an
+    /// empty engine.
+    Classified {
+        /// One class per canonical vertex of the triangulation.
+        classes: Vec<PointClass>,
+        /// Statistics (classification populates only the cache counters).
+        stats: QueryStats,
+    },
+}
+
+impl QueryOutput {
+    /// The query's work counters, whatever the output shape.
+    pub fn stats(&self) -> &QueryStats {
+        match self {
+            QueryOutput::Collected(r) => &r.stats,
+            QueryOutput::Counted { stats, .. } => stats,
+            QueryOutput::Classified { stats, .. } => stats,
+        }
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut QueryStats {
+        match self {
+            QueryOutput::Collected(r) => &mut r.stats,
+            QueryOutput::Counted { stats, .. } => stats,
+            QueryOutput::Classified { stats, .. } => stats,
+        }
+    }
+
+    /// Number of matching points: the result length, the count, or the
+    /// number of `Internal` vertices.
+    pub fn count(&self) -> usize {
+        match self {
+            QueryOutput::Collected(r) => r.indices.len(),
+            QueryOutput::Counted { count, .. } => *count,
+            QueryOutput::Classified { classes, .. } => classes
+                .iter()
+                .filter(|&&c| c == PointClass::Internal)
+                .count(),
+        }
+    }
+
+    /// The collected result, when this was a `Collect` query.
+    pub fn result(&self) -> Option<&QueryResult> {
+        match self {
+            QueryOutput::Collected(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the output into the collected result, when this was a
+    /// `Collect` query.
+    pub fn into_result(self) -> Option<QueryResult> {
+        match self {
+            QueryOutput::Collected(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The per-vertex classes, when this was a `Classify` query.
+    pub fn classes(&self) -> Option<&[PointClass]> {
+        match self {
+            QueryOutput::Classified { classes, .. } => Some(classes),
+            _ => None,
+        }
+    }
+}
+
+/// Default number of distinct prepared areas a session keeps alive.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Bounded LRU of prepared areas, keyed by content fingerprint. Lookup is
+/// a linear scan over at most `capacity` entries comparing the 64-bit hash
+/// first — negligible next to a single prepared `contains` call.
+struct PreparedAreaCache {
+    capacity: usize,
+    /// Front = most recently used.
+    entries: Vec<(AreaFingerprint, Rc<dyn QueryArea>)>,
+}
+
+impl PreparedAreaCache {
+    fn new(capacity: usize) -> PreparedAreaCache {
+        PreparedAreaCache {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Returns the cached prepared area for `fp`, preparing via `build` on
+    /// miss. `delta` records the hit or miss. Returns `None` when `build`
+    /// yields `None` (the area has no prepared form).
+    fn get_or_prepare(
+        &mut self,
+        fp: AreaFingerprint,
+        build: impl FnOnce() -> Option<Box<dyn QueryArea>>,
+        delta: &mut CacheCounters,
+    ) -> Option<Rc<dyn QueryArea>> {
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|(k, _)| k.hash() == fp.hash() && *k == fp)
+        {
+            delta.hits += 1;
+            let entry = self.entries.remove(pos);
+            let area = Rc::clone(&entry.1);
+            self.entries.insert(0, entry);
+            return Some(area);
+        }
+        let prepared: Rc<dyn QueryArea> = Rc::from(build()?);
+        delta.misses += 1;
+        if self.capacity > 0 {
+            self.entries.insert(0, (fp, Rc::clone(&prepared)));
+            self.entries.truncate(self.capacity);
+        }
+        Some(prepared)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Per-caller query state over a borrowed engine: the reusable scratch and
+/// the prepared-area cache. Cheap to create; create one per thread (the
+/// engine itself is `Sync`, the session is not).
+///
+/// See the [module docs](self) for the full story and an example.
+pub struct QuerySession<'e> {
+    engine: &'e AreaQueryEngine,
+    scratch: Option<QueryScratch>,
+    cache: PreparedAreaCache,
+    cache_totals: CacheCounters,
+}
+
+impl<'e> QuerySession<'e> {
+    /// Starts a session with the default prepared-area cache capacity
+    /// ([`DEFAULT_CACHE_CAPACITY`]).
+    pub fn new(engine: &'e AreaQueryEngine) -> QuerySession<'e> {
+        QuerySession::with_cache_capacity(engine, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Starts a session keeping at most `capacity` prepared areas alive
+    /// (`0` disables caching: every `Cached` query degrades to
+    /// `PrepareOnce`).
+    pub fn with_cache_capacity(engine: &'e AreaQueryEngine, capacity: usize) -> QuerySession<'e> {
+        QuerySession {
+            engine,
+            scratch: None,
+            cache: PreparedAreaCache::new(capacity),
+            cache_totals: CacheCounters::default(),
+        }
+    }
+
+    /// The engine this session queries.
+    pub fn engine(&self) -> &'e AreaQueryEngine {
+        self.engine
+    }
+
+    /// Session-lifetime prepared-area cache totals.
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache_totals
+    }
+
+    /// Number of prepared areas currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Executes `spec` over `area` — the single funnel every query runs
+    /// through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec requests an index the engine did not build
+    /// (see `EngineBuilder::with_kdtree` / `with_quadtree`).
+    pub fn execute<A: QueryArea + ?Sized>(&mut self, spec: &QuerySpec, area: &A) -> QueryOutput {
+        let mut delta = CacheCounters::default();
+        let cached: Option<Rc<dyn QueryArea>> = match spec.prepare {
+            PrepareMode::Cached if self.cache.capacity > 0 => area
+                .fingerprint()
+                .and_then(|fp| self.cache.get_or_prepare(fp, || area.prepare(), &mut delta)),
+            _ => None,
+        };
+        let scratch = if spec.method == QueryMethod::Voronoi && spec.output != OutputMode::Classify
+        {
+            if self.scratch.is_none() {
+                self.scratch = Some(self.engine.new_scratch());
+            }
+            self.scratch.as_mut()
+        } else {
+            None
+        };
+        let mut out = match &cached {
+            Some(prepared) => {
+                // The cache already resolved preparation; run raw on the
+                // compiled form.
+                let raw_spec = spec.prepare(PrepareMode::Raw);
+                self.engine.run_spec(&raw_spec, prepared.as_ref(), scratch)
+            }
+            None => self.engine.run_spec(spec, area, scratch),
+        };
+        out.stats_mut().prepared_cache = delta;
+        self.cache_totals.absorb(delta);
+        out
+    }
+}
+
+impl AreaQueryEngine {
+    /// Starts a [`QuerySession`] over this engine — the intended way to
+    /// run queries (reusable scratch, prepared-area cache).
+    pub fn session(&self) -> QuerySession<'_> {
+        QuerySession::new(self)
+    }
+
+    /// One-shot convenience: executes `spec` over `area` in a transient
+    /// session. For repeated queries prefer [`AreaQueryEngine::session`]
+    /// (scratch reuse, prepared-area caching across calls).
+    pub fn execute<A: QueryArea + ?Sized>(&self, spec: &QuerySpec, area: &A) -> QueryOutput {
+        self.session().execute(spec, area)
+    }
+
+    /// The engine-level execution core shared by [`QuerySession::execute`]
+    /// and every legacy entrypoint. Handles `Raw`/`PrepareOnce`
+    /// (`Cached` without a session degrades to `PrepareOnce`); `scratch`
+    /// is used only by the Voronoi method and allocated fresh when absent.
+    pub(crate) fn run_spec<A: QueryArea + ?Sized>(
+        &self,
+        spec: &QuerySpec,
+        area: &A,
+        scratch: Option<&mut QueryScratch>,
+    ) -> QueryOutput {
+        if !matches!(spec.prepare, PrepareMode::Raw) {
+            if let Some(prepared) = area.prepare() {
+                let raw_spec = spec.prepare(PrepareMode::Raw);
+                return self.run_raw(&raw_spec, prepared.as_ref(), scratch);
+            }
+        }
+        self.run_raw(spec, area, scratch)
+    }
+
+    /// Method × output dispatch over the (already resolved) area.
+    fn run_raw<A: QueryArea + ?Sized>(
+        &self,
+        spec: &QuerySpec,
+        area: &A,
+        scratch: Option<&mut QueryScratch>,
+    ) -> QueryOutput {
+        if spec.output == OutputMode::Classify {
+            let Some(tri) = self.tri.as_ref() else {
+                return QueryOutput::Classified {
+                    classes: Vec::new(),
+                    stats: QueryStats::default(),
+                };
+            };
+            let window = self.cell_window(area);
+            return QueryOutput::Classified {
+                classes: classify_points(tri, area, &window),
+                stats: QueryStats::default(),
+            };
+        }
+        match spec.method {
+            QueryMethod::Traditional => self.run_traditional(spec, area),
+            QueryMethod::Voronoi => self.run_voronoi(spec, area, scratch),
+            QueryMethod::BruteForce => self.run_brute_force(spec, area),
+        }
+    }
+
+    fn run_traditional<A: QueryArea + ?Sized>(&self, spec: &QuerySpec, area: &A) -> QueryOutput {
+        let mut stats = QueryStats::default();
+        let mbr = area.mbr();
+        let candidates = match spec.filter {
+            FilterIndex::RTree => self.rtree.window_with_stats(&mbr, &mut stats.index),
+            FilterIndex::KdTree => self
+                .kdtree
+                .as_ref()
+                .expect("kd-tree not built; use EngineBuilder::with_kdtree")
+                .window(&mbr),
+            FilterIndex::Quadtree => self
+                .quadtree
+                .as_ref()
+                .expect("quadtree not built; use EngineBuilder::with_quadtree")
+                .window(&mbr),
+        };
+        match spec.output {
+            OutputMode::Collect => {
+                let indices = refine(
+                    candidates,
+                    &self.points,
+                    area,
+                    self.records.as_ref(),
+                    &mut stats,
+                );
+                QueryOutput::Collected(QueryResult { indices, stats })
+            }
+            OutputMode::Count => {
+                let mut count = 0usize;
+                refine_each(
+                    candidates,
+                    &self.points,
+                    area,
+                    self.records.as_ref(),
+                    &mut stats,
+                    |_| count += 1,
+                );
+                stats.result_size = count;
+                QueryOutput::Counted { count, stats }
+            }
+            OutputMode::Classify => unreachable!("handled in run_raw"),
+        }
+    }
+
+    fn run_voronoi<A: QueryArea + ?Sized>(
+        &self,
+        spec: &QuerySpec,
+        area: &A,
+        scratch: Option<&mut QueryScratch>,
+    ) -> QueryOutput {
+        let mut stats = QueryStats::default();
+        let Some(tri) = self.tri.as_ref() else {
+            return match spec.output {
+                OutputMode::Count => QueryOutput::Counted { count: 0, stats },
+                _ => QueryOutput::Collected(QueryResult {
+                    indices: Vec::new(),
+                    stats,
+                }),
+            };
+        };
+        let mut owned;
+        let scratch = match scratch {
+            Some(s) => s,
+            None => {
+                owned = self.new_scratch();
+                &mut owned
+            }
+        };
+        // Line 3–4 of Algorithm 1: seed with NN(P, pA) for an arbitrary
+        // position pA inside A.
+        let pa = arbitrary_position_in(area);
+        let seed = match spec.seed {
+            SeedIndex::RTree => {
+                let (id, _) = self
+                    .rtree
+                    .nearest_with_stats(pa, &mut stats.index)
+                    .expect("engine is non-empty");
+                tri.canonical(id as usize)
+            }
+            SeedIndex::KdTree => {
+                let (id, _) = self
+                    .kdtree
+                    .as_ref()
+                    .expect("kd-tree not built; use EngineBuilder::with_kdtree")
+                    .nearest(pa)
+                    .expect("engine is non-empty");
+                tri.canonical(id as usize)
+            }
+            SeedIndex::DelaunayWalk => tri.nearest_vertex(pa, None),
+        };
+        stats.seed = Some(seed);
+        let window = self.cell_window(area);
+        let canonical = voronoi_area_query(
+            tri,
+            area,
+            seed,
+            spec.policy,
+            &window,
+            self.records.as_ref(),
+            scratch,
+            &mut stats,
+        );
+        match spec.output {
+            OutputMode::Collect => {
+                // Expand canonical vertices back to input indices
+                // (duplicates).
+                let mut indices = Vec::with_capacity(canonical.len());
+                for v in canonical {
+                    indices.extend_from_slice(tri.inputs_of(v));
+                }
+                stats.result_size = indices.len();
+                QueryOutput::Collected(QueryResult { indices, stats })
+            }
+            OutputMode::Count => {
+                // Same BFS, duplicate multiplicities summed instead of
+                // materialised — every counter matches the collecting run.
+                let count = canonical.iter().map(|&v| tri.inputs_of(v).len()).sum();
+                stats.result_size = count;
+                QueryOutput::Counted { count, stats }
+            }
+            OutputMode::Classify => unreachable!("handled in run_raw"),
+        }
+    }
+
+    fn run_brute_force<A: QueryArea + ?Sized>(&self, spec: &QuerySpec, area: &A) -> QueryOutput {
+        let mut stats = QueryStats {
+            candidates: self.points.len(),
+            ..QueryStats::default()
+        };
+        let mut indices = Vec::new();
+        let mut count = 0usize;
+        let collect = spec.output == OutputMode::Collect;
+        for (i, &p) in self.points.iter().enumerate() {
+            stats.containment_tests += 1;
+            if let Some(rs) = self.records.as_ref() {
+                stats.payload_checksum = stats.payload_checksum.wrapping_add(rs.read(i as u32));
+            }
+            if area.contains(p) {
+                stats.accepted += 1;
+                count += 1;
+                if collect {
+                    indices.push(i as u32);
+                }
+            }
+        }
+        stats.result_size = count;
+        if collect {
+            QueryOutput::Collected(QueryResult { indices, stats })
+        } else {
+            QueryOutput::Counted { count, stats }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use vaq_geom::{Point, Polygon, Rect};
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    fn star_polygon(c: Point, r_max: f64, k: usize, seed: u64) -> Polygon {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut angles: Vec<f64> = (0..k)
+            .map(|_| rng.gen::<f64>() * std::f64::consts::TAU)
+            .collect();
+        angles.sort_by(f64::total_cmp);
+        Polygon::new(
+            angles
+                .iter()
+                .map(|&a| {
+                    let r = r_max * (0.3 + 0.7 * rng.gen::<f64>());
+                    p(c.x + r * a.cos(), c.y + r * a.sin())
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spec_builder_defaults_match_the_paper() {
+        let spec = QuerySpec::new();
+        assert_eq!(spec.method, QueryMethod::Voronoi);
+        assert_eq!(spec.filter, FilterIndex::RTree);
+        assert_eq!(spec.seed, SeedIndex::RTree);
+        assert_eq!(spec.policy, ExpansionPolicy::Segment);
+        assert_eq!(spec.prepare, PrepareMode::Raw);
+        assert_eq!(spec.output, OutputMode::Collect);
+        let spec = QuerySpec::traditional()
+            .filter(FilterIndex::KdTree)
+            .output(OutputMode::Count);
+        assert_eq!(spec.method, QueryMethod::Traditional);
+        assert_eq!(spec.filter, FilterIndex::KdTree);
+        assert_eq!(spec.output, OutputMode::Count);
+    }
+
+    #[test]
+    fn all_methods_and_outputs_agree() {
+        let pts = uniform(500, 11);
+        let engine = AreaQueryEngine::build(&pts);
+        let mut session = engine.session();
+        let area = star_polygon(p(0.5, 0.5), 0.25, 10, 12);
+        let want = engine.brute_force(&area);
+        let want_sorted = {
+            let mut v = want.clone();
+            v.sort_unstable();
+            v
+        };
+        for method in [
+            QueryMethod::Traditional,
+            QueryMethod::Voronoi,
+            QueryMethod::BruteForce,
+        ] {
+            let spec = QuerySpec::new().method(method);
+            let collected = session.execute(&spec, &area);
+            assert_eq!(
+                collected.result().unwrap().sorted_indices(),
+                want_sorted,
+                "{method:?}"
+            );
+            let counted = session.execute(&spec.output(OutputMode::Count), &area);
+            assert_eq!(counted.count(), want.len(), "{method:?}");
+            assert_eq!(
+                counted.stats(),
+                collected.stats(),
+                "count and collect share every counter ({method:?})"
+            );
+            let classified = session.execute(&spec.output(OutputMode::Classify), &area);
+            assert_eq!(classified.count(), want.len(), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn cached_mode_hits_on_repeats_and_matches_raw() {
+        let pts = uniform(800, 21);
+        let engine = AreaQueryEngine::build(&pts);
+        let mut session = engine.session();
+        let area = star_polygon(p(0.5, 0.5), 0.25, 24, 22);
+        let raw = session.execute(&QuerySpec::voronoi(), &area);
+        let spec = QuerySpec::voronoi().prepare(PrepareMode::Cached);
+        let first = session.execute(&spec, &area);
+        let second = session.execute(&spec, &area);
+        assert_eq!(
+            first.result().unwrap().indices,
+            raw.result().unwrap().indices
+        );
+        assert_eq!(
+            first.stats().prepared_cache,
+            CacheCounters { hits: 0, misses: 1 }
+        );
+        assert_eq!(
+            second.stats().prepared_cache,
+            CacheCounters { hits: 1, misses: 0 }
+        );
+        // Everything except the cache counters is bit-identical to raw.
+        let mut scrubbed = *second.stats();
+        scrubbed.prepared_cache = CacheCounters::default();
+        assert_eq!(scrubbed, *raw.stats());
+        assert_eq!(
+            session.cache_counters(),
+            CacheCounters { hits: 1, misses: 1 }
+        );
+        assert_eq!(session.cache_len(), 1);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let pts = uniform(300, 31);
+        let engine = AreaQueryEngine::build(&pts);
+        let mut session = QuerySession::with_cache_capacity(&engine, 2);
+        let spec = QuerySpec::voronoi().prepare(PrepareMode::Cached);
+        let areas: Vec<Polygon> = (0..3)
+            .map(|i| star_polygon(p(0.5, 0.5), 0.2, 8, 100 + i))
+            .collect();
+        for a in &areas {
+            session.execute(&spec, a);
+        }
+        assert_eq!(session.cache_len(), 2);
+        // areas[0] was evicted: querying it again misses.
+        session.execute(&spec, &areas[0]);
+        assert_eq!(session.cache_counters().misses, 4);
+        // areas[2] is still resident.
+        session.execute(&spec, &areas[2]);
+        assert_eq!(session.cache_counters().hits, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let pts = uniform(200, 41);
+        let engine = AreaQueryEngine::build(&pts);
+        let mut session = QuerySession::with_cache_capacity(&engine, 0);
+        let spec = QuerySpec::voronoi().prepare(PrepareMode::Cached);
+        let area = star_polygon(p(0.5, 0.5), 0.2, 8, 42);
+        let a = session.execute(&spec, &area);
+        let b = session.execute(&spec, &area);
+        assert_eq!(a.result().unwrap().indices, b.result().unwrap().indices);
+        assert_eq!(session.cache_counters(), CacheCounters::default());
+        assert_eq!(session.cache_len(), 0);
+    }
+
+    #[test]
+    fn rect_windows_pass_through_prepare_modes() {
+        let pts = uniform(400, 51);
+        let engine = AreaQueryEngine::build(&pts);
+        let mut session = engine.session();
+        let window = Rect::new(p(0.2, 0.2), p(0.6, 0.7));
+        let want: Vec<u32> = engine.brute_force(&window);
+        for prepare in [
+            PrepareMode::Raw,
+            PrepareMode::PrepareOnce,
+            PrepareMode::Cached,
+        ] {
+            for method in [QueryMethod::Traditional, QueryMethod::Voronoi] {
+                let spec = QuerySpec::new().method(method).prepare(prepare);
+                let got = session.execute(&spec, &window);
+                assert_eq!(
+                    got.result().unwrap().sorted_indices(),
+                    want,
+                    "{method:?} {prepare:?}"
+                );
+                // Rects have no prepared form: the cache never engages.
+                assert_eq!(got.stats().prepared_cache, CacheCounters::default());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_engine_answers_every_output_mode() {
+        let engine = AreaQueryEngine::build(&[]);
+        let mut session = engine.session();
+        let area = star_polygon(p(0.5, 0.5), 0.2, 8, 61);
+        for method in [
+            QueryMethod::Traditional,
+            QueryMethod::Voronoi,
+            QueryMethod::BruteForce,
+        ] {
+            let spec = QuerySpec::new().method(method);
+            assert_eq!(session.execute(&spec, &area).count(), 0);
+            assert_eq!(
+                session
+                    .execute(&spec.output(OutputMode::Count), &area)
+                    .count(),
+                0
+            );
+            assert!(session
+                .execute(&spec.output(OutputMode::Classify), &area)
+                .classes()
+                .unwrap()
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_areas() {
+        let a = star_polygon(p(0.5, 0.5), 0.2, 8, 71);
+        let b = star_polygon(p(0.5, 0.5), 0.2, 8, 72);
+        assert_eq!(a.fingerprint(), a.fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let r = vaq_geom::Region::from_polygon(a.clone());
+        // A hole-free region hashes like its outer polygon — and answers
+        // every primitive identically, so sharing a cache slot is sound.
+        assert_eq!(a.fingerprint(), r.fingerprint());
+    }
+}

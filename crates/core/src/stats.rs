@@ -9,6 +9,35 @@
 
 use vaq_rtree::AccessStats;
 
+/// Hit/miss counters for the per-session prepared-area cache (see
+/// `QuerySession`). Per query each counter is 0 or 1 — a query touches the
+/// cache at most once; the session also accumulates lifetime totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Cache lookups answered from an already-prepared area.
+    pub hits: u64,
+    /// Cache lookups that had to prepare (and insert) the area.
+    pub misses: u64,
+}
+
+impl CacheCounters {
+    /// Accumulates `other` into `self` (session-lifetime totals).
+    pub fn absorb(&mut self, other: CacheCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+
+    /// Fraction of lookups answered from the cache (`0.0` when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Counters for a single area query (either method).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct QueryStats {
@@ -36,6 +65,11 @@ pub struct QueryStats {
     /// simulates record loading; it both proves the bytes were actually
     /// read and keeps the optimiser from eliding the loads.
     pub payload_checksum: u64,
+    /// Prepared-area cache traffic of this query (all zero unless the
+    /// query ran through a `QuerySession` with `PrepareMode::Cached`).
+    /// The *only* stats field allowed to differ between `PrepareMode::Raw`
+    /// and `PrepareMode::Cached` — everything else is bit-identical.
+    pub prepared_cache: CacheCounters,
 }
 
 impl QueryStats {

@@ -36,7 +36,7 @@ pub enum FilterIndex {
 /// order) and fills `stats`. When `records` is present, every validation
 /// first materialises the candidate's payload record (the paper's
 /// "geometric information loading"); see [`RecordStore`].
-pub fn traditional_area_query<A: QueryArea>(
+pub fn traditional_area_query<A: QueryArea + ?Sized>(
     rtree: &RTree,
     points: &[Point],
     area: &A,
@@ -49,7 +49,7 @@ pub fn traditional_area_query<A: QueryArea>(
 }
 
 /// As [`traditional_area_query`] with the kd-tree filter.
-pub fn traditional_area_query_kdtree<A: QueryArea>(
+pub fn traditional_area_query_kdtree<A: QueryArea + ?Sized>(
     kdtree: &KdTree,
     points: &[Point],
     area: &A,
@@ -61,7 +61,7 @@ pub fn traditional_area_query_kdtree<A: QueryArea>(
 }
 
 /// As [`traditional_area_query`] with the PR-quadtree filter.
-pub fn traditional_area_query_quadtree<A: QueryArea>(
+pub fn traditional_area_query_quadtree<A: QueryArea + ?Sized>(
     quadtree: &Quadtree,
     points: &[Point],
     area: &A,
@@ -72,18 +72,19 @@ pub fn traditional_area_query_quadtree<A: QueryArea>(
     refine(candidates, points, area, records, stats)
 }
 
-/// The refine step shared by every filter index: materialise the
-/// candidate's record (when simulated) and validate with the exact
-/// containment test.
-fn refine<A: QueryArea>(
+/// The refine step shared by every filter index and output mode:
+/// materialise the candidate's record (when simulated), validate with the
+/// exact containment test, and hand accepted ids to `on_hit` — collection
+/// pushes, counting increments. The caller sets `stats.result_size`.
+pub(crate) fn refine_each<A: QueryArea + ?Sized>(
     candidates: Vec<u32>,
     points: &[Point],
     area: &A,
     records: Option<&RecordStore>,
     stats: &mut QueryStats,
-) -> Vec<u32> {
+    mut on_hit: impl FnMut(u32),
+) {
     stats.candidates += candidates.len();
-    let mut result = Vec::with_capacity(candidates.len() / 2);
     for id in candidates {
         stats.containment_tests += 1;
         if let Some(rs) = records {
@@ -91,9 +92,23 @@ fn refine<A: QueryArea>(
         }
         if area.contains(points[id as usize]) {
             stats.accepted += 1;
-            result.push(id);
+            on_hit(id);
         }
     }
+}
+
+/// Collecting refine: validates every candidate into a result vector.
+pub(crate) fn refine<A: QueryArea + ?Sized>(
+    candidates: Vec<u32>,
+    points: &[Point],
+    area: &A,
+    records: Option<&RecordStore>,
+    stats: &mut QueryStats,
+) -> Vec<u32> {
+    let mut result = Vec::with_capacity(candidates.len() / 2);
+    refine_each(candidates, points, area, records, stats, |id| {
+        result.push(id)
+    });
     stats.result_size = result.len();
     result
 }

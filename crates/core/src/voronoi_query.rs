@@ -53,7 +53,7 @@ pub enum ExpansionPolicy {
 /// and fills `stats`. Result order is BFS discovery order, which is
 /// deterministic for a fixed build.
 #[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's explicit inputs
-pub fn voronoi_area_query<A: QueryArea>(
+pub fn voronoi_area_query<A: QueryArea + ?Sized>(
     tri: &Triangulation,
     area: &A,
     seed: u32,
@@ -116,7 +116,7 @@ pub fn voronoi_area_query<A: QueryArea>(
 }
 
 /// `true` when the (window-clipped) Voronoi cell of `v` intersects `area`.
-pub(crate) fn cell_intersects_area<A: QueryArea>(
+pub(crate) fn cell_intersects_area<A: QueryArea + ?Sized>(
     tri: &Triangulation,
     v: u32,
     area: &A,
@@ -137,7 +137,7 @@ pub(crate) fn cell_intersects_area<A: QueryArea>(
 /// Picks the paper's "arbitrary position in A": a point guaranteed to lie
 /// inside the area (for polygons: the centroid when interior, otherwise a
 /// point found by midpoint probing — see `Polygon::interior_point`).
-pub fn arbitrary_position_in<A: QueryArea>(area: &A) -> Point {
+pub fn arbitrary_position_in<A: QueryArea + ?Sized>(area: &A) -> Point {
     area.interior_point()
 }
 

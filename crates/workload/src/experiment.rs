@@ -15,7 +15,7 @@
 use crate::datagen::{generate, unit_space, Distribution};
 use crate::polygen::{random_query_polygon, PolygonSpec};
 use std::time::Instant;
-use vaq_core::{AreaQueryEngine, ExpansionPolicy, SeedIndex};
+use vaq_core::{AreaQueryEngine, ExpansionPolicy, QuerySession, QuerySpec};
 
 /// Mean per-query measurements for one method.
 #[derive(Clone, Copy, Debug, Default)]
@@ -116,7 +116,9 @@ impl SweepConfig {
 pub fn run_config(engine: &AreaQueryEngine, query_size: f64, cfg: &SweepConfig) -> ConfigResult {
     let space = unit_space();
     let spec = cfg.polygon_spec(query_size);
-    let mut scratch = engine.new_scratch();
+    let mut session = QuerySession::new(engine);
+    let trad_spec = QuerySpec::traditional();
+    let voro_spec = QuerySpec::voronoi().policy(cfg.policy);
     let mut result_size = 0f64;
     let mut trad = MethodMeasurement::default();
     let mut voro = MethodMeasurement::default();
@@ -129,19 +131,21 @@ pub fn run_config(engine: &AreaQueryEngine, query_size: f64, cfg: &SweepConfig) 
         let poly = random_query_polygon(&space, &spec, poly_seed);
 
         let t0 = Instant::now();
-        let rt = engine.traditional(&poly);
+        let rt = session.execute(&trad_spec, &poly);
         trad.time_us += t0.elapsed().as_secs_f64() * 1e6;
 
         let t1 = Instant::now();
-        let rv = engine.voronoi_with(&poly, cfg.policy, SeedIndex::RTree, &mut scratch);
+        let rv = session.execute(&voro_spec, &poly);
         voro.time_us += t1.elapsed().as_secs_f64() * 1e6;
 
-        debug_assert_eq!(rt.indices.len(), rv.indices.len(), "methods disagree");
-        result_size += rt.stats.result_size as f64;
-        trad.candidates += rt.stats.candidates as f64;
-        trad.redundant += rt.stats.redundant_validations() as f64;
-        voro.candidates += rv.stats.candidates as f64;
-        voro.redundant += rv.stats.redundant_validations() as f64;
+        let rt = rt.stats();
+        let rv = rv.stats();
+        debug_assert_eq!(rt.result_size, rv.result_size, "methods disagree");
+        result_size += rt.result_size as f64;
+        trad.candidates += rt.candidates as f64;
+        trad.redundant += rt.redundant_validations() as f64;
+        voro.candidates += rv.candidates as f64;
+        voro.redundant += rv.redundant_validations() as f64;
     }
     let k = cfg.reps as f64;
     ConfigResult {

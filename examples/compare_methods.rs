@@ -1,14 +1,16 @@
 //! Side-by-side comparison of every method configuration on one dataset:
-//! the two expansion policies, the three filter indexes and timing, over a
-//! sweep of query sizes. A miniature of the paper's evaluation you can run
-//! in seconds.
+//! the full `QuerySpec` grid — expansion policies, filter indexes, seed
+//! indexes, prepare modes — and timing, over a sweep of query sizes. A
+//! miniature of the paper's evaluation you can run in seconds.
 //!
 //! ```text
 //! cargo run --release --example compare_methods
 //! ```
 
 use std::time::Instant;
-use voronoi_area_query::core::{AreaQueryEngine, ExpansionPolicy, FilterIndex, SeedIndex};
+use voronoi_area_query::core::{
+    AreaQueryEngine, ExpansionPolicy, FilterIndex, PrepareMode, QuerySpec, SeedIndex,
+};
 use voronoi_area_query::workload::{
     generate, random_query_polygon, unit_space, Distribution, PolygonSpec,
 };
@@ -22,7 +24,7 @@ fn main() {
         .with_kdtree()
         .with_quadtree()
         .build();
-    let mut scratch = engine.new_scratch();
+    let mut session = engine.session();
     let space = unit_space();
 
     println!("dataset: {N} uniform points; {REPS} random 10-gon queries per size\n");
@@ -31,6 +33,8 @@ fn main() {
         "query size", "result", "trad cand", "voro cand", "trad µs", "voro µs"
     );
 
+    let trad = QuerySpec::traditional();
+    let voro = QuerySpec::voronoi();
     for qs in [0.01, 0.04, 0.16] {
         let spec = PolygonSpec::with_query_size(qs);
         let mut result = 0usize;
@@ -42,18 +46,15 @@ fn main() {
             let poly = random_query_polygon(&space, &spec, 1000 + rep);
 
             let t = Instant::now();
-            let rt = engine.traditional(&poly);
+            let rt = session.execute(&trad, &poly);
             trad_us += t.elapsed().as_secs_f64() * 1e6;
 
             let t = Instant::now();
-            let rv = engine.voronoi_with(
-                &poly,
-                ExpansionPolicy::Segment,
-                SeedIndex::RTree,
-                &mut scratch,
-            );
+            let rv = session.execute(&voro, &poly);
             voro_us += t.elapsed().as_secs_f64() * 1e6;
 
+            let rt = rt.result().expect("collect output");
+            let rv = rv.result().expect("collect output");
             assert_eq!(rt.sorted_indices(), rv.sorted_indices());
             result += rt.stats.result_size;
             trad_cand += rt.stats.candidates;
@@ -71,9 +72,13 @@ fn main() {
         );
     }
 
-    // One polygon, every configuration: all must agree.
+    // One polygon, the whole spec grid: all cells must agree.
     let poly = random_query_polygon(&space, &PolygonSpec::with_query_size(0.02), 7777);
-    let reference = engine.traditional(&poly).sorted_indices();
+    let reference = session
+        .execute(&trad, &poly)
+        .result()
+        .expect("collect output")
+        .sorted_indices();
     println!(
         "\nagreement check on a 2% query ({} results):",
         reference.len()
@@ -83,7 +88,8 @@ fn main() {
         ("traditional/kdtree", FilterIndex::KdTree),
         ("traditional/quadtree", FilterIndex::Quadtree),
     ] {
-        let r = engine.traditional_with(&poly, filter);
+        let out = session.execute(&trad.filter(filter), &poly);
+        let r = out.result().expect("collect output");
         assert_eq!(r.sorted_indices(), reference);
         println!("  {name:24} ok ({} candidates)", r.stats.candidates);
     }
@@ -91,11 +97,41 @@ fn main() {
         ("voronoi/segment", ExpansionPolicy::Segment),
         ("voronoi/cell", ExpansionPolicy::Cell),
     ] {
-        let r = engine.voronoi_with(&poly, policy, SeedIndex::RTree, &mut scratch);
+        for (seed_name, seed) in [
+            ("rtree", SeedIndex::RTree),
+            ("kdtree", SeedIndex::KdTree),
+            ("walk", SeedIndex::DelaunayWalk),
+        ] {
+            let out = session.execute(&voro.policy(policy).seed(seed), &poly);
+            let r = out.result().expect("collect output");
+            assert_eq!(r.sorted_indices(), reference);
+            println!(
+                "  {:24} ok ({} candidates, {} segment tests, {} cell tests)",
+                format!("{name}+{seed_name}"),
+                r.stats.candidates,
+                r.stats.segment_tests,
+                r.stats.cell_tests
+            );
+        }
+    }
+    // Prepared modes answer bit-identically; Cached amortises the
+    // preparation across repeats (watch the hit counter).
+    for prepare in [PrepareMode::PrepareOnce, PrepareMode::Cached] {
+        let out = session.execute(&voro.prepare(prepare), &poly);
+        let r = out.result().expect("collect output");
         assert_eq!(r.sorted_indices(), reference);
         println!(
-            "  {name:24} ok ({} candidates, {} segment tests, {} cell tests)",
-            r.stats.candidates, r.stats.segment_tests, r.stats.cell_tests
+            "  {:24} ok (cache {}h/{}m)",
+            format!("voronoi/{prepare:?}"),
+            out.stats().prepared_cache.hits,
+            out.stats().prepared_cache.misses,
         );
     }
+    let again = session.execute(&voro.prepare(PrepareMode::Cached), &poly);
+    assert_eq!(again.stats().prepared_cache.hits, 1);
+    println!(
+        "  repeated cached query     ok (session cache: {} hits, {} misses)",
+        session.cache_counters().hits,
+        session.cache_counters().misses
+    );
 }

@@ -5,13 +5,15 @@
 //! commercial zones). The analyst asks: *which POIs fall inside this
 //! hand-drawn district?* The district is concave and looks nothing like
 //! its bounding box, so the traditional MBR filter drags in whole
-//! neighbouring blocks that the Voronoi method never touches.
+//! neighbouring blocks that the Voronoi method never touches. Dashboards
+//! re-ask the same districts all day — exactly what the session's
+//! prepared-area cache amortises.
 //!
 //! ```text
 //! cargo run --release --example poi_search
 //! ```
 
-use voronoi_area_query::core::{AreaQueryEngine, ExpansionPolicy, SeedIndex};
+use voronoi_area_query::core::{AreaQueryEngine, PrepareMode, QuerySpec, SeedIndex};
 use voronoi_area_query::geom::{Point, Polygon};
 use voronoi_area_query::workload::{generate, Distribution};
 
@@ -28,6 +30,7 @@ fn main() {
 
     // The engine also builds a kd-tree so we can compare seed strategies.
     let engine = AreaQueryEngine::builder(&pois).with_kdtree().build();
+    let mut session = engine.session();
 
     // A concave "district" traced along imaginary streets. Its MBR covers
     // ~9 % of the city; the district itself covers ~4 %.
@@ -54,7 +57,8 @@ fn main() {
         100.0 * (1.0 - district.area() / mbr.area())
     );
 
-    let traditional = engine.traditional(&district);
+    let traditional = session.execute(&QuerySpec::traditional(), &district);
+    let traditional = traditional.result().expect("collect output");
     println!(
         "\ntraditional:  {} POIs found, {} candidates fetched, {} fetched in vain",
         traditional.stats.result_size,
@@ -62,13 +66,13 @@ fn main() {
         traditional.stats.redundant_validations()
     );
 
-    let mut scratch = engine.new_scratch();
     for (label, seed) in [
         ("voronoi + R-tree seed", SeedIndex::RTree),
         ("voronoi + kd-tree seed", SeedIndex::KdTree),
         ("voronoi + graph-walk seed", SeedIndex::DelaunayWalk),
     ] {
-        let r = engine.voronoi_with(&district, ExpansionPolicy::Segment, seed, &mut scratch);
+        let out = session.execute(&QuerySpec::voronoi().seed(seed), &district);
+        let r = out.result().expect("collect output");
         assert_eq!(r.sorted_indices(), traditional.sorted_indices());
         println!(
             "{label:26}: {} POIs found, {} candidates fetched, {} fetched in vain",
@@ -77,6 +81,21 @@ fn main() {
             r.stats.redundant_validations()
         );
     }
+
+    // The dashboard refreshes: the same district, served from the
+    // prepared-area cache (hit on every repeat after the first).
+    let cached = QuerySpec::voronoi().prepare(PrepareMode::Cached);
+    for _ in 0..3 {
+        let out = session.execute(&cached, &district);
+        assert_eq!(out.count(), traditional.stats.result_size);
+    }
+    let totals = session.cache_counters();
+    println!(
+        "\ndashboard refreshes: {} cache hits / {} misses ({:.0}% hit rate)",
+        totals.hits,
+        totals.misses,
+        100.0 * totals.hit_rate()
+    );
 
     // A district on the city edge (partially outside the data extent)
     // still answers correctly.
@@ -87,7 +106,8 @@ fn main() {
         Point::new(0.85, 1.05),
     ])
     .expect("simple polygon");
-    let r = engine.voronoi(&edge_district);
+    let out = session.execute(&QuerySpec::voronoi(), &edge_district);
+    let r = out.result().expect("collect output");
     println!(
         "\nedge district: {} POIs (candidates {})",
         r.stats.result_size, r.stats.candidates

@@ -1,12 +1,12 @@
 //! Quickstart: build an engine over a point set and run an area query with
-//! both methods.
+//! both methods through the unified `QuerySpec`/`QuerySession` surface.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use voronoi_area_query::core::AreaQueryEngine;
-use voronoi_area_query::geom::{Point, Polygon};
+use voronoi_area_query::core::{AreaQueryEngine, OutputMode, QuerySpec};
+use voronoi_area_query::geom::{Point, Polygon, Rect};
 use voronoi_area_query::workload::{generate, Distribution};
 
 fn main() {
@@ -17,6 +17,10 @@ fn main() {
     // filter and the seed NN query) and the Delaunay triangulation (the
     // Voronoi-neighbour oracle).
     let engine = AreaQueryEngine::build(&points);
+
+    // A session owns the per-caller state: reusable scratch and the
+    // prepared-area cache. One per thread, many queries each.
+    let mut session = engine.session();
 
     // An irregular, concave query area — the case the paper targets: its
     // MBR covers far more ground than the polygon itself.
@@ -32,8 +36,11 @@ fn main() {
     ])
     .expect("a simple polygon");
 
-    let traditional = engine.traditional(&area);
-    let voronoi = engine.voronoi(&area);
+    // The two methods are one spec field apart.
+    let traditional = session.execute(&QuerySpec::traditional(), &area);
+    let voronoi = session.execute(&QuerySpec::voronoi(), &area);
+    let traditional = traditional.result().expect("collect output");
+    let voronoi = voronoi.result().expect("collect output");
 
     assert_eq!(
         traditional.sorted_indices(),
@@ -55,4 +62,15 @@ fn main() {
     let saved =
         100.0 * (1.0 - voronoi.stats.candidates as f64 / traditional.stats.candidates as f64);
     println!("candidates saved by the Voronoi method: {saved:.1}%");
+
+    // Counts ride the same funnel (same seeding, same counters) without
+    // materialising the result; window queries are just a Rect area.
+    let count_spec = QuerySpec::voronoi().output(OutputMode::Count);
+    let n = session.execute(&count_spec, &area).count();
+    assert_eq!(n, voronoi.stats.result_size);
+    let window = Rect::new(Point::new(0.25, 0.25), Point::new(0.75, 0.75));
+    println!(
+        "points in the central window: {}",
+        session.execute(&count_spec, &window).count()
+    );
 }

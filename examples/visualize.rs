@@ -11,7 +11,7 @@
 //! ```
 
 use std::fs;
-use voronoi_area_query::core::AreaQueryEngine;
+use voronoi_area_query::core::{AreaQueryEngine, OutputMode, QuerySpec};
 use voronoi_area_query::delaunay::{Triangulation, VoronoiDiagram};
 use voronoi_area_query::geom::{Point, Polygon, Rect};
 use voronoi_area_query::viz::{candidate_scene, Scene};
@@ -37,8 +37,11 @@ fn main() {
     ])
     .expect("simple polygon");
 
-    let trad = engine.traditional(&area);
-    let voro = engine.voronoi(&area);
+    let mut session = engine.session();
+    let trad = session.execute(&QuerySpec::traditional(), &area);
+    let voro = session.execute(&QuerySpec::voronoi(), &area);
+    let trad = trad.into_result().expect("collect output");
+    let voro = voro.into_result().expect("collect output");
     assert_eq!(trad.sorted_indices(), voro.sorted_indices());
 
     // Traditional candidates = everything in the MBR.
@@ -54,8 +57,9 @@ fn main() {
     // Voronoi candidates: rebuild the candidate list from stats by running
     // the classification — result + the boundary ring the BFS touched. For
     // the illustration we reconstruct it as result ∪ (validated − accepted)
-    // by re-running with the engine's classify helper.
-    let classes = engine.classify(&area).expect("non-empty engine");
+    // via the classify output mode of the same funnel.
+    let classified = session.execute(&QuerySpec::new().output(OutputMode::Classify), &area);
+    let classes = classified.classes().expect("classify output").to_vec();
     let tri = engine.triangulation().expect("non-empty engine");
     let mut voro_candidates = voro.indices.clone();
     for (v, class) in classes.iter().enumerate() {

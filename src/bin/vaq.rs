@@ -1,10 +1,15 @@
 //! `vaq` — command-line area queries over CSV point sets.
 //!
 //! ```text
-//! vaq query --points pts.csv --area "POLYGON ((0 0, 1 0, 0.5 1))" [--method voronoi|traditional|both] [--count]
+//! vaq query --points pts.csv --area "POLYGON ((0 0, 1 0, 0.5 1))" [--method voronoi|traditional|brute|both] [--count]
+//! vaq query --points pts.csv --window 0.2,0.2,0.8,0.8
 //! vaq info  --points pts.csv
 //! vaq svg   --points pts.csv --area "POLYGON (…)" --out scene.svg
 //! ```
+//!
+//! Every query runs through the engine's unified surface: the flags build
+//! a `QuerySpec` (method / prepare mode / output shape) and a
+//! `QuerySession` executes it.
 //!
 //! * `query` prints matching point indices (or just the count with
 //!   `--count`) and per-method statistics to stderr. `--prepared`
@@ -14,13 +19,18 @@
 //! * `svg` renders the query scene (points, result, redundant candidates,
 //!   area outline) to an SVG file.
 //!
-//! The area accepts WKT `POLYGON`, including interior rings (holes);
-//! `--area-file` reads the WKT from a file instead.
+//! The area is either WKT `POLYGON` (including interior rings / holes;
+//! `--area-file` reads the WKT from a file) or `--window X0,Y0,X1,Y1` — a
+//! plain axis-aligned rectangle, the classic window query, served by the
+//! same engine and session.
 
 use std::fs;
 use std::process::ExitCode;
-use voronoi_area_query::core::{AreaQueryEngine, PointClass};
-use voronoi_area_query::geom::{PreparedRegion, Region};
+use voronoi_area_query::core::AreaQueryEngine;
+use voronoi_area_query::core::{
+    OutputMode, PointClass, PrepareMode, QueryArea, QueryMethod, QuerySpec,
+};
+use voronoi_area_query::geom::{Point, Polygon, Rect, Region};
 use voronoi_area_query::viz::candidate_scene;
 use voronoi_area_query::workload::io::{points_from_csv, region_from_wkt};
 
@@ -28,6 +38,7 @@ struct Options {
     command: String,
     points_path: Option<String>,
     area_wkt: Option<String>,
+    window: Option<String>,
     method: String,
     count_only: bool,
     prepared: bool,
@@ -41,6 +52,7 @@ fn parse_args() -> Result<Options, String> {
         command,
         points_path: None,
         area_wkt: None,
+        window: None,
         method: String::from("voronoi"),
         count_only: false,
         prepared: false,
@@ -56,6 +68,7 @@ fn parse_args() -> Result<Options, String> {
                     fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
                 o.area_wkt = Some(text);
             }
+            "--window" => o.window = Some(args.next().ok_or("--window needs X0,Y0,X1,Y1")?),
             "--method" => o.method = args.next().ok_or("--method needs a value")?,
             "--count" => o.count_only = true,
             "--prepared" => o.prepared = true,
@@ -67,7 +80,8 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: vaq <query|info|svg> --points FILE.csv \
-[--area WKT | --area-file FILE] [--method voronoi|traditional|both] [--count] [--prepared] \
+[--area WKT | --area-file FILE | --window X0,Y0,X1,Y1] \
+[--method voronoi|traditional|brute|both] [--count] [--prepared] \
 [--out FILE.svg]";
 
 fn main() -> ExitCode {
@@ -105,22 +119,78 @@ fn run() -> Result<(), String> {
     }
 }
 
-fn required_area(o: &Options) -> Result<Region, String> {
+/// The query area: a WKT region or an axis-aligned window rectangle.
+enum CliArea {
+    Region(Region),
+    Window(Rect),
+}
+
+impl CliArea {
+    /// The area as a dynamic [`QueryArea`] for the session funnel.
+    fn as_query_area(&self) -> &dyn QueryArea {
+        match self {
+            CliArea::Region(r) => r,
+            CliArea::Window(w) => w,
+        }
+    }
+
+    /// The outline polygon (for SVG rendering).
+    fn outline(&self) -> Polygon {
+        match self {
+            CliArea::Region(r) => r.outer().clone(),
+            CliArea::Window(w) => Polygon::new_unchecked(w.corners().to_vec()),
+        }
+    }
+}
+
+fn required_area(o: &Options) -> Result<CliArea, String> {
+    if o.area_wkt.is_some() && o.window.is_some() {
+        return Err(String::from("--area and --window are mutually exclusive"));
+    }
+    if let Some(spec) = o.window.as_deref() {
+        return Ok(CliArea::Window(parse_window(spec)?));
+    }
     let wkt = o
         .area_wkt
         .as_deref()
-        .ok_or("--area or --area-file is required")?;
+        .ok_or("--area, --area-file or --window is required")?;
     let region = region_from_wkt(wkt).map_err(|e| format!("bad area WKT: {e}"))?;
     region
         .validate_nesting()
         .map_err(|e| format!("bad area rings: {e}"))?;
-    Ok(region)
+    Ok(CliArea::Region(region))
 }
 
-fn info(points: &[voronoi_area_query::geom::Point]) -> Result<(), String> {
+/// Parses `X0,Y0,X1,Y1` into a non-empty rectangle (corners in any order).
+fn parse_window(spec: &str) -> Result<Rect, String> {
+    let nums: Vec<f64> = spec
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad --window coordinate {:?}", s.trim()))
+        })
+        .collect::<Result<_, _>>()?;
+    if nums.len() != 4 {
+        return Err(format!(
+            "--window needs four comma-separated numbers, got {}",
+            nums.len()
+        ));
+    }
+    if nums.iter().any(|v| !v.is_finite()) {
+        return Err(String::from("--window coordinates must be finite"));
+    }
+    let rect = Rect::new(Point::new(nums[0], nums[1]), Point::new(nums[2], nums[3]));
+    if rect.is_empty() {
+        return Err(String::from("--window rectangle is empty"));
+    }
+    Ok(rect)
+}
+
+fn info(points: &[Point]) -> Result<(), String> {
     let engine = AreaQueryEngine::build(points);
     let tri = engine.triangulation().expect("non-empty input");
-    let bbox = voronoi_area_query::geom::Rect::from_points(points.iter().copied());
+    let bbox = Rect::from_points(points.iter().copied());
     println!("points:            {}", points.len());
     println!("unique points:     {}", tri.vertex_count());
     println!(
@@ -137,54 +207,57 @@ fn info(points: &[voronoi_area_query::geom::Point]) -> Result<(), String> {
 }
 
 fn query(
-    points: &[voronoi_area_query::geom::Point],
-    area: &Region,
+    points: &[Point],
+    area: &CliArea,
     method: &str,
     count_only: bool,
     prepared: bool,
 ) -> Result<(), String> {
+    let methods: &[(&str, QueryMethod)] = match method {
+        "voronoi" => &[("voronoi", QueryMethod::Voronoi)],
+        "traditional" => &[("traditional", QueryMethod::Traditional)],
+        "brute" => &[("brute", QueryMethod::BruteForce)],
+        "both" => &[
+            ("voronoi", QueryMethod::Voronoi),
+            ("traditional", QueryMethod::Traditional),
+        ],
+        other => {
+            return Err(format!(
+                "unknown method {other:?} (voronoi|traditional|brute|both)"
+            ))
+        }
+    };
     let engine = AreaQueryEngine::build(points);
-    let run_voronoi = matches!(method, "voronoi" | "both");
-    let run_traditional = matches!(method, "traditional" | "both");
-    if !run_voronoi && !run_traditional {
-        return Err(format!(
-            "unknown method {method:?} (voronoi|traditional|both)"
-        ));
-    }
-    // Query-compiled area: identical results, per-candidate containment
-    // and segment tests answered from the prepared indexes.
-    let prep = prepared.then(|| PreparedRegion::new(area.clone()));
+    let mut session = engine.session();
+    // One spec per requested method; `--prepared` query-compiles the area
+    // (identical results, per-candidate containment and segment tests
+    // answered from the prepared indexes). `Cached` rather than
+    // `PrepareOnce` so `--method both` compiles the area once and the
+    // second method hits the session cache.
+    let base = QuerySpec::new()
+        .prepare(if prepared {
+            PrepareMode::Cached
+        } else {
+            PrepareMode::Raw
+        })
+        .output(OutputMode::Collect);
     let mut printed = false;
-    if run_voronoi {
-        let r = match &prep {
-            Some(p) => engine.voronoi(p),
-            None => engine.voronoi(area),
-        };
+    for &(name, m) in methods {
+        let out = session.execute(&base.method(m), area.as_query_area());
+        let r = out.result().expect("collect-mode query");
         eprintln!(
-            "voronoi:     {} results, {} candidates, {} redundant validations",
+            "{name}:{pad} {} results, {} candidates, {} redundant validations",
             r.stats.result_size,
             r.stats.candidates,
-            r.stats.redundant_validations()
-        );
-        emit(&r.sorted_indices(), count_only, &mut printed);
-    }
-    if run_traditional {
-        let r = match &prep {
-            Some(p) => engine.traditional(p),
-            None => engine.traditional(area),
-        };
-        eprintln!(
-            "traditional: {} results, {} candidates, {} redundant validations",
-            r.stats.result_size,
-            r.stats.candidates,
-            r.stats.redundant_validations()
+            r.stats.redundant_validations(),
+            pad = " ".repeat(11usize.saturating_sub(name.len())),
         );
         emit(&r.sorted_indices(), count_only, &mut printed);
     }
     Ok(())
 }
 
-/// Prints the result once (both methods return the same set under
+/// Prints the result once (all methods return the same set under
 /// `--method both`).
 fn emit(indices: &[u32], count_only: bool, printed: &mut bool) {
     if *printed {
@@ -203,26 +276,30 @@ fn emit(indices: &[u32], count_only: bool, printed: &mut bool) {
     }
 }
 
-fn svg(points: &[voronoi_area_query::geom::Point], area: &Region, out: &str) -> Result<(), String> {
+fn svg(points: &[Point], area: &CliArea, out: &str) -> Result<(), String> {
     let engine = AreaQueryEngine::build(points);
-    let r = engine.voronoi(area);
+    let query_area = area.as_query_area();
+    let r = engine
+        .execute(&QuerySpec::voronoi(), query_area)
+        .into_result()
+        .expect("collect-mode query");
     // Redundant candidates for the overlay: boundary-class points.
     let tri = engine.triangulation().expect("non-empty input");
-    let classes = engine.classify(area).expect("non-empty input");
+    let classes = engine.classify(query_area).expect("non-empty input");
     let mut candidates = r.indices.clone();
     for (v, class) in classes.iter().enumerate() {
         if *class == PointClass::Boundary {
             candidates.extend_from_slice(tri.inputs_of(v as u32));
         }
     }
-    let world =
-        voronoi_area_query::geom::Rect::from_points(points.iter().copied()).union(&area.mbr());
+    let world = Rect::from_points(points.iter().copied()).union(&query_area.mbr());
     let margin = (world.width().max(world.height())) * 0.05;
+    let outline = area.outline();
     let scene = candidate_scene(
         world.expand(margin),
         800.0,
         points,
-        area.outer(),
+        &outline,
         &r.indices,
         &candidates,
     );

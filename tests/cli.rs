@@ -153,6 +153,59 @@ fn query_supports_region_with_hole() {
 }
 
 #[test]
+fn window_query_matches_equivalent_polygon() {
+    let dir = temp_dir("window");
+    let pts = write_points(&dir);
+    let run = |args: &[&str]| -> Vec<String> {
+        let out = vaq()
+            .args(["query", "--points", pts.to_str().unwrap()])
+            .args(args)
+            .output()
+            .expect("run vaq");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::str::from_utf8(&out.stdout)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect()
+    };
+    // Same closed rectangle as window and as WKT polygon.
+    let windowed = run(&["--window", "0.1,0.1,0.5,0.5", "--method", "both"]);
+    let polygonal = run(&[
+        "--area",
+        "POLYGON ((0.1 0.1, 0.5 0.1, 0.5 0.5, 0.1 0.5))",
+        "--method",
+        "both",
+    ]);
+    assert!(!windowed.is_empty());
+    assert_eq!(windowed, polygonal, "window and polygon queries agree");
+    // Brute-force method and counting work on windows too.
+    let counted = run(&[
+        "--window",
+        "0.1,0.1,0.5,0.5",
+        "--method",
+        "brute",
+        "--count",
+    ]);
+    assert_eq!(counted, vec![windowed.len().to_string()]);
+    // Corners in any order.
+    let flipped = run(&["--window", "0.5,0.5,0.1,0.1"]);
+    assert_eq!(flipped, windowed);
+    // Malformed windows fail cleanly.
+    for bad in ["0.1,0.1,0.5", "a,b,c,d", "0.1,0.1,0.5,0.5,0.9"] {
+        let out = vaq()
+            .args(["query", "--points", pts.to_str().unwrap(), "--window", bad])
+            .output()
+            .expect("run vaq");
+        assert!(!out.status.success(), "--window {bad:?} should fail");
+    }
+}
+
+#[test]
 fn info_reports_dataset_facts() {
     let dir = temp_dir("info");
     let pts = write_points(&dir);

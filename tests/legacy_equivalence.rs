@@ -1,0 +1,189 @@
+//! Every legacy engine entrypoint is a thin wrapper over the unified
+//! `execute` funnel. This suite pins that contract: each named method must
+//! return **bit-identical indices and stats** to the equivalent
+//! `QuerySpec` executed through a session, across the full configuration
+//! grid.
+
+use voronoi_area_query::core::{
+    AreaQueryEngine, ExpansionPolicy, FilterIndex, OutputMode, PrepareMode, QueryMethod, QuerySpec,
+    SeedIndex,
+};
+use voronoi_area_query::geom::Polygon;
+use voronoi_area_query::workload::{
+    generate, random_query_polygon, unit_space, Distribution, PolygonSpec,
+};
+
+fn engine_and_areas(n: usize, payload: usize) -> (AreaQueryEngine, Vec<Polygon>) {
+    let pts = generate(n, Distribution::Uniform, 0x1E6A);
+    let engine = AreaQueryEngine::builder(&pts)
+        .with_kdtree()
+        .with_quadtree()
+        .payload_bytes(payload)
+        .build();
+    let space = unit_space();
+    let areas = (0..5)
+        .map(|i| random_query_polygon(&space, &PolygonSpec::with_query_size(0.04), 50 + i))
+        .collect();
+    (engine, areas)
+}
+
+#[test]
+fn traditional_wrappers_match_specs() {
+    let (engine, areas) = engine_and_areas(1200, 0);
+    for area in &areas {
+        for filter in [
+            FilterIndex::RTree,
+            FilterIndex::KdTree,
+            FilterIndex::Quadtree,
+        ] {
+            let legacy = engine.traditional_with(area, filter);
+            let new = engine
+                .execute(&QuerySpec::traditional().filter(filter), area)
+                .into_result()
+                .unwrap();
+            assert_eq!(legacy.indices, new.indices, "{filter:?}");
+            assert_eq!(legacy.stats, new.stats, "{filter:?}");
+        }
+        let legacy = engine.traditional(area);
+        let new = engine
+            .execute(&QuerySpec::traditional(), area)
+            .into_result()
+            .unwrap();
+        assert_eq!(legacy.indices, new.indices);
+        assert_eq!(legacy.stats, new.stats);
+    }
+}
+
+#[test]
+fn voronoi_wrappers_match_specs() {
+    let (engine, areas) = engine_and_areas(1500, 0);
+    let mut scratch = engine.new_scratch();
+    for area in &areas {
+        for policy in [ExpansionPolicy::Segment, ExpansionPolicy::Cell] {
+            for seed in [SeedIndex::RTree, SeedIndex::KdTree, SeedIndex::DelaunayWalk] {
+                let legacy = engine.voronoi_with(area, policy, seed, &mut scratch);
+                let spec = QuerySpec::voronoi().policy(policy).seed(seed);
+                let new = engine.execute(&spec, area).into_result().unwrap();
+                assert_eq!(legacy.indices, new.indices, "{policy:?} {seed:?}");
+                assert_eq!(legacy.stats, new.stats, "{policy:?} {seed:?}");
+            }
+        }
+        let legacy = engine.voronoi(area);
+        let new = engine
+            .execute(&QuerySpec::voronoi(), area)
+            .into_result()
+            .unwrap();
+        assert_eq!(legacy.indices, new.indices);
+        assert_eq!(legacy.stats, new.stats);
+    }
+}
+
+#[test]
+fn prepared_wrappers_match_prepare_once_specs() {
+    let (engine, areas) = engine_and_areas(1500, 0);
+    for area in &areas {
+        let legacy = engine.voronoi_prepared(area);
+        let spec = QuerySpec::voronoi().prepare(PrepareMode::PrepareOnce);
+        let new = engine.execute(&spec, area).into_result().unwrap();
+        assert_eq!(legacy.indices, new.indices);
+        assert_eq!(legacy.stats, new.stats);
+        // And the prepared path is exact: identical to raw.
+        assert_eq!(legacy.indices, engine.voronoi(area).indices);
+
+        let legacy = engine.traditional_prepared(area);
+        let spec = QuerySpec::traditional().prepare(PrepareMode::PrepareOnce);
+        let new = engine.execute(&spec, area).into_result().unwrap();
+        assert_eq!(legacy.indices, new.indices);
+        assert_eq!(legacy.stats, new.stats);
+    }
+}
+
+#[test]
+fn count_wrappers_match_count_specs_and_track_stats() {
+    let (engine, areas) = engine_and_areas(1500, 0);
+    let mut scratch = engine.new_scratch();
+    for area in &areas {
+        let want = engine.brute_force(area).len();
+        assert_eq!(engine.voronoi_count(area, &mut scratch), want);
+        assert_eq!(engine.traditional_count(area), want);
+
+        // Counts flow through the same seeded, stats-tracked path as
+        // collection — the historical `voronoi_count` dropped seeding and
+        // stats entirely.
+        let voro = engine.execute(&QuerySpec::voronoi().output(OutputMode::Count), area);
+        let coll = engine.execute(&QuerySpec::voronoi(), area);
+        assert_eq!(voro.count(), want);
+        assert_eq!(voro.stats(), coll.stats());
+        assert!(voro.stats().seed.is_some(), "count queries are seeded");
+        assert_eq!(voro.stats().result_size, want);
+
+        let trad = engine.execute(&QuerySpec::traditional().output(OutputMode::Count), area);
+        assert_eq!(trad.count(), want);
+        assert_eq!(trad.stats(), &engine.traditional(area).stats);
+    }
+}
+
+/// Counting respects the seed index — the historical `voronoi_count`
+/// ignored `SeedIndex` and hard-coded the segment policy.
+#[test]
+fn count_respects_seed_and_policy() {
+    let (engine, areas) = engine_and_areas(1200, 0);
+    for area in &areas {
+        let want = engine.brute_force(area).len();
+        for seed in [SeedIndex::RTree, SeedIndex::KdTree, SeedIndex::DelaunayWalk] {
+            for policy in [ExpansionPolicy::Segment, ExpansionPolicy::Cell] {
+                let spec = QuerySpec::voronoi()
+                    .seed(seed)
+                    .policy(policy)
+                    .output(OutputMode::Count);
+                let out = engine.execute(&spec, area);
+                assert_eq!(out.count(), want, "{seed:?} {policy:?}");
+                match policy {
+                    ExpansionPolicy::Segment => assert_eq!(out.stats().cell_tests, 0),
+                    ExpansionPolicy::Cell => assert_eq!(out.stats().segment_tests, 0),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn brute_force_and_classify_match_specs() {
+    let (engine, areas) = engine_and_areas(800, 0);
+    for area in &areas {
+        let legacy = engine.brute_force(area);
+        let new = engine
+            .execute(&QuerySpec::new().method(QueryMethod::BruteForce), area)
+            .into_result()
+            .unwrap();
+        assert_eq!(legacy, new.indices);
+        assert_eq!(new.stats.candidates, engine.len());
+
+        let legacy = engine.classify(area).unwrap();
+        let out = engine.execute(&QuerySpec::new().output(OutputMode::Classify), area);
+        assert_eq!(legacy, out.classes().unwrap());
+    }
+}
+
+/// The payload-simulation path (record materialisation during validation)
+/// flows through the funnel identically.
+#[test]
+fn payload_stats_survive_the_funnel() {
+    let (engine, areas) = engine_and_areas(1000, 256);
+    for area in &areas {
+        let legacy = engine.traditional(area);
+        let new = engine
+            .execute(&QuerySpec::traditional(), area)
+            .into_result()
+            .unwrap();
+        assert_ne!(legacy.stats.payload_checksum, 0);
+        assert_eq!(legacy.stats, new.stats);
+        let legacy = engine.voronoi(area);
+        let new = engine
+            .execute(&QuerySpec::voronoi(), area)
+            .into_result()
+            .unwrap();
+        assert_ne!(legacy.stats.payload_checksum, 0);
+        assert_eq!(legacy.stats, new.stats);
+    }
+}

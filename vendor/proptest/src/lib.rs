@@ -203,7 +203,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Acceptable size arguments for [`vec`]: a fixed size or a range.
+    /// Acceptable size arguments for [`vec()`]: a fixed size or a range.
     pub trait IntoSizeRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
