@@ -8,6 +8,9 @@
 //! * **table2** (also fig6/fig7): query-size sweep 1 %…32 % at 1E5 points.
 //! * **ablation**: candidate-level design ablations (expansion policy,
 //!   point distribution, query-polygon vertex count) → `ablation_*.csv`.
+//! * **sharded**: sharded vs single-engine build time, batch query
+//!   throughput and MBR shard pruning at 10⁶ points →
+//!   `BENCH_sharded.json` (not part of `all`; run explicitly).
 //! * `--reps N` — repetitions per configuration (default 200; the paper
 //!   uses 1000 — pass `--reps 1000` for the exact protocol).
 //! * `--quick` — divide data sizes by 10 and reps by 4 (smoke run).
@@ -50,7 +53,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "all" | "table1" | "table2" | "fig4" | "fig5" | "fig6" | "fig7" | "ablation"
-            | "prepared" | "query-cache" => {
+            | "prepared" | "query-cache" | "sharded" => {
                 what = arg;
             }
             "--reps" => {
@@ -68,7 +71,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(String::from(
                     "usage: reproduce \
-[all|table1|table2|fig4|fig5|fig6|fig7|ablation|prepared|query-cache] \
+[all|table1|table2|fig4|fig5|fig6|fig7|ablation|prepared|query-cache|sharded] \
 [--reps N] [--quick] [--payload BYTES] [--out DIR]",
                 ));
             }
@@ -210,8 +213,53 @@ fn main() -> ExitCode {
         run_query_cache_baseline(&args);
     }
 
+    // The sharded baseline builds a 10⁶-point engine twice; it runs only
+    // when asked for (`reproduce sharded`), not under `all`.
+    if args.what == "sharded" {
+        run_sharded_baseline(&args);
+    }
+
     eprintln!("done; outputs in {}", args.out.display());
     ExitCode::SUCCESS
+}
+
+/// Measures sharded vs single-engine build time, batch query throughput
+/// and MBR shard pruning, and records the `BENCH_sharded.json` baseline.
+fn run_sharded_baseline(args: &Args) {
+    use vaq_bench::sharded::{measure_sharded, sharded_report_json, ShardedBenchConfig};
+
+    let cfg = if args.quick {
+        ShardedBenchConfig::quick()
+    } else {
+        ShardedBenchConfig::standard()
+    };
+    eprintln!(
+        "== Sharded serving: {} points x {} shards, {} small areas (query size {}) x {} rounds, {} threads ==",
+        cfg.data_size, cfg.shards, cfg.distinct_areas, cfg.query_size, cfg.rounds, cfg.threads
+    );
+    let row = measure_sharded(&cfg);
+    eprintln!(
+        "  build: single {:8.3} s   sharded {:8.3} s ({:.2}x)",
+        row.single_build_s,
+        row.sharded_build_s,
+        row.build_speedup()
+    );
+    eprintln!(
+        "  batch: single {:8.1} q/s  sharded {:8.1} q/s ({:.2}x)",
+        row.single_qps,
+        row.sharded_qps,
+        row.throughput_ratio()
+    );
+    eprintln!(
+        "  pruning: {:.2} of {} shards visited per query ({:.1}% pruned)",
+        row.mean_shards_visited,
+        cfg.shards,
+        100.0 * row.prune_fraction()
+    );
+    let json = sharded_report_json(&row);
+    let path = args.out.join("BENCH_sharded.json");
+    fs::write(&path, json).expect("write BENCH_sharded.json");
+    eprintln!("wrote {}", path.display());
 }
 
 /// Measures raw vs prepared query-area primitives across vertex counts

@@ -21,6 +21,7 @@
 
 pub mod prepared;
 pub mod query_cache;
+pub mod sharded;
 
 use vaq_core::AreaQueryEngine;
 use vaq_geom::Polygon;

@@ -1,0 +1,262 @@
+//! Sharded-vs-single measurements and the `BENCH_sharded.json` baseline.
+//!
+//! The serving-scale question: past the paper's 10⁶-point ceiling, what
+//! does partitioning the point set buy? Three quantities, measured on
+//! the same dataset and the same query workload:
+//!
+//! * **build time** — one monolithic `AreaQueryEngine` vs `S` per-shard
+//!   engines built in parallel (`O(n log n)` triangulation paid on
+//!   `n/S`-point slices);
+//! * **batch query throughput** — the work-stealing batch of the single
+//!   engine vs the sharded engine's `(area, shard)` work items;
+//! * **shard pruning** — mean shards visited per query; small areas
+//!   should touch a small fraction of `S` (the MBR prune is the whole
+//!   point of spatially tight shards).
+//!
+//! Every timed workload is cross-checked for bit-identical result sets
+//! between the two engines before timing. The same measurement backs the
+//! `reproduce sharded` subcommand, which records the JSON baseline.
+
+use crate::{polygon_batch_with, HARNESS_SEED};
+use std::fmt::Write as _;
+use std::time::Instant;
+use vaq_core::{AreaQueryEngine, QuerySpec, ShardedAreaQueryEngine};
+use vaq_workload::{generate, Distribution};
+
+/// Workload shape of one sharded-vs-single measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedBenchConfig {
+    /// Engine size (uniform points).
+    pub data_size: usize,
+    /// Shard count of the sharded engine.
+    pub shards: usize,
+    /// Distinct query areas in the batch.
+    pub distinct_areas: usize,
+    /// `area(MBR) / area(space)` of each query polygon (small, so the
+    /// MBR prune has room to work).
+    pub query_size: f64,
+    /// How many times the area set is swept per timed batch.
+    pub rounds: usize,
+    /// Worker threads for both engines' batch paths.
+    pub threads: usize,
+    /// Timing batches (best-of, rejects scheduler noise).
+    pub reps: usize,
+}
+
+impl ShardedBenchConfig {
+    /// The standard baseline configuration (10⁶ points, 8 shards).
+    pub fn standard() -> ShardedBenchConfig {
+        ShardedBenchConfig {
+            data_size: 1_000_000,
+            shards: 8,
+            distinct_areas: 64,
+            query_size: 0.001,
+            rounds: 4,
+            threads: 8,
+            reps: 2,
+        }
+    }
+
+    /// A tiny configuration for smoke tests (`--quick`).
+    pub fn quick() -> ShardedBenchConfig {
+        ShardedBenchConfig {
+            data_size: 20_000,
+            shards: 4,
+            distinct_areas: 8,
+            query_size: 0.01,
+            rounds: 2,
+            threads: 2,
+            reps: 1,
+        }
+    }
+}
+
+/// One sharded-vs-single measurement row.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedBenchRow {
+    /// The measured workload.
+    pub config: ShardedBenchConfig,
+    /// Monolithic engine build, seconds.
+    pub single_build_s: f64,
+    /// Sharded engine build (parallel per-shard builds), seconds.
+    pub sharded_build_s: f64,
+    /// Single-engine batch throughput, queries/second.
+    pub single_qps: f64,
+    /// Sharded-engine batch throughput, queries/second.
+    pub sharded_qps: f64,
+    /// Mean shards visited per query (pruning effectiveness; the prune
+    /// is working when this sits well under `shards`).
+    pub mean_shards_visited: f64,
+    /// Mean shards pruned per query.
+    pub mean_shards_pruned: f64,
+}
+
+impl ShardedBenchRow {
+    /// Sharded build speedup over the monolithic build.
+    pub fn build_speedup(&self) -> f64 {
+        self.single_build_s / self.sharded_build_s
+    }
+
+    /// Sharded batch throughput relative to the single engine.
+    pub fn throughput_ratio(&self) -> f64 {
+        self.sharded_qps / self.single_qps
+    }
+
+    /// Fraction of shards pruned per query on average.
+    pub fn prune_fraction(&self) -> f64 {
+        let total = self.mean_shards_visited + self.mean_shards_pruned;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.mean_shards_pruned / total
+        }
+    }
+}
+
+/// Runs the sharded-vs-single workload: builds both engines over the
+/// same points (timed), cross-checks bit-identical results, then times
+/// the batch query throughput of each.
+pub fn measure_sharded(cfg: &ShardedBenchConfig) -> ShardedBenchRow {
+    let pts = generate(
+        cfg.data_size,
+        Distribution::Uniform,
+        HARNESS_SEED ^ cfg.data_size as u64,
+    );
+    let areas = polygon_batch_with(cfg.query_size, cfg.distinct_areas, 10);
+    let spec = QuerySpec::voronoi();
+
+    let t0 = Instant::now();
+    let single = AreaQueryEngine::build(&pts);
+    let single_build_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let sharded = ShardedAreaQueryEngine::build(&pts, cfg.shards);
+    let sharded_build_s = t1.elapsed().as_secs_f64();
+
+    // Cross-check (outside the timed region): bit-identical result sets,
+    // and collect the pruning counters.
+    let single_outs = single.execute_batch(&spec, &areas, cfg.threads);
+    let sharded_outs = sharded.execute_batch(&spec, &areas, cfg.threads);
+    let mut visited = 0usize;
+    let mut pruned = 0usize;
+    for (i, (a, b)) in single_outs.iter().zip(&sharded_outs).enumerate() {
+        assert_eq!(
+            a.result().expect("collect-mode batch").sorted_indices(),
+            b.indices,
+            "sharded result diverged on area {i}"
+        );
+        visited += b.stats.shards_visited;
+        pruned += b.stats.shards_pruned;
+    }
+
+    let queries = cfg.distinct_areas * cfg.rounds;
+    let time_batches = |run: &mut dyn FnMut() -> usize| -> f64 {
+        let mut best = 0.0f64;
+        for _ in 0..cfg.reps {
+            let t = Instant::now();
+            let mut sink = 0usize;
+            for _ in 0..cfg.rounds {
+                sink = sink.wrapping_add(run());
+            }
+            let qps = queries as f64 / t.elapsed().as_secs_f64();
+            std::hint::black_box(sink);
+            best = best.max(qps);
+        }
+        best
+    };
+    let single_qps = time_batches(&mut || {
+        single
+            .execute_batch(&spec, &areas, cfg.threads)
+            .iter()
+            .map(|o| o.count())
+            .sum()
+    });
+    let sharded_qps = time_batches(&mut || {
+        sharded
+            .execute_batch(&spec, &areas, cfg.threads)
+            .iter()
+            .map(|o| o.count)
+            .sum()
+    });
+
+    ShardedBenchRow {
+        config: *cfg,
+        single_build_s,
+        sharded_build_s,
+        single_qps,
+        sharded_qps,
+        mean_shards_visited: visited as f64 / cfg.distinct_areas as f64,
+        mean_shards_pruned: pruned as f64 / cfg.distinct_areas as f64,
+    }
+}
+
+/// Renders the measurement as the `BENCH_sharded.json` baseline document.
+pub fn sharded_report_json(row: &ShardedBenchRow) -> String {
+    let c = &row.config;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"benchmark\": \"sharded_vs_single_engine\",");
+    let _ = writeln!(
+        s,
+        "  \"workload\": {{\"data_size\": {}, \"shards\": {}, \"distinct_areas\": {}, \
+\"query_size\": {}, \"rounds\": {}, \"threads\": {}}},",
+        c.data_size, c.shards, c.distinct_areas, c.query_size, c.rounds, c.threads
+    );
+    let _ = writeln!(s, "  \"single_build_s\": {:.3},", row.single_build_s);
+    let _ = writeln!(s, "  \"sharded_build_s\": {:.3},", row.sharded_build_s);
+    let _ = writeln!(s, "  \"build_speedup\": {:.2},", row.build_speedup());
+    let _ = writeln!(s, "  \"single_qps\": {:.1},", row.single_qps);
+    let _ = writeln!(s, "  \"sharded_qps\": {:.1},", row.sharded_qps);
+    let _ = writeln!(s, "  \"throughput_ratio\": {:.2},", row.throughput_ratio());
+    let _ = writeln!(
+        s,
+        "  \"pruning\": {{\"mean_shards_visited\": {:.2}, \"mean_shards_pruned\": {:.2}, \
+\"prune_fraction\": {:.4}}}",
+        row.mean_shards_visited,
+        row.mean_shards_pruned,
+        row.prune_fraction()
+    );
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_is_sane_and_prunes() {
+        let row = measure_sharded(&ShardedBenchConfig::quick());
+        assert!(row.single_build_s > 0.0);
+        assert!(row.sharded_build_s > 0.0);
+        assert!(row.single_qps > 0.0);
+        assert!(row.sharded_qps > 0.0);
+        let total = row.mean_shards_visited + row.mean_shards_pruned;
+        assert!((total - row.config.shards as f64).abs() < 1e-9);
+        assert!(
+            row.mean_shards_visited < row.config.shards as f64,
+            "small areas must prune at least some shards on average \
+             (visited {:.2} of {})",
+            row.mean_shards_visited,
+            row.config.shards
+        );
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let row = ShardedBenchRow {
+            config: ShardedBenchConfig::quick(),
+            single_build_s: 2.0,
+            sharded_build_s: 1.0,
+            single_qps: 100.0,
+            sharded_qps: 150.0,
+            mean_shards_visited: 1.5,
+            mean_shards_pruned: 2.5,
+        };
+        let json = sharded_report_json(&row);
+        assert!(json.contains("\"build_speedup\": 2.00"));
+        assert!(json.contains("\"throughput_ratio\": 1.50"));
+        assert!(json.contains("\"prune_fraction\": 0.6250"));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

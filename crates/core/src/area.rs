@@ -106,9 +106,14 @@ pub trait QueryArea {
     /// means the area is already its own best representation and prepare
     /// modes pass it through unchanged.
     ///
+    /// The compiled form is `Send + Sync` so one preparation can be
+    /// shared by every worker of a parallel batch (and by every shard of
+    /// a sharded engine) — prepared areas are immutable after
+    /// construction.
+    ///
     /// Contract: the returned area must answer every [`QueryArea`]
     /// primitive bit-identically to `self`.
-    fn prepare(&self) -> Option<Box<dyn QueryArea>> {
+    fn prepare(&self) -> Option<Box<dyn QueryArea + Send + Sync>> {
         None
     }
 }
@@ -145,7 +150,7 @@ impl QueryArea for Polygon {
         ))))
     }
 
-    fn prepare(&self) -> Option<Box<dyn QueryArea>> {
+    fn prepare(&self) -> Option<Box<dyn QueryArea + Send + Sync>> {
         Some(Box::new(PreparedPolygon::new(self.clone())))
     }
 }
@@ -182,7 +187,7 @@ impl QueryArea for Region {
         Some(AreaFingerprint::new(ring_words(rings)))
     }
 
-    fn prepare(&self) -> Option<Box<dyn QueryArea>> {
+    fn prepare(&self) -> Option<Box<dyn QueryArea + Send + Sync>> {
         Some(Box::new(PreparedRegion::new(self.clone())))
     }
 }

@@ -14,32 +14,129 @@
 //! throughput-oriented serving mode of a GIS backend, complementing the
 //! paper's latency-oriented single-query evaluation.
 
-use crate::area::QueryArea;
+use crate::area::{AreaFingerprint, QueryArea};
 use crate::engine::{AreaQueryEngine, QueryResult};
-use crate::query::{QueryOutput, QuerySession, QuerySpec};
+use crate::query::{PrepareMode, QueryOutput, QuerySession, QuerySpec};
+use crate::stats::CacheCounters;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use vaq_geom::{Polygon, PreparedPolygon};
+
+/// Prepared-area resolution for one whole batch: each distinct area
+/// fingerprint is query-compiled exactly once on the calling thread and
+/// the immutable compiled form is shared (`Arc`) by every worker — and,
+/// on the sharded engine, by every shard. The per-area counters replay
+/// what a single batch-wide cache would have recorded: a miss on a
+/// fingerprint's first (input-order) occurrence, a hit on every repeat.
+pub(crate) struct BatchPreparedAreas {
+    /// Per input area: the shared compiled form (`None` when the area has
+    /// no prepared form and runs as-is).
+    pub(crate) resolved: Vec<Option<Arc<dyn QueryArea + Send + Sync>>>,
+    /// Per input area: the synthesized cache traffic (all zero unless the
+    /// spec asked for [`PrepareMode::Cached`]).
+    pub(crate) counters: Vec<CacheCounters>,
+}
+
+/// Resolves a batch's areas for `spec`. Returns `None` for
+/// [`PrepareMode::Raw`] (areas run exactly as passed). For
+/// [`PrepareMode::Cached`], distinct fingerprints are prepared once and
+/// shared; for [`PrepareMode::PrepareOnce`], each area is prepared
+/// individually (per-query semantics) but still off the workers' hot
+/// loop.
+pub(crate) fn prepare_batch_shared<A: QueryArea>(
+    spec: &QuerySpec,
+    areas: &[A],
+) -> Option<BatchPreparedAreas> {
+    if spec.prepare == PrepareMode::Raw {
+        return None;
+    }
+    let mut resolved: Vec<Option<Arc<dyn QueryArea + Send + Sync>>> =
+        Vec::with_capacity(areas.len());
+    let mut counters = vec![CacheCounters::default(); areas.len()];
+    let mut distinct: Vec<(AreaFingerprint, Arc<dyn QueryArea + Send + Sync>)> = Vec::new();
+    for (i, area) in areas.iter().enumerate() {
+        if spec.prepare == PrepareMode::PrepareOnce {
+            resolved.push(area.prepare().map(Arc::from));
+            continue;
+        }
+        let Some(fp) = area.fingerprint() else {
+            resolved.push(None);
+            continue;
+        };
+        if let Some((_, prep)) = distinct
+            .iter()
+            .find(|(k, _)| k.hash() == fp.hash() && *k == fp)
+        {
+            counters[i].hits = 1;
+            resolved.push(Some(Arc::clone(prep)));
+        } else if let Some(prep) = area.prepare() {
+            let prep: Arc<dyn QueryArea + Send + Sync> = Arc::from(prep);
+            counters[i].misses = 1;
+            distinct.push((fp, Arc::clone(&prep)));
+            resolved.push(Some(prep));
+        } else {
+            resolved.push(None);
+        }
+    }
+    Some(BatchPreparedAreas { resolved, counters })
+}
 
 impl AreaQueryEngine {
     /// Executes `spec` over every area, on `threads` worker threads, and
     /// returns the outputs **in input order**.
     ///
     /// `threads <= 1` (or a batch of at most one query) runs sequentially
-    /// on the calling thread with a single reused session — with
-    /// [`PrepareMode::Cached`](crate::PrepareMode) the prepared-area cache
-    /// then spans the whole batch. The parallel path gives each worker its
-    /// own session and hands out queries through a shared atomic index
-    /// (work stealing): a worker that finishes early keeps pulling work
-    /// instead of idling behind a fixed chunk boundary.
+    /// on the calling thread with a single reused session. The parallel
+    /// path gives each worker its own session and hands out queries
+    /// through a shared atomic index (work stealing): a worker that
+    /// finishes early keeps pulling work instead of idling behind a
+    /// fixed chunk boundary.
+    ///
+    /// Preparation is hoisted out of the workers on **both** paths:
+    /// under [`PrepareMode::Cached`](crate::PrepareMode) each
+    /// **distinct** fingerprint is compiled exactly once per batch and
+    /// the compiled form is shared by every worker (a repeated-area
+    /// batch no longer re-prepares the same area once per worker, and a
+    /// batch with more distinct areas than a session cache holds cannot
+    /// thrash it), and the batch-wide hit/miss counters land in the
+    /// returned stats: the first input-order occurrence of a fingerprint
+    /// records the miss, every repeat a hit — exactly what one
+    /// unbounded shared cache would have seen, independent of `threads`.
     pub fn execute_batch<A: QueryArea + Sync>(
         &self,
         spec: &QuerySpec,
         areas: &[A],
         threads: usize,
     ) -> Vec<QueryOutput> {
+        let shared = if spec.prepare == PrepareMode::Cached {
+            prepare_batch_shared(spec, areas)
+        } else {
+            // PrepareOnce keeps its documented per-query semantics (each
+            // worker compiles per query); Raw has nothing to prepare.
+            None
+        };
+        let raw_spec = spec.prepare(PrepareMode::Raw);
         if threads <= 1 || areas.len() <= 1 {
+            // Same once-per-batch preparation as the parallel path, so
+            // cache counters (and the preparation count) do not depend on
+            // the thread count — and a batch with more distinct areas
+            // than the session LRU holds cannot thrash it.
             let mut session = QuerySession::new(self);
-            return areas.iter().map(|a| session.execute(spec, a)).collect();
+            return areas
+                .iter()
+                .enumerate()
+                .map(
+                    |(i, area)| match shared.as_ref().and_then(|s| s.resolved[i].as_deref()) {
+                        Some(prepared) => {
+                            let mut out = session.execute(&raw_spec, prepared);
+                            out.stats_mut().prepared_cache =
+                                shared.as_ref().expect("resolved implies shared").counters[i];
+                            out
+                        }
+                        None => session.execute(spec, area),
+                    },
+                )
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let workers = threads.min(areas.len());
@@ -49,13 +146,24 @@ impl AreaQueryEngine {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
+                    let shared = shared.as_ref();
+                    let raw_spec = &raw_spec;
                     scope.spawn(move || {
                         let mut session = QuerySession::new(self);
                         let mut done = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(area) = areas.get(i) else { break };
-                            done.push((i, session.execute(spec, area)));
+                            let out = match shared.and_then(|s| s.resolved[i].as_deref()) {
+                                Some(prepared) => {
+                                    let mut out = session.execute(raw_spec, prepared);
+                                    out.stats_mut().prepared_cache =
+                                        shared.expect("resolved implies shared").counters[i];
+                                    out
+                                }
+                                None => session.execute(spec, area),
+                            };
+                            done.push((i, out));
                         }
                         done
                     })
@@ -205,6 +313,57 @@ mod tests {
             let par = engine.voronoi_batch_parallel_prepared(&areas, threads);
             for (a, b) in raw.iter().zip(&par) {
                 assert_eq!(a.indices, b.indices, "threads={threads}");
+            }
+        }
+    }
+
+    /// A repeated-area cached batch compiles each distinct fingerprint
+    /// once for the whole batch (not once per worker) and the merged
+    /// hit/miss counters come back in the per-query stats: first
+    /// input-order occurrence = miss, every repeat = hit.
+    #[test]
+    fn cached_parallel_batch_prepares_each_fingerprint_once() {
+        use crate::query::{PrepareMode, QuerySpec};
+        let engine = AreaQueryEngine::build(&uniform(2000, 23));
+        let distinct = squares();
+        let mut areas = Vec::new();
+        for _ in 0..3 {
+            areas.extend(distinct.iter().cloned());
+        }
+        let spec = QuerySpec::voronoi().prepare(PrepareMode::Cached);
+        let raw = engine.execute_batch(&QuerySpec::voronoi(), &areas, 1);
+        // threads = 1 included: the sequential path shares the same
+        // once-per-batch preparation, so counters are thread-independent.
+        for threads in [1, 2, 4, 8] {
+            let outs = engine.execute_batch(&spec, &areas, threads);
+            let misses: u64 = outs.iter().map(|o| o.stats().prepared_cache.misses).sum();
+            let hits: u64 = outs.iter().map(|o| o.stats().prepared_cache.hits).sum();
+            assert_eq!(
+                misses,
+                distinct.len() as u64,
+                "one preparation per distinct area (threads={threads})"
+            );
+            assert_eq!(
+                hits,
+                (areas.len() - distinct.len()) as u64,
+                "every repeat is a hit (threads={threads})"
+            );
+            for (i, out) in outs.iter().enumerate() {
+                let want = if i < distinct.len() {
+                    crate::stats::CacheCounters { hits: 0, misses: 1 }
+                } else {
+                    crate::stats::CacheCounters { hits: 1, misses: 0 }
+                };
+                assert_eq!(
+                    out.stats().prepared_cache,
+                    want,
+                    "query {i}, threads={threads}"
+                );
+                assert_eq!(
+                    out.result().unwrap().indices,
+                    raw[i].result().unwrap().indices,
+                    "query {i}, threads={threads}"
+                );
             }
         }
     }

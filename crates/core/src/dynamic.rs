@@ -15,16 +15,40 @@
 //!
 //! Query results use stable external ids handed out at insertion, so ids
 //! survive compaction.
+//!
+//! Queries run through the same [`QuerySpec`] funnel as the static
+//! engine ([`DynamicAreaQueryEngine::execute`]): the base pass honours
+//! method / seed / policy / prepare mode (with an owned prepared-area
+//! cache amortising repeated areas), and the delta scan's cost is
+//! surfaced in the returned stats ([`QueryStats::delta_scanned`]).
+//! [`DynamicAreaQueryEngine::query`] is the paper-default convenience.
+//! For the partitioned variant see
+//! [`ShardedDynamicAreaQueryEngine`](crate::shard::ShardedDynamicAreaQueryEngine).
 
 use crate::area::QueryArea;
 use crate::engine::AreaQueryEngine;
-use crate::scratch::QueryScratch;
+use crate::query::{OutputMode, QuerySpec, SessionState, DEFAULT_CACHE_CAPACITY};
+use crate::stats::{CacheCounters, QueryStats};
 use std::collections::HashSet;
 use vaq_geom::Point;
 
 /// Fraction of the base size the delta may reach before
 /// [`DynamicAreaQueryEngine::maybe_compact`] rebuilds.
 pub const DEFAULT_COMPACT_RATIO: f64 = 0.25;
+
+/// The answer to one dynamic query: stable external ids plus the work
+/// counters of both passes (base query through the funnel, linear delta
+/// scan — see [`QueryStats::delta_scanned`]).
+#[derive(Clone, Debug, Default)]
+pub struct DynamicQueryResult {
+    /// Matching live external ids, ascending.
+    pub ids: Vec<u64>,
+    /// Combined counters: the base engine's query stats with the delta
+    /// scan folded in (`delta_scanned`, plus one candidate / containment
+    /// test per scanned live delta point) and `result_size` set to the
+    /// final (tombstone-filtered) id count.
+    pub stats: QueryStats,
+}
 
 /// A dynamic area-query engine: static base + linear delta + tombstones.
 pub struct DynamicAreaQueryEngine {
@@ -37,22 +61,23 @@ pub struct DynamicAreaQueryEngine {
     tombstones: HashSet<u64>,
     /// Next external id to hand out.
     next_id: u64,
-    scratch: QueryScratch,
+    /// Owned session state (reusable scratch + prepared-area cache), so
+    /// repeated dynamic queries get the same amortisation a
+    /// [`QuerySession`](crate::QuerySession) gives static callers.
+    state: SessionState,
 }
 
 impl DynamicAreaQueryEngine {
     /// Builds over an initial point set; ids `0..n as u64` are assigned in
     /// input order.
     pub fn new(points: &[Point]) -> DynamicAreaQueryEngine {
-        let base = AreaQueryEngine::build(points);
-        let scratch = base.new_scratch();
         DynamicAreaQueryEngine {
             base_ids: (0..points.len() as u64).collect(),
             next_id: points.len() as u64,
-            base,
+            base: AreaQueryEngine::build(points),
             delta: Vec::new(),
             tombstones: HashSet::new(),
-            scratch,
+            state: SessionState::new(DEFAULT_CACHE_CAPACITY),
         }
     }
 
@@ -93,40 +118,93 @@ impl DynamicAreaQueryEngine {
         exists
     }
 
-    /// Answers the area query with the Voronoi method on the base plus a
-    /// linear scan of the delta; tombstoned ids are filtered. Returns
-    /// stable external ids, ascending.
-    pub fn query<A: QueryArea>(&mut self, area: &A) -> Vec<u64> {
-        let mut out: Vec<u64> = Vec::new();
+    /// Answers the area query with the paper-default [`QuerySpec`] (the
+    /// Voronoi method, segment expansion, R-tree seed) and returns the
+    /// stable external ids, ascending — the convenience form of
+    /// [`DynamicAreaQueryEngine::execute`].
+    pub fn query<A: QueryArea + ?Sized>(&mut self, area: &A) -> Vec<u64> {
+        self.execute(&QuerySpec::new(), area).ids
+    }
+
+    /// Executes `spec` over `area` through the same
+    /// [`QuerySpec`]/session funnel as the static engine: the base query
+    /// honours the spec's method, seed index, expansion policy and
+    /// prepare mode (including the owned prepared-area cache — repeated
+    /// dashboard areas hit it across dynamic queries), then the live
+    /// delta is scanned linearly and tombstoned ids are filtered.
+    ///
+    /// The spec's [`OutputMode`] is overridden to `Collect`: tombstone
+    /// filtering needs the base indices materialised, so counts are the
+    /// length of the returned ids. Stats surface both passes — see
+    /// [`DynamicQueryResult::stats`] and [`QueryStats::delta_scanned`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec requests an index the base engine did not build
+    /// (the dynamic engine builds default bases: R-tree + Delaunay).
+    pub fn execute<A: QueryArea + ?Sized>(
+        &mut self,
+        spec: &QuerySpec,
+        area: &A,
+    ) -> DynamicQueryResult {
+        let mut ids: Vec<u64> = Vec::new();
+        let mut stats = QueryStats::default();
         if !self.base.is_empty() {
-            let r = self.base.voronoi_with(
-                area,
-                crate::voronoi_query::ExpansionPolicy::Segment,
-                crate::engine::SeedIndex::RTree,
-                &mut self.scratch,
-            );
-            out.extend(
+            let collect_spec = spec.output(OutputMode::Collect);
+            let out = self.state.execute(&self.base, &collect_spec, area);
+            let r = out.into_result().expect("collect-mode query");
+            stats = r.stats;
+            ids.extend(
                 r.indices
                     .iter()
                     .map(|&i| self.base_ids[i as usize])
                     .filter(|id| !self.tombstones.contains(id)),
             );
         }
-        out.extend(
-            self.delta
-                .iter()
-                .filter(|(id, p)| !self.tombstones.contains(id) && area.contains(*p))
-                .map(|&(id, _)| id),
-        );
-        out.sort_unstable();
-        out
+        for &(id, p) in &self.delta {
+            if self.tombstones.contains(&id) {
+                continue;
+            }
+            stats.delta_scanned += 1;
+            stats.candidates += 1;
+            stats.containment_tests += 1;
+            if area.contains(p) {
+                stats.accepted += 1;
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        stats.result_size = ids.len();
+        DynamicQueryResult { ids, stats }
     }
 
-    /// Compacts when the overlay (delta + tombstones) exceeds
+    /// Lifetime hit/miss totals of the owned prepared-area cache (see
+    /// [`PrepareMode::Cached`](crate::PrepareMode)).
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.state.cache_totals()
+    }
+
+    /// The **live** overlay size: delta points not yet tombstoned, plus
+    /// tombstones masking *base* points. A tombstoned delta point cancels
+    /// out — after compaction it costs neither a delta scan nor a base
+    /// mask — so it contributes to neither term (counting it in both, as
+    /// `delta.len() + tombstones.len()` did, fired compaction up to twice
+    /// as early as [`DEFAULT_COMPACT_RATIO`] documents).
+    pub fn overlay_len(&self) -> usize {
+        let dead_delta = self
+            .delta
+            .iter()
+            .filter(|(id, _)| self.tombstones.contains(id))
+            .count();
+        (self.delta.len() - dead_delta) + (self.tombstones.len() - dead_delta)
+    }
+
+    /// Compacts when the live overlay (see
+    /// [`DynamicAreaQueryEngine::overlay_len`]) exceeds
     /// [`DEFAULT_COMPACT_RATIO`] of the base. Returns `true` if a rebuild
     /// happened.
     pub fn maybe_compact(&mut self) -> bool {
-        let overlay = self.delta.len() + self.tombstones.len();
+        let overlay = self.overlay_len();
         if (overlay as f64) <= (self.base_ids.len().max(16) as f64) * DEFAULT_COMPACT_RATIO {
             return false;
         }
@@ -156,7 +234,9 @@ impl DynamicAreaQueryEngine {
         self.base_ids = order.iter().map(|&i| ids[i]).collect();
         let pts: Vec<Point> = order.iter().map(|&i| pts[i]).collect();
         self.base = AreaQueryEngine::build(&pts);
-        self.scratch = self.base.new_scratch();
+        // The scratch was sized for the old base; the prepared-area cache
+        // is content-keyed and survives the rebuild untouched.
+        self.state.reset_scratch();
         self.delta.clear();
         self.tombstones.clear();
     }
@@ -286,6 +366,91 @@ mod tests {
             eng.insert(q);
         }
         assert!(eng.maybe_compact());
+    }
+
+    /// Regression: a tombstoned delta point used to count once in
+    /// `delta.len()` *and* once in `tombstones.len()`, firing compaction
+    /// at half the documented overlay ratio.
+    #[test]
+    fn tombstoned_delta_points_are_not_double_counted() {
+        let mut eng = DynamicAreaQueryEngine::new(&uniform(400, 21));
+        // Insert 60 points and remove them all again: the live overlay is
+        // empty, but the buggy count saw 60 + 60 = 120 > 400 × 0.25.
+        let ids: Vec<u64> = uniform(60, 22).iter().map(|&q| eng.insert(q)).collect();
+        for id in ids {
+            assert!(eng.remove(id));
+        }
+        assert_eq!(eng.overlay_len(), 0, "cancelled inserts leave no overlay");
+        assert!(
+            !eng.maybe_compact(),
+            "an empty live overlay must not trigger compaction"
+        );
+        // Base tombstones and live delta points still count, once each.
+        for id in 0..50u64 {
+            assert!(eng.remove(id));
+        }
+        for &q in &uniform(51, 23) {
+            eng.insert(q);
+        }
+        assert_eq!(eng.overlay_len(), 101);
+        assert!(eng.maybe_compact(), "101 > 400 × 0.25 compacts");
+    }
+
+    /// The funnel route: `execute` honours the spec, surfaces base +
+    /// delta stats, and the owned prepared-area cache hits on repeats.
+    #[test]
+    fn execute_routes_through_the_funnel_with_stats() {
+        use crate::query::{PrepareMode, QueryMethod};
+        let initial = uniform(500, 31);
+        let mut eng = DynamicAreaQueryEngine::new(&initial);
+        let inserted = uniform(40, 32);
+        for &q in &inserted {
+            eng.insert(q);
+        }
+        assert!(eng.remove(7));
+        let area = square(0.5, 0.5, 0.25);
+
+        // Every method agrees through the funnel (ids are method-agnostic).
+        let voro = eng.execute(&QuerySpec::voronoi(), &area);
+        for spec in [
+            QuerySpec::traditional(),
+            QuerySpec::brute_force(),
+            QuerySpec::new().method(QueryMethod::Voronoi),
+        ] {
+            assert_eq!(eng.execute(&spec, &area).ids, voro.ids, "{spec:?}");
+        }
+        assert_eq!(voro.ids, eng.query(&area), "query() is the default spec");
+
+        // Stats surface both passes (id 7 is a base id, so all 40
+        // inserted delta points are live and scanned).
+        assert_eq!(voro.stats.delta_scanned, 40);
+        assert!(voro.stats.seed.is_some(), "base pass was seeded");
+        assert_eq!(voro.stats.result_size, voro.ids.len());
+        assert!(
+            voro.stats.candidates >= voro.stats.delta_scanned,
+            "delta scan candidates are folded in"
+        );
+        assert_eq!(
+            voro.stats.containment_tests, voro.stats.candidates as u64,
+            "identity holds across base + delta"
+        );
+
+        // The owned prepared-area cache spans queries.
+        let cached = QuerySpec::voronoi().prepare(PrepareMode::Cached);
+        let poly =
+            Polygon::new(vec![p(0.25, 0.25), p(0.75, 0.3), p(0.7, 0.75), p(0.3, 0.7)]).unwrap();
+        let first = eng.execute(&cached, &poly);
+        let second = eng.execute(&cached, &poly);
+        assert_eq!(first.ids, second.ids);
+        assert_eq!(
+            first.stats.prepared_cache,
+            CacheCounters { hits: 0, misses: 1 }
+        );
+        assert_eq!(
+            second.stats.prepared_cache,
+            CacheCounters { hits: 1, misses: 0 }
+        );
+        assert_eq!(eng.cache_counters(), CacheCounters { hits: 1, misses: 1 });
     }
 
     #[test]

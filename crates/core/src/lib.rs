@@ -88,13 +88,14 @@ pub mod engine;
 pub mod payload;
 pub mod query;
 pub mod scratch;
+pub mod shard;
 pub mod stats;
 pub mod traditional;
 pub mod voronoi_query;
 
 pub use area::{AreaFingerprint, QueryArea};
 pub use classify::{classify_points, PointClass};
-pub use dynamic::DynamicAreaQueryEngine;
+pub use dynamic::{DynamicAreaQueryEngine, DynamicQueryResult};
 pub use engine::{AreaQueryEngine, EngineBuilder, QueryResult, SeedIndex};
 pub use payload::RecordStore;
 pub use query::{
@@ -102,6 +103,9 @@ pub use query::{
     DEFAULT_CACHE_CAPACITY,
 };
 pub use scratch::QueryScratch;
+pub use shard::{
+    ShardBreakdown, ShardedAreaQueryEngine, ShardedDynamicAreaQueryEngine, ShardedQueryOutput,
+};
 pub use stats::{CacheCounters, QueryStats};
 pub use traditional::{traditional_area_query, FilterIndex};
 pub use voronoi_query::{voronoi_area_query, ExpansionPolicy};

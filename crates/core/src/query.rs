@@ -55,7 +55,7 @@ use crate::stats::{CacheCounters, QueryStats};
 use crate::traditional::{refine, refine_each, FilterIndex};
 use crate::voronoi_query::{arbitrary_position_in, voronoi_area_query, ExpansionPolicy};
 use crate::PointClass;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which algorithm answers the query.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -282,10 +282,14 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 64;
 /// Bounded LRU of prepared areas, keyed by content fingerprint. Lookup is
 /// a linear scan over at most `capacity` entries comparing the 64-bit hash
 /// first — negligible next to a single prepared `contains` call.
+///
+/// Entries are `Arc` (not `Rc`) so the cache — and everything owning one:
+/// `QuerySession`, `DynamicAreaQueryEngine` — stays `Send` and can move
+/// to a worker thread.
 struct PreparedAreaCache {
     capacity: usize,
     /// Front = most recently used.
-    entries: Vec<(AreaFingerprint, Rc<dyn QueryArea>)>,
+    entries: Vec<(AreaFingerprint, Arc<dyn QueryArea + Send + Sync>)>,
 }
 
 impl PreparedAreaCache {
@@ -302,9 +306,9 @@ impl PreparedAreaCache {
     fn get_or_prepare(
         &mut self,
         fp: AreaFingerprint,
-        build: impl FnOnce() -> Option<Box<dyn QueryArea>>,
+        build: impl FnOnce() -> Option<Box<dyn QueryArea + Send + Sync>>,
         delta: &mut CacheCounters,
-    ) -> Option<Rc<dyn QueryArea>> {
+    ) -> Option<Arc<dyn QueryArea + Send + Sync>> {
         if let Some(pos) = self
             .entries
             .iter()
@@ -312,14 +316,14 @@ impl PreparedAreaCache {
         {
             delta.hits += 1;
             let entry = self.entries.remove(pos);
-            let area = Rc::clone(&entry.1);
+            let area = Arc::clone(&entry.1);
             self.entries.insert(0, entry);
             return Some(area);
         }
-        let prepared: Rc<dyn QueryArea> = Rc::from(build()?);
+        let prepared: Arc<dyn QueryArea + Send + Sync> = Arc::from(build()?);
         delta.misses += 1;
         if self.capacity > 0 {
-            self.entries.insert(0, (fp, Rc::clone(&prepared)));
+            self.entries.insert(0, (fp, Arc::clone(&prepared)));
             self.entries.truncate(self.capacity);
         }
         Some(prepared)
@@ -330,6 +334,82 @@ impl PreparedAreaCache {
     }
 }
 
+/// The owned half of a session: the reusable scratch, the prepared-area
+/// cache, and the lifetime cache totals. Split out of [`QuerySession`] so
+/// a long-lived owner of an engine (the dynamic overlay, which rebuilds
+/// its base on compaction and therefore cannot hold a borrowing session)
+/// can keep the state across queries and run the same funnel.
+pub(crate) struct SessionState {
+    scratch: Option<QueryScratch>,
+    cache: PreparedAreaCache,
+    cache_totals: CacheCounters,
+}
+
+impl SessionState {
+    /// Fresh state with a prepared-area cache of `capacity` entries.
+    pub(crate) fn new(capacity: usize) -> SessionState {
+        SessionState {
+            scratch: None,
+            cache: PreparedAreaCache::new(capacity),
+            cache_totals: CacheCounters::default(),
+        }
+    }
+
+    /// Drops the scratch (call after the underlying engine is rebuilt;
+    /// the next query re-creates it at the new size).
+    pub(crate) fn reset_scratch(&mut self) {
+        self.scratch = None;
+    }
+
+    /// Lifetime prepared-area cache totals.
+    pub(crate) fn cache_totals(&self) -> CacheCounters {
+        self.cache_totals
+    }
+
+    /// Number of prepared areas currently cached.
+    pub(crate) fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The session funnel body: resolves the prepared-area cache, lends
+    /// the scratch, and dispatches into the engine.
+    pub(crate) fn execute<A: QueryArea + ?Sized>(
+        &mut self,
+        engine: &AreaQueryEngine,
+        spec: &QuerySpec,
+        area: &A,
+    ) -> QueryOutput {
+        let mut delta = CacheCounters::default();
+        let cached: Option<Arc<dyn QueryArea + Send + Sync>> = match spec.prepare {
+            PrepareMode::Cached if self.cache.capacity > 0 => area
+                .fingerprint()
+                .and_then(|fp| self.cache.get_or_prepare(fp, || area.prepare(), &mut delta)),
+            _ => None,
+        };
+        let scratch = if spec.method == QueryMethod::Voronoi && spec.output != OutputMode::Classify
+        {
+            if self.scratch.is_none() {
+                self.scratch = Some(engine.new_scratch());
+            }
+            self.scratch.as_mut()
+        } else {
+            None
+        };
+        let mut out = match &cached {
+            Some(prepared) => {
+                // The cache already resolved preparation; run raw on the
+                // compiled form.
+                let raw_spec = spec.prepare(PrepareMode::Raw);
+                engine.run_spec(&raw_spec, prepared.as_ref(), scratch)
+            }
+            None => engine.run_spec(spec, area, scratch),
+        };
+        out.stats_mut().prepared_cache = delta;
+        self.cache_totals.absorb(delta);
+        out
+    }
+}
+
 /// Per-caller query state over a borrowed engine: the reusable scratch and
 /// the prepared-area cache. Cheap to create; create one per thread (the
 /// engine itself is `Sync`, the session is not).
@@ -337,9 +417,7 @@ impl PreparedAreaCache {
 /// See the [module docs](self) for the full story and an example.
 pub struct QuerySession<'e> {
     engine: &'e AreaQueryEngine,
-    scratch: Option<QueryScratch>,
-    cache: PreparedAreaCache,
-    cache_totals: CacheCounters,
+    state: SessionState,
 }
 
 impl<'e> QuerySession<'e> {
@@ -355,9 +433,7 @@ impl<'e> QuerySession<'e> {
     pub fn with_cache_capacity(engine: &'e AreaQueryEngine, capacity: usize) -> QuerySession<'e> {
         QuerySession {
             engine,
-            scratch: None,
-            cache: PreparedAreaCache::new(capacity),
-            cache_totals: CacheCounters::default(),
+            state: SessionState::new(capacity),
         }
     }
 
@@ -368,12 +444,12 @@ impl<'e> QuerySession<'e> {
 
     /// Session-lifetime prepared-area cache totals.
     pub fn cache_counters(&self) -> CacheCounters {
-        self.cache_totals
+        self.state.cache_totals()
     }
 
     /// Number of prepared areas currently cached.
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.state.cache_len()
     }
 
     /// Executes `spec` over `area` — the single funnel every query runs
@@ -384,34 +460,7 @@ impl<'e> QuerySession<'e> {
     /// Panics if the spec requests an index the engine did not build
     /// (see `EngineBuilder::with_kdtree` / `with_quadtree`).
     pub fn execute<A: QueryArea + ?Sized>(&mut self, spec: &QuerySpec, area: &A) -> QueryOutput {
-        let mut delta = CacheCounters::default();
-        let cached: Option<Rc<dyn QueryArea>> = match spec.prepare {
-            PrepareMode::Cached if self.cache.capacity > 0 => area
-                .fingerprint()
-                .and_then(|fp| self.cache.get_or_prepare(fp, || area.prepare(), &mut delta)),
-            _ => None,
-        };
-        let scratch = if spec.method == QueryMethod::Voronoi && spec.output != OutputMode::Classify
-        {
-            if self.scratch.is_none() {
-                self.scratch = Some(self.engine.new_scratch());
-            }
-            self.scratch.as_mut()
-        } else {
-            None
-        };
-        let mut out = match &cached {
-            Some(prepared) => {
-                // The cache already resolved preparation; run raw on the
-                // compiled form.
-                let raw_spec = spec.prepare(PrepareMode::Raw);
-                self.engine.run_spec(&raw_spec, prepared.as_ref(), scratch)
-            }
-            None => self.engine.run_spec(spec, area, scratch),
-        };
-        out.stats_mut().prepared_cache = delta;
-        self.cache_totals.absorb(delta);
-        out
+        self.state.execute(self.engine, spec, area)
     }
 }
 
@@ -836,6 +885,16 @@ mod tests {
                 .unwrap()
                 .is_empty());
         }
+    }
+
+    /// Regression: the prepared-area cache must not cost the session (or
+    /// the dynamic engine that owns one) its `Send`-ness — both move to
+    /// worker threads in serving setups.
+    #[test]
+    fn sessions_and_dynamic_engines_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<QuerySession<'static>>();
+        assert_send::<crate::dynamic::DynamicAreaQueryEngine>();
     }
 
     #[test]

@@ -1,0 +1,965 @@
+//! Sharding the engine across point-set partitions.
+//!
+//! The paper's evaluation stops at 10⁶ points on a single Delaunay
+//! structure; serving beyond that, distributed in-memory spatial systems
+//! (Simba, GeoSpark) all use the same recipe: **partition the points
+//! spatially, index each partition independently, prune partitions whose
+//! bounding box misses the query, and fan the survivors out in
+//! parallel**. [`ShardedAreaQueryEngine`] is that recipe over the
+//! existing [`AreaQueryEngine`]:
+//!
+//! * the point set is split into `S` shards by a **recursive kd median
+//!   split** — always on the longer extent of the partition's MBR — so
+//!   shards stay spatially tight (small MBRs ⇒ effective pruning) and
+//!   balanced (±1 point via proportional median ranks);
+//! * one full [`AreaQueryEngine`] (R-tree + Delaunay) is built **per
+//!   shard, in parallel**, each over its own points — build time and
+//!   memory scale per shard, and the `O(n log n)` triangulation is paid
+//!   on `n/S` points at a time;
+//! * any [`QuerySpec`] is answered by **MBR-pruning** the shards against
+//!   the area's MBR and running the survivors — sequentially in
+//!   [`ShardedAreaQueryEngine::execute`], or on a shared work-stealing
+//!   worker pool in [`ShardedAreaQueryEngine::execute_batch`], where the
+//!   work items are `(area, shard)` pairs and prepared areas are
+//!   compiled **once per batch** and shared across shards by
+//!   fingerprint;
+//! * shard-local results are mapped back to **global input indices** and
+//!   merged in ascending input order, with per-shard counters folded
+//!   into one aggregate [`QueryStats`] (see
+//!   [`QueryStats::shards_visited`] / [`QueryStats::shards_pruned`]) and
+//!   kept individually in [`ShardedQueryOutput::breakdown`].
+//!
+//! Results are **bit-identical to the unsharded engine**: the shards
+//! partition the point set, every method validates with the same exact
+//! predicates, and the differential suite
+//! (`tests/sharded_differential.rs`) enforces equality of the sorted
+//! global index sets and counts across the whole `QuerySpec` grid.
+//!
+//! [`ShardedDynamicAreaQueryEngine`] adds the base + delta pattern of
+//! [`crate::dynamic`] on top: inserts land in **shard-local delta
+//! buffers** (routed to the nearest shard MBR, pruned at query time by
+//! the buffer's own MBR), deletes tombstone, and compaction rebuilds the
+//! sharded base in parallel.
+
+use crate::area::QueryArea;
+use crate::batch::prepare_batch_shared;
+use crate::dynamic::{DynamicQueryResult, DEFAULT_COMPACT_RATIO};
+use crate::engine::AreaQueryEngine;
+use crate::query::{OutputMode, PrepareMode, QueryOutput, QuerySpec};
+use crate::scratch::QueryScratch;
+use crate::stats::{CacheCounters, QueryStats};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use vaq_geom::{Point, Rect};
+
+/// One spatial partition: its own engine, its points' global input
+/// indices, and its MBR (the pruning key).
+struct Shard {
+    engine: AreaQueryEngine,
+    /// Global input index of each shard-local point (parallel to the
+    /// shard engine's points).
+    global: Vec<u32>,
+    /// Tight bounding box of the shard's points.
+    mbr: Rect,
+}
+
+/// Per-visited-shard counters of one sharded query.
+#[derive(Clone, Debug)]
+pub struct ShardBreakdown {
+    /// Shard index (stable across queries; see
+    /// [`ShardedAreaQueryEngine::shard_mbrs`]).
+    pub shard: usize,
+    /// The shard-local query's work counters.
+    pub stats: QueryStats,
+}
+
+/// The merged answer to one sharded query.
+#[derive(Clone, Debug, Default)]
+pub struct ShardedQueryOutput {
+    /// Matching **global input indices, ascending** (empty in
+    /// [`OutputMode::Count`]).
+    pub indices: Vec<u32>,
+    /// Number of matching points (equals `indices.len()` when
+    /// collecting).
+    pub count: usize,
+    /// Aggregate counters: per-shard work summed
+    /// ([`QueryStats::absorb_shard`]), `shards_visited` /
+    /// `shards_pruned` filled in, prepared-cache traffic of the shared
+    /// (per-batch) preparation.
+    pub stats: QueryStats,
+    /// Per-visited-shard counters, ascending by shard index.
+    pub breakdown: Vec<ShardBreakdown>,
+}
+
+/// Recursively median-splits `idx` (indices into `points`) into `shards`
+/// spatially tight, balanced partitions. Each split is on the longer
+/// extent of the current partition's MBR; the split rank is proportional
+/// to the shard counts on each side, so every leaf ends within ±1 of
+/// `n / shards` points. Ties on a coordinate break by input index, so
+/// the partition is fully deterministic.
+fn split_partition(points: &[Point], idx: &mut [u32], shards: usize, out: &mut Vec<Vec<u32>>) {
+    if idx.is_empty() {
+        return;
+    }
+    if shards <= 1 || idx.len() == 1 {
+        out.push(idx.to_vec());
+        return;
+    }
+    let mbr = Rect::from_points(idx.iter().map(|&i| points[i as usize]));
+    let by_x = mbr.width() >= mbr.height();
+    let left_shards = shards / 2;
+    let mid = idx.len() * left_shards / shards;
+    idx.select_nth_unstable_by(mid, |&a, &b| {
+        let (pa, pb) = (points[a as usize], points[b as usize]);
+        let key = if by_x {
+            pa.x.total_cmp(&pb.x)
+        } else {
+            pa.y.total_cmp(&pb.y)
+        };
+        key.then(a.cmp(&b))
+    });
+    let (left, right) = idx.split_at_mut(mid);
+    split_partition(points, left, left_shards, out);
+    split_partition(points, right, shards - left_shards, out);
+}
+
+/// Partitions `0..points.len()` into at most `shards` non-empty parts.
+fn partition(points: &[Point], shards: usize) -> Vec<Vec<u32>> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, points.len());
+    let mut idx: Vec<u32> = (0..points.len() as u32).collect();
+    let mut out = Vec::with_capacity(shards);
+    split_partition(points, &mut idx, shards, &mut out);
+    out
+}
+
+/// The sharded engine: `S` independent [`AreaQueryEngine`]s over a
+/// kd-partitioned point set, answering any [`QuerySpec`] with MBR shard
+/// pruning and global-index merging. See the [module docs](self).
+pub struct ShardedAreaQueryEngine {
+    shards: Vec<Shard>,
+    /// Total number of indexed points.
+    len: usize,
+    /// The shard count originally requested (compaction of the dynamic
+    /// overlay re-targets it even when fewer shards are currently live).
+    target_shards: usize,
+}
+
+impl ShardedAreaQueryEngine {
+    /// Partitions `points` into (at most) `shards` shards and builds the
+    /// per-shard engines in parallel on up to `shards` worker threads.
+    /// Fewer than `shards` shards are built when the point set is
+    /// smaller than the shard count.
+    pub fn build(points: &[Point], shards: usize) -> ShardedAreaQueryEngine {
+        ShardedAreaQueryEngine::build_with(points, shards, shards)
+    }
+
+    /// As [`ShardedAreaQueryEngine::build`] with an explicit build
+    /// worker count (`<= 1` builds sequentially on the calling thread).
+    pub fn build_with(
+        points: &[Point],
+        shards: usize,
+        build_threads: usize,
+    ) -> ShardedAreaQueryEngine {
+        let parts = partition(points, shards);
+        let build_one = |part: &[u32]| -> Shard {
+            let pts: Vec<Point> = part.iter().map(|&i| points[i as usize]).collect();
+            Shard {
+                mbr: Rect::from_points(pts.iter().copied()),
+                engine: AreaQueryEngine::build(&pts),
+                global: part.to_vec(),
+            }
+        };
+        let built: Vec<Shard> = if build_threads <= 1 || parts.len() <= 1 {
+            parts.iter().map(|p| build_one(p)).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let workers = build_threads.min(parts.len());
+            let mut slots: Vec<Option<Shard>> = Vec::new();
+            slots.resize_with(parts.len(), || None);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        let parts = &parts;
+                        let build_one = &build_one;
+                        scope.spawn(move || {
+                            let mut done = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(part) = parts.get(i) else { break };
+                                done.push((i, build_one(part)));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (i, shard) in h.join().expect("shard builder does not panic") {
+                        slots[i] = Some(shard);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("every shard index is claimed exactly once"))
+                .collect()
+        };
+        ShardedAreaQueryEngine {
+            len: points.len(),
+            target_shards: shards.max(1),
+            shards: built,
+        }
+    }
+
+    /// Number of live shards (at most the requested shard count).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of indexed points across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Each shard's tight bounding box, in shard-index order.
+    pub fn shard_mbrs(&self) -> Vec<Rect> {
+        self.shards.iter().map(|s| s.mbr).collect()
+    }
+
+    /// Each shard's point count, in shard-index order.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.engine.len()).collect()
+    }
+
+    /// The indexed points, reassembled in global input order (used by
+    /// the dynamic overlay's compaction).
+    pub fn points_in_input_order(&self) -> Vec<Point> {
+        let mut pts = vec![Point::new(0.0, 0.0); self.len];
+        for shard in &self.shards {
+            for (local, &g) in shard.global.iter().enumerate() {
+                pts[g as usize] = shard.engine.points()[local];
+            }
+        }
+        pts
+    }
+
+    /// Executes `spec` over `area`: shards whose MBR misses the area's
+    /// MBR are pruned outright, the survivors run sequentially, and the
+    /// shard-local results merge back to ascending global input indices.
+    /// Preparation (for [`PrepareMode::PrepareOnce`] / `Cached`) happens
+    /// **once** and the compiled area is shared by every shard.
+    ///
+    /// Note: a lone `execute` holds no state across calls, so
+    /// [`PrepareMode::Cached`] here equals `PrepareOnce` shared across
+    /// shards — each call re-compiles the area (stats report the one
+    /// miss). Repeated-area amortisation needs a batch
+    /// ([`ShardedAreaQueryEngine::execute_batch`] compiles each distinct
+    /// fingerprint once per batch) or a caller-held prepared area.
+    ///
+    /// For many queries, prefer [`ShardedAreaQueryEngine::execute_batch`]
+    /// — it runs `(area, shard)` pairs on a work-stealing pool and
+    /// reuses per-shard scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`OutputMode::Classify`]: classification is defined on
+    /// one global Voronoi diagram, which the sharded engine does not
+    /// build. Also panics if the spec requests an index the shard
+    /// engines did not build (they are built with defaults: R-tree +
+    /// Delaunay, no kd-tree/quadtree).
+    pub fn execute<A: QueryArea + ?Sized>(&self, spec: &QuerySpec, area: &A) -> ShardedQueryOutput {
+        assert!(
+            spec.output != OutputMode::Classify,
+            "point classification is per-diagram and is not supported on the sharded engine"
+        );
+        let prepared: Option<Box<dyn QueryArea + Send + Sync>> = match spec.prepare {
+            PrepareMode::Raw => None,
+            _ => area.prepare(),
+        };
+        // One shared preparation for the whole query: report it as the
+        // single miss a batch-wide cache would record.
+        let cache = if prepared.is_some() && spec.prepare == PrepareMode::Cached {
+            CacheCounters { hits: 0, misses: 1 }
+        } else {
+            CacheCounters::default()
+        };
+        let raw_spec = spec.prepare(PrepareMode::Raw);
+        let area_mbr = area.mbr();
+        let mut out = ShardedQueryOutput::default();
+        for (si, shard) in self.shards.iter().enumerate() {
+            if !shard.mbr.intersects(&area_mbr) {
+                out.stats.shards_pruned += 1;
+                continue;
+            }
+            let shard_out = match &prepared {
+                Some(prep) => shard.engine.run_spec(&raw_spec, prep.as_ref(), None),
+                None => shard.engine.run_spec(&raw_spec, area, None),
+            };
+            merge_shard_output(&mut out, shard, si, shard_out);
+        }
+        finish_output(&mut out, cache);
+        out
+    }
+
+    /// Executes `spec` over every area on `threads` worker threads and
+    /// returns the merged outputs **in input order**.
+    ///
+    /// The unit of work is one `(area, shard)` pair of the pruned
+    /// survivor set, handed out through a shared atomic index (work
+    /// stealing), so a worker never idles behind one heavy area *or* one
+    /// heavy shard. Workers keep per-shard scratch across the batch.
+    /// Under [`PrepareMode::Cached`], each **distinct** area fingerprint
+    /// is compiled once per batch and the compiled form is shared across
+    /// workers *and* shards; the batch-wide hit/miss counters land in
+    /// the per-area stats exactly as in
+    /// [`AreaQueryEngine::execute_batch`].
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedAreaQueryEngine::execute`].
+    pub fn execute_batch<A: QueryArea + Sync>(
+        &self,
+        spec: &QuerySpec,
+        areas: &[A],
+        threads: usize,
+    ) -> Vec<ShardedQueryOutput> {
+        assert!(
+            spec.output != OutputMode::Classify,
+            "point classification is per-diagram and is not supported on the sharded engine"
+        );
+        let shared = prepare_batch_shared(spec, areas);
+        let raw_spec = spec.prepare(PrepareMode::Raw);
+
+        // Prune: the work list holds only surviving (area, shard) pairs,
+        // area-major so each area's items form one contiguous range.
+        let mut work: Vec<(u32, u32)> = Vec::new();
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(areas.len());
+        let mut pruned: Vec<usize> = Vec::with_capacity(areas.len());
+        for area in areas {
+            let mbr = area.mbr();
+            let start = work.len();
+            let mut misses = 0usize;
+            for (si, shard) in self.shards.iter().enumerate() {
+                if shard.mbr.intersects(&mbr) {
+                    work.push((ranges.len() as u32, si as u32));
+                } else {
+                    misses += 1;
+                }
+            }
+            ranges.push((start, work.len()));
+            pruned.push(misses);
+        }
+
+        // One (area, shard) work item; `scratch` is the worker's lazily
+        // created per-shard scratch.
+        let run_one = |&(ai, si): &(u32, u32), scratch: &mut Vec<Option<QueryScratch>>| {
+            let shard = &self.shards[si as usize];
+            let s = scratch[si as usize].get_or_insert_with(|| shard.engine.new_scratch());
+            match shared
+                .as_ref()
+                .and_then(|sh| sh.resolved[ai as usize].as_deref())
+            {
+                Some(prep) => shard.engine.run_spec(&raw_spec, prep, Some(s)),
+                None => shard
+                    .engine
+                    .run_spec(&raw_spec, &areas[ai as usize], Some(s)),
+            }
+        };
+
+        let mut slots: Vec<Option<QueryOutput>> = Vec::new();
+        slots.resize_with(work.len(), || None);
+        if threads <= 1 || work.len() <= 1 {
+            let mut scratch: Vec<Option<QueryScratch>> =
+                (0..self.shards.len()).map(|_| None).collect();
+            for (w, item) in work.iter().enumerate() {
+                slots[w] = Some(run_one(item, &mut scratch));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let workers = threads.min(work.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        let work = &work;
+                        let run_one = &run_one;
+                        scope.spawn(move || {
+                            let mut scratch: Vec<Option<QueryScratch>> =
+                                (0..self.shards.len()).map(|_| None).collect();
+                            let mut done = Vec::new();
+                            loop {
+                                let w = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(item) = work.get(w) else { break };
+                                done.push((w, run_one(item, &mut scratch)));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (w, o) in h.join().expect("sharded batch worker does not panic") {
+                        slots[w] = Some(o);
+                    }
+                }
+            });
+        }
+
+        // Merge each area's shard outputs back to global indices, in
+        // ascending shard order (the work list was built that way), so
+        // the aggregate is deterministic whatever the worker interleave.
+        ranges
+            .iter()
+            .enumerate()
+            .map(|(ai, &(start, end))| {
+                let mut out = ShardedQueryOutput {
+                    stats: QueryStats {
+                        shards_pruned: pruned[ai],
+                        ..QueryStats::default()
+                    },
+                    ..ShardedQueryOutput::default()
+                };
+                for w in start..end {
+                    let si = work[w].1 as usize;
+                    let shard_out = slots[w].take().expect("every work item ran exactly once");
+                    merge_shard_output(&mut out, &self.shards[si], si, shard_out);
+                }
+                let cache = shared
+                    .as_ref()
+                    .map_or(CacheCounters::default(), |sh| sh.counters[ai]);
+                finish_output(&mut out, cache);
+                out
+            })
+            .collect()
+    }
+}
+
+/// Folds one shard's raw output into the merged sharded output.
+fn merge_shard_output(out: &mut ShardedQueryOutput, shard: &Shard, si: usize, o: QueryOutput) {
+    out.stats.shards_visited += 1;
+    match o {
+        QueryOutput::Collected(r) => {
+            out.indices
+                .extend(r.indices.iter().map(|&i| shard.global[i as usize]));
+            out.count += r.indices.len();
+            out.stats.absorb_shard(&r.stats);
+            out.breakdown.push(ShardBreakdown {
+                shard: si,
+                stats: r.stats,
+            });
+        }
+        QueryOutput::Counted { count, stats } => {
+            out.count += count;
+            out.stats.absorb_shard(&stats);
+            out.breakdown.push(ShardBreakdown { shard: si, stats });
+        }
+        QueryOutput::Classified { .. } => unreachable!("classify is rejected up front"),
+    }
+}
+
+/// Final pass over a merged output: input-order indices, result size,
+/// batch-level cache counters.
+fn finish_output(out: &mut ShardedQueryOutput, cache: CacheCounters) {
+    out.indices.sort_unstable();
+    out.stats.result_size = out.count;
+    out.stats.prepared_cache = cache;
+}
+
+/// One shard's delta buffer: inserts routed here, plus the tight MBR of
+/// the buffered points (the buffer's own pruning key — delta points are
+/// *not* bounded by the shard's base MBR).
+#[derive(Clone, Debug)]
+struct DeltaBucket {
+    points: Vec<(u64, Point)>,
+    mbr: Rect,
+}
+
+impl DeltaBucket {
+    fn new() -> DeltaBucket {
+        DeltaBucket {
+            points: Vec::new(),
+            mbr: Rect::EMPTY,
+        }
+    }
+}
+
+/// The sharded base + delta pattern: a [`ShardedAreaQueryEngine`] base,
+/// **shard-local** delta buffers (inserts routed to the nearest shard
+/// MBR and pruned at query time by the buffer's own MBR), a tombstone
+/// set, and compaction that rebuilds the sharded base in parallel.
+/// External ids are stable across compaction, exactly as in
+/// [`crate::dynamic::DynamicAreaQueryEngine`].
+pub struct ShardedDynamicAreaQueryEngine {
+    base: ShardedAreaQueryEngine,
+    /// Stable external id per global base index (ascending — compaction
+    /// rebuilds in id order, so binary search works).
+    base_ids: Vec<u64>,
+    /// One delta buffer per shard (a single buffer when the base is
+    /// empty and there are no shards yet).
+    deltas: Vec<DeltaBucket>,
+    /// External ids deleted since the last compaction (base or delta).
+    tombstones: HashSet<u64>,
+    /// Next external id to hand out.
+    next_id: u64,
+}
+
+impl ShardedDynamicAreaQueryEngine {
+    /// Builds over an initial point set, partitioned into (at most)
+    /// `shards` shards; ids `0..n as u64` are assigned in input order.
+    pub fn new(points: &[Point], shards: usize) -> ShardedDynamicAreaQueryEngine {
+        let base = ShardedAreaQueryEngine::build(points, shards);
+        let buckets = base.shard_count().max(1);
+        ShardedDynamicAreaQueryEngine {
+            base_ids: (0..points.len() as u64).collect(),
+            next_id: points.len() as u64,
+            deltas: vec![DeltaBucket::new(); buckets],
+            tombstones: HashSet::new(),
+            base,
+        }
+    }
+
+    /// Number of live points (base + deltas − tombstones).
+    pub fn len(&self) -> usize {
+        self.base_ids.len() + self.delta_len() - self.tombstones.len()
+    }
+
+    /// `true` when no live points remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Points buffered across all shard-local deltas.
+    pub fn delta_len(&self) -> usize {
+        self.deltas.iter().map(|b| b.points.len()).sum()
+    }
+
+    /// The sharded base currently serving queries.
+    pub fn base(&self) -> &ShardedAreaQueryEngine {
+        &self.base
+    }
+
+    /// Inserts a point, returning its stable id. The point joins the
+    /// delta buffer of the shard whose MBR is nearest (spatial locality:
+    /// a query pruned down to a few shards scans only those buffers).
+    pub fn insert(&mut self, p: Point) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bucket = self
+            .base
+            .shards
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.mbr.min_dist_sq(p).total_cmp(&b.mbr.min_dist_sq(p)))
+            .map_or(0, |(si, _)| si);
+        self.deltas[bucket].points.push((id, p));
+        self.deltas[bucket].mbr.include(p);
+        id
+    }
+
+    /// Deletes the point with external id `id`. Returns `false` when the
+    /// id is unknown or already deleted.
+    pub fn remove(&mut self, id: u64) -> bool {
+        if self.tombstones.contains(&id) {
+            return false;
+        }
+        let exists = self.base_ids.binary_search(&id).is_ok()
+            || self
+                .deltas
+                .iter()
+                .any(|b| b.points.iter().any(|&(d, _)| d == id));
+        if exists {
+            self.tombstones.insert(id);
+        }
+        exists
+    }
+
+    /// Answers the area query with the paper-default [`QuerySpec`];
+    /// returns stable external ids, ascending.
+    pub fn query<A: QueryArea + ?Sized>(&self, area: &A) -> Vec<u64> {
+        self.execute(&QuerySpec::new(), area).ids
+    }
+
+    /// Executes `spec` through the sharded funnel: MBR-pruned base query
+    /// merged to external ids, then a scan of the delta buffers whose
+    /// own MBR intersects the area, tombstones filtered throughout.
+    /// Stats aggregate the base shards (visited/pruned counters
+    /// included) and the delta scan ([`QueryStats::delta_scanned`]).
+    ///
+    /// The spec's output mode is overridden to `Collect`, as in
+    /// [`crate::dynamic::DynamicAreaQueryEngine::execute`].
+    pub fn execute<A: QueryArea + ?Sized>(&self, spec: &QuerySpec, area: &A) -> DynamicQueryResult {
+        let base_out = self.base.execute(&spec.output(OutputMode::Collect), area);
+        let mut stats = base_out.stats;
+        let mut ids: Vec<u64> = base_out
+            .indices
+            .iter()
+            .map(|&i| self.base_ids[i as usize])
+            .filter(|id| !self.tombstones.contains(id))
+            .collect();
+        let area_mbr = area.mbr();
+        for bucket in &self.deltas {
+            if bucket.points.is_empty() || !bucket.mbr.intersects(&area_mbr) {
+                continue;
+            }
+            for &(id, p) in &bucket.points {
+                if self.tombstones.contains(&id) {
+                    continue;
+                }
+                stats.delta_scanned += 1;
+                stats.candidates += 1;
+                stats.containment_tests += 1;
+                if area.contains(p) {
+                    stats.accepted += 1;
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        stats.result_size = ids.len();
+        DynamicQueryResult { ids, stats }
+    }
+
+    /// The live overlay size (see
+    /// [`crate::dynamic::DynamicAreaQueryEngine::overlay_len`] — the
+    /// same cancellation rule for tombstoned delta points applies).
+    pub fn overlay_len(&self) -> usize {
+        let dead_delta = self
+            .deltas
+            .iter()
+            .flat_map(|b| &b.points)
+            .filter(|(id, _)| self.tombstones.contains(id))
+            .count();
+        (self.delta_len() - dead_delta) + (self.tombstones.len() - dead_delta)
+    }
+
+    /// Compacts when the live overlay exceeds [`DEFAULT_COMPACT_RATIO`]
+    /// of the base. Returns `true` if a rebuild happened.
+    pub fn maybe_compact(&mut self) -> bool {
+        if (self.overlay_len() as f64)
+            <= (self.base_ids.len().max(16) as f64) * DEFAULT_COMPACT_RATIO
+        {
+            return false;
+        }
+        self.compact();
+        true
+    }
+
+    /// Folds deltas and tombstones into a freshly partitioned, freshly
+    /// built sharded base (parallel per-shard builds). Ids survive.
+    pub fn compact(&mut self) {
+        let base_pts = self.base.points_in_input_order();
+        let mut ids = Vec::with_capacity(self.len());
+        let mut pts = Vec::with_capacity(self.len());
+        for (g, &id) in self.base_ids.iter().enumerate() {
+            if !self.tombstones.contains(&id) {
+                ids.push(id);
+                pts.push(base_pts[g]);
+            }
+        }
+        for bucket in &self.deltas {
+            for &(id, p) in &bucket.points {
+                if !self.tombstones.contains(&id) {
+                    ids.push(id);
+                    pts.push(p);
+                }
+            }
+        }
+        // Rebuild in id order so `base_ids` stays sorted for remove()'s
+        // binary search.
+        let mut order: Vec<usize> = (0..ids.len()).collect();
+        order.sort_unstable_by_key(|&i| ids[i]);
+        self.base_ids = order.iter().map(|&i| ids[i]).collect();
+        let pts: Vec<Point> = order.iter().map(|&i| pts[i]).collect();
+        self.base = ShardedAreaQueryEngine::build(&pts, self.base.target_shards);
+        self.deltas = vec![DeltaBucket::new(); self.base.shard_count().max(1)];
+        self.tombstones.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AreaQueryEngine;
+    use crate::query::QueryMethod;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use vaq_geom::Polygon;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn uniform(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| p(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    fn square(cx: f64, cy: f64, half: f64) -> Polygon {
+        Polygon::new(vec![
+            p(cx - half, cy - half),
+            p(cx + half, cy - half),
+            p(cx + half, cy + half),
+            p(cx - half, cy + half),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn partition_is_balanced_tight_and_covers() {
+        let pts = uniform(1000, 3);
+        for shards in [1usize, 2, 3, 5, 8, 13] {
+            let parts = partition(&pts, shards);
+            assert_eq!(parts.len(), shards);
+            let total: usize = parts.iter().map(Vec::len).sum();
+            assert_eq!(total, pts.len(), "partition covers every point");
+            let mut seen = vec![false; pts.len()];
+            for part in &parts {
+                for &g in part {
+                    assert!(!seen[g as usize], "partition is disjoint");
+                    seen[g as usize] = true;
+                }
+            }
+            let (min, max) = parts
+                .iter()
+                .map(Vec::len)
+                .fold((usize::MAX, 0), |(lo, hi), n| (lo.min(n), hi.max(n)));
+            assert!(
+                max - min <= 1 + pts.len() / (4 * shards),
+                "balanced: min {min}, max {max} across {shards} shards"
+            );
+        }
+        // Determinism.
+        assert_eq!(partition(&pts, 7), partition(&pts, 7));
+    }
+
+    #[test]
+    fn small_and_empty_point_sets() {
+        assert_eq!(partition(&[], 4).len(), 0);
+        let engine = ShardedAreaQueryEngine::build(&[], 4);
+        assert!(engine.is_empty());
+        assert_eq!(engine.shard_count(), 0);
+        let out = engine.execute(&QuerySpec::new(), &square(0.5, 0.5, 0.3));
+        assert_eq!(out.count, 0);
+        assert!(out.indices.is_empty());
+
+        // More shards than points: one shard per point, queries still work.
+        let pts = uniform(3, 9);
+        let engine = ShardedAreaQueryEngine::build(&pts, 64);
+        assert_eq!(engine.shard_count(), 3);
+        let whole = square(0.5, 0.5, 0.6);
+        let out = engine.execute(&QuerySpec::new(), &whole);
+        assert_eq!(out.indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_across_methods_and_threads() {
+        let pts = uniform(1200, 41);
+        let single = AreaQueryEngine::build(&pts);
+        let areas: Vec<Polygon> = (0..8)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(500 + i);
+                square(
+                    0.2 + 0.6 * rng.gen::<f64>(),
+                    0.2 + 0.6 * rng.gen::<f64>(),
+                    0.05 + 0.2 * rng.gen::<f64>(),
+                )
+            })
+            .collect();
+        for shards in [1usize, 2, 4, 7] {
+            let sharded = ShardedAreaQueryEngine::build(&pts, shards);
+            assert_eq!(sharded.len(), pts.len());
+            for area in &areas {
+                let want = single.execute(&QuerySpec::new(), area);
+                let want_sorted = want.result().unwrap().sorted_indices();
+                for method in [
+                    QueryMethod::Voronoi,
+                    QueryMethod::Traditional,
+                    QueryMethod::BruteForce,
+                ] {
+                    let spec = QuerySpec::new().method(method);
+                    let got = sharded.execute(&spec, area);
+                    assert_eq!(got.indices, want_sorted, "{method:?} shards={shards}");
+                    assert_eq!(got.count, want_sorted.len());
+                    assert_eq!(got.stats.result_size, want_sorted.len());
+                    assert_eq!(
+                        got.stats.shards_visited + got.stats.shards_pruned,
+                        sharded.shard_count(),
+                        "every shard is visited or pruned"
+                    );
+                    let counted = sharded.execute(&spec.output(OutputMode::Count), area);
+                    assert_eq!(counted.count, want_sorted.len(), "{method:?} count");
+                }
+            }
+            // Batch path, all thread counts, matches the single path.
+            let single_outs = sharded.execute_batch(&QuerySpec::new(), &areas, 1);
+            for threads in [1usize, 2, 4, 16] {
+                let outs = sharded.execute_batch(&QuerySpec::new(), &areas, threads);
+                for (i, (a, b)) in outs.iter().zip(&single_outs).enumerate() {
+                    assert_eq!(a.indices, b.indices, "area {i} threads={threads}");
+                    assert_eq!(a.count, b.count);
+                    assert_eq!(a.stats, b.stats, "area {i} threads={threads}");
+                    assert_eq!(a.breakdown.len(), b.breakdown.len());
+                    for (x, y) in a.breakdown.iter().zip(&b.breakdown) {
+                        assert_eq!(x.shard, y.shard);
+                        assert_eq!(x.stats, y.stats, "area {i} threads={threads}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_areas_prune_shards() {
+        let pts = uniform(2000, 51);
+        let sharded = ShardedAreaQueryEngine::build(&pts, 8);
+        assert_eq!(sharded.shard_count(), 8);
+        // A tiny corner area cannot straddle every kd cell.
+        let out = sharded.execute(&QuerySpec::new(), &square(0.05, 0.05, 0.04));
+        assert!(
+            out.stats.shards_pruned >= 4,
+            "tiny corner area should prune most of 8 shards, pruned {}",
+            out.stats.shards_pruned
+        );
+        assert_eq!(out.stats.shards_visited + out.stats.shards_pruned, 8);
+        assert_eq!(out.breakdown.len(), out.stats.shards_visited);
+        // The whole space visits every shard.
+        let out = sharded.execute(&QuerySpec::new(), &square(0.5, 0.5, 0.6));
+        assert_eq!(out.stats.shards_visited, 8);
+        assert_eq!(out.count, pts.len());
+    }
+
+    #[test]
+    fn cached_batches_share_one_preparation_across_shards() {
+        let pts = uniform(1500, 61);
+        let sharded = ShardedAreaQueryEngine::build(&pts, 4);
+        let area = square(0.5, 0.5, 0.3);
+        let areas = vec![area.clone(), area.clone(), area];
+        let spec = QuerySpec::new().prepare(PrepareMode::Cached);
+        for threads in [1usize, 3] {
+            let outs = sharded.execute_batch(&spec, &areas, threads);
+            assert_eq!(
+                outs[0].stats.prepared_cache,
+                CacheCounters { hits: 0, misses: 1 },
+                "one preparation for the whole batch (threads={threads})"
+            );
+            for out in &outs[1..] {
+                assert_eq!(
+                    out.stats.prepared_cache,
+                    CacheCounters { hits: 1, misses: 0 }
+                );
+            }
+            let raw = sharded.execute(&QuerySpec::new(), &areas[0]);
+            for out in &outs {
+                assert_eq!(out.indices, raw.indices);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported on the sharded engine")]
+    fn classify_is_rejected() {
+        let engine = ShardedAreaQueryEngine::build(&uniform(50, 71), 2);
+        engine.execute(
+            &QuerySpec::new().output(OutputMode::Classify),
+            &square(0.5, 0.5, 0.2),
+        );
+    }
+
+    #[test]
+    fn dynamic_sharded_roundtrip_with_compaction() {
+        let initial = uniform(400, 81);
+        let mut eng = ShardedDynamicAreaQueryEngine::new(&initial, 4);
+        let mut live: Vec<(u64, Point)> = initial
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| (i as u64, q))
+            .collect();
+        let oracle = |live: &Vec<(u64, Point)>, area: &Polygon| -> Vec<u64> {
+            let mut v: Vec<u64> = live
+                .iter()
+                .filter(|(_, q)| area.contains(*q))
+                .map(|&(id, _)| id)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let area = square(0.5, 0.5, 0.28);
+        assert_eq!(eng.query(&area), oracle(&live, &area));
+
+        // Inserts, including points outside every shard MBR.
+        let mut rng = StdRng::seed_from_u64(82);
+        for _ in 0..120 {
+            let q = p(rng.gen::<f64>() * 1.4 - 0.2, rng.gen::<f64>() * 1.4 - 0.2);
+            let id = eng.insert(q);
+            live.push((id, q));
+        }
+        // Removals across base and delta.
+        for id in [1u64, 57, 200, 399, 410, 455] {
+            assert!(eng.remove(id));
+            live.retain(|&(i, _)| i != id);
+        }
+        assert!(!eng.remove(1), "double delete");
+        assert!(!eng.remove(99_999), "unknown id");
+        let wide = square(0.5, 0.5, 0.75);
+        assert_eq!(eng.query(&area), oracle(&live, &area));
+        assert_eq!(eng.query(&wide), oracle(&live, &wide));
+        assert_eq!(eng.len(), live.len());
+
+        // Compaction preserves answers and ids, and resets the overlay:
+        // 118 live delta + 4 base tombstones (two removals hit delta
+        // points and cancel out) exceeds 400 × 0.25.
+        assert_eq!(eng.overlay_len(), 122);
+        assert!(eng.maybe_compact());
+        assert_eq!(eng.delta_len(), 0);
+        assert_eq!(eng.overlay_len(), 0);
+        assert_eq!(eng.query(&area), oracle(&live, &area));
+        let victim = oracle(&live, &area)[0];
+        assert!(eng.remove(victim));
+        live.retain(|&(i, _)| i != victim);
+        assert_eq!(eng.query(&area), oracle(&live, &area));
+    }
+
+    #[test]
+    fn dynamic_sharded_starts_empty_and_grows() {
+        let mut eng = ShardedDynamicAreaQueryEngine::new(&[], 4);
+        assert!(eng.is_empty());
+        assert_eq!(eng.base().shard_count(), 0);
+        let area = square(0.5, 0.5, 0.4);
+        assert!(eng.query(&area).is_empty());
+        let a = eng.insert(p(0.5, 0.5));
+        let b = eng.insert(p(0.95, 0.95));
+        assert_eq!(eng.query(&area), vec![a]);
+        eng.compact();
+        assert!(eng.base().shard_count() >= 1);
+        assert_eq!(eng.query(&area), vec![a]);
+        assert!(eng.remove(b));
+        assert_eq!(eng.len(), 1);
+    }
+
+    #[test]
+    fn dynamic_sharded_surfaces_delta_scan_stats() {
+        let mut eng = ShardedDynamicAreaQueryEngine::new(&uniform(300, 91), 3);
+        for &q in &uniform(25, 92) {
+            eng.insert(q);
+        }
+        let area = square(0.5, 0.5, 0.55);
+        let out = eng.execute(&QuerySpec::new(), &area);
+        assert_eq!(out.stats.delta_scanned, 25, "wide area scans every bucket");
+        assert_eq!(out.stats.result_size, out.ids.len());
+        assert!(out.stats.shards_visited >= 1);
+        // A far-away area prunes every delta bucket too.
+        let far = square(5.0, 5.0, 0.1);
+        let out = eng.execute(&QuerySpec::new(), &far);
+        assert_eq!(out.stats.delta_scanned, 0);
+        assert!(out.ids.is_empty());
+    }
+}

@@ -70,6 +70,17 @@ pub struct QueryStats {
     /// The *only* stats field allowed to differ between `PrepareMode::Raw`
     /// and `PrepareMode::Cached` — everything else is bit-identical.
     pub prepared_cache: CacheCounters,
+    /// Live overlay points linearly scanned by the dynamic engine's delta
+    /// pass (zero for static-engine queries). Each scanned point also
+    /// counts as a candidate and a containment test, so the classic
+    /// identities keep holding on the dynamic path.
+    pub delta_scanned: usize,
+    /// Shards whose MBR intersected the area's MBR and were therefore
+    /// queried (sharded engine only; zero otherwise).
+    pub shards_visited: usize,
+    /// Shards skipped outright because their MBR misses the area's MBR
+    /// (sharded engine only).
+    pub shards_pruned: usize,
 }
 
 impl QueryStats {
@@ -78,11 +89,65 @@ impl QueryStats {
     pub fn redundant_validations(&self) -> usize {
         self.candidates - self.accepted
     }
+
+    /// Folds one shard-local query's counters into an aggregate (sharded
+    /// execution): every work counter sums. The `seed` is left alone —
+    /// each shard seeds independently, so an aggregate has no single
+    /// meaningful seed — and the shard-visit counters are maintained by
+    /// the sharded engine itself, not here.
+    pub fn absorb_shard(&mut self, other: &QueryStats) {
+        self.result_size += other.result_size;
+        self.candidates += other.candidates;
+        self.accepted += other.accepted;
+        self.containment_tests += other.containment_tests;
+        self.segment_tests += other.segment_tests;
+        self.cell_tests += other.cell_tests;
+        self.index.absorb(&other.index);
+        self.payload_checksum = self.payload_checksum.wrapping_add(other.payload_checksum);
+        self.prepared_cache.absorb(other.prepared_cache);
+        self.delta_scanned += other.delta_scanned;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn absorb_shard_sums_work_counters() {
+        let mut agg = QueryStats::default();
+        let a = QueryStats {
+            result_size: 3,
+            candidates: 5,
+            accepted: 3,
+            containment_tests: 5,
+            segment_tests: 7,
+            seed: Some(4),
+            prepared_cache: CacheCounters { hits: 1, misses: 0 },
+            ..QueryStats::default()
+        };
+        let b = QueryStats {
+            result_size: 2,
+            candidates: 4,
+            accepted: 2,
+            containment_tests: 4,
+            cell_tests: 9,
+            delta_scanned: 6,
+            ..QueryStats::default()
+        };
+        agg.absorb_shard(&a);
+        agg.absorb_shard(&b);
+        assert_eq!(agg.result_size, 5);
+        assert_eq!(agg.candidates, 9);
+        assert_eq!(agg.accepted, 5);
+        assert_eq!(agg.containment_tests, 9);
+        assert_eq!(agg.segment_tests, 7);
+        assert_eq!(agg.cell_tests, 9);
+        assert_eq!(agg.delta_scanned, 6);
+        assert_eq!(agg.prepared_cache, CacheCounters { hits: 1, misses: 0 });
+        assert_eq!(agg.seed, None, "aggregates have no single seed");
+        assert_eq!(agg.redundant_validations(), 4);
+    }
 
     #[test]
     fn redundant_is_candidates_minus_accepted() {

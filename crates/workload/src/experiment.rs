@@ -15,7 +15,7 @@
 use crate::datagen::{generate, unit_space, Distribution};
 use crate::polygen::{random_query_polygon, PolygonSpec};
 use std::time::Instant;
-use vaq_core::{AreaQueryEngine, ExpansionPolicy, QuerySession, QuerySpec};
+use vaq_core::{AreaQueryEngine, ExpansionPolicy, QuerySession, QuerySpec, ShardedAreaQueryEngine};
 
 /// Mean per-query measurements for one method.
 #[derive(Clone, Copy, Debug, Default)]
@@ -178,6 +178,24 @@ pub fn build_engine(data_size: usize, cfg: &SweepConfig) -> AreaQueryEngine {
         .build()
 }
 
+/// Builds the **sharded** engine over exactly the same dataset
+/// [`build_engine`] would index (same seed derivation), partitioned into
+/// `shards` shards — the serving-scale counterpart for differential and
+/// throughput sweeps. The payload simulation is not supported on the
+/// sharded engine and [`SweepConfig::payload_bytes`] is ignored.
+pub fn build_sharded_engine(
+    data_size: usize,
+    shards: usize,
+    cfg: &SweepConfig,
+) -> ShardedAreaQueryEngine {
+    let pts = generate(
+        data_size,
+        cfg.distribution,
+        cfg.base_seed ^ data_size as u64,
+    );
+    ShardedAreaQueryEngine::build(&pts, shards)
+}
+
 /// Table I / Figs 4–5: sweep over data sizes at a fixed query size.
 ///
 /// With [`SweepConfig::pipeline_builds`], engines for successive sizes are
@@ -337,6 +355,27 @@ mod tests {
             ratio > 2.0 && ratio < 8.0,
             "candidate ratio {ratio} not ≈ 4"
         );
+    }
+
+    #[test]
+    fn sharded_engine_indexes_the_same_dataset() {
+        use crate::polygen::{random_query_polygon, PolygonSpec};
+        let cfg = small_cfg();
+        let single = build_engine(3000, &cfg);
+        let sharded = build_sharded_engine(3000, 4, &cfg);
+        assert_eq!(sharded.len(), single.len());
+        assert_eq!(sharded.shard_count(), 4);
+        let area = random_query_polygon(
+            &crate::datagen::unit_space(),
+            &PolygonSpec::with_query_size(0.03),
+            7,
+        );
+        let want = {
+            let mut v = single.brute_force(&area);
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sharded.execute(&QuerySpec::new(), &area).indices, want);
     }
 
     #[test]

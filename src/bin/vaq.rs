@@ -15,6 +15,9 @@
 //!   `--count`) and per-method statistics to stderr. `--prepared`
 //!   query-compiles the area first (slab + edge-grid indexes; identical
 //!   results, faster per-candidate validation on large areas).
+//!   `--shards N` partitions the points into N spatial shards (parallel
+//!   per-shard index builds, MBR shard pruning at query time) — same
+//!   indices, per-shard statistics.
 //! * `info` prints dataset statistics: extent, Delaunay/Voronoi facts.
 //! * `svg` renders the query scene (points, result, redundant candidates,
 //!   area outline) to an SVG file.
@@ -28,7 +31,7 @@ use std::fs;
 use std::process::ExitCode;
 use voronoi_area_query::core::AreaQueryEngine;
 use voronoi_area_query::core::{
-    OutputMode, PointClass, PrepareMode, QueryArea, QueryMethod, QuerySpec,
+    OutputMode, PointClass, PrepareMode, QueryArea, QueryMethod, QuerySpec, ShardedAreaQueryEngine,
 };
 use voronoi_area_query::geom::{Point, Polygon, Rect, Region};
 use voronoi_area_query::viz::candidate_scene;
@@ -42,6 +45,7 @@ struct Options {
     method: String,
     count_only: bool,
     prepared: bool,
+    shards: usize,
     out: Option<String>,
 }
 
@@ -56,6 +60,7 @@ fn parse_args() -> Result<Options, String> {
         method: String::from("voronoi"),
         count_only: false,
         prepared: false,
+        shards: 1,
         out: None,
     };
     while let Some(arg) = args.next() {
@@ -72,6 +77,13 @@ fn parse_args() -> Result<Options, String> {
             "--method" => o.method = args.next().ok_or("--method needs a value")?,
             "--count" => o.count_only = true,
             "--prepared" => o.prepared = true,
+            "--shards" => {
+                let v = args.next().ok_or("--shards needs a count")?;
+                o.shards =
+                    v.parse::<usize>().ok().filter(|&s| s >= 1).ok_or_else(|| {
+                        format!("bad --shards count {v:?} (need an integer >= 1)")
+                    })?;
+            }
             "--out" => o.out = Some(args.next().ok_or("--out needs a path")?),
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
@@ -82,7 +94,7 @@ fn parse_args() -> Result<Options, String> {
 const USAGE: &str = "usage: vaq <query|info|svg> --points FILE.csv \
 [--area WKT | --area-file FILE | --window X0,Y0,X1,Y1] \
 [--method voronoi|traditional|brute|both] [--count] [--prepared] \
-[--out FILE.svg]";
+[--shards N] [--out FILE.svg]";
 
 fn main() -> ExitCode {
     match run() {
@@ -108,7 +120,11 @@ fn run() -> Result<(), String> {
         "info" => info(&points),
         "query" => {
             let area = required_area(&o)?;
-            query(&points, &area, &o.method, o.count_only, o.prepared)
+            if o.shards > 1 {
+                query_sharded(&points, &area, &o)
+            } else {
+                query(&points, &area, &o.method, o.count_only, o.prepared)
+            }
         }
         "svg" => {
             let area = required_area(&o)?;
@@ -206,6 +222,23 @@ fn info(points: &[Point]) -> Result<(), String> {
     Ok(())
 }
 
+/// Maps the `--method` flag to the specs to run (shared by the single
+/// and sharded paths).
+fn parse_methods(method: &str) -> Result<&'static [(&'static str, QueryMethod)], String> {
+    match method {
+        "voronoi" => Ok(&[("voronoi", QueryMethod::Voronoi)]),
+        "traditional" => Ok(&[("traditional", QueryMethod::Traditional)]),
+        "brute" => Ok(&[("brute", QueryMethod::BruteForce)]),
+        "both" => Ok(&[
+            ("voronoi", QueryMethod::Voronoi),
+            ("traditional", QueryMethod::Traditional),
+        ]),
+        other => Err(format!(
+            "unknown method {other:?} (voronoi|traditional|brute|both)"
+        )),
+    }
+}
+
 fn query(
     points: &[Point],
     area: &CliArea,
@@ -213,20 +246,7 @@ fn query(
     count_only: bool,
     prepared: bool,
 ) -> Result<(), String> {
-    let methods: &[(&str, QueryMethod)] = match method {
-        "voronoi" => &[("voronoi", QueryMethod::Voronoi)],
-        "traditional" => &[("traditional", QueryMethod::Traditional)],
-        "brute" => &[("brute", QueryMethod::BruteForce)],
-        "both" => &[
-            ("voronoi", QueryMethod::Voronoi),
-            ("traditional", QueryMethod::Traditional),
-        ],
-        other => {
-            return Err(format!(
-                "unknown method {other:?} (voronoi|traditional|brute|both)"
-            ))
-        }
-    };
+    let methods = parse_methods(method)?;
     let engine = AreaQueryEngine::build(points);
     let mut session = engine.session();
     // One spec per requested method; `--prepared` query-compiles the area
@@ -253,6 +273,51 @@ fn query(
             pad = " ".repeat(11usize.saturating_sub(name.len())),
         );
         emit(&r.sorted_indices(), count_only, &mut printed);
+    }
+    Ok(())
+}
+
+/// `--shards N`: partition the points into N shards, build the per-shard
+/// engines in parallel, and answer with MBR shard pruning. Results (and
+/// the printed indices) are bit-identical to the unsharded path.
+fn query_sharded(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
+    let methods = parse_methods(&o.method)?;
+    let engine = ShardedAreaQueryEngine::build(points, o.shards);
+    eprintln!(
+        "sharded engine: {} shards over {} points (shard sizes {:?})",
+        engine.shard_count(),
+        engine.len(),
+        engine.shard_sizes(),
+    );
+    // The sharded engine has no cross-query cache, so `--prepared`
+    // compiles the area once *here* and every method (and every shard)
+    // runs on the same compiled form — the single-engine path gets the
+    // same effect from its session cache.
+    let prepared_area = if o.prepared {
+        area.as_query_area().prepare()
+    } else {
+        None
+    };
+    let run_area: &dyn QueryArea = match &prepared_area {
+        Some(prep) => prep.as_ref(),
+        None => area.as_query_area(),
+    };
+    let base = QuerySpec::new();
+    let mut printed = false;
+    for &(name, m) in methods {
+        let out = engine.execute(&base.method(m), run_area);
+        eprintln!(
+            "{name}:{pad} {} results, {} candidates, {} redundant validations \
+[{} of {} shards visited, {} pruned]",
+            out.stats.result_size,
+            out.stats.candidates,
+            out.stats.redundant_validations(),
+            out.stats.shards_visited,
+            engine.shard_count(),
+            out.stats.shards_pruned,
+            pad = " ".repeat(11usize.saturating_sub(name.len())),
+        );
+        emit(&out.indices, o.count_only, &mut printed);
     }
     Ok(())
 }

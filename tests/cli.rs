@@ -206,6 +206,56 @@ fn window_query_matches_equivalent_polygon() {
 }
 
 #[test]
+fn sharded_query_matches_unsharded() {
+    let dir = temp_dir("sharded");
+    let pts = write_points(&dir);
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "query",
+            "--points",
+            pts.to_str().unwrap(),
+            "--area",
+            "POLYGON ((0.0 0.0, 0.62 0.0, 0.55 0.55, 0.0 0.48))",
+            "--method",
+            "both",
+        ];
+        args.extend_from_slice(extra);
+        let out = vaq().args(&args).output().expect("run vaq");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (unsharded, _) = run(&[]);
+    let (sharded, stderr) = run(&["--shards", "4"]);
+    assert_eq!(unsharded, sharded, "--shards must not change the indices");
+    assert!(stderr.contains("4 shards over 100 points"), "{stderr}");
+    assert!(stderr.contains("shards visited"), "{stderr}");
+
+    // Bad shard counts fail cleanly.
+    for bad in ["0", "minus", ""] {
+        let out = vaq()
+            .args([
+                "query",
+                "--points",
+                pts.to_str().unwrap(),
+                "--window",
+                "0.1,0.1,0.5,0.5",
+                "--shards",
+                bad,
+            ])
+            .output()
+            .expect("run vaq");
+        assert!(!out.status.success(), "--shards {bad:?} should fail");
+    }
+}
+
+#[test]
 fn info_reports_dataset_facts() {
     let dir = temp_dir("info");
     let pts = write_points(&dir);
