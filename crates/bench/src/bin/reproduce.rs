@@ -53,7 +53,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "all" | "table1" | "table2" | "fig4" | "fig5" | "fig6" | "fig7" | "ablation"
-            | "prepared" | "query-cache" | "sharded" => {
+            | "prepared" | "query-cache" | "sharded" | "predicates" => {
                 what = arg;
             }
             "--reps" => {
@@ -71,7 +71,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(String::from(
                     "usage: reproduce \
-[all|table1|table2|fig4|fig5|fig6|fig7|ablation|prepared|query-cache|sharded] \
+[all|table1|table2|fig4|fig5|fig6|fig7|ablation|prepared|query-cache|sharded|predicates] \
 [--reps N] [--quick] [--payload BYTES] [--out DIR]",
                 ));
             }
@@ -213,6 +213,10 @@ fn main() -> ExitCode {
         run_query_cache_baseline(&args);
     }
 
+    if matches!(args.what.as_str(), "all" | "predicates") {
+        run_predicates_baseline(&args);
+    }
+
     // The sharded baseline builds a 10⁶-point engine twice; it runs only
     // when asked for (`reproduce sharded`), not under `all`.
     if args.what == "sharded" {
@@ -221,6 +225,56 @@ fn main() -> ExitCode {
 
     eprintln!("done; outputs in {}", args.out.display());
     ExitCode::SUCCESS
+}
+
+/// Measures the exact-predicate pipeline (batched filter + ordered-slab
+/// containment vs their pre-change baselines) and records the
+/// `BENCH_predicates.json` baseline.
+fn run_predicates_baseline(args: &Args) {
+    use vaq_bench::predicates::{
+        measure_contains_paths, measure_filter_batch, predicates_report_json, PredicateBenchConfig,
+    };
+    use vaq_bench::provenance::Provenance;
+
+    let cfg = if args.quick {
+        PredicateBenchConfig::quick()
+    } else {
+        PredicateBenchConfig::standard()
+    };
+    eprintln!(
+        "== Predicate pipeline: contains-heavy sweep k = {:?} ({} probes x {} polygons), \
+filter micro-bench over {} lanes ==",
+        cfg.ks, cfg.probes, cfg.polys_per_k, cfg.filter_lanes
+    );
+    let rows = measure_contains_paths(&cfg);
+    for r in &rows {
+        eprintln!(
+            "  k={:>5}  raw {:8.1} ns   prepared scan {:7.1} -> adaptive {:7.1} ns ({:4.2}x)   \
+pipeline {:6.1}x   prepare {:9.0} ns",
+            r.k,
+            r.contains_raw_ns,
+            r.prepared_scan_ns,
+            r.prepared_ordered_ns,
+            r.ordered_speedup(),
+            r.pipeline_speedup(),
+            r.prepare_ns,
+        );
+    }
+    let filter = measure_filter_batch(&cfg);
+    eprintln!(
+        "  filter: scalar {:.2} ns -> batch {:.2} ns ({:.2}x), {}/{} lanes decided",
+        filter.scalar_ns,
+        filter.batch_ns,
+        filter.speedup(),
+        filter.decided,
+        filter.lanes,
+    );
+    let queries = (cfg.ks.len() * cfg.polys_per_k * cfg.probes) as u64 + filter.lanes;
+    let prov = Provenance::capture(0, queries, 1);
+    let json = predicates_report_json(&rows, &filter, &prov);
+    let path = args.out.join("BENCH_predicates.json");
+    fs::write(&path, json).expect("write BENCH_predicates.json");
+    eprintln!("wrote {}", path.display());
 }
 
 /// Measures sharded vs single-engine build time, batch query throughput
@@ -256,7 +310,12 @@ fn run_sharded_baseline(args: &Args) {
         cfg.shards,
         100.0 * row.prune_fraction()
     );
-    let json = sharded_report_json(&row);
+    let prov = vaq_bench::provenance::Provenance::capture(
+        cfg.data_size as u64,
+        (cfg.distinct_areas * cfg.rounds) as u64,
+        cfg.threads,
+    );
+    let json = sharded_report_json(&row, &prov);
     let path = args.out.join("BENCH_sharded.json");
     fs::write(&path, json).expect("write BENCH_sharded.json");
     eprintln!("wrote {}", path.display());
@@ -288,7 +347,8 @@ fn run_prepared_baseline(args: &Args) {
             r.prepare_ns,
         );
     }
-    let json = prepared_report_json(&rows);
+    let prov = vaq_bench::provenance::Provenance::capture(0, (ks.len() * probes) as u64, 1);
+    let json = prepared_report_json(&rows, &prov);
     let path = args.out.join("BENCH_prepared.json");
     fs::write(&path, json).expect("write BENCH_prepared.json");
     eprintln!("wrote {}", path.display());
@@ -323,7 +383,12 @@ fn run_query_cache_baseline(args: &Args) {
         row.cache.misses,
         100.0 * row.cache.hit_rate(),
     );
-    let json = query_cache_report_json(&row);
+    let prov = vaq_bench::provenance::Provenance::capture(
+        cfg.data_size as u64,
+        (cfg.distinct_areas * cfg.rounds * 3) as u64,
+        1,
+    );
+    let json = query_cache_report_json(&row, &prov);
     let path = args.out.join("BENCH_query_cache.json");
     fs::write(&path, json).expect("write BENCH_query_cache.json");
     eprintln!("wrote {}", path.display());

@@ -19,7 +19,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod predicates;
 pub mod prepared;
+pub mod provenance;
 pub mod query_cache;
 pub mod sharded;
 

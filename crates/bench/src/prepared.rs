@@ -11,6 +11,7 @@
 //! interesting output is the *ratio* raw/prepared, which is robust to
 //! machine noise at the measured magnitudes.
 
+use crate::provenance::Provenance;
 use crate::{polygon_batch_with, HARNESS_SEED};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -159,11 +160,12 @@ pub fn standard_ks() -> Vec<usize> {
 }
 
 /// Renders rows as the `BENCH_prepared.json` baseline document.
-pub fn prepared_report_json(rows: &[PreparedBenchRow]) -> String {
+pub fn prepared_report_json(rows: &[PreparedBenchRow], prov: &Provenance) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"benchmark\": \"prepared_query_area_primitives\",");
     let _ = writeln!(s, "  \"harness_seed\": {HARNESS_SEED},");
+    let _ = writeln!(s, "  \"provenance\": {},", prov.json_object());
     let _ = writeln!(
         s,
         "  \"units\": {{\"time\": \"ns_per_call\", \"prepare\": \"ns_per_build\"}},"
@@ -218,10 +220,13 @@ mod tests {
             segment_prepared_ns: 40.0,
             prepare_ns: 1000.0,
         }];
-        let json = prepared_report_json(&rows);
+        let prov = Provenance::capture(0, 4096, 1);
+        let json = prepared_report_json(&rows, &prov);
         assert!(json.contains("\"k\": 8"));
         assert!(json.contains("\"contains_speedup\": 2.00"));
         assert!(json.contains("\"segment_speedup\": 2.00"));
+        assert!(json.contains("\"provenance\""));
+        assert!(json.contains("\"git_rev\""));
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
     }
 }

@@ -17,6 +17,7 @@
 //! bench, and sanity tests. Timing is a best-of-batches loop over a
 //! deterministic workload; the interesting outputs are the *ratios*.
 
+use crate::provenance::Provenance;
 use crate::{polygon_batch_with, standard_engine};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -157,7 +158,7 @@ pub fn measure_repeated_areas(cfg: &RepeatedAreasConfig) -> RepeatedAreasRow {
 
 /// Renders the measurement as the `BENCH_query_cache.json` baseline
 /// document.
-pub fn query_cache_report_json(row: &RepeatedAreasRow) -> String {
+pub fn query_cache_report_json(row: &RepeatedAreasRow, prov: &Provenance) -> String {
     let c = &row.config;
     let mut s = String::new();
     s.push_str("{\n");
@@ -165,6 +166,7 @@ pub fn query_cache_report_json(row: &RepeatedAreasRow) -> String {
         s,
         "  \"benchmark\": \"prepared_area_cache_repeated_areas\","
     );
+    let _ = writeln!(s, "  \"provenance\": {},", prov.json_object());
     let _ = writeln!(
         s,
         "  \"workload\": {{\"data_size\": {}, \"distinct_areas\": {}, \"vertices\": {}, \
@@ -220,7 +222,9 @@ mod tests {
                 misses: 4,
             },
         };
-        let json = query_cache_report_json(&row);
+        let prov = Provenance::capture(row.config.data_size as u64, 64, 1);
+        let json = query_cache_report_json(&row, &prov);
+        assert!(json.contains("\"provenance\""));
         assert!(json.contains("\"speedup_vs_raw\": 5.00"));
         assert!(json.contains("\"speedup_vs_prepare_once\": 3.00"));
         assert!(json.contains("\"hits\": 16"));

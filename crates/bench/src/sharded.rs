@@ -17,6 +17,7 @@
 //! between the two engines before timing. The same measurement backs the
 //! `reproduce sharded` subcommand, which records the JSON baseline.
 
+use crate::provenance::Provenance;
 use crate::{polygon_batch_with, HARNESS_SEED};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -191,11 +192,12 @@ pub fn measure_sharded(cfg: &ShardedBenchConfig) -> ShardedBenchRow {
 }
 
 /// Renders the measurement as the `BENCH_sharded.json` baseline document.
-pub fn sharded_report_json(row: &ShardedBenchRow) -> String {
+pub fn sharded_report_json(row: &ShardedBenchRow, prov: &Provenance) -> String {
     let c = &row.config;
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"benchmark\": \"sharded_vs_single_engine\",");
+    let _ = writeln!(s, "  \"provenance\": {},", prov.json_object());
     let _ = writeln!(
         s,
         "  \"workload\": {{\"data_size\": {}, \"shards\": {}, \"distinct_areas\": {}, \
@@ -253,7 +255,9 @@ mod tests {
             mean_shards_visited: 1.5,
             mean_shards_pruned: 2.5,
         };
-        let json = sharded_report_json(&row);
+        let prov = Provenance::capture(row.config.data_size as u64, 16, row.config.threads);
+        let json = sharded_report_json(&row, &prov);
+        assert!(json.contains("\"provenance\""));
         assert!(json.contains("\"build_speedup\": 2.00"));
         assert!(json.contains("\"throughput_ratio\": 1.50"));
         assert!(json.contains("\"prune_fraction\": 0.6250"));

@@ -36,6 +36,17 @@ use vaq_geom::Point;
 /// [`DynamicAreaQueryEngine::maybe_compact`] rebuilds.
 pub const DEFAULT_COMPACT_RATIO: f64 = 0.25;
 
+/// Minimum delta-buffer size before a tombstone purge is considered
+/// (tiny buffers are cheaper to scan than to rewrite).
+pub(crate) const DELTA_PURGE_MIN: usize = 16;
+
+/// `true` when a delta buffer of `len` points, `dead` of them
+/// tombstoned, should be physically purged: at least half dead and big
+/// enough to matter. Shared by the plain and sharded dynamic engines.
+pub(crate) fn should_purge_delta(len: usize, dead: usize) -> bool {
+    len >= DELTA_PURGE_MIN && dead * 2 >= len
+}
+
 /// The answer to one dynamic query: stable external ids plus the work
 /// counters of both passes (base query through the funnel, linear delta
 /// scan — see [`QueryStats::delta_scanned`]).
@@ -57,6 +68,9 @@ pub struct DynamicAreaQueryEngine {
     base_ids: Vec<u64>,
     /// Points inserted since the last compaction, with their ids.
     delta: Vec<(u64, Point)>,
+    /// How many `delta` entries are tombstoned (dead but not yet
+    /// physically removed). Drives the purge heuristic.
+    dead_delta: usize,
     /// External ids deleted since the last compaction (base or delta).
     tombstones: HashSet<u64>,
     /// Next external id to hand out.
@@ -76,6 +90,7 @@ impl DynamicAreaQueryEngine {
             next_id: points.len() as u64,
             base: AreaQueryEngine::build(points),
             delta: Vec::new(),
+            dead_delta: 0,
             tombstones: HashSet::new(),
             state: SessionState::new(DEFAULT_CACHE_CAPACITY),
         }
@@ -106,16 +121,38 @@ impl DynamicAreaQueryEngine {
 
     /// Deletes the point with external id `id`. Returns `false` when the
     /// id is unknown or already deleted.
+    ///
+    /// Deleted *delta* points are tombstoned first and physically purged
+    /// from the buffer once they make up at least half of it — a buffer
+    /// of mostly-dead points would otherwise be re-scanned point by
+    /// point on every query until the next full compaction.
     pub fn remove(&mut self, id: u64) -> bool {
         if self.tombstones.contains(&id) {
             return false;
         }
-        let exists =
-            self.base_ids.binary_search(&id).is_ok() || self.delta.iter().any(|&(d, _)| d == id);
-        if exists {
-            self.tombstones.insert(id);
+        let in_base = self.base_ids.binary_search(&id).is_ok();
+        let in_delta = !in_base && self.delta.iter().any(|&(d, _)| d == id);
+        if !in_base && !in_delta {
+            return false;
         }
-        exists
+        self.tombstones.insert(id);
+        if in_delta {
+            self.dead_delta += 1;
+            if should_purge_delta(self.delta.len(), self.dead_delta) {
+                self.purge_delta();
+            }
+        }
+        true
+    }
+
+    /// Physically removes tombstoned delta points (and retires their
+    /// tombstones — a purged insert never reaches the base, so its
+    /// tombstone has nothing left to mask). Queries and compaction see
+    /// exactly the same live set before and after.
+    fn purge_delta(&mut self) {
+        let tombstones = &mut self.tombstones;
+        self.delta.retain(|(id, _)| !tombstones.remove(id));
+        self.dead_delta = 0;
     }
 
     /// Answers the area query with the paper-default [`QuerySpec`] (the
@@ -161,18 +198,21 @@ impl DynamicAreaQueryEngine {
                     .filter(|id| !self.tombstones.contains(id)),
             );
         }
-        for &(id, p) in &self.delta {
-            if self.tombstones.contains(&id) {
-                continue;
+        let delta_predicates = AreaQueryEngine::sample_predicates(|| {
+            for &(id, p) in &self.delta {
+                if self.tombstones.contains(&id) {
+                    continue;
+                }
+                stats.delta_scanned += 1;
+                stats.candidates += 1;
+                stats.containment_tests += 1;
+                if area.contains(p) {
+                    stats.accepted += 1;
+                    ids.push(id);
+                }
             }
-            stats.delta_scanned += 1;
-            stats.candidates += 1;
-            stats.containment_tests += 1;
-            if area.contains(p) {
-                stats.accepted += 1;
-                ids.push(id);
-            }
-        }
+        });
+        stats.predicates.absorb(delta_predicates);
         ids.sort_unstable();
         stats.result_size = ids.len();
         DynamicQueryResult { ids, stats }
@@ -191,12 +231,15 @@ impl DynamicAreaQueryEngine {
     /// `delta.len() + tombstones.len()` did, fired compaction up to twice
     /// as early as [`DEFAULT_COMPACT_RATIO`] documents).
     pub fn overlay_len(&self) -> usize {
-        let dead_delta = self
-            .delta
-            .iter()
-            .filter(|(id, _)| self.tombstones.contains(id))
-            .count();
-        (self.delta.len() - dead_delta) + (self.tombstones.len() - dead_delta)
+        debug_assert_eq!(
+            self.dead_delta,
+            self.delta
+                .iter()
+                .filter(|(id, _)| self.tombstones.contains(id))
+                .count(),
+            "dead-delta counter tracks the tombstoned delta entries"
+        );
+        (self.delta.len() - self.dead_delta) + (self.tombstones.len() - self.dead_delta)
     }
 
     /// Compacts when the live overlay (see
@@ -238,6 +281,7 @@ impl DynamicAreaQueryEngine {
         // is content-keyed and survives the rebuild untouched.
         self.state.reset_scratch();
         self.delta.clear();
+        self.dead_delta = 0;
         self.tombstones.clear();
     }
 }
@@ -394,6 +438,46 @@ mod tests {
         }
         assert_eq!(eng.overlay_len(), 101);
         assert!(eng.maybe_compact(), "101 > 400 × 0.25 compacts");
+    }
+
+    /// Regression: a delta buffer of mostly-dead points must be
+    /// physically purged — not re-scanned and skipped point by point on
+    /// every query until compaction.
+    #[test]
+    fn heavy_deletes_purge_the_delta_buffer() {
+        let mut eng = DynamicAreaQueryEngine::new(&uniform(400, 41));
+        let ids: Vec<u64> = uniform(60, 42).iter().map(|&q| eng.insert(q)).collect();
+        let area = square(0.5, 0.5, 0.6);
+        let before = eng.execute(&QuerySpec::new(), &area);
+        assert_eq!(before.stats.delta_scanned, 60);
+
+        // Delete 50 of the 60: the purge threshold (half the buffer)
+        // trips along the way and rewrites the buffer.
+        for &id in &ids[..50] {
+            assert!(eng.remove(id));
+        }
+        assert!(
+            eng.delta_len() <= 20,
+            "dead points were purged, got {} buffered",
+            eng.delta_len()
+        );
+        let after = eng.execute(&QuerySpec::new(), &area);
+        assert_eq!(after.stats.delta_scanned, 10, "only live points scanned");
+        assert_eq!(eng.overlay_len(), 10, "purged tombstones are retired");
+        assert_eq!(eng.len(), 410);
+
+        // Purged ids stay deleted and unknown.
+        assert!(!eng.remove(ids[0]), "purged id cannot be removed again");
+        let mut oracle: Vec<u64> = (0..400).collect();
+        oracle.extend(&ids[50..]);
+        let mut got = eng.query(&area);
+        got.sort_unstable();
+        assert_eq!(got, oracle, "live set survives the purge");
+
+        // Compaction still works after purging.
+        eng.compact();
+        assert_eq!(eng.len(), 410);
+        assert_eq!(eng.query(&area).len(), 410);
     }
 
     /// The funnel route: `execute` honours the spec, surfaces base +

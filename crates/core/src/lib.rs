@@ -106,6 +106,6 @@ pub use scratch::QueryScratch;
 pub use shard::{
     ShardBreakdown, ShardedAreaQueryEngine, ShardedDynamicAreaQueryEngine, ShardedQueryOutput,
 };
-pub use stats::{CacheCounters, QueryStats};
+pub use stats::{CacheCounters, PredicateCounters, QueryStats};
 pub use traditional::{traditional_area_query, FilterIndex};
 pub use voronoi_query::{voronoi_area_query, ExpansionPolicy};

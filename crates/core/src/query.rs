@@ -45,7 +45,10 @@
 //!
 //! Results are **bit-identical across the `prepare` axis** — the prepared
 //! layer is exact, so `Raw`, `PrepareOnce` and `Cached` return the same
-//! indices and the same work counters (only the cache counters differ).
+//! indices and the same work counters. Only the two *how*-was-it-computed
+//! fields differ: the cache counters, and the exact-predicate pipeline
+//! split ([`QueryStats::predicates`] — prepared areas evaluate far fewer
+//! edges per primitive).
 
 use crate::area::{AreaFingerprint, QueryArea};
 use crate::classify::classify_points;
@@ -497,8 +500,27 @@ impl AreaQueryEngine {
         self.run_raw(spec, area, scratch)
     }
 
-    /// Method × output dispatch over the (already resolved) area.
+    /// Method × output dispatch over the (already resolved) area, with
+    /// the thread's exact-predicate pipeline totals sampled around the
+    /// run so [`QueryStats::predicates`] reports this query's
+    /// filter/fallback split (a query executes on one thread, so the
+    /// window is exact).
     fn run_raw<A: QueryArea + ?Sized>(
+        &self,
+        spec: &QuerySpec,
+        area: &A,
+        scratch: Option<&mut QueryScratch>,
+    ) -> QueryOutput {
+        let before = vaq_geom::predicate_totals();
+        let mut out = self.run_raw_inner(spec, area, scratch);
+        let after = vaq_geom::predicate_totals();
+        let p = &mut out.stats_mut().predicates;
+        p.filter_fast_accepts += after.filter_fast_accepts - before.filter_fast_accepts;
+        p.exact_fallbacks += after.exact_fallbacks - before.exact_fallbacks;
+        out
+    }
+
+    fn run_raw_inner<A: QueryArea + ?Sized>(
         &self,
         spec: &QuerySpec,
         area: &A,
@@ -521,6 +543,19 @@ impl AreaQueryEngine {
             QueryMethod::Traditional => self.run_traditional(spec, area),
             QueryMethod::Voronoi => self.run_voronoi(spec, area, scratch),
             QueryMethod::BruteForce => self.run_brute_force(spec, area),
+        }
+    }
+
+    /// Samples the thread's predicate totals around `body` and returns
+    /// the filter/fallback delta it produced — the delta-scan
+    /// counterpart of the sampling `run_raw` does for engine queries.
+    pub(crate) fn sample_predicates(body: impl FnOnce()) -> crate::stats::PredicateCounters {
+        let before = vaq_geom::predicate_totals();
+        body();
+        let after = vaq_geom::predicate_totals();
+        crate::stats::PredicateCounters {
+            filter_fast_accepts: after.filter_fast_accepts - before.filter_fast_accepts,
+            exact_fallbacks: after.exact_fallbacks - before.exact_fallbacks,
         }
     }
 
@@ -789,9 +824,12 @@ mod tests {
             second.stats().prepared_cache,
             CacheCounters { hits: 1, misses: 0 }
         );
-        // Everything except the cache counters is bit-identical to raw.
+        // Everything except the cache counters and the predicate-pipeline
+        // split (prepared areas evaluate fewer edges) is bit-identical to
+        // raw.
         let mut scrubbed = *second.stats();
         scrubbed.prepared_cache = CacheCounters::default();
+        scrubbed.predicates = raw.stats().predicates;
         assert_eq!(scrubbed, *raw.stats());
         assert_eq!(
             session.cache_counters(),

@@ -43,7 +43,7 @@
 
 use crate::area::QueryArea;
 use crate::batch::prepare_batch_shared;
-use crate::dynamic::{DynamicQueryResult, DEFAULT_COMPACT_RATIO};
+use crate::dynamic::{should_purge_delta, DynamicQueryResult, DEFAULT_COMPACT_RATIO};
 use crate::engine::AreaQueryEngine;
 use crate::query::{OutputMode, PrepareMode, QueryOutput, QuerySpec};
 use crate::scratch::QueryScratch;
@@ -479,6 +479,9 @@ fn finish_output(out: &mut ShardedQueryOutput, cache: CacheCounters) {
 struct DeltaBucket {
     points: Vec<(u64, Point)>,
     mbr: Rect,
+    /// How many buffered points are tombstoned (dead but not yet
+    /// physically removed). Drives the purge heuristic.
+    dead: usize,
 }
 
 impl DeltaBucket {
@@ -486,7 +489,21 @@ impl DeltaBucket {
         DeltaBucket {
             points: Vec::new(),
             mbr: Rect::EMPTY,
+            dead: 0,
         }
+    }
+
+    /// Physically removes tombstoned points and recomputes the tight MBR
+    /// over the survivors. Without this, a bucket of mostly-dead points
+    /// is re-scanned (and skipped point by point) on every query, and
+    /// its stale MBR keeps it un-prunable long after the points it was
+    /// stretched over are gone. The purged ids' tombstones are retired
+    /// in the same pass (a purged insert never reaches the base, so its
+    /// tombstone has nothing left to mask).
+    fn purge(&mut self, tombstones: &mut HashSet<u64>) {
+        self.points.retain(|(id, _)| !tombstones.remove(id));
+        self.mbr = Rect::from_points(self.points.iter().map(|&(_, p)| p));
+        self.dead = 0;
     }
 }
 
@@ -565,19 +582,33 @@ impl ShardedDynamicAreaQueryEngine {
 
     /// Deletes the point with external id `id`. Returns `false` when the
     /// id is unknown or already deleted.
+    ///
+    /// Deleted *delta* points are tombstoned first; once at least half
+    /// of a bucket is dead the bucket is physically purged and its MBR
+    /// recomputed over the survivors, so queries regain both the
+    /// skip-free scan and the pruning power of a tight bounding box
+    /// without waiting for full compaction.
     pub fn remove(&mut self, id: u64) -> bool {
         if self.tombstones.contains(&id) {
             return false;
         }
-        let exists = self.base_ids.binary_search(&id).is_ok()
-            || self
-                .deltas
-                .iter()
-                .any(|b| b.points.iter().any(|&(d, _)| d == id));
-        if exists {
+        if self.base_ids.binary_search(&id).is_ok() {
             self.tombstones.insert(id);
+            return true;
         }
-        exists
+        let Some(bucket) = self
+            .deltas
+            .iter_mut()
+            .find(|b| b.points.iter().any(|&(d, _)| d == id))
+        else {
+            return false;
+        };
+        self.tombstones.insert(id);
+        bucket.dead += 1;
+        if should_purge_delta(bucket.points.len(), bucket.dead) {
+            bucket.purge(&mut self.tombstones);
+        }
+        true
     }
 
     /// Answers the area query with the paper-default [`QuerySpec`];
@@ -604,23 +635,26 @@ impl ShardedDynamicAreaQueryEngine {
             .filter(|id| !self.tombstones.contains(id))
             .collect();
         let area_mbr = area.mbr();
-        for bucket in &self.deltas {
-            if bucket.points.is_empty() || !bucket.mbr.intersects(&area_mbr) {
-                continue;
-            }
-            for &(id, p) in &bucket.points {
-                if self.tombstones.contains(&id) {
+        let delta_predicates = AreaQueryEngine::sample_predicates(|| {
+            for bucket in &self.deltas {
+                if bucket.points.is_empty() || !bucket.mbr.intersects(&area_mbr) {
                     continue;
                 }
-                stats.delta_scanned += 1;
-                stats.candidates += 1;
-                stats.containment_tests += 1;
-                if area.contains(p) {
-                    stats.accepted += 1;
-                    ids.push(id);
+                for &(id, p) in &bucket.points {
+                    if self.tombstones.contains(&id) {
+                        continue;
+                    }
+                    stats.delta_scanned += 1;
+                    stats.candidates += 1;
+                    stats.containment_tests += 1;
+                    if area.contains(p) {
+                        stats.accepted += 1;
+                        ids.push(id);
+                    }
                 }
             }
-        }
+        });
+        stats.predicates.absorb(delta_predicates);
         ids.sort_unstable();
         stats.result_size = ids.len();
         DynamicQueryResult { ids, stats }
@@ -630,12 +664,16 @@ impl ShardedDynamicAreaQueryEngine {
     /// [`crate::dynamic::DynamicAreaQueryEngine::overlay_len`] — the
     /// same cancellation rule for tombstoned delta points applies).
     pub fn overlay_len(&self) -> usize {
-        let dead_delta = self
-            .deltas
-            .iter()
-            .flat_map(|b| &b.points)
-            .filter(|(id, _)| self.tombstones.contains(id))
-            .count();
+        let dead_delta: usize = self.deltas.iter().map(|b| b.dead).sum();
+        debug_assert_eq!(
+            dead_delta,
+            self.deltas
+                .iter()
+                .flat_map(|b| &b.points)
+                .filter(|(id, _)| self.tombstones.contains(id))
+                .count(),
+            "per-bucket dead counters track the tombstoned delta entries"
+        );
         (self.delta_len() - dead_delta) + (self.tombstones.len() - dead_delta)
     }
 
@@ -943,6 +981,87 @@ mod tests {
         assert_eq!(eng.query(&area), vec![a]);
         assert!(eng.remove(b));
         assert_eq!(eng.len(), 1);
+    }
+
+    /// Regression for the tombstone-purge satellite: a delta bucket whose
+    /// MBR was stretched by points that are all deleted again must stop
+    /// being scanned — `delta_scanned` drops back to zero for queries
+    /// over the abandoned area, and the surviving points keep answering.
+    #[test]
+    fn heavy_delete_workload_purges_buckets_and_restores_pruning() {
+        let mut eng = ShardedDynamicAreaQueryEngine::new(&uniform(400, 101), 4);
+        // Live points near the top-right corner and a doomed cluster far
+        // outside the data extent: both route to the same (top-right)
+        // shard bucket, so the cluster stretches that bucket's MBR.
+        let mut rng = StdRng::seed_from_u64(102);
+        let live: Vec<u64> = (0..30)
+            .map(|_| {
+                eng.insert(p(
+                    0.92 + rng.gen::<f64>() * 0.06,
+                    0.92 + rng.gen::<f64>() * 0.06,
+                ))
+            })
+            .collect();
+        let doomed: Vec<u64> = (0..30)
+            .map(|_| eng.insert(p(5.0 + rng.gen::<f64>(), 5.0 + rng.gen::<f64>())))
+            .collect();
+        let far = square(5.5, 5.5, 1.0);
+        let before = eng.execute(&QuerySpec::new(), &far);
+        assert_eq!(before.ids, doomed, "the cluster answers before deletion");
+        assert_eq!(
+            before.stats.delta_scanned, 60,
+            "the stretched bucket scans live and doomed points alike"
+        );
+
+        for &id in &doomed {
+            assert!(eng.remove(id));
+        }
+        // The bucket crossed the dead-fraction threshold: physically
+        // purged, MBR recomputed over the survivors.
+        assert_eq!(eng.delta_len(), 30, "dead points are gone from the buffer");
+        assert_eq!(eng.overlay_len(), 30, "their tombstones are retired too");
+        let after = eng.execute(&QuerySpec::new(), &far);
+        assert!(after.ids.is_empty());
+        assert_eq!(
+            after.stats.delta_scanned, 0,
+            "the re-tightened bucket MBR prunes the far query outright"
+        );
+
+        // Survivors still answer, and ids stay consistent.
+        let near = square(0.95, 0.95, 0.04);
+        let mut got = eng.execute(&QuerySpec::new(), &near).ids;
+        let mut want: Vec<u64> = live.clone();
+        want.sort_unstable();
+        got.sort_unstable();
+        for id in &want {
+            assert!(got.contains(id), "live id {id} must still answer");
+        }
+        assert!(!eng.remove(doomed[0]), "purged id cannot be removed again");
+        assert_eq!(eng.len(), 430);
+    }
+
+    /// Buckets below the purge minimum keep their tombstones (rewriting
+    /// a tiny buffer costs more than scanning it); the overlay
+    /// accounting and compaction stay consistent either way.
+    #[test]
+    fn small_buckets_skip_the_purge_but_stay_consistent() {
+        let mut eng = ShardedDynamicAreaQueryEngine::new(&uniform(200, 111), 2);
+        // 20 inserts split across 2 buckets: each bucket stays below
+        // DELTA_PURGE_MIN, so even deleting most of them purges nothing.
+        let ids: Vec<u64> = uniform(20, 112).iter().map(|&q| eng.insert(q)).collect();
+        for &id in &ids[..16] {
+            assert!(eng.remove(id));
+        }
+        assert_eq!(eng.delta_len(), 20, "tiny buckets are never rewritten");
+        assert_eq!(eng.overlay_len(), 4);
+        assert_eq!(eng.len(), 204);
+        let area = square(0.5, 0.5, 0.6);
+        let out = eng.execute(&QuerySpec::new(), &area);
+        assert_eq!(out.stats.delta_scanned, 4, "dead entries are skipped");
+        eng.compact();
+        assert_eq!(eng.len(), 204);
+        assert_eq!(eng.delta_len(), 0);
+        assert_eq!(eng.overlay_len(), 0);
     }
 
     #[test]

@@ -38,6 +38,43 @@ impl CacheCounters {
     }
 }
 
+/// Counters for the two-stage exact-predicate pipeline (see
+/// `vaq_geom::predicates`): orientation evaluations decided by the cheap
+/// error-bound **filter** — scalar stage A or the batched
+/// `orient2d_filter_batch` lanes — versus evaluations that fell back to
+/// the adaptive **exact** stages (expansion arithmetic).
+///
+/// These count *work per primitive evaluation*, not per query answer, so
+/// they legitimately differ across the `PrepareMode` axis (a prepared
+/// area evaluates far fewer edges than a raw scan) while every
+/// result-bearing counter stays bit-identical.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PredicateCounters {
+    /// Orientation evaluations whose sign the cheap filter certified.
+    pub filter_fast_accepts: u64,
+    /// Orientation evaluations that fell through to the adaptive/exact
+    /// stages.
+    pub exact_fallbacks: u64,
+}
+
+impl PredicateCounters {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: PredicateCounters) {
+        self.filter_fast_accepts += other.filter_fast_accepts;
+        self.exact_fallbacks += other.exact_fallbacks;
+    }
+
+    /// Fraction of evaluations the filter decided (`0.0` when none ran).
+    pub fn filter_rate(&self) -> f64 {
+        let total = self.filter_fast_accepts + self.exact_fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.filter_fast_accepts as f64 / total as f64
+        }
+    }
+}
+
 /// Counters for a single area query (either method).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct QueryStats {
@@ -67,9 +104,17 @@ pub struct QueryStats {
     pub payload_checksum: u64,
     /// Prepared-area cache traffic of this query (all zero unless the
     /// query ran through a `QuerySession` with `PrepareMode::Cached`).
-    /// The *only* stats field allowed to differ between `PrepareMode::Raw`
-    /// and `PrepareMode::Cached` — everything else is bit-identical.
+    /// With [`QueryStats::predicates`], one of the only two stats fields
+    /// allowed to differ across the `PrepareMode` axis — everything else
+    /// is bit-identical.
     pub prepared_cache: CacheCounters,
+    /// Exact-predicate pipeline split of this query: orientation
+    /// evaluations decided by the cheap (batched) filter vs. adaptive
+    /// fallbacks. Like `prepared_cache`, this measures *how* the answer
+    /// was computed, not the answer: prepared areas evaluate fewer edges,
+    /// so the counters differ across the `PrepareMode` axis while every
+    /// result-bearing counter stays bit-identical.
+    pub predicates: PredicateCounters,
     /// Live overlay points linearly scanned by the dynamic engine's delta
     /// pass (zero for static-engine queries). Each scanned point also
     /// counts as a candidate and a containment test, so the classic
@@ -105,6 +150,7 @@ impl QueryStats {
         self.index.absorb(&other.index);
         self.payload_checksum = self.payload_checksum.wrapping_add(other.payload_checksum);
         self.prepared_cache.absorb(other.prepared_cache);
+        self.predicates.absorb(other.predicates);
         self.delta_scanned += other.delta_scanned;
     }
 }
@@ -124,6 +170,10 @@ mod tests {
             segment_tests: 7,
             seed: Some(4),
             prepared_cache: CacheCounters { hits: 1, misses: 0 },
+            predicates: PredicateCounters {
+                filter_fast_accepts: 20,
+                exact_fallbacks: 2,
+            },
             ..QueryStats::default()
         };
         let b = QueryStats {
@@ -133,6 +183,10 @@ mod tests {
             containment_tests: 4,
             cell_tests: 9,
             delta_scanned: 6,
+            predicates: PredicateCounters {
+                filter_fast_accepts: 5,
+                exact_fallbacks: 1,
+            },
             ..QueryStats::default()
         };
         agg.absorb_shard(&a);
@@ -145,6 +199,14 @@ mod tests {
         assert_eq!(agg.cell_tests, 9);
         assert_eq!(agg.delta_scanned, 6);
         assert_eq!(agg.prepared_cache, CacheCounters { hits: 1, misses: 0 });
+        assert_eq!(
+            agg.predicates,
+            PredicateCounters {
+                filter_fast_accepts: 25,
+                exact_fallbacks: 3,
+            }
+        );
+        assert!((agg.predicates.filter_rate() - 25.0 / 28.0).abs() < 1e-12);
         assert_eq!(agg.seed, None, "aggregates have no single seed");
         assert_eq!(agg.redundant_validations(), 4);
     }

@@ -58,7 +58,10 @@ pub use clip::{clip_bisector, clip_halfplane, clip_rect};
 pub use convex_hull::{convex_hull_indices, convex_hull_points};
 pub use point::Point;
 pub use polygon::Polygon;
-pub use predicates::{in_circle, incircle, orient2d, orientation, Orientation};
+pub use predicates::{
+    in_circle, incircle, orient2d, orient2d_filter_batch, orient2d_filter_batch_points,
+    orientation, predicate_totals, Orientation, PredicateTotals, FILTER_MAX_LANES,
+};
 pub use prepared::{PreparedPolygon, PreparedRegion};
 pub use rect::Rect;
 pub use region::Region;

@@ -1,0 +1,286 @@
+//! Differential suite for the exact-predicate pipeline rework:
+//!
+//! * the **batched filter stage** — `orient2d_filter_batch` must certify
+//!   only bit-exact signs (never lie), agree with the scalar predicate
+//!   lane by lane, and decide the overwhelming majority of generic
+//!   inputs;
+//! * the **ordered-slab containment** — `PreparedPolygon::contains`
+//!   binary-searches a left-to-right edge order proven at build time for
+//!   dense slabs; it must stay bit-identical to the raw polygon *and* to
+//!   the pre-existing slab scan (`contains_linear`), including on
+//!   polygons dense with collinear/horizontal edges and repeated
+//!   y-coordinates.
+
+use proptest::prelude::*;
+use vaq_geom::{orient2d, orient2d_filter_batch, Point, Polygon, PreparedPolygon};
+
+fn pt(x: f64, y: f64) -> Point {
+    Point::new(x, y)
+}
+
+/// Coordinates on a coarse grid with few distinct values: maximal
+/// pressure on collinear runs, horizontal edges and repeated vertex ys.
+fn grid_coord() -> impl Strategy<Value = i64> {
+    -4i64..5
+}
+
+/// A star polygon around `(0.5, 0.5)`.
+fn star_polygon(k: usize, seed: u64) -> Option<Polygon> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut angles: Vec<f64> = (0..k).map(|_| next() * std::f64::consts::TAU).collect();
+    angles.sort_by(f64::total_cmp);
+    let verts: Vec<Point> = angles
+        .iter()
+        .map(|&t| {
+            let r = 0.05 + 0.4 * next();
+            pt(0.5 + r * t.cos(), 0.5 + r * t.sin())
+        })
+        .collect();
+    Polygon::new(verts).ok()
+}
+
+/// A zigzag comb with `teeth` teeth: every slab between the valley line
+/// (y = 1) and the lowest peak is spanned by ~2·teeth edges, so combs
+/// with many teeth drive slab occupancy past the binary-search
+/// threshold; peak heights repeat y-coordinates aggressively.
+fn comb_polygon(teeth: usize, jitter: &[u8]) -> Option<Polygon> {
+    let mut verts: Vec<Point> = Vec::new();
+    verts.push(pt(0.0, 0.0));
+    verts.push(pt(2.0 * teeth as f64, 0.0));
+    for t in (0..teeth).rev() {
+        let x = 2.0 * t as f64;
+        let peak = 2.0 + f64::from(jitter[t % jitter.len().max(1)]);
+        verts.push(pt(x + 1.5, peak));
+        verts.push(pt(x + 1.0, 1.0));
+        verts.push(pt(x + 0.5, peak));
+    }
+    Polygon::new(verts).ok()
+}
+
+/// Probes hammering the slab machinery: every vertex, every vertex y at
+/// shifted x (slab boundaries), every edge midpoint, plus off-grid picks.
+fn probe_battery(poly: &Polygon, extra: &[(f64, f64)]) -> Vec<Point> {
+    let mut probes: Vec<Point> = extra.iter().map(|&(x, y)| pt(x, y)).collect();
+    let mbr = poly.mbr();
+    for v in poly.vertices() {
+        probes.push(*v);
+        probes.push(pt(v.x + 0.5, v.y));
+        probes.push(pt(v.x - 0.5, v.y));
+        probes.push(pt(mbr.min.x - 0.25, v.y));
+        probes.push(pt(mbr.max.x + 0.25, v.y));
+        // Strictly inside a slab attached to this vertex.
+        probes.push(pt(v.x, v.y + 0.25));
+        probes.push(pt(v.x + 0.125, v.y - 0.25));
+    }
+    for e in poly.edges() {
+        probes.push(e.midpoint());
+    }
+    probes
+}
+
+/// The three containment paths agree bit for bit: raw scan, prepared
+/// (search or prefix-skip scan, whatever each slab chose), and the
+/// forced linear slab scan.
+fn assert_contains_agree(poly: &Polygon, probes: &[Point]) -> Result<(), TestCaseError> {
+    let prep = PreparedPolygon::new(poly.clone());
+    for &q in probes {
+        let want = poly.contains(q);
+        prop_assert_eq!(prep.contains(q), want, "prepared contains {}", q);
+        prop_assert_eq!(
+            prep.contains_linear(q),
+            want,
+            "linear prepared contains {}",
+            q
+        );
+        prop_assert_eq!(
+            prep.contains_strict(q),
+            poly.contains_strict(q),
+            "contains_strict {}",
+            q
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Grid polygons: collinear runs, horizontal edges, repeated
+    /// y-coordinates, and (since simplicity is not validated) occasional
+    /// self-intersections — all must match the raw scan.
+    #[test]
+    fn grid_polygons_contains_agrees(
+        coords in proptest::collection::vec((grid_coord(), grid_coord()), 3..14),
+        extra in proptest::collection::vec((grid_coord(), grid_coord()), 8),
+    ) {
+        let verts: Vec<Point> = coords.iter().map(|&(x, y)| pt(x as f64, y as f64)).collect();
+        let Ok(poly) = Polygon::new(verts) else { return Ok(()); };
+        let extra: Vec<(f64, f64)> = extra
+            .iter()
+            .flat_map(|&(x, y)| [(x as f64, y as f64), (x as f64 + 0.5, y as f64 + 0.5)])
+            .collect();
+        let battery = probe_battery(&poly, &extra);
+        assert_contains_agree(&poly, &battery)?;
+    }
+
+    /// Combs across the occupancy spectrum: small ones stay on the
+    /// prefix-skip scan, dense ones (≥ ~32 teeth) cross the threshold
+    /// and exercise the ordered binary search; a simple ring must never
+    /// *fail* the order proof.
+    #[test]
+    fn comb_polygons_contains_agrees(
+        teeth in 2usize..80,
+        jitter in proptest::collection::vec(0u8..3, 16),
+    ) {
+        let Some(poly) = comb_polygon(teeth, &jitter) else { return Ok(()); };
+        let prep = PreparedPolygon::new(poly.clone());
+        let (_, _, refused) = prep.slab_modes();
+        prop_assert_eq!(refused, 0, "a simple comb must never fail the order proof");
+        let battery = probe_battery(&poly, &[(1.25, 1.25), (3.0, 0.5), (2.0, 2.5)]);
+        assert_contains_agree(&poly, &battery)?;
+    }
+
+    /// Star polygons (the paper's query areas). When the ring is simple
+    /// (an angular gap over π can make this generator self-intersect —
+    /// those must still *agree*, just without the guarantee), no slab
+    /// may fail the order proof.
+    #[test]
+    fn star_polygons_never_refuse_and_agree(
+        seed in 0u64..4000,
+        k in 3usize..64,
+        raw_probes in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 10),
+    ) {
+        let Some(poly) = star_polygon(k, seed) else { return Ok(()); };
+        let prep = PreparedPolygon::new(poly.clone());
+        if poly.is_simple() {
+            let (_, _, refused) = prep.slab_modes();
+            prop_assert_eq!(refused, 0, "simple polygons never fail the order proof");
+        }
+        let battery = probe_battery(&poly, &raw_probes);
+        assert_contains_agree(&poly, &battery)?;
+    }
+
+    /// Near-degenerate slivers with nearly coincident slab boundaries.
+    #[test]
+    fn sliver_polygons_contains_agrees(
+        seed in 0u64..2000,
+        thinness in 1u32..12,
+    ) {
+        let eps = 2.0_f64.powi(-(thinness as i32) * 3);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let n = 6;
+        let mut verts: Vec<Point> = (0..n).map(|i| pt(i as f64, eps * next())).collect();
+        verts.extend((0..n).rev().map(|i| pt(i as f64, eps * (1.0 + next()))));
+        let Ok(poly) = Polygon::new(verts) else { return Ok(()); };
+        let battery = probe_battery(&poly, &[(2.5, eps * 0.5), (2.5, -eps), (2.5, 3.0 * eps)]);
+        assert_contains_agree(&poly, &battery)?;
+    }
+
+    /// The filter batch itself: on random lanes the certified determinant
+    /// must equal the scalar `orient2d` bit for bit.
+    #[test]
+    fn filter_batch_matches_scalar(
+        lanes in proptest::collection::vec(
+            ((-8i64..9, -8i64..9), (-8i64..9, -8i64..9), (-8i64..9, -8i64..9)),
+            1..48,
+        ),
+    ) {
+        let n = lanes.len();
+        let ax: Vec<f64> = lanes.iter().map(|l| l.0 .0 as f64 * 0.125).collect();
+        let ay: Vec<f64> = lanes.iter().map(|l| l.0 .1 as f64 * 0.125).collect();
+        let bx: Vec<f64> = lanes.iter().map(|l| l.1 .0 as f64 * 0.125).collect();
+        let by: Vec<f64> = lanes.iter().map(|l| l.1 .1 as f64 * 0.125).collect();
+        let c = pt(lanes[0].2 .0 as f64 * 0.125, lanes[0].2 .1 as f64 * 0.125);
+        let mut det = vec![0.0f64; n];
+        let mut dec = vec![false; n];
+        orient2d_filter_batch(&ax, &ay, &bx, &by, c.x, c.y, &mut det, &mut dec);
+        for i in 0..n {
+            let scalar = orient2d(pt(ax[i], ay[i]), pt(bx[i], by[i]), c);
+            if dec[i] {
+                prop_assert_eq!(det[i].to_bits(), scalar.to_bits(), "lane {}", i);
+            }
+        }
+    }
+}
+
+/// Deterministic regression: a dense simple polygon (1024-vertex gear)
+/// whose mid slabs carry well over the search threshold — the binary
+/// search must engage and stay bit-identical to the raw scan, including
+/// on slab-boundary probes.
+#[test]
+fn dense_gear_engages_binary_search() {
+    let k = 1024;
+    let verts: Vec<Point> = (0..k)
+        .map(|i| {
+            let t = std::f64::consts::TAU * i as f64 / k as f64;
+            let r = if i % 2 == 0 { 1.0 } else { 0.35 };
+            pt(r * t.cos(), r * t.sin())
+        })
+        .collect();
+    let poly = Polygon::new(verts).unwrap();
+    let prep = PreparedPolygon::new(poly.clone());
+    let (search, _, refused) = prep.slab_modes();
+    assert!(search > 0, "dense slabs must take the binary-search path");
+    assert_eq!(refused, 0, "a simple gear never fails the order proof");
+    for i in -24..=24 {
+        for j in -24..=24 {
+            let q = pt(f64::from(i) / 20.0, f64::from(j) / 20.0);
+            let want = poly.contains(q);
+            assert_eq!(prep.contains(q), want, "probe {q}");
+            assert_eq!(prep.contains_linear(q), want, "probe {q}");
+        }
+    }
+    // Probes snapped onto vertex y-coordinates (the at-boundary scan).
+    for v in poly.vertices().iter().step_by(17) {
+        for dx in [-1.5, -0.2, 0.0, 0.2, 1.5] {
+            let q = pt(v.x + dx, v.y);
+            assert_eq!(prep.contains(q), poly.contains(q), "boundary probe {q}");
+        }
+    }
+}
+
+/// A *dense* self-crossing ring: enough spanning edges to attempt the
+/// order proof, which must fail (Refused) and fall back to the scan —
+/// still bit-identical to the raw scan.
+#[test]
+fn dense_self_crossing_ring_refuses_and_matches() {
+    let teeth = 70;
+    let jitter = [0u8, 1, 2];
+    let mut verts = Vec::new();
+    verts.push(pt(0.0, 0.0));
+    verts.push(pt(2.0 * teeth as f64, 0.0));
+    for t in (0..teeth).rev() {
+        let x = 2.0 * t as f64;
+        let peak = 2.0 + f64::from(jitter[t % jitter.len()]);
+        verts.push(pt(x + 1.5, peak));
+        // One sabotaged valley reaches far right, crossing its
+        // neighbouring teeth inside the dense slab.
+        let vx = if t == teeth / 2 { x + 9.0 } else { x + 1.0 };
+        verts.push(pt(vx, 1.0));
+        verts.push(pt(x + 0.5, peak));
+    }
+    let poly = Polygon::new(verts).unwrap();
+    assert!(!poly.is_simple(), "the sabotage must cross edges");
+    let prep = PreparedPolygon::new(poly.clone());
+    let (_, _, refused) = prep.slab_modes();
+    assert!(refused > 0, "the crossing slab cannot prove an order");
+    for i in 0..180 {
+        for j in -2..=10 {
+            let q = pt(f64::from(i) * 0.5 - 5.0, f64::from(j) * 0.5);
+            assert_eq!(prep.contains(q), poly.contains(q), "probe {q}");
+            assert_eq!(prep.contains_linear(q), poly.contains(q), "probe {q}");
+        }
+    }
+}

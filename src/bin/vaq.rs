@@ -177,7 +177,11 @@ fn required_area(o: &Options) -> Result<CliArea, String> {
     Ok(CliArea::Region(region))
 }
 
-/// Parses `X0,Y0,X1,Y1` into a non-empty rectangle (corners in any order).
+/// Parses `X0,Y0,X1,Y1` into a valid query window: all coordinates
+/// finite, `X0 < X1` and `Y0 < Y1`. Flipped or zero-extent windows are
+/// rejected rather than silently normalised — they almost always mean a
+/// typo, and a zero-area window has no interior to seed the Voronoi
+/// method with.
 fn parse_window(spec: &str) -> Result<Rect, String> {
     let nums: Vec<f64> = spec
         .split(',')
@@ -193,14 +197,21 @@ fn parse_window(spec: &str) -> Result<Rect, String> {
             nums.len()
         ));
     }
-    if nums.iter().any(|v| !v.is_finite()) {
-        return Err(String::from("--window coordinates must be finite"));
+    if let Some(v) = nums.iter().find(|v| !v.is_finite()) {
+        return Err(format!(
+            "--window coordinates must be finite, got {v} in {spec:?}"
+        ));
     }
-    let rect = Rect::new(Point::new(nums[0], nums[1]), Point::new(nums[2], nums[3]));
-    if rect.is_empty() {
-        return Err(String::from("--window rectangle is empty"));
+    let [x0, y0, x1, y1] = nums[..] else {
+        unreachable!("length checked above");
+    };
+    if x0 >= x1 || y0 >= y1 {
+        return Err(format!(
+            "--window needs X0 < X1 and Y0 < Y1, got {spec:?} \
+(a flipped or zero-extent window is almost always a typo)"
+        ));
     }
-    Ok(rect)
+    Ok(Rect::new(Point::new(x0, y0), Point::new(x1, y1)))
 }
 
 fn info(points: &[Point]) -> Result<(), String> {

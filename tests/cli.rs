@@ -192,16 +192,33 @@ fn window_query_matches_equivalent_polygon() {
         "--count",
     ]);
     assert_eq!(counted, vec![windowed.len().to_string()]);
-    // Corners in any order.
-    let flipped = run(&["--window", "0.5,0.5,0.1,0.1"]);
-    assert_eq!(flipped, windowed);
-    // Malformed windows fail cleanly.
-    for bad in ["0.1,0.1,0.5", "a,b,c,d", "0.1,0.1,0.5,0.5,0.9"] {
+    // Malformed and degenerate windows fail cleanly (non-zero exit, a
+    // diagnostic on stderr, no panic backtrace).
+    for bad in [
+        "0.1,0.1,0.5",         // too few coordinates
+        "a,b,c,d",             // not numbers
+        "0.1,0.1,0.5,0.5,0.9", // too many coordinates
+        "0.5,0.1,0.1,0.5",     // x0 > x1 (flipped)
+        "0.1,0.5,0.5,0.1",     // y0 > y1 (flipped)
+        "0.5,0.1,0.5,0.5",     // zero width
+        "0.1,0.5,0.5,0.5",     // zero height
+        "NaN,0.1,0.5,0.5",     // NaN coordinate
+        "0.1,inf,0.5,0.5",     // infinite coordinate
+    ] {
         let out = vaq()
             .args(["query", "--points", pts.to_str().unwrap(), "--window", bad])
             .output()
             .expect("run vaq");
         assert!(!out.status.success(), "--window {bad:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--window"),
+            "--window {bad:?} should explain itself: {stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "--window {bad:?} must not panic: {stderr}"
+        );
     }
 }
 
@@ -237,8 +254,8 @@ fn sharded_query_matches_unsharded() {
     assert!(stderr.contains("4 shards over 100 points"), "{stderr}");
     assert!(stderr.contains("shards visited"), "{stderr}");
 
-    // Bad shard counts fail cleanly.
-    for bad in ["0", "minus", ""] {
+    // Bad shard counts fail cleanly with a diagnostic, not a panic.
+    for bad in ["0", "minus", "", "-3", "1.5"] {
         let out = vaq()
             .args([
                 "query",
@@ -252,6 +269,15 @@ fn sharded_query_matches_unsharded() {
             .output()
             .expect("run vaq");
         assert!(!out.status.success(), "--shards {bad:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--shards"),
+            "--shards {bad:?} should explain itself: {stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "--shards {bad:?} must not panic: {stderr}"
+        );
     }
 }
 

@@ -69,12 +69,16 @@ fn assert_grid_agrees(engine: &AreaQueryEngine, area: &dyn QueryArea, context: &
                         let counted = session.execute(&spec.output(OutputMode::Count), area);
                         assert_eq!(counted.count(), want.len(), "{ctx} (count)");
                         // Counting is the same seeded, stats-tracked path:
-                        // every counter matches the collecting run (cache
-                        // counters may differ — the second lookup hits).
+                        // every counter matches the collecting run. The
+                        // two how-was-it-computed fields may differ under
+                        // `Cached`: the second lookup hits, and the hit
+                        // reuses the prepared area's lazily-cached
+                        // interior point (fewer predicate evaluations).
                         let mut a = *counted.stats();
                         let mut b = *collected.stats();
                         a.prepared_cache = CacheCounters::default();
                         b.prepared_cache = CacheCounters::default();
+                        a.predicates = b.predicates;
                         assert_eq!(a, b, "{ctx} (count stats)");
                     }
                 }
@@ -183,9 +187,17 @@ fn cached_is_bit_identical_to_raw_and_hits_on_repeats() {
                 ("again", &again, CacheCounters { hits: 1, misses: 0 }),
             ] {
                 assert_eq!(out.stats().prepared_cache, cache, "{ctx} {label}");
+                // Identical except the two how-was-it-computed fields:
+                // cache traffic and the predicate-pipeline split (the
+                // prepared area evaluates far fewer edges than raw).
                 let mut scrubbed = *out.stats();
                 scrubbed.prepared_cache = CacheCounters::default();
+                scrubbed.predicates = raw.stats().predicates;
                 assert_eq!(scrubbed, *raw.stats(), "{ctx} {label}");
+                assert!(
+                    out.stats().predicates.filter_fast_accepts > 0,
+                    "{ctx} {label}: the filter stage never engaged"
+                );
             }
         }
     }
