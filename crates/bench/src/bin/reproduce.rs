@@ -53,7 +53,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "all" | "table1" | "table2" | "fig4" | "fig5" | "fig6" | "fig7" | "ablation"
-            | "prepared" | "query-cache" | "sharded" | "predicates" => {
+            | "prepared" | "query-cache" | "sharded" | "predicates" | "knn" | "payload" => {
                 what = arg;
             }
             "--reps" => {
@@ -71,7 +71,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(String::from(
                     "usage: reproduce \
-[all|table1|table2|fig4|fig5|fig6|fig7|ablation|prepared|query-cache|sharded|predicates] \
+[all|table1|table2|fig4|fig5|fig6|fig7|ablation|prepared|query-cache|sharded|predicates|knn|payload] \
 [--reps N] [--quick] [--payload BYTES] [--out DIR]",
                 ));
             }
@@ -223,6 +223,15 @@ fn main() -> ExitCode {
         run_sharded_baseline(&args);
     }
 
+    // Sink-layer baselines (kNN-within-area, payload materialisation) —
+    // explicit targets, like `sharded`, to keep `all` at its cost.
+    if args.what == "knn" {
+        run_knn_baseline(&args);
+    }
+    if args.what == "payload" {
+        run_payload_baseline(&args);
+    }
+
     eprintln!("done; outputs in {}", args.out.display());
     ExitCode::SUCCESS
 }
@@ -274,6 +283,83 @@ pipeline {:6.1}x   prepare {:9.0} ns",
     let json = predicates_report_json(&rows, &filter, &prov);
     let path = args.out.join("BENCH_predicates.json");
     fs::write(&path, json).expect("write BENCH_predicates.json");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Measures the kNN-within-area sink against the collecting baseline
+/// (plain + sharded) and records the `BENCH_knn.json` baseline.
+fn run_knn_baseline(args: &Args) {
+    use vaq_bench::knn::{knn_report_json, measure_knn, KnnBenchConfig};
+    use vaq_bench::provenance::Provenance;
+
+    let cfg = if args.quick {
+        KnnBenchConfig::quick()
+    } else {
+        KnnBenchConfig::standard()
+    };
+    eprintln!(
+        "== kNN-within-area: {} points, {} areas (query size {}), k = {:?}, {} shards ==",
+        cfg.data_size, cfg.distinct_areas, cfg.query_size, cfg.ks, cfg.shards
+    );
+    let rows = measure_knn(&cfg);
+    for r in &rows {
+        eprintln!(
+            "  k={:>5}  collect {:9.1} q/s   knn {:9.1} q/s ({:.2}x)   sharded knn {:9.1} q/s   kept {:7.1}",
+            r.k,
+            r.collect_qps,
+            r.knn_qps,
+            r.knn_vs_collect(),
+            r.sharded_knn_qps,
+            r.mean_kept,
+        );
+    }
+    let prov = Provenance::capture(
+        cfg.data_size as u64,
+        (cfg.distinct_areas * cfg.rounds * cfg.ks.len()) as u64,
+        1,
+    );
+    let json = knn_report_json(&cfg, &rows, &prov);
+    let path = args.out.join("BENCH_knn.json");
+    fs::write(&path, json).expect("write BENCH_knn.json");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Measures the payload-materialising sink across record sizes (plain +
+/// sharded per-shard stores) and records the `BENCH_payload.json`
+/// baseline.
+fn run_payload_baseline(args: &Args) {
+    use vaq_bench::payload::{measure_payload, payload_report_json, PayloadBenchConfig};
+    use vaq_bench::provenance::Provenance;
+
+    let cfg = if args.quick {
+        PayloadBenchConfig::quick()
+    } else {
+        PayloadBenchConfig::standard()
+    };
+    eprintln!(
+        "== Payload materialisation: {} points, {} areas (query size {}), record sizes {:?}, {} shards ==",
+        cfg.data_size, cfg.distinct_areas, cfg.query_size, cfg.payload_bytes, cfg.shards
+    );
+    let rows = measure_payload(&cfg);
+    for r in &rows {
+        eprintln!(
+            "  {:>5} B/record  collect {:9.1} q/s   materialize {:9.1} q/s ({:.2}x)   sharded {:9.1} q/s   results {:7.1}",
+            r.payload_bytes,
+            r.collect_qps,
+            r.materialize_qps,
+            r.materialize_vs_collect(),
+            r.sharded_materialize_qps,
+            r.mean_results,
+        );
+    }
+    let prov = Provenance::capture(
+        cfg.data_size as u64,
+        (cfg.distinct_areas * cfg.rounds * cfg.payload_bytes.len()) as u64,
+        1,
+    );
+    let json = payload_report_json(&cfg, &rows, &prov);
+    let path = args.out.join("BENCH_payload.json");
+    fs::write(&path, json).expect("write BENCH_payload.json");
     eprintln!("wrote {}", path.display());
 }
 

@@ -1,0 +1,266 @@
+//! kNN-within-area measurements and the `BENCH_knn.json` baseline.
+//!
+//! The question the sink layer answers for kNN: what does keeping only
+//! the k nearest matches (bounded max-heap in the emission path, merged
+//! across shards) cost or save relative to collecting everything? Three
+//! quantities per `k`, measured on the same engine and area workload:
+//!
+//! * **collect throughput** — the plain collecting sink (baseline);
+//! * **kNN throughput** — the `TopKNearest` sink on the same engine
+//!   (same candidate generation, bounded materialisation);
+//! * **sharded kNN throughput** — the same sink through the sharded
+//!   engine's per-shard partial merge.
+//!
+//! Every timed workload is cross-checked first: the sink's answer must
+//! equal sort-by-distance over the collected indices (ties by index),
+//! and the sharded answer must equal the unsharded one. All paths run
+//! the **cell expansion policy**: the paper's segment heuristic loses
+//! completeness on shard-local Voronoi diagrams (cells stretch near the
+//! kd cuts — see the `vaq_core::shard` docs), and a throughput baseline
+//! whose sharded and unsharded answers can differ would cross-check
+//! nothing.
+
+use crate::provenance::Provenance;
+use crate::{polygon_batch_with, time_qps, HARNESS_SEED};
+use std::fmt::Write as _;
+use vaq_core::{AreaQueryEngine, ExpansionPolicy, OutputMode, QuerySpec, ShardedAreaQueryEngine};
+use vaq_geom::Point;
+use vaq_workload::{generate, unit_space, Distribution};
+
+/// Workload shape of one kNN-within-area measurement.
+#[derive(Clone, Debug)]
+pub struct KnnBenchConfig {
+    /// Engine size (uniform points).
+    pub data_size: usize,
+    /// Distinct query areas per timed sweep.
+    pub distinct_areas: usize,
+    /// `area(MBR) / area(space)` of each query polygon.
+    pub query_size: f64,
+    /// The `k` values swept.
+    pub ks: Vec<usize>,
+    /// Shard count of the sharded engine.
+    pub shards: usize,
+    /// How many times the area set is swept per timed batch.
+    pub rounds: usize,
+    /// Timing batches (best-of, rejects scheduler noise).
+    pub reps: usize,
+}
+
+impl KnnBenchConfig {
+    /// The standard baseline configuration.
+    pub fn standard() -> KnnBenchConfig {
+        KnnBenchConfig {
+            data_size: 200_000,
+            distinct_areas: 64,
+            query_size: 0.01,
+            ks: vec![1, 16, 256],
+            shards: 8,
+            rounds: 4,
+            reps: 3,
+        }
+    }
+
+    /// A tiny configuration for smoke tests (`--quick`).
+    pub fn quick() -> KnnBenchConfig {
+        KnnBenchConfig {
+            data_size: 20_000,
+            distinct_areas: 8,
+            query_size: 0.01,
+            ks: vec![1, 16],
+            shards: 4,
+            rounds: 2,
+            reps: 1,
+        }
+    }
+}
+
+/// One `k` of the sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct KnnBenchRow {
+    /// The swept `k`.
+    pub k: usize,
+    /// Collecting-sink throughput, queries/second (baseline).
+    pub collect_qps: f64,
+    /// `TopKNearest` throughput on the unsharded engine.
+    pub knn_qps: f64,
+    /// `TopKNearest` throughput through the sharded engine's merge.
+    pub sharded_knn_qps: f64,
+    /// Mean neighbours actually kept per query (`min(k, matches)`).
+    pub mean_kept: f64,
+}
+
+impl KnnBenchRow {
+    /// kNN throughput relative to collecting everything.
+    pub fn knn_vs_collect(&self) -> f64 {
+        self.knn_qps / self.collect_qps
+    }
+}
+
+/// Runs the kNN sweep: cross-checks the sink against sort-by-distance
+/// over collected indices (and sharded against unsharded), then times
+/// the three paths per `k`.
+pub fn measure_knn(cfg: &KnnBenchConfig) -> Vec<KnnBenchRow> {
+    let pts = generate(
+        cfg.data_size,
+        Distribution::Uniform,
+        HARNESS_SEED ^ cfg.data_size as u64,
+    );
+    let areas = polygon_batch_with(cfg.query_size, cfg.distinct_areas, 10);
+    let engine = AreaQueryEngine::build(&pts);
+    let sharded = ShardedAreaQueryEngine::build(&pts, cfg.shards);
+    let space = unit_space();
+    let origin = Point::new(
+        (space.min.x + space.max.x) / 2.0,
+        (space.min.y + space.max.y) / 2.0,
+    );
+    let collect_spec = QuerySpec::new().policy(ExpansionPolicy::Cell);
+    let queries = cfg.distinct_areas * cfg.rounds;
+
+    let mut rows = Vec::with_capacity(cfg.ks.len());
+    for &k in &cfg.ks {
+        let spec = collect_spec.output(OutputMode::TopKNearest { k, origin });
+
+        // Cross-check (outside the timed region): the sink equals
+        // sort-by-distance over the collected result, and the sharded
+        // merge equals the unsharded heap.
+        let mut kept = 0usize;
+        let mut session = engine.session();
+        for (i, area) in areas.iter().enumerate() {
+            let collected = session.execute(&collect_spec, area);
+            let mut want: Vec<(f64, u32)> = collected
+                .result()
+                .expect("collect output")
+                .indices
+                .iter()
+                .map(|&id| {
+                    let q = pts[id as usize];
+                    let (dx, dy) = (q.x - origin.x, q.y - origin.y);
+                    (dx * dx + dy * dy, id)
+                })
+                .collect();
+            want.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            want.truncate(k);
+            let got = session.execute(&spec, area);
+            let got: Vec<(f64, u32)> = got
+                .neighbors()
+                .expect("knn output")
+                .iter()
+                .map(|n| (n.dist_sq, n.id))
+                .collect();
+            assert_eq!(got, want, "knn diverged from sorted collect on area {i}");
+            let sharded_got: Vec<(f64, u32)> = sharded
+                .execute(&spec, area)
+                .neighbors
+                .iter()
+                .map(|n| (n.dist_sq, n.id))
+                .collect();
+            assert_eq!(sharded_got, got, "sharded knn diverged on area {i}");
+            kept += got.len();
+        }
+
+        let collect_qps = time_qps(queries, cfg.reps, &mut || {
+            let mut session = engine.session();
+            let mut n = 0usize;
+            for _ in 0..cfg.rounds {
+                for area in &areas {
+                    n += session.execute(&collect_spec, area).count();
+                }
+            }
+            n
+        });
+        let knn_qps = time_qps(queries, cfg.reps, &mut || {
+            let mut session = engine.session();
+            let mut n = 0usize;
+            for _ in 0..cfg.rounds {
+                for area in &areas {
+                    n += session.execute(&spec, area).count();
+                }
+            }
+            n
+        });
+        let sharded_knn_qps = time_qps(queries, cfg.reps, &mut || {
+            let mut n = 0usize;
+            for _ in 0..cfg.rounds {
+                for area in &areas {
+                    n += sharded.execute(&spec, area).count;
+                }
+            }
+            n
+        });
+        rows.push(KnnBenchRow {
+            k,
+            collect_qps,
+            knn_qps,
+            sharded_knn_qps,
+            mean_kept: kept as f64 / cfg.distinct_areas as f64,
+        });
+    }
+    rows
+}
+
+/// Renders the sweep as the `BENCH_knn.json` baseline document.
+pub fn knn_report_json(cfg: &KnnBenchConfig, rows: &[KnnBenchRow], prov: &Provenance) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"benchmark\": \"knn_within_area\",");
+    let _ = writeln!(s, "  \"provenance\": {},", prov.json_object());
+    let _ = writeln!(
+        s,
+        "  \"workload\": {{\"data_size\": {}, \"distinct_areas\": {}, \"query_size\": {}, \
+\"shards\": {}, \"rounds\": {}}},",
+        cfg.data_size, cfg.distinct_areas, cfg.query_size, cfg.shards, cfg.rounds
+    );
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"k\": {}, \"collect_qps\": {:.1}, \"knn_qps\": {:.1}, \
+\"sharded_knn_qps\": {:.1}, \"knn_vs_collect\": {:.3}, \"mean_kept\": {:.1}}}",
+            r.k,
+            r.collect_qps,
+            r.knn_qps,
+            r.sharded_knn_qps,
+            r.knn_vs_collect(),
+            r.mean_kept,
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_is_sane() {
+        let cfg = KnnBenchConfig::quick();
+        let rows = measure_knn(&cfg);
+        assert_eq!(rows.len(), cfg.ks.len());
+        for r in &rows {
+            assert!(r.collect_qps > 0.0);
+            assert!(r.knn_qps > 0.0);
+            assert!(r.sharded_knn_qps > 0.0);
+            assert!(r.mean_kept <= r.k as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let cfg = KnnBenchConfig::quick();
+        let rows = vec![KnnBenchRow {
+            k: 16,
+            collect_qps: 100.0,
+            knn_qps: 120.0,
+            sharded_knn_qps: 90.0,
+            mean_kept: 12.5,
+        }];
+        let prov = Provenance::capture(cfg.data_size as u64, 8, 1);
+        let json = knn_report_json(&cfg, &rows, &prov);
+        assert!(json.contains("\"benchmark\": \"knn_within_area\""));
+        assert!(json.contains("\"provenance\""));
+        assert!(json.contains("\"knn_vs_collect\": 1.200"));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod knn;
+pub mod payload;
 pub mod predicates;
 pub mod prepared;
 pub mod provenance;
@@ -31,6 +33,22 @@ use vaq_workload::{generate, random_query_polygon, unit_space, Distribution, Pol
 
 /// Deterministic base seed shared by the whole harness.
 pub const HARNESS_SEED: u64 = 0x1CDE_2020;
+
+/// Best-of-`reps` throughput of `run` (which answers `queries` queries
+/// per call and returns a sink value kept observable via `black_box`).
+/// Shared by the sink-layer baselines so their timing methodology cannot
+/// drift apart.
+pub fn time_qps(queries: usize, reps: usize, run: &mut dyn FnMut() -> usize) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        let n = run();
+        let qps = queries as f64 / t.elapsed().as_secs_f64();
+        std::hint::black_box(n);
+        best = best.max(qps);
+    }
+    best
+}
 
 /// Builds the standard engine (uniform points, STR R-tree + Delaunay) for
 /// a benchmark dataset of `n` points.

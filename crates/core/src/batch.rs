@@ -13,6 +13,12 @@
 //! Results always come back in input order. This is the
 //! throughput-oriented serving mode of a GIS backend, complementing the
 //! paper's latency-oriented single-query evaluation.
+//!
+//! The batch path never inspects the spec's output mode: each worker's
+//! session emits into the spec's [`ResultSink`](crate::ResultSink) and
+//! returns the finished per-query [`QueryOutput`], so every sink —
+//! including kNN-within-area and payload materialisation — batches with
+//! zero extra dispatch here.
 
 use crate::area::{AreaFingerprint, QueryArea};
 use crate::engine::{AreaQueryEngine, QueryResult};

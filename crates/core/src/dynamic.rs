@@ -27,7 +27,10 @@
 
 use crate::area::QueryArea;
 use crate::engine::AreaQueryEngine;
-use crate::query::{OutputMode, QuerySpec, SessionState, DEFAULT_CACHE_CAPACITY};
+use crate::query::{QuerySpec, SessionState, DEFAULT_CACHE_CAPACITY};
+use crate::sink::{
+    dispatch_sink, DynamicSink, Emit, EngineSink, Neighbor, ResultSink, SinkVisitor,
+};
 use crate::stats::{CacheCounters, QueryStats};
 use std::collections::HashSet;
 use vaq_geom::Point;
@@ -52,12 +55,17 @@ pub(crate) fn should_purge_delta(len: usize, dead: usize) -> bool {
 /// scan — see [`QueryStats::delta_scanned`]).
 #[derive(Clone, Debug, Default)]
 pub struct DynamicQueryResult {
-    /// Matching live external ids, ascending.
+    /// Matching live external ids, ascending. Empty for the counting
+    /// sink (`OutputMode::Count` — the count is `stats.result_size`);
+    /// for `OutputMode::TopKNearest` these are the kept neighbours' ids.
     pub ids: Vec<u64>,
+    /// The kept neighbours, ascending by `(dist_sq, id)` — populated
+    /// only by `OutputMode::TopKNearest`.
+    pub neighbors: Vec<Neighbor<u64>>,
     /// Combined counters: the base engine's query stats with the delta
     /// scan folded in (`delta_scanned`, plus one candidate / containment
     /// test per scanned live delta point) and `result_size` set to the
-    /// final (tombstone-filtered) id count.
+    /// final (tombstone-filtered) result count.
     pub stats: QueryStats,
 }
 
@@ -168,54 +176,36 @@ impl DynamicAreaQueryEngine {
     /// honours the spec's method, seed index, expansion policy and
     /// prepare mode (including the owned prepared-area cache — repeated
     /// dashboard areas hit it across dynamic queries), then the live
-    /// delta is scanned linearly and tombstoned ids are filtered.
-    ///
-    /// The spec's [`OutputMode`] is overridden to `Collect`: tombstone
-    /// filtering needs the base indices materialised, so counts are the
-    /// length of the returned ids. Stats surface both passes — see
+    /// delta is scanned linearly. Both passes **emit into the spec's
+    /// result sink** in external-id space, with tombstoned ids filtered
+    /// *before* the sink (so a bounded sink like
+    /// [`OutputMode::TopKNearest`](crate::OutputMode) never wastes a
+    /// slot on a dead point). Stats surface both passes — see
     /// [`DynamicQueryResult::stats`] and [`QueryStats::delta_scanned`].
+    ///
+    /// Delta-buffered points have no stored payload records until
+    /// compaction, so the materialising sink reads records for base
+    /// points only.
     ///
     /// # Panics
     ///
     /// Panics if the spec requests an index the base engine did not build
-    /// (the dynamic engine builds default bases: R-tree + Delaunay).
+    /// (the dynamic engine builds default bases: R-tree + Delaunay), or
+    /// for `OutputMode::Classify` (classification is whole-diagram and
+    /// undefined over a base + delta overlay).
     pub fn execute<A: QueryArea + ?Sized>(
         &mut self,
         spec: &QuerySpec,
         area: &A,
     ) -> DynamicQueryResult {
-        let mut ids: Vec<u64> = Vec::new();
-        let mut stats = QueryStats::default();
-        if !self.base.is_empty() {
-            let collect_spec = spec.output(OutputMode::Collect);
-            let out = self.state.execute(&self.base, &collect_spec, area);
-            let r = out.into_result().expect("collect-mode query");
-            stats = r.stats;
-            ids.extend(
-                r.indices
-                    .iter()
-                    .map(|&i| self.base_ids[i as usize])
-                    .filter(|id| !self.tombstones.contains(id)),
-            );
-        }
-        let delta_predicates = AreaQueryEngine::sample_predicates(|| {
-            for &(id, p) in &self.delta {
-                if self.tombstones.contains(&id) {
-                    continue;
-                }
-                stats.delta_scanned += 1;
-                stats.candidates += 1;
-                stats.containment_tests += 1;
-                if area.contains(p) {
-                    stats.accepted += 1;
-                    ids.push(id);
-                }
-            }
-        });
-        stats.predicates.absorb(delta_predicates);
-        ids.sort_unstable();
-        stats.result_size = ids.len();
-        DynamicQueryResult { ids, stats }
+        dispatch_sink(
+            spec.output,
+            DynamicRun {
+                eng: self,
+                spec,
+                area,
+            },
+        )
     }
 
     /// Lifetime hit/miss totals of the owned prepared-area cache (see
@@ -283,6 +273,77 @@ impl DynamicAreaQueryEngine {
         self.delta.clear();
         self.dead_delta = 0;
         self.tombstones.clear();
+    }
+}
+
+/// The dynamic execution path as a sink visitor: base pass through the
+/// session funnel (tombstones filtered, base indices translated to
+/// external ids *before* the sink), then the live delta scanned into the
+/// same partial, then one finish.
+struct DynamicRun<'r, A: ?Sized> {
+    eng: &'r mut DynamicAreaQueryEngine,
+    spec: &'r QuerySpec,
+    area: &'r A,
+}
+
+impl<A: QueryArea + ?Sized> SinkVisitor for DynamicRun<'_, A> {
+    type Out = DynamicQueryResult;
+
+    fn visit<K: EngineSink + DynamicSink>(self, kind: K) -> DynamicQueryResult {
+        let DynamicAreaQueryEngine {
+            base,
+            base_ids,
+            delta,
+            tombstones,
+            state,
+            ..
+        } = self.eng;
+        let area = self.area;
+        let mut stats = QueryStats::default();
+        let mut partial = ResultSink::<u64>::start(&kind);
+        if !base.is_empty() {
+            let map = |i: u32| {
+                let id = base_ids[i as usize];
+                (!tombstones.contains(&id)).then_some(id)
+            };
+            state.execute_sink(base, self.spec, area, &kind, &mut partial, &map, &mut stats);
+        }
+        let delta_predicates = AreaQueryEngine::sample_predicates(|| {
+            for &(id, p) in delta.iter() {
+                if tombstones.contains(&id) {
+                    continue;
+                }
+                stats.delta_scanned += 1;
+                stats.candidates += 1;
+                stats.containment_tests += 1;
+                if area.contains(p) {
+                    stats.accepted += 1;
+                    kind.emit(
+                        &mut partial,
+                        &Emit {
+                            id,
+                            local: 0,
+                            point: p,
+                            records: None,
+                        },
+                        &mut stats,
+                    );
+                }
+            }
+        });
+        stats.predicates.absorb(delta_predicates);
+        stats.result_size = ResultSink::<u64>::result_len(&kind, &partial);
+        let mut out = DynamicQueryResult {
+            ids: Vec::new(),
+            neighbors: Vec::new(),
+            stats,
+        };
+        kind.finish_dynamic(partial, &mut out);
+        out
+    }
+
+    fn classify(self) -> DynamicQueryResult {
+        panic!("point classification is whole-diagram and is not supported on the dynamic engine");
     }
 }
 

@@ -98,6 +98,7 @@ pub struct EngineBuilder {
     build_kdtree: bool,
     build_quadtree: bool,
     payload_bytes: usize,
+    records: Option<RecordStore>,
 }
 
 impl EngineBuilder {
@@ -111,6 +112,7 @@ impl EngineBuilder {
             build_kdtree: false,
             build_quadtree: false,
             payload_bytes: 0,
+            records: None,
         }
     }
 
@@ -157,6 +159,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Attaches a pre-built record store instead of generating one
+    /// (overrides [`EngineBuilder::payload_bytes`]). The sharded engines
+    /// use this to hand each shard its slice of one logical store
+    /// ([`RecordStore::split`]) — shard-local ids, record contents copied
+    /// exactly once, checksums bit-identical to the unsharded store's.
+    ///
+    /// The store must hold exactly one record per point;
+    /// [`EngineBuilder::build`] panics otherwise.
+    pub fn record_store(mut self, records: RecordStore) -> EngineBuilder {
+        self.records = Some(records);
+        self
+    }
+
     /// Builds the engine: R-tree, Delaunay triangulation and any requested
     /// extra indexes.
     pub fn build(self) -> AreaQueryEngine {
@@ -178,8 +193,22 @@ impl EngineBuilder {
         let quadtree = self
             .build_quadtree
             .then(|| Quadtree::bulk_load(&self.points));
-        let records = (self.payload_bytes > 0)
-            .then(|| RecordStore::generate(self.points.len(), self.payload_bytes, 0x5EED));
+        let records = self.records.or_else(|| {
+            (self.payload_bytes > 0).then(|| {
+                RecordStore::generate(
+                    self.points.len(),
+                    self.payload_bytes,
+                    crate::payload::PAYLOAD_SEED,
+                )
+            })
+        });
+        if let Some(rs) = records.as_ref() {
+            assert_eq!(
+                rs.len(),
+                self.points.len(),
+                "record store must hold exactly one record per point"
+            );
+        }
         let data_bbox = Rect::from_points(self.points.iter().copied());
         AreaQueryEngine {
             points: self.points,
@@ -242,6 +271,13 @@ impl AreaQueryEngine {
     /// The underlying triangulation (`None` for an empty engine).
     pub fn triangulation(&self) -> Option<&Triangulation> {
         self.tri.as_ref()
+    }
+
+    /// The engine's simulated record store (`None` when the engine does
+    /// not simulate payload records). See [`EngineBuilder::payload_bytes`]
+    /// and [`OutputMode::Materialize`](crate::OutputMode).
+    pub fn record_store(&self) -> Option<&RecordStore> {
+        self.records.as_ref()
     }
 
     /// Fresh scratch space for [`AreaQueryEngine::voronoi_with`]; reuse it

@@ -89,6 +89,7 @@ pub mod payload;
 pub mod query;
 pub mod scratch;
 pub mod shard;
+pub mod sink;
 pub mod stats;
 pub mod traditional;
 pub mod voronoi_query;
@@ -97,7 +98,7 @@ pub use area::{AreaFingerprint, QueryArea};
 pub use classify::{classify_points, PointClass};
 pub use dynamic::{DynamicAreaQueryEngine, DynamicQueryResult};
 pub use engine::{AreaQueryEngine, EngineBuilder, QueryResult, SeedIndex};
-pub use payload::RecordStore;
+pub use payload::{RecordStore, RecordStoreError};
 pub use query::{
     OutputMode, PrepareMode, QueryMethod, QueryOutput, QuerySession, QuerySpec,
     DEFAULT_CACHE_CAPACITY,
@@ -105,6 +106,10 @@ pub use query::{
 pub use scratch::QueryScratch;
 pub use shard::{
     ShardBreakdown, ShardedAreaQueryEngine, ShardedDynamicAreaQueryEngine, ShardedQueryOutput,
+};
+pub use sink::{
+    CollectSink, CountSink, Emit, MaterializeSink, Neighbor, ResultSink, SinkId, TopKNearestSink,
+    TopKPartial,
 };
 pub use stats::{CacheCounters, PredicateCounters, QueryStats};
 pub use traditional::{traditional_area_query, FilterIndex};

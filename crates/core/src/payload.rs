@@ -16,30 +16,112 @@
 //! disables the simulation (pure CPU regime); sizes of a few hundred bytes
 //! to a few KiB correspond to realistic feature rows. EXPERIMENTS.md
 //! reports both regimes.
+//!
+//! Two access regimes exist on top of the store:
+//!
+//! * **validation loading** — every candidate's record is read before the
+//!   exact containment test (the paper's refinement cost), wired through
+//!   `refine_each`, the Voronoi BFS and the brute-force scan;
+//! * **result materialisation** — the [`Materialize`](crate::OutputMode)
+//!   result sink reads each *accepted* candidate's record again, modelling
+//!   the final fetch of the full feature row into the response.
+//!
+//! Sharded engines own **per-shard stores** with shard-local ids, produced
+//! by [`RecordStore::split`] from one logical store — record contents are
+//! copied exactly once, and checksums stay bit-identical to the unsharded
+//! store's.
 
-/// Fixed-size per-point payload records, read during candidate validation.
+use std::fmt;
+
+/// Errors reported by the checked [`RecordStore`] accessors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordStoreError {
+    /// A record id at or past the end of the store.
+    OutOfRange {
+        /// The requested record id.
+        id: u32,
+        /// Number of records the store holds.
+        len: usize,
+    },
+    /// `n * record_bytes` does not fit in `usize` (the store cannot be
+    /// allocated).
+    SizeOverflow {
+        /// Requested record count.
+        n: usize,
+        /// Requested record size in bytes.
+        record_bytes: usize,
+    },
+}
+
+impl fmt::Display for RecordStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RecordStoreError::OutOfRange { id, len } => {
+                write!(f, "record id {id} out of range (store holds {len} records)")
+            }
+            RecordStoreError::SizeOverflow { n, record_bytes } => write!(
+                f,
+                "record store size overflows: {n} records x {record_bytes} bytes \
+exceeds the address space"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecordStoreError {}
+
+/// Fixed-size per-point payload records, read during candidate validation
+/// and result materialisation.
 #[derive(Clone, Debug)]
 pub struct RecordStore {
     data: Vec<u8>,
     record_bytes: usize,
 }
 
+/// The deterministic seed every engine-attached store is generated from
+/// (`EngineBuilder::payload_bytes` and the sharded payload constructors
+/// share it, so per-shard stores split from the logical store hold
+/// byte-identical records to the unsharded engine's).
+pub(crate) const PAYLOAD_SEED: u64 = 0x5EED;
+
 impl RecordStore {
     /// Generates `n` records of `record_bytes` bytes each, filled
     /// deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clean diagnostic when `n * record_bytes` overflows
+    /// `usize`; use [`RecordStore::try_generate`] for the checked form.
     pub fn generate(n: usize, record_bytes: usize, seed: u64) -> RecordStore {
+        match RecordStore::try_generate(n, record_bytes, seed) {
+            Ok(store) => store,
+            Err(e) => panic!("RecordStore::generate: {e}"),
+        }
+    }
+
+    /// As [`RecordStore::generate`], returning an error instead of
+    /// panicking when the requested size does not fit in memory
+    /// arithmetic.
+    pub fn try_generate(
+        n: usize,
+        record_bytes: usize,
+        seed: u64,
+    ) -> Result<RecordStore, RecordStoreError> {
+        let total = n
+            .checked_mul(record_bytes)
+            .ok_or(RecordStoreError::SizeOverflow { n, record_bytes })?;
         // A cheap xorshift fill; contents only matter for checksumming.
         // Golden-ratio mixing keeps adjacent seeds from colliding after
         // the `| 1` non-zero guard.
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-        let mut data = Vec::with_capacity(n * record_bytes);
-        for _ in 0..n * record_bytes {
+        let mut data = Vec::with_capacity(total);
+        for _ in 0..total {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
             data.push(state as u8);
         }
-        RecordStore { data, record_bytes }
+        Ok(RecordStore { data, record_bytes })
     }
 
     /// Size of one record in bytes.
@@ -63,13 +145,64 @@ impl RecordStore {
     /// The checksum is folded into `QueryStats::payload_checksum` by the
     /// callers, which keeps the loads observable (and thus un-elidable by
     /// the optimiser).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clean diagnostic (id and store size) when `id` is out
+    /// of range; use [`RecordStore::try_read`] for the checked form.
     #[inline]
     pub fn read(&self, id: u32) -> u64 {
+        match self.try_read(id) {
+            Ok(sum) => sum,
+            Err(e) => panic!("RecordStore::read: {e}"),
+        }
+    }
+
+    /// As [`RecordStore::read`], returning an error instead of panicking
+    /// on an out-of-range id.
+    #[inline]
+    pub fn try_read(&self, id: u32) -> Result<u64, RecordStoreError> {
+        if self.record_bytes == 0 || id as usize >= self.len() {
+            return Err(RecordStoreError::OutOfRange {
+                id,
+                len: self.len(),
+            });
+        }
         let lo = id as usize * self.record_bytes;
         let hi = lo + self.record_bytes;
-        self.data[lo..hi].iter().fold(0u64, |acc, &b| {
+        Ok(self.data[lo..hi].iter().fold(0u64, |acc, &b| {
             acc.wrapping_mul(31).wrapping_add(u64::from(b))
-        })
+        }))
+    }
+
+    /// Splits one logical store into per-part stores: part `s` of the
+    /// result holds, at local id `i`, a byte-identical copy of record
+    /// `parts[s][i]` of `self`. This is how a sharded engine turns the
+    /// dataset's logical record store into **per-shard stores addressed
+    /// by shard-local ids** — each record's bytes are copied exactly
+    /// once, straight from the logical store into its shard's store.
+    ///
+    /// Returns an error when any global id is out of range.
+    pub fn split(&self, parts: &[Vec<u32>]) -> Result<Vec<RecordStore>, RecordStoreError> {
+        let mut out = Vec::with_capacity(parts.len());
+        for part in parts {
+            let mut data = Vec::with_capacity(part.len() * self.record_bytes);
+            for &g in part {
+                if self.record_bytes == 0 || g as usize >= self.len() {
+                    return Err(RecordStoreError::OutOfRange {
+                        id: g,
+                        len: self.len(),
+                    });
+                }
+                let lo = g as usize * self.record_bytes;
+                data.extend_from_slice(&self.data[lo..lo + self.record_bytes]);
+            }
+            out.push(RecordStore {
+                data,
+                record_bytes: self.record_bytes,
+            });
+        }
+        Ok(out)
     }
 }
 
@@ -104,5 +237,73 @@ mod tests {
     fn zero_byte_records() {
         let s = RecordStore::generate(5, 0, 1);
         assert!(s.is_empty());
+        assert_eq!(
+            s.try_read(0),
+            Err(RecordStoreError::OutOfRange { id: 0, len: 0 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_reads_are_checked() {
+        let s = RecordStore::generate(4, 16, 9);
+        assert!(s.try_read(3).is_ok());
+        assert_eq!(
+            s.try_read(4),
+            Err(RecordStoreError::OutOfRange { id: 4, len: 4 })
+        );
+        assert_eq!(
+            s.try_read(u32::MAX),
+            Err(RecordStoreError::OutOfRange {
+                id: u32::MAX,
+                len: 4
+            })
+        );
+        let msg = s.try_read(9).unwrap_err().to_string();
+        assert!(msg.contains("record id 9"), "{msg}");
+        assert!(msg.contains("4 records"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "RecordStore::read: record id 7 out of range")]
+    fn unchecked_read_panics_with_a_diagnostic() {
+        let s = RecordStore::generate(2, 8, 1);
+        s.read(7);
+    }
+
+    #[test]
+    fn oversized_generation_is_checked() {
+        let err = RecordStore::try_generate(usize::MAX, 2, 1).unwrap_err();
+        assert_eq!(
+            err,
+            RecordStoreError::SizeOverflow {
+                n: usize::MAX,
+                record_bytes: 2
+            }
+        );
+        assert!(err.to_string().contains("overflows"));
+    }
+
+    #[test]
+    fn split_preserves_record_contents() {
+        let logical = RecordStore::generate(9, 32, 0xFEED);
+        let parts = vec![vec![4u32, 1, 8], vec![0u32, 7], vec![]];
+        let stores = logical.split(&parts).unwrap();
+        assert_eq!(stores.len(), 3);
+        for (s, part) in stores.iter().zip(&parts) {
+            assert_eq!(s.len(), part.len());
+            assert_eq!(s.record_bytes(), 32);
+            for (local, &global) in part.iter().enumerate() {
+                assert_eq!(
+                    s.read(local as u32),
+                    logical.read(global),
+                    "local {local} of part {part:?}"
+                );
+            }
+        }
+        // Out-of-range global ids are rejected, not propagated as panics.
+        assert_eq!(
+            logical.split(&[vec![9u32]]).unwrap_err(),
+            RecordStoreError::OutOfRange { id: 9, len: 9 }
+        );
     }
 }

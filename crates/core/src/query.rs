@@ -54,11 +54,15 @@ use crate::area::{AreaFingerprint, QueryArea};
 use crate::classify::classify_points;
 use crate::engine::{AreaQueryEngine, QueryResult, SeedIndex};
 use crate::scratch::QueryScratch;
+use crate::sink::{
+    dispatch_sink, DynamicSink, Emit, EngineSink, Neighbor, ResultSink, SinkId, SinkVisitor,
+};
 use crate::stats::{CacheCounters, QueryStats};
-use crate::traditional::{refine, refine_each, FilterIndex};
+use crate::traditional::{refine_each, FilterIndex};
 use crate::voronoi_query::{arbitrary_position_in, voronoi_area_query, ExpansionPolicy};
 use crate::PointClass;
 use std::sync::Arc;
+use vaq_geom::Point;
 
 /// Which algorithm answers the query.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -93,8 +97,10 @@ pub enum PrepareMode {
     Cached,
 }
 
-/// The shape of the answer.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// The shape of the answer — which [`ResultSink`] accepted candidates
+/// are emitted into (except [`OutputMode::Classify`], which is
+/// whole-diagram, not per-candidate).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum OutputMode {
     /// Materialise the matching point indices (the default).
     #[default]
@@ -108,6 +114,24 @@ pub enum OutputMode {
     /// (the paper's Section III). Classification is defined on the Voronoi
     /// diagram and ignores `method`, `filter` and `seed`.
     Classify,
+    /// kNN-within-area: of the points inside the area, the `k` nearest to
+    /// `origin` by exact squared Euclidean distance, ties broken by
+    /// ascending index ([`TopKNearestSink`](crate::TopKNearestSink) — a
+    /// bounded max-heap merged across shards and delta buffers).
+    TopKNearest {
+        /// How many nearest matches to keep (`0` keeps nothing).
+        k: usize,
+        /// The focus point distances are measured from (need not lie
+        /// inside the area).
+        origin: Point,
+    },
+    /// Collect the matching indices *and* materialise each accepted
+    /// candidate's payload record through the engine's
+    /// [`RecordStore`](crate::RecordStore), folding record checksums into
+    /// [`QueryStats::payload_checksum`]
+    /// ([`MaterializeSink`](crate::MaterializeSink)). Engines without a
+    /// record store degrade to collection.
+    Materialize,
 }
 
 /// A plain-data description of one area query: a point in the evaluation
@@ -117,7 +141,7 @@ pub enum OutputMode {
 /// R-tree filter and seed, segment expansion, raw area, collected output.
 /// Builder-style setters return `self`, so specs compose inline;
 /// the fields are public, so struct-update syntax works too.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct QuerySpec {
     /// Which algorithm runs.
     pub method: QueryMethod,
@@ -220,52 +244,69 @@ pub enum QueryOutput {
         /// Statistics (classification populates only the cache counters).
         stats: QueryStats,
     },
+    /// `OutputMode::TopKNearest`: the k nearest matches to the origin,
+    /// ascending by `(dist_sq, index)`, plus statistics.
+    TopK {
+        /// The kept neighbours (at most `k`).
+        neighbors: Vec<Neighbor>,
+        /// Work counters — `result_size` is the number of neighbours
+        /// returned.
+        stats: QueryStats,
+    },
+    /// `OutputMode::Materialize`: the matching indices with every
+    /// accepted record materialised — `stats.payload_checksum` folds the
+    /// validation reads *and* the per-result materialisation reads.
+    Materialized(QueryResult),
 }
 
 impl QueryOutput {
     /// The query's work counters, whatever the output shape.
     pub fn stats(&self) -> &QueryStats {
         match self {
-            QueryOutput::Collected(r) => &r.stats,
+            QueryOutput::Collected(r) | QueryOutput::Materialized(r) => &r.stats,
             QueryOutput::Counted { stats, .. } => stats,
             QueryOutput::Classified { stats, .. } => stats,
+            QueryOutput::TopK { stats, .. } => stats,
         }
     }
 
     pub(crate) fn stats_mut(&mut self) -> &mut QueryStats {
         match self {
-            QueryOutput::Collected(r) => &mut r.stats,
+            QueryOutput::Collected(r) | QueryOutput::Materialized(r) => &mut r.stats,
             QueryOutput::Counted { stats, .. } => stats,
             QueryOutput::Classified { stats, .. } => stats,
+            QueryOutput::TopK { stats, .. } => stats,
         }
     }
 
-    /// Number of matching points: the result length, the count, or the
-    /// number of `Internal` vertices.
+    /// Number of matching points: the result length, the count, the
+    /// number of `Internal` vertices, or the number of neighbours kept.
     pub fn count(&self) -> usize {
         match self {
-            QueryOutput::Collected(r) => r.indices.len(),
+            QueryOutput::Collected(r) | QueryOutput::Materialized(r) => r.indices.len(),
             QueryOutput::Counted { count, .. } => *count,
             QueryOutput::Classified { classes, .. } => classes
                 .iter()
                 .filter(|&&c| c == PointClass::Internal)
                 .count(),
+            QueryOutput::TopK { neighbors, .. } => neighbors.len(),
         }
     }
 
-    /// The collected result, when this was a `Collect` query.
+    /// The collected result, when this was a `Collect` or `Materialize`
+    /// query (both carry the matching indices).
     pub fn result(&self) -> Option<&QueryResult> {
         match self {
-            QueryOutput::Collected(r) => Some(r),
+            QueryOutput::Collected(r) | QueryOutput::Materialized(r) => Some(r),
             _ => None,
         }
     }
 
     /// Consumes the output into the collected result, when this was a
-    /// `Collect` query.
+    /// `Collect` or `Materialize` query.
     pub fn into_result(self) -> Option<QueryResult> {
         match self {
-            QueryOutput::Collected(r) => Some(r),
+            QueryOutput::Collected(r) | QueryOutput::Materialized(r) => Some(r),
             _ => None,
         }
     }
@@ -274,6 +315,14 @@ impl QueryOutput {
     pub fn classes(&self) -> Option<&[PointClass]> {
         match self {
             QueryOutput::Classified { classes, .. } => Some(classes),
+            _ => None,
+        }
+    }
+
+    /// The kept neighbours, when this was a `TopKNearest` query.
+    pub fn neighbors(&self) -> Option<&[Neighbor]> {
+        match self {
+            QueryOutput::TopK { neighbors, .. } => Some(neighbors),
             _ => None,
         }
     }
@@ -411,6 +460,63 @@ impl SessionState {
         self.cache_totals.absorb(delta);
         out
     }
+
+    /// The session funnel body over the generic emission core: resolves
+    /// the prepared-area cache, lends the scratch, and runs
+    /// [`AreaQueryEngine::run_sink_spec`]. Used by the dynamic engines,
+    /// which emit external ids and filter tombstones through `map`.
+    /// Sets `stats.prepared_cache` to this query's cache traffic.
+    #[allow(clippy::too_many_arguments)] // the emission core's explicit inputs
+    pub(crate) fn execute_sink<A, I, K, F>(
+        &mut self,
+        engine: &AreaQueryEngine,
+        spec: &QuerySpec,
+        area: &A,
+        kind: &K,
+        partial: &mut K::Partial,
+        map: &F,
+        stats: &mut QueryStats,
+    ) where
+        A: QueryArea + ?Sized,
+        I: SinkId,
+        K: ResultSink<I>,
+        F: Fn(u32) -> Option<I>,
+    {
+        let mut delta = CacheCounters::default();
+        let cached: Option<Arc<dyn QueryArea + Send + Sync>> = match spec.prepare {
+            PrepareMode::Cached if self.cache.capacity > 0 => area
+                .fingerprint()
+                .and_then(|fp| self.cache.get_or_prepare(fp, || area.prepare(), &mut delta)),
+            _ => None,
+        };
+        let scratch = if spec.method == QueryMethod::Voronoi {
+            if self.scratch.is_none() {
+                self.scratch = Some(engine.new_scratch());
+            }
+            self.scratch.as_mut()
+        } else {
+            None
+        };
+        match &cached {
+            Some(prepared) => {
+                // The cache already resolved preparation; run raw on the
+                // compiled form.
+                let raw_spec = spec.prepare(PrepareMode::Raw);
+                engine.run_sink(
+                    &raw_spec,
+                    prepared.as_ref(),
+                    scratch,
+                    kind,
+                    partial,
+                    map,
+                    stats,
+                );
+            }
+            None => engine.run_sink_spec(spec, area, scratch, kind, partial, map, stats),
+        }
+        stats.prepared_cache = delta;
+        self.cache_totals.absorb(delta);
+    }
 }
 
 /// Per-caller query state over a borrowed engine: the reusable scratch and
@@ -500,55 +606,29 @@ impl AreaQueryEngine {
         self.run_raw(spec, area, scratch)
     }
 
-    /// Method × output dispatch over the (already resolved) area, with
-    /// the thread's exact-predicate pipeline totals sampled around the
-    /// run so [`QueryStats::predicates`] reports this query's
-    /// filter/fallback split (a query executes on one thread, so the
-    /// window is exact).
+    /// Runs the (already resolved) area through the sink dispatched from
+    /// `spec.output`: the `QueryOutput`-shaped entry over the generic
+    /// emission core ([`AreaQueryEngine::run_sink`]).
     fn run_raw<A: QueryArea + ?Sized>(
         &self,
         spec: &QuerySpec,
         area: &A,
         scratch: Option<&mut QueryScratch>,
     ) -> QueryOutput {
-        let before = vaq_geom::predicate_totals();
-        let mut out = self.run_raw_inner(spec, area, scratch);
-        let after = vaq_geom::predicate_totals();
-        let p = &mut out.stats_mut().predicates;
-        p.filter_fast_accepts += after.filter_fast_accepts - before.filter_fast_accepts;
-        p.exact_fallbacks += after.exact_fallbacks - before.exact_fallbacks;
-        out
-    }
-
-    fn run_raw_inner<A: QueryArea + ?Sized>(
-        &self,
-        spec: &QuerySpec,
-        area: &A,
-        scratch: Option<&mut QueryScratch>,
-    ) -> QueryOutput {
-        if spec.output == OutputMode::Classify {
-            let Some(tri) = self.tri.as_ref() else {
-                return QueryOutput::Classified {
-                    classes: Vec::new(),
-                    stats: QueryStats::default(),
-                };
-            };
-            let window = self.cell_window(area);
-            return QueryOutput::Classified {
-                classes: classify_points(tri, area, &window),
-                stats: QueryStats::default(),
-            };
-        }
-        match spec.method {
-            QueryMethod::Traditional => self.run_traditional(spec, area),
-            QueryMethod::Voronoi => self.run_voronoi(spec, area, scratch),
-            QueryMethod::BruteForce => self.run_brute_force(spec, area),
-        }
+        dispatch_sink(
+            spec.output,
+            EngineRun {
+                engine: self,
+                spec,
+                area,
+                scratch,
+            },
+        )
     }
 
     /// Samples the thread's predicate totals around `body` and returns
     /// the filter/fallback delta it produced — the delta-scan
-    /// counterpart of the sampling `run_raw` does for engine queries.
+    /// counterpart of the sampling `run_sink` does for engine queries.
     pub(crate) fn sample_predicates(body: impl FnOnce()) -> crate::stats::PredicateCounters {
         let before = vaq_geom::predicate_totals();
         body();
@@ -559,8 +639,98 @@ impl AreaQueryEngine {
         }
     }
 
-    fn run_traditional<A: QueryArea + ?Sized>(&self, spec: &QuerySpec, area: &A) -> QueryOutput {
-        let mut stats = QueryStats::default();
+    /// As [`AreaQueryEngine::run_sink`], resolving `PrepareOnce`/`Cached`
+    /// preparation first (`Cached` without a session cache degrades to
+    /// `PrepareOnce`, exactly as [`AreaQueryEngine::run_spec`] does).
+    #[allow(clippy::too_many_arguments)] // the emission core's explicit inputs
+    pub(crate) fn run_sink_spec<A, I, K, F>(
+        &self,
+        spec: &QuerySpec,
+        area: &A,
+        scratch: Option<&mut QueryScratch>,
+        kind: &K,
+        partial: &mut K::Partial,
+        map: &F,
+        stats: &mut QueryStats,
+    ) where
+        A: QueryArea + ?Sized,
+        I: SinkId,
+        K: ResultSink<I>,
+        F: Fn(u32) -> Option<I>,
+    {
+        if !matches!(spec.prepare, PrepareMode::Raw) {
+            if let Some(prepared) = area.prepare() {
+                let raw_spec = spec.prepare(PrepareMode::Raw);
+                return self.run_sink(
+                    &raw_spec,
+                    prepared.as_ref(),
+                    scratch,
+                    kind,
+                    partial,
+                    map,
+                    stats,
+                );
+            }
+        }
+        self.run_sink(spec, area, scratch, kind, partial, map, stats)
+    }
+
+    /// The generic emission core behind **every** execution path (single
+    /// query, batch worker, shard visit, dynamic base pass): runs
+    /// `spec.method` over the area and emits each accepted candidate into
+    /// `kind`'s `partial`, with its engine-local index translated through
+    /// `map` into the caller's id space (`None` drops the candidate — the
+    /// dynamic engines' tombstone filter, applied *before* the sink so a
+    /// bounded sink never wastes a slot on a dead point). The thread's
+    /// exact-predicate totals are sampled around the run, so
+    /// `stats.predicates` reports this query's filter/fallback split (a
+    /// query executes on one thread, so the window is exact).
+    #[allow(clippy::too_many_arguments)] // the emission core's explicit inputs
+    pub(crate) fn run_sink<A, I, K, F>(
+        &self,
+        spec: &QuerySpec,
+        area: &A,
+        scratch: Option<&mut QueryScratch>,
+        kind: &K,
+        partial: &mut K::Partial,
+        map: &F,
+        stats: &mut QueryStats,
+    ) where
+        A: QueryArea + ?Sized,
+        I: SinkId,
+        K: ResultSink<I>,
+        F: Fn(u32) -> Option<I>,
+    {
+        let before = vaq_geom::predicate_totals();
+        match spec.method {
+            QueryMethod::Traditional => {
+                self.sink_traditional(spec, area, kind, partial, map, stats)
+            }
+            QueryMethod::Voronoi => {
+                self.sink_voronoi(spec, area, scratch, kind, partial, map, stats);
+            }
+            QueryMethod::BruteForce => self.sink_brute_force(area, kind, partial, map, stats),
+        }
+        let after = vaq_geom::predicate_totals();
+        stats.predicates.filter_fast_accepts +=
+            after.filter_fast_accepts - before.filter_fast_accepts;
+        stats.predicates.exact_fallbacks += after.exact_fallbacks - before.exact_fallbacks;
+    }
+
+    fn sink_traditional<A, I, K, F>(
+        &self,
+        spec: &QuerySpec,
+        area: &A,
+        kind: &K,
+        partial: &mut K::Partial,
+        map: &F,
+        stats: &mut QueryStats,
+    ) where
+        A: QueryArea + ?Sized,
+        I: SinkId,
+        K: ResultSink<I>,
+        F: Fn(u32) -> Option<I>,
+    {
         let mbr = area.mbr();
         let candidates = match spec.filter {
             FilterIndex::RTree => self.rtree.window_with_stats(&mbr, &mut stats.index),
@@ -575,49 +745,48 @@ impl AreaQueryEngine {
                 .expect("quadtree not built; use EngineBuilder::with_quadtree")
                 .window(&mbr),
         };
-        match spec.output {
-            OutputMode::Collect => {
-                let indices = refine(
-                    candidates,
-                    &self.points,
-                    area,
-                    self.records.as_ref(),
-                    &mut stats,
-                );
-                QueryOutput::Collected(QueryResult { indices, stats })
-            }
-            OutputMode::Count => {
-                let mut count = 0usize;
-                refine_each(
-                    candidates,
-                    &self.points,
-                    area,
-                    self.records.as_ref(),
-                    &mut stats,
-                    |_| count += 1,
-                );
-                stats.result_size = count;
-                QueryOutput::Counted { count, stats }
-            }
-            OutputMode::Classify => unreachable!("handled in run_raw"),
-        }
+        let records = self.records.as_ref();
+        refine_each(
+            candidates,
+            &self.points,
+            area,
+            records,
+            stats,
+            |id, stats| {
+                if let Some(out) = map(id) {
+                    kind.emit(
+                        partial,
+                        &Emit {
+                            id: out,
+                            local: id,
+                            point: self.points[id as usize],
+                            records,
+                        },
+                        stats,
+                    );
+                }
+            },
+        );
     }
 
-    fn run_voronoi<A: QueryArea + ?Sized>(
+    #[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's explicit inputs
+    fn sink_voronoi<A, I, K, F>(
         &self,
         spec: &QuerySpec,
         area: &A,
         scratch: Option<&mut QueryScratch>,
-    ) -> QueryOutput {
-        let mut stats = QueryStats::default();
+        kind: &K,
+        partial: &mut K::Partial,
+        map: &F,
+        stats: &mut QueryStats,
+    ) where
+        A: QueryArea + ?Sized,
+        I: SinkId,
+        K: ResultSink<I>,
+        F: Fn(u32) -> Option<I>,
+    {
         let Some(tri) = self.tri.as_ref() else {
-            return match spec.output {
-                OutputMode::Count => QueryOutput::Counted { count: 0, stats },
-                _ => QueryOutput::Collected(QueryResult {
-                    indices: Vec::new(),
-                    stats,
-                }),
-            };
+            return;
         };
         let mut owned;
         let scratch = match scratch {
@@ -659,57 +828,111 @@ impl AreaQueryEngine {
             &window,
             self.records.as_ref(),
             scratch,
-            &mut stats,
+            stats,
         );
-        match spec.output {
-            OutputMode::Collect => {
-                // Expand canonical vertices back to input indices
-                // (duplicates).
-                let mut indices = Vec::with_capacity(canonical.len());
-                for v in canonical {
-                    indices.extend_from_slice(tri.inputs_of(v));
+        // Expand canonical vertices back to input indices (duplicates
+        // share the canonical vertex's coordinates) and emit each.
+        let records = self.records.as_ref();
+        for v in canonical {
+            let pv = tri.point(v);
+            for &i in tri.inputs_of(v) {
+                if let Some(out) = map(i) {
+                    kind.emit(
+                        partial,
+                        &Emit {
+                            id: out,
+                            local: i,
+                            point: pv,
+                            records,
+                        },
+                        stats,
+                    );
                 }
-                stats.result_size = indices.len();
-                QueryOutput::Collected(QueryResult { indices, stats })
             }
-            OutputMode::Count => {
-                // Same BFS, duplicate multiplicities summed instead of
-                // materialised — every counter matches the collecting run.
-                let count = canonical.iter().map(|&v| tri.inputs_of(v).len()).sum();
-                stats.result_size = count;
-                QueryOutput::Counted { count, stats }
-            }
-            OutputMode::Classify => unreachable!("handled in run_raw"),
         }
     }
 
-    fn run_brute_force<A: QueryArea + ?Sized>(&self, spec: &QuerySpec, area: &A) -> QueryOutput {
-        let mut stats = QueryStats {
-            candidates: self.points.len(),
-            ..QueryStats::default()
-        };
-        let mut indices = Vec::new();
-        let mut count = 0usize;
-        let collect = spec.output == OutputMode::Collect;
+    fn sink_brute_force<A, I, K, F>(
+        &self,
+        area: &A,
+        kind: &K,
+        partial: &mut K::Partial,
+        map: &F,
+        stats: &mut QueryStats,
+    ) where
+        A: QueryArea + ?Sized,
+        I: SinkId,
+        K: ResultSink<I>,
+        F: Fn(u32) -> Option<I>,
+    {
+        stats.candidates += self.points.len();
+        let records = self.records.as_ref();
         for (i, &p) in self.points.iter().enumerate() {
             stats.containment_tests += 1;
-            if let Some(rs) = self.records.as_ref() {
+            if let Some(rs) = records {
                 stats.payload_checksum = stats.payload_checksum.wrapping_add(rs.read(i as u32));
             }
             if area.contains(p) {
                 stats.accepted += 1;
-                count += 1;
-                if collect {
-                    indices.push(i as u32);
+                if let Some(out) = map(i as u32) {
+                    kind.emit(
+                        partial,
+                        &Emit {
+                            id: out,
+                            local: i as u32,
+                            point: p,
+                            records,
+                        },
+                        stats,
+                    );
                 }
             }
         }
-        stats.result_size = count;
-        if collect {
-            QueryOutput::Collected(QueryResult { indices, stats })
-        } else {
-            QueryOutput::Counted { count, stats }
-        }
+    }
+}
+
+/// The single-engine execution path as a sink visitor: one generic run
+/// over the emission core, plus the whole-diagram classify branch.
+struct EngineRun<'r, A: ?Sized> {
+    engine: &'r AreaQueryEngine,
+    spec: &'r QuerySpec,
+    area: &'r A,
+    scratch: Option<&'r mut QueryScratch>,
+}
+
+impl<A: QueryArea + ?Sized> SinkVisitor for EngineRun<'_, A> {
+    type Out = QueryOutput;
+
+    fn visit<K: EngineSink + DynamicSink>(self, kind: K) -> QueryOutput {
+        let mut stats = QueryStats::default();
+        let mut partial = ResultSink::<u32>::start(&kind);
+        self.engine.run_sink(
+            self.spec,
+            self.area,
+            self.scratch,
+            &kind,
+            &mut partial,
+            &Some,
+            &mut stats,
+        );
+        stats.result_size = ResultSink::<u32>::result_len(&kind, &partial);
+        kind.finish_output(partial, stats)
+    }
+
+    fn classify(self) -> QueryOutput {
+        let Some(tri) = self.engine.tri.as_ref() else {
+            return QueryOutput::Classified {
+                classes: Vec::new(),
+                stats: QueryStats::default(),
+            };
+        };
+        let mut stats = QueryStats::default();
+        let mut classes = Vec::new();
+        stats.predicates = AreaQueryEngine::sample_predicates(|| {
+            let window = self.engine.cell_window(self.area);
+            classes = classify_points(tri, self.area, &window);
+        });
+        QueryOutput::Classified { classes, stats }
     }
 }
 

@@ -31,9 +31,23 @@
 //!
 //! Results are **bit-identical to the unsharded engine**: the shards
 //! partition the point set, every method validates with the same exact
-//! predicates, and the differential suite
-//! (`tests/sharded_differential.rs`) enforces equality of the sorted
-//! global index sets and counts across the whole `QuerySpec` grid.
+//! predicates, and the differential suites
+//! (`tests/sharded_differential.rs`, `tests/sink_differential.rs`)
+//! enforce equality of the sorted global index sets, counts, kNN
+//! answers and payload checksums across the whole `QuerySpec` grid.
+//!
+//! One documented caveat: the paper's **segment expansion heuristic**
+//! ([`ExpansionPolicy::Segment`](crate::ExpansionPolicy)) is itself only
+//! heuristically complete, and its gap widens on shard-local Voronoi
+//! diagrams — cells of sites near a kd cut stretch across the cut (their
+//! true neighbours live in the next shard), so at large scale a
+//! shard-local BFS can fail to bridge a thin slice of the area that the
+//! global diagram bridges fine (first observed at 2·10⁵ points × 8
+//! shards: 8 of ~55 000 matches dropped over 64 areas). The provably
+//! complete [`ExpansionPolicy::Cell`](crate::ExpansionPolicy) is exact
+//! on every path — the sink-layer benches run it for exactly that
+//! reason — and closing the segment-policy gap near shard cuts is a
+//! ROADMAP item.
 //!
 //! [`ShardedDynamicAreaQueryEngine`] adds the base + delta pattern of
 //! [`crate::dynamic`] on top: inserts land in **shard-local delta
@@ -44,9 +58,13 @@
 use crate::area::QueryArea;
 use crate::batch::prepare_batch_shared;
 use crate::dynamic::{should_purge_delta, DynamicQueryResult, DEFAULT_COMPACT_RATIO};
-use crate::engine::AreaQueryEngine;
-use crate::query::{OutputMode, PrepareMode, QueryOutput, QuerySpec};
+use crate::engine::{AreaQueryEngine, EngineBuilder};
+use crate::payload::{RecordStore, PAYLOAD_SEED};
+use crate::query::{PrepareMode, QuerySpec};
 use crate::scratch::QueryScratch;
+use crate::sink::{
+    dispatch_sink, DynamicSink, Emit, EngineSink, Neighbor, ResultSink, SinkId, SinkVisitor,
+};
 use crate::stats::{CacheCounters, QueryStats};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -77,11 +95,16 @@ pub struct ShardBreakdown {
 #[derive(Clone, Debug, Default)]
 pub struct ShardedQueryOutput {
     /// Matching **global input indices, ascending** (empty in
-    /// [`OutputMode::Count`]).
+    /// [`OutputMode::Count`](crate::OutputMode); the kept neighbours'
+    /// indices in [`OutputMode::TopKNearest`](crate::OutputMode)).
     pub indices: Vec<u32>,
     /// Number of matching points (equals `indices.len()` when
     /// collecting).
     pub count: usize,
+    /// The kept neighbours, ascending by `(dist_sq, index)` — populated
+    /// only by [`OutputMode::TopKNearest`](crate::OutputMode), merged
+    /// across shards with ties broken by global index.
+    pub neighbors: Vec<Neighbor>,
     /// Aggregate counters: per-shard work summed
     /// ([`QueryStats::absorb_shard`]), `shards_visited` /
     /// `shards_pruned` filled in, prepared-cache traffic of the shared
@@ -123,6 +146,16 @@ fn split_partition(points: &[Point], idx: &mut [u32], shards: usize, out: &mut V
     split_partition(points, right, shards - left_shards, out);
 }
 
+/// Resolves the requested shard count: `0` auto-tunes to the machine's
+/// available parallelism (>= 1), anything else passes through.
+fn resolve_shard_count(shards: usize) -> usize {
+    if shards == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        shards
+    }
+}
+
 /// Partitions `0..points.len()` into at most `shards` non-empty parts.
 fn partition(points: &[Point], shards: usize) -> Vec<Vec<u32>> {
     if points.is_empty() {
@@ -152,8 +185,37 @@ impl ShardedAreaQueryEngine {
     /// per-shard engines in parallel on up to `shards` worker threads.
     /// Fewer than `shards` shards are built when the point set is
     /// smaller than the shard count.
+    ///
+    /// `shards == 0` **auto-tunes**: the shard count becomes the
+    /// machine's [`std::thread::available_parallelism`] (the first rung
+    /// of shard-count auto-tuning — one shard per hardware thread keeps
+    /// every core busy on fan-out queries without over-partitioning the
+    /// prune). The CLI exposes it as `--shards auto`.
     pub fn build(points: &[Point], shards: usize) -> ShardedAreaQueryEngine {
+        let shards = resolve_shard_count(shards);
         ShardedAreaQueryEngine::build_with(points, shards, shards)
+    }
+
+    /// As [`ShardedAreaQueryEngine::build`], attaching a simulated
+    /// payload record of `payload_bytes` bytes to every point: **one
+    /// logical record store** is generated for the whole dataset (same
+    /// seed and contents as `EngineBuilder::payload_bytes` on the
+    /// unsharded engine) and [split](RecordStore::split) into per-shard
+    /// stores addressed by shard-local ids — record contents are copied
+    /// exactly once and validation/materialisation checksums stay
+    /// bit-identical to the unsharded engine's. `payload_bytes == 0`
+    /// builds without records; `shards == 0` auto-tunes.
+    pub fn build_with_payload(
+        points: &[Point],
+        shards: usize,
+        payload_bytes: usize,
+    ) -> ShardedAreaQueryEngine {
+        if payload_bytes == 0 {
+            return ShardedAreaQueryEngine::build(points, shards);
+        }
+        let logical = RecordStore::generate(points.len(), payload_bytes, PAYLOAD_SEED);
+        let shards = resolve_shard_count(shards);
+        ShardedAreaQueryEngine::build_inner(points, shards, shards, Some(&logical))
     }
 
     /// As [`ShardedAreaQueryEngine::build`] with an explicit build
@@ -163,17 +225,58 @@ impl ShardedAreaQueryEngine {
         shards: usize,
         build_threads: usize,
     ) -> ShardedAreaQueryEngine {
+        ShardedAreaQueryEngine::build_inner(
+            points,
+            resolve_shard_count(shards),
+            build_threads,
+            None,
+        )
+    }
+
+    fn build_inner(
+        points: &[Point],
+        shards: usize,
+        build_threads: usize,
+        records: Option<&RecordStore>,
+    ) -> ShardedAreaQueryEngine {
         let parts = partition(points, shards);
-        let build_one = |part: &[u32]| -> Shard {
+        // Per-shard slices of the logical record store (shard-local ids),
+        // each record's bytes copied exactly once; the mutex lets each
+        // build worker *take* its shard's store instead of cloning it (a
+        // clone would be a second copy of the record contents).
+        let shard_stores: Vec<std::sync::Mutex<Option<RecordStore>>> = match records {
+            Some(logical) => logical
+                .split(&parts)
+                .expect("partition indices are in range")
+                .into_iter()
+                .map(|s| std::sync::Mutex::new(Some(s)))
+                .collect(),
+            None => (0..parts.len())
+                .map(|_| std::sync::Mutex::new(None))
+                .collect(),
+        };
+        let build_one = |si: usize, part: &[u32]| -> Shard {
             let pts: Vec<Point> = part.iter().map(|&i| points[i as usize]).collect();
+            let mut builder = EngineBuilder::new(&pts);
+            let store = shard_stores[si]
+                .lock()
+                .expect("store mutex poisoned")
+                .take();
+            if let Some(store) = store {
+                builder = builder.record_store(store);
+            }
             Shard {
                 mbr: Rect::from_points(pts.iter().copied()),
-                engine: AreaQueryEngine::build(&pts),
+                engine: builder.build(),
                 global: part.to_vec(),
             }
         };
         let built: Vec<Shard> = if build_threads <= 1 || parts.len() <= 1 {
-            parts.iter().map(|p| build_one(p)).collect()
+            parts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| build_one(i, p))
+                .collect()
         } else {
             let next = AtomicUsize::new(0);
             let workers = build_threads.min(parts.len());
@@ -190,7 +293,7 @@ impl ShardedAreaQueryEngine {
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(part) = parts.get(i) else { break };
-                                done.push((i, build_one(part)));
+                                done.push((i, build_one(i, part)));
                             }
                             done
                         })
@@ -252,10 +355,12 @@ impl ShardedAreaQueryEngine {
     }
 
     /// Executes `spec` over `area`: shards whose MBR misses the area's
-    /// MBR are pruned outright, the survivors run sequentially, and the
-    /// shard-local results merge back to ascending global input indices.
-    /// Preparation (for [`PrepareMode::PrepareOnce`] / `Cached`) happens
-    /// **once** and the compiled area is shared by every shard.
+    /// MBR are pruned outright, the survivors run sequentially through
+    /// the generic emission path, and the shard-local sink partials are
+    /// **merged** ([`ResultSink::merge`]) into one answer mapped to
+    /// ascending global input indices. Preparation (for
+    /// [`PrepareMode::PrepareOnce`] / `Cached`) happens **once** and the
+    /// compiled area is shared by every shard.
     ///
     /// Note: a lone `execute` holds no state across calls, so
     /// [`PrepareMode::Cached`] here equals `PrepareOnce` shared across
@@ -270,16 +375,47 @@ impl ShardedAreaQueryEngine {
     ///
     /// # Panics
     ///
-    /// Panics for [`OutputMode::Classify`]: classification is defined on
+    /// Panics for `OutputMode::Classify`: classification is defined on
     /// one global Voronoi diagram, which the sharded engine does not
     /// build. Also panics if the spec requests an index the shard
     /// engines did not build (they are built with defaults: R-tree +
     /// Delaunay, no kd-tree/quadtree).
     pub fn execute<A: QueryArea + ?Sized>(&self, spec: &QuerySpec, area: &A) -> ShardedQueryOutput {
-        assert!(
-            spec.output != OutputMode::Classify,
-            "point classification is per-diagram and is not supported on the sharded engine"
-        );
+        dispatch_sink(
+            spec.output,
+            ShardRun {
+                eng: self,
+                spec,
+                area,
+            },
+        )
+    }
+
+    /// The sharded emission core shared by [`ShardedAreaQueryEngine::execute`]
+    /// and the sharded dynamic engine's base pass: prepares the area once,
+    /// prunes shards by MBR, runs each survivor through
+    /// [`AreaQueryEngine::run_sink`] with its global-index translation
+    /// composed with the caller's `map`, merges the shard partials into
+    /// `acc`, and folds the per-shard counters into `stats` (work
+    /// counters summed via [`QueryStats::absorb_shard`], visit/prune
+    /// counters and the one-shot cache traffic set here, per-shard
+    /// breakdowns appended when requested).
+    #[allow(clippy::too_many_arguments)] // the emission core's explicit inputs
+    pub(crate) fn run_shards_sink<A, I, K, F>(
+        &self,
+        spec: &QuerySpec,
+        area: &A,
+        kind: &K,
+        acc: &mut K::Partial,
+        map: &F,
+        stats: &mut QueryStats,
+        mut breakdown: Option<&mut Vec<ShardBreakdown>>,
+    ) where
+        A: QueryArea + ?Sized,
+        I: SinkId,
+        K: ResultSink<I>,
+        F: Fn(u32) -> Option<I>,
+    {
         let prepared: Option<Box<dyn QueryArea + Send + Sync>> = match spec.prepare {
             PrepareMode::Raw => None,
             _ => area.prepare(),
@@ -293,20 +429,40 @@ impl ShardedAreaQueryEngine {
         };
         let raw_spec = spec.prepare(PrepareMode::Raw);
         let area_mbr = area.mbr();
-        let mut out = ShardedQueryOutput::default();
         for (si, shard) in self.shards.iter().enumerate() {
             if !shard.mbr.intersects(&area_mbr) {
-                out.stats.shards_pruned += 1;
+                stats.shards_pruned += 1;
                 continue;
             }
-            let shard_out = match &prepared {
-                Some(prep) => shard.engine.run_spec(&raw_spec, prep.as_ref(), None),
-                None => shard.engine.run_spec(&raw_spec, area, None),
-            };
-            merge_shard_output(&mut out, shard, si, shard_out);
+            stats.shards_visited += 1;
+            let mut st = QueryStats::default();
+            let mut part = kind.start();
+            let shard_map = |local: u32| map(shard.global[local as usize]);
+            match &prepared {
+                Some(prep) => shard.engine.run_sink(
+                    &raw_spec,
+                    prep.as_ref(),
+                    None,
+                    kind,
+                    &mut part,
+                    &shard_map,
+                    &mut st,
+                ),
+                None => shard
+                    .engine
+                    .run_sink(&raw_spec, area, None, kind, &mut part, &shard_map, &mut st),
+            }
+            st.result_size = kind.result_len(&part);
+            kind.merge(acc, part);
+            stats.absorb_shard(&st);
+            if let Some(b) = breakdown.as_deref_mut() {
+                b.push(ShardBreakdown {
+                    shard: si,
+                    stats: st,
+                });
+            }
         }
-        finish_output(&mut out, cache);
-        out
+        stats.prepared_cache = cache;
     }
 
     /// Executes `spec` over every area on `threads` worker threads and
@@ -315,12 +471,14 @@ impl ShardedAreaQueryEngine {
     /// The unit of work is one `(area, shard)` pair of the pruned
     /// survivor set, handed out through a shared atomic index (work
     /// stealing), so a worker never idles behind one heavy area *or* one
-    /// heavy shard. Workers keep per-shard scratch across the batch.
-    /// Under [`PrepareMode::Cached`], each **distinct** area fingerprint
-    /// is compiled once per batch and the compiled form is shared across
-    /// workers *and* shards; the batch-wide hit/miss counters land in
-    /// the per-area stats exactly as in
-    /// [`AreaQueryEngine::execute_batch`].
+    /// heavy shard. Workers keep per-shard scratch across the batch, and
+    /// each work item fills its own sink partial — the merge step folds
+    /// partials in ascending shard order ([`ResultSink::merge`]), never
+    /// re-dispatching on the output mode. Under [`PrepareMode::Cached`],
+    /// each **distinct** area fingerprint is compiled once per batch and
+    /// the compiled form is shared across workers *and* shards; the
+    /// batch-wide hit/miss counters land in the per-area stats exactly
+    /// as in [`AreaQueryEngine::execute_batch`].
     ///
     /// # Panics
     ///
@@ -331,10 +489,72 @@ impl ShardedAreaQueryEngine {
         areas: &[A],
         threads: usize,
     ) -> Vec<ShardedQueryOutput> {
-        assert!(
-            spec.output != OutputMode::Classify,
-            "point classification is per-diagram and is not supported on the sharded engine"
+        dispatch_sink(
+            spec.output,
+            ShardBatchRun {
+                eng: self,
+                spec,
+                areas,
+                threads,
+            },
+        )
+    }
+}
+
+/// The sequential sharded execution path as a sink visitor.
+struct ShardRun<'r, A: ?Sized> {
+    eng: &'r ShardedAreaQueryEngine,
+    spec: &'r QuerySpec,
+    area: &'r A,
+}
+
+impl<A: QueryArea + ?Sized> SinkVisitor for ShardRun<'_, A> {
+    type Out = ShardedQueryOutput;
+
+    fn visit<K: EngineSink + DynamicSink>(self, kind: K) -> ShardedQueryOutput {
+        let mut out = ShardedQueryOutput::default();
+        let mut acc = ResultSink::<u32>::start(&kind);
+        let mut breakdown = Vec::new();
+        self.eng.run_shards_sink(
+            self.spec,
+            self.area,
+            &kind,
+            &mut acc,
+            &Some,
+            &mut out.stats,
+            Some(&mut breakdown),
         );
+        out.breakdown = breakdown;
+        kind.fold_sharded(acc, &mut out);
+        out.stats.result_size = out.count;
+        out
+    }
+
+    fn classify(self) -> ShardedQueryOutput {
+        panic!("point classification is per-diagram and is not supported on the sharded engine");
+    }
+}
+
+/// The batched sharded execution path as a sink visitor: `(area, shard)`
+/// work items on a shared work-stealing index, one sink partial per item,
+/// merged per area in ascending shard order.
+struct ShardBatchRun<'r, A> {
+    eng: &'r ShardedAreaQueryEngine,
+    spec: &'r QuerySpec,
+    areas: &'r [A],
+    threads: usize,
+}
+
+impl<A: QueryArea + Sync> SinkVisitor for ShardBatchRun<'_, A> {
+    type Out = Vec<ShardedQueryOutput>;
+
+    fn visit<K: EngineSink + DynamicSink>(self, kind: K) -> Vec<ShardedQueryOutput> {
+        let ShardBatchRun {
+            eng,
+            spec,
+            areas,
+            threads,
+        } = self;
         let shared = prepare_batch_shared(spec, areas);
         let raw_spec = spec.prepare(PrepareMode::Raw);
 
@@ -347,7 +567,7 @@ impl ShardedAreaQueryEngine {
             let mbr = area.mbr();
             let start = work.len();
             let mut misses = 0usize;
-            for (si, shard) in self.shards.iter().enumerate() {
+            for (si, shard) in eng.shards.iter().enumerate() {
                 if shard.mbr.intersects(&mbr) {
                     work.push((ranges.len() as u32, si as u32));
                 } else {
@@ -358,27 +578,49 @@ impl ShardedAreaQueryEngine {
             pruned.push(misses);
         }
 
-        // One (area, shard) work item; `scratch` is the worker's lazily
-        // created per-shard scratch.
-        let run_one = |&(ai, si): &(u32, u32), scratch: &mut Vec<Option<QueryScratch>>| {
-            let shard = &self.shards[si as usize];
+        // One (area, shard) work item producing its own sink partial and
+        // per-shard stats; `scratch` is the worker's lazily created
+        // per-shard scratch.
+        let run_one = |&(ai, si): &(u32, u32),
+                       scratch: &mut Vec<Option<QueryScratch>>|
+         -> (<K as ResultSink<u32>>::Partial, QueryStats) {
+            let shard = &eng.shards[si as usize];
             let s = scratch[si as usize].get_or_insert_with(|| shard.engine.new_scratch());
+            let mut st = QueryStats::default();
+            let mut part = ResultSink::<u32>::start(&kind);
+            let shard_map = |local: u32| Some(shard.global[local as usize]);
             match shared
                 .as_ref()
                 .and_then(|sh| sh.resolved[ai as usize].as_deref())
             {
-                Some(prep) => shard.engine.run_spec(&raw_spec, prep, Some(s)),
-                None => shard
-                    .engine
-                    .run_spec(&raw_spec, &areas[ai as usize], Some(s)),
+                Some(prep) => shard.engine.run_sink(
+                    &raw_spec,
+                    prep,
+                    Some(s),
+                    &kind,
+                    &mut part,
+                    &shard_map,
+                    &mut st,
+                ),
+                None => shard.engine.run_sink(
+                    &raw_spec,
+                    &areas[ai as usize],
+                    Some(s),
+                    &kind,
+                    &mut part,
+                    &shard_map,
+                    &mut st,
+                ),
             }
+            st.result_size = ResultSink::<u32>::result_len(&kind, &part);
+            (part, st)
         };
 
-        let mut slots: Vec<Option<QueryOutput>> = Vec::new();
+        let mut slots: Vec<Option<(<K as ResultSink<u32>>::Partial, QueryStats)>> = Vec::new();
         slots.resize_with(work.len(), || None);
         if threads <= 1 || work.len() <= 1 {
             let mut scratch: Vec<Option<QueryScratch>> =
-                (0..self.shards.len()).map(|_| None).collect();
+                (0..eng.shards.len()).map(|_| None).collect();
             for (w, item) in work.iter().enumerate() {
                 slots[w] = Some(run_one(item, &mut scratch));
             }
@@ -393,7 +635,7 @@ impl ShardedAreaQueryEngine {
                         let run_one = &run_one;
                         scope.spawn(move || {
                             let mut scratch: Vec<Option<QueryScratch>> =
-                                (0..self.shards.len()).map(|_| None).collect();
+                                (0..eng.shards.len()).map(|_| None).collect();
                             let mut done = Vec::new();
                             loop {
                                 let w = next.fetch_add(1, Ordering::Relaxed);
@@ -412,7 +654,7 @@ impl ShardedAreaQueryEngine {
             });
         }
 
-        // Merge each area's shard outputs back to global indices, in
+        // Merge each area's shard partials back to one output, in
         // ascending shard order (the work list was built that way), so
         // the aggregate is deterministic whatever the worker interleave.
         ranges
@@ -426,50 +668,31 @@ impl ShardedAreaQueryEngine {
                     },
                     ..ShardedQueryOutput::default()
                 };
+                let mut acc = ResultSink::<u32>::start(&kind);
                 for w in start..end {
                     let si = work[w].1 as usize;
-                    let shard_out = slots[w].take().expect("every work item ran exactly once");
-                    merge_shard_output(&mut out, &self.shards[si], si, shard_out);
+                    let (part, st) = slots[w].take().expect("every work item ran exactly once");
+                    out.stats.shards_visited += 1;
+                    ResultSink::<u32>::merge(&kind, &mut acc, part);
+                    out.stats.absorb_shard(&st);
+                    out.breakdown.push(ShardBreakdown {
+                        shard: si,
+                        stats: st,
+                    });
                 }
-                let cache = shared
+                kind.fold_sharded(acc, &mut out);
+                out.stats.result_size = out.count;
+                out.stats.prepared_cache = shared
                     .as_ref()
                     .map_or(CacheCounters::default(), |sh| sh.counters[ai]);
-                finish_output(&mut out, cache);
                 out
             })
             .collect()
     }
-}
 
-/// Folds one shard's raw output into the merged sharded output.
-fn merge_shard_output(out: &mut ShardedQueryOutput, shard: &Shard, si: usize, o: QueryOutput) {
-    out.stats.shards_visited += 1;
-    match o {
-        QueryOutput::Collected(r) => {
-            out.indices
-                .extend(r.indices.iter().map(|&i| shard.global[i as usize]));
-            out.count += r.indices.len();
-            out.stats.absorb_shard(&r.stats);
-            out.breakdown.push(ShardBreakdown {
-                shard: si,
-                stats: r.stats,
-            });
-        }
-        QueryOutput::Counted { count, stats } => {
-            out.count += count;
-            out.stats.absorb_shard(&stats);
-            out.breakdown.push(ShardBreakdown { shard: si, stats });
-        }
-        QueryOutput::Classified { .. } => unreachable!("classify is rejected up front"),
+    fn classify(self) -> Vec<ShardedQueryOutput> {
+        panic!("point classification is per-diagram and is not supported on the sharded engine");
     }
-}
-
-/// Final pass over a merged output: input-order indices, result size,
-/// batch-level cache counters.
-fn finish_output(out: &mut ShardedQueryOutput, cache: CacheCounters) {
-    out.indices.sort_unstable();
-    out.stats.result_size = out.count;
-    out.stats.prepared_cache = cache;
 }
 
 /// One shard's delta buffer: inserts routed here, plus the tight MBR of
@@ -617,47 +840,30 @@ impl ShardedDynamicAreaQueryEngine {
         self.execute(&QuerySpec::new(), area).ids
     }
 
-    /// Executes `spec` through the sharded funnel: MBR-pruned base query
-    /// merged to external ids, then a scan of the delta buffers whose
-    /// own MBR intersects the area, tombstones filtered throughout.
+    /// Executes `spec` through the sharded funnel: the MBR-pruned base
+    /// shards and the delta buckets whose own MBR intersects the area
+    /// all **emit into the spec's result sink** in external-id space,
+    /// tombstones filtered *before* the sink (so a bounded sink like
+    /// `OutputMode::TopKNearest` never wastes a slot on a dead point).
     /// Stats aggregate the base shards (visited/pruned counters
     /// included) and the delta scan ([`QueryStats::delta_scanned`]).
+    /// Delta-buffered points have no stored payload records until
+    /// compaction, so the materialising sink reads records for base
+    /// points only.
     ///
-    /// The spec's output mode is overridden to `Collect`, as in
-    /// [`crate::dynamic::DynamicAreaQueryEngine::execute`].
+    /// # Panics
+    ///
+    /// Panics for `OutputMode::Classify`, as
+    /// [`ShardedAreaQueryEngine::execute`] does.
     pub fn execute<A: QueryArea + ?Sized>(&self, spec: &QuerySpec, area: &A) -> DynamicQueryResult {
-        let base_out = self.base.execute(&spec.output(OutputMode::Collect), area);
-        let mut stats = base_out.stats;
-        let mut ids: Vec<u64> = base_out
-            .indices
-            .iter()
-            .map(|&i| self.base_ids[i as usize])
-            .filter(|id| !self.tombstones.contains(id))
-            .collect();
-        let area_mbr = area.mbr();
-        let delta_predicates = AreaQueryEngine::sample_predicates(|| {
-            for bucket in &self.deltas {
-                if bucket.points.is_empty() || !bucket.mbr.intersects(&area_mbr) {
-                    continue;
-                }
-                for &(id, p) in &bucket.points {
-                    if self.tombstones.contains(&id) {
-                        continue;
-                    }
-                    stats.delta_scanned += 1;
-                    stats.candidates += 1;
-                    stats.containment_tests += 1;
-                    if area.contains(p) {
-                        stats.accepted += 1;
-                        ids.push(id);
-                    }
-                }
-            }
-        });
-        stats.predicates.absorb(delta_predicates);
-        ids.sort_unstable();
-        stats.result_size = ids.len();
-        DynamicQueryResult { ids, stats }
+        dispatch_sink(
+            spec.output,
+            ShardedDynamicRun {
+                eng: self,
+                spec,
+                area,
+            },
+        )
     }
 
     /// The live overlay size (see
@@ -721,11 +927,80 @@ impl ShardedDynamicAreaQueryEngine {
     }
 }
 
+/// The sharded dynamic execution path as a sink visitor: base shards
+/// through the sharded emission core (tombstones filtered, global
+/// indices translated to external ids before the sink), then the
+/// MBR-surviving delta buckets scanned into the same partial.
+struct ShardedDynamicRun<'r, A: ?Sized> {
+    eng: &'r ShardedDynamicAreaQueryEngine,
+    spec: &'r QuerySpec,
+    area: &'r A,
+}
+
+impl<A: QueryArea + ?Sized> SinkVisitor for ShardedDynamicRun<'_, A> {
+    type Out = DynamicQueryResult;
+
+    fn visit<K: EngineSink + DynamicSink>(self, kind: K) -> DynamicQueryResult {
+        let eng = self.eng;
+        let area = self.area;
+        let mut stats = QueryStats::default();
+        let mut partial = ResultSink::<u64>::start(&kind);
+        let map = |g: u32| {
+            let id = eng.base_ids[g as usize];
+            (!eng.tombstones.contains(&id)).then_some(id)
+        };
+        eng.base
+            .run_shards_sink(self.spec, area, &kind, &mut partial, &map, &mut stats, None);
+        let area_mbr = area.mbr();
+        let delta_predicates = AreaQueryEngine::sample_predicates(|| {
+            for bucket in &eng.deltas {
+                if bucket.points.is_empty() || !bucket.mbr.intersects(&area_mbr) {
+                    continue;
+                }
+                for &(id, p) in &bucket.points {
+                    if eng.tombstones.contains(&id) {
+                        continue;
+                    }
+                    stats.delta_scanned += 1;
+                    stats.candidates += 1;
+                    stats.containment_tests += 1;
+                    if area.contains(p) {
+                        stats.accepted += 1;
+                        kind.emit(
+                            &mut partial,
+                            &Emit {
+                                id,
+                                local: 0,
+                                point: p,
+                                records: None,
+                            },
+                            &mut stats,
+                        );
+                    }
+                }
+            }
+        });
+        stats.predicates.absorb(delta_predicates);
+        stats.result_size = ResultSink::<u64>::result_len(&kind, &partial);
+        let mut out = DynamicQueryResult {
+            ids: Vec::new(),
+            neighbors: Vec::new(),
+            stats,
+        };
+        kind.finish_dynamic(partial, &mut out);
+        out
+    }
+
+    fn classify(self) -> DynamicQueryResult {
+        panic!("point classification is per-diagram and is not supported on the sharded engine");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::AreaQueryEngine;
-    use crate::query::QueryMethod;
+    use crate::query::{OutputMode, QueryMethod};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use vaq_geom::Polygon;

@@ -72,17 +72,18 @@ pub fn traditional_area_query_quadtree<A: QueryArea + ?Sized>(
     refine(candidates, points, area, records, stats)
 }
 
-/// The refine step shared by every filter index and output mode:
+/// The refine step shared by every filter index and result sink:
 /// materialise the candidate's record (when simulated), validate with the
-/// exact containment test, and hand accepted ids to `on_hit` — collection
-/// pushes, counting increments. The caller sets `stats.result_size`.
+/// exact containment test, and hand accepted ids — plus the run's stats,
+/// for sinks that fold checksums — to `on_hit`. The caller sets
+/// `stats.result_size`.
 pub(crate) fn refine_each<A: QueryArea + ?Sized>(
     candidates: Vec<u32>,
     points: &[Point],
     area: &A,
     records: Option<&RecordStore>,
     stats: &mut QueryStats,
-    mut on_hit: impl FnMut(u32),
+    mut on_hit: impl FnMut(u32, &mut QueryStats),
 ) {
     stats.candidates += candidates.len();
     for id in candidates {
@@ -92,7 +93,7 @@ pub(crate) fn refine_each<A: QueryArea + ?Sized>(
         }
         if area.contains(points[id as usize]) {
             stats.accepted += 1;
-            on_hit(id);
+            on_hit(id, stats);
         }
     }
 }
@@ -106,7 +107,7 @@ pub(crate) fn refine<A: QueryArea + ?Sized>(
     stats: &mut QueryStats,
 ) -> Vec<u32> {
     let mut result = Vec::with_capacity(candidates.len() / 2);
-    refine_each(candidates, points, area, records, stats, |id| {
+    refine_each(candidates, points, area, records, stats, |id, _| {
         result.push(id)
     });
     stats.result_size = result.len();

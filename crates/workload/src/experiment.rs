@@ -180,9 +180,11 @@ pub fn build_engine(data_size: usize, cfg: &SweepConfig) -> AreaQueryEngine {
 
 /// Builds the **sharded** engine over exactly the same dataset
 /// [`build_engine`] would index (same seed derivation), partitioned into
-/// `shards` shards — the serving-scale counterpart for differential and
-/// throughput sweeps. The payload simulation is not supported on the
-/// sharded engine and [`SweepConfig::payload_bytes`] is ignored.
+/// `shards` shards (`0` auto-tunes to the hardware) — the serving-scale
+/// counterpart for differential and throughput sweeps.
+/// [`SweepConfig::payload_bytes`] attaches per-shard slices of the same
+/// logical record store [`build_engine`] generates, so payload checksums
+/// are bit-identical across the sharded and unsharded engines.
 pub fn build_sharded_engine(
     data_size: usize,
     shards: usize,
@@ -193,7 +195,7 @@ pub fn build_sharded_engine(
         cfg.distribution,
         cfg.base_seed ^ data_size as u64,
     );
-    ShardedAreaQueryEngine::build(&pts, shards)
+    ShardedAreaQueryEngine::build_with_payload(&pts, shards, cfg.payload_bytes)
 }
 
 /// Table I / Figs 4–5: sweep over data sizes at a fixed query size.

@@ -3,6 +3,8 @@
 //! ```text
 //! vaq query --points pts.csv --area "POLYGON ((0 0, 1 0, 0.5 1))" [--method voronoi|traditional|brute|both] [--count]
 //! vaq query --points pts.csv --window 0.2,0.2,0.8,0.8
+//! vaq query --points pts.csv --area "POLYGON (…)" --knn 5 --at 0.5,0.5
+//! vaq query --points pts.csv --area "POLYGON (…)" --payload-bytes 1024
 //! vaq info  --points pts.csv
 //! vaq svg   --points pts.csv --area "POLYGON (…)" --out scene.svg
 //! ```
@@ -17,7 +19,12 @@
 //!   results, faster per-candidate validation on large areas).
 //!   `--shards N` partitions the points into N spatial shards (parallel
 //!   per-shard index builds, MBR shard pruning at query time) — same
-//!   indices, per-shard statistics.
+//!   indices, per-shard statistics; `--shards auto` picks one shard per
+//!   hardware thread. `--knn K --at X,Y` answers the kNN-within-area
+//!   query (the K matches nearest to the origin, exact distances, ties
+//!   by index); `--payload-bytes N` attaches an N-byte simulated payload
+//!   record to every point and materialises each matching record
+//!   (printing the fold of the record checksums).
 //! * `info` prints dataset statistics: extent, Delaunay/Voronoi facts.
 //! * `svg` renders the query scene (points, result, redundant candidates,
 //!   area outline) to an SVG file.
@@ -45,7 +52,11 @@ struct Options {
     method: String,
     count_only: bool,
     prepared: bool,
-    shards: usize,
+    /// `None` = unsharded; `Some(0)` = auto-tune to the hardware.
+    shards: Option<usize>,
+    knn: Option<usize>,
+    at: Option<String>,
+    payload_bytes: usize,
     out: Option<String>,
 }
 
@@ -60,7 +71,10 @@ fn parse_args() -> Result<Options, String> {
         method: String::from("voronoi"),
         count_only: false,
         prepared: false,
-        shards: 1,
+        shards: None,
+        knn: None,
+        at: None,
+        payload_bytes: 0,
         out: None,
     };
     while let Some(arg) = args.next() {
@@ -78,11 +92,28 @@ fn parse_args() -> Result<Options, String> {
             "--count" => o.count_only = true,
             "--prepared" => o.prepared = true,
             "--shards" => {
-                let v = args.next().ok_or("--shards needs a count")?;
-                o.shards =
+                let v = args.next().ok_or("--shards needs a count or 'auto'")?;
+                o.shards = Some(if v == "auto" {
+                    0 // the engine auto-tunes to available parallelism
+                } else {
                     v.parse::<usize>().ok().filter(|&s| s >= 1).ok_or_else(|| {
-                        format!("bad --shards count {v:?} (need an integer >= 1)")
-                    })?;
+                        format!("bad --shards count {v:?} (need an integer >= 1, or 'auto')")
+                    })?
+                });
+            }
+            "--knn" => {
+                let v = args.next().ok_or("--knn needs a neighbour count")?;
+                o.knn =
+                    Some(v.parse::<usize>().map_err(|_| {
+                        format!("bad --knn count {v:?} (need a non-negative integer)")
+                    })?);
+            }
+            "--at" => o.at = Some(args.next().ok_or("--at needs X,Y")?),
+            "--payload-bytes" => {
+                let v = args.next().ok_or("--payload-bytes needs a size")?;
+                o.payload_bytes = v.parse::<usize>().map_err(|_| {
+                    format!("bad --payload-bytes size {v:?} (need a non-negative integer)")
+                })?;
             }
             "--out" => o.out = Some(args.next().ok_or("--out needs a path")?),
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
@@ -94,7 +125,7 @@ fn parse_args() -> Result<Options, String> {
 const USAGE: &str = "usage: vaq <query|info|svg> --points FILE.csv \
 [--area WKT | --area-file FILE | --window X0,Y0,X1,Y1] \
 [--method voronoi|traditional|brute|both] [--count] [--prepared] \
-[--shards N] [--out FILE.svg]";
+[--shards N|auto] [--knn K --at X,Y] [--payload-bytes N] [--out FILE.svg]";
 
 fn main() -> ExitCode {
     match run() {
@@ -120,10 +151,10 @@ fn run() -> Result<(), String> {
         "info" => info(&points),
         "query" => {
             let area = required_area(&o)?;
-            if o.shards > 1 {
+            if o.shards.is_some() {
                 query_sharded(&points, &area, &o)
             } else {
-                query(&points, &area, &o.method, o.count_only, o.prepared)
+                query(&points, &area, &o)
             }
         }
         "svg" => {
@@ -250,15 +281,57 @@ fn parse_methods(method: &str) -> Result<&'static [(&'static str, QueryMethod)],
     }
 }
 
-fn query(
-    points: &[Point],
-    area: &CliArea,
-    method: &str,
-    count_only: bool,
-    prepared: bool,
-) -> Result<(), String> {
-    let methods = parse_methods(method)?;
-    let engine = AreaQueryEngine::build(points);
+/// Parses `--at X,Y` into the kNN origin.
+fn parse_at(spec: &str) -> Result<Point, String> {
+    let nums: Vec<f64> = spec
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad --at coordinate {:?}", t.trim()))
+        })
+        .collect::<Result<_, _>>()?;
+    let [x, y] = nums[..] else {
+        return Err(format!(
+            "--at needs two comma-separated numbers, got {}",
+            nums.len()
+        ));
+    };
+    if !x.is_finite() || !y.is_finite() {
+        return Err(format!("--at coordinates must be finite, got {spec:?}"));
+    }
+    Ok(Point::new(x, y))
+}
+
+/// Resolves the `--knn` / `--payload-bytes` flags into the spec's output
+/// mode (collect by default).
+fn output_mode_for(o: &Options) -> Result<OutputMode, String> {
+    match o.knn {
+        Some(_) if o.payload_bytes > 0 => Err(String::from(
+            "--knn and --payload-bytes are mutually exclusive (a kNN answer \
+has no per-record payload to print)",
+        )),
+        Some(k) => {
+            let at =
+                o.at.as_deref()
+                    .ok_or("--knn needs --at X,Y (the origin distances are measured from)")?;
+            Ok(OutputMode::TopKNearest {
+                k,
+                origin: parse_at(at)?,
+            })
+        }
+        None if o.at.is_some() => Err(String::from("--at is only meaningful with --knn K")),
+        None if o.payload_bytes > 0 => Ok(OutputMode::Materialize),
+        None => Ok(OutputMode::Collect),
+    }
+}
+
+fn query(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
+    let methods = parse_methods(&o.method)?;
+    let output = output_mode_for(o)?;
+    let engine = AreaQueryEngine::builder(points)
+        .payload_bytes(o.payload_bytes)
+        .build();
     let mut session = engine.session();
     // One spec per requested method; `--prepared` query-compiles the area
     // (identical results, per-candidate containment and segment tests
@@ -266,34 +339,58 @@ fn query(
     // `PrepareOnce` so `--method both` compiles the area once and the
     // second method hits the session cache.
     let base = QuerySpec::new()
-        .prepare(if prepared {
+        .prepare(if o.prepared {
             PrepareMode::Cached
         } else {
             PrepareMode::Raw
         })
-        .output(OutputMode::Collect);
+        .output(output);
     let mut printed = false;
     for &(name, m) in methods {
         let out = session.execute(&base.method(m), area.as_query_area());
-        let r = out.result().expect("collect-mode query");
+        let stats = out.stats();
         eprintln!(
             "{name}:{pad} {} results, {} candidates, {} redundant validations",
-            r.stats.result_size,
-            r.stats.candidates,
-            r.stats.redundant_validations(),
+            stats.result_size,
+            stats.candidates,
+            stats.redundant_validations(),
             pad = " ".repeat(11usize.saturating_sub(name.len())),
         );
-        emit(&r.sorted_indices(), count_only, &mut printed);
+        if matches!(output, OutputMode::Materialize) {
+            eprintln!(
+                "{name}:{pad} payload checksum {:#018x} ({} bytes/record)",
+                stats.payload_checksum,
+                o.payload_bytes,
+                pad = " ".repeat(11usize.saturating_sub(name.len())),
+            );
+        }
+        if let Some(neighbors) = out.neighbors() {
+            emit_neighbors(
+                &neighbors
+                    .iter()
+                    .map(|n| (u64::from(n.id), n.dist_sq))
+                    .collect::<Vec<_>>(),
+                o.count_only,
+                &mut printed,
+            );
+        } else {
+            let r = out.result().expect("collect-shaped query");
+            emit(&r.sorted_indices(), o.count_only, &mut printed);
+        }
     }
     Ok(())
 }
 
-/// `--shards N`: partition the points into N shards, build the per-shard
-/// engines in parallel, and answer with MBR shard pruning. Results (and
-/// the printed indices) are bit-identical to the unsharded path.
+/// `--shards N|auto`: partition the points into N spatial shards, build
+/// the per-shard engines in parallel, and answer with MBR shard pruning.
+/// Results (and the printed indices) are bit-identical to the unsharded
+/// path; `--payload-bytes` gives every shard its slice of one logical
+/// record store.
 fn query_sharded(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
     let methods = parse_methods(&o.method)?;
-    let engine = ShardedAreaQueryEngine::build(points, o.shards);
+    let output = output_mode_for(o)?;
+    let engine =
+        ShardedAreaQueryEngine::build_with_payload(points, o.shards.unwrap_or(1), o.payload_bytes);
     eprintln!(
         "sharded engine: {} shards over {} points (shard sizes {:?})",
         engine.shard_count(),
@@ -313,7 +410,7 @@ fn query_sharded(points: &[Point], area: &CliArea, o: &Options) -> Result<(), St
         Some(prep) => prep.as_ref(),
         None => area.as_query_area(),
     };
-    let base = QuerySpec::new();
+    let base = QuerySpec::new().output(output);
     let mut printed = false;
     for &(name, m) in methods {
         let out = engine.execute(&base.method(m), run_area);
@@ -328,7 +425,26 @@ fn query_sharded(points: &[Point], area: &CliArea, o: &Options) -> Result<(), St
             out.stats.shards_pruned,
             pad = " ".repeat(11usize.saturating_sub(name.len())),
         );
-        emit(&out.indices, o.count_only, &mut printed);
+        if matches!(output, OutputMode::Materialize) {
+            eprintln!(
+                "{name}:{pad} payload checksum {:#018x} ({} bytes/record)",
+                out.stats.payload_checksum,
+                o.payload_bytes,
+                pad = " ".repeat(11usize.saturating_sub(name.len())),
+            );
+        }
+        if matches!(output, OutputMode::TopKNearest { .. }) {
+            emit_neighbors(
+                &out.neighbors
+                    .iter()
+                    .map(|n| (u64::from(n.id), n.dist_sq))
+                    .collect::<Vec<_>>(),
+                o.count_only,
+                &mut printed,
+            );
+        } else {
+            emit(&out.indices, o.count_only, &mut printed);
+        }
     }
     Ok(())
 }
@@ -350,6 +466,24 @@ fn emit(indices: &[u32], count_only: bool, printed: &mut bool) {
         }
         print!("{out}");
     }
+}
+
+/// Prints the kNN answer once: `index distance` per line, nearest first
+/// (ties by index), or just the neighbour count under `--count`.
+fn emit_neighbors(neighbors: &[(u64, f64)], count_only: bool, printed: &mut bool) {
+    if *printed {
+        return;
+    }
+    *printed = true;
+    if count_only {
+        println!("{}", neighbors.len());
+        return;
+    }
+    let mut out = String::with_capacity(neighbors.len() * 24);
+    for &(id, dist_sq) in neighbors {
+        out.push_str(&format!("{id} {dist}\n", dist = dist_sq.sqrt()));
+    }
+    print!("{out}");
 }
 
 fn svg(points: &[Point], area: &CliArea, out: &str) -> Result<(), String> {

@@ -351,3 +351,144 @@ fn bad_inputs_fail_cleanly() {
         .expect("run vaq");
     assert!(!out.status.success());
 }
+
+/// `--knn K --at X,Y`: the K nearest matches to the origin, nearest
+/// first, ties by index — identical across the unsharded and sharded
+/// (including `auto`) paths.
+#[test]
+fn knn_query_prints_nearest_matches() {
+    let dir = temp_dir("knn");
+    let pts = write_points(&dir);
+    let base = [
+        "query",
+        "--points",
+        pts.to_str().unwrap(),
+        "--window",
+        "0.0,0.0,0.5,0.5",
+        "--knn",
+        "3",
+        "--at",
+        "0.0,0.0",
+    ];
+    let run = |extra: &[&str]| {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend_from_slice(extra);
+        let out = vaq().args(&args).output().expect("run vaq");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let plain = run(&[]);
+    let lines: Vec<&str> = plain.lines().collect();
+    assert_eq!(lines.len(), 3, "{plain}");
+    // The grid corner (0.05, 0.05) is point 0; the two next-nearest
+    // (0.15, 0.05) = 1 and (0.05, 0.15) = 10 tie exactly, so the
+    // smaller index prints first.
+    assert!(lines[0].starts_with("0 "), "{plain}");
+    assert!(lines[1].starts_with("1 "), "{plain}");
+    assert!(lines[2].starts_with("10 "), "{plain}");
+    assert_eq!(
+        run(&["--shards", "4"]),
+        plain,
+        "--shards must not change kNN"
+    );
+    assert_eq!(run(&["--shards", "auto"]), plain, "auto shards too");
+
+    // --count prints the number of neighbours kept.
+    let mut args: Vec<&str> = base.to_vec();
+    args.push("--count");
+    let out = vaq().args(&args).output().expect("run vaq");
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
+}
+
+/// `--payload-bytes N` materialises every matching record: indices stay
+/// identical to the plain query, and the checksum line appears — the
+/// same value on the sharded path (per-shard stores split from one
+/// logical store).
+#[test]
+fn payload_query_reports_checksums_and_same_indices() {
+    let dir = temp_dir("payload");
+    let pts = write_points(&dir);
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "query",
+            "--points",
+            pts.to_str().unwrap(),
+            "--window",
+            "0.0,0.0,0.5,0.5",
+        ];
+        args.extend_from_slice(extra);
+        let out = vaq().args(&args).output().expect("run vaq");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (plain, _) = run(&[]);
+    let (with_payload, stderr) = run(&["--payload-bytes", "512", "--method", "brute"]);
+    assert_eq!(plain, with_payload, "payload must not change the indices");
+    assert!(stderr.contains("payload checksum 0x"), "{stderr}");
+    // The sharded path reports the same checksum for the brute-force
+    // method (candidates partition exactly across shards).
+    let (sharded, sharded_err) = run(&[
+        "--payload-bytes",
+        "512",
+        "--method",
+        "brute",
+        "--shards",
+        "3",
+    ]);
+    assert_eq!(sharded, plain);
+    let checksum_line = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("payload checksum"))
+            .map(str::trim_start)
+            .map(|l| l.split_whitespace().nth(2).unwrap_or("").to_string())
+    };
+    assert_eq!(
+        checksum_line(&stderr),
+        checksum_line(&sharded_err),
+        "{sharded_err}"
+    );
+}
+
+/// The new flags reject inconsistent combinations with diagnostics, not
+/// panics.
+#[test]
+fn knn_and_payload_flags_fail_cleanly() {
+    let dir = temp_dir("knn-bad");
+    let pts = write_points(&dir);
+    let expect_fail = |extra: &[&str], needle: &str| {
+        let mut args = vec![
+            "query",
+            "--points",
+            pts.to_str().unwrap(),
+            "--window",
+            "0.1,0.1,0.5,0.5",
+        ];
+        args.extend_from_slice(extra);
+        let out = vaq().args(&args).output().expect("run vaq");
+        assert!(!out.status.success(), "{extra:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{extra:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{extra:?}: {stderr}");
+    };
+    expect_fail(&["--knn", "3"], "--at");
+    expect_fail(&["--at", "0.5,0.5"], "--knn");
+    expect_fail(&["--knn", "3", "--at", "nope"], "--at");
+    expect_fail(&["--knn", "3", "--at", "0.5"], "--at");
+    expect_fail(&["--knn", "x", "--at", "0.5,0.5"], "--knn");
+    expect_fail(
+        &["--knn", "3", "--at", "0.5,0.5", "--payload-bytes", "64"],
+        "mutually exclusive",
+    );
+    expect_fail(&["--payload-bytes", "big"], "--payload-bytes");
+}
