@@ -53,7 +53,8 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "all" | "table1" | "table2" | "fig4" | "fig5" | "fig6" | "fig7" | "ablation"
-            | "prepared" | "query-cache" | "sharded" | "predicates" | "knn" | "payload" => {
+            | "prepared" | "query-cache" | "sharded" | "predicates" | "knn" | "payload"
+            | "planner" => {
                 what = arg;
             }
             "--reps" => {
@@ -71,7 +72,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(String::from(
                     "usage: reproduce \
-[all|table1|table2|fig4|fig5|fig6|fig7|ablation|prepared|query-cache|sharded|predicates|knn|payload] \
+[all|table1|table2|fig4|fig5|fig6|fig7|ablation|prepared|query-cache|sharded|predicates|knn|payload|planner] \
 [--reps N] [--quick] [--payload BYTES] [--out DIR]",
                 ));
             }
@@ -231,6 +232,10 @@ fn main() -> ExitCode {
     if args.what == "payload" {
         run_payload_baseline(&args);
     }
+    // Planner-vs-oracle sweep — explicit target, like `sharded`.
+    if args.what == "planner" {
+        run_planner_baseline(&args);
+    }
 
     eprintln!("done; outputs in {}", args.out.display());
     ExitCode::SUCCESS
@@ -360,6 +365,65 @@ fn run_payload_baseline(args: &Args) {
     let json = payload_report_json(&cfg, &rows, &prov);
     let path = args.out.join("BENCH_payload.json");
     fs::write(&path, json).expect("write BENCH_payload.json");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Races the cost-model planner against every fixed strategy (and the
+/// per-query oracle) over an area-size × vertex-count × distribution
+/// sweep, and records the `BENCH_planner.json` baseline.
+fn run_planner_baseline(args: &Args) {
+    use vaq_bench::planner::{
+        fixed_strategies, measure_planner, planner_report_json, planner_totals, PlannerBenchConfig,
+    };
+    use vaq_bench::provenance::Provenance;
+
+    let cfg = if args.quick {
+        PlannerBenchConfig::quick()
+    } else {
+        PlannerBenchConfig::standard()
+    };
+    eprintln!(
+        "== Query planner: {} points x {:?}, areas {:?} x k {:?}, {} areas/cell ==",
+        cfg.data_size,
+        cfg.distributions
+            .iter()
+            .map(|&(n, _)| n)
+            .collect::<Vec<_>>(),
+        cfg.query_sizes,
+        cfg.vertex_counts,
+        cfg.areas_per_cell
+    );
+    let names: Vec<&str> = fixed_strategies().iter().map(|&(n, _)| n).collect();
+    let cells = measure_planner(&cfg);
+    for c in &cells {
+        eprintln!(
+            "  {:9} qs={:5.3} k={:3}  planner {:10.0} u ({:8.1} q/s)   oracle {:10.0} u   best fixed {:15} {:10.0} u ({:8.1} q/s)",
+            c.distribution,
+            c.query_size,
+            c.vertices,
+            c.planner_units,
+            c.planner_qps,
+            c.oracle_units,
+            names[c.best_fixed],
+            c.fixed_units[c.best_fixed],
+            c.best_fixed_qps,
+        );
+    }
+    let totals = planner_totals(&cells);
+    eprintln!(
+        "  totals: planner {:.0} u, oracle {:.0} u (ratio {:.3}); fixed {:?} -> beats all: {}",
+        totals.planner_units,
+        totals.oracle_units,
+        totals.vs_oracle(),
+        totals.fixed_units.map(|u| u.round()),
+        totals.beats_all_fixed(),
+    );
+    let queries =
+        cells.len() as u64 * cfg.areas_per_cell as u64 * (1 + fixed_strategies().len() as u64);
+    let prov = Provenance::capture(cfg.data_size as u64, queries, 1);
+    let json = planner_report_json(&cfg, &cells, &prov);
+    let path = args.out.join("BENCH_planner.json");
+    fs::write(&path, json).expect("write BENCH_planner.json");
     eprintln!("wrote {}", path.display());
 }
 

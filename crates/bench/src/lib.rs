@@ -21,6 +21,7 @@
 
 pub mod knn;
 pub mod payload;
+pub mod planner;
 pub mod predicates;
 pub mod prepared;
 pub mod provenance;

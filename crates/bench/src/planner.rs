@@ -1,0 +1,383 @@
+//! Planner-vs-oracle measurements and the `BENCH_planner.json` baseline.
+//!
+//! The point of the cost-model planner is that no fixed strategy wins a
+//! *mixed* workload: tiny dense areas favour Voronoi expansion, huge
+//! areas favour the flat scan, and the index sits in between. This
+//! harness sweeps area size × polygon vertex count × point distribution
+//! and, per sweep cell, runs
+//!
+//! * the **planner** (`QuerySpec::auto()`, one persistent session so the
+//!   observed-cost feedback calibrates), and
+//! * every **fixed strategy** (Voronoi-segment, Voronoi-cell,
+//!   traditional, brute force),
+//!
+//! recording both deterministic work units ([`Planner::observed_cost`] —
+//! machine-independent, the planner's own currency) and wall-clock
+//! throughput. The **oracle** is the per-query minimum over the fixed
+//! strategies in work units — a lower bound no online planner can beat.
+//! The headline numbers: the planner's total stays within 1.5× of the
+//! oracle and below *every* fixed strategy's total on the mixed sweep.
+
+use crate::provenance::Provenance;
+use crate::{polygon_batch_with, time_qps, HARNESS_SEED};
+use std::fmt::Write as _;
+use vaq_core::{AreaQueryEngine, ExpansionPolicy, Planner, QueryArea, QuerySpec};
+use vaq_geom::Polygon;
+use vaq_workload::{generate, Distribution};
+
+/// The fixed strategies the planner is raced against (and the oracle is
+/// the per-query best of).
+pub fn fixed_strategies() -> [(&'static str, QuerySpec); 4] {
+    [
+        (
+            "voronoi_segment",
+            QuerySpec::voronoi().policy(ExpansionPolicy::Segment),
+        ),
+        (
+            "voronoi_cell",
+            QuerySpec::voronoi().policy(ExpansionPolicy::Cell),
+        ),
+        ("traditional", QuerySpec::traditional()),
+        ("brute", QuerySpec::brute_force()),
+    ]
+}
+
+/// Workload shape of one planner measurement.
+#[derive(Clone, Debug)]
+pub struct PlannerBenchConfig {
+    /// Engine size (points per distribution).
+    pub data_size: usize,
+    /// `area(MBR) / area(space)` sweep axis.
+    pub query_sizes: Vec<f64>,
+    /// Query-polygon vertex-count sweep axis.
+    pub vertex_counts: Vec<usize>,
+    /// Point distributions swept (the density axis).
+    pub distributions: Vec<(&'static str, Distribution)>,
+    /// Distinct areas per sweep cell.
+    pub areas_per_cell: usize,
+    /// Sweeps per timed run.
+    pub rounds: usize,
+    /// Timing batches (best-of).
+    pub reps: usize,
+}
+
+impl PlannerBenchConfig {
+    /// The standard baseline configuration.
+    pub fn standard() -> PlannerBenchConfig {
+        PlannerBenchConfig {
+            data_size: 60_000,
+            query_sizes: vec![0.005, 0.02, 0.08, 0.25],
+            vertex_counts: vec![6, 24, 96],
+            distributions: vec![
+                ("uniform", Distribution::Uniform),
+                (
+                    "clustered",
+                    Distribution::Clustered {
+                        clusters: 20,
+                        sigma: 0.02,
+                    },
+                ),
+            ],
+            areas_per_cell: 8,
+            rounds: 3,
+            reps: 3,
+        }
+    }
+
+    /// A tiny configuration for smoke tests (`--quick`).
+    pub fn quick() -> PlannerBenchConfig {
+        PlannerBenchConfig {
+            data_size: 5_000,
+            // One cell each side of the Voronoi/traditional break-even,
+            // so even the smoke sweep is a genuinely mixed workload.
+            query_sizes: vec![0.01, 0.35],
+            vertex_counts: vec![8, 32],
+            distributions: vec![("uniform", Distribution::Uniform)],
+            areas_per_cell: 4,
+            rounds: 2,
+            reps: 2,
+        }
+    }
+}
+
+/// One sweep cell: the planner against every fixed strategy on the same
+/// areas, in work units and in wall-clock throughput.
+#[derive(Clone, Debug)]
+pub struct PlannerCell {
+    /// Point distribution of the engine.
+    pub distribution: &'static str,
+    /// Query size of the cell's areas.
+    pub query_size: f64,
+    /// Vertex count of the cell's areas.
+    pub vertices: usize,
+    /// Planner total work units over the cell.
+    pub planner_units: f64,
+    /// Per-query-best fixed strategy total (the oracle lower bound).
+    pub oracle_units: f64,
+    /// Work-unit totals per fixed strategy (indexed like
+    /// [`fixed_strategies`]).
+    pub fixed_units: [f64; 4],
+    /// Planner throughput (queries/s, best-of-reps).
+    pub planner_qps: f64,
+    /// Throughput of the cell's best fixed strategy.
+    pub best_fixed_qps: f64,
+    /// Index (into [`fixed_strategies`]) of the cell's best fixed
+    /// strategy by work units.
+    pub best_fixed: usize,
+}
+
+/// Aggregates of the whole sweep — the headline numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannerTotals {
+    /// Planner work units over the mixed workload.
+    pub planner_units: f64,
+    /// Oracle work units (per-query best fixed strategy).
+    pub oracle_units: f64,
+    /// Work units of each fixed strategy over the same mixed workload.
+    pub fixed_units: [f64; 4],
+}
+
+impl PlannerTotals {
+    /// Planner cost over oracle cost (1.0 = perfect; the differential
+    /// suite enforces ≤ 1.5).
+    pub fn vs_oracle(&self) -> f64 {
+        self.planner_units / self.oracle_units
+    }
+
+    /// `true` when the planner's total beats every fixed strategy on the
+    /// mixed workload.
+    pub fn beats_all_fixed(&self) -> bool {
+        self.fixed_units.iter().all(|&u| self.planner_units < u)
+    }
+}
+
+/// Sums the cells into the headline totals.
+pub fn planner_totals(cells: &[PlannerCell]) -> PlannerTotals {
+    let mut t = PlannerTotals {
+        planner_units: 0.0,
+        oracle_units: 0.0,
+        fixed_units: [0.0; 4],
+    };
+    for c in cells {
+        t.planner_units += c.planner_units;
+        t.oracle_units += c.oracle_units;
+        for (acc, u) in t.fixed_units.iter_mut().zip(c.fixed_units) {
+            *acc += u;
+        }
+    }
+    t
+}
+
+fn cell_areas(cfg: &PlannerBenchConfig, query_size: f64, vertices: usize) -> Vec<Polygon> {
+    polygon_batch_with(query_size, cfg.areas_per_cell, vertices)
+}
+
+/// Runs the full sweep. Results are cross-checked while measuring: every
+/// strategy (and the planner) must report the same result count per
+/// area.
+pub fn measure_planner(cfg: &PlannerBenchConfig) -> Vec<PlannerCell> {
+    let strategies = fixed_strategies();
+    let mut cells = Vec::new();
+    for &(dist_name, dist) in &cfg.distributions {
+        let pts = generate(cfg.data_size, dist, HARNESS_SEED ^ dist_name.len() as u64);
+        let engine = AreaQueryEngine::build(&pts);
+        for &query_size in &cfg.query_sizes {
+            for &vertices in &cfg.vertex_counts {
+                let areas = cell_areas(cfg, query_size, vertices);
+
+                // Work units (deterministic; also the correctness
+                // cross-check). One persistent session for the planner
+                // so calibration feedback applies.
+                let mut planner_units = 0.0f64;
+                let mut oracle_units = 0.0f64;
+                let mut fixed_units = [0.0f64; 4];
+                let mut session = engine.session();
+                for area in &areas {
+                    let k = area.complexity();
+                    let planned = session.execute(&QuerySpec::auto(), area);
+                    planner_units += Planner::observed_cost(planned.stats(), k);
+                    let mut best = f64::INFINITY;
+                    for (i, (name, spec)) in strategies.iter().enumerate() {
+                        let out = engine.execute(spec, area);
+                        assert_eq!(
+                            out.count(),
+                            planned.count(),
+                            "strategy {name} diverged from the planner"
+                        );
+                        let units = Planner::observed_cost(out.stats(), k);
+                        fixed_units[i] += units;
+                        best = best.min(units);
+                    }
+                    oracle_units += best;
+                }
+                let best_fixed = fixed_units
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .expect("four strategies");
+
+                // Wall clock: the planner vs the cell's best fixed
+                // strategy on the identical area loop.
+                let queries = areas.len() * cfg.rounds;
+                let planner_qps = time_qps(queries, cfg.reps, &mut || {
+                    let mut session = engine.session();
+                    let mut sink = 0usize;
+                    for _ in 0..cfg.rounds {
+                        for area in &areas {
+                            sink = sink
+                                .wrapping_add(session.execute(&QuerySpec::auto(), area).count());
+                        }
+                    }
+                    sink
+                });
+                let best_spec = strategies[best_fixed].1;
+                let best_fixed_qps = time_qps(queries, cfg.reps, &mut || {
+                    let mut session = engine.session();
+                    let mut sink = 0usize;
+                    for _ in 0..cfg.rounds {
+                        for area in &areas {
+                            sink = sink.wrapping_add(session.execute(&best_spec, area).count());
+                        }
+                    }
+                    sink
+                });
+
+                cells.push(PlannerCell {
+                    distribution: dist_name,
+                    query_size,
+                    vertices,
+                    planner_units,
+                    oracle_units,
+                    fixed_units,
+                    planner_qps,
+                    best_fixed_qps,
+                    best_fixed,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Renders the sweep as the `BENCH_planner.json` baseline document.
+pub fn planner_report_json(
+    cfg: &PlannerBenchConfig,
+    cells: &[PlannerCell],
+    prov: &Provenance,
+) -> String {
+    let names: Vec<&str> = fixed_strategies().iter().map(|&(n, _)| n).collect();
+    let totals = planner_totals(cells);
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"benchmark\": \"cost_model_query_planner\",");
+    let _ = writeln!(s, "  \"provenance\": {},", prov.json_object());
+    let _ = writeln!(
+        s,
+        "  \"workload\": {{\"data_size\": {}, \"query_sizes\": {:?}, \"vertex_counts\": {:?}, \
+\"distributions\": {:?}, \"areas_per_cell\": {}, \"rounds\": {}}},",
+        cfg.data_size,
+        cfg.query_sizes,
+        cfg.vertex_counts,
+        cfg.distributions
+            .iter()
+            .map(|&(n, _)| n)
+            .collect::<Vec<_>>(),
+        cfg.areas_per_cell,
+        cfg.rounds
+    );
+    let _ = writeln!(s, "  \"units\": \"deterministic work units (see vaq_core::Planner::observed_cost) and queries_per_second\",");
+    let _ = writeln!(s, "  \"strategies\": {names:?},");
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"distribution\": \"{}\", \"query_size\": {}, \"vertices\": {}, \
+\"planner_units\": {:.0}, \"oracle_units\": {:.0}, \"fixed_units\": [{:.0}, {:.0}, {:.0}, {:.0}], \
+\"best_fixed\": \"{}\", \"planner_qps\": {:.1}, \"best_fixed_qps\": {:.1}}}{sep}",
+            c.distribution,
+            c.query_size,
+            c.vertices,
+            c.planner_units,
+            c.oracle_units,
+            c.fixed_units[0],
+            c.fixed_units[1],
+            c.fixed_units[2],
+            c.fixed_units[3],
+            names[c.best_fixed],
+            c.planner_qps,
+            c.best_fixed_qps,
+        );
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"totals\": {{\"planner_units\": {:.0}, \"oracle_units\": {:.0}, \
+\"fixed_units\": [{:.0}, {:.0}, {:.0}, {:.0}]}},",
+        totals.planner_units,
+        totals.oracle_units,
+        totals.fixed_units[0],
+        totals.fixed_units[1],
+        totals.fixed_units[2],
+        totals.fixed_units[3],
+    );
+    let _ = writeln!(s, "  \"planner_vs_oracle\": {:.3},", totals.vs_oracle());
+    let _ = writeln!(
+        s,
+        "  \"planner_beats_all_fixed\": {}",
+        totals.beats_all_fixed()
+    );
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_meets_the_headline_bounds() {
+        let cfg = PlannerBenchConfig::quick();
+        let cells = measure_planner(&cfg);
+        assert_eq!(cells.len(), cfg.query_sizes.len() * cfg.vertex_counts.len());
+        let totals = planner_totals(&cells);
+        assert!(totals.oracle_units > 0.0);
+        assert!(
+            totals.vs_oracle() <= 1.5,
+            "planner {:.0} units vs oracle {:.0} (ratio {:.2})",
+            totals.planner_units,
+            totals.oracle_units,
+            totals.vs_oracle()
+        );
+        assert!(
+            totals.beats_all_fixed(),
+            "planner {:.0} units vs fixed {:?}",
+            totals.planner_units,
+            totals.fixed_units
+        );
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let cfg = PlannerBenchConfig::quick();
+        let cells = vec![PlannerCell {
+            distribution: "uniform",
+            query_size: 0.01,
+            vertices: 8,
+            planner_units: 1000.0,
+            oracle_units: 900.0,
+            fixed_units: [1200.0, 1400.0, 1300.0, 9000.0],
+            planner_qps: 5000.0,
+            best_fixed_qps: 5200.0,
+            best_fixed: 0,
+        }];
+        let prov = Provenance::capture(cfg.data_size as u64, 8, 1);
+        let json = planner_report_json(&cfg, &cells, &prov);
+        assert!(json.contains("\"provenance\""));
+        assert!(json.contains("\"planner_vs_oracle\": 1.111"));
+        assert!(json.contains("\"planner_beats_all_fixed\": true"));
+        assert!(json.contains("\"best_fixed\": \"voronoi_segment\""));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

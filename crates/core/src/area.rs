@@ -91,6 +91,15 @@ pub trait QueryArea {
     /// which seeds the Voronoi method).
     fn interior_point(&self) -> Point;
 
+    /// The area's combinatorial complexity `k` — its total vertex count
+    /// (outer ring plus holes). Every geometric primitive above is
+    /// `O(k)` raw, so this is the planner's per-primitive cost feature.
+    /// The default is a generic small-polygon estimate for area types
+    /// that don't override it.
+    fn complexity(&self) -> usize {
+        8
+    }
+
     /// Content hash of the area's exact vertex data, keying the
     /// prepared-area cache. `None` (the default) opts out of caching:
     /// `PrepareMode::Cached` then runs the area as-is.
@@ -144,6 +153,11 @@ impl QueryArea for Polygon {
         Polygon::interior_point(self)
     }
 
+    #[inline]
+    fn complexity(&self) -> usize {
+        self.len()
+    }
+
     fn fingerprint(&self) -> Option<AreaFingerprint> {
         Some(AreaFingerprint::new(ring_words(std::iter::once(
             self.vertices(),
@@ -179,6 +193,11 @@ impl QueryArea for Region {
     #[inline]
     fn interior_point(&self) -> Point {
         Region::interior_point(self)
+    }
+
+    #[inline]
+    fn complexity(&self) -> usize {
+        self.outer().len() + self.holes().iter().map(Polygon::len).sum::<usize>()
     }
 
     fn fingerprint(&self) -> Option<AreaFingerprint> {
@@ -224,6 +243,11 @@ impl QueryArea for Rect {
     fn interior_point(&self) -> Point {
         self.center()
     }
+
+    #[inline]
+    fn complexity(&self) -> usize {
+        4
+    }
 }
 
 /// Prepared areas answer the same five operations through their
@@ -255,6 +279,11 @@ impl QueryArea for PreparedPolygon {
     fn interior_point(&self) -> Point {
         PreparedPolygon::interior_point(self)
     }
+
+    #[inline]
+    fn complexity(&self) -> usize {
+        PreparedPolygon::len(self)
+    }
 }
 
 impl QueryArea for PreparedRegion {
@@ -281,6 +310,15 @@ impl QueryArea for PreparedRegion {
     #[inline]
     fn interior_point(&self) -> Point {
         PreparedRegion::interior_point(self)
+    }
+
+    #[inline]
+    fn complexity(&self) -> usize {
+        PreparedRegion::outer(self).len()
+            + PreparedRegion::holes(self)
+                .iter()
+                .map(PreparedPolygon::len)
+                .sum::<usize>()
     }
 }
 

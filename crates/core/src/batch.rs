@@ -22,6 +22,7 @@
 
 use crate::area::{AreaFingerprint, QueryArea};
 use crate::engine::{AreaQueryEngine, QueryResult};
+use crate::plan::{ExecutionPlan, PlanFeatures, PlannedPath, Planner};
 use crate::query::{PrepareMode, QueryOutput, QuerySession, QuerySpec};
 use crate::stats::CacheCounters;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -114,6 +115,9 @@ impl AreaQueryEngine {
         areas: &[A],
         threads: usize,
     ) -> Vec<QueryOutput> {
+        if spec.method.is_auto() {
+            return self.execute_batch_auto(spec, areas, threads);
+        }
         let shared = if spec.prepare == PrepareMode::Cached {
             prepare_batch_shared(spec, areas)
         } else {
@@ -185,6 +189,86 @@ impl AreaQueryEngine {
             .into_iter()
             .map(|o| o.expect("every query index is claimed exactly once"))
             .collect()
+    }
+
+    /// The batched planned path: every area's plan is resolved **up
+    /// front** with one fresh [`Planner`] (the batch path has no session
+    /// cache and plans must not depend on worker interleaving, so
+    /// resolution happens before any query runs and the planner never
+    /// chooses [`PrepareMode::Cached`] here — [`PlannedPath::Batch`]
+    /// prepares per query instead). The resolved explicit specs then run
+    /// through the ordinary per-worker sessions, and each output carries
+    /// its [`ExecutionPlan`]. Deterministic for a fixed engine and area
+    /// list, whatever the thread count.
+    fn execute_batch_auto<A: QueryArea + Sync>(
+        &self,
+        spec: &QuerySpec,
+        areas: &[A],
+        threads: usize,
+    ) -> Vec<QueryOutput> {
+        let planner = Planner::default();
+        let plans: Vec<(QuerySpec, ExecutionPlan)> = areas
+            .iter()
+            .map(|area| {
+                let mbr = area.mbr();
+                let features = PlanFeatures {
+                    len: self.len(),
+                    est_candidates: self.density_map().estimate_count(&mbr),
+                    vertices: area.complexity(),
+                    cached: false,
+                    cacheable: area.fingerprint().is_some(),
+                    delta_len: 0,
+                    shards: 0,
+                    in_hull: self.data_bounds().contains_rect(&mbr),
+                    path: PlannedPath::Batch,
+                };
+                planner.resolve(spec, &features)
+            })
+            .collect();
+        let mut outs = if threads <= 1 || areas.len() <= 1 {
+            let mut session = QuerySession::new(self);
+            areas
+                .iter()
+                .zip(&plans)
+                .map(|(area, (resolved, _))| session.execute(resolved, area))
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let workers = threads.min(areas.len());
+            let mut slots: Vec<Option<QueryOutput>> = Vec::new();
+            slots.resize_with(areas.len(), || None);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        let plans = &plans;
+                        scope.spawn(move || {
+                            let mut session = QuerySession::new(self);
+                            let mut done = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(area) = areas.get(i) else { break };
+                                done.push((i, session.execute(&plans[i].0, area)));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (i, out) in h.join().expect("planned batch worker does not panic") {
+                        slots[i] = Some(out);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|o| o.expect("every query index is claimed exactly once"))
+                .collect::<Vec<QueryOutput>>()
+        };
+        for (out, (_, plan)) in outs.iter_mut().zip(&plans) {
+            out.stats_mut().plan = Some(*plan);
+        }
+        outs
     }
 
     /// Answers `areas` sequentially with the Voronoi method, reusing one

@@ -27,6 +27,7 @@
 
 use crate::area::QueryArea;
 use crate::engine::AreaQueryEngine;
+use crate::plan::{PlannedPath, Planner};
 use crate::query::{QuerySpec, SessionState, DEFAULT_CACHE_CAPACITY};
 use crate::sink::{
     dispatch_sink, DynamicSink, Emit, EngineSink, Neighbor, ResultSink, SinkVisitor,
@@ -198,6 +199,19 @@ impl DynamicAreaQueryEngine {
         spec: &QuerySpec,
         area: &A,
     ) -> DynamicQueryResult {
+        if spec.method.is_auto() {
+            let live_delta = self.delta.len() - self.dead_delta;
+            let features =
+                self.state
+                    .plan_features(&self.base, area, PlannedPath::Dynamic, live_delta);
+            let (resolved, plan) = self.state.planner.resolve(spec, &features);
+            let mut out = self.execute(&resolved, area);
+            out.stats.plan = Some(plan);
+            self.state
+                .planner
+                .observe(&plan, Planner::observed_cost(&out.stats, features.vertices));
+            return out;
+        }
         dispatch_sink(
             spec.output,
             DynamicRun {

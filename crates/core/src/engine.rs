@@ -45,6 +45,7 @@
 use crate::area::QueryArea;
 use crate::classify::PointClass;
 use crate::payload::RecordStore;
+use crate::plan::DensityMap;
 use crate::query::{OutputMode, PrepareMode, QuerySpec};
 use crate::scratch::QueryScratch;
 use crate::stats::QueryStats;
@@ -210,6 +211,7 @@ impl EngineBuilder {
             );
         }
         let data_bbox = Rect::from_points(self.points.iter().copied());
+        let density = DensityMap::from_points(&self.points);
         AreaQueryEngine {
             points: self.points,
             rtree,
@@ -218,6 +220,8 @@ impl EngineBuilder {
             quadtree,
             records,
             data_bbox,
+            density,
+            boundary_straddlers: None,
         }
     }
 }
@@ -234,6 +238,15 @@ pub struct AreaQueryEngine {
     /// Simulated geometry records (None = pure in-memory regime).
     pub(crate) records: Option<RecordStore>,
     data_bbox: Rect,
+    /// Coarse occupancy grid over the point set — the planner's O(1)
+    /// density feature (see [`DensityMap`]).
+    density: DensityMap,
+    /// Per-canonical-vertex flag: does this vertex's Voronoi cell extend
+    /// past the shard boundary? `None` on plain engines (no boundary);
+    /// computed once by [`AreaQueryEngine::mark_shard_boundary`] on
+    /// shard-local engines so the segment policy can fall back to the
+    /// complete cell test exactly on boundary-straddling frontiers.
+    pub(crate) boundary_straddlers: Option<Vec<bool>>,
 }
 
 impl AreaQueryEngine {
@@ -284,6 +297,47 @@ impl AreaQueryEngine {
     /// across queries on one thread.
     pub fn new_scratch(&self) -> QueryScratch {
         QueryScratch::new(self.tri.as_ref().map_or(0, Triangulation::vertex_count))
+    }
+
+    /// Coarse occupancy grid over the indexed points, built once at engine
+    /// construction. The planner reads area-local point counts from it in
+    /// O(grid cells) without touching any index.
+    pub fn density_map(&self) -> &DensityMap {
+        &self.density
+    }
+
+    /// Tight bounding box of the indexed points ([`Rect::EMPTY`] for an
+    /// empty engine).
+    pub fn data_bounds(&self) -> Rect {
+        self.data_bbox
+    }
+
+    /// Marks this engine as the shard of a larger point set bounded by
+    /// `mbr`: flags every canonical vertex whose Voronoi cell is not
+    /// certainly contained in `mbr` (conservatively, any clipped cell ring
+    /// with a vertex outside `mbr`, or a degenerate ring). The segment
+    /// expansion policy consults these flags to fall back to the complete
+    /// cell test on boundary-straddling frontiers — closing the
+    /// completeness gap of shard-local segment expansion. Called once per
+    /// shard at build time by the sharded engines.
+    pub(crate) fn mark_shard_boundary(&mut self, mbr: &Rect) {
+        let Some(tri) = self.tri.as_ref() else {
+            self.boundary_straddlers = None;
+            return;
+        };
+        // Replicates `cell_window` for an area-independent window: big
+        // enough that unbounded hull cells keep a representative clipped
+        // shape around the data.
+        let window = self
+            .data_bbox
+            .expand((self.data_bbox.width() + self.data_bbox.height()).max(1.0));
+        let straddlers = (0..tri.vertex_count() as u32)
+            .map(|v| {
+                let ring = vaq_delaunay::cell_polygon(tri, v, &window);
+                ring.len() < 3 || ring.iter().any(|&p| !mbr.contains_point(p))
+            })
+            .collect();
+        self.boundary_straddlers = Some(straddlers);
     }
 
     /// Clipping window for on-demand Voronoi cells: the data extent joined

@@ -23,7 +23,11 @@
 //! and a [`QuerySession`] executes it, owning the reusable scratch and a
 //! bounded LRU **prepared-area cache** for dashboard-style repeated
 //! queries. A brute-force oracle and the paper's Section III point
-//! classification ([`classify`]) run through the same funnel.
+//! classification ([`classify`]) run through the same funnel. Callers
+//! who'd rather not pick a strategy ask for [`QuerySpec::auto()`]: the
+//! cost-model planner (module [`plan`]) resolves method, expansion
+//! policy, prepare mode and shard pruning per query and records its
+//! decision as an [`ExecutionPlan`] in the stats.
 //!
 //! ## Quick start
 //!
@@ -86,6 +90,7 @@ pub mod classify;
 pub mod dynamic;
 pub mod engine;
 pub mod payload;
+pub mod plan;
 pub mod query;
 pub mod scratch;
 pub mod shard;
@@ -99,9 +104,10 @@ pub use classify::{classify_points, PointClass};
 pub use dynamic::{DynamicAreaQueryEngine, DynamicQueryResult};
 pub use engine::{AreaQueryEngine, EngineBuilder, QueryResult, SeedIndex};
 pub use payload::{RecordStore, RecordStoreError};
+pub use plan::{DensityMap, ExecutionPlan, PlanFeatures, PlannedPath, Planner};
 pub use query::{
-    OutputMode, PrepareMode, QueryMethod, QueryOutput, QuerySession, QuerySpec,
-    DEFAULT_CACHE_CAPACITY,
+    MethodChoice, OutputMode, PrepareMode, QueryMethod, QueryOutput, QuerySession, QuerySpec,
+    ShardPruning, DEFAULT_CACHE_CAPACITY,
 };
 pub use scratch::QueryScratch;
 pub use shard::{

@@ -53,13 +53,16 @@
 use crate::area::{AreaFingerprint, QueryArea};
 use crate::classify::classify_points;
 use crate::engine::{AreaQueryEngine, QueryResult, SeedIndex};
+use crate::plan::{PlanFeatures, PlannedPath, Planner};
 use crate::scratch::QueryScratch;
 use crate::sink::{
     dispatch_sink, DynamicSink, Emit, EngineSink, Neighbor, ResultSink, SinkId, SinkVisitor,
 };
 use crate::stats::{CacheCounters, QueryStats};
 use crate::traditional::{refine_each, FilterIndex};
-use crate::voronoi_query::{arbitrary_position_in, voronoi_area_query, ExpansionPolicy};
+use crate::voronoi_query::{
+    arbitrary_position_in, voronoi_area_query_with_boundary, ExpansionPolicy,
+};
 use crate::PointClass;
 use std::sync::Arc;
 use vaq_geom::Point;
@@ -79,6 +82,87 @@ pub enum QueryMethod {
     /// first-class method so differential tests sweep it through the same
     /// funnel.
     BruteForce,
+}
+
+/// The method axis of a [`QuerySpec`]: either a fixed [`QueryMethod`],
+/// or [`MethodChoice::Auto`] — let the engine's cost-model planner
+/// ([`Planner`]) pick the method, expansion policy,
+/// prepare mode and shard pruning per query. The chosen strategy is
+/// recorded in [`QueryStats::plan`].
+///
+/// `MethodChoice` compares equal to a bare [`QueryMethod`]
+/// (`spec.method == QueryMethod::Voronoi`), and
+/// [`QuerySpec::method`](QuerySpec::method) accepts either type, so
+/// existing fixed-method code reads unchanged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MethodChoice {
+    /// Defer the choice to the planner at execution time.
+    Auto,
+    /// Run exactly this method.
+    Fixed(QueryMethod),
+}
+
+impl Default for MethodChoice {
+    fn default() -> MethodChoice {
+        MethodChoice::Fixed(QueryMethod::default())
+    }
+}
+
+impl From<QueryMethod> for MethodChoice {
+    fn from(method: QueryMethod) -> MethodChoice {
+        MethodChoice::Fixed(method)
+    }
+}
+
+impl PartialEq<QueryMethod> for MethodChoice {
+    fn eq(&self, other: &QueryMethod) -> bool {
+        matches!(self, MethodChoice::Fixed(m) if m == other)
+    }
+}
+
+impl MethodChoice {
+    /// `true` for [`MethodChoice::Auto`].
+    pub fn is_auto(&self) -> bool {
+        matches!(self, MethodChoice::Auto)
+    }
+
+    /// The fixed method, if any.
+    pub fn fixed(&self) -> Option<QueryMethod> {
+        match self {
+            MethodChoice::Auto => None,
+            MethodChoice::Fixed(m) => Some(*m),
+        }
+    }
+
+    /// The fixed method; every execution path resolves `Auto` through the
+    /// planner before dispatch, so reaching `Auto` here is a bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`MethodChoice::Auto`].
+    pub(crate) fn expect_fixed(&self) -> QueryMethod {
+        self.fixed()
+            .expect("MethodChoice::Auto is resolved by the planner before dispatch")
+    }
+}
+
+/// How a sharded engine decides which shards to visit (beyond the
+/// always-on rule that a shard whose MBR misses the area's MBR is
+/// skipped). Pruning never changes results — a pruned shard contributes
+/// nothing by construction — it only trades a per-shard geometry test
+/// against whole per-shard queries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardPruning {
+    /// Rectangle-only: visit every shard whose MBR intersects the area's
+    /// MBR (the default, and the only test cheap enough for trivial
+    /// areas).
+    #[default]
+    Mbr,
+    /// Exact-geometry: after the MBR test, additionally test the area's
+    /// exact boundary against the shard's MBR rectangle and skip shards
+    /// the area misses. Pays off for thin or diagonal areas whose MBR
+    /// sweeps over shards the polygon itself never touches.
+    Exact,
 }
 
 /// Whether (and how) the query area is query-compiled before execution.
@@ -143,8 +227,9 @@ pub enum OutputMode {
 /// the fields are public, so struct-update syntax works too.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct QuerySpec {
-    /// Which algorithm runs.
-    pub method: QueryMethod,
+    /// Which algorithm runs — a fixed method, or [`MethodChoice::Auto`]
+    /// to let the planner decide per query.
+    pub method: MethodChoice,
     /// Index serving the traditional filter step (ignored by the other
     /// methods).
     pub filter: FilterIndex,
@@ -155,6 +240,8 @@ pub struct QuerySpec {
     pub policy: ExpansionPolicy,
     /// Whether the area is query-compiled first.
     pub prepare: PrepareMode,
+    /// How sharded engines prune shards (ignored by unsharded engines).
+    pub shard_pruning: ShardPruning,
     /// The shape of the answer.
     pub output: OutputMode,
 }
@@ -173,7 +260,7 @@ impl QuerySpec {
     /// A spec for the traditional filter–refine method.
     pub fn traditional() -> QuerySpec {
         QuerySpec {
-            method: QueryMethod::Traditional,
+            method: MethodChoice::Fixed(QueryMethod::Traditional),
             ..QuerySpec::default()
         }
     }
@@ -181,14 +268,27 @@ impl QuerySpec {
     /// A spec for the brute-force oracle.
     pub fn brute_force() -> QuerySpec {
         QuerySpec {
-            method: QueryMethod::BruteForce,
+            method: MethodChoice::Fixed(QueryMethod::BruteForce),
             ..QuerySpec::default()
         }
     }
 
-    /// Sets the query method.
-    pub fn method(mut self, method: QueryMethod) -> QuerySpec {
-        self.method = method;
+    /// A spec that defers method, expansion policy, prepare mode and
+    /// shard pruning to the engine's cost-model planner
+    /// ([`Planner`]); the chosen strategy is recorded in
+    /// [`QueryStats::plan`]. Filter, seed and output are taken from the
+    /// spec as usual.
+    pub fn auto() -> QuerySpec {
+        QuerySpec {
+            method: MethodChoice::Auto,
+            ..QuerySpec::default()
+        }
+    }
+
+    /// Sets the query method (accepts a [`QueryMethod`] or a
+    /// [`MethodChoice`]).
+    pub fn method(mut self, method: impl Into<MethodChoice>) -> QuerySpec {
+        self.method = method.into();
         self
     }
 
@@ -213,6 +313,12 @@ impl QuerySpec {
     /// Sets the prepare mode.
     pub fn prepare(mut self, prepare: PrepareMode) -> QuerySpec {
         self.prepare = prepare;
+        self
+    }
+
+    /// Sets the shard-pruning rule (meaningful on sharded engines).
+    pub fn shard_pruning(mut self, shard_pruning: ShardPruning) -> QuerySpec {
+        self.shard_pruning = shard_pruning;
         self
     }
 
@@ -381,6 +487,14 @@ impl PreparedAreaCache {
         Some(prepared)
     }
 
+    /// `true` when `fp` is resident (a peek: no LRU reordering, no
+    /// counter traffic). The planner's cache signal.
+    fn contains(&self, fp: &AreaFingerprint) -> bool {
+        self.entries
+            .iter()
+            .any(|(k, _)| k.hash() == fp.hash() && k == fp)
+    }
+
     fn len(&self) -> usize {
         self.entries.len()
     }
@@ -395,6 +509,9 @@ pub(crate) struct SessionState {
     scratch: Option<QueryScratch>,
     cache: PreparedAreaCache,
     cache_totals: CacheCounters,
+    /// The cost-model planner resolving [`MethodChoice::Auto`] specs;
+    /// calibration accumulates across the session's planned queries.
+    pub(crate) planner: Planner,
 }
 
 impl SessionState {
@@ -404,7 +521,57 @@ impl SessionState {
             scratch: None,
             cache: PreparedAreaCache::new(capacity),
             cache_totals: CacheCounters::default(),
+            planner: Planner::default(),
         }
+    }
+
+    /// Assembles the planner's O(1) feature vector for `area` on this
+    /// engine: density-grid candidate estimate, vertex count, prepared
+    /// cache residency, and whether the area's MBR stays inside the data
+    /// bounding box.
+    pub(crate) fn plan_features<A: QueryArea + ?Sized>(
+        &self,
+        engine: &AreaQueryEngine,
+        area: &A,
+        path: PlannedPath,
+        delta_len: usize,
+    ) -> PlanFeatures {
+        let mbr = area.mbr();
+        let fp = area.fingerprint();
+        PlanFeatures {
+            len: engine.len(),
+            est_candidates: engine.density_map().estimate_count(&mbr),
+            vertices: area.complexity(),
+            cached: fp.as_ref().is_some_and(|fp| self.cache.contains(fp)),
+            cacheable: fp.is_some(),
+            delta_len,
+            shards: 0,
+            in_hull: engine.data_bounds().contains_rect(&mbr),
+            path,
+        }
+    }
+
+    /// Resolves a [`MethodChoice::Auto`] spec through the planner, runs
+    /// the concrete spec, records the
+    /// [`ExecutionPlan`](crate::ExecutionPlan) in the output's stats,
+    /// and feeds the observed work-unit cost back into the planner's
+    /// calibration.
+    pub(crate) fn execute_auto<A: QueryArea + ?Sized>(
+        &mut self,
+        engine: &AreaQueryEngine,
+        spec: &QuerySpec,
+        area: &A,
+        path: PlannedPath,
+    ) -> QueryOutput {
+        let features = self.plan_features(engine, area, path, 0);
+        let (resolved, plan) = self.planner.resolve(spec, &features);
+        let mut out = self.execute(engine, &resolved, area);
+        out.stats_mut().plan = Some(plan);
+        self.planner.observe(
+            &plan,
+            Planner::observed_cost(out.stats(), features.vertices),
+        );
+        out
     }
 
     /// Drops the scratch (call after the underlying engine is rebuilt;
@@ -431,6 +598,9 @@ impl SessionState {
         spec: &QuerySpec,
         area: &A,
     ) -> QueryOutput {
+        if spec.method.is_auto() {
+            return self.execute_auto(engine, spec, area, PlannedPath::Plain);
+        }
         let mut delta = CacheCounters::default();
         let cached: Option<Arc<dyn QueryArea + Send + Sync>> = match spec.prepare {
             PrepareMode::Cached if self.cache.capacity > 0 => area
@@ -702,7 +872,7 @@ impl AreaQueryEngine {
         F: Fn(u32) -> Option<I>,
     {
         let before = vaq_geom::predicate_totals();
-        match spec.method {
+        match spec.method.expect_fixed() {
             QueryMethod::Traditional => {
                 self.sink_traditional(spec, area, kind, partial, map, stats)
             }
@@ -820,13 +990,14 @@ impl AreaQueryEngine {
         };
         stats.seed = Some(seed);
         let window = self.cell_window(area);
-        let canonical = voronoi_area_query(
+        let canonical = voronoi_area_query_with_boundary(
             tri,
             area,
             seed,
             spec.policy,
             &window,
             self.records.as_ref(),
+            self.boundary_straddlers.as_deref(),
             scratch,
             stats,
         );

@@ -36,18 +36,24 @@
 //! enforce equality of the sorted global index sets, counts, kNN
 //! answers and payload checksums across the whole `QuerySpec` grid.
 //!
-//! One documented caveat: the paper's **segment expansion heuristic**
-//! ([`ExpansionPolicy::Segment`](crate::ExpansionPolicy)) is itself only
-//! heuristically complete, and its gap widens on shard-local Voronoi
-//! diagrams — cells of sites near a kd cut stretch across the cut (their
-//! true neighbours live in the next shard), so at large scale a
-//! shard-local BFS can fail to bridge a thin slice of the area that the
-//! global diagram bridges fine (first observed at 2·10⁵ points × 8
-//! shards: 8 of ~55 000 matches dropped over 64 areas). The provably
-//! complete [`ExpansionPolicy::Cell`](crate::ExpansionPolicy) is exact
-//! on every path — the sink-layer benches run it for exactly that
-//! reason — and closing the segment-policy gap near shard cuts is a
-//! ROADMAP item.
+//! The paper's **segment expansion heuristic**
+//! ([`ExpansionPolicy::Segment`](crate::ExpansionPolicy)) needs one
+//! extra guard here: cells of sites near a kd cut stretch across the cut
+//! (their true neighbours live in the next shard), so a purely
+//! shard-local segment BFS can fail to bridge a thin slice of the area
+//! that the global diagram bridges fine (first observed at 2·10⁵ points
+//! × 8 shards: 8 of ~55 000 matches dropped over 64 areas). Each shard
+//! engine therefore flags, at build time, every vertex whose Voronoi
+//! cell straddles the shard's MBR
+//! (`AreaQueryEngine::mark_shard_boundary`); when the segment test
+//! fails on such a **boundary-straddling frontier**, the BFS falls back
+//! to the provably complete cell test for that one edge. Interior
+//! frontiers — the vast majority — keep the cheap segment-only test, so
+//! sharded segment expansion is at least as complete as the unsharded
+//! heuristic at `O(1)` extra cost per boundary frontier
+//! (`tests/shard_segment_gap.rs` reproduces the old drop and verifies
+//! the fix). The [`ExpansionPolicy::Cell`](crate::ExpansionPolicy)
+//! policy remains exact on every path with no fallback needed.
 //!
 //! [`ShardedDynamicAreaQueryEngine`] adds the base + delta pattern of
 //! [`crate::dynamic`] on top: inserts land in **shard-local delta
@@ -60,7 +66,8 @@ use crate::batch::prepare_batch_shared;
 use crate::dynamic::{should_purge_delta, DynamicQueryResult, DEFAULT_COMPACT_RATIO};
 use crate::engine::{AreaQueryEngine, EngineBuilder};
 use crate::payload::{RecordStore, PAYLOAD_SEED};
-use crate::query::{PrepareMode, QuerySpec};
+use crate::plan::{DensityMap, ExecutionPlan, PlanFeatures, PlannedPath, Planner};
+use crate::query::{PrepareMode, QuerySpec, ShardPruning};
 use crate::scratch::QueryScratch;
 use crate::sink::{
     dispatch_sink, DynamicSink, Emit, EngineSink, Neighbor, ResultSink, SinkId, SinkVisitor,
@@ -68,7 +75,8 @@ use crate::sink::{
 use crate::stats::{CacheCounters, QueryStats};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use vaq_geom::{Point, Rect};
+use std::sync::Mutex;
+use vaq_geom::{Point, Polygon, Rect};
 
 /// One spatial partition: its own engine, its points' global input
 /// indices, and its MBR (the pruning key).
@@ -79,6 +87,28 @@ struct Shard {
     global: Vec<u32>,
     /// Tight bounding box of the shard's points.
     mbr: Rect,
+}
+
+/// `true` when `spec`'s pruning rule rejects `shard` for `area`: the
+/// shard's MBR misses the area's MBR, or — under
+/// [`ShardPruning::Exact`] — the area's exact geometry misses the
+/// shard's (non-degenerate) MBR rectangle. Pruning never changes
+/// results: a pruned shard provably holds no matching point. Both the
+/// sequential and the batched execution paths prune through this one
+/// predicate, so their visit/prune counters always agree.
+fn prune_shard<A: QueryArea + ?Sized>(
+    spec: &QuerySpec,
+    shard: &Shard,
+    area_mbr: &Rect,
+    area: &A,
+) -> bool {
+    if !shard.mbr.intersects(area_mbr) {
+        return true;
+    }
+    spec.shard_pruning == ShardPruning::Exact
+        && shard.mbr.width() > 0.0
+        && shard.mbr.height() > 0.0
+        && !area.intersects_polygon(&Polygon::new_unchecked(shard.mbr.corners().to_vec()))
 }
 
 /// Per-visited-shard counters of one sharded query.
@@ -178,6 +208,14 @@ pub struct ShardedAreaQueryEngine {
     /// The shard count originally requested (compaction of the dynamic
     /// overlay re-targets it even when fewer shards are currently live).
     target_shards: usize,
+    /// Shard-granularity density map (tight shard MBRs weighted by their
+    /// point counts) — the planner's candidate estimator, free at build
+    /// time.
+    density: DensityMap,
+    /// The engine-resident planner resolving
+    /// [`MethodChoice::Auto`](crate::MethodChoice) specs; behind a mutex
+    /// because the sharded engine executes through `&self`.
+    planner: Mutex<Planner>,
 }
 
 impl ShardedAreaQueryEngine {
@@ -255,6 +293,7 @@ impl ShardedAreaQueryEngine {
                 .map(|_| std::sync::Mutex::new(None))
                 .collect(),
         };
+        let multi = parts.len() > 1;
         let build_one = |si: usize, part: &[u32]| -> Shard {
             let pts: Vec<Point> = part.iter().map(|&i| points[i as usize]).collect();
             let mut builder = EngineBuilder::new(&pts);
@@ -265,9 +304,19 @@ impl ShardedAreaQueryEngine {
             if let Some(store) = store {
                 builder = builder.record_store(store);
             }
+            let mbr = Rect::from_points(pts.iter().copied());
+            let mut engine = builder.build();
+            if multi {
+                // Flag boundary-straddling Voronoi cells so the segment
+                // policy can fall back to the complete cell test on
+                // frontiers near the kd cut (see the module docs). A
+                // single shard has no cut and keeps the plain engine's
+                // behaviour bit for bit.
+                engine.mark_shard_boundary(&mbr);
+            }
             Shard {
-                mbr: Rect::from_points(pts.iter().copied()),
-                engine: builder.build(),
+                mbr,
+                engine,
                 global: part.to_vec(),
             }
         };
@@ -310,10 +359,14 @@ impl ShardedAreaQueryEngine {
                 .map(|s| s.expect("every shard index is claimed exactly once"))
                 .collect()
         };
+        let density =
+            DensityMap::from_regions(built.iter().map(|s| (s.mbr, s.engine.len() as f64)));
         ShardedAreaQueryEngine {
             len: points.len(),
             target_shards: shards.max(1),
             shards: built,
+            density,
+            planner: Mutex::new(Planner::default()),
         }
     }
 
@@ -340,6 +393,78 @@ impl ShardedAreaQueryEngine {
     /// Each shard's point count, in shard-index order.
     pub fn shard_sizes(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.engine.len()).collect()
+    }
+
+    /// Shard-granularity density map: the kd partition's tight shard
+    /// MBRs weighted by their point counts. The planner's candidate
+    /// estimator — O(shards) per lookup, free at build time.
+    pub fn density_map(&self) -> &DensityMap {
+        &self.density
+    }
+
+    /// Point density (points per unit area) of shard `shard`. A
+    /// degenerate (zero-area) shard MBR reports its raw point count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= self.shard_count()`.
+    pub fn shard_density(&self, shard: usize) -> f64 {
+        let s = &self.shards[shard];
+        let a = s.mbr.area();
+        if a > 0.0 {
+            s.engine.len() as f64 / a
+        } else {
+            s.engine.len() as f64
+        }
+    }
+
+    /// Assembles the planner's feature vector for a query over `area` on
+    /// this engine ([`PlannedPath::Sharded`]; `delta_len` is the live
+    /// overlay depth when called from the dynamic wrapper).
+    fn plan_features<A: QueryArea + ?Sized>(&self, area: &A, delta_len: usize) -> PlanFeatures {
+        let mbr = area.mbr();
+        let bounds = self
+            .shards
+            .iter()
+            .fold(Rect::EMPTY, |acc, s| acc.union(&s.mbr));
+        PlanFeatures {
+            len: self.len,
+            est_candidates: self.density.estimate_count(&mbr),
+            vertices: area.complexity(),
+            cached: false,
+            cacheable: area.fingerprint().is_some(),
+            delta_len,
+            shards: self.shards.len(),
+            in_hull: bounds.contains_rect(&mbr),
+            path: PlannedPath::Sharded,
+        }
+    }
+
+    /// Resolves a [`MethodChoice::Auto`](crate::MethodChoice) spec
+    /// through the engine's planner and returns the concrete spec, its
+    /// plan, and the vertex count (for post-hoc cost observation).
+    fn resolve_auto<A: QueryArea + ?Sized>(
+        &self,
+        spec: &QuerySpec,
+        area: &A,
+        delta_len: usize,
+    ) -> (QuerySpec, ExecutionPlan, usize) {
+        let features = self.plan_features(area, delta_len);
+        let (resolved, plan) = self
+            .planner
+            .lock()
+            .expect("planner mutex poisoned")
+            .resolve(spec, &features);
+        (resolved, plan, features.vertices)
+    }
+
+    /// Feeds one finished planned query back into the engine planner's
+    /// calibration.
+    fn observe_auto(&self, plan: &ExecutionPlan, stats: &QueryStats, vertices: usize) {
+        self.planner
+            .lock()
+            .expect("planner mutex poisoned")
+            .observe(plan, Planner::observed_cost(stats, vertices));
     }
 
     /// The indexed points, reassembled in global input order (used by
@@ -381,6 +506,13 @@ impl ShardedAreaQueryEngine {
     /// engines did not build (they are built with defaults: R-tree +
     /// Delaunay, no kd-tree/quadtree).
     pub fn execute<A: QueryArea + ?Sized>(&self, spec: &QuerySpec, area: &A) -> ShardedQueryOutput {
+        if spec.method.is_auto() {
+            let (resolved, plan, vertices) = self.resolve_auto(spec, area, 0);
+            let mut out = self.execute(&resolved, area);
+            out.stats.plan = Some(plan);
+            self.observe_auto(&plan, &out.stats, vertices);
+            return out;
+        }
         dispatch_sink(
             spec.output,
             ShardRun {
@@ -430,7 +562,7 @@ impl ShardedAreaQueryEngine {
         let raw_spec = spec.prepare(PrepareMode::Raw);
         let area_mbr = area.mbr();
         for (si, shard) in self.shards.iter().enumerate() {
-            if !shard.mbr.intersects(&area_mbr) {
+            if prune_shard(spec, shard, &area_mbr, area) {
                 stats.shards_pruned += 1;
                 continue;
             }
@@ -489,6 +621,9 @@ impl ShardedAreaQueryEngine {
         areas: &[A],
         threads: usize,
     ) -> Vec<ShardedQueryOutput> {
+        if spec.method.is_auto() {
+            return self.execute_batch_auto(spec, areas, threads);
+        }
         dispatch_sink(
             spec.output,
             ShardBatchRun {
@@ -498,6 +633,79 @@ impl ShardedAreaQueryEngine {
                 threads,
             },
         )
+    }
+
+    /// The batched planned path: every area's plan is resolved **up
+    /// front** against the planner's pre-batch calibration — plans never
+    /// depend on worker interleaving — then the resolved explicit
+    /// queries run on a work-stealing pool at per-area granularity and
+    /// each output carries its plan. Observations feed the calibration
+    /// back in area order after the batch, so the whole call is
+    /// deterministic for a fixed engine and area list.
+    fn execute_batch_auto<A: QueryArea + Sync>(
+        &self,
+        spec: &QuerySpec,
+        areas: &[A],
+        threads: usize,
+    ) -> Vec<ShardedQueryOutput> {
+        let plans: Vec<(QuerySpec, ExecutionPlan, usize)> = {
+            let planner = self.planner.lock().expect("planner mutex poisoned");
+            areas
+                .iter()
+                .map(|area| {
+                    let features = self.plan_features(area, 0);
+                    let (resolved, plan) = planner.resolve(spec, &features);
+                    (resolved, plan, features.vertices)
+                })
+                .collect()
+        };
+        let run_one = |i: usize| -> ShardedQueryOutput {
+            let mut out = self.execute(&plans[i].0, &areas[i]);
+            out.stats.plan = Some(plans[i].1);
+            out
+        };
+        let mut slots: Vec<Option<ShardedQueryOutput>> = Vec::new();
+        slots.resize_with(areas.len(), || None);
+        if threads <= 1 || areas.len() <= 1 {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(run_one(i));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let workers = threads.min(areas.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        let run_one = &run_one;
+                        scope.spawn(move || {
+                            let mut done = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= areas.len() {
+                                    break;
+                                }
+                                done.push((i, run_one(i)));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (i, o) in h.join().expect("planned batch worker does not panic") {
+                        slots[i] = Some(o);
+                    }
+                }
+            });
+        }
+        let outs: Vec<ShardedQueryOutput> = slots
+            .into_iter()
+            .map(|s| s.expect("every area ran exactly once"))
+            .collect();
+        for (out, (_, plan, vertices)) in outs.iter().zip(&plans) {
+            self.observe_auto(plan, &out.stats, *vertices);
+        }
+        outs
     }
 }
 
@@ -568,10 +776,10 @@ impl<A: QueryArea + Sync> SinkVisitor for ShardBatchRun<'_, A> {
             let start = work.len();
             let mut misses = 0usize;
             for (si, shard) in eng.shards.iter().enumerate() {
-                if shard.mbr.intersects(&mbr) {
-                    work.push((ranges.len() as u32, si as u32));
-                } else {
+                if prune_shard(spec, shard, &mbr, area) {
                     misses += 1;
+                } else {
+                    work.push((ranges.len() as u32, si as u32));
                 }
             }
             ranges.push((start, work.len()));
@@ -856,6 +1064,15 @@ impl ShardedDynamicAreaQueryEngine {
     /// Panics for `OutputMode::Classify`, as
     /// [`ShardedAreaQueryEngine::execute`] does.
     pub fn execute<A: QueryArea + ?Sized>(&self, spec: &QuerySpec, area: &A) -> DynamicQueryResult {
+        if spec.method.is_auto() {
+            let dead: usize = self.deltas.iter().map(|b| b.dead).sum();
+            let (resolved, plan, vertices) =
+                self.base.resolve_auto(spec, area, self.delta_len() - dead);
+            let mut out = self.execute(&resolved, area);
+            out.stats.plan = Some(plan);
+            self.base.observe_auto(&plan, &out.stats, vertices);
+            return out;
+        }
         dispatch_sink(
             spec.output,
             ShardedDynamicRun {

@@ -63,6 +63,46 @@ pub fn voronoi_area_query<A: QueryArea + ?Sized>(
     scratch: &mut QueryScratch,
     stats: &mut QueryStats,
 ) -> Vec<u32> {
+    voronoi_area_query_with_boundary(
+        tri,
+        area,
+        seed,
+        policy,
+        cell_window,
+        records,
+        None,
+        scratch,
+        stats,
+    )
+}
+
+/// [`voronoi_area_query`] with an optional **shard-boundary fallback** for
+/// the segment policy.
+///
+/// `straddlers`, when present, flags every canonical vertex whose Voronoi
+/// cell straddles the engine's shard boundary (computed once at shard build
+/// time — see `AreaQueryEngine::mark_shard_boundary`). A shard-local
+/// segment test only sees the segment between two *local* sites, so an area
+/// that enters the shard's territory without crossing any local
+/// inter-site segment is unreachable under the plain segment policy — the
+/// completeness gap of sharded segment expansion. For a frontier neighbour
+/// whose cell straddles the boundary, the plain segment test is not
+/// trustworthy: when it fails we fall back to the (complete) cell test for
+/// that one neighbour. Interior vertices — the vast majority — keep the
+/// cheap segment-only test, so the fallback costs `O(1)` per flagged
+/// frontier edge and nothing at all when `straddlers` is `None`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn voronoi_area_query_with_boundary<A: QueryArea + ?Sized>(
+    tri: &Triangulation,
+    area: &A,
+    seed: u32,
+    policy: ExpansionPolicy,
+    cell_window: &Rect,
+    records: Option<&RecordStore>,
+    straddlers: Option<&[bool]>,
+    scratch: &mut QueryScratch,
+    stats: &mut QueryStats,
+) -> Vec<u32> {
     let mut result = Vec::new();
     scratch.begin(tri.vertex_count());
     scratch.mark(seed);
@@ -98,7 +138,21 @@ pub fn voronoi_area_query<A: QueryArea + ?Sized>(
                         // `pv` just failed the containment test, so the
                         // segment meets the closed area iff it reaches the
                         // boundary — the containment-free fast path applies.
-                        area.boundary_intersects_segment(&Segment::new(pv, tri.point(u)))
+                        let seg_hit =
+                            area.boundary_intersects_segment(&Segment::new(pv, tri.point(u)));
+                        if !seg_hit
+                            && straddlers
+                                .is_some_and(|s| s.get(u as usize).copied().unwrap_or(false))
+                        {
+                            // Boundary-straddling cell: the shard-local
+                            // segment test is not conclusive here, so fall
+                            // back to the complete cell test for this one
+                            // frontier edge.
+                            stats.cell_tests += 1;
+                            cell_intersects_area(tri, u, area, cell_window)
+                        } else {
+                            seg_hit
+                        }
                     }
                     ExpansionPolicy::Cell => {
                         stats.cell_tests += 1;

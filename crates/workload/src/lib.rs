@@ -38,4 +38,4 @@ pub use experiment::{
     build_engine, build_sharded_engine, data_size_sweep, paper_data_sizes, paper_query_sizes,
     query_size_sweep, run_config, ConfigResult, MethodMeasurement, SweepConfig,
 };
-pub use polygen::{random_query_polygon, PolygonSpec};
+pub use polygen::{mixed_query_polygons, random_query_polygon, PolygonSpec};

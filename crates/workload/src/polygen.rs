@@ -119,6 +119,28 @@ pub fn random_query_polygon(space: &Rect, spec: &PolygonSpec, seed: u64) -> Poly
     Polygon::new(verts).expect("star construction yields a valid polygon")
 }
 
+/// Generates a deterministic suite of `count` query polygons whose query
+/// sizes cycle through `sizes` — the mixed workload the cost-model query
+/// planner is differential-tested and benchmarked on (no single fixed
+/// strategy wins across the whole suite).
+///
+/// Polygon `i` uses `sizes[i % sizes.len()]` and seed `seed + i`, so a
+/// suite is a stable prefix of any longer suite with the same seed.
+///
+/// # Panics
+///
+/// Panics if `sizes` is empty, or on any size [`random_query_polygon`]
+/// rejects.
+pub fn mixed_query_polygons(space: &Rect, sizes: &[f64], count: usize, seed: u64) -> Vec<Polygon> {
+    assert!(!sizes.is_empty(), "need at least one query size");
+    (0..count as u64)
+        .map(|i| {
+            let spec = PolygonSpec::with_query_size(sizes[i as usize % sizes.len()]);
+            random_query_polygon(space, &spec, seed.wrapping_add(i))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +210,30 @@ mod tests {
             mean > 0.3 && mean < 0.8,
             "mean area/MBR ratio {mean} out of the plausible band"
         );
+    }
+
+    #[test]
+    fn mixed_suite_cycles_sizes_and_is_a_stable_prefix() {
+        let space = unit_space();
+        let sizes = [0.01, 0.08, 0.25];
+        let suite = mixed_query_polygons(&space, &sizes, 7, 42);
+        assert_eq!(suite.len(), 7);
+        for (i, poly) in suite.iter().enumerate() {
+            assert!(
+                (poly.mbr().area() - sizes[i % sizes.len()]).abs() < 1e-9,
+                "polygon {i}"
+            );
+        }
+        let longer = mixed_query_polygons(&space, &sizes, 11, 42);
+        for (a, b) in suite.iter().zip(&longer) {
+            assert_eq!(a.vertices(), b.vertices());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one query size")]
+    fn mixed_suite_rejects_empty_sizes() {
+        mixed_query_polygons(&unit_space(), &[], 3, 1);
     }
 
     #[test]

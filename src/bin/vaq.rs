@@ -14,7 +14,12 @@
 //! `QuerySession` executes it.
 //!
 //! * `query` prints matching point indices (or just the count with
-//!   `--count`) and per-method statistics to stderr. `--prepared`
+//!   `--count`) and per-method statistics to stderr. `--method auto`
+//!   hands the choice of method, expansion policy and prepare mode to
+//!   the engine's cost-model planner (add `--verbose` to see the chosen
+//!   plan; `--policy` and `--prepared` conflict with it and are
+//!   rejected). `--policy segment|cell` pins the Voronoi expansion
+//!   policy. `--prepared`
 //!   query-compiles the area first (slab + edge-grid indexes; identical
 //!   results, faster per-candidate validation on large areas).
 //!   `--shards N` partitions the points into N spatial shards (parallel
@@ -38,7 +43,8 @@ use std::fs;
 use std::process::ExitCode;
 use voronoi_area_query::core::AreaQueryEngine;
 use voronoi_area_query::core::{
-    OutputMode, PointClass, PrepareMode, QueryArea, QueryMethod, QuerySpec, ShardedAreaQueryEngine,
+    ExecutionPlan, ExpansionPolicy, MethodChoice, OutputMode, PointClass, PrepareMode, QueryArea,
+    QueryMethod, QuerySpec, ShardedAreaQueryEngine,
 };
 use voronoi_area_query::geom::{Point, Polygon, Rect, Region};
 use voronoi_area_query::viz::candidate_scene;
@@ -50,8 +56,11 @@ struct Options {
     area_wkt: Option<String>,
     window: Option<String>,
     method: String,
+    /// `None` = the spec's default policy; `Some` = forced by `--policy`.
+    policy: Option<String>,
     count_only: bool,
     prepared: bool,
+    verbose: bool,
     /// `None` = unsharded; `Some(0)` = auto-tune to the hardware.
     shards: Option<usize>,
     knn: Option<usize>,
@@ -69,8 +78,10 @@ fn parse_args() -> Result<Options, String> {
         area_wkt: None,
         window: None,
         method: String::from("voronoi"),
+        policy: None,
         count_only: false,
         prepared: false,
+        verbose: false,
         shards: None,
         knn: None,
         at: None,
@@ -89,8 +100,10 @@ fn parse_args() -> Result<Options, String> {
             }
             "--window" => o.window = Some(args.next().ok_or("--window needs X0,Y0,X1,Y1")?),
             "--method" => o.method = args.next().ok_or("--method needs a value")?,
+            "--policy" => o.policy = Some(args.next().ok_or("--policy needs segment|cell")?),
             "--count" => o.count_only = true,
             "--prepared" => o.prepared = true,
+            "--verbose" => o.verbose = true,
             "--shards" => {
                 let v = args.next().ok_or("--shards needs a count or 'auto'")?;
                 o.shards = Some(if v == "auto" {
@@ -124,7 +137,8 @@ fn parse_args() -> Result<Options, String> {
 
 const USAGE: &str = "usage: vaq <query|info|svg> --points FILE.csv \
 [--area WKT | --area-file FILE | --window X0,Y0,X1,Y1] \
-[--method voronoi|traditional|brute|both] [--count] [--prepared] \
+[--method auto|voronoi|traditional|brute|both] [--policy segment|cell] \
+[--count] [--prepared] [--verbose] \
 [--shards N|auto] [--knn K --at X,Y] [--payload-bytes N] [--out FILE.svg]";
 
 fn main() -> ExitCode {
@@ -265,20 +279,71 @@ fn info(points: &[Point]) -> Result<(), String> {
 }
 
 /// Maps the `--method` flag to the specs to run (shared by the single
-/// and sharded paths).
-fn parse_methods(method: &str) -> Result<&'static [(&'static str, QueryMethod)], String> {
+/// and sharded paths). `auto` defers the choice to the cost-model
+/// planner per query.
+fn parse_methods(method: &str) -> Result<&'static [(&'static str, MethodChoice)], String> {
     match method {
-        "voronoi" => Ok(&[("voronoi", QueryMethod::Voronoi)]),
-        "traditional" => Ok(&[("traditional", QueryMethod::Traditional)]),
-        "brute" => Ok(&[("brute", QueryMethod::BruteForce)]),
+        "auto" => Ok(&[("auto", MethodChoice::Auto)]),
+        "voronoi" => Ok(&[("voronoi", MethodChoice::Fixed(QueryMethod::Voronoi))]),
+        "traditional" => Ok(&[("traditional", MethodChoice::Fixed(QueryMethod::Traditional))]),
+        "brute" => Ok(&[("brute", MethodChoice::Fixed(QueryMethod::BruteForce))]),
         "both" => Ok(&[
-            ("voronoi", QueryMethod::Voronoi),
-            ("traditional", QueryMethod::Traditional),
+            ("voronoi", MethodChoice::Fixed(QueryMethod::Voronoi)),
+            ("traditional", MethodChoice::Fixed(QueryMethod::Traditional)),
         ]),
         other => Err(format!(
-            "unknown method {other:?} (voronoi|traditional|brute|both)"
+            "unknown method {other:?} (auto|voronoi|traditional|brute|both)"
         )),
     }
+}
+
+/// Parses `--policy segment|cell` into the expansion policy.
+fn parse_policy(policy: &str) -> Result<ExpansionPolicy, String> {
+    match policy {
+        "segment" => Ok(ExpansionPolicy::Segment),
+        "cell" => Ok(ExpansionPolicy::Cell),
+        other => Err(format!("unknown --policy {other:?} (segment|cell)")),
+    }
+}
+
+/// `--method auto` owns every strategy knob the planner decides; forcing
+/// one by hand alongside it is a contradiction, not a preference.
+fn reject_auto_conflicts(o: &Options) -> Result<(), String> {
+    if o.method != "auto" {
+        return Ok(());
+    }
+    if o.policy.is_some() {
+        return Err(String::from(
+            "--method auto picks the expansion policy per query; \
+drop --policy (or pin the method to use it)",
+        ));
+    }
+    if o.prepared {
+        return Err(String::from(
+            "--method auto decides when preparing the area pays off; \
+drop --prepared (or pin the method to force it)",
+        ));
+    }
+    Ok(())
+}
+
+/// With `--verbose`, prints the planner's recorded decision for a
+/// `--method auto` query.
+fn print_plan(name: &str, plan: Option<&ExecutionPlan>) {
+    let Some(plan) = plan else {
+        return;
+    };
+    eprintln!(
+        "{name}:{pad} plan {:?} / {:?} / {:?} / {:?} \
+(predicted {:.0} work units, {:.0} candidates)",
+        plan.method,
+        plan.policy,
+        plan.prepare,
+        plan.shard_pruning,
+        plan.predicted_cost,
+        plan.predicted_candidates,
+        pad = " ".repeat(11usize.saturating_sub(name.len())),
+    );
 }
 
 /// Parses `--at X,Y` into the kNN origin.
@@ -328,6 +393,7 @@ has no per-record payload to print)",
 
 fn query(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
     let methods = parse_methods(&o.method)?;
+    reject_auto_conflicts(o)?;
     let output = output_mode_for(o)?;
     let engine = AreaQueryEngine::builder(points)
         .payload_bytes(o.payload_bytes)
@@ -338,17 +404,23 @@ fn query(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
     // answered from the prepared indexes). `Cached` rather than
     // `PrepareOnce` so `--method both` compiles the area once and the
     // second method hits the session cache.
-    let base = QuerySpec::new()
+    let mut base = QuerySpec::new()
         .prepare(if o.prepared {
             PrepareMode::Cached
         } else {
             PrepareMode::Raw
         })
         .output(output);
+    if let Some(policy) = o.policy.as_deref() {
+        base = base.policy(parse_policy(policy)?);
+    }
     let mut printed = false;
     for &(name, m) in methods {
         let out = session.execute(&base.method(m), area.as_query_area());
         let stats = out.stats();
+        if o.verbose {
+            print_plan(name, stats.plan.as_ref());
+        }
         eprintln!(
             "{name}:{pad} {} results, {} candidates, {} redundant validations",
             stats.result_size,
@@ -388,6 +460,7 @@ fn query(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
 /// record store.
 fn query_sharded(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
     let methods = parse_methods(&o.method)?;
+    reject_auto_conflicts(o)?;
     let output = output_mode_for(o)?;
     let engine =
         ShardedAreaQueryEngine::build_with_payload(points, o.shards.unwrap_or(1), o.payload_bytes);
@@ -410,10 +483,16 @@ fn query_sharded(points: &[Point], area: &CliArea, o: &Options) -> Result<(), St
         Some(prep) => prep.as_ref(),
         None => area.as_query_area(),
     };
-    let base = QuerySpec::new().output(output);
+    let mut base = QuerySpec::new().output(output);
+    if let Some(policy) = o.policy.as_deref() {
+        base = base.policy(parse_policy(policy)?);
+    }
     let mut printed = false;
     for &(name, m) in methods {
         let out = engine.execute(&base.method(m), run_area);
+        if o.verbose {
+            print_plan(name, out.stats.plan.as_ref());
+        }
         eprintln!(
             "{name}:{pad} {} results, {} candidates, {} redundant validations \
 [{} of {} shards visited, {} pruned]",

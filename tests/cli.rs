@@ -460,6 +460,78 @@ fn payload_query_reports_checksums_and_same_indices() {
     );
 }
 
+/// `--method auto` routes through the cost-model planner: identical
+/// indices to the explicit methods (plain and sharded), `--verbose`
+/// prints the chosen plan, and forcing planner-owned knobs alongside it
+/// fails cleanly.
+#[test]
+fn auto_method_plans_and_rejects_conflicts() {
+    let dir = temp_dir("auto");
+    let pts = write_points(&dir);
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "query",
+            "--points",
+            pts.to_str().unwrap(),
+            "--area",
+            "POLYGON ((0.0 0.0, 0.62 0.0, 0.55 0.55, 0.0 0.48))",
+        ];
+        args.extend_from_slice(extra);
+        let out = vaq().args(&args).output().expect("run vaq");
+        assert!(
+            out.status.success(),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (want, _) = run(&["--method", "voronoi"]);
+    assert!(!want.is_empty());
+
+    let (auto_out, stderr) = run(&["--method", "auto", "--verbose"]);
+    assert_eq!(auto_out, want, "auto must return the explicit indices");
+    assert!(stderr.contains("auto:"), "{stderr}");
+    assert!(
+        stderr.contains("plan") && stderr.contains("predicted"),
+        "--verbose should print the chosen plan: {stderr}"
+    );
+
+    let (sharded, sharded_err) = run(&["--method", "auto", "--shards", "4", "--verbose"]);
+    assert_eq!(sharded, want, "sharded auto agrees too");
+    assert!(sharded_err.contains("plan"), "{sharded_err}");
+
+    // Pinning the policy is allowed with an explicit method …
+    let (cell, _) = run(&["--method", "voronoi", "--policy", "cell"]);
+    assert_eq!(cell, want, "--policy cell must not change the answer");
+
+    // … but planner-owned knobs conflict with `--method auto`.
+    let expect_fail = |extra: &[&str], needle: &str| {
+        let mut args = vec![
+            "query",
+            "--points",
+            pts.to_str().unwrap(),
+            "--window",
+            "0.1,0.1,0.5,0.5",
+        ];
+        args.extend_from_slice(extra);
+        let out = vaq().args(&args).output().expect("run vaq");
+        assert!(!out.status.success(), "{extra:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{extra:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{extra:?}: {stderr}");
+    };
+    expect_fail(&["--method", "auto", "--policy", "cell"], "--policy");
+    expect_fail(&["--method", "auto", "--prepared"], "--prepared");
+    expect_fail(
+        &["--method", "auto", "--shards", "2", "--prepared"],
+        "--prepared",
+    );
+    expect_fail(&["--policy", "diagonal"], "--policy");
+}
+
 /// The new flags reject inconsistent combinations with diagnostics, not
 /// panics.
 #[test]

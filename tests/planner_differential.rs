@@ -1,0 +1,219 @@
+//! Differential suite for the cost-model query planner.
+//!
+//! Three contracts:
+//!
+//! * **Bit-identity** — a `QuerySpec::auto()` query returns exactly the
+//!   indices and work counters of the explicit spec its recorded
+//!   [`ExecutionPlan`] names, on all four execution paths (plain
+//!   session, batch, dynamic, sharded). Only the "how was this
+//!   computed" fields (`plan`, `prepared_cache`) may differ.
+//! * **Near-oracle cost** — over a mixed sweep, the planner's total
+//!   measured work (in the deterministic work units of
+//!   [`Planner::observed_cost`]) stays within 1.5× of a per-query
+//!   oracle that runs every `(method, policy)` pair and keeps the best.
+//! * **Honest plans** (property) — the plan attached to the stats
+//!   always names the path that executed it and a concrete
+//!   (non-`Auto`) method.
+
+use voronoi_area_query::core::{
+    AreaQueryEngine, CacheCounters, DynamicAreaQueryEngine, ExpansionPolicy, PlannedPath, Planner,
+    QueryArea, QueryMethod, QuerySpec, QueryStats, ShardedAreaQueryEngine,
+};
+use voronoi_area_query::geom::Polygon;
+use voronoi_area_query::workload::{
+    generate, mixed_query_polygons, random_query_polygon, unit_space, Distribution, PolygonSpec,
+};
+
+fn engine(n: usize, seed: u64) -> AreaQueryEngine {
+    let pts = generate(n, Distribution::Uniform, seed);
+    AreaQueryEngine::build(&pts)
+}
+
+/// The mixed sweep the planner has to navigate: sizes spanning both
+/// sides of the Voronoi/traditional break-even.
+fn areas(n: usize, base_seed: u64) -> Vec<Polygon> {
+    mixed_query_polygons(&unit_space(), &[0.008, 0.03, 0.1, 0.3], n, base_seed)
+}
+
+/// Scrubs the fields a planned run is allowed to differ in from its
+/// explicit twin: the plan record itself and the session-cache traffic.
+fn scrub(stats: &QueryStats) -> QueryStats {
+    let mut s = *stats;
+    s.plan = None;
+    s.prepared_cache = CacheCounters::default();
+    s
+}
+
+#[test]
+fn auto_is_bit_identical_to_its_plan_on_the_plain_path() {
+    let engine = engine(4000, 0x91A1);
+    for (i, area) in areas(12, 100).iter().enumerate() {
+        // A fresh session for each side so cache state matches.
+        let mut auto_session = engine.session();
+        let auto_out = auto_session.execute(&QuerySpec::auto(), area);
+        let plan = auto_out.stats().plan.expect("auto records a plan");
+        assert_eq!(plan.path, PlannedPath::Plain, "area {i}");
+
+        let mut explicit_session = engine.session();
+        let explicit = explicit_session.execute(&plan.apply_to(&QuerySpec::auto()), area);
+        assert!(
+            explicit.stats().plan.is_none(),
+            "explicit runs plan nothing"
+        );
+        assert_eq!(
+            auto_out.result().unwrap().indices,
+            explicit.result().unwrap().indices,
+            "area {i}"
+        );
+        assert_eq!(
+            scrub(auto_out.stats()),
+            scrub(explicit.stats()),
+            "area {i}: planned and explicit work counters must agree"
+        );
+    }
+}
+
+#[test]
+fn auto_is_bit_identical_on_the_batch_path() {
+    let engine = engine(4000, 0xBA7C);
+    let areas = areas(16, 300);
+    for threads in [1usize, 4] {
+        let auto_outs = engine.execute_batch(&QuerySpec::auto(), &areas, threads);
+        assert_eq!(auto_outs.len(), areas.len());
+        for (i, (out, area)) in auto_outs.iter().zip(&areas).enumerate() {
+            let plan = out.stats().plan.expect("auto records a plan");
+            assert_eq!(plan.path, PlannedPath::Batch, "area {i}");
+            let explicit = &engine.execute_batch(
+                &plan.apply_to(&QuerySpec::auto()),
+                std::slice::from_ref(area),
+                1,
+            )[0];
+            assert_eq!(
+                out.result().unwrap().indices,
+                explicit.result().unwrap().indices,
+                "area {i} threads {threads}"
+            );
+            assert_eq!(
+                scrub(out.stats()),
+                scrub(explicit.stats()),
+                "area {i} threads {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_is_bit_identical_on_the_dynamic_path() {
+    let points = generate(3000, Distribution::Uniform, 0xD1A);
+    let (base, delta) = points.split_at(2800);
+    let mut auto_engine = DynamicAreaQueryEngine::new(base);
+    let mut explicit_engine = DynamicAreaQueryEngine::new(base);
+    for &p in delta {
+        auto_engine.insert(p);
+        explicit_engine.insert(p);
+    }
+    for (i, area) in areas(10, 700).iter().enumerate() {
+        let auto_out = auto_engine.execute(&QuerySpec::auto(), area);
+        let plan = auto_out.stats.plan.expect("auto records a plan");
+        assert_eq!(plan.path, PlannedPath::Dynamic, "area {i}");
+        let explicit = explicit_engine.execute(&plan.apply_to(&QuerySpec::auto()), area);
+        assert_eq!(auto_out.ids, explicit.ids, "area {i}");
+        assert_eq!(scrub(&auto_out.stats), scrub(&explicit.stats), "area {i}");
+    }
+}
+
+#[test]
+fn auto_is_bit_identical_on_the_sharded_path() {
+    let points = generate(6000, Distribution::Uniform, 0x5AD);
+    let sharded = ShardedAreaQueryEngine::build(&points, 6);
+    for (i, area) in areas(12, 900).iter().enumerate() {
+        let auto_out = sharded.execute(&QuerySpec::auto(), area);
+        let plan = auto_out.stats.plan.expect("auto records a plan");
+        assert_eq!(plan.path, PlannedPath::Sharded, "area {i}");
+        let explicit = sharded.execute(&plan.apply_to(&QuerySpec::auto()), area);
+        assert_eq!(auto_out.indices, explicit.indices, "area {i}");
+        assert_eq!(scrub(&auto_out.stats), scrub(&explicit.stats), "area {i}");
+    }
+    // The sharded batch path plans per area and stays in input order.
+    let sweep = areas(8, 1500);
+    for threads in [1usize, 4] {
+        let outs = sharded.execute_batch(&QuerySpec::auto(), &sweep, threads);
+        for (i, (out, area)) in outs.iter().zip(&sweep).enumerate() {
+            let plan = out.stats.plan.expect("auto records a plan");
+            assert_eq!(plan.path, PlannedPath::Sharded, "area {i}");
+            let explicit = sharded.execute(&plan.apply_to(&QuerySpec::auto()), area);
+            assert_eq!(out.indices, explicit.indices, "area {i} threads {threads}");
+        }
+    }
+}
+
+/// The planner's measured work over a mixed sweep stays within 1.5× of
+/// the per-query oracle (the best `(method, policy)` pair, measured in
+/// the same deterministic work units).
+#[test]
+fn planner_stays_within_oracle_budget() {
+    let engine = engine(20_000, 0x04AC1E);
+    let sweep = areas(40, 4000);
+    let mut session = engine.session();
+    let mut planner_units = 0.0f64;
+    let mut oracle_units = 0.0f64;
+    for area in &sweep {
+        let k = area.complexity();
+        let auto_out = session.execute(&QuerySpec::auto(), area);
+        planner_units += Planner::observed_cost(auto_out.stats(), k);
+
+        let mut best = f64::INFINITY;
+        for method in [
+            QueryMethod::Voronoi,
+            QueryMethod::Traditional,
+            QueryMethod::BruteForce,
+        ] {
+            for policy in [ExpansionPolicy::Segment, ExpansionPolicy::Cell] {
+                let spec = QuerySpec::new().method(method).policy(policy);
+                let out = engine.execute(&spec, area);
+                best = best.min(Planner::observed_cost(out.stats(), k));
+            }
+        }
+        oracle_units += best;
+    }
+    assert!(
+        planner_units <= 1.5 * oracle_units,
+        "planner spent {planner_units:.0} work units, oracle {oracle_units:.0} \
+(ratio {:.2} > 1.5)",
+        planner_units / oracle_units
+    );
+}
+
+/// Property: on every path, the recorded plan names the executed path
+/// and a concrete method, and its spec re-executes to the same count.
+mod plan_honesty {
+    use super::*;
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(24))]
+        #[test]
+        fn plan_names_the_executed_path(seed in 0u64..4000) {
+            let points = generate(600, Distribution::Uniform, seed % 7 + 1);
+            let space = unit_space();
+            let size = 0.005 + (seed % 11) as f64 * 0.03;
+            let area = random_query_polygon(&space, &PolygonSpec::with_query_size(size), seed);
+
+            let plain = AreaQueryEngine::build(&points);
+            let out = plain.execute(&QuerySpec::auto(), &area);
+            let plan = out.stats().plan.expect("plain plan");
+            proptest::prop_assert_eq!(plan.path, PlannedPath::Plain);
+            let explicit = plain.execute(&plan.apply_to(&QuerySpec::auto()), &area);
+            proptest::prop_assert_eq!(out.count(), explicit.count());
+
+            let sharded = ShardedAreaQueryEngine::build(&points, 3);
+            let out = sharded.execute(&QuerySpec::auto(), &area);
+            let plan = out.stats.plan.expect("sharded plan");
+            proptest::prop_assert_eq!(plan.path, PlannedPath::Sharded);
+            proptest::prop_assert!(!QuerySpec::auto().method(plan.method).method.is_auto());
+
+            let batch = plain.execute_batch(&QuerySpec::auto(), std::slice::from_ref(&area), 2);
+            let plan = batch[0].stats().plan.expect("batch plan");
+            proptest::prop_assert_eq!(plan.path, PlannedPath::Batch);
+        }
+    }
+}

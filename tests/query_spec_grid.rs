@@ -51,14 +51,13 @@ fn assert_grid_agrees(engine: &AreaQueryEngine, area: &dyn QueryArea, context: &
                         PrepareMode::PrepareOnce,
                         PrepareMode::Cached,
                     ] {
-                        let spec = QuerySpec {
-                            method,
-                            filter,
-                            seed,
-                            policy,
-                            prepare,
-                            output: OutputMode::Collect,
-                        };
+                        let spec = QuerySpec::new()
+                            .method(method)
+                            .filter(filter)
+                            .seed(seed)
+                            .policy(policy)
+                            .prepare(prepare)
+                            .output(OutputMode::Collect);
                         let ctx = format!("{context}: {spec:?}");
                         let collected = session.execute(&spec, area);
                         assert_eq!(

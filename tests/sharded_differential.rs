@@ -52,14 +52,13 @@ fn assert_sharded_grid_agrees(
                     PrepareMode::PrepareOnce,
                     PrepareMode::Cached,
                 ] {
-                    let spec = QuerySpec {
-                        method,
-                        filter: FilterIndex::RTree,
-                        seed,
-                        policy,
-                        prepare,
-                        output: OutputMode::Collect,
-                    };
+                    let spec = QuerySpec::new()
+                        .method(method)
+                        .filter(FilterIndex::RTree)
+                        .seed(seed)
+                        .policy(policy)
+                        .prepare(prepare)
+                        .output(OutputMode::Collect);
                     let ctx = format!("{context}: {spec:?}");
                     let got = sharded.execute(&spec, area);
                     assert_eq!(got.indices, want, "{ctx}");
