@@ -357,6 +357,9 @@ impl<A: QueryArea + ?Sized> SinkVisitor for DynamicRun<'_, A> {
     }
 
     fn classify(self) -> DynamicQueryResult {
+        // vaq-lint: allow(panic-hygiene) -- documented unsupported-mode
+        // contract: classification is whole-diagram by definition, and the
+        // message tells the caller exactly which engine to use instead.
         panic!("point classification is whole-diagram and is not supported on the dynamic engine");
     }
 }

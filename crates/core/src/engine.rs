@@ -469,6 +469,9 @@ impl AreaQueryEngine {
         let spec = QuerySpec::new().output(OutputMode::Classify);
         match self.run_spec(&spec, area, None) {
             crate::query::QueryOutput::Classified { classes, .. } => Some(classes),
+            // vaq-lint: allow(panic-hygiene) -- run_spec returns the
+            // variant matching the spec's OutputMode, and the spec two
+            // lines up is pinned to Classify.
             _ => unreachable!("classify-mode query"),
         }
     }

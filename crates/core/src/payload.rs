@@ -95,6 +95,9 @@ impl RecordStore {
     pub fn generate(n: usize, record_bytes: usize, seed: u64) -> RecordStore {
         match RecordStore::try_generate(n, record_bytes, seed) {
             Ok(store) => store,
+            // vaq-lint: allow(panic-hygiene) -- documented panicking
+            // wrapper (see `# Panics` above); `try_generate` is the
+            // checked form.
             Err(e) => panic!("RecordStore::generate: {e}"),
         }
     }
@@ -154,6 +157,9 @@ impl RecordStore {
     pub fn read(&self, id: u32) -> u64 {
         match self.try_read(id) {
             Ok(sum) => sum,
+            // vaq-lint: allow(panic-hygiene) -- documented panicking
+            // wrapper (see `# Panics` above); `try_read` is the checked
+            // form.
             Err(e) => panic!("RecordStore::read: {e}"),
         }
     }

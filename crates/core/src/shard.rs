@@ -739,6 +739,9 @@ impl<A: QueryArea + ?Sized> SinkVisitor for ShardRun<'_, A> {
     }
 
     fn classify(self) -> ShardedQueryOutput {
+        // vaq-lint: allow(panic-hygiene) -- documented unsupported-mode
+        // contract: classification is per-diagram, and the message points
+        // the caller at the right engine.
         panic!("point classification is per-diagram and is not supported on the sharded engine");
     }
 }
@@ -899,6 +902,8 @@ impl<A: QueryArea + Sync> SinkVisitor for ShardBatchRun<'_, A> {
     }
 
     fn classify(self) -> Vec<ShardedQueryOutput> {
+        // vaq-lint: allow(panic-hygiene) -- documented unsupported-mode
+        // contract, as in the single-area sink visitor above.
         panic!("point classification is per-diagram and is not supported on the sharded engine");
     }
 }
@@ -1209,6 +1214,8 @@ impl<A: QueryArea + ?Sized> SinkVisitor for ShardedDynamicRun<'_, A> {
     }
 
     fn classify(self) -> DynamicQueryResult {
+        // vaq-lint: allow(panic-hygiene) -- documented unsupported-mode
+        // contract, as in the sink visitors above.
         panic!("point classification is per-diagram and is not supported on the sharded engine");
     }
 }

@@ -152,6 +152,16 @@ impl QueryStats {
     /// `plan` record are maintained by the sharded engine itself, not
     /// here.
     pub fn absorb_shard(&mut self, other: &QueryStats) {
+        // vaq-lint: allow(stats-conservation) -- `seed` is per-shard: each
+        // shard seeds its traversal independently, so an aggregate has no
+        // single meaningful seed.
+        // vaq-lint: allow(stats-conservation) -- `shards_visited` is
+        // maintained by the sharded engine, which counts shards as it
+        // dispatches them; summing per-shard copies would double-count.
+        // vaq-lint: allow(stats-conservation) -- `shards_pruned` is
+        // engine-maintained alongside shards_visited, for the same reason.
+        // vaq-lint: allow(stats-conservation) -- `plan` is the planner's
+        // one-per-query record, attached by the engine after the merge.
         self.result_size += other.result_size;
         self.candidates += other.candidates;
         self.accepted += other.accepted;

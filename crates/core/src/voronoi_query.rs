@@ -114,6 +114,9 @@ pub(crate) fn voronoi_area_query_with_boundary<A: QueryArea + ?Sized>(
         if let Some(rs) = records {
             // Materialise the record of a representative input point before
             // the exact test, as a real refinement step would.
+            // vaq-lint: allow(panic-hygiene) -- every canonical vertex has
+            // at least one input point by construction (deduplication only
+            // merges inputs, never produces an empty group).
             let rep = tri.inputs_of(v)[0];
             stats.payload_checksum = stats.payload_checksum.wrapping_add(rs.read(rep));
         }

@@ -64,7 +64,7 @@ impl Tri {
     /// `true` when this triangle contains the ghost vertex.
     #[inline]
     pub fn is_ghost(&self) -> bool {
-        self.v[0] == GHOST || self.v[1] == GHOST || self.v[2] == GHOST
+        self.v.contains(&GHOST)
     }
 }
 
@@ -109,7 +109,7 @@ impl Mesh {
 
     /// Allocates a triangle with the given vertices and no neighbours.
     pub fn alloc(&mut self, v: [u32; 3]) -> u32 {
-        debug_assert!(v[0] != DEAD && v[1] != DEAD && v[2] != DEAD);
+        debug_assert!(v.iter().all(|&x| x != DEAD));
         self.live += 1;
         let t = Tri {
             v,
@@ -135,7 +135,7 @@ impl Mesh {
     /// `true` when slot `t` has been freed.
     #[inline]
     pub fn is_dead(&self, t: u32) -> bool {
-        self.tris[t as usize].v[0] == DEAD
+        matches!(self.tris[t as usize].v, [DEAD, ..])
     }
 
     /// Read access to triangle `t`. Must be live.

@@ -119,9 +119,10 @@ impl Core {
         let tri = self.mesh.tri(t);
         match tri.ghost_slot() {
             None => {
-                let a = self.pts[tri.v[0] as usize];
-                let b = self.pts[tri.v[1] as usize];
-                let c = self.pts[tri.v[2] as usize];
+                let [i, j, k] = tri.v;
+                let a = self.pts[i as usize];
+                let b = self.pts[j as usize];
+                let c = self.pts[k as usize];
                 incircle(a, b, c, p) > 0.0
             }
             Some(g) => {
@@ -183,6 +184,10 @@ impl Core {
             prev = t;
             t = next;
         }
+        // vaq-lint: allow(panic-hygiene) -- the walk over a consistent
+        // mesh strictly approaches `p` (each step crosses an edge whose
+        // far side contains it); non-termination means the neighbour
+        // links are corrupt, which no error value could repair.
         unreachable!("point-location walk failed to terminate (mesh corrupt?)");
     }
 
@@ -196,6 +201,9 @@ impl Core {
                 return;
             }
             Locate::Face(t) | Locate::Outside(t) => t,
+            // vaq-lint: allow(panic-hygiene) -- `walk` constructs every
+            // other Locate variant itself; Degenerate only flows out of
+            // the pre-walk guards, which insert_in_cavity never takes.
             Locate::Degenerate => unreachable!("walk never returns Degenerate"),
         };
 
@@ -264,7 +272,11 @@ impl Core {
                 .expect("cavity boundary is a closed cycle");
             // Edge (b, vid) is opposite slot 0 of t; the reversed edge
             // (vid, b) is opposite slot 1 of the sibling.
+            // vaq-lint: allow(panic-hygiene) -- `n` is a fixed [u32; 3];
+            // constant in-bounds indexing cannot panic.
             self.mesh.tri_mut(t).n[0] = next;
+            // vaq-lint: allow(panic-hygiene) -- same fixed-array slot
+            // write as the line above.
             self.mesh.tri_mut(next).n[1] = t;
         }
 
@@ -337,16 +349,19 @@ impl Triangulation {
             InsertionOrder::Hilbert => hilbert_sort(&pts),
             InsertionOrder::Input => (0..pts.len() as u32).collect(),
         };
-        let tri0 = if pts.len() >= 3 {
-            let i0 = ins_order[0];
-            let i1 = ins_order[1];
-            ins_order[2..]
-                .iter()
-                .copied()
-                .find(|&i2| orient2d(pts[i0 as usize], pts[i1 as usize], pts[i2 as usize]) != 0.0)
-                .map(|i2| (i0, i1, i2))
-        } else {
-            None
+        let tri0 = match ins_order.as_slice() {
+            // `ins_order` is a permutation of the canonical vertices, so
+            // a non-empty `rest` is exactly the pts.len() >= 3 case.
+            [i0, i1, rest @ ..] if !rest.is_empty() => {
+                let (i0, i1) = (*i0, *i1);
+                rest.iter()
+                    .copied()
+                    .find(|&i2| {
+                        orient2d(pts[i0 as usize], pts[i1 as usize], pts[i2 as usize]) != 0.0
+                    })
+                    .map(|i2| (i0, i1, i2))
+            }
+            _ => None,
         };
 
         let Some((i0, i1, i2)) = tri0 else {
@@ -440,17 +455,16 @@ impl Triangulation {
         let mut adj = Vec::with_capacity(2 * n.saturating_sub(1));
         // Degree 2 inside the path, 1 at the ends (0 for a single point).
         let mut deg = vec![0u32; n];
-        for w in order.windows(2) {
-            deg[w[0] as usize] += 1;
-            deg[w[1] as usize] += 1;
+        for (&a, &b) in order.iter().zip(order.iter().skip(1)) {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
         }
         for v in 0..n {
             adj_off[v + 1] = adj_off[v] + deg[v];
         }
         adj.resize(adj_off[n] as usize, 0);
         let mut cursor: Vec<u32> = adj_off[..n].to_vec();
-        for w in order.windows(2) {
-            let (a, b) = (w[0], w[1]);
+        for (&a, &b) in order.iter().zip(order.iter().skip(1)) {
             adj[cursor[a as usize] as usize] = b;
             cursor[a as usize] += 1;
             adj[cursor[b as usize] as usize] = a;
@@ -613,6 +627,9 @@ impl Triangulation {
             prev = t;
             t = next;
         }
+        // vaq-lint: allow(panic-hygiene) -- same strictly-decreasing
+        // walk argument as `Core::walk`: failure to terminate means a
+        // corrupt mesh, not a caller error.
         unreachable!("point-location walk failed to terminate");
     }
 

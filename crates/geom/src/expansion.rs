@@ -134,7 +134,11 @@ pub fn fast_expansion_sum_zeroelim(e: &[f64], f: &[f64], h: &mut [f64]) -> usize
 
     let mut eindex = 0usize;
     let mut findex = 0usize;
+    // vaq-lint: allow(panic-hygiene) -- both expansions are non-empty
+    // here: the zero-length cases returned early above.
     let mut enow = e[0];
+    // vaq-lint: allow(panic-hygiene) -- same non-empty guarantee as the
+    // line above.
     let mut fnow = f[0];
     let mut q;
 
@@ -238,16 +242,22 @@ pub fn fast_expansion_sum_zeroelim(e: &[f64], f: &[f64], h: &mut [f64]) -> usize
 /// `2 * e.len()` components (Shewchuk's `SCALE_EXPANSION_ZEROELIM`).
 pub fn scale_expansion_zeroelim(e: &[f64], b: f64, h: &mut [f64]) -> usize {
     if e.is_empty() {
+        // vaq-lint: allow(panic-hygiene) -- the documented contract gives
+        // `h` room for 2·e.len() components and at least one output slot.
         h[0] = 0.0;
         return 1;
     }
     let (bhi, blo) = split(b);
+    // vaq-lint: allow(panic-hygiene) -- `e` is non-empty: the is_empty
+    // case returned early above.
     let (mut q, hh) = two_product_presplit(e[0], b, bhi, blo);
     let mut hindex = 0usize;
     if hh != 0.0 {
         h[hindex] = hh;
         hindex += 1;
     }
+    // vaq-lint: allow(panic-hygiene) -- `e` is non-empty (early return
+    // above), so the tail slice from 1 is in bounds.
     for &enow in &e[1..] {
         let (product1, product0) = two_product_presplit(enow, b, bhi, blo);
         let (sum, h0) = two_sum(q, product0);

@@ -5,11 +5,13 @@
 //! boundary points count as inside, matching the paper's definition of an
 //! area query ("all elements contained in a specified area").
 
+use crate::expansion::{expansion_sign, expansion_sum, two_product, two_two_diff};
 use crate::point::Point;
 use crate::predicates::{orient2d, orient2d_filter_batch};
 use crate::rect::Rect;
 use crate::segment::Segment;
 use crate::GeomError;
+use std::cmp::Ordering;
 
 /// Lane buffer capacity of [`CrossingScan`] (one filter flush). Small
 /// enough that initialising the buffers is negligible next to one
@@ -187,7 +189,11 @@ impl Polygon {
             return Err(GeomError::NonFiniteCoordinate(*p));
         }
         let poly = Polygon::from_vertices(vertices);
-        if poly.signed_area() == 0.0 {
+        // Exact degeneracy test: the float shoelace sum can round to 0.0
+        // for a sliver polygon with genuinely non-zero area (rejecting a
+        // valid input) or to non-zero for an exactly degenerate ring
+        // (accepting one) — `winding_sign` certifies the true sign.
+        if poly.winding_sign() == Ordering::Equal {
             return Err(GeomError::DegeneratePolygon);
         }
         Ok(poly)
@@ -268,6 +274,9 @@ impl Polygon {
             a += w;
         }
         if a.abs() < f64::MIN_POSITIVE {
+            // vaq-lint: allow(float-exactness) -- vertex-average fallback
+            // for a degenerate ring: `n as f64` is an exact small count and
+            // the centroid is approximate by definition.
             let inv = 1.0 / n as f64;
             let sum = self.vertices.iter().fold(Point::ORIGIN, |acc, &p| acc + p);
             return sum * inv;
@@ -284,10 +293,73 @@ impl Polygon {
         self.mbr
     }
 
-    /// `true` when the vertices wind counter-clockwise.
+    /// Exact sign of the signed area: `Greater` for counter-clockwise
+    /// winding, `Less` for clockwise, `Equal` for exactly zero area.
+    ///
+    /// Stage A evaluates the float shoelace sum alongside a running sum of
+    /// term magnitudes; when `|sum|` clears the accumulated rounding-error
+    /// bound, the float sign is certified. Otherwise stage B re-evaluates
+    /// the shoelace sum in expansion arithmetic, which is exact for all
+    /// finite inputs. This is the winding decision [`Polygon::new`] and
+    /// [`Polygon::is_ccw`] use — [`Polygon::signed_area`] itself stays
+    /// float because its magnitude consumers tolerate rounding; only its
+    /// *sign* consumers must not.
+    pub fn winding_sign(&self) -> Ordering {
+        let n = self.vertices.len();
+        if n < 3 {
+            return Ordering::Equal;
+        }
+        // Stage A: float shoelace with a running absolute-error bound.
+        let mut sum = 0.0;
+        let mut absum = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            sum += p.x * q.y - q.x * p.y;
+            absum += (p.x * q.y).abs() + (q.x * p.y).abs();
+        }
+        // γ-style bound: 2n products (one rounding each) plus ~2n
+        // additions, applied to the magnitude sum — (2n + 4)·ε·absum
+        // over-counts both, so a certified sign is genuinely certified.
+        // vaq-lint: allow(float-exactness) -- `n as f64` counts vertices
+        // (exact far below 2^53) to scale the stage-A error bound.
+        let bound = (2.0 * n as f64 + 4.0) * f64::EPSILON * absum;
+        if sum > bound {
+            return Ordering::Greater;
+        }
+        if sum < -bound {
+            return Ordering::Less;
+        }
+        // vaq-lint: allow(float-exactness) -- absum is a sum of absolute
+        // values: exactly 0.0 only when every shoelace term is exactly
+        // zero, making the float sum itself exact.
+        if absum == 0.0 {
+            return Ordering::Equal;
+        }
+        // Stage B: exact shoelace in expansion arithmetic.
+        let mut acc: Vec<f64> = vec![0.0];
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let (hi1, lo1) = two_product(p.x, q.y);
+            let (hi2, lo2) = two_product(q.x, p.y);
+            acc = expansion_sum(&acc, &two_two_diff(hi1, lo1, hi2, lo2));
+        }
+        let s = expansion_sign(&acc);
+        if s > 0.0 {
+            Ordering::Greater
+        } else if s < 0.0 {
+            Ordering::Less
+        } else {
+            Ordering::Equal
+        }
+    }
+
+    /// `true` when the vertices wind counter-clockwise (exact decision via
+    /// [`Polygon::winding_sign`]).
     #[inline]
     pub fn is_ccw(&self) -> bool {
-        self.signed_area() > 0.0
+        self.winding_sign() == Ordering::Greater
     }
 
     /// The polygon with reversed winding.
@@ -520,6 +592,9 @@ impl Polygon {
         ys.sort_by(f64::total_cmp);
         ys.dedup();
         debug_assert!(ys.len() >= 2, "validated polygons have positive area");
+        // vaq-lint: allow(panic-hygiene) -- a validated polygon has
+        // non-zero area, hence at least two distinct vertex ys (the
+        // debug_assert above states the same invariant).
         let mid = (ys[0] + ys[ys.len() - 1]) / 2.0;
         // Pick the gap [ys[k], ys[k+1]) containing (or nearest to) mid.
         let mut best = (f64::INFINITY, 0usize);
@@ -545,7 +620,12 @@ impl Polygon {
         xs.sort_by(f64::total_cmp);
         debug_assert!(xs.len() >= 2 && xs.len().is_multiple_of(2));
         // Midpoint of the widest inside-span for numerical headroom.
+        // vaq-lint: allow(panic-hygiene) -- the scan line runs strictly
+        // inside the y-extent and avoids every vertex, so it crosses the
+        // boundary an even number of times, at least twice.
         let mut best_span = (xs[0], xs[1]);
+        // vaq-lint: allow(panic-hygiene) -- same even-crossing invariant
+        // as the line above.
         let mut best_w = xs[1] - xs[0];
         for k in (0..xs.len() - 1).step_by(2) {
             let w = xs[k + 1] - xs[k];

@@ -205,8 +205,14 @@ fn cmp_crossings_at(e: &PreparedEdge, f: &PreparedEdge, y: f64) -> Ordering {
     let flip = (e.b.y < e.a.y) != (f.b.y < f.a.y);
     let classify = |s: f64| -> Ordering {
         let s = if flip { -s } else { s };
+        // vaq-lint: allow(float-exactness) -- callers pass either a
+        // filter-certified value (|t.v| > t.e) or the exact expansion
+        // stage's result, so the sign of `s` is exact; negating an exact
+        // sign stays exact.
         if s < 0.0 {
             Ordering::Less
+        // vaq-lint: allow(float-exactness) -- same certified-exact sign
+        // as the branch above.
         } else if s > 0.0 {
             Ordering::Greater
         } else {
@@ -375,6 +381,8 @@ impl Slabs {
             keyed.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let verify = |keyed: &[(f64, u32)]| {
                 keyed.windows(2).all(|w| {
+                    // vaq-lint: allow(panic-hygiene) -- windows(2) yields
+                    // exactly two elements per slice.
                     let (e, f) = (&edges[w[0].1 as usize], &edges[w[1].1 as usize]);
                     cmp_crossings_at(e, f, lo) != Ordering::Greater
                         && cmp_crossings_at(e, f, hi) != Ordering::Greater
@@ -447,15 +455,23 @@ struct EdgeGrid {
 impl EdgeGrid {
     fn build(edges: &[PreparedEdge], mbr: &Rect) -> EdgeGrid {
         // ~1 edge per cell-row on average: an n×n grid with n ≈ √k.
+        // vaq-lint: allow(float-exactness) -- grid sizing heuristic, not a
+        // predicate: √k is clamped into 1..=256 so the casts cannot
+        // truncate meaningfully, and any rounding only shifts cell sizes.
         let n = ((edges.len() as f64).sqrt().ceil() as u32).clamp(1, 256);
         let (nx, ny) = (n, n);
         let width = mbr.width();
         let height = mbr.height();
+        // vaq-lint: allow(float-exactness) -- degenerate-MBR guard: a
+        // zero-width extent maps every point to cell column 0, which is
+        // the correct bucket; grid placement never decides geometry.
         let inv_cell_w = if width > 0.0 {
             f64::from(nx) / width
         } else {
             0.0
         };
+        // vaq-lint: allow(float-exactness) -- same degenerate-MBR guard as
+        // `inv_cell_w` above, for the y extent.
         let inv_cell_h = if height > 0.0 {
             f64::from(ny) / height
         } else {
@@ -507,7 +523,13 @@ impl EdgeGrid {
         let cx = ((x - self.origin.x) * self.inv_cell_w).floor();
         let cy = ((y - self.origin.y) * self.inv_cell_h).floor();
         (
+            // vaq-lint: allow(float-exactness) -- bucket assignment, not a
+            // predicate: the floored value is clamped into 0..nx so the
+            // cast is total, and a point landing one cell off only costs
+            // a redundant edge test, never a wrong answer.
             (cx.max(0.0) as u32).min(self.nx - 1),
+            // vaq-lint: allow(float-exactness) -- same clamped bucket
+            // assignment as `cx` above.
             (cy.max(0.0) as u32).min(self.ny - 1),
         )
     }
@@ -557,8 +579,12 @@ fn edge_intersects_filtered(e: &PreparedEdge, s: &Segment, sbox: &Rect) -> bool 
         return false;
     }
     let (da, da_ok) = orient2d_filter(s.a, s.b, e.a);
+    // vaq-lint: allow(float-exactness) -- `da` is only compared under the
+    // `da_ok` guard, which certifies the filtered sign is the exact sign.
     if da_ok && da != 0.0 {
         let (db, db_ok) = orient2d_filter(s.a, s.b, e.b);
+        // vaq-lint: allow(float-exactness) -- both signs guarded by their
+        // filter certificates (`da_ok` above, `db_ok` here).
         if db_ok && ((da > 0.0 && db > 0.0) || (da < 0.0 && db < 0.0)) {
             // Both endpoints certified strictly on one side of the
             // segment's supporting line: the edge cannot meet it.

@@ -158,6 +158,9 @@ impl Region {
                 }
             }
         }
+        // vaq-lint: allow(panic-hygiene) -- documented `# Panics` contract:
+        // a region whose holes cover its outer ring violates construction
+        // invariants, and the QueryArea trait surface returns Point.
         panic!("region has no discoverable interior (holes cover the outer ring?)");
     }
 

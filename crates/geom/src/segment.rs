@@ -108,29 +108,42 @@ impl Segment {
         if !self.intersects(other) {
             return None;
         }
-        let r = self.b - self.a;
-        let s = other.b - other.a;
-        let denom = r.cross(s);
-        if denom != 0.0 {
-            let t = (other.a - self.a).cross(s) / denom;
-            return Some(self.a + r * t.clamp(0.0, 1.0));
+        // Exact signed "heights" of our endpoints over `other`'s supporting
+        // line. The naive cross-product denominator `r.cross(s)` can cancel
+        // to 0.0 for nearly-parallel proper crossings and wrongly fall into
+        // the collinear branch; `d1 - d2` cannot, because given
+        // `intersects()` the two orient2d signs are never strictly equal,
+        // so the subtraction adds magnitudes instead of cancelling.
+        let d1 = orient2d(other.a, other.b, self.a);
+        let d2 = orient2d(other.a, other.b, self.b);
+        if d1 == 0.0 && d2 == 0.0 {
+            // Both endpoints on `other`'s line: collinear overlap or a
+            // degenerate segment. Return an endpoint that lies on the
+            // other segment.
+            return [self.a, self.b]
+                .into_iter()
+                .find(|&p| other.contains_point(p))
+                .or_else(|| {
+                    [other.a, other.b]
+                        .into_iter()
+                        .find(|&p| self.contains_point(p))
+                });
         }
-        // Collinear overlap or degenerate: return an endpoint that lies on
-        // the other segment.
-        [self.a, self.b]
-            .into_iter()
-            .find(|&p| other.contains_point(p))
-            .or_else(|| {
-                [other.a, other.b]
-                    .into_iter()
-                    .find(|&p| self.contains_point(p))
-            })
+        // The crossing parameter along `self`: t solves
+        // (1 - t) * d1 + t * d2 = 0. When an endpoint is exactly on the
+        // line, d1 or d2 is exactly zero and t is exactly 0.0 or 1.0; the
+        // clamp only guards float dust in the division.
+        let t = (d1 / (d1 - d2)).clamp(0.0, 1.0);
+        Some(self.a + (self.b - self.a) * t)
     }
 
     /// Squared distance from `p` to the closest point of the segment.
     pub fn dist_sq_to_point(&self, p: Point) -> f64 {
         let ab = self.b - self.a;
         let len_sq = ab.norm_sq();
+        // vaq-lint: allow(float-exactness) -- division guard in an
+        // approximate distance helper: a squared length that underflows to
+        // 0.0 degrades gracefully to the endpoint distance.
         if len_sq == 0.0 {
             return self.a.dist_sq(p);
         }

@@ -1,0 +1,161 @@
+//! CLI for `vaq-lint`. See the library docs for the rules and the
+//! allow-comment grammar.
+//!
+//! ```text
+//! vaq-lint check [--root <dir>] [--format text|json] [--rule <name>]
+//! vaq-lint fix --annotate [--root <dir>]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    root: Option<PathBuf>,
+    format: String,
+    rule: Option<String>,
+    annotate: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vaq-lint check [--root <dir>] [--format text|json] [--rule <name>]\n\
+         \x20      vaq-lint fix --annotate [--root <dir>]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut it = std::env::args().skip(1);
+    let Some(command) = it.next() else {
+        return Err(usage());
+    };
+    let mut args = Args {
+        command,
+        root: None,
+        format: "text".to_owned(),
+        rule: None,
+        annotate: false,
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => match it.next() {
+                Some(v) => args.root = Some(PathBuf::from(v)),
+                None => return Err(usage()),
+            },
+            "--format" => match it.next() {
+                Some(v) if v == "text" || v == "json" => args.format = v,
+                _ => return Err(usage()),
+            },
+            "--rule" => match it.next() {
+                Some(v) => args.rule = Some(v),
+                None => return Err(usage()),
+            },
+            "--annotate" => args.annotate = true,
+            _ => return Err(usage()),
+        }
+    }
+    Ok(args)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = args.root.clone().or_else(|| vaq_lint::find_root(&cwd)) else {
+        eprintln!("vaq-lint: no workspace root found (pass --root)");
+        return ExitCode::from(2);
+    };
+
+    match args.command.as_str() {
+        "check" => {
+            let findings = match vaq_lint::check_tree(&root) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("vaq-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let findings: Vec<_> = findings
+                .into_iter()
+                .filter(|f| args.rule.as_deref().is_none_or(|r| r == f.rule))
+                .collect();
+            if args.format == "json" {
+                println!("[");
+                for (i, f) in findings.iter().enumerate() {
+                    let comma = if i + 1 < findings.len() { "," } else { "" };
+                    println!(
+                        "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{comma}",
+                        json_escape(&f.file),
+                        f.line,
+                        f.rule,
+                        json_escape(&f.message)
+                    );
+                }
+                println!("]");
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                let mut per_rule: std::collections::BTreeMap<&str, usize> =
+                    std::collections::BTreeMap::new();
+                for f in &findings {
+                    *per_rule.entry(f.rule).or_default() += 1;
+                }
+                let breakdown = per_rule
+                    .iter()
+                    .map(|(r, n)| format!("{r}: {n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                if findings.is_empty() {
+                    println!("vaq-lint: clean ({} rules)", vaq_lint::source::RULES.len());
+                } else {
+                    println!("vaq-lint: {} finding(s) ({breakdown})", findings.len());
+                }
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "fix" => {
+            if !args.annotate {
+                eprintln!("vaq-lint: `fix` currently only supports --annotate");
+                return ExitCode::from(2);
+            }
+            match vaq_lint::annotate_tree(&root) {
+                Ok(n) => {
+                    println!(
+                        "vaq-lint: inserted {n} TODO annotation(s) — replace each TODO with a \
+                         justification, or fix the site and delete the comment"
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("vaq-lint: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,409 @@
+//! Source model: a lexed-enough view of one Rust file.
+//!
+//! The scanner is deliberately not a parser. Every rule in this crate only
+//! needs three things a token-level pass can provide reliably:
+//!
+//! 1. **code text** — the file with comments and string/char-literal
+//!    *contents* blanked to spaces (delimiters kept), so pattern matches
+//!    never fire inside a doc comment or a diagnostic message;
+//! 2. **test regions** — which lines sit inside a `#[cfg(test)]`- or
+//!    `#[test]`-gated item, tracked by brace depth over the blanked text;
+//! 3. **allow comments** — parsed `// vaq-lint: allow(<rule>) -- <why>`
+//!    escape hatches, including malformed ones (those become findings of
+//!    their own).
+
+use std::fmt;
+
+/// Rule identifiers. Kept as string constants so findings, allow-comments
+/// and the CLI all speak the same names.
+pub const FLOAT_EXACTNESS: &str = "float-exactness";
+pub const SINK_DISPATCH: &str = "sink-dispatch";
+pub const STATS_CONSERVATION: &str = "stats-conservation";
+pub const PANIC_HYGIENE: &str = "panic-hygiene";
+pub const BENCH_PROVENANCE: &str = "bench-provenance";
+/// Meta-rule: a `vaq-lint:` comment that does not parse, names an unknown
+/// rule, or carries no justification. Not suppressible.
+pub const ALLOW_GRAMMAR: &str = "allow-grammar";
+
+/// The five suppressible rules (ALLOW_GRAMMAR is intentionally absent).
+pub const RULES: [&str; 5] = [
+    FLOAT_EXACTNESS,
+    SINK_DISPATCH,
+    STATS_CONSERVATION,
+    PANIC_HYGIENE,
+    BENCH_PROVENANCE,
+];
+
+/// A parsed `// vaq-lint: allow(rule) -- justification` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: String,
+    pub justification: String,
+}
+
+/// A `vaq-lint:` marker that failed to parse; `problem` says how.
+#[derive(Debug, Clone)]
+pub struct BadAllow {
+    pub problem: String,
+}
+
+#[derive(Debug, Clone)]
+pub enum AllowParse {
+    Ok(Allow),
+    Bad(BadAllow),
+}
+
+/// One finding. `line` is 1-based.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A scanned file: raw lines, blanked code lines, per-line flags.
+pub struct SourceFile {
+    /// Path relative to the scanned root, `/`-separated.
+    pub rel: String,
+    pub raw: Vec<String>,
+    /// Comments and literal contents blanked to spaces; delimiters kept.
+    pub code: Vec<String>,
+    /// Comments blanked, string contents kept — for rules that inspect
+    /// what a file *names* (e.g. `BENCH_*.json` artifact paths).
+    pub strings: Vec<String>,
+    /// Line is inside a `#[cfg(test)]` / `#[test]`-gated item.
+    pub in_test: Vec<bool>,
+    /// Allow comment (well- or mal-formed) on this line, if any.
+    pub allows: Vec<Option<AllowParse>>,
+}
+
+impl SourceFile {
+    pub fn parse(rel: String, text: &str) -> SourceFile {
+        let code_text = sanitize(text, false);
+        let strings_text = sanitize(text, true);
+        let raw: Vec<String> = text.lines().map(str::to_owned).collect();
+        let code: Vec<String> = code_text.lines().map(str::to_owned).collect();
+        let strings: Vec<String> = strings_text.lines().map(str::to_owned).collect();
+        debug_assert_eq!(raw.len(), code.len());
+        let in_test = mark_test_regions(&code);
+        let allows = raw.iter().map(|l| parse_allow_comment(l)).collect();
+        SourceFile {
+            rel,
+            raw,
+            code,
+            strings,
+            in_test,
+            allows,
+        }
+    }
+
+    /// True when `line` (0-based) is covered by an allow for `rule`: either
+    /// an allow comment on the line itself, or on a run of comment-only
+    /// lines directly above it.
+    pub fn allowed(&self, line: usize, rule: &str) -> bool {
+        let matches =
+            |a: &Option<AllowParse>| matches!(a, Some(AllowParse::Ok(al)) if al.rule == rule);
+        if matches(&self.allows[line]) {
+            return true;
+        }
+        let mut i = line;
+        while i > 0 {
+            i -= 1;
+            let trimmed = self.raw[i].trim_start();
+            if !trimmed.starts_with("//") {
+                return false;
+            }
+            if matches(&self.allows[i]) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Replaces comments — and, unless `keep_strings`, string/char-literal
+/// *contents* — with spaces, preserving newlines, string delimiters and
+/// everything else. Handles line comments, nested block comments,
+/// escapes, raw strings (`r"…"`, `r#"…"#`, byte variants) and
+/// char-vs-lifetime `'`.
+pub fn sanitize(text: &str, keep_strings: bool) -> String {
+    let b: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0;
+    let mut prev_ident = false; // previous emitted code char was ident-ish
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                while i < b.len() && b[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let mut depth = 1usize;
+                out.push_str("  ");
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == '\\' && i + 1 < b.len() {
+                        if keep_strings {
+                            out.push('\\');
+                            out.push(b[i + 1]);
+                        } else {
+                            out.push(' ');
+                            out.push(if b[i + 1] == '\n' { '\n' } else { ' ' });
+                        }
+                        i += 2;
+                    } else if b[i] == '"' {
+                        out.push('"');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(if keep_strings || b[i] == '\n' {
+                            b[i]
+                        } else {
+                            ' '
+                        });
+                        i += 1;
+                    }
+                }
+                prev_ident = false;
+            }
+            'r' | 'b' if !prev_ident && starts_raw_string(&b, i) => {
+                // prefix chars (r / br / rb…) up to and incl. the hashes
+                let mut j = i;
+                while j < b.len() && (b[j] == 'r' || b[j] == 'b') {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == '#' {
+                    out.push('#');
+                    hashes += 1;
+                    j += 1;
+                }
+                out.push('"'); // opening quote (starts_raw_string guarantees it)
+                j += 1;
+                'raw: while j < b.len() {
+                    if b[j] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            out.push('"');
+                            for _ in 0..hashes {
+                                out.push('#');
+                            }
+                            j += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    out.push(if keep_strings || b[j] == '\n' {
+                        b[j]
+                    } else {
+                        ' '
+                    });
+                    j += 1;
+                }
+                i = j;
+                prev_ident = false;
+            }
+            '\'' => {
+                // char literal vs lifetime: a literal is '\…' or 'x' with a
+                // closing quote right after one (possibly escaped) char.
+                let is_char_lit = if i + 1 < b.len() && b[i + 1] == '\\' {
+                    true
+                } else {
+                    i + 2 < b.len() && b[i + 1] != '\'' && b[i + 2] == '\''
+                };
+                if is_char_lit {
+                    out.push('\'');
+                    i += 1;
+                    while i < b.len() {
+                        if b[i] == '\\' && i + 1 < b.len() {
+                            out.push(' ');
+                            out.push(if b[i + 1] == '\n' { '\n' } else { ' ' });
+                            i += 2;
+                        } else if b[i] == '\'' {
+                            out.push('\'');
+                            i += 1;
+                            break;
+                        } else {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    }
+                } else {
+                    out.push('\''); // lifetime tick
+                    i += 1;
+                }
+                prev_ident = false;
+            }
+            _ => {
+                out.push(c);
+                prev_ident = c.is_alphanumeric() || c == '_';
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn starts_raw_string(b: &[char], i: usize) -> bool {
+    // at `r` or `b`: accept r" r#" br" rb…  — prefix letters, hashes, quote
+    let mut j = i;
+    let mut seen_r = false;
+    while j < b.len() && (b[j] == 'r' || b[j] == 'b') {
+        seen_r |= b[j] == 'r';
+        j += 1;
+        if j - i > 2 {
+            return false;
+        }
+    }
+    if !seen_r {
+        return false;
+    }
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+/// Marks lines inside `#[cfg(test)]`- or `#[test]`-gated items by brace
+/// counting over the blanked code lines. An armed attribute covers the
+/// following item up to its closing brace (or terminating `;`).
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let mut flags = vec![false; code.len()];
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut exit_depth: i64 = 0;
+    let mut in_region = false;
+    for (idx, line) in code.iter().enumerate() {
+        let opens = line.matches('{').count() as i64;
+        let closes = line.matches('}').count() as i64;
+        let before = depth;
+        depth += opens - closes;
+
+        if in_region {
+            flags[idx] = true;
+            if depth <= exit_depth {
+                in_region = false;
+            }
+            continue;
+        }
+        if armed {
+            flags[idx] = true;
+            if opens > 0 {
+                if depth > before || (opens == closes && opens > 0 && depth == before) {
+                    // either the block stays open past this line, or the
+                    // whole item opened and closed here (single-line item).
+                    if depth > before {
+                        in_region = true;
+                        exit_depth = before;
+                    }
+                    armed = false;
+                }
+            } else if line.contains(';') {
+                armed = false; // `#[cfg(test)] use …;` / `mod tests;`
+            }
+            continue;
+        }
+        if is_test_attr(line) {
+            armed = true;
+            flags[idx] = true;
+        }
+    }
+    flags
+}
+
+fn is_test_attr(code_line: &str) -> bool {
+    let t = code_line.trim_start();
+    t.starts_with("#[cfg(test)]")
+        || t.starts_with("#[cfg(all(test")
+        || t.starts_with("#[cfg(any(test")
+        || t.starts_with("#[test]")
+        || t.starts_with("#[bench]")
+}
+
+/// Parses a `vaq-lint:` marker on one raw line. Returns `None` when the
+/// line carries no marker; `Bad` when it does but the grammar
+/// `// vaq-lint: allow(<known-rule>) -- <non-empty justification>` is
+/// violated.
+pub fn parse_allow_comment(raw_line: &str) -> Option<AllowParse> {
+    let marker = "vaq-lint:";
+    let pos = raw_line.find(marker)?;
+    // must live in a line comment
+    let before = &raw_line[..pos];
+    if !before.contains("//") {
+        return None;
+    }
+    let rest = raw_line[pos + marker.len()..].trim_start();
+    let Some(inner) = rest.strip_prefix("allow(") else {
+        return Some(AllowParse::Bad(BadAllow {
+            problem: format!(
+                "expected `allow(<rule>) -- <justification>` after `vaq-lint:`, found `{}`",
+                rest.trim_end()
+            ),
+        }));
+    };
+    let Some(close) = inner.find(')') else {
+        return Some(AllowParse::Bad(BadAllow {
+            problem: "unterminated `allow(` — missing `)`".to_owned(),
+        }));
+    };
+    let rule = inner[..close].trim().to_owned();
+    if !RULES.contains(&rule.as_str()) {
+        return Some(AllowParse::Bad(BadAllow {
+            problem: format!(
+                "unknown rule `{rule}` (expected one of: {})",
+                RULES.join(", ")
+            ),
+        }));
+    }
+    let after = inner[close + 1..].trim_start();
+    let Some(just) = after.strip_prefix("--") else {
+        return Some(AllowParse::Bad(BadAllow {
+            problem: format!("allow({rule}) without a `-- <justification>` clause"),
+        }));
+    };
+    let just = just.trim();
+    if just.is_empty() {
+        return Some(AllowParse::Bad(BadAllow {
+            problem: format!("allow({rule}) with an empty justification"),
+        }));
+    }
+    Some(AllowParse::Ok(Allow {
+        rule,
+        justification: just.to_owned(),
+    }))
+}

@@ -1,0 +1,17 @@
+//! Malformed allow comments (fixture; never compiled). None of these
+//! suppress the finding they sit on.
+
+pub fn first(points: &[u32]) -> u32 {
+    // vaq-lint: allow(panic-hygiene)
+    points[0]
+}
+
+pub fn second(points: &[u32]) -> u32 {
+    // vaq-lint: allow(no-such-rule) -- never fires
+    points[1]
+}
+
+pub fn third(points: &[u32]) -> u32 {
+    // vaq-lint: allow(panic-hygiene) --
+    points[2]
+}

@@ -1,0 +1,6 @@
+//! Baseline writer that records provenance (fixture; never compiled).
+
+pub fn write_baseline(dir: &std::path::Path, report: &Report) -> std::io::Result<()> {
+    let payload = render_json(&report.results, &report.provenance);
+    std::fs::write(dir.join("BENCH_area_query.json"), payload)
+}

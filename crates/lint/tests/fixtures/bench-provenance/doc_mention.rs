@@ -1,0 +1,6 @@
+//! Compares a fresh run against the recorded `BENCH_area_query.json`
+//! baseline without writing it (fixture; never compiled).
+
+pub fn regressed(previous: &Report, current: &Report) -> bool {
+    current.mean_ns > previous.mean_ns * 2
+}

@@ -1,0 +1,5 @@
+//! Baseline writer without provenance (fixture; never compiled).
+
+pub fn write_baseline(dir: &std::path::Path, json: &str) -> std::io::Result<()> {
+    std::fs::write(dir.join("BENCH_area_query.json"), json)
+}

@@ -1,0 +1,20 @@
+//! Exact-pipeline routing and annotated tolerances (fixture; never
+//! compiled).
+
+pub fn routed(a: Point, b: Point, c: Point) -> bool {
+    orient2d(a, b, c) > 0.0
+}
+
+pub fn tainted(a: Point, b: Point, c: Point) -> bool {
+    let d = orient2d(a, b, c);
+    d == 0.0
+}
+
+pub fn annotated(x: f64) -> bool {
+    // vaq-lint: allow(float-exactness) -- documented approximation knob
+    x < 0.125
+}
+
+pub fn stored_compare(a: Point, b: Point) -> bool {
+    a.y > b.y
+}

@@ -1,0 +1,17 @@
+//! Deliberate float-exactness violations (fixture; never compiled).
+
+pub fn bad_zero_test(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn bad_partial(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some()
+}
+
+pub fn bad_cast(n: usize) -> f64 {
+    n as f64
+}
+
+pub fn bad_narrow(x: f64) -> usize {
+    (x * 2.0) as usize
+}

@@ -1,0 +1,22 @@
+//! Panic-free library idioms (fixture; never compiled).
+
+pub fn first_point(points: &[u32]) -> Option<u32> {
+    points.first().copied()
+}
+
+pub fn head(points: &[u32]) -> u32 {
+    // vaq-lint: allow(panic-hygiene) -- callers guarantee non-empty input
+    points[0]
+}
+
+pub fn load(text: &str) -> u32 {
+    text.parse().expect("workload header should be an integer")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! Deliberate panic-hygiene violations (fixture; never compiled).
+
+pub fn first_point(points: &[u32]) -> u32 {
+    points.first().copied().unwrap()
+}
+
+pub fn head(points: &[u32]) -> u32 {
+    points[0]
+}
+
+pub fn classify(flag: bool) -> u8 {
+    if flag {
+        1
+    } else {
+        panic!("bad flag")
+    }
+}
+
+pub fn strip(s: &str) -> &str {
+    s.strip_prefix('#').expect("")
+}

@@ -1,0 +1,12 @@
+//! Mode construction is not dispatch (fixture; never compiled).
+
+pub fn default_mode() -> OutputMode {
+    OutputMode::Collect
+}
+
+pub fn parse(token: Option<usize>) -> OutputMode {
+    match token {
+        Some(k) => OutputMode::TopKNearest { k },
+        None => OutputMode::Collect,
+    }
+}

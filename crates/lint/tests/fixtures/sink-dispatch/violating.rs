@@ -1,0 +1,22 @@
+//! Deliberate OutputMode dispatch outside the sink layer (fixture;
+//! never compiled).
+
+pub fn count_mode(mode: OutputMode) -> usize {
+    match mode {
+        OutputMode::Collect => 0,
+        OutputMode::Count => 1,
+        _ => 2,
+    }
+}
+
+pub fn is_materialize(mode: &OutputMode) -> bool {
+    matches!(mode, OutputMode::Materialize)
+}
+
+pub fn top_k(mode: &OutputMode) -> Option<usize> {
+    if let OutputMode::TopKNearest { k } = mode {
+        Some(*k)
+    } else {
+        None
+    }
+}

@@ -1,0 +1,16 @@
+//! QueryStats merge conserving every counter (fixture; never compiled).
+
+pub struct QueryStats {
+    pub result_size: usize,
+    pub candidates: usize,
+    pub seed: Option<u32>,
+}
+
+impl QueryStats {
+    pub fn absorb_shard(&mut self, other: &QueryStats) {
+        // vaq-lint: allow(stats-conservation) -- `seed` is per-shard; an
+        // aggregate has no single meaningful seed.
+        self.result_size += other.result_size;
+        self.candidates += other.candidates;
+    }
+}

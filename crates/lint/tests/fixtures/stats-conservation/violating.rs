@@ -1,0 +1,14 @@
+//! QueryStats whose merge drops a counter (fixture; never compiled).
+
+pub struct QueryStats {
+    pub result_size: usize,
+    pub candidates: usize,
+    pub accepted: usize,
+}
+
+impl QueryStats {
+    pub fn absorb_shard(&mut self, other: &QueryStats) {
+        self.result_size += other.result_size;
+        self.candidates += other.candidates;
+    }
+}

@@ -1,0 +1,212 @@
+//! Fixture-based self-tests for the rule engine.
+//!
+//! Each rule gets a violating and a clean fixture under
+//! `tests/fixtures/<rule>/`, parsed here at *synthetic* repo paths (a
+//! rule's scope is path-derived, so the same bytes can be a violation at
+//! one path and fine at another). The real tree's `load_tree` skips
+//! `fixtures/` directories and `crates/lint/` itself, so these files only
+//! ever reach the engine through this test — and they never compile.
+
+use vaq_lint::check_files;
+use vaq_lint::source::{
+    Finding, SourceFile, ALLOW_GRAMMAR, BENCH_PROVENANCE, FLOAT_EXACTNESS, PANIC_HYGIENE,
+    SINK_DISPATCH, STATS_CONSERVATION,
+};
+
+/// Parses `(rel-path, text)` pairs and runs the full rule engine.
+fn lint(files: &[(&str, &str)]) -> Vec<Finding> {
+    let parsed: Vec<SourceFile> = files
+        .iter()
+        .map(|(rel, text)| SourceFile::parse((*rel).to_owned(), text))
+        .collect();
+    check_files(&parsed)
+}
+
+/// `(line, rule)` pairs of every finding, in report order.
+fn tagged(findings: &[Finding]) -> Vec<(usize, &'static str)> {
+    findings.iter().map(|f| (f.line, f.rule)).collect()
+}
+
+fn assert_clean(findings: &[Finding]) {
+    assert!(
+        findings.is_empty(),
+        "expected no findings, got:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+const FLOAT_BAD: &str = include_str!("fixtures/float-exactness/violating.rs");
+const FLOAT_CLEAN: &str = include_str!("fixtures/float-exactness/clean.rs");
+const SINK_BAD: &str = include_str!("fixtures/sink-dispatch/violating.rs");
+const SINK_CLEAN: &str = include_str!("fixtures/sink-dispatch/clean.rs");
+const STATS_BAD: &str = include_str!("fixtures/stats-conservation/violating.rs");
+const STATS_CLEAN: &str = include_str!("fixtures/stats-conservation/clean.rs");
+const PANIC_BAD: &str = include_str!("fixtures/panic-hygiene/violating.rs");
+const PANIC_CLEAN: &str = include_str!("fixtures/panic-hygiene/clean.rs");
+const BENCH_BAD: &str = include_str!("fixtures/bench-provenance/violating.rs");
+const BENCH_CLEAN: &str = include_str!("fixtures/bench-provenance/clean.rs");
+const BENCH_DOC: &str = include_str!("fixtures/bench-provenance/doc_mention.rs");
+const ALLOW_BAD: &str = include_str!("fixtures/allow-grammar/bad.rs");
+
+// --- float-exactness -------------------------------------------------------
+
+#[test]
+fn float_exactness_flags_each_hazard_class() {
+    let findings = lint(&[("crates/geom/src/polygon.rs", FLOAT_BAD)]);
+    assert_eq!(
+        tagged(&findings),
+        vec![
+            (4, FLOAT_EXACTNESS),  // x == 0.0
+            (8, FLOAT_EXACTNESS),  // partial_cmp
+            (12, FLOAT_EXACTNESS), // as f64
+            (16, FLOAT_EXACTNESS), // float -> usize narrowing
+        ]
+    );
+}
+
+#[test]
+fn float_exactness_only_audits_predicate_modules() {
+    // same bytes outside crates/geom's predicate modules: out of scope
+    assert_clean(&lint(&[("crates/core/src/engine.rs", FLOAT_BAD)]));
+    assert_clean(&lint(&[("crates/geom/src/point.rs", FLOAT_BAD)]));
+}
+
+#[test]
+fn float_exactness_accepts_routed_and_annotated_code() {
+    // same-line orient2d call, let-bound orient2d result, allow-comment,
+    // and stored-value comparison are all non-findings
+    assert_clean(&lint(&[("crates/geom/src/segment.rs", FLOAT_CLEAN)]));
+}
+
+// --- sink-dispatch ---------------------------------------------------------
+
+#[test]
+fn sink_dispatch_flags_matches_outside_the_sink() {
+    let findings = lint(&[("crates/core/src/engine.rs", SINK_BAD)]);
+    assert_eq!(
+        tagged(&findings),
+        vec![
+            (6, SINK_DISPATCH),  // OutputMode::Collect => …
+            (7, SINK_DISPATCH),  // OutputMode::Count => …
+            (13, SINK_DISPATCH), // matches!(…)
+            (17, SINK_DISPATCH), // if let OutputMode::…
+        ]
+    );
+}
+
+#[test]
+fn sink_dispatch_permits_the_sink_module_itself() {
+    // the exact same dispatch code is legal where dispatch belongs
+    assert_clean(&lint(&[("crates/core/src/sink.rs", SINK_BAD)]));
+}
+
+#[test]
+fn sink_dispatch_ignores_mode_construction() {
+    // `… => OutputMode::Collect` builds a mode in an arm body — not dispatch
+    assert_clean(&lint(&[("crates/core/src/engine.rs", SINK_CLEAN)]));
+}
+
+// --- stats-conservation ----------------------------------------------------
+
+#[test]
+fn stats_conservation_catches_a_dropped_counter() {
+    let findings = lint(&[("crates/core/src/stats.rs", STATS_BAD)]);
+    assert_eq!(tagged(&findings), vec![(10, STATS_CONSERVATION)]);
+    assert!(
+        findings[0].message.contains("`accepted`"),
+        "finding should name the dropped field: {}",
+        findings[0]
+    );
+}
+
+#[test]
+fn stats_conservation_accepts_in_body_exemptions() {
+    // `seed` is absent from the merge but exempted by an in-body allow
+    // whose justification names it
+    assert_clean(&lint(&[("crates/core/src/stats.rs", STATS_CLEAN)]));
+}
+
+// --- panic-hygiene ---------------------------------------------------------
+
+#[test]
+fn panic_hygiene_flags_each_panic_class() {
+    let findings = lint(&[("crates/core/src/engine.rs", PANIC_BAD)]);
+    assert_eq!(
+        tagged(&findings),
+        vec![
+            (4, PANIC_HYGIENE),  // .unwrap()
+            (8, PANIC_HYGIENE),  // points[0]
+            (15, PANIC_HYGIENE), // panic!
+            (20, PANIC_HYGIENE), // .expect("")
+        ]
+    );
+}
+
+#[test]
+fn panic_hygiene_exempts_binaries_and_the_bench_crate() {
+    assert_clean(&lint(&[("src/bin/vaq.rs", PANIC_BAD)]));
+    assert_clean(&lint(&[("crates/bench/src/lib.rs", PANIC_BAD)]));
+}
+
+#[test]
+fn panic_hygiene_accepts_annotated_and_test_gated_code() {
+    // allow-comment on the literal index, messageful expect, and an
+    // unwrap inside #[cfg(test)] are all non-findings
+    assert_clean(&lint(&[("crates/core/src/engine.rs", PANIC_CLEAN)]));
+}
+
+// --- bench-provenance ------------------------------------------------------
+
+#[test]
+fn bench_provenance_flags_writers_without_provenance() {
+    let findings = lint(&[("crates/bench/src/report.rs", BENCH_BAD)]);
+    assert_eq!(tagged(&findings), vec![(4, BENCH_PROVENANCE)]);
+}
+
+#[test]
+fn bench_provenance_accepts_writers_with_provenance() {
+    assert_clean(&lint(&[("crates/bench/src/report.rs", BENCH_CLEAN)]));
+}
+
+#[test]
+fn bench_provenance_ignores_doc_comment_mentions() {
+    // naming a baseline in a doc comment is not writing one
+    assert_clean(&lint(&[("crates/bench/src/compare.rs", BENCH_DOC)]));
+}
+
+#[test]
+fn bench_provenance_only_audits_the_bench_crate() {
+    assert_clean(&lint(&[("crates/core/src/engine.rs", BENCH_BAD)]));
+}
+
+// --- allow grammar ---------------------------------------------------------
+
+#[test]
+fn malformed_allows_are_findings_and_do_not_suppress() {
+    let findings = lint(&[("crates/core/src/engine.rs", ALLOW_BAD)]);
+    assert_eq!(
+        tagged(&findings),
+        vec![
+            (5, ALLOW_GRAMMAR),  // allow(…) with no `--` clause
+            (6, PANIC_HYGIENE),  // …and the finding underneath survives
+            (10, ALLOW_GRAMMAR), // unknown rule name
+            (11, PANIC_HYGIENE),
+            (15, ALLOW_GRAMMAR), // empty justification
+            (16, PANIC_HYGIENE),
+        ]
+    );
+}
+
+// --- the real tree ---------------------------------------------------------
+
+#[test]
+fn real_tree_has_zero_findings() {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = vaq_lint::find_root(manifest).expect("workspace root above crates/lint");
+    let findings = vaq_lint::check_tree(&root).expect("tree should load");
+    assert_clean(&findings);
+}

@@ -190,6 +190,8 @@ impl Quadtree {
         let bucket = match std::mem::replace(&mut self.nodes[node as usize], Node::Internal([0; 4]))
         {
             Node::Leaf(b) => b,
+            // vaq-lint: allow(panic-hygiene) -- the only caller just
+            // matched this node as an over-capacity leaf.
             Node::Internal(_) => unreachable!("split_leaf called on internal node"),
         };
         let base = self.nodes.len() as u32;
@@ -201,6 +203,9 @@ impl Quadtree {
             let q = quadrant(c.x, c.y, p);
             match &mut self.nodes[(base + q as u32) as usize] {
                 Node::Leaf(b) => b.push((id, p)),
+                // vaq-lint: allow(panic-hygiene) -- the four children were
+                // pushed as empty leaves in the loop above and nothing has
+                // replaced them since.
                 Node::Internal(_) => unreachable!("children are fresh leaves"),
             }
         }

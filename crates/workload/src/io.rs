@@ -159,6 +159,9 @@ fn tagged_body<'a>(text: &'a str, tag: &str) -> Result<&'a str, ParseError> {
     if !rest.starts_with('(') || !rest.ends_with(')') {
         return Err(err(0, format!("{tag} body must be parenthesised")));
     }
+    // vaq-lint: allow(panic-hygiene) -- the guard above proves `rest`
+    // starts with '(' and ends with ')', both one-byte chars, so the
+    // range 1..len-1 is valid for any input that reaches this line.
     Ok(&rest[1..rest.len() - 1])
 }
 

@@ -78,10 +78,17 @@ pub fn random_query_polygon(space: &Rect, spec: &PolygonSpec, seed: u64) -> Poly
             .map(|_| rng.gen::<f64>() * std::f64::consts::TAU)
             .collect();
         angles.sort_by(f64::total_cmp);
-        let max_gap = angles.windows(2).map(|w| w[1] - w[0]).fold(
-            std::f64::consts::TAU - (angles[angles.len() - 1] - angles[0]),
-            f64::max,
-        );
+        // The gap that wraps around past TAU, plus each adjacent gap.
+        // (`generate` asserts spec.vertices >= 3, so first/last exist.)
+        let wrap_gap = match (angles.first(), angles.last()) {
+            (Some(&first), Some(&last)) => std::f64::consts::TAU - (last - first),
+            _ => std::f64::consts::TAU,
+        };
+        let max_gap = angles
+            .iter()
+            .zip(angles.iter().skip(1))
+            .map(|(&a, &b)| b - a)
+            .fold(wrap_gap, f64::max);
         if max_gap >= std::f64::consts::PI {
             continue;
         }

@@ -428,6 +428,9 @@ fn query(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
             stats.redundant_validations(),
             pad = " ".repeat(11usize.saturating_sub(name.len())),
         );
+        // vaq-lint: allow(sink-dispatch) -- presentation only: the CLI
+        // decides which summary lines to print for the mode it itself
+        // requested; execution already went through the sink layer.
         if matches!(output, OutputMode::Materialize) {
             eprintln!(
                 "{name}:{pad} payload checksum {:#018x} ({} bytes/record)",
@@ -504,6 +507,8 @@ fn query_sharded(points: &[Point], area: &CliArea, o: &Options) -> Result<(), St
             out.stats.shards_pruned,
             pad = " ".repeat(11usize.saturating_sub(name.len())),
         );
+        // vaq-lint: allow(sink-dispatch) -- presentation only, as in the
+        // single-engine summary above.
         if matches!(output, OutputMode::Materialize) {
             eprintln!(
                 "{name}:{pad} payload checksum {:#018x} ({} bytes/record)",
@@ -512,6 +517,8 @@ fn query_sharded(points: &[Point], area: &CliArea, o: &Options) -> Result<(), St
                 pad = " ".repeat(11usize.saturating_sub(name.len())),
             );
         }
+        // vaq-lint: allow(sink-dispatch) -- presentation only: neighbour
+        // output is printed exactly when the user asked for --knn.
         if matches!(output, OutputMode::TopKNearest { .. }) {
             emit_neighbors(
                 &out.neighbors
