@@ -25,7 +25,7 @@ use crate::engine::{AreaQueryEngine, QueryResult};
 use crate::plan::{ExecutionPlan, PlanFeatures, PlannedPath, Planner};
 use crate::query::{PrepareMode, QueryOutput, QuerySession, QuerySpec};
 use crate::stats::CacheCounters;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{scope, ClaimCounter};
 use std::sync::Arc;
 use vaq_geom::{Polygon, PreparedPolygon};
 
@@ -148,11 +148,11 @@ impl AreaQueryEngine {
                 )
                 .collect();
         }
-        let next = AtomicUsize::new(0);
+        let next = ClaimCounter::new();
         let workers = threads.min(areas.len());
         let mut slots: Vec<Option<QueryOutput>> = Vec::new();
         slots.resize_with(areas.len(), || None);
-        std::thread::scope(|scope| {
+        scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
@@ -162,7 +162,7 @@ impl AreaQueryEngine {
                         let mut session = QuerySession::new(self);
                         let mut done = Vec::new();
                         loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let i = next.claim();
                             let Some(area) = areas.get(i) else { break };
                             let out = match shared.and_then(|s| s.resolved[i].as_deref()) {
                                 Some(prepared) => {
@@ -233,11 +233,11 @@ impl AreaQueryEngine {
                 .map(|(area, (resolved, _))| session.execute(resolved, area))
                 .collect()
         } else {
-            let next = AtomicUsize::new(0);
+            let next = ClaimCounter::new();
             let workers = threads.min(areas.len());
             let mut slots: Vec<Option<QueryOutput>> = Vec::new();
             slots.resize_with(areas.len(), || None);
-            std::thread::scope(|scope| {
+            scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let next = &next;
@@ -246,7 +246,7 @@ impl AreaQueryEngine {
                             let mut session = QuerySession::new(self);
                             let mut done = Vec::new();
                             loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let i = next.claim();
                                 let Some(area) = areas.get(i) else { break };
                                 done.push((i, session.execute(&plans[i].0, area)));
                             }

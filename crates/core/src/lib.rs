@@ -96,6 +96,7 @@ pub mod scratch;
 pub mod shard;
 pub mod sink;
 pub mod stats;
+pub mod sync;
 pub mod traditional;
 pub mod voronoi_query;
 

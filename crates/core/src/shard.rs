@@ -73,9 +73,8 @@ use crate::sink::{
     dispatch_sink, DynamicSink, Emit, EngineSink, Neighbor, ResultSink, SinkId, SinkVisitor,
 };
 use crate::stats::{CacheCounters, QueryStats};
+use crate::sync::{scope, ClaimCounter, Mutex};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use vaq_geom::{Point, Polygon, Rect};
 
 /// One spatial partition: its own engine, its points' global input
@@ -177,13 +176,10 @@ fn split_partition(points: &[Point], idx: &mut [u32], shards: usize, out: &mut V
 }
 
 /// Resolves the requested shard count: `0` auto-tunes to the machine's
-/// available parallelism (>= 1), anything else passes through.
+/// available parallelism (>= 1), anything else passes through. Same
+/// resolution the CLI's `--threads auto` uses.
 fn resolve_shard_count(shards: usize) -> usize {
-    if shards == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    } else {
-        shards
-    }
+    crate::sync::resolve_threads(shards)
 }
 
 /// Partitions `0..points.len()` into at most `shards` non-empty parts.
@@ -282,16 +278,14 @@ impl ShardedAreaQueryEngine {
         // each record's bytes copied exactly once; the mutex lets each
         // build worker *take* its shard's store instead of cloning it (a
         // clone would be a second copy of the record contents).
-        let shard_stores: Vec<std::sync::Mutex<Option<RecordStore>>> = match records {
+        let shard_stores: Vec<Mutex<Option<RecordStore>>> = match records {
             Some(logical) => logical
                 .split(&parts)
                 .expect("partition indices are in range")
                 .into_iter()
-                .map(|s| std::sync::Mutex::new(Some(s)))
+                .map(|s| Mutex::new(Some(s)))
                 .collect(),
-            None => (0..parts.len())
-                .map(|_| std::sync::Mutex::new(None))
-                .collect(),
+            None => (0..parts.len()).map(|_| Mutex::new(None)).collect(),
         };
         let multi = parts.len() > 1;
         let build_one = |si: usize, part: &[u32]| -> Shard {
@@ -327,11 +321,11 @@ impl ShardedAreaQueryEngine {
                 .map(|(i, p)| build_one(i, p))
                 .collect()
         } else {
-            let next = AtomicUsize::new(0);
+            let next = ClaimCounter::new();
             let workers = build_threads.min(parts.len());
             let mut slots: Vec<Option<Shard>> = Vec::new();
             slots.resize_with(parts.len(), || None);
-            std::thread::scope(|scope| {
+            scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let next = &next;
@@ -340,7 +334,7 @@ impl ShardedAreaQueryEngine {
                         scope.spawn(move || {
                             let mut done = Vec::new();
                             loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let i = next.claim();
                                 let Some(part) = parts.get(i) else { break };
                                 done.push((i, build_one(i, part)));
                             }
@@ -671,9 +665,9 @@ impl ShardedAreaQueryEngine {
                 *slot = Some(run_one(i));
             }
         } else {
-            let next = AtomicUsize::new(0);
+            let next = ClaimCounter::new();
             let workers = threads.min(areas.len());
-            std::thread::scope(|scope| {
+            scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let next = &next;
@@ -681,7 +675,7 @@ impl ShardedAreaQueryEngine {
                         scope.spawn(move || {
                             let mut done = Vec::new();
                             loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let i = next.claim();
                                 if i >= areas.len() {
                                     break;
                                 }
@@ -836,9 +830,9 @@ impl<A: QueryArea + Sync> SinkVisitor for ShardBatchRun<'_, A> {
                 slots[w] = Some(run_one(item, &mut scratch));
             }
         } else {
-            let next = AtomicUsize::new(0);
+            let next = ClaimCounter::new();
             let workers = threads.min(work.len());
-            std::thread::scope(|scope| {
+            scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let next = &next;
@@ -849,7 +843,7 @@ impl<A: QueryArea + Sync> SinkVisitor for ShardBatchRun<'_, A> {
                                 (0..eng.shards.len()).map(|_| None).collect();
                             let mut done = Vec::new();
                             loop {
-                                let w = next.fetch_add(1, Ordering::Relaxed);
+                                let w = next.claim();
                                 let Some(item) = work.get(w) else { break };
                                 done.push((w, run_one(item, &mut scratch)));
                             }

@@ -1,0 +1,208 @@
+//! The concurrency facade: every synchronisation primitive the engine's
+//! hot paths share state through, importable from exactly one place.
+//!
+//! Two implementations sit behind the same names:
+//!
+//! * **Passthrough** (default): zero-cost re-exports of `std::sync` —
+//!   [`AtomicUsize`] *is* `std::sync::atomic::AtomicUsize` and [`Mutex`]
+//!   *is* `std::sync::Mutex`, so codegen is bit-identical to writing the
+//!   std paths directly.
+//! * **Model** (`--cfg vaq_race`): the deterministic interleaving
+//!   explorer in [`model`] supplies drop-in replacements whose every
+//!   operation is a scheduling point. `RUSTFLAGS='--cfg vaq_race'
+//!   cargo test -p vaq-race` then enumerates bounded thread
+//!   interleavings of the code built on this facade (DFS over schedules
+//!   with a preemption bound — loom-style, but std-only).
+//!
+//! The `sync-facade` vaq-lint rule keeps raw `std::sync::{atomic,
+//! Mutex}` imports confined to this module, so the two implementations
+//! cannot silently drift apart: concurrent code that bypasses the
+//! facade is a lint finding, not a latent blind spot of the model
+//! checker.
+//!
+//! ## What is shared, and under which primitive
+//!
+//! * **Work distribution** — the batch executors (unsharded, sharded,
+//!   planned, and the parallel shard build) hand out work through a
+//!   [`ClaimCounter`]: one `fetch_add` per item, no other coordination.
+//! * **Planner calibration** — [`ShardedAreaQueryEngine`] resolves and
+//!   observes `MethodChoice::Auto` queries through a [`Mutex`]`<Planner>`
+//!   (the engine executes through `&self`).
+//! * **Build-time record stores** — the parallel shard build parks each
+//!   shard's split [`RecordStore`](crate::RecordStore) in a
+//!   [`Mutex`]`<Option<RecordStore>>` so the owning worker can *take* it
+//!   instead of cloning record contents.
+//! * **Pipeline handoff** — `vaq-workload`'s build pipeline moves
+//!   engines between threads through [`channel::bounded`].
+//!
+//! The dynamic engines (`DynamicAreaQueryEngine` and the sharded
+//! overlay) mutate delta/tombstone/compaction state through `&mut self`
+//! and are externally synchronised; `vaq-race` model-checks them behind
+//! a model [`Mutex`](model::Mutex) to prove that a plain exclusive lock
+//! is a sufficient sharing contract for that state.
+//!
+//! [`ShardedAreaQueryEngine`]: crate::ShardedAreaQueryEngine
+
+pub mod model;
+
+/// Atomic memory-ordering tokens. Both facade implementations use the
+/// std orderings verbatim; the model executes operations under
+/// sequential consistency (it explores *interleavings*, not memory-model
+/// weakenings), so every ordering argument is also a documentation
+/// artefact — which is why the `atomic-ordering` lint insists each use
+/// carries an `// ordering:` justification.
+pub use std::sync::atomic::Ordering;
+
+#[cfg(not(vaq_race))]
+pub use std::sync::atomic::AtomicUsize;
+#[cfg(not(vaq_race))]
+pub use std::sync::{Mutex, MutexGuard};
+
+#[cfg(vaq_race)]
+pub use model::{AtomicUsize, Mutex, MutexGuard};
+
+/// Scoped threads, re-exported so worker fan-out rides the facade too.
+/// Thread creation itself is not a modelled operation — the model
+/// checker spawns its own logical threads via [`model::spawn`] — but
+/// routing the engine's scopes through this name keeps every
+/// concurrency ingredient in one audited module.
+pub use std::thread::{scope, Scope};
+
+/// The work-stealing claim counter: the one concurrency idiom behind
+/// every parallel loop in the engine (batch execution, the sharded
+/// `(area, shard)` fan-out, and the parallel shard build).
+///
+/// Workers repeatedly [`claim`](ClaimCounter::claim) the next work index
+/// until the returned index runs past the work list. Each index is
+/// handed to exactly one worker (the counter never skips and never
+/// repeats — the property `vaq-race` model-checks exhaustively), and a
+/// worker that finishes early keeps claiming instead of idling behind a
+/// fixed chunk boundary.
+#[derive(Debug, Default)]
+pub struct ClaimCounter {
+    next: AtomicUsize,
+}
+
+impl ClaimCounter {
+    /// A fresh counter starting at index 0.
+    pub fn new() -> ClaimCounter {
+        ClaimCounter {
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claims and returns the next work index. Every call returns a
+    /// distinct index, in allocation order 0, 1, 2, … across all
+    /// claiming threads.
+    #[inline]
+    pub fn claim(&self) -> usize {
+        // ordering: Relaxed suffices for the claim counter — the
+        // returned index is the *only* information a worker acts on
+        // (the work list itself is immutable and was published by the
+        // scope/spawn edge), so no other memory traffic needs to be
+        // ordered against the fetch_add; its atomicity alone guarantees
+        // uniqueness of the handed-out indices.
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Resolves a requested worker-thread count: `0` auto-tunes to the
+/// machine's [`std::thread::available_parallelism`] (at least 1),
+/// anything else passes through. The CLI exposes the sentinel as
+/// `--threads auto`/`--threads 0`, exactly like `--shards auto`; the
+/// sharded engine's shard-count auto-tuning resolves through the same
+/// function.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    }
+}
+
+/// Bounded channels for pipeline handoff (the depth-1 build pipeline in
+/// `vaq-workload::experiment`).
+///
+/// Both facade implementations pass through to
+/// [`std::sync::mpsc::sync_channel`]: a bounded channel is a blocking
+/// rendezvous, not a lock-free hot path, so the model checker covers
+/// the *protocols built on top of it* (via [`model::Mutex`] models)
+/// rather than the channel internals themselves.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, SyncSender};
+
+    /// A bounded channel with capacity `cap`: `send` blocks while the
+    /// buffer is full (capacity 0 is a rendezvous channel).
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_counter_hands_out_sequential_indices() {
+        let c = ClaimCounter::new();
+        assert_eq!(c.claim(), 0);
+        assert_eq!(c.claim(), 1);
+        assert_eq!(c.claim(), 2);
+        let d = ClaimCounter::default();
+        assert_eq!(d.claim(), 0);
+    }
+
+    #[test]
+    fn claim_counter_is_unique_across_threads() {
+        let c = ClaimCounter::new();
+        let mut all: Vec<usize> = scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let c = &c;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = c.claim();
+                            if i >= 64 {
+                                break;
+                            }
+                            mine.push(i);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("claim worker does not panic"))
+                .collect()
+        });
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resolve_threads_auto_tunes_zero() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(
+            resolve_threads(0),
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        );
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn bounded_channel_hands_off_in_order() {
+        let (tx, rx) = channel::bounded::<usize>(1);
+        let got: Vec<usize> = scope(|s| {
+            s.spawn(move || {
+                for i in 0..8 {
+                    tx.send(i).expect("receiver lives");
+                }
+            });
+            (0..8).map(|_| rx.recv().expect("sender lives")).collect()
+        });
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+}

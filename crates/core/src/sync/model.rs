@@ -1,0 +1,885 @@
+//! A deterministic interleaving explorer for the sync facade: CHESS- /
+//! loom-style stateless model checking, built on nothing but `std`.
+//!
+//! [`explore`] runs a test body once per *schedule*. Model threads
+//! ([`spawn`]) are real OS threads, but a cooperative scheduler lets
+//! exactly one run at a time; every operation on a model
+//! [`AtomicUsize`] or [`Mutex`] is a *decision point* where the
+//! scheduler may switch threads. The set of decisions taken in one run
+//! is recorded as a path through a tree; depth-first backtracking then
+//! replays the longest shared prefix and flips the deepest unexplored
+//! choice, until the whole bounded schedule space is enumerated.
+//!
+//! Two deliberate bounds keep exploration tractable:
+//!
+//! * a **preemption bound** ([`Config::preemption_bound`]): switching
+//!   away from a thread that could have continued is a preemption, and
+//!   at most that many are spent per schedule (forced switches — the
+//!   current thread blocking or finishing — are always explored). Most
+//!   real races need only one or two preemptions (CHESS's empirical
+//!   result), so a small bound finds them while cutting the space from
+//!   exponential-in-ops to polynomial.
+//! * a **schedule cap** ([`Config::max_schedules`]) as a hard stop;
+//!   [`Report::complete`] records whether the cap was hit.
+//!
+//! The model executes every atomic under sequential consistency: it
+//! enumerates *interleavings*, not memory-model weakenings. That is the
+//! right tool for the engine's idioms — claim counters and mutexes —
+//! whose correctness arguments are interleaving arguments; the
+//! `atomic-ordering` lint separately forces every `Ordering` choice to
+//! carry a written justification.
+//!
+//! Failures — a panicking assertion in the body, a deadlock, a re-lock,
+//! or a schedule-replay divergence — surface as a [`Failure`] carrying
+//! the decision sequence of the failing schedule, so a seeded race
+//! fails deterministically with a replayable trace.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vaq_core::sync::model::{self, Config};
+//! use vaq_core::sync::Ordering;
+//!
+//! let hits = Arc::new(model::AtomicUsize::new(0));
+//! let body_hits = Arc::clone(&hits);
+//! let report = model::explore(&Config::default(), move || {
+//!     let shared = Arc::new(model::AtomicUsize::new(0));
+//!     let theirs = Arc::clone(&shared);
+//!     let t = model::spawn(move || {
+//!         theirs.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     shared.fetch_add(1, Ordering::SeqCst);
+//!     t.join();
+//!     assert_eq!(shared.load(Ordering::SeqCst), 2);
+//!     body_hits.fetch_add(1, Ordering::SeqCst);
+//! })
+//! .expect("fetch_add is atomic in every interleaving");
+//! assert!(report.complete);
+//! assert_eq!(hits.load(Ordering::SeqCst), report.schedules);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
+use std::sync::{
+    Arc, Condvar, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard, Once, PoisonError,
+};
+use std::thread;
+
+/// What one model thread's closure produced: `Ok` or a panic payload.
+type RunResult = Result<(), Box<dyn std::any::Any + Send>>;
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Per-OS-thread handle into the active exploration, if any. Absent on
+/// ordinary threads, which is what makes every model primitive degrade
+/// to plain `std` behaviour outside [`explore`].
+#[derive(Clone)]
+struct Ctx {
+    ctrl: Arc<Controller>,
+    tid: usize,
+}
+
+fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Panic payload used internally to unwind model threads when a run is
+/// torn down (failure found, or a stale thread from an aborted run).
+/// Never reported as a test failure itself.
+struct SchedulerAbort;
+
+/// Exploration bounds.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum *preemptive* context switches per schedule: switches
+    /// away from a thread that was still runnable. Forced switches
+    /// (current thread blocked or finished) are free and always
+    /// explored. Two preemptions reach the overwhelming majority of
+    /// real races (the CHESS observation).
+    pub preemption_bound: usize,
+    /// Hard cap on the number of schedules run; [`Report::complete`]
+    /// is `false` when exploration stops because of this cap.
+    pub max_schedules: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            preemption_bound: 2,
+            max_schedules: 100_000,
+        }
+    }
+}
+
+impl Config {
+    /// No preemption bound: enumerate every interleaving of the body's
+    /// decision points (still capped at one million schedules as a
+    /// runaway stop). Right for small 2–3-thread scenarios.
+    pub fn exhaustive() -> Config {
+        Config {
+            preemption_bound: usize::MAX,
+            max_schedules: 1_000_000,
+        }
+    }
+}
+
+/// Summary of a completed exploration in which no schedule failed.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub schedules: usize,
+    /// `true` when the bounded schedule space was exhausted; `false`
+    /// when [`Config::max_schedules`] cut exploration short.
+    pub complete: bool,
+    /// Deepest decision count observed over all schedules.
+    pub max_decisions: usize,
+}
+
+/// A failing schedule: some interleaving panicked, deadlocked, or broke
+/// a locking rule. Carries the decision trace for replaying by hand.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong (panic message, deadlock description, …).
+    pub message: String,
+    /// The failing schedule as the chosen thread id at each decision
+    /// point, in order.
+    pub schedule: Vec<usize>,
+    /// How many schedules had run when the failure surfaced (1-based:
+    /// the failing one is counted).
+    pub schedules: usize,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (schedule {} — thread choices {:?})",
+            self.message, self.schedules, self.schedule
+        )
+    }
+}
+
+impl std::error::Error for Failure {}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Runnable,
+    BlockedLock(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// One decision point: the runnable choices that existed there and the
+/// index of the branch the current schedule takes.
+struct Frame {
+    options: Vec<usize>,
+    chosen: usize,
+}
+
+struct Shared {
+    threads: Vec<TState>,
+    current: usize,
+    depth: usize,
+    frames: Vec<Frame>,
+    preemptions: usize,
+    /// lock identity (address of the model mutex) -> holder tid
+    locks: HashMap<usize, usize>,
+    failure: Option<String>,
+    abort: bool,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+struct Controller {
+    state: StdMutex<Shared>,
+    cv: Condvar,
+    preemption_bound: usize,
+}
+
+impl Controller {
+    fn new(preemption_bound: usize, frames: Vec<Frame>) -> Controller {
+        Controller {
+            state: StdMutex::new(Shared {
+                threads: vec![TState::Runnable],
+                current: 0,
+                depth: 0,
+                frames,
+                preemptions: 0,
+                locks: HashMap::new(),
+                failure: None,
+                abort: false,
+                handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            preemption_bound,
+        }
+    }
+
+    fn lock_state(&self) -> StdMutexGuard<'_, Shared> {
+        // The scheduler never panics while holding its own lock, so
+        // poisoning here would be an internal bug worth a loud stop.
+        self.state
+            .lock()
+            .expect("scheduler state lock is never poisoned")
+    }
+
+    fn fail(&self, s: &mut Shared, message: String) {
+        if s.failure.is_none() {
+            s.failure = Some(message);
+        }
+        s.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Makes the next scheduling decision. The caller holds the state
+    /// lock and has already recorded `me`'s new state. Returns `false`
+    /// when no decision was made (run over, deadlock, or abort).
+    fn decide(&self, s: &mut Shared, me: usize) -> bool {
+        if s.abort {
+            return false;
+        }
+        let runnable: Vec<usize> = s
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == TState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if s.threads.iter().all(|t| *t == TState::Finished) {
+                self.cv.notify_all();
+                return false;
+            }
+            let blocked: Vec<usize> = s
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t, TState::BlockedLock(_) | TState::BlockedJoin(_)))
+                .map(|(i, _)| i)
+                .collect();
+            self.fail(
+                s,
+                format!("deadlock: threads {blocked:?} are blocked and none is runnable"),
+            );
+            return false;
+        }
+        let me_runnable = runnable.contains(&me);
+        let depth = s.depth;
+        s.depth += 1;
+        if depth == s.frames.len() {
+            // Fresh decision: default is to keep running the current
+            // thread; preempting to a sibling is explored while the
+            // preemption budget lasts. Forced switches list everyone.
+            let mut options = Vec::new();
+            if me_runnable {
+                options.push(me);
+                if s.preemptions < self.preemption_bound {
+                    options.extend(runnable.iter().copied().filter(|&t| t != me));
+                }
+            } else {
+                options.extend(runnable.iter().copied());
+            }
+            s.frames.push(Frame { options, chosen: 0 });
+        }
+        let frame = &s.frames[depth];
+        if frame.chosen >= frame.options.len() {
+            self.fail(
+                s,
+                "internal scheduler error: replayed an exhausted decision frame".to_owned(),
+            );
+            return false;
+        }
+        let chosen = frame.options[frame.chosen];
+        if !runnable.contains(&chosen) {
+            self.fail(
+                s,
+                format!(
+                    "schedule replay diverged (thread {chosen} was expected to be runnable); \
+                     the explored body must be deterministic apart from scheduling"
+                ),
+            );
+            return false;
+        }
+        if me_runnable && chosen != me {
+            s.preemptions += 1;
+        }
+        s.current = chosen;
+        self.cv.notify_all();
+        true
+    }
+
+    /// Parks the calling model thread until the scheduler selects it
+    /// (or the run aborts, in which case the thread unwinds).
+    fn park_until_scheduled(&self, mut s: StdMutexGuard<'_, Shared>, me: usize) {
+        loop {
+            if s.abort {
+                drop(s);
+                panic::panic_any(SchedulerAbort);
+            }
+            if s.current == me && s.threads[me] == TState::Runnable {
+                return;
+            }
+            s = self
+                .cv
+                .wait(s)
+                .expect("scheduler state lock is never poisoned");
+        }
+    }
+
+    /// One scheduling point for a thread that stays runnable: pick the
+    /// next thread, then return once `me` is scheduled again.
+    fn schedule_point(&self, me: usize) {
+        let mut s = self.lock_state();
+        if s.abort {
+            drop(s);
+            panic::panic_any(SchedulerAbort);
+        }
+        s.threads[me] = TState::Runnable;
+        if !self.decide(&mut s, me) {
+            // `me` is runnable, so the only no-decision case is abort.
+            drop(s);
+            panic::panic_any(SchedulerAbort);
+        }
+        if s.current == me {
+            return;
+        }
+        self.park_until_scheduled(s, me);
+    }
+
+    /// Models a lock acquisition: a decision point, then take the lock
+    /// or block until a release hands it over.
+    fn acquire_lock(&self, me: usize, key: usize) {
+        self.schedule_point(me);
+        loop {
+            let mut s = self.lock_state();
+            if s.abort {
+                drop(s);
+                panic::panic_any(SchedulerAbort);
+            }
+            match s.locks.get(&key).copied() {
+                None => {
+                    s.locks.insert(key, me);
+                    return;
+                }
+                Some(holder) if holder == me => {
+                    self.fail(
+                        &mut s,
+                        format!("thread {me} re-locked a mutex it already holds"),
+                    );
+                    drop(s);
+                    panic::panic_any(SchedulerAbort);
+                }
+                Some(_) => {
+                    s.threads[me] = TState::BlockedLock(key);
+                    // Ignore the return: a deadlock sets abort, which
+                    // the park below turns into an unwind.
+                    let _ = self.decide(&mut s, me);
+                    self.park_until_scheduled(s, me);
+                }
+            }
+        }
+    }
+
+    /// Models a lock release. Not a decision point: drops may run while
+    /// unwinding, and the releaser's next operation supplies the next
+    /// decision anyway.
+    fn release_lock(&self, me: usize, key: usize) {
+        let mut s = self.lock_state();
+        let held = s.locks.remove(&key);
+        if held != Some(me) && !s.abort {
+            self.fail(
+                &mut s,
+                format!("thread {me} released a lock it does not hold"),
+            );
+        }
+        for t in s.threads.iter_mut() {
+            if *t == TState::BlockedLock(key) {
+                *t = TState::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Records a model thread's end and hands the schedule onward.
+    fn finish(&self, me: usize, result: RunResult) {
+        let mut s = self.lock_state();
+        s.threads[me] = TState::Finished;
+        if let Err(payload) = result {
+            if payload.downcast_ref::<SchedulerAbort>().is_none() {
+                let msg = panic_message(payload.as_ref());
+                self.fail(&mut s, format!("thread {me} panicked: {msg}"));
+            }
+            self.cv.notify_all();
+            return;
+        }
+        for t in s.threads.iter_mut() {
+            if *t == TState::BlockedJoin(me) {
+                *t = TState::Runnable;
+            }
+        }
+        let _ = self.decide(&mut s, me);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(m) = payload.downcast_ref::<&str>() {
+        (*m).to_owned()
+    } else if let Some(m) = payload.downcast_ref::<String>() {
+        m.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that suppresses the
+/// default stderr report for panics on model threads — a failing
+/// schedule is surfaced as a structured [`Failure`], and seeded-race
+/// tests would otherwise spray one backtrace per failing run — while
+/// delegating every other thread's panics to the hook that was already
+/// installed.
+fn install_quiet_panic_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let on_model_thread = CTX.try_with(|c| c.borrow().is_some()).unwrap_or(false);
+            if !on_model_thread {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// A shared `usize` cell with the `std::sync::atomic::AtomicUsize`
+/// surface the engine uses. Outside an exploration every operation
+/// delegates straight to the wrapped std atomic; inside, each operation
+/// is first a scheduling decision point.
+#[derive(Debug, Default)]
+pub struct AtomicUsize {
+    inner: StdAtomicUsize,
+}
+
+impl AtomicUsize {
+    /// A cell holding `v`.
+    pub const fn new(v: usize) -> AtomicUsize {
+        AtomicUsize {
+            inner: StdAtomicUsize::new(v),
+        }
+    }
+
+    fn yield_point(&self) {
+        if let Some(ctx) = current_ctx() {
+            ctx.ctrl.schedule_point(ctx.tid);
+        }
+    }
+
+    /// Atomically adds `v`, returning the previous value.
+    pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        self.yield_point();
+        self.inner.fetch_add(v, order)
+    }
+
+    /// Reads the value. Pairing this with a later [`store`](Self::store)
+    /// is *not* atomic — exactly the class of bug the explorer exists to
+    /// catch (a decision point sits between the two).
+    pub fn load(&self, order: Ordering) -> usize {
+        self.yield_point();
+        self.inner.load(order)
+    }
+
+    /// Writes the value.
+    pub fn store(&self, v: usize, order: Ordering) {
+        self.yield_point();
+        self.inner.store(v, order);
+    }
+}
+
+/// A mutual-exclusion lock with the `std::sync::Mutex` surface the
+/// engine uses (including the poison-`Result` wrapper). Outside an
+/// exploration it behaves exactly like the std mutex it wraps; inside,
+/// acquisition orders are enumerated and deadlocks are detected.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A lock around `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+
+    /// Acquires the lock, parking in the model scheduler (inside an
+    /// exploration) or blocking on the OS lock (outside) until free.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let model = current_ctx().map(|ctx| {
+            let key = std::ptr::from_ref(self) as usize;
+            ctx.ctrl.acquire_lock(ctx.tid, key);
+            (ctx.ctrl, ctx.tid, key)
+        });
+        // Under the model, ownership was just granted, so the wrapped
+        // std lock is free and this cannot block.
+        match self.inner.lock() {
+            Ok(guard) => Ok(MutexGuard {
+                guard: Some(guard),
+                model,
+            }),
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                guard: Some(poisoned.into_inner()),
+                model,
+            })),
+        }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases on drop — std lock
+/// first, then the model's bookkeeping, so a waiter the model wakes
+/// never blocks on an OS lock that is still held.
+pub struct MutexGuard<'a, T> {
+    guard: Option<StdMutexGuard<'a, T>>,
+    model: Option<(Arc<Controller>, usize, usize)>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.guard.take());
+        if let Some((ctrl, tid, key)) = self.model.take() {
+            ctrl.release_lock(tid, key);
+        }
+    }
+}
+
+/// Handle to a model thread created by [`spawn`].
+pub struct JoinHandle {
+    ctrl: Arc<Controller>,
+    tid: usize,
+}
+
+impl JoinHandle {
+    /// Waits (in the model scheduler) until the thread finishes. A
+    /// panic on the joined thread is reported through the exploration's
+    /// [`Failure`], not through this call.
+    pub fn join(self) {
+        let ctx = current_ctx().expect("JoinHandle::join is called from inside model::explore");
+        self.ctrl.schedule_point(ctx.tid);
+        loop {
+            let mut s = self.ctrl.lock_state();
+            if s.abort {
+                drop(s);
+                panic::panic_any(SchedulerAbort);
+            }
+            if s.threads[self.tid] == TState::Finished {
+                return;
+            }
+            s.threads[ctx.tid] = TState::BlockedJoin(self.tid);
+            let _ = self.ctrl.decide(&mut s, ctx.tid);
+            self.ctrl.park_until_scheduled(s, ctx.tid);
+        }
+    }
+}
+
+/// Spawns a logical thread inside the current exploration. Must be
+/// called (directly or transitively) from [`explore`]'s body; move
+/// shared state in via `Arc`s, loom-style.
+pub fn spawn<F>(f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    let ctx = current_ctx().expect("model::spawn is called from inside model::explore");
+    let ctrl = Arc::clone(&ctx.ctrl);
+    let tid = {
+        let mut s = ctrl.lock_state();
+        let tid = s.threads.len();
+        s.threads.push(TState::Runnable);
+        tid
+    };
+    let thread_ctrl = Arc::clone(&ctrl);
+    let handle = thread::Builder::new()
+        .name(format!("vaq-race-{tid}"))
+        .spawn(move || {
+            CTX.with(|c| {
+                *c.borrow_mut() = Some(Ctx {
+                    ctrl: Arc::clone(&thread_ctrl),
+                    tid,
+                });
+            });
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                // Park until first scheduled; aborts unwind from here
+                // into the catch just like a body panic would.
+                let s = thread_ctrl.lock_state();
+                thread_ctrl.park_until_scheduled(s, tid);
+                f();
+            }));
+            thread_ctrl.finish(tid, result);
+        })
+        .expect("OS thread spawn succeeds");
+    {
+        let mut s = ctrl.lock_state();
+        s.handles.push(handle);
+    }
+    // Thread creation is a visible event: give the scheduler a decision
+    // so the child may run before the parent's next step.
+    ctrl.schedule_point(ctx.tid);
+    JoinHandle { ctrl, tid }
+}
+
+/// Runs `body` once per schedule, enumerating bounded interleavings
+/// depth-first. Returns a [`Report`] when every explored schedule
+/// passes, or the first [`Failure`] (panic, deadlock, locking-rule
+/// violation) with its decision trace.
+///
+/// The body runs as model thread 0 and may [`spawn`] further model
+/// threads; it must be deterministic apart from scheduling (same
+/// decision points in the same order given the same choices).
+pub fn explore<F>(cfg: &Config, body: F) -> Result<Report, Failure>
+where
+    F: Fn() + Send + Sync,
+{
+    install_quiet_panic_hook();
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut schedules = 0_usize;
+    let mut max_decisions = 0_usize;
+    loop {
+        schedules += 1;
+        let ctrl = Arc::new(Controller::new(
+            cfg.preemption_bound,
+            std::mem::take(&mut frames),
+        ));
+        run_schedule(&ctrl, &body);
+        let (run_frames, failure) = {
+            let mut s = ctrl.lock_state();
+            (std::mem::take(&mut s.frames), s.failure.take())
+        };
+        max_decisions = max_decisions.max(run_frames.len());
+        if let Some(message) = failure {
+            return Err(Failure {
+                message,
+                schedule: run_frames.iter().map(|f| f.options[f.chosen]).collect(),
+                schedules,
+            });
+        }
+        frames = run_frames;
+        // Backtrack: advance the deepest frame with an unexplored
+        // option; pop exhausted frames. Empty stack = space exhausted.
+        loop {
+            match frames.last_mut() {
+                None => {
+                    return Ok(Report {
+                        schedules,
+                        complete: true,
+                        max_decisions,
+                    });
+                }
+                Some(frame) => {
+                    frame.chosen += 1;
+                    if frame.chosen < frame.options.len() {
+                        break;
+                    }
+                    frames.pop();
+                }
+            }
+        }
+        if schedules >= cfg.max_schedules {
+            return Ok(Report {
+                schedules,
+                complete: false,
+                max_decisions,
+            });
+        }
+    }
+}
+
+/// One schedule: run the body as model thread 0 on its own OS thread,
+/// then join every OS thread the run created.
+fn run_schedule<F>(ctrl: &Arc<Controller>, body: &F)
+where
+    F: Fn() + Send + Sync,
+{
+    thread::scope(|scope| {
+        let root_ctrl = Arc::clone(ctrl);
+        scope.spawn(move || {
+            CTX.with(|c| {
+                *c.borrow_mut() = Some(Ctx {
+                    ctrl: Arc::clone(&root_ctrl),
+                    tid: 0,
+                });
+            });
+            let result = panic::catch_unwind(AssertUnwindSafe(body));
+            root_ctrl.finish(0, result);
+        });
+    });
+    // The root has returned, but children it spawned may still be
+    // draining their schedules; join them all before reading results.
+    loop {
+        let handle = {
+            let mut s = ctrl.lock_state();
+            s.handles.pop()
+        };
+        match handle {
+            // Child panics were already routed through finish(); the
+            // OS-level join result carries nothing further.
+            Some(h) => drop(h.join()),
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_threaded_body_is_one_schedule() {
+        let report = explore(&Config::default(), || {
+            let a = AtomicUsize::new(0);
+            a.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(a.load(Ordering::SeqCst), 1);
+        })
+        .expect("no failure");
+        assert_eq!(report.schedules, 1);
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn explores_more_than_one_schedule_with_two_threads() {
+        let report = explore(&Config::exhaustive(), || {
+            let shared = Arc::new(AtomicUsize::new(0));
+            let theirs = Arc::clone(&shared);
+            let t = spawn(move || {
+                theirs.fetch_add(1, Ordering::SeqCst);
+            });
+            shared.fetch_add(2, Ordering::SeqCst);
+            t.join();
+            assert_eq!(shared.load(Ordering::SeqCst), 3);
+        })
+        .expect("additions commute");
+        assert!(report.complete);
+        assert!(report.schedules > 1, "got {} schedules", report.schedules);
+    }
+
+    #[test]
+    fn read_modify_write_split_is_caught() {
+        // The canonical seeded race: load-then-store instead of
+        // fetch_add loses an increment in some interleaving.
+        let failure = explore(&Config::default(), || {
+            let shared = Arc::new(AtomicUsize::new(0));
+            let theirs = Arc::clone(&shared);
+            let t = spawn(move || {
+                let v = theirs.load(Ordering::SeqCst);
+                theirs.store(v + 1, Ordering::SeqCst);
+            });
+            let v = shared.load(Ordering::SeqCst);
+            shared.store(v + 1, Ordering::SeqCst);
+            t.join();
+            assert_eq!(shared.load(Ordering::SeqCst), 2, "an increment was lost");
+        });
+        let failure = failure.expect_err("the split increment must lose an update");
+        assert!(
+            failure.message.contains("panicked"),
+            "unexpected failure: {failure}"
+        );
+        assert!(!failure.schedule.is_empty());
+    }
+
+    #[test]
+    fn ab_ba_lock_order_deadlocks() {
+        let failure = explore(&Config::default(), || {
+            let a = Arc::new(Mutex::new(0_u32));
+            let b = Arc::new(Mutex::new(0_u32));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = spawn(move || {
+                let ga = a2.lock().expect("not poisoned");
+                let mut gb = b2.lock().expect("not poisoned");
+                *gb += *ga;
+            });
+            let gb = b.lock().expect("not poisoned");
+            let mut ga = a.lock().expect("not poisoned");
+            *ga += *gb;
+            drop(ga);
+            drop(gb);
+            t.join();
+        });
+        let failure = failure.expect_err("AB-BA ordering must deadlock in some schedule");
+        assert!(
+            failure.message.contains("deadlock"),
+            "unexpected failure: {failure}"
+        );
+    }
+
+    #[test]
+    fn mutex_protects_a_split_increment() {
+        // The same read-modify-write, now under a lock: every
+        // interleaving conserves both increments.
+        let report = explore(&Config::exhaustive(), || {
+            let shared = Arc::new(Mutex::new(0_usize));
+            let theirs = Arc::clone(&shared);
+            let t = spawn(move || {
+                let mut g = theirs.lock().expect("not poisoned");
+                *g += 1;
+            });
+            {
+                let mut g = shared.lock().expect("not poisoned");
+                *g += 1;
+            }
+            t.join();
+            assert_eq!(*shared.lock().expect("not poisoned"), 2);
+        })
+        .expect("the lock serialises the increments");
+        assert!(report.complete);
+        assert!(report.schedules > 1);
+    }
+
+    #[test]
+    fn relock_on_the_same_thread_is_reported() {
+        let failure = explore(&Config::default(), || {
+            let m = Mutex::new(0_u8);
+            let _g = m.lock().expect("not poisoned");
+            let _g2 = m.lock().expect("not poisoned");
+        });
+        let failure = failure.expect_err("self-relock is a modelled error");
+        assert!(
+            failure.message.contains("re-locked"),
+            "unexpected failure: {failure}"
+        );
+    }
+
+    #[test]
+    fn primitives_pass_through_outside_explorations() {
+        // No exploration context on this thread: model types behave
+        // like their std counterparts.
+        let a = AtomicUsize::new(5);
+        assert_eq!(a.fetch_add(2, Ordering::SeqCst), 5);
+        assert_eq!(a.load(Ordering::SeqCst), 7);
+        a.store(1, Ordering::SeqCst);
+        assert_eq!(a.load(Ordering::SeqCst), 1);
+        let m = Mutex::new(3_u32);
+        *m.lock().expect("not poisoned") += 1;
+        assert_eq!(*m.lock().expect("not poisoned"), 4);
+        assert_eq!(m.into_inner().expect("not poisoned"), 4);
+    }
+}

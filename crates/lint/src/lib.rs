@@ -5,8 +5,12 @@
 //! clippy cannot see: exact geometric predicates must not be bypassed by
 //! raw float comparisons, `OutputMode` dispatch must stay confined to the
 //! sink layer, merged `QueryStats` must conserve every counter, library
-//! code must not panic on user input, and benchmark baselines must carry
-//! provenance. This crate turns those conventions into machine-checked
+//! code must not panic on user input, benchmark baselines must carry
+//! provenance, atomic orderings must be justified where they are chosen,
+//! lock guards must not be held across emit/merge paths, and raw
+//! `std::sync` primitives stay confined to the `vaq_core::sync` facade so
+//! the `--cfg vaq_race` model checker sees every interleaving that
+//! matters. This crate turns those conventions into machine-checked
 //! rules (see [`rules`] for each rule's exact contract) with a uniform
 //! escape hatch:
 //!
@@ -97,6 +101,9 @@ pub fn check_files(files: &[SourceFile]) -> Vec<Finding> {
         rules::sink_dispatch(file, &mut raw_findings);
         rules::panic_hygiene(file, &kind, &mut raw_findings);
         rules::bench_provenance(file, &kind, &mut raw_findings);
+        rules::atomic_ordering(file, &mut raw_findings);
+        rules::lock_hygiene(file, &mut raw_findings);
+        rules::sync_facade(file, &mut raw_findings);
     }
     rules::stats_conservation(files, &mut raw_findings);
 

@@ -1,12 +1,12 @@
-//! The five repo invariants, as token-level checks over [`SourceFile`]s.
+//! The eight repo invariants, as token-level checks over [`SourceFile`]s.
 //!
 //! Each rule documents its exact scope — what it fires on, what it
 //! deliberately does not — because a lexical lint lives or dies by a
 //! precisely-stated contract, not by aspiration.
 
 use crate::source::{
-    Finding, SourceFile, BENCH_PROVENANCE, FLOAT_EXACTNESS, PANIC_HYGIENE, SINK_DISPATCH,
-    STATS_CONSERVATION,
+    Finding, SourceFile, ATOMIC_ORDERING, BENCH_PROVENANCE, FLOAT_EXACTNESS, LOCK_HYGIENE,
+    PANIC_HYGIENE, SINK_DISPATCH, STATS_CONSERVATION, SYNC_FACADE,
 };
 
 /// File classification derived from the root-relative path.
@@ -710,4 +710,316 @@ pub fn bench_provenance(file: &SourceFile, kind: &FileKind, out: &mut Vec<Findin
                 .to_owned(),
         });
     }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: atomic-ordering
+// ---------------------------------------------------------------------------
+
+/// The memory-ordering variants of `std::sync::atomic::Ordering`. Matching
+/// on these (rather than bare `Ordering::`) keeps `std::cmp::Ordering`
+/// arms (`Ordering::Less`, …) out of scope.
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// The sync facade: the one module allowed to touch raw `std::sync`
+/// primitives, and the only home of the documented `Relaxed` idiom.
+fn is_sync_facade(rel: &str) -> bool {
+    rel == "crates/core/src/sync.rs" || rel.starts_with("crates/core/src/sync/")
+}
+
+/// **atomic-ordering** — outside `#[cfg(test)]` regions, every use of a
+/// memory-ordering constant (`Ordering::Relaxed` / `Acquire` / `Release`
+/// / `AcqRel` / `SeqCst`) must carry a `// ordering:` justification — on
+/// the line itself or in the run of comment lines directly above — that
+/// argues why that strength suffices. Additionally, `Ordering::Relaxed`
+/// is permitted only inside the sync facade (`crates/core/src/sync*`),
+/// where the claim-counter idiom documents why no cross-thread ordering
+/// is needed; anywhere else `Relaxed` is a finding even when commented
+/// (promote to the facade's `ClaimCounter`, use a stronger ordering, or
+/// carry a justified allow).
+///
+/// `std::cmp::Ordering` (`Less`/`Equal`/`Greater`) never matches, and a
+/// comment merely *mentioning* `Ordering::Relaxed` does not count as a
+/// justification — the marker is the lowercase `ordering:` tag.
+pub fn atomic_ordering(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (idx, code) in file.code.iter().enumerate() {
+        if file.in_test[idx] {
+            continue;
+        }
+        let Some(variant) = ATOMIC_ORDERINGS
+            .iter()
+            .find(|v| code.contains(&format!("Ordering::{v}")))
+        else {
+            continue;
+        };
+        if *variant == "Relaxed" && !is_sync_facade(&file.rel) {
+            out.push(Finding {
+                file: file.rel.clone(),
+                line: idx + 1,
+                rule: ATOMIC_ORDERING,
+                message: "Ordering::Relaxed outside the sync facade — the only sanctioned \
+                          Relaxed idiom is the facade's ClaimCounter; use it, pick a \
+                          stronger ordering, or carry a justified allow"
+                    .to_owned(),
+            });
+            continue;
+        }
+        if !has_comment_tag(file, idx, "ordering:") {
+            out.push(Finding {
+                file: file.rel.clone(),
+                line: idx + 1,
+                rule: ATOMIC_ORDERING,
+                message: format!(
+                    "Ordering::{variant} without a `// ordering:` justification — state why \
+                     this strength suffices on the line or directly above it"
+                ),
+            });
+        }
+    }
+}
+
+/// True when 0-based `line` carries a `// <tag>` justification: the tag
+/// appears inside a trailing comment on the line itself, or anywhere in
+/// the run of comment-only lines directly above (the same shape
+/// [`SourceFile::allowed`] uses for allow comments).
+fn has_comment_tag(file: &SourceFile, line: usize, tag: &str) -> bool {
+    let on_line = file.raw[line]
+        .find("//")
+        .map(|p| file.raw[line][p..].contains(tag))
+        .unwrap_or(false);
+    if on_line {
+        return true;
+    }
+    let mut i = line;
+    while i > 0 {
+        i -= 1;
+        let trimmed = file.raw[i].trim_start();
+        if !trimmed.starts_with("//") {
+            return false;
+        }
+        if trimmed.contains(tag) {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: lock-hygiene
+// ---------------------------------------------------------------------------
+
+/// Calls that enter a user-visible emit/merge/execute path. Holding a
+/// lock guard across any of these serialises result production (and, for
+/// sinks that call back into user code, risks re-entrant deadlock).
+const GUARD_CROSSING: [&str; 6] = [
+    ".emit(",
+    ".merge(",
+    ".run_sink(",
+    "dispatch_sink(",
+    ".execute(",
+    ".execute_batch(",
+];
+
+/// **lock-hygiene** — tracks lock guards bound by a single-line statement
+/// `let <name> = <expr>.lock()…;` (with an optional trailing
+/// `.expect("…")`/`.unwrap()`). While such a guard is live — until a
+/// `drop(<name>)` or the end of its enclosing block — non-test code must
+/// not:
+///
+/// * call into an emit/merge/execute path (`.emit(` / `.merge(` /
+///   `.run_sink(` / `dispatch_sink(` / `.execute(` / `.execute_batch(`)
+///   — compute under the lock, release, then emit;
+/// * acquire another lock (`.lock(`) without a `// lock-order:` comment
+///   on the line or directly above declaring the global acquisition
+///   order that makes the nesting deadlock-free.
+///
+/// Chained temporaries (`m.lock().expect("…").resolve(x)`) release their
+/// guard at the end of the statement and are deliberately not tracked;
+/// so are guards bound inside `if let`/`match` heads, which a line
+/// scanner cannot scope reliably. The rule is about the *named-guard*
+/// idiom the hot paths use.
+pub fn lock_hygiene(file: &SourceFile, out: &mut Vec<Finding>) {
+    let mut depth = 0i64;
+    // (guard name, brace depth at binding)
+    let mut guards: Vec<(String, i64)> = Vec::new();
+    for (idx, code) in file.code.iter().enumerate() {
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        if file.in_test[idx] {
+            depth += opens - closes;
+            guards.retain(|(_, d)| depth >= *d);
+            continue;
+        }
+        guards.retain(|(name, _)| !code.contains(&format!("drop({name})")));
+        if !guards.is_empty() {
+            let held: Vec<&str> = guards.iter().map(|(n, _)| n.as_str()).collect();
+            let held = held.join("`, `");
+            for tok in GUARD_CROSSING {
+                if code.contains(tok) {
+                    out.push(Finding {
+                        file: file.rel.clone(),
+                        line: idx + 1,
+                        rule: LOCK_HYGIENE,
+                        message: format!(
+                            "`{tok}…)` while lock guard `{held}` is held — drop the guard \
+                             (or narrow its scope) before entering an emit/merge/execute path"
+                        ),
+                    });
+                }
+            }
+            if code.contains(".lock(") && !has_comment_tag(file, idx, "lock-order:") {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: idx + 1,
+                    rule: LOCK_HYGIENE,
+                    message: format!(
+                        "nested lock acquisition while guard `{held}` is held, without a \
+                         `// lock-order:` comment declaring the acquisition order"
+                    ),
+                });
+            }
+        }
+        if let Some(name) = guard_binding(code) {
+            if name != "_" {
+                guards.push((name, depth));
+            }
+        }
+        depth += opens - closes;
+        guards.retain(|(_, d)| depth >= *d);
+    }
+}
+
+/// `let <name> = <expr>.lock()…;` on one line, where the tail after
+/// stripping `.unwrap()` / `.expect(…)` wrappers is the `.lock()` call
+/// itself — i.e. the binding captures a guard, not a projection through
+/// one. Returns the bound name.
+fn guard_binding(code: &str) -> Option<String> {
+    let t = code.trim();
+    let rest = t.strip_prefix("let ")?;
+    let stmt = rest.trim_end().strip_suffix(';')?;
+    let eq = stmt.find('=')?;
+    let name = stmt[..eq]
+        .trim()
+        .trim_start_matches("mut ")
+        .split(':')
+        .next()
+        .unwrap_or("")
+        .trim()
+        .to_owned();
+    if name.is_empty() || !name.chars().all(is_ident_char) {
+        return None;
+    }
+    let mut expr = stmt[eq + 1..].trim_end();
+    loop {
+        if let Some(s) = expr.strip_suffix(".unwrap()") {
+            expr = s.trim_end();
+            continue;
+        }
+        if let Some(s) = strip_trailing_simple_call(expr, ".expect(") {
+            expr = s.trim_end();
+            continue;
+        }
+        break;
+    }
+    if expr.ends_with(".lock()") {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// When `expr` ends with `<opener>…)` and the `…` contains no nested
+/// parens (string contents are blanked in the code view, so a message
+/// argument qualifies), returns `expr` with that trailing call removed.
+fn strip_trailing_simple_call<'a>(expr: &'a str, opener: &str) -> Option<&'a str> {
+    let at = expr.rfind(opener)?;
+    let inner = expr[at + opener.len()..].strip_suffix(')')?;
+    if inner.contains('(') || inner.contains(')') {
+        return None;
+    }
+    Some(&expr[..at])
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: sync-facade
+// ---------------------------------------------------------------------------
+
+/// **sync-facade** — raw concurrency primitives live in one place:
+/// `crates/core/src/sync.rs` (and its `sync/` submodules). Everywhere
+/// else, non-test code must not reference:
+///
+/// * `std::sync::atomic` (including `Ordering` imports — the facade
+///   re-exports it),
+/// * `std::sync::Mutex` / `RwLock` / `Condvar` / `Barrier` / `mpsc`,
+///   whether path-qualified, in a `use std::sync::{…}` group, or via a
+///   glob import,
+/// * `crossbeam` (scoped threads and channels route through
+///   `vaq_core::sync::{scope, channel}`).
+///
+/// `Arc`, `Weak`, `Once*` and `LazyLock` are plain sharing/init tools
+/// with no scheduling behaviour to model and stay allowed. The point of
+/// the confinement (same shape as sink-dispatch) is that building with
+/// `--cfg vaq_race` swaps *every* primitive the engine actually uses
+/// onto the model-checked implementation — a raw import anywhere else
+/// would silently escape the explorer.
+pub fn sync_facade(file: &SourceFile, out: &mut Vec<Finding>) {
+    if is_sync_facade(&file.rel) {
+        return;
+    }
+    for (idx, code) in file.code.iter().enumerate() {
+        if file.in_test[idx] {
+            continue;
+        }
+        if let Some(what) = facade_banned(code) {
+            out.push(Finding {
+                file: file.rel.clone(),
+                line: idx + 1,
+                rule: SYNC_FACADE,
+                message: format!(
+                    "raw std::sync {what} reference outside the sync facade — import it \
+                     from vaq_core::sync (crates/core/src/sync.rs) so `--cfg vaq_race` \
+                     can swap in the model-checked implementation"
+                ),
+            });
+        }
+        if has_token(code, "crossbeam") {
+            out.push(Finding {
+                file: file.rel.clone(),
+                line: idx + 1,
+                rule: SYNC_FACADE,
+                message: "crossbeam use outside the sync facade — route scoped threads and \
+                          channels through vaq_core::sync::{scope, channel} instead"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// The concrete `std::sync` item a line reaches for, when it is one the
+/// facade confines. `Arc`/`Weak`/`Once`/`OnceLock`/`LazyLock` return
+/// `None`.
+fn facade_banned(code: &str) -> Option<&'static str> {
+    const CONFINED: [&str; 6] = ["atomic", "mpsc", "Mutex", "RwLock", "Condvar", "Barrier"];
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("std::sync::") {
+        let at = start + pos + "std::sync::".len();
+        let rest = &code[at..];
+        for prim in CONFINED {
+            if rest.starts_with(prim) {
+                return Some(prim);
+            }
+        }
+        if rest.starts_with('*') {
+            return Some("glob import");
+        }
+        if rest.starts_with('{') {
+            for prim in CONFINED {
+                if has_token(rest, prim) {
+                    return Some(prim);
+                }
+            }
+        }
+        start = at;
+    }
+    None
 }

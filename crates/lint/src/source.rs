@@ -21,17 +21,23 @@ pub const SINK_DISPATCH: &str = "sink-dispatch";
 pub const STATS_CONSERVATION: &str = "stats-conservation";
 pub const PANIC_HYGIENE: &str = "panic-hygiene";
 pub const BENCH_PROVENANCE: &str = "bench-provenance";
+pub const ATOMIC_ORDERING: &str = "atomic-ordering";
+pub const LOCK_HYGIENE: &str = "lock-hygiene";
+pub const SYNC_FACADE: &str = "sync-facade";
 /// Meta-rule: a `vaq-lint:` comment that does not parse, names an unknown
 /// rule, or carries no justification. Not suppressible.
 pub const ALLOW_GRAMMAR: &str = "allow-grammar";
 
-/// The five suppressible rules (ALLOW_GRAMMAR is intentionally absent).
-pub const RULES: [&str; 5] = [
+/// The eight suppressible rules (ALLOW_GRAMMAR is intentionally absent).
+pub const RULES: [&str; 8] = [
     FLOAT_EXACTNESS,
     SINK_DISPATCH,
     STATS_CONSERVATION,
     PANIC_HYGIENE,
     BENCH_PROVENANCE,
+    ATOMIC_ORDERING,
+    LOCK_HYGIENE,
+    SYNC_FACADE,
 ];
 
 /// A parsed `// vaq-lint: allow(rule) -- justification` comment.

@@ -1,0 +1,32 @@
+use crate::sync::{AtomicUsize, Ordering};
+use std::cmp::Ordering as CmpOrdering;
+
+pub fn bump(counter: &AtomicUsize) -> usize {
+    // ordering: SeqCst — the claimed index sequence is itself the
+    // asserted invariant, so every claim must be totally ordered.
+    counter.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn publish(flag: &AtomicUsize) {
+    flag.store(1, Ordering::Release); // ordering: pairs with the Acquire load in wait()
+}
+
+pub fn classify(a: usize, b: usize) -> CmpOrdering {
+    // std::cmp::Ordering arms are out of scope for the atomic rule
+    match a.cmp(&b) {
+        CmpOrdering::Equal => CmpOrdering::Equal,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_orderings_are_fine_under_cfg_test() {
+        let c = AtomicUsize::new(0);
+        c.store(3, Ordering::SeqCst);
+        assert_eq!(c.load(Ordering::SeqCst), 3);
+    }
+}

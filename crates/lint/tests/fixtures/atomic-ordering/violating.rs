@@ -1,0 +1,14 @@
+use crate::sync::{AtomicUsize, Ordering};
+
+pub fn bump(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn publish(flag: &AtomicUsize) {
+    flag.store(1, Ordering::Release);
+}
+
+pub fn sneak(counter: &AtomicUsize) -> usize {
+    // ordering: a comment does not legalise Relaxed outside the facade
+    counter.fetch_add(1, Ordering::Relaxed)
+}

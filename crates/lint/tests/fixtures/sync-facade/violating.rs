@@ -1,0 +1,10 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::sync::{Arc, Condvar};
+
+pub fn spawn_workers(items: &[u64]) {
+    crossbeam::scope(|s| {
+        let shared = std::sync::RwLock::new(0u64);
+        let _ = (items, s, &shared);
+    });
+}

@@ -9,8 +9,8 @@
 
 use vaq_lint::check_files;
 use vaq_lint::source::{
-    Finding, SourceFile, ALLOW_GRAMMAR, BENCH_PROVENANCE, FLOAT_EXACTNESS, PANIC_HYGIENE,
-    SINK_DISPATCH, STATS_CONSERVATION,
+    Finding, SourceFile, ALLOW_GRAMMAR, ATOMIC_ORDERING, BENCH_PROVENANCE, FLOAT_EXACTNESS,
+    LOCK_HYGIENE, PANIC_HYGIENE, SINK_DISPATCH, STATS_CONSERVATION, SYNC_FACADE,
 };
 
 /// Parses `(rel-path, text)` pairs and runs the full rule engine.
@@ -51,6 +51,12 @@ const BENCH_BAD: &str = include_str!("fixtures/bench-provenance/violating.rs");
 const BENCH_CLEAN: &str = include_str!("fixtures/bench-provenance/clean.rs");
 const BENCH_DOC: &str = include_str!("fixtures/bench-provenance/doc_mention.rs");
 const ALLOW_BAD: &str = include_str!("fixtures/allow-grammar/bad.rs");
+const ATOMIC_BAD: &str = include_str!("fixtures/atomic-ordering/violating.rs");
+const ATOMIC_CLEAN: &str = include_str!("fixtures/atomic-ordering/clean.rs");
+const LOCK_BAD: &str = include_str!("fixtures/lock-hygiene/violating.rs");
+const LOCK_CLEAN: &str = include_str!("fixtures/lock-hygiene/clean.rs");
+const FACADE_BAD: &str = include_str!("fixtures/sync-facade/violating.rs");
+const FACADE_CLEAN: &str = include_str!("fixtures/sync-facade/clean.rs");
 
 // --- float-exactness -------------------------------------------------------
 
@@ -181,6 +187,95 @@ fn bench_provenance_ignores_doc_comment_mentions() {
 #[test]
 fn bench_provenance_only_audits_the_bench_crate() {
     assert_clean(&lint(&[("crates/core/src/engine.rs", BENCH_BAD)]));
+}
+
+// --- atomic-ordering -------------------------------------------------------
+
+#[test]
+fn atomic_ordering_flags_unjustified_sites_and_stray_relaxed() {
+    let findings = lint(&[("crates/core/src/batch.rs", ATOMIC_BAD)]);
+    assert_eq!(
+        tagged(&findings),
+        vec![
+            (4, ATOMIC_ORDERING),  // SeqCst without a `// ordering:` note
+            (8, ATOMIC_ORDERING),  // Release without a note
+            (13, ATOMIC_ORDERING), // Relaxed outside the facade, note or not
+        ]
+    );
+    assert!(
+        findings[2].message.contains("facade"),
+        "Relaxed finding should point at the facade idiom: {}",
+        findings[2]
+    );
+}
+
+#[test]
+fn atomic_ordering_permits_commented_relaxed_only_in_the_facade() {
+    // same bytes inside the facade: Relaxed's comment now counts, but
+    // the two unjustified sites still need their `// ordering:` notes
+    let findings = lint(&[("crates/core/src/sync/model.rs", ATOMIC_BAD)]);
+    assert_eq!(
+        tagged(&findings),
+        vec![(4, ATOMIC_ORDERING), (8, ATOMIC_ORDERING)]
+    );
+}
+
+#[test]
+fn atomic_ordering_accepts_justified_and_cmp_orderings() {
+    // comment-run justification, same-line justification, std::cmp
+    // arms, and bare orderings under #[cfg(test)] are all non-findings
+    assert_clean(&lint(&[("crates/core/src/batch.rs", ATOMIC_CLEAN)]));
+}
+
+// --- lock-hygiene ----------------------------------------------------------
+
+#[test]
+fn lock_hygiene_flags_crossings_and_unordered_nesting() {
+    let findings = lint(&[("crates/core/src/shard.rs", LOCK_BAD)]);
+    assert_eq!(
+        tagged(&findings),
+        vec![
+            (5, LOCK_HYGIENE),  // .merge( under a live guard
+            (10, LOCK_HYGIENE), // nested .lock( without a lock-order note
+            (16, LOCK_HYGIENE), // .execute_batch( under a live guard
+        ]
+    );
+}
+
+#[test]
+fn lock_hygiene_accepts_scoped_dropped_and_ordered_guards() {
+    // block-scoped guard, explicit drop() before emit, lock-order
+    // comment on nesting, chained temporary, and test-gated code are
+    // all non-findings
+    assert_clean(&lint(&[("crates/core/src/shard.rs", LOCK_CLEAN)]));
+}
+
+// --- sync-facade -----------------------------------------------------------
+
+#[test]
+fn sync_facade_confines_raw_primitives() {
+    let findings = lint(&[("crates/core/src/engine.rs", FACADE_BAD)]);
+    assert_eq!(
+        tagged(&findings),
+        vec![
+            (1, SYNC_FACADE), // std::sync::atomic import
+            (2, SYNC_FACADE), // std::sync::Mutex import
+            (3, SYNC_FACADE), // Condvar inside a grouped import
+            (6, SYNC_FACADE), // crossbeam scope
+            (7, SYNC_FACADE), // path-qualified RwLock
+        ]
+    );
+}
+
+#[test]
+fn sync_facade_permits_the_facade_itself() {
+    // the facade module is where the raw primitives are supposed to live
+    assert_clean(&lint(&[("crates/core/src/sync/model.rs", FACADE_BAD)]));
+}
+
+#[test]
+fn sync_facade_accepts_facade_imports_arc_and_oncelock() {
+    assert_clean(&lint(&[("crates/core/src/engine.rs", FACADE_CLEAN)]));
 }
 
 // --- allow grammar ---------------------------------------------------------

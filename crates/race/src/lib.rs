@@ -1,0 +1,446 @@
+//! # vaq-race — model-check scenarios for the engine's concurrency
+//!
+//! Each scenario rebuilds one of the engine's real sharing patterns on
+//! the model primitives from [`vaq_core::sync::model`] and hands it to
+//! the deterministic interleaving explorer, which enumerates every
+//! bounded 2–3-thread schedule and fails with a replayable decision
+//! trace if any interleaving breaks the invariant:
+//!
+//! * **claim loop** ([`check_claim_loop`]) — the work-stealing counter
+//!   behind every batch executor: no work index is double-claimed or
+//!   skipped. [`check_buggy_claim_loop`] is the seeded race — the same
+//!   loop with the `fetch_add` split into a load and a store — which the
+//!   explorer must reject deterministically.
+//! * **shard merge** ([`check_stat_absorption`]) — workers absorbing
+//!   per-shard [`QueryStats`] in claim order: counters conserve and the
+//!   merged total is independent of interleaving.
+//! * **record-store split** ([`check_record_store_split`]) — the
+//!   parallel shard build's take-don't-clone handoff of split
+//!   [`RecordStore`]s: every shard store is taken exactly once and the
+//!   per-record checksums conserve across the split.
+//! * **dynamic overlay** ([`check_dynamic_overlay`]) — insert, remove
+//!   and compaction on a [`DynamicAreaQueryEngine`] behind an exclusive
+//!   lock: no tombstone is lost, no removed point resurrects, and
+//!   compaction preserves the live id set in every schedule.
+//!
+//! The scenarios run (and explore schedules) under the **default**
+//! build too, because the model module is always compiled. Building
+//! with `RUSTFLAGS='--cfg vaq_race'` additionally swaps the facade the
+//! *production* code uses onto the model implementation, enabling the
+//! tests that drive `vaq_core::sync::ClaimCounter` and
+//! `vaq_core::sync::Mutex` — the exact types the engine runs on —
+//! through the explorer:
+//!
+//! ```text
+//! RUSTFLAGS='--cfg vaq_race' cargo test -p vaq-race
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+use vaq_core::sync::model::{self, AtomicUsize, Config, Failure, Mutex, Report};
+use vaq_core::sync::Ordering;
+use vaq_core::{DynamicAreaQueryEngine, QueryStats, RecordStore};
+use vaq_geom::{Point, Rect};
+
+/// One worker's claim loop: pull indices from the shared counter and
+/// tally each claimed index until the counter runs past the work list.
+fn drain_claims(next: &AtomicUsize, claimed: &[AtomicUsize]) {
+    loop {
+        // ordering: SeqCst — the model executes under sequential
+        // consistency; the production idiom's Relaxed claim is justified
+        // at its one definition site, vaq_core::sync::ClaimCounter.
+        let i = next.fetch_add(1, Ordering::SeqCst);
+        let Some(slot) = claimed.get(i) else { break };
+        // ordering: SeqCst — per-index tally, read only after the join.
+        slot.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// The seeded race: the same loop with the atomic `fetch_add` split
+/// into a load and a store, so two workers can claim the same index.
+fn drain_claims_split(next: &AtomicUsize, claimed: &[AtomicUsize]) {
+    loop {
+        // ordering: SeqCst — the bug under test is the read-modify-write
+        // split itself, not a memory-ordering subtlety.
+        let i = next.load(Ordering::SeqCst);
+        // ordering: SeqCst — as above: the split is the seeded bug.
+        next.store(i + 1, Ordering::SeqCst);
+        let Some(slot) = claimed.get(i) else { break };
+        // ordering: SeqCst — per-index tally, read only after the join.
+        slot.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn explore_claims<F>(
+    cfg: &Config,
+    workers: usize,
+    items: usize,
+    drain: F,
+) -> Result<Report, Failure>
+where
+    F: Fn(&AtomicUsize, &[AtomicUsize]) + Send + Sync + Copy + 'static,
+{
+    model::explore(cfg, move || {
+        let next = Arc::new(AtomicUsize::new(0));
+        let claimed: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..items).map(|_| AtomicUsize::new(0)).collect());
+        let handles: Vec<model::JoinHandle> = (1..workers)
+            .map(|_| {
+                let next = Arc::clone(&next);
+                let claimed = Arc::clone(&claimed);
+                model::spawn(move || drain(&next, &claimed))
+            })
+            .collect();
+        drain(&next, &claimed);
+        for h in handles {
+            h.join();
+        }
+        for (i, slot) in claimed.iter().enumerate() {
+            // ordering: SeqCst — single-threaded readback after joins.
+            let n = slot.load(Ordering::SeqCst);
+            assert_eq!(n, 1, "work index {i} claimed {n} times");
+        }
+    })
+}
+
+/// Explores `workers` threads draining `items` work indices through the
+/// shared-claim-counter idiom used by every batch executor. Fails if
+/// any schedule double-claims or skips an index.
+pub fn check_claim_loop(cfg: &Config, workers: usize, items: usize) -> Result<Report, Failure> {
+    explore_claims(cfg, workers, items, |next, claimed| {
+        drain_claims(next, claimed)
+    })
+}
+
+/// The claim loop with a seeded race (the counter's read-modify-write
+/// split into a load and a store). Two workers; the explorer is
+/// expected to return a [`Failure`] whose trace replays the lost
+/// update.
+pub fn check_buggy_claim_loop(cfg: &Config, items: usize) -> Result<Report, Failure> {
+    explore_claims(cfg, 2, items, |next, claimed| {
+        drain_claims_split(next, claimed)
+    })
+}
+
+/// A distinctive per-shard stats block (different counters per index so
+/// a dropped or double-absorbed shard shows up in the sums).
+fn shard_stats(i: usize) -> QueryStats {
+    QueryStats {
+        result_size: i + 1,
+        candidates: 10 * (i + 1),
+        accepted: 5 * (i + 1),
+        containment_tests: 100 + i as u64,
+        segment_tests: 7 * i as u64,
+        cell_tests: 3 + i as u64,
+        delta_scanned: i,
+        payload_checksum: 0x1000 + i as u64,
+        ..QueryStats::default()
+    }
+}
+
+/// Explores two workers absorbing `shards` per-shard stats blocks into
+/// one accumulator through [`QueryStats::absorb_shard`] — the sharded
+/// engine's merge path. Fails if any interleaving loses or
+/// double-counts a shard, i.e. proves the absorption is commutative and
+/// conserving over every claim order.
+pub fn check_stat_absorption(cfg: &Config, shards: usize) -> Result<Report, Failure> {
+    let parts: Arc<Vec<QueryStats>> = Arc::new((0..shards).map(shard_stats).collect());
+    let expected = {
+        let mut acc = QueryStats::default();
+        for st in parts.iter() {
+            acc.absorb_shard(st);
+        }
+        acc
+    };
+    model::explore(cfg, move || {
+        let next = Arc::new(AtomicUsize::new(0));
+        let acc = Arc::new(Mutex::new(QueryStats::default()));
+        let absorb_all = {
+            let parts = Arc::clone(&parts);
+            move |next: &AtomicUsize, acc: &Mutex<QueryStats>| loop {
+                // ordering: SeqCst — model claim, see drain_claims.
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                let Some(st) = parts.get(i) else { break };
+                acc.lock()
+                    .expect("stats lock is not poisoned")
+                    .absorb_shard(st);
+            }
+        };
+        let t = {
+            let next = Arc::clone(&next);
+            let acc = Arc::clone(&acc);
+            let absorb_all = absorb_all.clone();
+            model::spawn(move || absorb_all(&next, &acc))
+        };
+        absorb_all(&next, &acc);
+        t.join();
+        let got = *acc.lock().expect("stats lock is not poisoned");
+        assert_eq!(
+            got, expected,
+            "absorbing shards in a different interleaving changed the merged stats"
+        );
+    })
+}
+
+/// Explores the parallel shard build's record-store handoff: a logical
+/// [`RecordStore`] is split per shard, each split store parked in a
+/// `Mutex<Option<…>>`, and two build workers claim shard indices and
+/// *take* their store. Fails if any schedule takes a store twice,
+/// leaves one behind, or loses checksum mass across the split.
+pub fn check_record_store_split(cfg: &Config) -> Result<Report, Failure> {
+    let logical = RecordStore::generate(6, 8, 0x5EED);
+    let parts: Vec<Vec<u32>> = vec![vec![0, 2, 4], vec![1, 3, 5]];
+    let expected: u64 = (0..logical.len() as u32)
+        .map(|id| logical.read(id))
+        .fold(0u64, u64::wrapping_add);
+    model::explore(cfg, move || {
+        let stores: Arc<Vec<Mutex<Option<RecordStore>>>> = Arc::new(
+            logical
+                .split(&parts)
+                .expect("partition ids are in range")
+                .into_iter()
+                .map(|s| Mutex::new(Some(s)))
+                .collect(),
+        );
+        let next = Arc::new(AtomicUsize::new(0));
+        let total = Arc::new(Mutex::new(0u64));
+        let t = {
+            let stores = Arc::clone(&stores);
+            let next = Arc::clone(&next);
+            let total = Arc::clone(&total);
+            model::spawn(move || take_and_sum(&stores, &next, &total))
+        };
+        take_and_sum(&stores, &next, &total);
+        t.join();
+        for slot in stores.iter() {
+            assert!(
+                slot.lock().expect("store lock is not poisoned").is_none(),
+                "a shard store was left untaken"
+            );
+        }
+        assert_eq!(
+            *total.lock().expect("total lock is not poisoned"),
+            expected,
+            "checksum mass changed across the split handoff"
+        );
+    })
+}
+
+/// One build worker: claim shard indices, take the shard's store, and
+/// fold its record checksums into the shared total.
+fn take_and_sum(stores: &[Mutex<Option<RecordStore>>], next: &AtomicUsize, total: &Mutex<u64>) {
+    loop {
+        // ordering: SeqCst — model claim, see drain_claims.
+        let i = next.fetch_add(1, Ordering::SeqCst);
+        let Some(slot) = stores.get(i) else { break };
+        let store = slot.lock().expect("store lock is not poisoned").take();
+        let store = store.expect("each shard store is taken exactly once");
+        let sum = (0..store.len() as u32)
+            .map(|id| store.read(id))
+            .fold(0u64, u64::wrapping_add);
+        let mut t = total.lock().expect("total lock is not poisoned");
+        *t = t.wrapping_add(sum);
+    }
+}
+
+/// Explores two writers sharing a [`DynamicAreaQueryEngine`] behind an
+/// exclusive lock: each inserts one point and removes one distinct base
+/// point, then the main thread compacts and queries. Fails if any
+/// interleaving loses a tombstone (a removed point resurrects), drops
+/// an insert, or lets compaction change the live id set — i.e. proves
+/// a plain mutex is a sufficient sharing contract for the overlay
+/// state.
+pub fn check_dynamic_overlay(cfg: &Config) -> Result<Report, Failure> {
+    let base: Vec<Point> = vec![
+        Point::new(0.0, 0.0),
+        Point::new(1.0, 0.0),
+        Point::new(2.0, 0.0),
+        Point::new(0.0, 1.0),
+        Point::new(1.0, 1.0),
+        Point::new(2.0, 1.0),
+    ];
+    let everywhere = Rect::new(Point::new(-1.0, -1.0), Point::new(3.0, 2.0));
+    // Base ids 0..6; the two inserts receive ids {6, 7} in schedule
+    // order, so the *set* of live ids is interleaving-independent even
+    // though the id→point mapping is not.
+    let expected: Vec<u64> = vec![0, 3, 4, 5, 6, 7];
+    model::explore(cfg, move || {
+        let eng = Arc::new(Mutex::new(DynamicAreaQueryEngine::new(&base)));
+        let t = {
+            let eng = Arc::clone(&eng);
+            model::spawn(move || {
+                eng.lock()
+                    .expect("engine lock is not poisoned")
+                    .insert(Point::new(0.5, 0.5));
+                let removed = eng.lock().expect("engine lock is not poisoned").remove(1);
+                assert!(removed, "base id 1 is live until this remove");
+            })
+        };
+        eng.lock()
+            .expect("engine lock is not poisoned")
+            .insert(Point::new(1.5, 0.5));
+        let removed = eng.lock().expect("engine lock is not poisoned").remove(2);
+        assert!(removed, "base id 2 is live until this remove");
+        t.join();
+        let mut eng = eng.lock().expect("engine lock is not poisoned");
+        assert_eq!(eng.len(), 6, "6 base + 2 inserts - 2 removes");
+        assert_eq!(
+            eng.overlay_len(),
+            4,
+            "2 live delta points + 2 base tombstones"
+        );
+        let mut before = eng.query(&everywhere);
+        before.sort_unstable();
+        assert_eq!(before, expected, "live id set before compaction");
+        eng.compact();
+        assert_eq!(eng.overlay_len(), 0, "compaction folds the overlay away");
+        let mut after = eng.query(&everywhere);
+        after.sort_unstable();
+        assert_eq!(
+            after, expected,
+            "compaction must preserve the live id set (no resurrection, no loss)"
+        );
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_loop_two_threads_exhaustive() {
+        let report = check_claim_loop(&Config::exhaustive(), 2, 3)
+            .expect("the atomic claim loop is race-free");
+        assert!(report.complete, "schedule space must be exhausted");
+        assert!(
+            report.schedules > 10,
+            "expected a real interleaving space, got {}",
+            report.schedules
+        );
+    }
+
+    #[test]
+    fn claim_loop_three_threads_bounded() {
+        let report = check_claim_loop(&Config::default(), 3, 4)
+            .expect("the atomic claim loop is race-free with three workers");
+        assert!(report.schedules > 10);
+    }
+
+    #[test]
+    fn claim_loop_more_workers_than_items() {
+        // Threads > work items: surplus workers claim past the end and
+        // leave; still race-free in every schedule.
+        let report =
+            check_claim_loop(&Config::default(), 3, 1).expect("surplus workers terminate cleanly");
+        assert!(report.schedules > 1);
+    }
+
+    #[test]
+    fn seeded_claim_race_fails_deterministically() {
+        let first = check_buggy_claim_loop(&Config::default(), 2)
+            .expect_err("the split read-modify-write must double-claim in some schedule");
+        assert!(
+            first.message.contains("claimed"),
+            "failure should be the claim-tally assert: {first}"
+        );
+        assert!(!first.schedule.is_empty(), "failure carries a replay trace");
+        // Deterministic: the same seeded bug fails on the same schedule.
+        let second =
+            check_buggy_claim_loop(&Config::default(), 2).expect_err("same bug, same exploration");
+        assert_eq!(first.schedule, second.schedule);
+        assert_eq!(first.schedules, second.schedules);
+    }
+
+    #[test]
+    fn stat_absorption_is_order_independent() {
+        let report = check_stat_absorption(&Config::exhaustive(), 3)
+            .expect("absorb_shard conserves counters in every claim order");
+        assert!(report.complete);
+        assert!(report.schedules > 10);
+    }
+
+    #[test]
+    fn record_store_split_conserves_checksums() {
+        let report = check_record_store_split(&Config::exhaustive())
+            .expect("every interleaving takes each store once and conserves checksums");
+        assert!(report.complete);
+        assert!(report.schedules > 10);
+    }
+
+    #[test]
+    fn dynamic_overlay_keeps_tombstones_and_inserts() {
+        let report = check_dynamic_overlay(&Config::default())
+            .expect("no interleaving loses a tombstone or resurrects a point");
+        assert!(report.schedules > 10);
+    }
+
+    /// Tests that drive the *production* facade types through the
+    /// explorer. Only meaningful when `--cfg vaq_race` rebinds
+    /// `vaq_core::sync::{AtomicUsize, Mutex}` to the model
+    /// implementation; under the default passthrough facade these
+    /// types have no scheduling points.
+    #[cfg(vaq_race)]
+    mod production_facade {
+        use super::*;
+        use vaq_core::sync::ClaimCounter;
+
+        #[test]
+        fn production_claim_counter_is_exhaustively_unique() {
+            let report = model::explore(&Config::exhaustive(), || {
+                let counter = Arc::new(ClaimCounter::new());
+                let claimed: Arc<Vec<AtomicUsize>> =
+                    Arc::new((0..3).map(|_| AtomicUsize::new(0)).collect());
+                let t = {
+                    let counter = Arc::clone(&counter);
+                    let claimed = Arc::clone(&claimed);
+                    model::spawn(move || loop {
+                        let i = counter.claim();
+                        let Some(slot) = claimed.get(i) else { break };
+                        // ordering: SeqCst — per-index tally.
+                        slot.fetch_add(1, Ordering::SeqCst);
+                    })
+                };
+                loop {
+                    let i = counter.claim();
+                    let Some(slot) = claimed.get(i) else { break };
+                    // ordering: SeqCst — per-index tally.
+                    slot.fetch_add(1, Ordering::SeqCst);
+                }
+                t.join();
+                for (i, slot) in claimed.iter().enumerate() {
+                    // ordering: SeqCst — single-threaded readback.
+                    let n = slot.load(Ordering::SeqCst);
+                    assert_eq!(n, 1, "work index {i} claimed {n} times");
+                }
+            })
+            .expect("the production ClaimCounter idiom is race-free");
+            assert!(report.complete);
+            assert!(report.schedules > 10);
+        }
+
+        #[test]
+        fn production_mutex_serialises_increments() {
+            let report = model::explore(&Config::exhaustive(), || {
+                let shared = Arc::new(vaq_core::sync::Mutex::new(0_usize));
+                let t = {
+                    let shared = Arc::clone(&shared);
+                    model::spawn(move || {
+                        let mut g = shared.lock().expect("lock is not poisoned");
+                        *g += 1;
+                    })
+                };
+                {
+                    let mut g = shared.lock().expect("lock is not poisoned");
+                    *g += 1;
+                }
+                t.join();
+                assert_eq!(*shared.lock().expect("lock is not poisoned"), 2);
+            })
+            .expect("the production facade mutex serialises its critical sections");
+            assert!(report.complete);
+            assert!(report.schedules > 1);
+        }
+    }
+}

@@ -15,6 +15,7 @@
 use crate::datagen::{generate, unit_space, Distribution};
 use crate::polygen::{random_query_polygon, PolygonSpec};
 use std::time::Instant;
+use vaq_core::sync;
 use vaq_core::{AreaQueryEngine, ExpansionPolicy, QuerySession, QuerySpec, ShardedAreaQueryEngine};
 
 /// Mean per-query measurements for one method.
@@ -223,10 +224,10 @@ pub fn data_size_sweep(
             })
             .collect();
     }
-    let (tx, rx) = crossbeam::channel::bounded::<AreaQueryEngine>(1);
+    let (tx, rx) = sync::channel::bounded::<AreaQueryEngine>(1);
     let mut out = Vec::with_capacity(sizes.len());
-    crossbeam::thread::scope(|s| {
-        s.spawn(|_| {
+    sync::scope(|s| {
+        s.spawn(|| {
             for &n in sizes {
                 // The receiver hangs up early only on measurement panic.
                 if tx.send(build_engine(n, cfg)).is_err() {
@@ -240,8 +241,7 @@ pub fn data_size_sweep(
             progress(&row);
             out.push(row);
         }
-    })
-    .expect("sweep threads do not panic");
+    });
     out
 }
 

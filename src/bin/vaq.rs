@@ -25,7 +25,10 @@
 //!   `--shards N` partitions the points into N spatial shards (parallel
 //!   per-shard index builds, MBR shard pruning at query time) — same
 //!   indices, per-shard statistics; `--shards auto` picks one shard per
-//!   hardware thread. `--knn K --at X,Y` answers the kNN-within-area
+//!   hardware thread. `--threads N|auto` routes the query through the
+//!   batch executor's work-stealing worker pool (`auto`, like `0`, picks
+//!   one worker per hardware thread); results are bit-identical to the
+//!   in-line path. `--knn K --at X,Y` answers the kNN-within-area
 //!   query (the K matches nearest to the origin, exact distances, ties
 //!   by index); `--payload-bytes N` attaches an N-byte simulated payload
 //!   record to every point and materialises each matching record
@@ -63,6 +66,10 @@ struct Options {
     verbose: bool,
     /// `None` = unsharded; `Some(0)` = auto-tune to the hardware.
     shards: Option<usize>,
+    /// `None` = in-line execution; `Some(0)` = auto-tune to the
+    /// hardware; `Some(n)` = run through the batch executor with `n`
+    /// worker threads.
+    threads: Option<usize>,
     knn: Option<usize>,
     at: Option<String>,
     payload_bytes: usize,
@@ -83,6 +90,7 @@ fn parse_args() -> Result<Options, String> {
         prepared: false,
         verbose: false,
         shards: None,
+        threads: None,
         knn: None,
         at: None,
         payload_bytes: 0,
@@ -114,6 +122,21 @@ fn parse_args() -> Result<Options, String> {
                     })?
                 });
             }
+            "--threads" => {
+                let v = args
+                    .next()
+                    .ok_or("--threads needs a worker count or 'auto'")?;
+                o.threads = Some(if v == "auto" {
+                    0 // resolved to available parallelism, like --shards auto
+                } else {
+                    v.parse::<usize>().map_err(|_| {
+                        format!(
+                            "bad --threads count {v:?} \
+(need a non-negative integer or 'auto'; 0 means auto)"
+                        )
+                    })?
+                });
+            }
             "--knn" => {
                 let v = args.next().ok_or("--knn needs a neighbour count")?;
                 o.knn =
@@ -139,7 +162,7 @@ const USAGE: &str = "usage: vaq <query|info|svg> --points FILE.csv \
 [--area WKT | --area-file FILE | --window X0,Y0,X1,Y1] \
 [--method auto|voronoi|traditional|brute|both] [--policy segment|cell] \
 [--count] [--prepared] [--verbose] \
-[--shards N|auto] [--knn K --at X,Y] [--payload-bytes N] [--out FILE.svg]";
+[--shards N|auto] [--threads N|auto] [--knn K --at X,Y] [--payload-bytes N] [--out FILE.svg]";
 
 fn main() -> ExitCode {
     match run() {
@@ -391,6 +414,14 @@ has no per-record payload to print)",
     }
 }
 
+/// Resolves `--threads` (0 = auto) to a concrete worker count and
+/// reports it, mirroring the sharded path's engine summary line.
+fn resolve_cli_threads(threads: usize) -> usize {
+    let workers = voronoi_area_query::core::sync::resolve_threads(threads);
+    eprintln!("batch executor: {workers} worker thread(s)");
+    workers
+}
+
 fn query(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
     let methods = parse_methods(&o.method)?;
     reject_auto_conflicts(o)?;
@@ -398,6 +429,7 @@ fn query(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
     let engine = AreaQueryEngine::builder(points)
         .payload_bytes(o.payload_bytes)
         .build();
+    let workers = o.threads.map(resolve_cli_threads);
     let mut session = engine.session();
     // One spec per requested method; `--prepared` query-compiles the area
     // (identical results, per-candidate containment and segment tests
@@ -416,7 +448,24 @@ fn query(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
     }
     let mut printed = false;
     for &(name, m) in methods {
-        let out = session.execute(&base.method(m), area.as_query_area());
+        let spec = base.method(m);
+        let out = match workers {
+            // The single-area batch exercises the same claim-counter
+            // worker pool as a real batch; results are bit-identical to
+            // the in-line session path.
+            Some(workers) => {
+                let mut outs = match area {
+                    CliArea::Region(r) => {
+                        engine.execute_batch(&spec, std::slice::from_ref(r), workers)
+                    }
+                    CliArea::Window(w) => {
+                        engine.execute_batch(&spec, std::slice::from_ref(w), workers)
+                    }
+                };
+                outs.pop().ok_or("batch executor returned no output")?
+            }
+            None => session.execute(&spec, area.as_query_area()),
+        };
         let stats = out.stats();
         if o.verbose {
             print_plan(name, stats.plan.as_ref());
@@ -473,6 +522,7 @@ fn query_sharded(points: &[Point], area: &CliArea, o: &Options) -> Result<(), St
         engine.len(),
         engine.shard_sizes(),
     );
+    let workers = o.threads.map(resolve_cli_threads);
     // The sharded engine has no cross-query cache, so `--prepared`
     // compiles the area once *here* and every method (and every shard)
     // runs on the same compiled form — the single-engine path gets the
@@ -492,7 +542,28 @@ fn query_sharded(points: &[Point], area: &CliArea, o: &Options) -> Result<(), St
     }
     let mut printed = false;
     for &(name, m) in methods {
-        let out = engine.execute(&base.method(m), run_area);
+        let out = match workers {
+            // Batch-executor route: preparation is handled by the batch
+            // itself (PrepareMode::Cached compiles each distinct area
+            // once per batch), so the raw concrete area goes in.
+            Some(workers) => {
+                let spec = base.method(m).prepare(if o.prepared {
+                    PrepareMode::Cached
+                } else {
+                    PrepareMode::Raw
+                });
+                let mut outs = match area {
+                    CliArea::Region(r) => {
+                        engine.execute_batch(&spec, std::slice::from_ref(r), workers)
+                    }
+                    CliArea::Window(w) => {
+                        engine.execute_batch(&spec, std::slice::from_ref(w), workers)
+                    }
+                };
+                outs.pop().ok_or("batch executor returned no output")?
+            }
+            None => engine.execute(&base.method(m), run_area),
+        };
         if o.verbose {
             print_plan(name, out.stats.plan.as_ref());
         }

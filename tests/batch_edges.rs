@@ -1,0 +1,160 @@
+//! Batch-executor edge cases: empty batches, more workers than work,
+//! single-worker runs, and thread-count invariance with per-counter
+//! stats conservation — on both the single-engine and sharded batch
+//! paths.
+//!
+//! The work-stealing claim loop these tests stress end-to-end is the
+//! same idiom `vaq-race` model-checks exhaustively on 2–3-thread
+//! schedules; here it runs at full scale with real queries.
+
+use voronoi_area_query::core::{
+    AreaQueryEngine, MethodChoice, PrepareMode, QuerySpec, QueryStats, ShardedAreaQueryEngine,
+};
+use voronoi_area_query::geom::{Point, Rect};
+
+/// A deterministic 12×12 jittered grid.
+fn points() -> Vec<Point> {
+    (0..144)
+        .map(|i| {
+            let x = f64::from(i % 12) / 12.0 + 0.03 + f64::from(i % 7) * 1e-3;
+            let y = f64::from(i / 12) / 12.0 + 0.04 + f64::from(i % 5) * 1e-3;
+            Point::new(x, y)
+        })
+        .collect()
+}
+
+/// A batch of overlapping windows of assorted sizes (some repeated, so
+/// the cached-prepare path sees hits as well as misses).
+fn areas() -> Vec<Rect> {
+    let mut v: Vec<Rect> = (0..9)
+        .map(|i| {
+            let lo = f64::from(i) * 0.06;
+            Rect::new(
+                Point::new(lo, lo * 0.5),
+                Point::new(lo + 0.4, lo * 0.5 + 0.35),
+            )
+        })
+        .collect();
+    v.push(v[0]);
+    v.push(v[4]);
+    v
+}
+
+fn specs() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec::voronoi(),
+        QuerySpec::voronoi().prepare(PrepareMode::Cached),
+        QuerySpec::new().method(MethodChoice::Auto),
+    ]
+}
+
+/// `(sorted indices, stats)` per area — everything a batch output
+/// promises to keep independent of the thread count.
+fn fingerprint(outs: &[voronoi_area_query::core::QueryOutput]) -> Vec<(Vec<u32>, QueryStats)> {
+    outs.iter()
+        .map(|o| {
+            let r = o.result().expect("collect-shaped query");
+            (r.sorted_indices(), *o.stats())
+        })
+        .collect()
+}
+
+#[test]
+fn empty_batch_yields_no_outputs_on_any_worker_count() {
+    let engine = AreaQueryEngine::build(&points());
+    let none: &[Rect] = &[];
+    for spec in specs() {
+        for threads in [0, 1, 8] {
+            assert!(engine.execute_batch(&spec, none, threads).is_empty());
+        }
+    }
+    let sharded = ShardedAreaQueryEngine::build(&points(), 3);
+    for spec in specs() {
+        for threads in [0, 1, 8] {
+            assert!(sharded.execute_batch(&spec, none, threads).is_empty());
+        }
+    }
+}
+
+#[test]
+fn more_workers_than_areas_claims_each_area_exactly_once() {
+    let engine = AreaQueryEngine::build(&points());
+    let areas = &areas()[..3];
+    for spec in specs() {
+        let one = fingerprint(&engine.execute_batch(&spec, areas, 1));
+        let many = fingerprint(&engine.execute_batch(&spec, areas, 16));
+        assert_eq!(one.len(), 3);
+        assert_eq!(one, many, "idle workers must not perturb outputs");
+    }
+}
+
+#[test]
+fn single_worker_batch_matches_the_inline_session() {
+    let engine = AreaQueryEngine::build(&points());
+    let areas = areas();
+    let spec = QuerySpec::voronoi();
+    let batch = fingerprint(&engine.execute_batch(&spec, &areas, 1));
+    let mut session = engine.session();
+    for (area, (got_indices, _)) in areas.iter().zip(&batch) {
+        let inline = session.execute(&spec, area);
+        let r = inline.result().expect("collect-shaped query");
+        assert_eq!(&r.sorted_indices(), got_indices);
+    }
+}
+
+#[test]
+fn thread_count_never_changes_results_or_stats() {
+    let engine = AreaQueryEngine::build(&points());
+    let areas = areas();
+    for spec in specs() {
+        let baseline = fingerprint(&engine.execute_batch(&spec, &areas, 1));
+        assert_eq!(baseline.len(), areas.len());
+        for threads in [2, 3, 8] {
+            let run = fingerprint(&engine.execute_batch(&spec, &areas, threads));
+            assert_eq!(
+                baseline, run,
+                "indices and every stats counter must be bit-identical at {threads} threads"
+            );
+        }
+        // Conservation within each output: the counters describe one
+        // consistent query, however many workers raced to claim it.
+        for (indices, stats) in &baseline {
+            assert_eq!(stats.result_size, indices.len());
+            assert!(stats.accepted <= stats.candidates);
+            assert!(stats.result_size <= stats.candidates);
+        }
+    }
+}
+
+#[test]
+fn sharded_batch_is_thread_count_invariant_and_conserves_shard_counters() {
+    let areas = areas();
+    for spec in specs() {
+        // A fresh engine per run: the sharded planner's calibration is
+        // deliberately stateful *across* batches (observations feed back
+        // in area order), so thread-count invariance is a property of
+        // one engine state, not of an engine mutated by earlier batches.
+        let runs: Vec<Vec<(Vec<u32>, QueryStats)>> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                ShardedAreaQueryEngine::build(&points(), 4)
+                    .execute_batch(&spec, &areas, threads)
+                    .into_iter()
+                    .map(|o| (o.indices.clone(), o.stats))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "2-thread run diverged from 1-thread");
+        assert_eq!(runs[0], runs[2], "8-thread run diverged from 1-thread");
+        for (indices, stats) in &runs[0] {
+            assert_eq!(stats.result_size, indices.len());
+            // Every shard is accounted for: visited or pruned, never both
+            // or neither — absorption must conserve the partition.
+            assert_eq!(
+                stats.shards_visited + stats.shards_pruned,
+                4,
+                "shard accounting must partition the 4 shards"
+            );
+        }
+    }
+}

@@ -281,6 +281,94 @@ fn sharded_query_matches_unsharded() {
     }
 }
 
+/// `--threads N|auto` routes the query through the batch executor's
+/// worker pool: bit-identical stdout to the in-line path (plain and
+/// sharded, auto and pinned methods), a worker-count line on stderr,
+/// and clean diagnostics for malformed counts.
+#[test]
+fn threads_flag_matches_inline_and_fails_cleanly() {
+    let dir = temp_dir("threads");
+    let pts = write_points(&dir);
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "query",
+            "--points",
+            pts.to_str().unwrap(),
+            "--area",
+            "POLYGON ((0.0 0.0, 0.62 0.0, 0.55 0.55, 0.0 0.48))",
+            "--method",
+            "both",
+        ];
+        args.extend_from_slice(extra);
+        let out = vaq().args(&args).output().expect("run vaq");
+        assert!(
+            out.status.success(),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (inline, _) = run(&[]);
+    assert!(!inline.is_empty());
+    for threads in ["1", "2", "auto", "0"] {
+        let (threaded, stderr) = run(&["--threads", threads]);
+        assert_eq!(
+            threaded, inline,
+            "--threads {threads} must not change the indices"
+        );
+        assert!(
+            stderr.contains("worker thread"),
+            "--threads {threads} should report its worker count: {stderr}"
+        );
+    }
+    // `auto` and `0` resolve to the same worker count.
+    let worker_line = |stderr: &str| {
+        stderr
+            .lines()
+            .find(|l| l.contains("worker thread"))
+            .map(str::to_owned)
+    };
+    let (_, auto_err) = run(&["--threads", "auto"]);
+    let (_, zero_err) = run(&["--threads", "0"]);
+    assert_eq!(worker_line(&auto_err), worker_line(&zero_err));
+
+    // The sharded batch path agrees with the sharded in-line path too.
+    let (sharded_inline, _) = run(&["--shards", "3"]);
+    let (sharded_threaded, stderr) = run(&["--shards", "3", "--threads", "2"]);
+    assert_eq!(sharded_inline, inline);
+    assert_eq!(sharded_threaded, inline);
+    assert!(stderr.contains("worker thread"), "{stderr}");
+
+    // Bad worker counts fail cleanly with a diagnostic, not a panic.
+    for bad in ["-2", "1.5", "minus", ""] {
+        let out = vaq()
+            .args([
+                "query",
+                "--points",
+                pts.to_str().unwrap(),
+                "--window",
+                "0.1,0.1,0.5,0.5",
+                "--threads",
+                bad,
+            ])
+            .output()
+            .expect("run vaq");
+        assert!(!out.status.success(), "--threads {bad:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--threads"),
+            "--threads {bad:?} should explain itself: {stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "--threads {bad:?} must not panic: {stderr}"
+        );
+    }
+}
+
 #[test]
 fn info_reports_dataset_facts() {
     let dir = temp_dir("info");
