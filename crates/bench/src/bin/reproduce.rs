@@ -11,6 +11,9 @@
 //! * **sharded**: sharded vs single-engine build time, batch query
 //!   throughput and MBR shard pruning at 10⁶ points →
 //!   `BENCH_sharded.json` (not part of `all`; run explicitly).
+//! * **power**: weighted (power-diagram) vs Euclidean build time, batch
+//!   query throughput and hidden-site count at 10⁶ points →
+//!   `BENCH_power.json` (not part of `all`; run explicitly).
 //! * `--reps N` — repetitions per configuration (default 200; the paper
 //!   uses 1000 — pass `--reps 1000` for the exact protocol).
 //! * `--quick` — divide data sizes by 10 and reps by 4 (smoke run).
@@ -54,7 +57,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "all" | "table1" | "table2" | "fig4" | "fig5" | "fig6" | "fig7" | "ablation"
             | "prepared" | "query-cache" | "sharded" | "predicates" | "knn" | "payload"
-            | "planner" => {
+            | "planner" | "power" => {
                 what = arg;
             }
             "--reps" => {
@@ -72,7 +75,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(String::from(
                     "usage: reproduce \
-[all|table1|table2|fig4|fig5|fig6|fig7|ablation|prepared|query-cache|sharded|predicates|knn|payload|planner] \
+[all|table1|table2|fig4|fig5|fig6|fig7|ablation|prepared|query-cache|sharded|predicates|knn|payload|planner|power] \
 [--reps N] [--quick] [--payload BYTES] [--out DIR]",
                 ));
             }
@@ -236,6 +239,11 @@ fn main() -> ExitCode {
     if args.what == "planner" {
         run_planner_baseline(&args);
     }
+    // Weighted-vs-Euclidean diagram baseline — explicit target, like
+    // `sharded` (it builds two 10⁶-point engines).
+    if args.what == "power" {
+        run_power_baseline(&args);
+    }
 
     eprintln!("done; outputs in {}", args.out.display());
     ExitCode::SUCCESS
@@ -365,6 +373,47 @@ fn run_payload_baseline(args: &Args) {
     let json = payload_report_json(&cfg, &rows, &prov);
     let path = args.out.join("BENCH_payload.json");
     fs::write(&path, json).expect("write BENCH_payload.json");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Measures the weighted (power-diagram) engine against the Euclidean
+/// engine over the same points — build time, batch query throughput and
+/// hidden-site count — and records the `BENCH_power.json` baseline.
+fn run_power_baseline(args: &Args) {
+    use vaq_bench::power::{measure_power, power_report_json, PowerBenchConfig};
+    use vaq_bench::provenance::Provenance;
+
+    let cfg = if args.quick {
+        PowerBenchConfig::quick()
+    } else {
+        PowerBenchConfig::standard()
+    };
+    eprintln!(
+        "== Power diagram: {} points, max radius {}, {} areas (query size {}), {} threads ==",
+        cfg.data_size, cfg.max_radius, cfg.distinct_areas, cfg.query_size, cfg.threads
+    );
+    let row = measure_power(&cfg);
+    eprintln!(
+        "  build: euclidean {:.3} s -> weighted {:.3} s ({:.2}x), {} hidden site(s)",
+        row.euclidean_build_s,
+        row.power_build_s,
+        row.build_overhead(),
+        row.hidden_sites,
+    );
+    eprintln!(
+        "  query: euclidean {:9.1} q/s -> weighted {:9.1} q/s ({:.2}x cost)",
+        row.euclidean_qps,
+        row.power_qps,
+        row.query_overhead(),
+    );
+    let prov = Provenance::capture(
+        cfg.data_size as u64,
+        (cfg.distinct_areas * cfg.rounds) as u64,
+        cfg.threads,
+    );
+    let json = power_report_json(&row, &prov);
+    let path = args.out.join("BENCH_power.json");
+    fs::write(&path, json).expect("write BENCH_power.json");
     eprintln!("wrote {}", path.display());
 }
 

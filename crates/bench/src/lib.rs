@@ -22,6 +22,7 @@
 pub mod knn;
 pub mod payload;
 pub mod planner;
+pub mod power;
 pub mod predicates;
 pub mod prepared;
 pub mod provenance;

@@ -220,6 +220,7 @@ impl AreaQueryEngine {
                     delta_len: 0,
                     shards: 0,
                     in_hull: self.data_bounds().contains_rect(&mbr),
+                    diagram: self.diagram_kind(),
                     path: PlannedPath::Batch,
                 };
                 planner.resolve(spec, &features)

@@ -23,7 +23,7 @@
 
 use crate::area::QueryArea;
 use crate::voronoi_query::cell_intersects_area;
-use vaq_delaunay::Triangulation;
+use vaq_delaunay::{DiagramMetric, Triangulation};
 use vaq_geom::Rect;
 
 /// The class of one point relative to a query area.
@@ -41,8 +41,14 @@ pub enum PointClass {
 ///
 /// `window` clips unbounded cells; it must contain all sites and the area
 /// (see `AreaQueryEngine::cell_window`).
-pub fn classify_points<A: QueryArea + ?Sized>(
-    tri: &Triangulation,
+///
+/// On a power diagram, a *hidden* site (dominated everywhere, owning no
+/// cell) classifies as [`PointClass::Internal`] when the area contains its
+/// coordinates — matching the query semantics, which still report hidden
+/// sites inside the area — and [`PointClass::External`] otherwise (its
+/// empty cell can intersect nothing).
+pub fn classify_points<M: DiagramMetric, A: QueryArea + ?Sized>(
+    tri: &Triangulation<M>,
     area: &A,
     window: &Rect,
 ) -> Vec<PointClass> {

@@ -16,6 +16,18 @@
 //! Query results use stable external ids handed out at insertion, so ids
 //! survive compaction.
 //!
+//! **Weighted sites** ride the same overlay: build with
+//! [`DynamicAreaQueryEngine::with_weights`] and insert with
+//! [`DynamicAreaQueryEngine::insert_weighted`], and compaction folds the
+//! weights into the rebuilt base's power diagram. A delta point's weight
+//! has no effect *before* compaction — the delta scan is an exact
+//! point-in-area test, and a site's weight shifts its cell, never its
+//! membership in the area — so answers are exact at every moment and the
+//! weight takes structural (performance-shaping) effect at the next
+//! rebuild. Unweighted inserts carry weight `0.0`; an engine holding only
+//! uniform weights compacts back to the plain Euclidean diagram,
+//! bit-identically.
+//!
 //! Queries run through the same [`QuerySpec`] funnel as the static
 //! engine ([`DynamicAreaQueryEngine::execute`]): the base pass honours
 //! method / seed / policy / prepare mode (with an owned prepared-area
@@ -26,7 +38,7 @@
 //! [`ShardedDynamicAreaQueryEngine`](crate::shard::ShardedDynamicAreaQueryEngine).
 
 use crate::area::QueryArea;
-use crate::engine::AreaQueryEngine;
+use crate::engine::{AreaQueryEngine, EngineBuilder};
 use crate::plan::{PlannedPath, Planner};
 use crate::query::{QuerySpec, SessionState, DEFAULT_CACHE_CAPACITY};
 use crate::sink::{
@@ -75,8 +87,12 @@ pub struct DynamicAreaQueryEngine {
     base: AreaQueryEngine,
     /// Stable external id of each base point (parallel to base points).
     base_ids: Vec<u64>,
-    /// Points inserted since the last compaction, with their ids.
-    delta: Vec<(u64, Point)>,
+    /// Site weight of each base point (parallel to base points; all
+    /// `0.0` on a plain Euclidean engine).
+    base_weights: Vec<f64>,
+    /// Points inserted since the last compaction, with their ids and
+    /// site weights (`0.0` for plain inserts).
+    delta: Vec<(u64, Point, f64)>,
     /// How many `delta` entries are tombstoned (dead but not yet
     /// physically removed). Drives the purge heuristic.
     dead_delta: usize,
@@ -96,8 +112,38 @@ impl DynamicAreaQueryEngine {
     pub fn new(points: &[Point]) -> DynamicAreaQueryEngine {
         DynamicAreaQueryEngine {
             base_ids: (0..points.len() as u64).collect(),
+            base_weights: vec![0.0; points.len()],
             next_id: points.len() as u64,
             base: AreaQueryEngine::build(points),
+            delta: Vec::new(),
+            dead_delta: 0,
+            tombstones: HashSet::new(),
+            state: SessionState::new(DEFAULT_CACHE_CAPACITY),
+        }
+    }
+
+    /// Builds over an initial **weighted** point set (power diagram
+    /// semantics — see the [module docs](self)); ids `0..n as u64` are
+    /// assigned in input order. Uniform weights normalise to the plain
+    /// Euclidean engine, bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights.len() != points.len()` or any weight is
+    /// non-finite (validate user input first; the CLI does).
+    pub fn with_weights(points: &[Point], weights: &[f64]) -> DynamicAreaQueryEngine {
+        assert_eq!(
+            weights.len(),
+            points.len(),
+            "one weight per point: {} weights for {} points",
+            weights.len(),
+            points.len()
+        );
+        DynamicAreaQueryEngine {
+            base_ids: (0..points.len() as u64).collect(),
+            base_weights: weights.to_vec(),
+            next_id: points.len() as u64,
+            base: AreaQueryEngine::build_weighted(points, weights),
             delta: Vec::new(),
             dead_delta: 0,
             tombstones: HashSet::new(),
@@ -122,9 +168,16 @@ impl DynamicAreaQueryEngine {
 
     /// Inserts a point, returning its stable id.
     pub fn insert(&mut self, p: Point) -> u64 {
+        self.insert_weighted(p, 0.0)
+    }
+
+    /// Inserts a point with a site weight, returning its stable id. The
+    /// weight has no effect until the next compaction folds it into the
+    /// rebuilt base's power diagram (see the [module docs](self)).
+    pub fn insert_weighted(&mut self, p: Point, weight: f64) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.delta.push((id, p));
+        self.delta.push((id, p, weight));
         id
     }
 
@@ -140,7 +193,7 @@ impl DynamicAreaQueryEngine {
             return false;
         }
         let in_base = self.base_ids.binary_search(&id).is_ok();
-        let in_delta = !in_base && self.delta.iter().any(|&(d, _)| d == id);
+        let in_delta = !in_base && self.delta.iter().any(|&(d, _, _)| d == id);
         if !in_base && !in_delta {
             return false;
         }
@@ -160,7 +213,7 @@ impl DynamicAreaQueryEngine {
     /// exactly the same live set before and after.
     fn purge_delta(&mut self) {
         let tombstones = &mut self.tombstones;
-        self.delta.retain(|(id, _)| !tombstones.remove(id));
+        self.delta.retain(|(id, _, _)| !tombstones.remove(id));
         self.dead_delta = 0;
     }
 
@@ -239,7 +292,7 @@ impl DynamicAreaQueryEngine {
             self.dead_delta,
             self.delta
                 .iter()
-                .filter(|(id, _)| self.tombstones.contains(id))
+                .filter(|(id, _, _)| self.tombstones.contains(id))
                 .count(),
             "dead-delta counter tracks the tombstoned delta entries"
         );
@@ -259,20 +312,26 @@ impl DynamicAreaQueryEngine {
         true
     }
 
-    /// Folds delta and tombstones into a fresh base engine.
+    /// Folds delta and tombstones into a fresh base engine, carrying
+    /// every surviving site's weight into the rebuilt diagram (uniform
+    /// weights — the all-plain-inserts case — normalise back to the
+    /// Euclidean build, bit-identically).
     pub fn compact(&mut self) {
         let mut ids = Vec::with_capacity(self.len());
         let mut pts = Vec::with_capacity(self.len());
+        let mut ws = Vec::with_capacity(self.len());
         for (idx, &id) in self.base_ids.iter().enumerate() {
             if !self.tombstones.contains(&id) {
                 ids.push(id);
                 pts.push(self.base.points()[idx]);
+                ws.push(self.base_weights[idx]);
             }
         }
-        for &(id, p) in &self.delta {
+        for &(id, p, w) in &self.delta {
             if !self.tombstones.contains(&id) {
                 ids.push(id);
                 pts.push(p);
+                ws.push(w);
             }
         }
         // Keep base_ids sorted so `remove` can binary-search them.
@@ -280,7 +339,8 @@ impl DynamicAreaQueryEngine {
         order.sort_unstable_by_key(|&i| ids[i]);
         self.base_ids = order.iter().map(|&i| ids[i]).collect();
         let pts: Vec<Point> = order.iter().map(|&i| pts[i]).collect();
-        self.base = AreaQueryEngine::build(&pts);
+        self.base_weights = order.iter().map(|&i| ws[i]).collect();
+        self.base = EngineBuilder::new(&pts).weights(&self.base_weights).build();
         // The scratch was sized for the old base; the prepared-area cache
         // is content-keyed and survives the rebuild untouched.
         self.state.reset_scratch();
@@ -323,7 +383,7 @@ impl<A: QueryArea + ?Sized> SinkVisitor for DynamicRun<'_, A> {
             state.execute_sink(base, self.spec, area, &kind, &mut partial, &map, &mut stats);
         }
         let delta_predicates = AreaQueryEngine::sample_predicates(|| {
-            for &(id, p) in delta.iter() {
+            for &(id, p, _) in delta.iter() {
                 if tombstones.contains(&id) {
                     continue;
                 }

@@ -51,7 +51,7 @@ use crate::scratch::QueryScratch;
 use crate::stats::QueryStats;
 use crate::traditional::FilterIndex;
 use crate::voronoi_query::ExpansionPolicy;
-use vaq_delaunay::Triangulation;
+use vaq_delaunay::{DiagramKind, SiteMetric, Triangulation};
 use vaq_geom::{Point, Polygon, Rect};
 use vaq_kdtree::KdTree;
 use vaq_quadtree::Quadtree;
@@ -100,6 +100,7 @@ pub struct EngineBuilder {
     build_quadtree: bool,
     payload_bytes: usize,
     records: Option<RecordStore>,
+    weights: Option<Vec<f64>>,
 }
 
 impl EngineBuilder {
@@ -114,6 +115,7 @@ impl EngineBuilder {
             build_quadtree: false,
             payload_bytes: 0,
             records: None,
+            weights: None,
         }
     }
 
@@ -173,6 +175,23 @@ impl EngineBuilder {
         self
     }
 
+    /// Attaches one weight per point, generalising the diagram substrate
+    /// to a **power diagram** (regular triangulation): the cell of site
+    /// `p` with weight `w` holds every location `x` minimising
+    /// `|x − p|² − w`. Uniform weights (including all-zero) normalize
+    /// away at build time — the engine then reports
+    /// [`DiagramKind::Euclidean`] and behaves bit-identically to an
+    /// unweighted build. Weighted sites dominated everywhere become
+    /// *hidden* (no cell); queries still report them when the query area
+    /// contains their coordinates.
+    ///
+    /// [`EngineBuilder::build`] panics on non-finite weights or a length
+    /// mismatch; validate user input first (the CLI does).
+    pub fn weights(mut self, weights: &[f64]) -> EngineBuilder {
+        self.weights = Some(weights.to_vec());
+        self
+    }
+
     /// Builds the engine: R-tree, Delaunay triangulation and any requested
     /// extra indexes.
     pub fn build(self) -> AreaQueryEngine {
@@ -188,7 +207,21 @@ impl EngineBuilder {
         let tri = if self.points.is_empty() {
             None
         } else {
-            Some(Triangulation::new(&self.points).expect("finite, non-empty input"))
+            Some(
+                Triangulation::with_site_metric(&self.points, self.weights.as_deref())
+                    .expect("finite, non-empty input with one finite weight per point"),
+            )
+        };
+        // How far a positive weight can pull a cell towards a location:
+        // pow_p(x) = |x − p|² − w ≤ 0 within distance √w of p, so window
+        // and shard-boundary expansions grow by the largest such radius.
+        // Euclidean builds (and all-non-positive weights) add 0.0,
+        // keeping every window bit-identical to the unweighted engine.
+        let weight_radius = match tri.as_ref().map(Triangulation::metric) {
+            Some(SiteMetric::Power(pw)) => {
+                pw.weights().iter().fold(0.0f64, |m, &w| m.max(w)).sqrt()
+            }
+            _ => 0.0,
         };
         let kdtree = self.build_kdtree.then(|| KdTree::build(&self.points));
         let quadtree = self
@@ -221,6 +254,7 @@ impl EngineBuilder {
             records,
             data_bbox,
             density,
+            weight_radius,
             boundary_straddlers: None,
         }
     }
@@ -231,8 +265,11 @@ impl EngineBuilder {
 pub struct AreaQueryEngine {
     pub(crate) points: Vec<Point>,
     pub(crate) rtree: RTree,
-    /// `None` only for an empty point set.
-    pub(crate) tri: Option<Triangulation>,
+    /// `None` only for an empty point set. The metric is decided by the
+    /// input: unweighted or uniformly weighted datasets build the classic
+    /// Delaunay triangulation, non-uniform weights the regular
+    /// triangulation of the power diagram.
+    pub(crate) tri: Option<Triangulation<SiteMetric>>,
     pub(crate) kdtree: Option<KdTree>,
     pub(crate) quadtree: Option<Quadtree>,
     /// Simulated geometry records (None = pure in-memory regime).
@@ -241,6 +278,11 @@ pub struct AreaQueryEngine {
     /// Coarse occupancy grid over the point set — the planner's O(1)
     /// density feature (see [`DensityMap`]).
     density: DensityMap,
+    /// `√(max positive weight)` — the farthest a weighted cell can reach
+    /// past its site; `0.0` on Euclidean engines. Added to window and
+    /// shard-boundary expansions so weight-shifted cells stay
+    /// representative inside them.
+    weight_radius: f64,
     /// Per-canonical-vertex flag: does this vertex's Voronoi cell extend
     /// past the shard boundary? `None` on plain engines (no boundary);
     /// computed once by [`AreaQueryEngine::mark_shard_boundary`] on
@@ -254,6 +296,16 @@ impl AreaQueryEngine {
     /// triangulation (exactly the paper's setup).
     pub fn build(points: &[Point]) -> AreaQueryEngine {
         EngineBuilder::new(points).build()
+    }
+
+    /// Builds with defaults over **weighted** sites — the power-diagram
+    /// form of the engine (see [`EngineBuilder::weights`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is not one finite value per point.
+    pub fn build_weighted(points: &[Point], weights: &[f64]) -> AreaQueryEngine {
+        EngineBuilder::new(points).weights(weights).build()
     }
 
     /// Starts a [`EngineBuilder`] for non-default configurations.
@@ -282,8 +334,18 @@ impl AreaQueryEngine {
     }
 
     /// The underlying triangulation (`None` for an empty engine).
-    pub fn triangulation(&self) -> Option<&Triangulation> {
+    pub fn triangulation(&self) -> Option<&Triangulation<SiteMetric>> {
         self.tri.as_ref()
+    }
+
+    /// Which diagram the engine's substrate realizes:
+    /// [`DiagramKind::Power`] iff the build received genuinely
+    /// non-uniform weights. Empty engines report
+    /// [`DiagramKind::Euclidean`].
+    pub fn diagram_kind(&self) -> DiagramKind {
+        self.tri
+            .as_ref()
+            .map_or(DiagramKind::Euclidean, Triangulation::diagram_kind)
     }
 
     /// The engine's simulated record store (`None` when the engine does
@@ -328,9 +390,9 @@ impl AreaQueryEngine {
         // Replicates `cell_window` for an area-independent window: big
         // enough that unbounded hull cells keep a representative clipped
         // shape around the data.
-        let window = self
-            .data_bbox
-            .expand((self.data_bbox.width() + self.data_bbox.height()).max(1.0));
+        let window = self.data_bbox.expand(
+            (self.data_bbox.width() + self.data_bbox.height()).max(1.0) + self.weight_radius,
+        );
         let straddlers = (0..tri.vertex_count() as u32)
             .map(|v| {
                 let ring = vaq_delaunay::cell_polygon(tri, v, &window);
@@ -345,7 +407,7 @@ impl AreaQueryEngine {
     /// cells keep a representative shape around the region of interest.
     pub(crate) fn cell_window<A: QueryArea + ?Sized>(&self, area: &A) -> Rect {
         let r = self.data_bbox.union(&area.mbr());
-        r.expand((r.width() + r.height()).max(1.0))
+        r.expand((r.width() + r.height()).max(1.0) + self.weight_radius)
     }
 
     /// Unwraps a collect-mode funnel output (the wrappers below always

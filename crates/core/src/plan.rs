@@ -59,6 +59,7 @@
 use crate::query::{PrepareMode, QueryMethod, QuerySpec, ShardPruning};
 use crate::stats::QueryStats;
 use crate::voronoi_query::ExpansionPolicy;
+use vaq_delaunay::DiagramKind;
 use vaq_geom::{Point, Rect};
 
 /// Which execution path carried a planned query. Recorded in
@@ -154,6 +155,11 @@ pub struct PlanFeatures {
     /// area wandering outside the hull can defeat segment expansion's
     /// reachability argument, so the planner hedges to cell expansion.
     pub in_hull: bool,
+    /// Which diagram the engine's substrate realizes. On a power diagram
+    /// ([`DiagramKind::Power`]) the cells shift off the inter-site
+    /// midlines, so the segment heuristic loses its empirical footing and
+    /// the planner hedges to cell expansion there too.
+    pub diagram: DiagramKind,
     /// The path the query will execute on.
     pub path: PlannedPath,
 }
@@ -169,6 +175,7 @@ impl Default for PlanFeatures {
             delta_len: 0,
             shards: 0,
             in_hull: true,
+            diagram: DiagramKind::Euclidean,
             path: PlannedPath::Plain,
         }
     }
@@ -418,9 +425,11 @@ impl Planner {
     pub fn resolve(&self, spec: &QuerySpec, features: &PlanFeatures) -> (QuerySpec, ExecutionPlan) {
         // Segment expansion is the paper's fastest policy; hedge to the
         // provably complete cell policy when the area leaves the data
-        // bounding box (the staple counterexample) — except under brute
-        // force / traditional, where the policy is inert.
-        let policy = if features.in_hull {
+        // bounding box (the staple counterexample) or the diagram is a
+        // power diagram (weighted cells shift off the inter-site
+        // midlines) — except under brute force / traditional, where the
+        // policy is inert.
+        let policy = if features.in_hull && features.diagram == DiagramKind::Euclidean {
             ExpansionPolicy::Segment
         } else {
             ExpansionPolicy::Cell

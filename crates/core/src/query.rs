@@ -547,6 +547,7 @@ impl SessionState {
             delta_len,
             shards: 0,
             in_hull: engine.data_bounds().contains_rect(&mbr),
+            diagram: engine.diagram_kind(),
             path,
         }
     }
@@ -988,6 +989,16 @@ impl AreaQueryEngine {
             }
             SeedIndex::DelaunayWalk => tri.nearest_vertex(pa, None),
         };
+        // On a power diagram the R-tree/kd-tree answer the *Euclidean* NN,
+        // which may be hidden or may not own the power cell holding `pa`;
+        // the BFS invariant (the seed's cell meets the area) needs the
+        // true power NN, so descend to it from the index's answer. The
+        // walk seed is already the power NN, and on Euclidean diagrams
+        // this branch never runs — the seed stays bit-identical.
+        let seed = match tri.diagram_kind() {
+            vaq_delaunay::DiagramKind::Euclidean => seed,
+            vaq_delaunay::DiagramKind::Power => tri.nearest_vertex(pa, Some(seed)),
+        };
         stats.seed = Some(seed);
         let window = self.cell_window(area);
         let canonical = voronoi_area_query_with_boundary(
@@ -1018,6 +1029,47 @@ impl AreaQueryEngine {
                         },
                         stats,
                     );
+                }
+            }
+        }
+        // Hidden sites (power diagrams only) own no cell and no edges, so
+        // the BFS can never reach them — but they are real points of the
+        // dataset and must be reported when the area contains them. An
+        // MBR precheck prunes the scan the same way the traditional
+        // filter does: sites it rejects never become candidates, so the
+        // exact containment test runs only on the handful of hidden
+        // sites near the area. Survivors go through the same candidate
+        // accounting as a BFS visit. Empty on Euclidean diagrams: zero
+        // cost there.
+        let area_mbr = area.mbr();
+        for &h in tri.hidden_vertices() {
+            if !area_mbr.contains_point(tri.point(h)) {
+                continue;
+            }
+            stats.candidates += 1;
+            stats.containment_tests += 1;
+            if let Some(rs) = records {
+                // vaq-lint: allow(panic-hygiene) -- every canonical vertex
+                // has at least one input point by construction.
+                let rep = tri.inputs_of(h)[0];
+                stats.payload_checksum = stats.payload_checksum.wrapping_add(rs.read(rep));
+            }
+            let ph = tri.point(h);
+            if area.contains(ph) {
+                stats.accepted += 1;
+                for &i in tri.inputs_of(h) {
+                    if let Some(out) = map(i) {
+                        kind.emit(
+                            partial,
+                            &Emit {
+                                id: out,
+                                local: i,
+                                point: ph,
+                                records,
+                            },
+                            stats,
+                        );
+                    }
                 }
             }
         }

@@ -75,6 +75,7 @@ use crate::sink::{
 use crate::stats::{CacheCounters, QueryStats};
 use crate::sync::{scope, ClaimCounter, Mutex};
 use std::collections::HashSet;
+use vaq_delaunay::{weights_are_uniform, DiagramKind};
 use vaq_geom::{Point, Polygon, Rect};
 
 /// One spatial partition: its own engine, its points' global input
@@ -212,6 +213,11 @@ pub struct ShardedAreaQueryEngine {
     /// [`MethodChoice::Auto`](crate::MethodChoice) specs; behind a mutex
     /// because the sharded engine executes through `&self`.
     planner: Mutex<Planner>,
+    /// The diagram family the *input* weights selected. Per-shard weight
+    /// slices may individually normalise to Euclidean (a shard whose
+    /// points all share one weight); the global kind is what the planner
+    /// hedges on.
+    diagram: DiagramKind,
 }
 
 impl ShardedAreaQueryEngine {
@@ -249,7 +255,64 @@ impl ShardedAreaQueryEngine {
         }
         let logical = RecordStore::generate(points.len(), payload_bytes, PAYLOAD_SEED);
         let shards = resolve_shard_count(shards);
-        ShardedAreaQueryEngine::build_inner(points, shards, shards, Some(&logical))
+        ShardedAreaQueryEngine::build_inner(points, shards, shards, None, Some(&logical))
+    }
+
+    /// As [`ShardedAreaQueryEngine::build`] over **weighted sites**: each
+    /// shard builds the power diagram of its own weight slice (the kd
+    /// partition splits `weights` alongside `points`), so every shard
+    /// answers with power-cell semantics and the merged result equals the
+    /// unsharded [`AreaQueryEngine::build_weighted`] engine's. Uniform
+    /// weights normalise to the Euclidean diagram and the engine is
+    /// bit-identical to [`ShardedAreaQueryEngine::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights.len() != points.len()` or any weight is
+    /// non-finite (validate user input first; the CLI does).
+    pub fn build_weighted(
+        points: &[Point],
+        weights: &[f64],
+        shards: usize,
+    ) -> ShardedAreaQueryEngine {
+        assert_eq!(
+            weights.len(),
+            points.len(),
+            "one weight per point: {} weights for {} points",
+            weights.len(),
+            points.len()
+        );
+        let shards = resolve_shard_count(shards);
+        ShardedAreaQueryEngine::build_inner(points, shards, shards, Some(weights), None)
+    }
+
+    /// [`ShardedAreaQueryEngine::build_weighted`] with a simulated
+    /// payload record per point, split per shard exactly as
+    /// [`ShardedAreaQueryEngine::build_with_payload`] does.
+    /// `payload_bytes == 0` builds without records.
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedAreaQueryEngine::build_weighted`].
+    pub fn build_weighted_with_payload(
+        points: &[Point],
+        weights: &[f64],
+        shards: usize,
+        payload_bytes: usize,
+    ) -> ShardedAreaQueryEngine {
+        assert_eq!(
+            weights.len(),
+            points.len(),
+            "one weight per point: {} weights for {} points",
+            weights.len(),
+            points.len()
+        );
+        if payload_bytes == 0 {
+            return ShardedAreaQueryEngine::build_weighted(points, weights, shards);
+        }
+        let logical = RecordStore::generate(points.len(), payload_bytes, PAYLOAD_SEED);
+        let shards = resolve_shard_count(shards);
+        ShardedAreaQueryEngine::build_inner(points, shards, shards, Some(weights), Some(&logical))
     }
 
     /// As [`ShardedAreaQueryEngine::build`] with an explicit build
@@ -264,6 +327,7 @@ impl ShardedAreaQueryEngine {
             resolve_shard_count(shards),
             build_threads,
             None,
+            None,
         )
     }
 
@@ -271,6 +335,7 @@ impl ShardedAreaQueryEngine {
         points: &[Point],
         shards: usize,
         build_threads: usize,
+        weights: Option<&[f64]>,
         records: Option<&RecordStore>,
     ) -> ShardedAreaQueryEngine {
         let parts = partition(points, shards);
@@ -290,7 +355,12 @@ impl ShardedAreaQueryEngine {
         let multi = parts.len() > 1;
         let build_one = |si: usize, part: &[u32]| -> Shard {
             let pts: Vec<Point> = part.iter().map(|&i| points[i as usize]).collect();
+            let ws: Option<Vec<f64>> =
+                weights.map(|w| part.iter().map(|&i| w[i as usize]).collect());
             let mut builder = EngineBuilder::new(&pts);
+            if let Some(ws) = &ws {
+                builder = builder.weights(ws);
+            }
             let store = shard_stores[si]
                 .lock()
                 .expect("store mutex poisoned")
@@ -361,7 +431,17 @@ impl ShardedAreaQueryEngine {
             shards: built,
             density,
             planner: Mutex::new(Planner::default()),
+            diagram: match weights {
+                Some(w) if !weights_are_uniform(w) => DiagramKind::Power,
+                _ => DiagramKind::Euclidean,
+            },
         }
+    }
+
+    /// The diagram family the input weights selected (uniform weights
+    /// normalise to [`DiagramKind::Euclidean`]).
+    pub fn diagram_kind(&self) -> DiagramKind {
+        self.diagram
     }
 
     /// Number of live shards (at most the requested shard count).
@@ -431,6 +511,7 @@ impl ShardedAreaQueryEngine {
             shards: self.shards.len(),
             in_hull: bounds.contains_rect(&mbr),
             path: PlannedPath::Sharded,
+            diagram: self.diagram,
         }
     }
 

@@ -17,6 +17,13 @@
 //!   clipped to a window, computed by half-plane clipping. The area-query
 //!   engine's *cell expansion policy* uses [`cell_polygon`] on demand.
 //! * [`hilbert`] — the Hilbert-curve ordering used for fast insertion.
+//! * [`metric`] — the [`DiagramMetric`] abstraction that generalises the
+//!   whole substrate to **power diagrams**: [`Triangulation`] is generic
+//!   over the metric, with the zero-sized [`Euclidean`] default compiling
+//!   to the classic unweighted algorithm and
+//!   [`Triangulation::with_site_metric`] building the regular
+//!   triangulation of weighted sites (dominated sites become *hidden* —
+//!   cell-less — and every walk and cell routine handles them).
 //!
 //! Degenerate inputs are first-class: exact duplicates are merged (with a
 //! two-way index mapping), and fully collinear inputs (including 1 or 2
@@ -50,8 +57,12 @@ pub mod graphs;
 pub mod hilbert;
 pub mod knn;
 pub mod mesh;
+pub mod metric;
 pub mod triangulation;
 pub mod voronoi;
 
+pub use metric::{
+    weights_are_uniform, DiagramKind, DiagramMetric, Euclidean, PowerWeights, SiteMetric,
+};
 pub use triangulation::{DelaunayError, InsertionOrder, Locate, Triangulation};
 pub use voronoi::{cell_polygon, VoronoiCell, VoronoiDiagram};

@@ -23,10 +23,23 @@
 //! * **Duplicates** (exactly equal coordinates) are merged up front; every
 //!   input index maps to a canonical vertex via [`Triangulation::canonical`]
 //!   and back via [`Triangulation::inputs_of`].
+//! * **Metric genericity**: [`Triangulation`] is parameterised by a
+//!   [`DiagramMetric`]. The default [`Euclidean`] metric compiles to the
+//!   unweighted algorithm (bit-identical to the pre-generic code); building
+//!   with non-uniform site weights via
+//!   [`Triangulation::with_site_metric`] produces the **regular
+//!   triangulation** (dual of the power diagram) instead, using the exact
+//!   [`power_incircle`] conflict predicate. Weighted sites may be *hidden*
+//!   — dominated everywhere, owning no cell and no mesh vertex; they are
+//!   reported by [`Triangulation::hidden_vertices`] and every hidden site
+//!   carries a live *anchor* so graph walks never stall on it.
 
 use crate::hilbert::hilbert_sort;
 use crate::mesh::{Mesh, GHOST, NONE};
-use vaq_geom::{incircle, orient2d, Point};
+use crate::metric::{
+    weights_are_uniform, DiagramKind, DiagramMetric, Euclidean, PowerWeights, SiteMetric,
+};
+use vaq_geom::{incircle, orient2d, power_incircle, Point};
 
 /// Order in which points are fed to the incremental algorithm.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -45,6 +58,15 @@ pub enum DelaunayError {
     EmptyInput,
     /// A coordinate was NaN or infinite; payload is the input index.
     NonFiniteCoordinate(usize),
+    /// A site weight was NaN or infinite; payload is the input index.
+    NonFiniteWeight(usize),
+    /// The weight slice length did not match the point slice length.
+    WeightCountMismatch {
+        /// Number of points supplied.
+        expected: usize,
+        /// Number of weights supplied.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for DelaunayError {
@@ -53,6 +75,12 @@ impl std::fmt::Display for DelaunayError {
             DelaunayError::EmptyInput => write!(f, "cannot triangulate an empty point set"),
             DelaunayError::NonFiniteCoordinate(i) => {
                 write!(f, "point at input index {i} has a non-finite coordinate")
+            }
+            DelaunayError::NonFiniteWeight(i) => {
+                write!(f, "weight at input index {i} is not finite")
+            }
+            DelaunayError::WeightCountMismatch { expected, got } => {
+                write!(f, "expected {expected} weights (one per point), got {got}")
             }
         }
     }
@@ -99,6 +127,8 @@ fn next_rand(state: &mut u64) -> u64 {
 /// Internal construction state shared by the walk and insertion routines.
 struct Core {
     pts: Vec<Point>,
+    /// Canonical site weights; empty for an unweighted (Euclidean) build.
+    w: Vec<f64>,
     mesh: Mesh,
     /// Per-slot visit stamps for cavity BFS (avoids clearing a bitmap).
     stamps: Vec<u32>,
@@ -114,8 +144,11 @@ struct Core {
 }
 
 impl Core {
-    /// `true` when the (possibly ghost) circumdisk of `t` strictly contains `p`.
-    fn is_bad(&self, t: u32, p: Point) -> bool {
+    /// `true` when triangle `t` is in conflict with the new site `(p, pw)`:
+    /// its (possibly ghost) circumdisk strictly contains `p` in the
+    /// unweighted case, or `(p, pw)` beats its orthocircle in the weighted
+    /// case. `pw` is ignored for unweighted builds.
+    fn is_bad(&self, t: u32, p: Point, pw: f64) -> bool {
         let tri = self.mesh.tri(t);
         match tri.ghost_slot() {
             None => {
@@ -123,7 +156,20 @@ impl Core {
                 let a = self.pts[i as usize];
                 let b = self.pts[j as usize];
                 let c = self.pts[k as usize];
-                incircle(a, b, c, p) > 0.0
+                if self.w.is_empty() {
+                    incircle(a, b, c, p) > 0.0
+                } else {
+                    power_incircle(
+                        a,
+                        b,
+                        c,
+                        p,
+                        self.w[i as usize],
+                        self.w[j as usize],
+                        self.w[k as usize],
+                        pw,
+                    ) > 0.0
+                }
             }
             Some(g) => {
                 // Ghost circumdisk = open half-plane strictly left of the
@@ -132,10 +178,27 @@ impl Core {
                 let v = self.pts[tri.v[(g + 2) % 3] as usize];
                 let o = orient2d(u, v, p);
                 if o != 0.0 {
+                    // Strictly outside the hull across this edge: the site
+                    // is extreme in that direction, hence live, and the
+                    // ghost conflicts regardless of weights.
                     return o > 0.0;
                 }
                 let d = v - u;
-                (p - u).dot(d) > 0.0 && (v - p).dot(d) > 0.0
+                let on_open_edge = (p - u).dot(d) > 0.0 && (v - p).dot(d) > 0.0;
+                if !on_open_edge {
+                    return false;
+                }
+                if self.w.is_empty() {
+                    return true;
+                }
+                // Weighted on-edge case: a site exactly on the open hull
+                // edge is live iff its lifted point lies strictly below the
+                // lifted edge, which equals the finite neighbour's lifted
+                // plane restricted to the edge — so the ghost conflicts iff
+                // the finite triangle behind the hull edge does. (In the
+                // Euclidean case that triangle is always in conflict, so
+                // this degenerates to the unconditional `true` above.)
+                self.is_bad(tri.n[g], p, pw)
             }
         }
     }
@@ -191,9 +254,18 @@ impl Core {
         unreachable!("point-location walk failed to terminate (mesh corrupt?)");
     }
 
-    /// Inserts vertex `vid` (coordinates already in `pts`) whose containing
-    /// region was located as triangle `seed` (finite or ghost; always bad).
+    /// Inserts vertex `vid` (coordinates already in `pts`) after locating
+    /// its containing region. In a weighted build a located site whose
+    /// region is **not** in power conflict is *hidden* — its lifted point
+    /// lies on or above the current lower hull — and is skipped entirely
+    /// (it owns no cell; hiding is monotone under later insertions, so the
+    /// decision is final).
     fn insert_in_cavity(&mut self, vid: u32, p: Point) {
+        let pw = if self.w.is_empty() {
+            0.0
+        } else {
+            self.w[vid as usize]
+        };
         let seed = match self.walk(p, self.last_finite) {
             Locate::Vertex(_) => {
                 // Duplicates are merged before insertion; tolerate anyway.
@@ -206,6 +278,13 @@ impl Core {
             // the pre-walk guards, which insert_in_cavity never takes.
             Locate::Degenerate => unreachable!("walk never returns Degenerate"),
         };
+
+        // Hidden-at-insert check (weighted only: an unweighted located
+        // region always strictly contains the new point in its circumdisk,
+        // and an `Outside` ghost seed conflicts by orientation alone).
+        if !self.w.is_empty() && !self.is_bad(seed, p, pw) {
+            return;
+        }
 
         // Grow the cavity of strictly-bad triangles by BFS from the seed.
         self.epoch += 1;
@@ -224,7 +303,7 @@ impl Core {
                 if self.stamps[nb as usize] == epoch {
                     continue;
                 }
-                if self.is_bad(nb, p) {
+                if self.is_bad(nb, p, pw) {
                     self.stamps[nb as usize] = epoch;
                     self.stack.push(nb);
                 } else {
@@ -288,14 +367,19 @@ impl Core {
     }
 }
 
-/// An immutable Delaunay triangulation with precomputed Voronoi-neighbour
-/// adjacency (the paper's `VN(P, p)` oracle).
+/// An immutable Delaunay (or regular) triangulation with precomputed
+/// Voronoi-neighbour adjacency (the paper's `VN(P, p)` oracle).
 ///
-/// Build once with [`Triangulation::new`]; query adjacency, location and
-/// nearest vertices afterwards. Input points may contain exact duplicates —
-/// they are merged into canonical vertices, with both directions of the
-/// mapping exposed.
-pub struct Triangulation {
+/// Build once with [`Triangulation::new`] (Euclidean) or
+/// [`Triangulation::with_site_metric`] (runtime-selected, possibly
+/// weighted); query adjacency, location and nearest vertices afterwards.
+/// Input points may contain exact duplicates — they are merged into
+/// canonical vertices, with both directions of the mapping exposed.
+///
+/// The type parameter is the [`DiagramMetric`] the structure was built
+/// under; the default [`Euclidean`] is a zero-sized type and that
+/// instantiation is bit-identical to the pre-generic unweighted code.
+pub struct Triangulation<M: DiagramMetric = Euclidean> {
     /// Unique (canonical) points, indexed by vertex id.
     pts: Vec<Point>,
     /// Input index → canonical vertex id.
@@ -307,13 +391,53 @@ pub struct Triangulation {
     /// CSR adjacency over canonical vertices (each row sorted ascending).
     adj_off: Vec<u32>,
     adj: Vec<u32>,
-    /// Hull vertices in CCW order; in degenerate mode, the path order.
+    /// Hull vertices in CCW order; in degenerate mode, the path order
+    /// (weighted degenerate mode: the *live* path order).
     hull: Vec<u32>,
     degenerate: bool,
     last_finite: u32,
+    /// The metric the structure was built under.
+    metric: M,
+    /// Hidden canonical vertices, sorted ascending (weighted builds only;
+    /// always empty for Euclidean builds).
+    hidden: Vec<u32>,
+    /// For each canonical vertex, a live vertex to stand in for it during
+    /// graph walks: identity for live vertices, a power-nearest live
+    /// vertex for hidden ones. Empty when no vertex is hidden.
+    anchor: Vec<u32>,
 }
 
-impl Triangulation {
+/// Everything a build produces except the metric (which the public
+/// constructors attach afterwards).
+struct Parts {
+    pts: Vec<Point>,
+    canon: Vec<u32>,
+    members_off: Vec<u32>,
+    members: Vec<u32>,
+    mesh: Mesh,
+    adj_off: Vec<u32>,
+    adj: Vec<u32>,
+    hull: Vec<u32>,
+    degenerate: bool,
+    last_finite: u32,
+    hidden: Vec<u32>,
+    anchor: Vec<u32>,
+    /// Canonical weights (empty for Euclidean builds).
+    cw: Vec<f64>,
+}
+
+/// Shared input validation for all constructors.
+fn validate_points(points: &[Point]) -> Result<(), DelaunayError> {
+    if points.is_empty() {
+        return Err(DelaunayError::EmptyInput);
+    }
+    if let Some(i) = points.iter().position(|p| !p.is_finite()) {
+        return Err(DelaunayError::NonFiniteCoordinate(i));
+    }
+    Ok(())
+}
+
+impl Triangulation<Euclidean> {
     /// Builds the Delaunay triangulation of `points` with Hilbert-ordered
     /// insertion.
     ///
@@ -333,157 +457,539 @@ impl Triangulation {
         points: &[Point],
         order: InsertionOrder,
     ) -> Result<Triangulation, DelaunayError> {
-        if points.is_empty() {
-            return Err(DelaunayError::EmptyInput);
-        }
-        if let Some(i) = points.iter().position(|p| !p.is_finite()) {
-            return Err(DelaunayError::NonFiniteCoordinate(i));
-        }
+        validate_points(points)?;
+        Ok(Triangulation::from_parts(
+            build_parts(points, order, None),
+            Euclidean,
+        ))
+    }
+}
 
-        let (pts, canon, members_off, members) = dedup(points);
-
-        // Choose the first triangle: the first two points of the insertion
-        // order plus the first point not collinear with them. If none
-        // exists the whole input is collinear → degenerate path mode.
-        let ins_order: Vec<u32> = match order {
-            InsertionOrder::Hilbert => hilbert_sort(&pts),
-            InsertionOrder::Input => (0..pts.len() as u32).collect(),
-        };
-        let tri0 = match ins_order.as_slice() {
-            // `ins_order` is a permutation of the canonical vertices, so
-            // a non-empty `rest` is exactly the pts.len() >= 3 case.
-            [i0, i1, rest @ ..] if !rest.is_empty() => {
-                let (i0, i1) = (*i0, *i1);
-                rest.iter()
-                    .copied()
-                    .find(|&i2| {
-                        orient2d(pts[i0 as usize], pts[i1 as usize], pts[i2 as usize]) != 0.0
-                    })
-                    .map(|i2| (i0, i1, i2))
-            }
-            _ => None,
-        };
-
-        let Some((i0, i1, i2)) = tri0 else {
-            return Ok(Triangulation::degenerate_path(
-                pts,
-                canon,
-                members_off,
-                members,
-            ));
-        };
-
-        // Orient the seed triangle CCW.
-        let (i0, i1) = if orient2d(pts[i0 as usize], pts[i1 as usize], pts[i2 as usize]) < 0.0 {
-            (i1, i0)
-        } else {
-            (i0, i1)
-        };
-        debug_assert!(orient2d(pts[i0 as usize], pts[i1 as usize], pts[i2 as usize]) > 0.0);
-
-        let mut core = Core {
-            mesh: Mesh::with_capacity(2 * pts.len() + 16),
-            pts,
-            stamps: Vec::new(),
-            epoch: 0,
-            last_finite: 0,
-            rng: 0x9E37_79B9_7F4A_7C15,
-            stack: Vec::new(),
-            bad: Vec::new(),
-            boundary: Vec::new(),
-            new_tris: Vec::new(),
-        };
-
-        // Seed triangle plus its three ghosts.
-        let t = core.mesh.alloc([i0, i1, i2]);
-        let g01 = core.mesh.alloc([i1, i0, GHOST]);
-        let g12 = core.mesh.alloc([i2, i1, GHOST]);
-        let g20 = core.mesh.alloc([i0, i2, GHOST]);
-        core.mesh.link(t, 2, g01); // edge (i0,i1) ↔ ghost (i1,i0)
-        core.mesh.link(t, 0, g12); // edge (i1,i2) ↔ ghost (i2,i1)
-        core.mesh.link(t, 1, g20); // edge (i2,i0) ↔ ghost (i0,i2)
-                                   // Ghost-to-ghost links around the hull: ghosts share GHOST-incident
-                                   // edges. Ghost (i1,i0,G): edge (i0,G) is shared with ghost (i0,i2,G)
-                                   // whose edge (G,i0) matches reversed, etc.
-        core.mesh.link(g01, 0, g20); // (i0,G) ↔ (G,i0)
-        core.mesh.link(g01, 1, g12); // (G,i1) ↔ (i1,G)
-        core.mesh.link(g12, 0, g01); // redundant with previous, harmless
-        core.mesh.link(g12, 1, g20); // (G,i2) ↔ (i2,G)
-        core.mesh.link(g20, 0, g12);
-        core.mesh.link(g20, 1, g01);
-        debug_assert_eq!(core.mesh.check_links(), Ok(()));
-        core.last_finite = t;
-
-        for &v in &ins_order {
-            if v == i0 || v == i1 || v == i2 {
-                continue;
-            }
-            let p = core.pts[v as usize];
-            core.insert_in_cavity(v, p);
-        }
-
-        let (adj_off, adj) = build_adjacency(&core.mesh, core.pts.len());
-        let hull = extract_hull(&core.mesh);
-        Ok(Triangulation {
-            pts: core.pts,
-            canon,
-            members_off,
-            members,
-            mesh: core.mesh,
-            adj_off,
-            adj,
-            hull,
-            degenerate: false,
-            last_finite: core.last_finite,
-        })
+impl Triangulation<SiteMetric> {
+    /// Builds the triangulation under a runtime-selected metric:
+    /// unweighted (`weights == None`) or a regular triangulation of the
+    /// weighted sites, with Hilbert-ordered insertion.
+    ///
+    /// **Uniform weights normalize away**: if every weight is equal
+    /// (including the all-zero case), a uniform shift cancels out of every
+    /// power comparison, so the build delegates to the Euclidean path and
+    /// the result — including [`Triangulation::diagram_kind`] — is
+    /// bit-identical to an unweighted build.
+    ///
+    /// Coincident input sites collapse onto one canonical vertex carrying
+    /// the **maximum** weight of the group (the heavier site dominates the
+    /// lighter ones everywhere).
+    ///
+    /// # Errors
+    ///
+    /// As [`Triangulation::new`], plus
+    /// [`DelaunayError::WeightCountMismatch`] if the weight slice length
+    /// differs from the point count and [`DelaunayError::NonFiniteWeight`]
+    /// if any weight is NaN or infinite.
+    pub fn with_site_metric(
+        points: &[Point],
+        weights: Option<&[f64]>,
+    ) -> Result<Triangulation<SiteMetric>, DelaunayError> {
+        Triangulation::with_site_metric_order(points, weights, InsertionOrder::Hilbert)
     }
 
-    /// Builds the degenerate "triangulation" of an entirely collinear point
-    /// set: the Delaunay graph collapses to the path along the line, which
-    /// is exactly the Voronoi adjacency of collinear sites.
-    fn degenerate_path(
-        pts: Vec<Point>,
-        canon: Vec<u32>,
-        members_off: Vec<u32>,
-        members: Vec<u32>,
-    ) -> Triangulation {
-        let mut order: Vec<u32> = (0..pts.len() as u32).collect();
-        // Lexicographic order equals order along any line.
-        order.sort_by(|&a, &b| pts[a as usize].cmp_lex(&pts[b as usize]));
-        let n = pts.len();
-        let mut adj_off = vec![0u32; n + 1];
-        let mut adj = Vec::with_capacity(2 * n.saturating_sub(1));
-        // Degree 2 inside the path, 1 at the ends (0 for a single point).
-        let mut deg = vec![0u32; n];
-        for (&a, &b) in order.iter().zip(order.iter().skip(1)) {
-            deg[a as usize] += 1;
-            deg[b as usize] += 1;
+    /// As [`Triangulation::with_site_metric`] with an explicit insertion
+    /// order.
+    pub fn with_site_metric_order(
+        points: &[Point],
+        weights: Option<&[f64]>,
+        order: InsertionOrder,
+    ) -> Result<Triangulation<SiteMetric>, DelaunayError> {
+        validate_points(points)?;
+        let effective = match weights {
+            None => None,
+            Some(w) => {
+                if w.len() != points.len() {
+                    return Err(DelaunayError::WeightCountMismatch {
+                        expected: points.len(),
+                        got: w.len(),
+                    });
+                }
+                if let Some(i) = w.iter().position(|x| !x.is_finite()) {
+                    return Err(DelaunayError::NonFiniteWeight(i));
+                }
+                if weights_are_uniform(w) {
+                    None
+                } else {
+                    Some(w)
+                }
+            }
+        };
+        match effective {
+            None => Ok(Triangulation::from_parts(
+                build_parts(points, order, None),
+                SiteMetric::Euclidean,
+            )),
+            Some(w) => {
+                let mut parts = build_parts(points, order, Some(w));
+                let metric = SiteMetric::Power(PowerWeights::new(std::mem::take(&mut parts.cw)));
+                Ok(Triangulation::from_parts(parts, metric))
+            }
         }
-        for v in 0..n {
-            adj_off[v + 1] = adj_off[v] + deg[v];
+    }
+}
+
+/// Runs the incremental build and assembles all metric-independent state.
+///
+/// `weights` is `None` for Euclidean builds and `Some` only for genuinely
+/// non-uniform weights (the constructors normalize uniform inputs away).
+fn build_parts(points: &[Point], order: InsertionOrder, weights: Option<&[f64]>) -> Parts {
+    let (pts, canon, members_off, members) = dedup(points);
+
+    // Canonical weights: coincident inputs collapse to the max weight of
+    // the group (a coincident lighter site is dominated everywhere by the
+    // heavier one, so only the max can own the shared cell).
+    let cw: Vec<f64> = match weights {
+        None => Vec::new(),
+        Some(w) => {
+            let mut cw = vec![f64::NEG_INFINITY; pts.len()];
+            for (i, &wi) in w.iter().enumerate() {
+                let c = canon[i] as usize;
+                if wi > cw[c] {
+                    cw[c] = wi;
+                }
+            }
+            cw
         }
-        adj.resize(adj_off[n] as usize, 0);
-        let mut cursor: Vec<u32> = adj_off[..n].to_vec();
-        for (&a, &b) in order.iter().zip(order.iter().skip(1)) {
-            adj[cursor[a as usize] as usize] = b;
-            cursor[a as usize] += 1;
-            adj[cursor[b as usize] as usize] = a;
-            cursor[b as usize] += 1;
+    };
+
+    // Choose the first triangle: the first two points of the insertion
+    // order plus the first point not collinear with them. If none
+    // exists the whole input is collinear → degenerate path mode.
+    let ins_order: Vec<u32> = match order {
+        InsertionOrder::Hilbert => hilbert_sort(&pts),
+        InsertionOrder::Input => (0..pts.len() as u32).collect(),
+    };
+    let tri0 = match ins_order.as_slice() {
+        // `ins_order` is a permutation of the canonical vertices, so
+        // a non-empty `rest` is exactly the pts.len() >= 3 case.
+        [i0, i1, rest @ ..] if !rest.is_empty() => {
+            let (i0, i1) = (*i0, *i1);
+            rest.iter()
+                .copied()
+                .find(|&i2| orient2d(pts[i0 as usize], pts[i1 as usize], pts[i2 as usize]) != 0.0)
+                .map(|i2| (i0, i1, i2))
         }
-        for v in 0..n {
-            adj[adj_off[v] as usize..adj_off[v + 1] as usize].sort_unstable();
+        _ => None,
+    };
+
+    let Some((i0, i1, i2)) = tri0 else {
+        return if cw.is_empty() {
+            degenerate_path_parts(pts, canon, members_off, members)
+        } else {
+            weighted_collinear_parts(pts, canon, members_off, members, cw)
+        };
+    };
+
+    // Orient the seed triangle CCW.
+    let (i0, i1) = if orient2d(pts[i0 as usize], pts[i1 as usize], pts[i2 as usize]) < 0.0 {
+        (i1, i0)
+    } else {
+        (i0, i1)
+    };
+    debug_assert!(orient2d(pts[i0 as usize], pts[i1 as usize], pts[i2 as usize]) > 0.0);
+
+    let mut core = Core {
+        mesh: Mesh::with_capacity(2 * pts.len() + 16),
+        pts,
+        w: cw,
+        stamps: Vec::new(),
+        epoch: 0,
+        last_finite: 0,
+        rng: 0x9E37_79B9_7F4A_7C15,
+        stack: Vec::new(),
+        bad: Vec::new(),
+        boundary: Vec::new(),
+        new_tris: Vec::new(),
+    };
+
+    // Seed triangle plus its three ghosts.
+    let t = core.mesh.alloc([i0, i1, i2]);
+    let g01 = core.mesh.alloc([i1, i0, GHOST]);
+    let g12 = core.mesh.alloc([i2, i1, GHOST]);
+    let g20 = core.mesh.alloc([i0, i2, GHOST]);
+    core.mesh.link(t, 2, g01); // edge (i0,i1) ↔ ghost (i1,i0)
+    core.mesh.link(t, 0, g12); // edge (i1,i2) ↔ ghost (i2,i1)
+    core.mesh.link(t, 1, g20); // edge (i2,i0) ↔ ghost (i0,i2)
+                               // Ghost-to-ghost links around the hull: ghosts share GHOST-incident
+                               // edges. Ghost (i1,i0,G): edge (i0,G) is shared with ghost (i0,i2,G)
+                               // whose edge (G,i0) matches reversed, etc.
+    core.mesh.link(g01, 0, g20); // (i0,G) ↔ (G,i0)
+    core.mesh.link(g01, 1, g12); // (G,i1) ↔ (i1,G)
+    core.mesh.link(g12, 0, g01); // redundant with previous, harmless
+    core.mesh.link(g12, 1, g20); // (G,i2) ↔ (i2,G)
+    core.mesh.link(g20, 0, g12);
+    core.mesh.link(g20, 1, g01);
+    debug_assert_eq!(core.mesh.check_links(), Ok(()));
+    core.last_finite = t;
+
+    for &v in &ins_order {
+        if v == i0 || v == i1 || v == i2 {
+            continue;
         }
+        let p = core.pts[v as usize];
+        core.insert_in_cavity(v, p);
+    }
+
+    let (adj_off, adj) = build_adjacency(&core.mesh, core.pts.len());
+    let hull = extract_hull(&core.mesh);
+
+    // Hidden sites are exactly the vertices absent from the final mesh:
+    // skipped at insertion, or inserted and later swallowed by a cavity.
+    // Both leave an empty adjacency row. (Unweighted builds never hide a
+    // vertex, so the scan is skipped and `hidden` stays empty.)
+    let hidden: Vec<u32> = if core.w.is_empty() {
+        Vec::new()
+    } else {
+        (0..core.pts.len() as u32)
+            .filter(|&v| adj_off[v as usize] == adj_off[v as usize + 1])
+            .collect()
+    };
+    let anchor = if hidden.is_empty() {
+        Vec::new()
+    } else {
+        let mut anchor: Vec<u32> = (0..core.pts.len() as u32).collect();
+        // vaq-lint: allow(panic-hygiene) -- hull[0] exists (non-degenerate
+        // mode) and is live: a site whose projection is a hull vertex is
+        // always a lower-hull vertex.
+        let start = hull[0];
+        for &h in &hidden {
+            anchor[h as usize] = power_descent(
+                &core.pts,
+                &adj_off,
+                &adj,
+                &core.w,
+                core.pts[h as usize],
+                start,
+            );
+        }
+        anchor
+    };
+
+    Parts {
+        pts: core.pts,
+        canon,
+        members_off,
+        members,
+        mesh: core.mesh,
+        adj_off,
+        adj,
+        hull,
+        degenerate: false,
+        last_finite: core.last_finite,
+        hidden,
+        anchor,
+        cw: core.w,
+    }
+}
+
+/// Greedy power-distance descent over the CSR adjacency from a **live**
+/// start vertex; returns a live vertex of minimum power distance to `q`.
+///
+/// The power-diagram analogue of the nearest-vertex walk: a live site that
+/// does not minimise the power distance to `q` always has a cell-adjacent
+/// (hence graph-adjacent) live neighbour of strictly smaller power
+/// distance, so the descent cannot stall, and the strictly decreasing key
+/// guarantees termination.
+fn power_descent(
+    pts: &[Point],
+    adj_off: &[u32],
+    adj: &[u32],
+    w: &[f64],
+    q: Point,
+    start: u32,
+) -> u32 {
+    let mut v = start;
+    let mut dv = pts[v as usize].dist_sq(q) - w[v as usize];
+    loop {
+        let mut best = v;
+        let mut bd = dv;
+        let lo = adj_off[v as usize] as usize;
+        let hi = adj_off[v as usize + 1] as usize;
+        for &u in &adj[lo..hi] {
+            let d = pts[u as usize].dist_sq(q) - w[u as usize];
+            if d < bd {
+                bd = d;
+                best = u;
+            }
+        }
+        if best == v {
+            return v;
+        }
+        v = best;
+        dv = bd;
+    }
+}
+
+/// Builds the degenerate "triangulation" of an entirely collinear point
+/// set: the Delaunay graph collapses to the path along the line, which
+/// is exactly the Voronoi adjacency of collinear sites.
+fn degenerate_path_parts(
+    pts: Vec<Point>,
+    canon: Vec<u32>,
+    members_off: Vec<u32>,
+    members: Vec<u32>,
+) -> Parts {
+    let mut order: Vec<u32> = (0..pts.len() as u32).collect();
+    // Lexicographic order equals order along any line.
+    order.sort_by(|&a, &b| pts[a as usize].cmp_lex(&pts[b as usize]));
+    let n = pts.len();
+    let mut adj_off = vec![0u32; n + 1];
+    let mut adj = Vec::with_capacity(2 * n.saturating_sub(1));
+    // Degree 2 inside the path, 1 at the ends (0 for a single point).
+    let mut deg = vec![0u32; n];
+    for (&a, &b) in order.iter().zip(order.iter().skip(1)) {
+        deg[a as usize] += 1;
+        deg[b as usize] += 1;
+    }
+    for v in 0..n {
+        adj_off[v + 1] = adj_off[v] + deg[v];
+    }
+    adj.resize(adj_off[n] as usize, 0);
+    let mut cursor: Vec<u32> = adj_off[..n].to_vec();
+    for (&a, &b) in order.iter().zip(order.iter().skip(1)) {
+        adj[cursor[a as usize] as usize] = b;
+        cursor[a as usize] += 1;
+        adj[cursor[b as usize] as usize] = a;
+        cursor[b as usize] += 1;
+    }
+    for v in 0..n {
+        adj[adj_off[v] as usize..adj_off[v + 1] as usize].sort_unstable();
+    }
+    Parts {
+        pts,
+        canon,
+        members_off,
+        members,
+        mesh: Mesh::new(),
+        adj_off,
+        adj,
+        hull: order,
+        degenerate: true,
+        last_finite: NONE,
+        hidden: Vec::new(),
+        anchor: Vec::new(),
+        cw: Vec::new(),
+    }
+}
+
+/// Builds the degenerate structure of entirely collinear **weighted**
+/// sites: the 1-D power diagram along the line.
+///
+/// Restricted to a line, the power distance of site `i` at parameter `t`
+/// is `(t − tᵢ)² − wᵢ`; a site owns a 1-D cell iff its lifted point
+/// `(tᵢ, tᵢ² − wᵢ)` is a vertex of the **lower convex hull** of all
+/// lifted points — the 1-D instance of the same lifting that defines the
+/// regular triangulation. We use the scaled parameter `s = (p − o)·d`
+/// (with `d` the direction between the lexicographic extremes) and lift
+/// `z = s² − |d|²·w`; positive affine scalings of both axes preserve
+/// lower-hull membership, so no square roots are needed. The hull scan
+/// keeps strict turns only: a lifted point exactly *on* a hull edge owns
+/// a zero-length cell and counts as hidden, matching the strict-conflict
+/// convention of the 2-D build. `s` and `z` round like any float dot
+/// product; the turn tests on the rounded lifts are exact (`orient2d`).
+fn weighted_collinear_parts(
+    pts: Vec<Point>,
+    canon: Vec<u32>,
+    members_off: Vec<u32>,
+    members: Vec<u32>,
+    cw: Vec<f64>,
+) -> Parts {
+    let n = pts.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    // Lexicographic order equals order along any line.
+    order.sort_by(|&a, &b| pts[a as usize].cmp_lex(&pts[b as usize]));
+
+    let live: Vec<u32> = if n == 1 {
+        vec![0]
+    } else {
+        // vaq-lint: allow(panic-hygiene) -- this branch has n >= 2 (the
+        // n == 1 case returned above), so `order` is non-empty.
+        let o = pts[order[0] as usize];
+        let d = pts[order[n - 1] as usize] - o;
+        let dd = d.dot(d);
+        let lifted: Vec<Point> = order
+            .iter()
+            .map(|&v| {
+                let s = (pts[v as usize] - o).dot(d);
+                Point::new(s, s * s - dd * cw[v as usize])
+            })
+            .collect();
+        // Monotone-chain lower hull over the lifted points (already sorted
+        // by s), strict turns only.
+        let mut stack: Vec<usize> = Vec::new();
+        for k in 0..n {
+            // Exactly equal parameters can only arise from rounding of
+            // distinct collinear points; keep the lower lift, which
+            // dominates the other on the line.
+            if let Some(&top) = stack.last() {
+                if lifted[k].x == lifted[top].x {
+                    if lifted[k].y >= lifted[top].y {
+                        continue;
+                    }
+                    stack.pop();
+                }
+            }
+            while stack.len() >= 2 {
+                let a = lifted[stack[stack.len() - 2]];
+                let b = lifted[stack[stack.len() - 1]];
+                if orient2d(a, b, lifted[k]) <= 0.0 {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push(k);
+        }
+        stack.iter().map(|&k| order[k]).collect()
+    };
+
+    // Path adjacency over the live sites only.
+    let mut is_live = vec![false; n];
+    for &v in &live {
+        is_live[v as usize] = true;
+    }
+    let mut deg = vec![0u32; n];
+    for pair in live.windows(2) {
+        // vaq-lint: allow(panic-hygiene) -- windows(2) yields exactly
+        // two elements per slice.
+        let (a, b) = (pair[0], pair[1]);
+        deg[a as usize] += 1;
+        deg[b as usize] += 1;
+    }
+    let mut adj_off = vec![0u32; n + 1];
+    for v in 0..n {
+        adj_off[v + 1] = adj_off[v] + deg[v];
+    }
+    let mut adj = vec![0u32; adj_off[n] as usize];
+    let mut cursor: Vec<u32> = adj_off[..n].to_vec();
+    for pair in live.windows(2) {
+        // vaq-lint: allow(panic-hygiene) -- windows(2) yields exactly
+        // two elements per slice.
+        let (a, b) = (pair[0], pair[1]);
+        adj[cursor[a as usize] as usize] = b;
+        cursor[a as usize] += 1;
+        adj[cursor[b as usize] as usize] = a;
+        cursor[b as usize] += 1;
+    }
+    for v in 0..n {
+        adj[adj_off[v] as usize..adj_off[v + 1] as usize].sort_unstable();
+    }
+
+    let hidden: Vec<u32> = (0..n as u32).filter(|&v| !is_live[v as usize]).collect();
+    let anchor = if hidden.is_empty() {
+        Vec::new()
+    } else {
+        let mut anchor: Vec<u32> = (0..n as u32).collect();
+        for &h in &hidden {
+            let q = pts[h as usize];
+            // vaq-lint: allow(panic-hygiene) -- the lower hull of a
+            // non-empty lifted set is non-empty, so `live` has a first
+            // element.
+            let mut best = live[0];
+            let mut bd = pts[best as usize].dist_sq(q) - cw[best as usize];
+            // vaq-lint: allow(panic-hygiene) -- `live` is non-empty, and
+            // `[1..]` of a one-element slice is the empty slice, not a
+            // panic.
+            for &v in &live[1..] {
+                let dv = pts[v as usize].dist_sq(q) - cw[v as usize];
+                if dv < bd {
+                    bd = dv;
+                    best = v;
+                }
+            }
+            anchor[h as usize] = best;
+        }
+        anchor
+    };
+
+    Parts {
+        pts,
+        canon,
+        members_off,
+        members,
+        mesh: Mesh::new(),
+        adj_off,
+        adj,
+        hull: live,
+        degenerate: true,
+        last_finite: NONE,
+        hidden,
+        anchor,
+        cw,
+    }
+}
+
+impl<M: DiagramMetric> Triangulation<M> {
+    /// Assembles the public structure from build parts plus its metric.
+    fn from_parts(parts: Parts, metric: M) -> Triangulation<M> {
         Triangulation {
-            pts,
-            canon,
-            members_off,
-            members,
-            mesh: Mesh::new(),
-            adj_off,
-            adj,
-            hull: order,
-            degenerate: true,
-            last_finite: NONE,
+            pts: parts.pts,
+            canon: parts.canon,
+            members_off: parts.members_off,
+            members: parts.members,
+            mesh: parts.mesh,
+            adj_off: parts.adj_off,
+            adj: parts.adj,
+            hull: parts.hull,
+            degenerate: parts.degenerate,
+            last_finite: parts.last_finite,
+            metric,
+            hidden: parts.hidden,
+            anchor: parts.anchor,
+        }
+    }
+
+    /// The metric the triangulation was built under.
+    #[inline]
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// Which diagram this triangulation realizes. Uniform-weight builds
+    /// report [`DiagramKind::Euclidean`]: they are Euclidean builds.
+    #[inline]
+    pub fn diagram_kind(&self) -> DiagramKind {
+        self.metric.kind()
+    }
+
+    /// The weight of canonical vertex `v` (`0.0` under a Euclidean metric).
+    #[inline]
+    pub fn weight(&self, v: u32) -> f64 {
+        self.metric.weight(v)
+    }
+
+    /// The hidden canonical vertices (sorted ascending): weighted sites
+    /// dominated everywhere, owning no cell, no mesh vertex and no
+    /// neighbours. Always empty for Euclidean builds.
+    #[inline]
+    pub fn hidden_vertices(&self) -> &[u32] {
+        &self.hidden
+    }
+
+    /// `true` when canonical vertex `v` owns no cell (see
+    /// [`Triangulation::hidden_vertices`]).
+    #[inline]
+    pub fn is_hidden(&self, v: u32) -> bool {
+        self.hidden.binary_search(&v).is_ok()
+    }
+
+    /// A live stand-in for vertex `v` in graph walks: `v` itself when
+    /// live, a live vertex of minimum power distance to `v`'s location
+    /// when hidden. Seeding a walk or a cell expansion at `anchor_of(v)`
+    /// is always safe; seeding at a hidden `v` would stall immediately
+    /// (no neighbours).
+    #[inline]
+    pub fn anchor_of(&self, v: u32) -> u32 {
+        if self.anchor.is_empty() {
+            v
+        } else {
+            self.anchor[v as usize]
         }
     }
 
@@ -633,22 +1139,36 @@ impl Triangulation {
         unreachable!("point-location walk failed to terminate");
     }
 
-    /// The canonical vertex nearest to `q`, found by greedy descent on the
-    /// Delaunay graph from `hint` (any vertex; defaults to 0).
+    /// The canonical vertex nearest to `q` under the build metric —
+    /// minimum squared distance for Euclidean builds, minimum power
+    /// distance `|q − p|² − w` for weighted ones — found by greedy descent
+    /// on the Delaunay/regular graph from `hint` (any vertex; defaults
+    /// to 0).
     ///
-    /// Correctness follows from the Voronoi property: a vertex that is not
-    /// the nearest neighbour of `q` always has a Voronoi (hence Delaunay)
-    /// neighbour strictly closer to `q`, so the descent cannot get stuck at
-    /// a non-answer; distances strictly decrease, so it terminates. Ties
-    /// (equidistant sites) may return any of the tied vertices.
+    /// Correctness follows from the (power-)Voronoi property: a live
+    /// vertex that does not minimise the metric distance to `q` always has
+    /// a cell-adjacent (hence graph-adjacent) neighbour of strictly
+    /// smaller metric distance, so the descent cannot get stuck at a
+    /// non-answer; the key strictly decreases, so it terminates. Ties may
+    /// return any of the tied vertices. A **hidden** `hint` (or hidden
+    /// vertex 0) has no neighbours and would stall the walk at a cell-less
+    /// site; it is first remapped to its live anchor. Hidden vertices are
+    /// never returned: the result always owns the cell containing `q`.
+    ///
+    /// Under a Euclidean metric every weight is `0.0` and `d − 0.0 == d`
+    /// bit-for-bit, so the descent visits exactly the vertices the
+    /// unweighted code did.
     pub fn nearest_vertex(&self, q: Point, hint: Option<u32>) -> u32 {
         let mut v = hint.unwrap_or(0).min(self.pts.len() as u32 - 1);
-        let mut dv = self.pts[v as usize].dist_sq(q);
+        if !self.anchor.is_empty() {
+            v = self.anchor[v as usize];
+        }
+        let mut dv = self.pts[v as usize].dist_sq(q) - self.metric.weight(v);
         loop {
             let mut best = v;
             let mut bd = dv;
             for &u in self.neighbors(v) {
-                let d = self.pts[u as usize].dist_sq(q);
+                let d = self.pts[u as usize].dist_sq(q) - self.metric.weight(u);
                 if d < bd {
                     bd = d;
                     best = u;
@@ -662,9 +1182,12 @@ impl Triangulation {
         }
     }
 
-    /// Verifies the Delaunay empty-circumcircle property on every internal
-    /// edge. `O(triangles)`; intended for tests.
+    /// Verifies the local optimality property on every internal edge:
+    /// empty circumcircle (Delaunay) for Euclidean builds, no power
+    /// conflict (local regularity) for weighted ones. `O(triangles)`;
+    /// intended for tests.
     pub fn is_delaunay(&self) -> bool {
+        let weighted = self.metric.kind() == DiagramKind::Power;
         for t in self.mesh.live_ids() {
             let tri = self.mesh.tri(t);
             if tri.is_ghost() {
@@ -687,7 +1210,21 @@ impl Triangulation {
                     .slot_of_edge(eb, ea)
                     .expect("neighbour shares reversed edge");
                 let apex = ntri.v[j];
-                if incircle(pa, pb, pc, self.pts[apex as usize]) > 0.0 {
+                let bad = if weighted {
+                    power_incircle(
+                        pa,
+                        pb,
+                        pc,
+                        self.pts[apex as usize],
+                        self.metric.weight(a),
+                        self.metric.weight(b),
+                        self.metric.weight(c),
+                        self.metric.weight(apex),
+                    ) > 0.0
+                } else {
+                    incircle(pa, pb, pc, self.pts[apex as usize]) > 0.0
+                };
+                if bad {
                     return false;
                 }
             }
@@ -1117,6 +1654,174 @@ mod tests {
         assert_eq!(t.hull().len(), 6, "all points lie on the hull");
     }
 
+    /// Brute-force power-nearest live canonical vertex.
+    fn brute_power_nn(t: &Triangulation<SiteMetric>, q: Point) -> f64 {
+        (0..t.vertex_count() as u32)
+            .filter(|&v| !t.is_hidden(v))
+            .map(|v| t.point(v).dist_sq(q) - t.weight(v))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Weighted builds must agree with the Euclidean structure exactly
+    /// when the weights are uniform (here: absent, all-zero, all-equal).
+    #[test]
+    fn uniform_weights_are_bit_identical_to_euclidean() {
+        let pts = uniform(180, 21);
+        let plain = Triangulation::new(&pts).unwrap();
+        for weights in [
+            None,
+            Some(vec![0.0; pts.len()]),
+            Some(vec![7.25; pts.len()]),
+        ] {
+            let w = Triangulation::with_site_metric(&pts, weights.as_deref()).unwrap();
+            assert_eq!(w.diagram_kind(), DiagramKind::Euclidean);
+            assert!(w.hidden_vertices().is_empty());
+            assert_eq!(w.hull(), plain.hull());
+            assert_eq!(w.triangle_count(), plain.triangle_count());
+            for v in 0..pts.len() as u32 {
+                assert_eq!(w.neighbors(v), plain.neighbors(v), "vertex {v}");
+            }
+            // The nearest-vertex walk visits the same vertices: d − 0.0
+            // is bitwise d.
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..50 {
+                let q = p(rng.gen::<f64>() * 2.0 - 0.5, rng.gen::<f64>() * 2.0 - 0.5);
+                assert_eq!(w.nearest_vertex(q, None), plain.nearest_vertex(q, None));
+            }
+        }
+    }
+
+    /// A heavy central site swallows every interior light site. (Sites on
+    /// the convex hull can never be hidden — their lifted points are
+    /// extreme — so "dominates all others" means all non-hull sites.)
+    #[test]
+    fn dominating_site_hides_all_interior_sites() {
+        let mut pts = vec![p(0.0, 0.0), p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0)];
+        let mut w = vec![0.0, 0.0, 0.0, 0.0];
+        pts.push(p(5.0, 5.0)); // the dominator
+        w.push(1000.0);
+        let interior = [p(3.0, 3.0), p(7.0, 6.0), p(4.0, 8.0), p(6.0, 2.0)];
+        for q in interior {
+            pts.push(q);
+            w.push(0.0);
+        }
+        let t = Triangulation::with_site_metric(&pts, Some(&w)).unwrap();
+        assert_eq!(t.diagram_kind(), DiagramKind::Power);
+        assert!(t.is_delaunay(), "regularity");
+        t.check_structure().unwrap();
+        assert_eq!(t.hidden_vertices(), &[5, 6, 7, 8], "interior sites hide");
+        for v in 0..5u32 {
+            assert!(!t.is_hidden(v), "hull sites and the dominator are live");
+            assert!(t.degree(v) > 0);
+        }
+        for &h in t.hidden_vertices() {
+            assert_eq!(t.degree(h), 0, "hidden sites have no neighbours");
+            assert!(!t.is_hidden(t.anchor_of(h)), "anchors are live");
+        }
+    }
+
+    /// Regression for the greedy-walk stall: seeding `nearest_vertex` at a
+    /// hidden (cell-less, neighbour-less) site must step to a live vertex
+    /// instead of returning the dominated site itself.
+    #[test]
+    fn nearest_vertex_steps_off_hidden_sites() {
+        let pts = vec![
+            p(0.0, 0.0),
+            p(10.0, 0.0),
+            p(10.0, 10.0),
+            p(0.0, 10.0),
+            p(5.0, 5.0), // heavy dominator
+            p(4.9, 5.1), // dominated site right next to it
+        ];
+        let w = vec![0.0, 0.0, 0.0, 0.0, 500.0, 0.0];
+        let t = Triangulation::with_site_metric(&pts, Some(&w)).unwrap();
+        assert_eq!(t.hidden_vertices(), &[5]);
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..60 {
+            let q = p(rng.gen::<f64>() * 12.0 - 1.0, rng.gen::<f64>() * 12.0 - 1.0);
+            // Hidden hint must neither stall nor be returned.
+            let v = t.nearest_vertex(q, Some(5));
+            assert!(!t.is_hidden(v));
+            let got = t.point(v).dist_sq(q) - t.weight(v);
+            let want = brute_power_nn(&t, q);
+            assert!(
+                (got - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                "q={q}: got {got}, want {want}"
+            );
+            // And the default hint agrees.
+            assert_eq!(t.nearest_vertex(q, None), v);
+        }
+    }
+
+    /// Coincident sites with distinct weights collapse onto one canonical
+    /// vertex carrying the maximum weight of the group.
+    #[test]
+    fn duplicate_coordinates_take_max_weight() {
+        let pts = vec![
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(0.0, 4.0),
+            p(1.0, 1.0),
+            p(1.0, 1.0), // dup of 3
+            p(1.0, 1.0), // dup of 3
+        ];
+        let w = vec![0.0, 0.0, 0.0, 2.0, 9.0, -3.0];
+        let t = Triangulation::with_site_metric(&pts, Some(&w)).unwrap();
+        assert_eq!(t.vertex_count(), 4);
+        let v = t.canonical(4);
+        assert_eq!(t.canonical(3), v);
+        assert_eq!(t.weight(v), 9.0, "max weight of the coincident group");
+        assert_eq!(t.inputs_of(v), &[3, 4, 5]);
+        assert!(t.is_delaunay());
+    }
+
+    /// Collinear weighted sites: the 1-D lower envelope hides dominated
+    /// interior sites; line-extreme sites are always live.
+    #[test]
+    fn weighted_collinear_lower_envelope() {
+        // Light middle site between two plain ones: hidden.
+        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0)];
+        let t = Triangulation::with_site_metric(&pts, Some(&[0.0, -5.0, 0.0])).unwrap();
+        assert!(t.is_degenerate());
+        assert_eq!(t.hidden_vertices(), &[1]);
+        assert_eq!(t.neighbors(0), &[2]);
+        assert_eq!(t.neighbors(2), &[0]);
+        assert_eq!(t.hull(), &[0, 2], "hull is the live path order");
+        assert!(!t.is_hidden(t.anchor_of(1)));
+        assert!(!t.is_hidden(t.nearest_vertex(p(1.0, 0.0), Some(1))));
+
+        // Heavy middle site: everyone keeps a 1-D cell.
+        let t = Triangulation::with_site_metric(&pts, Some(&[0.0, 5.0, 0.0])).unwrap();
+        assert!(t.hidden_vertices().is_empty());
+        assert_eq!(t.neighbors(1), &[0, 2]);
+
+        // Heavy *end* site hides its lighter inner neighbour but never the
+        // other extreme.
+        let t = Triangulation::with_site_metric(&pts, Some(&[3.9, 0.0, 0.0])).unwrap();
+        assert_eq!(t.hidden_vertices(), &[1]);
+        assert!(!t.is_hidden(2), "line-extreme sites cannot hide");
+    }
+
+    #[test]
+    fn weight_validation_errors() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)];
+        assert!(matches!(
+            Triangulation::with_site_metric(&pts, Some(&[1.0, 2.0])),
+            Err(DelaunayError::WeightCountMismatch {
+                expected: 3,
+                got: 2
+            })
+        ));
+        assert!(matches!(
+            Triangulation::with_site_metric(&pts, Some(&[1.0, f64::NAN, 0.0])),
+            Err(DelaunayError::NonFiniteWeight(1))
+        ));
+        assert!(matches!(
+            Triangulation::with_site_metric(&[], None),
+            Err(DelaunayError::EmptyInput)
+        ));
+    }
+
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
 
@@ -1153,6 +1858,46 @@ mod tests {
             // Every input index maps to a vertex with identical coordinates.
             for (i, q) in pts.iter().enumerate() {
                 proptest::prop_assert_eq!(t.point(t.canonical(i)), *q);
+            }
+        }
+
+        #[test]
+        fn prop_weighted_regular_on_snapped_grids(seed in 0u64..5000, n in 3usize..60) {
+            // Coarse-grid coordinates and integer weights: duplicates,
+            // collinear runs, exact orthogonality ties — the degenerate
+            // cases the exact predicate must decide.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| {
+                    p(
+                        f64::from(rng.gen_range(0..8i32)),
+                        f64::from(rng.gen_range(0..8i32)),
+                    )
+                })
+                .collect();
+            let w: Vec<f64> = (0..n).map(|_| f64::from(rng.gen_range(-16..17i32))).collect();
+            let t = Triangulation::with_site_metric(&pts, Some(&w)).unwrap();
+            proptest::prop_assert!(t.check_structure().is_ok());
+            if !t.is_degenerate() {
+                proptest::prop_assert!(t.is_delaunay(), "local regularity");
+            }
+            // Hidden ⟺ no neighbours; anchors are live.
+            for v in 0..t.vertex_count() as u32 {
+                proptest::prop_assert_eq!(t.is_hidden(v), t.degree(v) == 0 && t.vertex_count() > 1);
+                proptest::prop_assert!(!t.is_hidden(t.anchor_of(v)));
+            }
+            // The greedy walk finds the power-nearest live site from any
+            // hint, hidden hints included.
+            if !t.is_degenerate() {
+                for _ in 0..10 {
+                    let q = p(rng.gen::<f64>() * 9.0 - 1.0, rng.gen::<f64>() * 9.0 - 1.0);
+                    let hint = rng.gen_range(0..t.vertex_count() as u32);
+                    let v = t.nearest_vertex(q, Some(hint));
+                    proptest::prop_assert!(!t.is_hidden(v));
+                    let got = t.point(v).dist_sq(q) - t.weight(v);
+                    let want = brute_power_nn(&t, q);
+                    proptest::prop_assert!((got - want).abs() <= 1e-9 * (1.0 + want.abs()));
+                }
             }
         }
 

@@ -11,9 +11,17 @@
 //!
 //! It also works verbatim in the degenerate collinear mode, where cells are
 //! slabs between successive bisectors along the line.
+//!
+//! Under a weighted ([`DiagramMetric`]) build the same scheme yields
+//! **power cells**: each neighbour contributes its *radical-axis*
+//! half-plane instead of the perpendicular bisector
+//! ([`vaq_geom::clip_power_bisector`], which delegates to the plain
+//! bisector when the two weights are equal — so Euclidean builds are
+//! bit-identical), and hidden sites get empty cells without any clipping.
 
+use crate::metric::DiagramMetric;
 use crate::triangulation::Triangulation;
-use vaq_geom::{clip_bisector, Point, Polygon, Rect};
+use vaq_geom::{clip_power_bisector, Point, Polygon, Rect};
 
 /// The Voronoi cell of one generator, clipped to a window.
 #[derive(Clone, Debug)]
@@ -58,8 +66,9 @@ impl VoronoiDiagram {
     ///
     /// The window should contain all generators (e.g.
     /// `Rect::from_points(..).expand(margin)`); cells of hull vertices are
-    /// truncated at the window boundary.
-    pub fn new(tri: &Triangulation, window: Rect) -> VoronoiDiagram {
+    /// truncated at the window boundary. Hidden sites of a weighted build
+    /// get empty cells (and are never unbounded: hull sites cannot hide).
+    pub fn new<M: DiagramMetric>(tri: &Triangulation<M>, window: Rect) -> VoronoiDiagram {
         let mut hull_mark = vec![false; tri.vertex_count()];
         for &h in tri.hull() {
             hull_mark[h as usize] = true;
@@ -88,20 +97,28 @@ impl VoronoiDiagram {
     }
 }
 
-/// Computes the Voronoi cell of canonical vertex `v` clipped to `window`,
-/// as a CCW vertex ring (possibly empty).
+/// Computes the Voronoi (or power) cell of canonical vertex `v` clipped
+/// to `window`, as a CCW vertex ring (possibly empty).
 ///
 /// This is the on-demand primitive used by the area-query engine's
 /// cell-expansion policy, which needs a handful of boundary cells rather
-/// than the whole diagram.
-pub fn cell_polygon(tri: &Triangulation, v: u32, window: &Rect) -> Vec<Point> {
+/// than the whole diagram. A cell is bounded by one half-plane per graph
+/// neighbour: the perpendicular bisector under the Euclidean metric, the
+/// radical axis under a power metric (the single code path below covers
+/// both, since [`clip_power_bisector`] with equal weights *is* the
+/// bisector). A hidden vertex owns no region and yields an empty ring.
+pub fn cell_polygon<M: DiagramMetric>(tri: &Triangulation<M>, v: u32, window: &Rect) -> Vec<Point> {
+    if tri.is_hidden(v) {
+        return Vec::new();
+    }
     let p = tri.point(v);
+    let wp = tri.weight(v);
     let mut poly: Vec<Point> = window.corners().to_vec();
     for &u in tri.neighbors(v) {
         if poly.is_empty() {
             break;
         }
-        poly = clip_bisector(&poly, p, tri.point(u));
+        poly = clip_power_bisector(&poly, p, wp, tri.point(u), tri.weight(u));
     }
     poly
 }
@@ -237,6 +254,60 @@ mod tests {
         let vd = VoronoiDiagram::new(&tri, tiny);
         assert!(vd.cell(0).area() > 0.0);
         assert_eq!(vd.cell(1).polygon.len(), 0, "far site's cell misses window");
+    }
+
+    #[test]
+    fn power_cells_shift_towards_the_heavier_site() {
+        // Two sites on the x-axis; weighting the left one pushes the
+        // radical axis right: x = 0.5 + (wp − wq) / (2·|q−p|) along the
+        // segment. wp = 0.1, |q−p| = 0.5 → shift 0.1, axis at x = 0.6.
+        let pts = vec![p(0.25, 0.5), p(0.75, 0.5)];
+        let tri = Triangulation::with_site_metric(&pts, Some(&[0.1, 0.0])).unwrap();
+        let vd = VoronoiDiagram::new(&tri, unit_window());
+        assert!((vd.cell(0).area() - 0.6).abs() < 1e-12);
+        assert!((vd.cell(1).area() - 0.4).abs() < 1e-12);
+        assert!((vd.total_area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_cells_tile_window_and_hidden_cells_are_empty() {
+        let pts = {
+            let mut pts = uniform(60, 13);
+            // Corner anchors so every random site is interior and can hide.
+            pts.extend([p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)]);
+            pts
+        };
+        let mut rng = StdRng::seed_from_u64(31);
+        let w: Vec<f64> = (0..pts.len())
+            .map(|_| f64::from(rng.gen_range(0..40i32)) * 1e-3)
+            .collect();
+        let tri = Triangulation::with_site_metric(&pts, Some(&w)).unwrap();
+        let vd = VoronoiDiagram::new(&tri, unit_window());
+        assert!(
+            (vd.total_area() - 1.0).abs() < 1e-9,
+            "power cells must tile the window, got {}",
+            vd.total_area()
+        );
+        assert!(
+            !tri.hidden_vertices().is_empty(),
+            "this weight spread should hide at least one site"
+        );
+        for &h in tri.hidden_vertices() {
+            assert!(vd.cell(h).polygon.is_empty(), "hidden cell {h} not empty");
+        }
+        // Monte-Carlo agreement with the brute-force power assignment.
+        for _ in 0..400 {
+            let q = p(rng.gen::<f64>(), rng.gen::<f64>());
+            let best = (0..tri.vertex_count() as u32)
+                .filter(|&v| !tri.is_hidden(v))
+                .min_by(|&a, &b| {
+                    (tri.point(a).dist_sq(q) - tri.weight(a))
+                        .total_cmp(&(tri.point(b).dist_sq(q) - tri.weight(b)))
+                })
+                .unwrap();
+            let cell = Polygon::new(vd.cell(best).polygon.clone()).unwrap();
+            assert!(cell.contains(q), "q={q} not in the power cell of {best}");
+        }
     }
 
     proptest::proptest! {

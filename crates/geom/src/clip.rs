@@ -70,6 +70,29 @@ pub fn clip_bisector(poly: &[Point], p: Point, q: Point) -> Vec<Point> {
     clip_halfplane(poly, m, m + dir)
 }
 
+/// Clips a ring to the half-plane of points whose power distance to the
+/// weighted site `(p, wp)` is at most that to `(q, wq)` — the
+/// **radical-axis** half-plane containing `p`.
+///
+/// The radical axis of two weighted sites is the perpendicular bisector
+/// shifted along `q − p` by `(wp − wq) / (2 |q − p|²)`: the heavier site's
+/// cell grows. With `wp == wq` the shift vanishes and the call delegates
+/// to [`clip_bisector`], keeping the Euclidean path bit-identical.
+pub fn clip_power_bisector(poly: &[Point], p: Point, wp: f64, q: Point, wq: f64) -> Vec<Point> {
+    if wp == wq {
+        return clip_bisector(poly, p, q);
+    }
+    let d = q - p;
+    let len_sq = d.dot(d);
+    if len_sq == 0.0 {
+        // Coincident sites: no axis exists — the lighter site loses the
+        // whole plane, the heavier keeps it.
+        return if wp < wq { Vec::new() } else { poly.to_vec() };
+    }
+    let m = p.midpoint(q) + d * ((wp - wq) / (2.0 * len_sq));
+    clip_halfplane(poly, m, m + d.perp())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

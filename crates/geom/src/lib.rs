@@ -18,6 +18,10 @@
 //!   cannot certify the sign.
 //! * [`expansion`] — the floating-point expansion arithmetic backing the
 //!   predicates (two-sum, two-product, zero-eliminating expansion sums).
+//! * [`power`] — weighted sites ([`WeightedPoint`]) and the exact
+//!   [`power_incircle`] conflict predicate behind power diagrams /
+//!   regular triangulations, built on the same filter-then-expansion
+//!   discipline.
 //! * [`triangle`] — circumcenter / circumradius / containment helpers.
 //! * [`convex_hull`] — Andrew's monotone chain, used by tests and the
 //!   triangulation hull bookkeeping.
@@ -47,6 +51,7 @@ pub mod convex_hull;
 pub mod expansion;
 pub mod point;
 pub mod polygon;
+pub mod power;
 pub mod predicates;
 pub mod prepared;
 pub mod rect;
@@ -54,10 +59,11 @@ pub mod region;
 pub mod segment;
 pub mod triangle;
 
-pub use clip::{clip_bisector, clip_halfplane, clip_rect};
+pub use clip::{clip_bisector, clip_halfplane, clip_power_bisector, clip_rect};
 pub use convex_hull::{convex_hull_indices, convex_hull_points};
 pub use point::Point;
 pub use polygon::Polygon;
+pub use power::{power_incircle, WeightedPoint};
 pub use predicates::{
     in_circle, incircle, orient2d, orient2d_filter_batch, orient2d_filter_batch_points,
     orientation, predicate_totals, Orientation, PredicateTotals, FILTER_MAX_LANES,

@@ -58,7 +58,7 @@ pub fn predicate_totals() -> PredicateTotals {
 }
 
 #[inline]
-fn bump_fast(n: u64) {
+pub(crate) fn bump_fast(n: u64) {
     PREDICATE_TOTALS.with(|t| {
         let mut v = t.get();
         v.filter_fast_accepts += n;
@@ -67,7 +67,7 @@ fn bump_fast(n: u64) {
 }
 
 #[inline]
-fn bump_exact() {
+pub(crate) fn bump_exact() {
     PREDICATE_TOTALS.with(|t| {
         let mut v = t.get();
         v.exact_fallbacks += 1;

@@ -30,6 +30,7 @@ pub fn classify(rel: &str) -> FileKind {
                 f == "segment.rs"
                     || f == "triangle.rs"
                     || f == "polygon.rs"
+                    || f == "power.rs"
                     || f.starts_with("prepared")
             })
             .unwrap_or(false);
@@ -66,7 +67,8 @@ fn has_token(hay: &str, needle: &str) -> bool {
 // ---------------------------------------------------------------------------
 
 /// **float-exactness** — inside the `vaq_geom` predicate modules
-/// (`segment.rs`, `triangle.rs`, `polygon.rs`, `prepared*.rs`), flags:
+/// (`segment.rs`, `triangle.rs`, `polygon.rs`, `power.rs`,
+/// `prepared*.rs`), flags:
 ///
 /// * a comparison operator (`==` `!=` `<` `>` `<=` `>=`) with a float
 ///   *literal* on either side — the classic "compare a computed float
@@ -210,7 +212,9 @@ fn find_float_literals(code: &str) -> impl Iterator<Item = (usize, usize)> + '_ 
 
 /// Exact-sign predicate calls: results carry the true sign of the
 /// underlying exact value, so comparing them against zero is robust.
-const EXACT_SIGN_FNS: [&str; 3] = ["orient2d", "incircle", "expansion_sign"];
+/// `power_incircle` is its own token here — `has_token` treats the `_`
+/// as an ident char, so the `incircle` entry does not match inside it.
+const EXACT_SIGN_FNS: [&str; 4] = ["orient2d", "incircle", "expansion_sign", "power_incircle"];
 
 /// Identifiers `let`-bound (as a plain name, not a tuple pattern) from a
 /// direct `orient2d(...)`/`incircle(...)` call anywhere in the file.

@@ -1,0 +1,21 @@
+//! Weighted-predicate code routed through the exact pipeline (fixture;
+//! never compiled).
+
+pub fn routed_conflict(a: S, b: S, c: S, d: S) -> bool {
+    power_incircle(a.p, b.p, c.p, d.p, a.w, b.w, c.w, d.w) > 0.0
+}
+
+pub fn bound_conflict(a: S, b: S, c: S, d: S) -> bool {
+    let det = power_incircle(a.p, b.p, c.p, d.p, a.w, b.w, c.w, d.w);
+    det == 0.0
+}
+
+pub fn filtered(det: f64, errbound: f64) -> bool {
+    // two computed values, no literal: exact as an operation
+    det > errbound || -det > errbound
+}
+
+pub fn annotated(w: f64) -> bool {
+    // vaq-lint: allow(float-exactness) -- documented heaviness threshold
+    w > 0.25
+}

@@ -1,0 +1,15 @@
+//! Deliberate float-exactness violations in weighted-predicate code
+//! (fixture; never compiled).
+
+pub fn bad_hidden_test(site: WeightedPoint, x: Point) -> bool {
+    // raw power distance compared against a literal: ties break wrongly
+    site.power_dist(x) <= 0.0
+}
+
+pub fn bad_weight_cast(w: u64) -> f64 {
+    w as f64
+}
+
+pub fn bad_radius_bucket(w: f64) -> usize {
+    (w.sqrt() * 10.0) as usize
+}

@@ -41,6 +41,8 @@ fn assert_clean(findings: &[Finding]) {
 
 const FLOAT_BAD: &str = include_str!("fixtures/float-exactness/violating.rs");
 const FLOAT_CLEAN: &str = include_str!("fixtures/float-exactness/clean.rs");
+const POWER_BAD: &str = include_str!("fixtures/float-exactness/power_violating.rs");
+const POWER_CLEAN: &str = include_str!("fixtures/float-exactness/power_clean.rs");
 const SINK_BAD: &str = include_str!("fixtures/sink-dispatch/violating.rs");
 const SINK_CLEAN: &str = include_str!("fixtures/sink-dispatch/clean.rs");
 const STATS_BAD: &str = include_str!("fixtures/stats-conservation/violating.rs");
@@ -86,6 +88,28 @@ fn float_exactness_accepts_routed_and_annotated_code() {
     // same-line orient2d call, let-bound orient2d result, allow-comment,
     // and stored-value comparison are all non-findings
     assert_clean(&lint(&[("crates/geom/src/segment.rs", FLOAT_CLEAN)]));
+}
+
+#[test]
+fn float_exactness_audits_the_weighted_predicate_module() {
+    let findings = lint(&[("crates/geom/src/power.rs", POWER_BAD)]);
+    assert_eq!(
+        tagged(&findings),
+        vec![
+            (6, FLOAT_EXACTNESS),  // power_dist(x) <= 0.0
+            (10, FLOAT_EXACTNESS), // as f64
+            (14, FLOAT_EXACTNESS), // float -> usize narrowing
+        ]
+    );
+    // the same bytes outside the audited module set stay out of scope
+    assert_clean(&lint(&[("crates/geom/src/point.rs", POWER_BAD)]));
+}
+
+#[test]
+fn float_exactness_treats_power_incircle_as_exact_sign() {
+    // same-line power_incircle call, let-bound power_incircle result,
+    // literal-free filter comparison, and allow-comment all pass
+    assert_clean(&lint(&[("crates/geom/src/power.rs", POWER_CLEAN)]));
 }
 
 // --- sink-dispatch ---------------------------------------------------------

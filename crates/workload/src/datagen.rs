@@ -38,6 +38,68 @@ pub enum Distribution {
     },
 }
 
+/// Site-weight distribution for weighted (power-diagram) workloads.
+///
+/// Weights are **squared radii**: a site of weight `w = r²` claims every
+/// location within distance `r` of itself before an unweighted site at
+/// the same spot would. Generators are parameterised by radius, not
+/// weight, because radii are what a modeller reasons about (sensor
+/// ranges, service radii).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightDistribution {
+    /// i.i.d. uniform radii in `[0, max_radius]`.
+    Uniform {
+        /// Largest radius a site may draw.
+        max_radius: f64,
+    },
+    /// Radii clustered around `groups` representative magnitudes (drawn
+    /// uniformly in `(0, max_radius]`), each site jittering its group's
+    /// radius by up to `±jitter` of it — the "few site classes" shape of
+    /// real facility data (a handful of station types, each with its own
+    /// service radius).
+    ClusteredRadii {
+        /// Number of representative radius magnitudes.
+        groups: usize,
+        /// Largest representative radius.
+        max_radius: f64,
+        /// Per-site relative jitter in `[0, 1]`.
+        jitter: f64,
+    },
+}
+
+/// Generates one site weight (a squared radius) per point,
+/// deterministically from `seed`. All weights are finite and
+/// non-negative, ready for
+/// [`EngineBuilder::weights`](../vaq_core/struct.EngineBuilder.html).
+pub fn generate_weights(n: usize, dist: WeightDistribution, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match dist {
+        WeightDistribution::Uniform { max_radius } => (0..n)
+            .map(|_| {
+                let r = rng.gen::<f64>() * max_radius;
+                r * r
+            })
+            .collect(),
+        WeightDistribution::ClusteredRadii {
+            groups,
+            max_radius,
+            jitter,
+        } => {
+            let k = groups.max(1);
+            let radii: Vec<f64> = (0..k)
+                .map(|_| (1.0 - rng.gen::<f64>()) * max_radius)
+                .collect();
+            (0..n)
+                .map(|_| {
+                    let r0 = radii[rng.gen_range(0..k)];
+                    let r = r0 * (1.0 + (rng.gen::<f64>() * 2.0 - 1.0) * jitter);
+                    r * r
+                })
+                .collect()
+        }
+    }
+}
+
 /// Generates `n` points with the given distribution, deterministically
 /// from `seed`.
 pub fn generate(n: usize, dist: Distribution, seed: u64) -> Vec<Point> {
@@ -148,6 +210,35 @@ mod tests {
             let kx = (p.x - 0.125) / 0.25;
             assert!((kx - kx.round()).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn weights_are_deterministic_finite_and_bounded() {
+        let dist = WeightDistribution::Uniform { max_radius: 0.1 };
+        let a = generate_weights(400, dist, 21);
+        assert_eq!(a, generate_weights(400, dist, 21));
+        assert_ne!(a, generate_weights(400, dist, 22));
+        assert!(a.iter().all(|w| w.is_finite() && (0.0..=0.01).contains(w)));
+    }
+
+    #[test]
+    fn clustered_radii_form_few_magnitude_groups() {
+        let dist = WeightDistribution::ClusteredRadii {
+            groups: 3,
+            max_radius: 0.2,
+            jitter: 0.0,
+        };
+        let ws = generate_weights(1000, dist, 23);
+        assert!(ws.iter().all(|w| w.is_finite() && *w >= 0.0));
+        // Zero jitter collapses each group to one exact weight.
+        let mut distinct = ws.clone();
+        distinct.sort_by(f64::total_cmp);
+        distinct.dedup();
+        assert!(
+            (1..=3).contains(&distinct.len()),
+            "got {} distinct weights",
+            distinct.len()
+        );
     }
 
     #[test]

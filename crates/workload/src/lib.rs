@@ -33,7 +33,7 @@ pub mod io;
 pub mod polygen;
 pub mod report;
 
-pub use datagen::{generate, unit_space, Distribution};
+pub use datagen::{generate, generate_weights, unit_space, Distribution, WeightDistribution};
 pub use experiment::{
     build_engine, build_sharded_engine, data_size_sweep, paper_data_sizes, paper_query_sizes,
     query_size_sweep, run_config, ConfigResult, MethodMeasurement, SweepConfig,

@@ -41,6 +41,14 @@
 //! `--area-file` reads the WKT from a file) or `--window X0,Y0,X1,Y1` — a
 //! plain axis-aligned rectangle, the classic window query, served by the
 //! same engine and session.
+//!
+//! `--weights FILE|uniform:R` builds the engine over **weighted sites**
+//! (the power-diagram form — see the README's "Generalized diagrams"
+//! section): `FILE` holds one weight per line, parallel to the points
+//! CSV; `uniform:R` gives every site the same radius `R` (weight `R²`),
+//! which normalises away to the plain Euclidean engine, bit-identically.
+//! Results are identical either way — a site's weight shapes its cell
+//! and the traversal, never its membership in the area.
 
 use std::fs;
 use std::process::ExitCode;
@@ -73,6 +81,9 @@ struct Options {
     knn: Option<usize>,
     at: Option<String>,
     payload_bytes: usize,
+    /// `--weights FILE|uniform:R` — site weights for the power-diagram
+    /// engine, validated before the build.
+    weights: Option<String>,
     out: Option<String>,
 }
 
@@ -94,6 +105,7 @@ fn parse_args() -> Result<Options, String> {
         knn: None,
         at: None,
         payload_bytes: 0,
+        weights: None,
         out: None,
     };
     while let Some(arg) = args.next() {
@@ -151,6 +163,9 @@ fn parse_args() -> Result<Options, String> {
                     format!("bad --payload-bytes size {v:?} (need a non-negative integer)")
                 })?;
             }
+            "--weights" => {
+                o.weights = Some(args.next().ok_or("--weights needs a path or uniform:R")?)
+            }
             "--out" => o.out = Some(args.next().ok_or("--out needs a path")?),
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
@@ -162,7 +177,8 @@ const USAGE: &str = "usage: vaq <query|info|svg> --points FILE.csv \
 [--area WKT | --area-file FILE | --window X0,Y0,X1,Y1] \
 [--method auto|voronoi|traditional|brute|both] [--policy segment|cell] \
 [--count] [--prepared] [--verbose] \
-[--shards N|auto] [--threads N|auto] [--knn K --at X,Y] [--payload-bytes N] [--out FILE.svg]";
+[--shards N|auto] [--threads N|auto] [--knn K --at X,Y] [--payload-bytes N] \
+[--weights FILE|uniform:R] [--out FILE.svg]";
 
 fn main() -> ExitCode {
     match run() {
@@ -280,6 +296,57 @@ fn parse_window(spec: &str) -> Result<Rect, String> {
         ));
     }
     Ok(Rect::new(Point::new(x0, y0), Point::new(x1, y1)))
+}
+
+/// Resolves `--weights FILE|uniform:R` into one validated weight per
+/// point. Weights are rejected *here*, before the engine build, so a
+/// NaN weight or a miscounted file gets a diagnostic instead of a
+/// panic — the same philosophy as [`parse_window`]. Negative weights
+/// are legitimate power-diagram inputs and pass through.
+fn parse_weights(spec: &str, n_points: usize) -> Result<Vec<f64>, String> {
+    if let Some(radius) = spec.strip_prefix("uniform:") {
+        let r: f64 = radius.trim().parse().map_err(|_| {
+            format!(
+                "bad --weights radius {:?} (need a number, e.g. uniform:0.1)",
+                radius.trim()
+            )
+        })?;
+        if !r.is_finite() || r < 0.0 {
+            return Err(format!(
+                "--weights uniform radius must be finite and non-negative, got {r} \
+(the radius is the distance the site's cell reaches, so a negative one has no meaning)"
+            ));
+        }
+        return Ok(vec![r * r; n_points]);
+    }
+    let text = fs::read_to_string(spec)
+        .map_err(|e| format!("cannot read --weights {spec}: {e} (or use uniform:R)"))?;
+    let mut weights = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let w: f64 = t
+            .parse()
+            .map_err(|_| format!("{spec}:{}: bad weight {t:?}", lineno + 1))?;
+        if !w.is_finite() {
+            return Err(format!(
+                "{spec}:{}: weights must be finite, got {w}",
+                lineno + 1
+            ));
+        }
+        weights.push(w);
+    }
+    if weights.len() != n_points {
+        return Err(format!(
+            "--weights {spec} holds {} weights for {} points (need exactly one per point, \
+in the points CSV's order)",
+            weights.len(),
+            n_points
+        ));
+    }
+    Ok(weights)
 }
 
 fn info(points: &[Point]) -> Result<(), String> {
@@ -426,9 +493,25 @@ fn query(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
     let methods = parse_methods(&o.method)?;
     reject_auto_conflicts(o)?;
     let output = output_mode_for(o)?;
-    let engine = AreaQueryEngine::builder(points)
-        .payload_bytes(o.payload_bytes)
-        .build();
+    let mut builder = AreaQueryEngine::builder(points).payload_bytes(o.payload_bytes);
+    let weights = o
+        .weights
+        .as_deref()
+        .map(|spec| parse_weights(spec, points.len()))
+        .transpose()?;
+    if let Some(w) = &weights {
+        builder = builder.weights(w);
+    }
+    let engine = builder.build();
+    if weights.is_some() {
+        let hidden = engine
+            .triangulation()
+            .map_or(0, |tri| tri.hidden_vertices().len());
+        eprintln!(
+            "diagram: {:?} ({hidden} hidden site(s))",
+            engine.diagram_kind()
+        );
+    }
     let workers = o.threads.map(resolve_cli_threads);
     let mut session = engine.session();
     // One spec per requested method; `--prepared` query-compiles the area
@@ -514,13 +597,20 @@ fn query_sharded(points: &[Point], area: &CliArea, o: &Options) -> Result<(), St
     let methods = parse_methods(&o.method)?;
     reject_auto_conflicts(o)?;
     let output = output_mode_for(o)?;
-    let engine =
-        ShardedAreaQueryEngine::build_with_payload(points, o.shards.unwrap_or(1), o.payload_bytes);
+    let shards = o.shards.unwrap_or(1);
+    let engine = match o.weights.as_deref() {
+        Some(spec) => {
+            let w = parse_weights(spec, points.len())?;
+            ShardedAreaQueryEngine::build_weighted_with_payload(points, &w, shards, o.payload_bytes)
+        }
+        None => ShardedAreaQueryEngine::build_with_payload(points, shards, o.payload_bytes),
+    };
     eprintln!(
-        "sharded engine: {} shards over {} points (shard sizes {:?})",
+        "sharded engine: {} shards over {} points (shard sizes {:?}, {:?} diagram)",
         engine.shard_count(),
         engine.len(),
         engine.shard_sizes(),
+        engine.diagram_kind(),
     );
     let workers = o.threads.map(resolve_cli_threads);
     // The sharded engine has no cross-query cache, so `--prepared`

@@ -620,6 +620,98 @@ fn auto_method_plans_and_rejects_conflicts() {
     expect_fail(&["--policy", "diagonal"], "--policy");
 }
 
+/// `--weights FILE|uniform:R` builds the power-diagram engine: indices
+/// are identical to the unweighted query (weights shape cells, not
+/// membership), uniform weights normalise to the Euclidean diagram, and
+/// malformed weight inputs fail with diagnostics, not panics.
+#[test]
+fn weights_flag_keeps_indices_and_fails_cleanly() {
+    let dir = temp_dir("weights");
+    let pts = write_points(&dir);
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "query",
+            "--points",
+            pts.to_str().unwrap(),
+            "--area",
+            "POLYGON ((0.0 0.0, 0.62 0.0, 0.55 0.55, 0.0 0.48))",
+        ];
+        args.extend_from_slice(extra);
+        let out = vaq().args(&args).output().expect("run vaq");
+        assert!(
+            out.status.success(),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (plain, _) = run(&[]);
+    assert!(!plain.is_empty());
+
+    // Uniform weights normalise away: same indices, Euclidean diagram.
+    let (uniform, stderr) = run(&["--weights", "uniform:0.2"]);
+    assert_eq!(uniform, plain, "uniform weights must not change results");
+    assert!(stderr.contains("Euclidean"), "{stderr}");
+
+    // A weights file with one dominating site: still the same indices
+    // (hidden sites are points of the database like any other), and the
+    // diagram line reports the Power form with its hidden count.
+    let wpath = dir.join("weights.txt");
+    let mut wfile = String::from("# one weight per point\n");
+    for i in 0..100 {
+        wfile.push_str(if i == 44 { "0.5\n" } else { "0.0001\n" });
+    }
+    std::fs::write(&wpath, wfile).expect("write weights");
+    let (weighted, stderr) = run(&["--weights", wpath.to_str().unwrap()]);
+    assert_eq!(weighted, plain, "site weights must not change membership");
+    assert!(stderr.contains("Power"), "{stderr}");
+    assert!(stderr.contains("hidden site"), "{stderr}");
+
+    // The sharded path takes the same flag and returns the same answer.
+    let (sharded, stderr) = run(&["--weights", wpath.to_str().unwrap(), "--shards", "3"]);
+    assert_eq!(sharded, plain);
+    assert!(stderr.contains("Power"), "{stderr}");
+
+    // Malformed weight inputs fail with a diagnostic, not a panic.
+    let nan_path = dir.join("nan.txt");
+    std::fs::write(&nan_path, "0.1\nNaN\n0.2\n").expect("write weights");
+    let short_path = dir.join("short.txt");
+    std::fs::write(&short_path, "0.1\n0.2\n").expect("write weights");
+    let expect_fail = |spec: &str, needle: &str| {
+        let out = vaq()
+            .args([
+                "query",
+                "--points",
+                pts.to_str().unwrap(),
+                "--window",
+                "0.1,0.1,0.5,0.5",
+                "--weights",
+                spec,
+            ])
+            .output()
+            .expect("run vaq");
+        assert!(!out.status.success(), "--weights {spec:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(needle),
+            "--weights {spec:?} should explain itself: {stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "--weights {spec:?} must not panic: {stderr}"
+        );
+    };
+    expect_fail("uniform:abc", "radius");
+    expect_fail("uniform:-0.5", "non-negative");
+    expect_fail("uniform:NaN", "finite");
+    expect_fail(nan_path.to_str().unwrap(), "finite");
+    expect_fail(short_path.to_str().unwrap(), "2 weights for 100 points");
+    expect_fail("/nonexistent/weights.txt", "cannot read");
+}
+
 /// The new flags reject inconsistent combinations with diagnostics, not
 /// panics.
 #[test]
