@@ -14,6 +14,9 @@
 //! * **power**: weighted (power-diagram) vs Euclidean build time, batch
 //!   query throughput and hidden-site count at 10⁶ points →
 //!   `BENCH_power.json` (not part of `all`; run explicitly).
+//! * **snapshot**: cold-start load vs fresh rebuild for plain, weighted
+//!   and sharded engines at 10⁵ and 10⁶ points →
+//!   `BENCH_snapshot.json` (not part of `all`; run explicitly).
 //! * `--reps N` — repetitions per configuration (default 200; the paper
 //!   uses 1000 — pass `--reps 1000` for the exact protocol).
 //! * `--quick` — divide data sizes by 10 and reps by 4 (smoke run).
@@ -57,7 +60,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "all" | "table1" | "table2" | "fig4" | "fig5" | "fig6" | "fig7" | "ablation"
             | "prepared" | "query-cache" | "sharded" | "predicates" | "knn" | "payload"
-            | "planner" | "power" => {
+            | "planner" | "power" | "snapshot" => {
                 what = arg;
             }
             "--reps" => {
@@ -75,7 +78,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(String::from(
                     "usage: reproduce \
-[all|table1|table2|fig4|fig5|fig6|fig7|ablation|prepared|query-cache|sharded|predicates|knn|payload|planner|power] \
+[all|table1|table2|fig4|fig5|fig6|fig7|ablation|prepared|query-cache|sharded|predicates|knn|payload|planner|power|snapshot] \
 [--reps N] [--quick] [--payload BYTES] [--out DIR]",
                 ));
             }
@@ -244,6 +247,11 @@ fn main() -> ExitCode {
     if args.what == "power" {
         run_power_baseline(&args);
     }
+    // Snapshot cold-start baseline — explicit target; the full run
+    // builds three 10⁶-point engines.
+    if args.what == "snapshot" {
+        run_snapshot_baseline(&args);
+    }
 
     eprintln!("done; outputs in {}", args.out.display());
     ExitCode::SUCCESS
@@ -373,6 +381,46 @@ fn run_payload_baseline(args: &Args) {
     let json = payload_report_json(&cfg, &rows, &prov);
     let path = args.out.join("BENCH_payload.json");
     fs::write(&path, json).expect("write BENCH_payload.json");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Measures snapshot cold-start (load from container) against a fresh
+/// rebuild for plain, weighted and sharded engines, and records the
+/// `BENCH_snapshot.json` baseline.
+fn run_snapshot_baseline(args: &Args) {
+    use vaq_bench::provenance::Provenance;
+    use vaq_bench::snapshot::{measure_snapshots, snapshot_report_json, SnapshotBenchConfig};
+
+    let cfg = if args.quick {
+        SnapshotBenchConfig::quick()
+    } else {
+        SnapshotBenchConfig::standard()
+    };
+    eprintln!(
+        "== Snapshot cold start: plain/weighted/sharded at {:?} points, best of {} loads ==",
+        cfg.data_sizes, cfg.reps
+    );
+    let rows = measure_snapshots(&cfg);
+    for r in &rows {
+        eprintln!(
+            "  {:>8} n={:>8}  build {:8.3} s  save {:7.3} s  {:>11} B  load {:7.4} s  ({:6.1}x)",
+            r.variant,
+            r.data_size,
+            r.build_s,
+            r.save_s,
+            r.file_bytes,
+            r.load_s,
+            r.load_speedup()
+        );
+    }
+    let prov = Provenance::capture(
+        *cfg.data_sizes.iter().max().expect("sizes") as u64,
+        cfg.check_areas as u64,
+        1,
+    );
+    let json = snapshot_report_json(&cfg, &rows, &prov);
+    let path = args.out.join("BENCH_snapshot.json");
+    fs::write(&path, json).expect("write BENCH_snapshot.json");
     eprintln!("wrote {}", path.display());
 }
 

@@ -28,6 +28,7 @@ pub mod prepared;
 pub mod provenance;
 pub mod query_cache;
 pub mod sharded;
+pub mod snapshot;
 
 use vaq_core::AreaQueryEngine;
 use vaq_geom::Polygon;

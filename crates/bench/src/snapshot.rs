@@ -1,0 +1,351 @@
+//! Snapshot cold-start measurements and the `BENCH_snapshot.json`
+//! baseline.
+//!
+//! The serving question behind `vaq_core::snapshot`: a process that has
+//! to answer queries *now* should not pay the `O(n log n)` triangulation
+//! again when an identical engine was already built, checked and saved.
+//! For each engine shape (plain Euclidean, power-weighted, sharded) at
+//! each data size this module measures, on the same points:
+//!
+//! * **build time** — the full fresh build (triangulation, R-tree,
+//!   density map, hidden-site index), the median of `reps` runs — a
+//!   single build sample on a shared box swings by tens of percent,
+//!   and the median is a fair estimator where best-of would flatter
+//!   the snapshot and worst-of would flatter the rebuild;
+//! * **save time and container size** — flat-encode plus write;
+//! * **cold-start load time** — read the container from disk and hand
+//!   the flat arrays back to a ready engine (best of `reps`, rejecting
+//!   scheduler noise);
+//! * **load speedup** — build time over load time, the number the
+//!   snapshot subsystem exists for.
+//!
+//! Before anything is timed, the loaded engine is cross-checked for
+//! bit-identical result sets against the freshly built one on a small
+//! polygon batch — a snapshot that loads fast but answers differently
+//! is worthless. The same measurement backs the `reproduce snapshot`
+//! subcommand, which records the JSON baseline.
+
+use crate::provenance::Provenance;
+use crate::{polygon_batch_with, HARNESS_SEED};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+use vaq_core::{snapshot, AreaQueryEngine, QuerySpec, ShardedAreaQueryEngine};
+use vaq_workload::{generate, Distribution};
+
+/// Workload shape of one snapshot cold-start measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotBenchConfig {
+    /// Engine sizes (uniform points) to measure, ascending.
+    pub data_sizes: [usize; 2],
+    /// Shard count of the sharded variant.
+    pub shards: usize,
+    /// Measurement repetitions: loads take the best (cold-start floor),
+    /// builds the median (noise-resistant rebuild cost).
+    pub reps: usize,
+    /// Distinct areas in the bit-identity cross-check batch.
+    pub check_areas: usize,
+}
+
+impl SnapshotBenchConfig {
+    /// The standard baseline configuration (10⁵ and 10⁶ points).
+    pub fn standard() -> SnapshotBenchConfig {
+        SnapshotBenchConfig {
+            data_sizes: [100_000, 1_000_000],
+            shards: 8,
+            reps: 3,
+            check_areas: 8,
+        }
+    }
+
+    /// A tiny configuration for smoke tests (`--quick`).
+    pub fn quick() -> SnapshotBenchConfig {
+        SnapshotBenchConfig {
+            data_sizes: [5_000, 20_000],
+            shards: 4,
+            reps: 2,
+            check_areas: 4,
+        }
+    }
+}
+
+/// One engine-shape × data-size measurement.
+#[derive(Clone, Debug)]
+pub struct SnapshotBenchRow {
+    /// Engine shape: `"plain"`, `"weighted"` or `"sharded"`.
+    pub variant: &'static str,
+    /// Points in the engine.
+    pub data_size: usize,
+    /// Fresh build, seconds; median of `reps` builds.
+    pub build_s: f64,
+    /// Flat-encode plus file write, seconds.
+    pub save_s: f64,
+    /// Container size on disk, bytes.
+    pub file_bytes: u64,
+    /// Cold-start load (read + decode + reassemble), seconds, best of
+    /// `reps`.
+    pub load_s: f64,
+}
+
+impl SnapshotBenchRow {
+    /// Build time over load time — how much faster a process is ready
+    /// to serve from the snapshot than from raw points.
+    pub fn load_speedup(&self) -> f64 {
+        self.build_s / self.load_s
+    }
+
+    /// Container bytes per indexed point.
+    pub fn bytes_per_point(&self) -> f64 {
+        self.file_bytes as f64 / self.data_size as f64
+    }
+}
+
+/// Weights that force a power diagram with a few hidden sites, matching
+/// the differential suite's shape at benchmark scale.
+fn power_weights(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            if i % 5003 == 0 {
+                0.02
+            } else {
+                1e-4 * ((i % 11) as f64)
+            }
+        })
+        .collect()
+}
+
+fn scratch_path(tag: &str, n: usize) -> PathBuf {
+    std::env::temp_dir().join(format!("vaq-bench-{tag}-{n}.snap"))
+}
+
+fn best_of<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        best = best.min(run());
+    }
+    best
+}
+
+/// Runs `build` `reps` times and returns the last product with the
+/// median wall time (the upper median on even counts).
+fn median_build<T, F: FnMut() -> T>(reps: usize, mut build: F) -> (T, f64) {
+    let mut times = Vec::new();
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        out = Some(build());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    (out.expect("reps >= 1"), times[times.len() / 2])
+}
+
+/// Measures one plain or weighted engine: build, save, cross-check,
+/// cold-start load.
+fn measure_plain(
+    variant: &'static str,
+    n: usize,
+    weighted: bool,
+    cfg: &SnapshotBenchConfig,
+) -> SnapshotBenchRow {
+    let pts = generate(n, Distribution::Uniform, HARNESS_SEED ^ n as u64);
+    let (fresh, build_s) = median_build(cfg.reps, || {
+        if weighted {
+            AreaQueryEngine::build_weighted(&pts, &power_weights(n))
+        } else {
+            AreaQueryEngine::build(&pts)
+        }
+    });
+
+    let path = scratch_path(variant, n);
+    let t1 = Instant::now();
+    snapshot::save_engine(&fresh, &path).expect("save snapshot");
+    let save_s = t1.elapsed().as_secs_f64();
+    let file_bytes = std::fs::metadata(&path).expect("stat snapshot").len();
+
+    // Bit-identity gate before any timing: same sorted indices on a
+    // small polygon batch.
+    let loaded = snapshot::load_engine(&path).expect("load snapshot");
+    let areas = polygon_batch_with(0.001, cfg.check_areas, 10);
+    let spec = QuerySpec::voronoi();
+    for (i, area) in areas.iter().enumerate() {
+        let a = fresh.session().execute(&spec, area);
+        let b = loaded.session().execute(&spec, area);
+        assert_eq!(
+            a.result().expect("collect").sorted_indices(),
+            b.result().expect("collect").sorted_indices(),
+            "{variant} snapshot diverged on area {i}"
+        );
+    }
+    drop(loaded);
+
+    let load_s = best_of(cfg.reps, || {
+        let t = Instant::now();
+        let engine = snapshot::load_engine(&path).expect("load snapshot");
+        let s = t.elapsed().as_secs_f64();
+        std::hint::black_box(engine.len());
+        s
+    });
+    let _ = std::fs::remove_file(&path);
+
+    SnapshotBenchRow {
+        variant,
+        data_size: n,
+        build_s,
+        save_s,
+        file_bytes,
+        load_s,
+    }
+}
+
+/// Measures the sharded engine the same way.
+fn measure_sharded_snapshot(n: usize, cfg: &SnapshotBenchConfig) -> SnapshotBenchRow {
+    let pts = generate(n, Distribution::Uniform, HARNESS_SEED ^ n as u64);
+    let (fresh, build_s) =
+        median_build(cfg.reps, || ShardedAreaQueryEngine::build(&pts, cfg.shards));
+
+    let path = scratch_path("sharded", n);
+    let t1 = Instant::now();
+    snapshot::save_sharded(&fresh, &path).expect("save snapshot");
+    let save_s = t1.elapsed().as_secs_f64();
+    let file_bytes = std::fs::metadata(&path).expect("stat snapshot").len();
+
+    let loaded = snapshot::load_sharded(&path).expect("load snapshot");
+    let areas = polygon_batch_with(0.001, cfg.check_areas, 10);
+    let spec = QuerySpec::voronoi();
+    for (i, area) in areas.iter().enumerate() {
+        let a = fresh.execute(&spec, area);
+        let b = loaded.execute(&spec, area);
+        assert_eq!(
+            a.indices, b.indices,
+            "sharded snapshot diverged on area {i}"
+        );
+    }
+    drop(loaded);
+
+    let load_s = best_of(cfg.reps, || {
+        let t = Instant::now();
+        let engine = snapshot::load_sharded(&path).expect("load snapshot");
+        let s = t.elapsed().as_secs_f64();
+        std::hint::black_box(engine.len());
+        s
+    });
+    let _ = std::fs::remove_file(&path);
+
+    SnapshotBenchRow {
+        variant: "sharded",
+        data_size: n,
+        build_s,
+        save_s,
+        file_bytes,
+        load_s,
+    }
+}
+
+/// Runs the full sweep: plain, weighted and sharded at each configured
+/// data size. Rows come out grouped by variant, ascending size.
+pub fn measure_snapshots(cfg: &SnapshotBenchConfig) -> Vec<SnapshotBenchRow> {
+    let mut rows = Vec::new();
+    for &n in &cfg.data_sizes {
+        rows.push(measure_plain("plain", n, false, cfg));
+    }
+    for &n in &cfg.data_sizes {
+        rows.push(measure_plain("weighted", n, true, cfg));
+    }
+    for &n in &cfg.data_sizes {
+        rows.push(measure_sharded_snapshot(n, cfg));
+    }
+    rows
+}
+
+/// Renders the sweep as the `BENCH_snapshot.json` baseline document.
+/// The headline number is `plain_load_speedup_at_max`: cold-start load
+/// vs rebuild for the plain Euclidean engine at the largest size.
+pub fn snapshot_report_json(
+    cfg: &SnapshotBenchConfig,
+    rows: &[SnapshotBenchRow],
+    prov: &Provenance,
+) -> String {
+    let headline = rows
+        .iter()
+        .filter(|r| r.variant == "plain")
+        .max_by_key(|r| r.data_size)
+        .map_or(0.0, SnapshotBenchRow::load_speedup);
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"benchmark\": \"snapshot_cold_start\",");
+    let _ = writeln!(s, "  \"provenance\": {},", prov.json_object());
+    let _ = writeln!(
+        s,
+        "  \"workload\": {{\"data_sizes\": [{}, {}], \"shards\": {}, \"reps\": {}, \
+\"check_areas\": {}}},",
+        cfg.data_sizes[0], cfg.data_sizes[1], cfg.shards, cfg.reps, cfg.check_areas
+    );
+    let _ = writeln!(s, "  \"plain_load_speedup_at_max\": {headline:.1},");
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"variant\": \"{}\", \"data_size\": {}, \"build_s\": {:.4}, \
+\"save_s\": {:.4}, \"file_bytes\": {}, \"bytes_per_point\": {:.1}, \"load_s\": {:.4}, \
+\"load_speedup\": {:.1}}}{comma}",
+            r.variant,
+            r.data_size,
+            r.build_s,
+            r.save_s,
+            r.file_bytes,
+            r.bytes_per_point(),
+            r.load_s,
+            r.load_speedup()
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_is_sane() {
+        let cfg = SnapshotBenchConfig {
+            data_sizes: [500, 1500],
+            shards: 3,
+            reps: 1,
+            check_areas: 2,
+        };
+        let rows = measure_snapshots(&cfg);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.build_s > 0.0, "{}: build timed", r.variant);
+            assert!(r.load_s > 0.0, "{}: load timed", r.variant);
+            assert!(r.file_bytes > 0, "{}: container written", r.variant);
+            assert!(
+                r.bytes_per_point() > 8.0,
+                "{}: container holds at least the coordinates",
+                r.variant
+            );
+        }
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let cfg = SnapshotBenchConfig::quick();
+        let rows = vec![SnapshotBenchRow {
+            variant: "plain",
+            data_size: 20_000,
+            build_s: 1.0,
+            save_s: 0.01,
+            file_bytes: 1 << 20,
+            load_s: 0.05,
+        }];
+        let prov = Provenance::capture(20_000, 4, 1);
+        let json = snapshot_report_json(&cfg, &rows, &prov);
+        assert!(json.contains("\"benchmark\": \"snapshot_cold_start\""));
+        assert!(json.contains("\"provenance\""));
+        assert!(json.contains("\"plain_load_speedup_at_max\": 20.0"));
+        assert!(json.contains("\"load_speedup\": 20.0"));
+    }
+}

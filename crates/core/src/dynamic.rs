@@ -312,6 +312,60 @@ impl DynamicAreaQueryEngine {
         true
     }
 
+    /// Borrows everything a snapshot writer needs: the base engine, the
+    /// id/weight tables, the delta buffer, the tombstone set and the
+    /// next id. The session state (scratch + cache) is deliberately
+    /// excluded — it is an amortisation, not part of the answer.
+    #[allow(clippy::type_complexity)] // one borrow per persisted field
+    pub(crate) fn snapshot_parts(
+        &self,
+    ) -> (
+        &AreaQueryEngine,
+        &[u64],
+        &[f64],
+        &[(u64, Point, f64)],
+        &HashSet<u64>,
+        u64,
+    ) {
+        (
+            &self.base,
+            &self.base_ids,
+            &self.base_weights,
+            &self.delta,
+            &self.tombstones,
+            self.next_id,
+        )
+    }
+
+    /// Reassembles a dynamic engine from snapshot-loaded parts: the base
+    /// structure plus the overlay (delta + tombstones) replayed as data,
+    /// not as operations. `dead_delta` is recomputed from the overlay
+    /// and the session state starts fresh (caches are amortisations, not
+    /// answers).
+    pub(crate) fn from_snapshot_parts(
+        base: AreaQueryEngine,
+        base_ids: Vec<u64>,
+        base_weights: Vec<f64>,
+        delta: Vec<(u64, Point, f64)>,
+        tombstones: HashSet<u64>,
+        next_id: u64,
+    ) -> DynamicAreaQueryEngine {
+        let dead_delta = delta
+            .iter()
+            .filter(|(id, _, _)| tombstones.contains(id))
+            .count();
+        DynamicAreaQueryEngine {
+            base,
+            base_ids,
+            base_weights,
+            delta,
+            dead_delta,
+            tombstones,
+            next_id,
+            state: SessionState::new(DEFAULT_CACHE_CAPACITY),
+        }
+    }
+
     /// Folds delta and tombstones into a fresh base engine, carrying
     /// every surviving site's weight into the rebuilt diagram (uniform
     /// weights — the all-plain-inserts case — normalise back to the

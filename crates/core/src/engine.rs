@@ -90,6 +90,25 @@ impl QueryResult {
     }
 }
 
+/// The index-build parameters an engine was constructed under, recorded
+/// on the engine so a snapshot can rebuild the exact same secondary
+/// indexes on load — the R-tree's node structure (and hence its
+/// traversal counters in [`QueryStats::index`](crate::QueryStats)) is a
+/// deterministic function of the points *and* these parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexConfig {
+    /// R-tree fan-out (max entries per node).
+    pub rtree_fanout: usize,
+    /// One-at-a-time R-tree inserts instead of STR bulk loading.
+    pub incremental_rtree: bool,
+    /// Insertion heuristics for the incremental R-tree.
+    pub rtree_algorithm: SplitAlgorithm,
+    /// Whether a kd-tree was built.
+    pub kdtree: bool,
+    /// Whether a PR quadtree was built.
+    pub quadtree: bool,
+}
+
 /// Builder for [`AreaQueryEngine`] with optional extra indexes and tuning.
 pub struct EngineBuilder {
     points: Vec<Point>,
@@ -195,14 +214,12 @@ impl EngineBuilder {
     /// Builds the engine: R-tree, Delaunay triangulation and any requested
     /// extra indexes.
     pub fn build(self) -> AreaQueryEngine {
-        let rtree = if self.incremental_rtree {
-            let mut t = RTree::with_algorithm(self.rtree_fanout, self.rtree_algorithm);
-            for (i, &p) in self.points.iter().enumerate() {
-                t.insert(i as u32, p);
-            }
-            t
-        } else {
-            RTree::bulk_load_with_params(&self.points, self.rtree_fanout)
+        let config = IndexConfig {
+            rtree_fanout: self.rtree_fanout,
+            incremental_rtree: self.incremental_rtree,
+            rtree_algorithm: self.rtree_algorithm,
+            kdtree: self.build_kdtree,
+            quadtree: self.build_quadtree,
         };
         let tri = if self.points.is_empty() {
             None
@@ -212,21 +229,6 @@ impl EngineBuilder {
                     .expect("finite, non-empty input with one finite weight per point"),
             )
         };
-        // How far a positive weight can pull a cell towards a location:
-        // pow_p(x) = |x − p|² − w ≤ 0 within distance √w of p, so window
-        // and shard-boundary expansions grow by the largest such radius.
-        // Euclidean builds (and all-non-positive weights) add 0.0,
-        // keeping every window bit-identical to the unweighted engine.
-        let weight_radius = match tri.as_ref().map(Triangulation::metric) {
-            Some(SiteMetric::Power(pw)) => {
-                pw.weights().iter().fold(0.0f64, |m, &w| m.max(w)).sqrt()
-            }
-            _ => 0.0,
-        };
-        let kdtree = self.build_kdtree.then(|| KdTree::build(&self.points));
-        let quadtree = self
-            .build_quadtree
-            .then(|| Quadtree::bulk_load(&self.points));
         let records = self.records.or_else(|| {
             (self.payload_bytes > 0).then(|| {
                 RecordStore::generate(
@@ -236,27 +238,8 @@ impl EngineBuilder {
                 )
             })
         });
-        if let Some(rs) = records.as_ref() {
-            assert_eq!(
-                rs.len(),
-                self.points.len(),
-                "record store must hold exactly one record per point"
-            );
-        }
-        let data_bbox = Rect::from_points(self.points.iter().copied());
         let density = DensityMap::from_points(&self.points);
-        AreaQueryEngine {
-            points: self.points,
-            rtree,
-            tri,
-            kdtree,
-            quadtree,
-            records,
-            data_bbox,
-            density,
-            weight_radius,
-            boundary_straddlers: None,
-        }
+        AreaQueryEngine::assemble(self.points, tri, records, density, config, None, None)
     }
 }
 
@@ -289,9 +272,93 @@ pub struct AreaQueryEngine {
     /// shard-local engines so the segment policy can fall back to the
     /// complete cell test exactly on boundary-straddling frontiers.
     pub(crate) boundary_straddlers: Option<Vec<bool>>,
+    /// kd-tree over the **hidden** canonical vertices' coordinates (id =
+    /// position in the sorted hidden list), so the post-BFS hidden-site
+    /// sweep is a window lookup instead of an `O(hidden)` rect scan.
+    /// `None` when nothing is hidden (every Euclidean engine).
+    pub(crate) hidden_index: Option<KdTree>,
+    /// The index-build parameters (see [`IndexConfig`]); persisted in
+    /// snapshots so a load rebuilds identical secondary indexes.
+    config: IndexConfig,
 }
 
 impl AreaQueryEngine {
+    /// Assembles an engine from a built (or loaded) triangulation plus
+    /// the index parameters — the shared tail of [`EngineBuilder::build`]
+    /// and the snapshot loader. The secondary indexes (R-tree, kd-tree,
+    /// quadtree, hidden-site index) are deterministic functions of the
+    /// points and `config`, so rebuilding them here keeps a loaded engine
+    /// bit-identical to a freshly built one.
+    pub(crate) fn assemble(
+        points: Vec<Point>,
+        tri: Option<Triangulation<SiteMetric>>,
+        records: Option<RecordStore>,
+        density: DensityMap,
+        config: IndexConfig,
+        boundary_straddlers: Option<Vec<bool>>,
+        prebuilt_rtree: Option<RTree>,
+    ) -> AreaQueryEngine {
+        // A snapshot hands back the exact arena the saved engine was
+        // built with; fresh builds construct it here.
+        let rtree = prebuilt_rtree.unwrap_or_else(|| {
+            if config.incremental_rtree {
+                let mut t = RTree::with_algorithm(config.rtree_fanout, config.rtree_algorithm);
+                for (i, &p) in points.iter().enumerate() {
+                    t.insert(i as u32, p);
+                }
+                t
+            } else {
+                RTree::bulk_load_with_params(&points, config.rtree_fanout)
+            }
+        });
+        // How far a positive weight can pull a cell towards a location:
+        // pow_p(x) = |x − p|² − w ≤ 0 within distance √w of p, so window
+        // and shard-boundary expansions grow by the largest such radius.
+        // Euclidean builds (and all-non-positive weights) add 0.0,
+        // keeping every window bit-identical to the unweighted engine.
+        let weight_radius = match tri.as_ref().map(Triangulation::metric) {
+            Some(SiteMetric::Power(pw)) => {
+                pw.weights().iter().fold(0.0f64, |m, &w| m.max(w)).sqrt()
+            }
+            _ => 0.0,
+        };
+        let kdtree = config.kdtree.then(|| KdTree::build(&points));
+        let quadtree = config.quadtree.then(|| Quadtree::bulk_load(&points));
+        if let Some(rs) = records.as_ref() {
+            assert_eq!(
+                rs.len(),
+                points.len(),
+                "record store must hold exactly one record per point"
+            );
+        }
+        let hidden_index = tri.as_ref().and_then(|t| {
+            let hidden = t.hidden_vertices();
+            (!hidden.is_empty()).then(|| {
+                let coords: Vec<Point> = hidden.iter().map(|&h| t.point(h)).collect();
+                KdTree::build(&coords)
+            })
+        });
+        let data_bbox = Rect::from_points(points.iter().copied());
+        AreaQueryEngine {
+            points,
+            rtree,
+            tri,
+            kdtree,
+            quadtree,
+            records,
+            data_bbox,
+            density,
+            weight_radius,
+            boundary_straddlers,
+            hidden_index,
+            config,
+        }
+    }
+
+    /// The index-build parameters this engine was constructed under.
+    pub fn index_config(&self) -> IndexConfig {
+        self.config
+    }
     /// Builds with defaults: STR-bulk-loaded R-tree + Delaunay
     /// triangulation (exactly the paper's setup).
     pub fn build(points: &[Point]) -> AreaQueryEngine {

@@ -95,6 +95,7 @@ pub mod query;
 pub mod scratch;
 pub mod shard;
 pub mod sink;
+pub mod snapshot;
 pub mod stats;
 pub mod sync;
 pub mod traditional;
@@ -103,7 +104,7 @@ pub mod voronoi_query;
 pub use area::{AreaFingerprint, QueryArea};
 pub use classify::{classify_points, PointClass};
 pub use dynamic::{DynamicAreaQueryEngine, DynamicQueryResult};
-pub use engine::{AreaQueryEngine, EngineBuilder, QueryResult, SeedIndex};
+pub use engine::{AreaQueryEngine, EngineBuilder, IndexConfig, QueryResult, SeedIndex};
 pub use payload::{RecordStore, RecordStoreError};
 pub use plan::{DensityMap, ExecutionPlan, PlanFeatures, PlannedPath, Planner};
 pub use query::{
@@ -118,6 +119,7 @@ pub use sink::{
     CollectSink, CountSink, Emit, MaterializeSink, Neighbor, ResultSink, SinkId, TopKNearestSink,
     TopKPartial,
 };
+pub use snapshot::{LoadedEngine, SnapshotError, SnapshotInfo, SnapshotKind, SNAPSHOT_VERSION};
 pub use stats::{CacheCounters, PredicateCounters, QueryStats};
 pub use traditional::{traditional_area_query, FilterIndex};
 pub use voronoi_query::{voronoi_area_query, ExpansionPolicy};

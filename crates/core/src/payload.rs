@@ -181,6 +181,18 @@ impl RecordStore {
         }))
     }
 
+    /// The raw backing bytes, for verbatim snapshot storage.
+    pub(crate) fn raw_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Rebuilds a store from snapshot-loaded backing bytes. The caller
+    /// (the snapshot loader) is responsible for `data.len()` being a
+    /// whole number of records.
+    pub(crate) fn from_raw(data: Vec<u8>, record_bytes: usize) -> RecordStore {
+        RecordStore { data, record_bytes }
+    }
+
     /// Splits one logical store into per-part stores: part `s` of the
     /// result holds, at local id `i`, a byte-identical copy of record
     /// `parts[s][i]` of `self`. This is how a sharded engine turns the

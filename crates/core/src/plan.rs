@@ -250,6 +250,15 @@ impl DensityMap {
         DensityMap { regions, total }
     }
 
+    /// The weighted `(region, count)` pairs backing the map, in
+    /// insertion order. [`DensityMap::from_regions`] over these pairs
+    /// reconstructs the map exactly (both construction paths already
+    /// satisfy its non-empty/positive filter), which is how snapshots
+    /// persist it.
+    pub fn regions(&self) -> &[(Rect, f64)] {
+        &self.regions
+    }
+
     /// Total number of points the map covers.
     pub fn total(&self) -> f64 {
         self.total
@@ -355,6 +364,29 @@ impl Planner {
     /// (`1.0` until [`Planner::observe`] has seen that method run).
     pub fn calibration(&self, method: QueryMethod) -> f64 {
         self.calibration[Planner::method_slot(method)]
+    }
+
+    /// The raw calibration table (Traditional, Voronoi, BruteForce), for
+    /// snapshot persistence.
+    pub fn calibration_array(&self) -> [f64; 3] {
+        self.calibration
+    }
+
+    /// Rebuilds a planner from a persisted calibration table — closing
+    /// the loop on calibration that previously reset to `1.0` every
+    /// session. Entries are sanitised into the same `[0.05, 20.0]` band
+    /// [`Planner::observe`] confines live ratios to (a snapshot from a
+    /// buggy or hand-edited writer must not poison every future plan).
+    pub fn with_calibration(calibration: [f64; 3]) -> Planner {
+        Planner {
+            calibration: calibration.map(|c| {
+                if c.is_finite() {
+                    c.clamp(0.05, 20.0)
+                } else {
+                    1.0
+                }
+            }),
+        }
     }
 
     /// Work-unit cost of one raw geometric primitive against a

@@ -1034,18 +1034,26 @@ impl AreaQueryEngine {
         }
         // Hidden sites (power diagrams only) own no cell and no edges, so
         // the BFS can never reach them — but they are real points of the
-        // dataset and must be reported when the area contains them. An
-        // MBR precheck prunes the scan the same way the traditional
-        // filter does: sites it rejects never become candidates, so the
-        // exact containment test runs only on the handful of hidden
-        // sites near the area. Survivors go through the same candidate
-        // accounting as a BFS visit. Empty on Euclidean diagrams: zero
-        // cost there.
-        let area_mbr = area.mbr();
-        for &h in tri.hidden_vertices() {
-            if !area_mbr.contains_point(tri.point(h)) {
-                continue;
-            }
+        // dataset and must be reported when the area contains them. The
+        // engine's hidden-site kd-tree answers the area-MBR window in
+        // O(√hidden + hits) instead of rect-scanning every hidden site;
+        // the window's closed-rectangle semantics equal the old scan's
+        // MBR precheck, and the hits are sorted back into ascending
+        // hidden order, so the surviving sites, their emission order and
+        // every pre-existing counter are bit-identical to the scan.
+        // Survivors go through the same candidate accounting as a BFS
+        // visit. `None` on Euclidean diagrams: zero cost there.
+        let Some(hidden_index) = self.hidden_index.as_ref() else {
+            debug_assert!(tri.hidden_vertices().is_empty());
+            return;
+        };
+        let hidden = tri.hidden_vertices();
+        let mut hits = hidden_index.window(&area.mbr());
+        hits.sort_unstable();
+        stats.hidden_examined += hits.len();
+        stats.hidden_pruned += hidden.len() - hits.len();
+        for hi in hits {
+            let h = hidden[hi as usize];
             stats.candidates += 1;
             stats.containment_tests += 1;
             if let Some(rs) = records {

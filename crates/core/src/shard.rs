@@ -80,13 +80,13 @@ use vaq_geom::{Point, Polygon, Rect};
 
 /// One spatial partition: its own engine, its points' global input
 /// indices, and its MBR (the pruning key).
-struct Shard {
-    engine: AreaQueryEngine,
+pub(crate) struct Shard {
+    pub(crate) engine: AreaQueryEngine,
     /// Global input index of each shard-local point (parallel to the
     /// shard engine's points).
-    global: Vec<u32>,
+    pub(crate) global: Vec<u32>,
     /// Tight bounding box of the shard's points.
-    mbr: Rect,
+    pub(crate) mbr: Rect,
 }
 
 /// `true` when `spec`'s pruning rule rejects `shard` for `area`: the
@@ -476,6 +476,17 @@ impl ShardedAreaQueryEngine {
         &self.density
     }
 
+    /// Bytes per payload record of the per-shard record stores (`None`
+    /// when the engine was built without payload simulation). Every
+    /// shard's store is split from one logical store, so the first
+    /// shard speaks for all of them.
+    pub fn payload_record_bytes(&self) -> Option<usize> {
+        self.shards
+            .first()
+            .and_then(|s| s.engine.record_store())
+            .map(RecordStore::record_bytes)
+    }
+
     /// Point density (points per unit area) of shard `shard`. A
     /// degenerate (zero-area) shard MBR reports its raw point count.
     ///
@@ -540,6 +551,64 @@ impl ShardedAreaQueryEngine {
             .lock()
             .expect("planner mutex poisoned")
             .observe(plan, Planner::observed_cost(stats, vertices));
+    }
+
+    /// The persisted fields of the sharded engine, for the snapshot
+    /// writer: shards (each carrying its own engine and global ids),
+    /// total length, the originally requested shard count, the diagram
+    /// family, and the planner's current calibration ratios. Shard MBRs
+    /// and the density map are *not* persisted — both are recomputed
+    /// exactly from the shard point sets on load.
+    #[allow(clippy::type_complexity)] // one tuple slot per persisted field
+    pub(crate) fn snapshot_parts(&self) -> (&[Shard], usize, usize, DiagramKind, [f64; 3]) {
+        let calibration = self
+            .planner
+            .lock()
+            .expect("planner mutex poisoned")
+            .calibration_array();
+        (
+            &self.shards,
+            self.len,
+            self.target_shards,
+            self.diagram,
+            calibration,
+        )
+    }
+
+    /// Reassembles a sharded engine from snapshot-loaded parts. Shard
+    /// MBRs are recomputed from the shard point sets (`Rect::from_points`
+    /// is deterministic, so they are bit-identical to the built engine's)
+    /// and the density map is rebuilt from them exactly as
+    /// `build_inner` does; the planner resumes from the persisted
+    /// calibration ratios.
+    pub(crate) fn from_snapshot_parts(
+        shards: Vec<(AreaQueryEngine, Vec<u32>)>,
+        len: usize,
+        target_shards: usize,
+        diagram: DiagramKind,
+        calibration: [f64; 3],
+    ) -> ShardedAreaQueryEngine {
+        let shards: Vec<Shard> = shards
+            .into_iter()
+            .map(|(engine, global)| {
+                let mbr = Rect::from_points(engine.points().iter().copied());
+                Shard {
+                    engine,
+                    global,
+                    mbr,
+                }
+            })
+            .collect();
+        let density =
+            DensityMap::from_regions(shards.iter().map(|s| (s.mbr, s.engine.len() as f64)));
+        ShardedAreaQueryEngine {
+            shards,
+            len,
+            target_shards,
+            density,
+            planner: Mutex::new(Planner::with_calibration(calibration)),
+            diagram,
+        }
     }
 
     /// The indexed points, reassembled in global input order (used by

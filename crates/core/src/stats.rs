@@ -120,6 +120,16 @@ pub struct QueryStats {
     /// counts as a candidate and a containment test, so the classic
     /// identities keep holding on the dynamic path.
     pub delta_scanned: usize,
+    /// Hidden sites surfaced by the hidden-site kd window lookup and
+    /// geometrically examined against the area (weighted engines only;
+    /// zero on Euclidean engines, which hide nothing). Each examined
+    /// site also counts as a candidate and a containment test.
+    pub hidden_examined: usize,
+    /// Hidden sites the kd window lookup skipped without per-site work.
+    /// Before the index, the post-BFS sweep rect-scanned **every**
+    /// hidden site — `hidden_examined + hidden_pruned` of them — so this
+    /// is the before/after saving of the spatial index, per query.
+    pub hidden_pruned: usize,
     /// Shards whose MBR intersected the area's MBR and were therefore
     /// queried (sharded engine only; zero otherwise).
     pub shards_visited: usize,
@@ -173,6 +183,8 @@ impl QueryStats {
         self.prepared_cache.absorb(other.prepared_cache);
         self.predicates.absorb(other.predicates);
         self.delta_scanned += other.delta_scanned;
+        self.hidden_examined += other.hidden_examined;
+        self.hidden_pruned += other.hidden_pruned;
     }
 }
 

@@ -1,0 +1,64 @@
+//! Flat serialized representation of a built [`Triangulation`].
+//!
+//! A [`TriangulationFlat`] is the triangulation exploded into plain POD
+//! arrays (`u32` ids, `f64` coordinates) — the structure-of-arrays layout
+//! a snapshot file stores verbatim, and the layout
+//! [`Triangulation::from_flat`] can hand straight back to the engine
+//! without per-element decoding. Every field mirrors one internal array
+//! of [`Triangulation`]; the round trip
+//! `Triangulation::from_flat(tri.to_flat())` reconstructs a structure
+//! that is bit-identical to the original (same ids, same slot order,
+//! same free-list recycling order).
+//!
+//! The flat layout is **versioned by shape**: any change to the set,
+//! order or meaning of these fields must bump the snapshot container
+//! version (the container embeds a fingerprint of this layout and
+//! refuses to load a mismatch).
+//!
+//! [`Triangulation`]: crate::Triangulation
+//! [`Triangulation::from_flat`]: crate::Triangulation::from_flat
+
+/// A [`Triangulation`](crate::Triangulation) exploded into flat POD
+/// arrays, ready for verbatim storage in a snapshot section.
+///
+/// Produced by [`to_flat`](crate::Triangulation::to_flat); consumed by
+/// [`from_flat`](crate::Triangulation::from_flat), which validates the
+/// cross-array invariants (bounds, CSR monotonicity, free-list/DEAD
+/// agreement) before rebuilding.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TriangulationFlat {
+    /// Canonical vertex coordinates (a [`Point`](vaq_geom::Point) is two
+    /// `f64`s, so the serialized form is still `x0 y0 x1 y1 …`).
+    pub pts: Vec<vaq_geom::Point>,
+    /// Input index → canonical vertex id.
+    pub canon: Vec<u32>,
+    /// CSR offsets: canonical vertex → range into [`members`](Self::members).
+    pub members_off: Vec<u32>,
+    /// CSR payload: the input indices that collapsed onto each canonical
+    /// vertex, ascending per row.
+    pub members: Vec<u32>,
+    /// Triangle arena in slot order (each [`Tri`](crate::mesh::Tri)
+    /// serializes as `v0 v1 v2 n0 n1 n2`), dead slots in place — see
+    /// [`Mesh::raw_tris`](crate::mesh::Mesh::raw_tris).
+    pub mesh_tris: Vec<crate::mesh::Tri>,
+    /// Arena free list in stack order.
+    pub mesh_free: Vec<u32>,
+    /// CSR offsets of the Voronoi-neighbour adjacency.
+    pub adj_off: Vec<u32>,
+    /// CSR payload of the adjacency, ascending per row.
+    pub adj: Vec<u32>,
+    /// Hull vertices, CCW (degenerate mode: live path order).
+    pub hull: Vec<u32>,
+    /// `true` when the structure is in degenerate (collinear) path mode.
+    pub degenerate: bool,
+    /// Walk start hint (a live finite triangle; `u32::MAX` in degenerate
+    /// mode).
+    pub last_finite: u32,
+    /// Canonical site weights; **empty means Euclidean** (a weighted
+    /// build always has one weight per canonical vertex).
+    pub weights: Vec<f64>,
+    /// Hidden canonical vertices, sorted ascending.
+    pub hidden: Vec<u32>,
+    /// Live anchor per canonical vertex; empty when nothing is hidden.
+    pub anchor: Vec<u32>,
+}

@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flat;
 pub mod graphs;
 pub mod hilbert;
 pub mod knn;
@@ -61,6 +62,7 @@ pub mod metric;
 pub mod triangulation;
 pub mod voronoi;
 
+pub use flat::TriangulationFlat;
 pub use metric::{
     weights_are_uniform, DiagramKind, DiagramMetric, Euclidean, PowerWeights, SiteMetric,
 };

@@ -170,6 +170,56 @@ impl Mesh {
         (0..self.tris.len() as u32).filter(move |&t| !self.is_dead(t))
     }
 
+    /// Flat export of the arena for snapshot encoding: every slot in
+    /// arena order, dead slots included **in place** with their `DEAD`
+    /// vertex markers and whatever stale neighbour ids they held when
+    /// freed (deterministic, so round-trips are exact).
+    pub fn raw_tris(&self) -> Vec<Tri> {
+        self.tris.clone()
+    }
+
+    /// The free-list slot ids in stack order (preserved across a
+    /// round-trip so a rebuilt mesh recycles slots identically).
+    pub fn free_slots(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Rebuilds an arena from [`Mesh::raw_tris`] + [`Mesh::free_slots`]
+    /// output, validating that the free list and the `DEAD`-marked slots
+    /// agree exactly. Takes the slot array by value — a snapshot load
+    /// hands over the decoded arena without another copy.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when a free id is out of bounds or
+    /// duplicated, or the free set does not match the set of dead slots.
+    pub fn from_tris(tris: Vec<Tri>, free: Vec<u32>) -> Result<Mesh, String> {
+        let slots = tris.len();
+        let mut in_free = vec![false; slots];
+        for &f in &free {
+            let Some(flag) = in_free.get_mut(f as usize) else {
+                return Err(format!("free-list id {f} out of bounds ({slots} slots)"));
+            };
+            if *flag {
+                return Err(format!("free-list id {f} listed twice"));
+            }
+            *flag = true;
+        }
+        for (t, tri) in tris.iter().enumerate() {
+            let dead = matches!(tri.v, [DEAD, ..]);
+            if dead != in_free[t] {
+                return Err(format!(
+                    "slot {t}: free list and DEAD marker disagree (dead={dead})"
+                ));
+            }
+        }
+        Ok(Mesh {
+            live: slots - free.len(),
+            tris,
+            free,
+        })
+    }
+
     /// Checks the structural invariant that every neighbour link is
     /// mutual and refers to the shared edge reversed. Test/debug helper;
     /// `O(live triangles)`.

@@ -534,6 +534,162 @@ impl Triangulation<SiteMetric> {
     }
 }
 
+impl Triangulation<SiteMetric> {
+    /// Explodes the built structure into flat POD arrays for snapshot
+    /// storage. The inverse of [`Triangulation::from_flat`]: the round
+    /// trip reconstructs a bit-identical structure (same canonical ids,
+    /// same arena slot order, same free-list recycling order).
+    pub fn to_flat(&self) -> crate::flat::TriangulationFlat {
+        let weights = match &self.metric {
+            SiteMetric::Euclidean => Vec::new(),
+            SiteMetric::Power(pw) => pw.weights().to_vec(),
+        };
+        crate::flat::TriangulationFlat {
+            pts: self.pts.clone(),
+            canon: self.canon.clone(),
+            members_off: self.members_off.clone(),
+            members: self.members.clone(),
+            mesh_tris: self.mesh.raw_tris(),
+            mesh_free: self.mesh.free_slots().to_vec(),
+            adj_off: self.adj_off.clone(),
+            adj: self.adj.clone(),
+            hull: self.hull.clone(),
+            degenerate: self.degenerate,
+            last_finite: self.last_finite,
+            weights,
+            hidden: self.hidden.clone(),
+            anchor: self.anchor.clone(),
+        }
+    }
+
+    /// Rebuilds a triangulation from its flat representation, validating
+    /// the cross-array invariants (bounds, CSR monotonicity, arena
+    /// free-list agreement) without re-running any geometry.
+    ///
+    /// Empty `weights` reconstructs the [`SiteMetric::Euclidean`]
+    /// structure; otherwise one weight per canonical vertex rebuilds the
+    /// power metric.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the first inconsistency. The
+    /// checks are structural (index bounds, offsets, finiteness), not
+    /// geometric — a snapshot's section checksum is what vouches for the
+    /// payload bytes; this guards against a *consistent but wrong* file
+    /// turning into out-of-bounds panics at query time.
+    pub fn from_flat(
+        flat: crate::flat::TriangulationFlat,
+    ) -> Result<Triangulation<SiteMetric>, String> {
+        let n = flat.pts.len();
+        if n == 0 {
+            return Err("empty vertex set".into());
+        }
+        let pts = flat.pts;
+        if let Some(i) = pts.iter().position(|p| !p.is_finite()) {
+            return Err(format!("vertex {i} has a non-finite coordinate"));
+        }
+        let nu = n as u32;
+        if flat.canon.is_empty() || flat.canon.iter().any(|&c| c >= nu) {
+            return Err("canonical map empty or out of bounds".into());
+        }
+        check_csr("members", &flat.members_off, &flat.members, n)?;
+        if flat.members.len() != flat.canon.len()
+            || flat.members.iter().any(|&i| i as usize >= flat.canon.len())
+        {
+            return Err("members CSR does not cover the input indices".into());
+        }
+        check_csr("adjacency", &flat.adj_off, &flat.adj, n)?;
+        if flat.adj.iter().any(|&v| v >= nu) {
+            return Err("adjacency entry out of bounds".into());
+        }
+        if flat.hull.iter().any(|&v| v >= nu) {
+            return Err("hull vertex out of bounds".into());
+        }
+        if !flat.weights.is_empty() && flat.weights.len() != n {
+            return Err(format!(
+                "{} weights for {n} canonical vertices",
+                flat.weights.len()
+            ));
+        }
+        if let Some(i) = flat.weights.iter().position(|w| !w.is_finite()) {
+            return Err(format!("weight {i} is not finite"));
+        }
+        // vaq-lint: allow(panic-hygiene) -- windows(2) yields exactly two elements
+        if flat.hidden.windows(2).any(|w| w[0] >= w[1]) || flat.hidden.iter().any(|&v| v >= nu) {
+            return Err("hidden list not strictly ascending in bounds".into());
+        }
+        if !flat.hidden.is_empty() && flat.weights.is_empty() {
+            return Err("hidden sites on an unweighted structure".into());
+        }
+        if !flat.anchor.is_empty() && flat.anchor.len() != n {
+            return Err("anchor table has wrong length".into());
+        }
+        if flat.anchor.iter().any(|&v| v >= nu) {
+            return Err("anchor out of bounds".into());
+        }
+        if flat.hidden.is_empty() != flat.anchor.is_empty() {
+            return Err("hidden list and anchor table must be empty together".into());
+        }
+        let mesh = Mesh::from_tris(flat.mesh_tris, flat.mesh_free)?;
+        if flat.degenerate {
+            if mesh.slots() != 0 || flat.last_finite != NONE {
+                return Err("degenerate structure carries a mesh".into());
+            }
+        } else if flat.last_finite as usize >= mesh.slots()
+            || mesh.is_dead(flat.last_finite)
+            || mesh.tri(flat.last_finite).is_ghost()
+        {
+            return Err("walk hint is not a live finite triangle".into());
+        }
+        let metric = if flat.weights.is_empty() {
+            SiteMetric::Euclidean
+        } else {
+            SiteMetric::Power(PowerWeights::new(flat.weights))
+        };
+        Ok(Triangulation::from_parts(
+            Parts {
+                pts,
+                canon: flat.canon,
+                members_off: flat.members_off,
+                members: flat.members,
+                mesh,
+                adj_off: flat.adj_off,
+                adj: flat.adj,
+                hull: flat.hull,
+                degenerate: flat.degenerate,
+                last_finite: flat.last_finite,
+                hidden: flat.hidden,
+                anchor: flat.anchor,
+                cw: Vec::new(),
+            },
+            metric,
+        ))
+    }
+}
+
+/// Validates one CSR pair: `off` has `rows + 1` monotone entries and the
+/// last one equals the payload length.
+fn check_csr(what: &str, off: &[u32], payload: &[u32], rows: usize) -> Result<(), String> {
+    if off.len() != rows + 1 {
+        return Err(format!(
+            "{what} CSR has {} offsets for {rows} rows",
+            off.len()
+        ));
+    }
+    // vaq-lint: allow(panic-hygiene) -- off has rows + 1 >= 1 entries (checked above)
+    if off[0] != 0 || off.windows(2).any(|w| w[0] > w[1]) {
+        return Err(format!("{what} CSR offsets are not monotone from zero"));
+    }
+    if off[rows] as usize != payload.len() {
+        return Err(format!(
+            "{what} CSR covers {} entries but payload has {}",
+            off[rows],
+            payload.len()
+        ));
+    }
+    Ok(())
+}
+
 /// Runs the incremental build and assembles all metric-independent state.
 ///
 /// `weights` is `None` for Euclidean builds and `Some` only for genuinely

@@ -674,45 +674,69 @@ fn has_literal_index(code: &str) -> bool {
 // Rule 5: bench-provenance
 // ---------------------------------------------------------------------------
 
-/// **bench-provenance** — any file under `crates/bench/` that names a
-/// `BENCH_*.json` artifact (i.e. is a baseline writer) must also
-/// reference the `provenance` machinery, so every recorded number stays
-/// attributable to a git revision, workload size and thread count.
+/// **bench-provenance** — artifacts that outlive the process must carry
+/// their own provenance. Two writer classes are audited:
+///
+/// * any file under `crates/bench/` that names a `BENCH_*.json`
+///   artifact (a baseline writer) must also reference the `provenance`
+///   machinery, so every recorded number stays attributable to a git
+///   revision, workload size and thread count;
+/// * any file, in any crate, that embeds the snapshot container magic
+///   (`VAQSNAP…`) in a literal (a container writer) must reference the
+///   `git_revision` and `build_params` identifiers **in code** — the
+///   container header reserves fields for both, and a writer that does
+///   not populate them produces snapshots nobody can trace back to a
+///   build. Comments promising provenance do not count.
 pub fn bench_provenance(file: &SourceFile, kind: &FileKind, out: &mut Vec<Finding>) {
-    if !kind.is_bench_crate {
-        return;
-    }
-    // Writer detection looks at string literals only (`strings` view):
-    // a doc comment *mentioning* a baseline is not a writer.
-    let mut bench_line = None;
-    for (idx, line) in file.strings.iter().enumerate() {
-        if file.in_test[idx] {
-            continue;
-        }
-        if line.contains("BENCH_") && line.contains(".json") {
-            bench_line = Some(idx);
-            break;
-        }
-    }
-    let Some(idx) = bench_line else {
-        return;
-    };
-    // The reference must be real — an identifier or a serialized key
-    // (`strings` view: comments blanked, literal contents kept). A doc
-    // comment promising provenance does not count.
-    let has_provenance = file
-        .strings
-        .iter()
-        .any(|l| has_token(l, "provenance") || has_token(l, "Provenance"));
-    if !has_provenance {
-        out.push(Finding {
-            file: file.rel.clone(),
-            line: idx + 1,
-            rule: BENCH_PROVENANCE,
-            message: "BENCH_*.json writer without a `provenance` object — record git rev, \
-                      workload sizes and thread count alongside the numbers"
-                .to_owned(),
+    if kind.is_bench_crate {
+        // Writer detection looks at string literals only (`strings`
+        // view): a doc comment *mentioning* a baseline is not a writer.
+        let bench_line = file.strings.iter().enumerate().find_map(|(idx, line)| {
+            (!file.in_test[idx] && line.contains("BENCH_") && line.contains(".json")).then_some(idx)
         });
+        if let Some(idx) = bench_line {
+            // The reference must be real — an identifier or a serialized
+            // key (`strings` view: comments blanked, literal contents
+            // kept). A doc comment promising provenance does not count.
+            let has_provenance = file
+                .strings
+                .iter()
+                .any(|l| has_token(l, "provenance") || has_token(l, "Provenance"));
+            if !has_provenance {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: idx + 1,
+                    rule: BENCH_PROVENANCE,
+                    message: "BENCH_*.json writer without a `provenance` object — record git \
+                              rev, workload sizes and thread count alongside the numbers"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+    // Snapshot-container arm: the magic in a (byte-)string literal marks
+    // a writer of the on-disk header, whatever crate it lives in.
+    let magic_line =
+        file.strings.iter().enumerate().find_map(|(idx, line)| {
+            (!file.in_test[idx] && line.contains("VAQSNAP")).then_some(idx)
+        });
+    if let Some(idx) = magic_line {
+        // `code` view (literals and comments blanked): the identifiers
+        // must appear in executable code, not in a comment or a doc
+        // string describing the header.
+        let embeds_both = file.code.iter().any(|l| has_token(l, "git_revision"))
+            && file.code.iter().any(|l| has_token(l, "build_params"));
+        if !embeds_both {
+            out.push(Finding {
+                file: file.rel.clone(),
+                line: idx + 1,
+                rule: BENCH_PROVENANCE,
+                message: "snapshot container writer that never populates the header's \
+                          provenance fields — embed `git_revision` and `build_params` in \
+                          code, not comments"
+                    .to_owned(),
+            });
+        }
     }
 }
 

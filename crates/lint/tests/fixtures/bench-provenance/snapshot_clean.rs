@@ -1,0 +1,9 @@
+//! Snapshot header writer that embeds save-time provenance (fixture;
+//! never compiled).
+
+pub fn write_header(buf: &mut Vec<u8>, version: u32) {
+    buf.extend_from_slice(b"VAQSNAP1");
+    buf.extend_from_slice(&version.to_le_bytes());
+    write_padded(buf, &git_revision(), 24);
+    write_padded(buf, &build_params(), 56);
+}

@@ -1,0 +1,11 @@
+//! Snapshot header writer that never populates the provenance fields
+//! (fixture; never compiled).
+
+// The container header reserves bytes for git_revision and build_params,
+// but this writer ships them zeroed — mentioning the fields here must
+// not count as embedding them.
+pub fn write_header(buf: &mut Vec<u8>, version: u32) {
+    buf.extend_from_slice(b"VAQSNAP1");
+    buf.extend_from_slice(&version.to_le_bytes());
+    buf.resize(128, 0);
+}

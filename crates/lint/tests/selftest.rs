@@ -52,6 +52,8 @@ const PANIC_CLEAN: &str = include_str!("fixtures/panic-hygiene/clean.rs");
 const BENCH_BAD: &str = include_str!("fixtures/bench-provenance/violating.rs");
 const BENCH_CLEAN: &str = include_str!("fixtures/bench-provenance/clean.rs");
 const BENCH_DOC: &str = include_str!("fixtures/bench-provenance/doc_mention.rs");
+const SNAP_BAD: &str = include_str!("fixtures/bench-provenance/snapshot_violating.rs");
+const SNAP_CLEAN: &str = include_str!("fixtures/bench-provenance/snapshot_clean.rs");
 const ALLOW_BAD: &str = include_str!("fixtures/allow-grammar/bad.rs");
 const ATOMIC_BAD: &str = include_str!("fixtures/atomic-ordering/violating.rs");
 const ATOMIC_CLEAN: &str = include_str!("fixtures/atomic-ordering/clean.rs");
@@ -211,6 +213,20 @@ fn bench_provenance_ignores_doc_comment_mentions() {
 #[test]
 fn bench_provenance_only_audits_the_bench_crate() {
     assert_clean(&lint(&[("crates/core/src/engine.rs", BENCH_BAD)]));
+}
+
+#[test]
+fn bench_provenance_flags_snapshot_writers_with_unpopulated_headers() {
+    // `git_revision` / `build_params` appear only in comments — the
+    // `code` view blanks those, so the writer is still a finding, and
+    // the arm applies outside `crates/bench/` too.
+    let findings = lint(&[("crates/core/src/snapfile.rs", SNAP_BAD)]);
+    assert_eq!(tagged(&findings), vec![(8, BENCH_PROVENANCE)]);
+}
+
+#[test]
+fn bench_provenance_accepts_snapshot_writers_embedding_provenance() {
+    assert_clean(&lint(&[("crates/core/src/snapfile.rs", SNAP_CLEAN)]));
 }
 
 // --- atomic-ordering -------------------------------------------------------

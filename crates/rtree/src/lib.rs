@@ -44,4 +44,4 @@ pub mod rstar;
 pub mod tree;
 
 pub use query::AccessStats;
-pub use tree::{RTree, SplitAlgorithm, DEFAULT_MAX_ENTRIES};
+pub use tree::{RTree, RTreeRaw, SplitAlgorithm, DEFAULT_MAX_ENTRIES};

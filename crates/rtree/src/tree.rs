@@ -506,6 +506,176 @@ impl RTree {
         }
         Ok(())
     }
+
+    // ------------------------------------------------------------------
+    // Flat arena access (engine snapshots).
+    // ------------------------------------------------------------------
+
+    /// Flattens the node arena into POD arrays (see [`RTreeRaw`]). Leaf
+    /// entries carry degenerate point MBRs that duplicate the indexed
+    /// coordinates, so only their point ids are emitted; internal
+    /// entries keep their full rectangles. [`RTree::from_raw`] restores
+    /// the exact arena given the same points.
+    pub fn raw_parts(&self) -> RTreeRaw {
+        let mut raw = RTreeRaw {
+            levels: Vec::with_capacity(self.nodes.len()),
+            entry_offsets: Vec::with_capacity(self.nodes.len() + 1),
+            entry_children: Vec::new(),
+            inner_rects: Vec::new(),
+            free: self.free.clone(),
+            root: self.root,
+            len: self.len as u64,
+            max_entries: self.max_entries as u32,
+            algorithm: self.algorithm,
+        };
+        raw.entry_offsets.push(0);
+        for node in &self.nodes {
+            raw.levels.push(node.level);
+            for e in &node.entries {
+                raw.entry_children.push(e.child);
+                if node.level > 0 {
+                    raw.inner_rects.extend_from_slice(&[
+                        e.rect.min.x,
+                        e.rect.min.y,
+                        e.rect.max.x,
+                        e.rect.max.y,
+                    ]);
+                }
+            }
+            raw.entry_offsets.push(raw.entry_children.len() as u32);
+        }
+        raw
+    }
+
+    /// Rebuilds a tree from [`RTree::raw_parts`] output and the points
+    /// it indexed (leaf MBRs are reconstructed from `points`, so the
+    /// caller must pass the same array the tree was built over).
+    ///
+    /// Validates arena shape — offset monotonicity, id ranges, level
+    /// sanity — and then the full structural invariants, so corrupted
+    /// or inconsistent input comes back as `Err`, never as a tree that
+    /// answers queries wrongly or panics later.
+    pub fn from_raw(raw: RTreeRaw, points: &[Point]) -> Result<RTree, String> {
+        let n_nodes = raw.levels.len();
+        if raw.entry_offsets.len() != n_nodes + 1 {
+            return Err(format!(
+                "offset table holds {} entries for {} nodes",
+                raw.entry_offsets.len(),
+                n_nodes
+            ));
+        }
+        if raw.entry_offsets.first() != Some(&0) {
+            return Err("offset table does not start at 0".to_string());
+        }
+        if raw.max_entries < 4 {
+            return Err(format!("fan-out {} below minimum 4", raw.max_entries));
+        }
+        if n_nodes == 0 || raw.root as usize >= n_nodes {
+            return Err(format!("root {} out of range ({n_nodes} nodes)", raw.root));
+        }
+        // A fan-out >= 4 tree of height 64 exceeds any memory; the bound
+        // also caps `check_node` recursion on crafted input.
+        if raw.levels[raw.root as usize] >= 64 {
+            return Err(format!(
+                "root level {} implausible",
+                raw.levels[raw.root as usize]
+            ));
+        }
+        let total = raw.entry_offsets[n_nodes] as usize;
+        if raw.entry_children.len() != total {
+            return Err(format!(
+                "{} children but offsets end at {total}",
+                raw.entry_children.len()
+            ));
+        }
+        let inner_total: usize = (0..n_nodes)
+            .filter(|&i| raw.levels[i] > 0)
+            .map(|i| (raw.entry_offsets[i + 1] - raw.entry_offsets[i]) as usize)
+            .sum();
+        if raw.inner_rects.len() != 4 * inner_total {
+            return Err(format!(
+                "{} rect coordinates for {inner_total} internal entries",
+                raw.inner_rects.len()
+            ));
+        }
+        let max_entries = raw.max_entries as usize;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        let mut inner_at = 0usize;
+        for i in 0..n_nodes {
+            let level = raw.levels[i];
+            let lo = raw.entry_offsets[i] as usize;
+            let hi = raw.entry_offsets[i + 1] as usize;
+            if hi < lo {
+                return Err(format!("offset table decreases at node {i}"));
+            }
+            let mut entries = Vec::with_capacity(hi - lo);
+            for &child in &raw.entry_children[lo..hi] {
+                let rect = if level == 0 {
+                    let p = points.get(child as usize).ok_or_else(|| {
+                        format!("leaf references point {child} of {}", points.len())
+                    })?;
+                    Rect::from_point(*p)
+                } else {
+                    if child as usize >= n_nodes {
+                        return Err(format!("node {i} references child {child}"));
+                    }
+                    // vaq-lint: allow(panic-hygiene) -- inner_at < inner_total, and
+                    // inner_rects.len() == 4 * inner_total was checked above
+                    let r = &raw.inner_rects[4 * inner_at..4 * inner_at + 4];
+                    inner_at += 1;
+                    // vaq-lint: allow(panic-hygiene) -- r is a 4-element slice
+                    Rect::new(Point::new(r[0], r[1]), Point::new(r[2], r[3]))
+                };
+                entries.push(Entry { rect, child });
+            }
+            nodes.push(Node { level, entries });
+        }
+        for &f in &raw.free {
+            if f as usize >= n_nodes {
+                return Err(format!("free list references node {f}"));
+            }
+        }
+        let tree = RTree {
+            nodes,
+            free: raw.free,
+            root: raw.root,
+            len: raw.len as usize,
+            max_entries,
+            min_entries: (max_entries * 2).div_ceil(5).max(2),
+            algorithm: raw.algorithm,
+        };
+        tree.check_invariants(false)?;
+        Ok(tree)
+    }
+}
+
+/// The R-tree arena flattened into POD arrays for serialization.
+///
+/// Node `i` sits at level `levels[i]` and owns the half-open entry range
+/// `entry_offsets[i] .. entry_offsets[i + 1]` of `entry_children`.
+/// Internal entries additionally consume four coordinates (min x, min y,
+/// max x, max y) from `inner_rects`, in arena order; leaf entries store
+/// no rectangle — their MBR is the indexed point itself.
+pub struct RTreeRaw {
+    /// Per-node level (0 = leaf).
+    pub levels: Vec<u32>,
+    /// Per-node entry range bounds into `entry_children`; length is
+    /// `levels.len() + 1`, first element 0.
+    pub entry_offsets: Vec<u32>,
+    /// Point id (leaf) or child node id (internal) per entry.
+    pub entry_children: Vec<u32>,
+    /// Rectangles of internal entries only, four coordinates each.
+    pub inner_rects: Vec<f64>,
+    /// Arena free list (released node ids).
+    pub free: Vec<u32>,
+    /// Root node id.
+    pub root: u32,
+    /// Indexed point count.
+    pub len: u64,
+    /// Maximum entries per node.
+    pub max_entries: u32,
+    /// Insertion/split heuristics of the tree.
+    pub algorithm: SplitAlgorithm,
 }
 
 impl Default for RTree {
@@ -625,6 +795,67 @@ mod tests {
 
     fn p(x: f64, y: f64) -> Point {
         Point::new(x, y)
+    }
+
+    fn assert_same_arena(a: &RTree, b: &RTree) {
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        assert_eq!(a.root, b.root);
+        assert_eq!(a.len, b.len);
+        assert_eq!(a.free, b.free);
+        assert_eq!(a.max_entries, b.max_entries);
+        assert_eq!(a.min_entries, b.min_entries);
+        assert_eq!(a.algorithm, b.algorithm);
+        for (na, nb) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(na.level, nb.level);
+            assert_eq!(na.entries.len(), nb.entries.len());
+            for (ea, eb) in na.entries.iter().zip(&nb.entries) {
+                assert_eq!(ea.child, eb.child);
+                assert_eq!(ea.rect.min, eb.rect.min);
+                assert_eq!(ea.rect.max, eb.rect.max);
+            }
+        }
+    }
+
+    #[test]
+    fn raw_roundtrip_restores_the_exact_arena() {
+        let pts = uniform(700, 0xF1A7);
+        for tree in [RTree::bulk_load(&pts), {
+            // A dynamically grown tree with a populated free list.
+            let mut t = RTree::with_params(8);
+            for (i, &q) in pts.iter().enumerate() {
+                t.insert(i as u32, q);
+            }
+            for (i, &q) in pts.iter().enumerate().take(300) {
+                assert!(t.remove(i as u32, q));
+            }
+            t
+        }] {
+            let back = RTree::from_raw(tree.raw_parts(), &pts).unwrap();
+            assert_same_arena(&tree, &back);
+        }
+    }
+
+    #[test]
+    fn from_raw_rejects_malformed_arenas() {
+        let pts = uniform(60, 0xBAD);
+        let tree = RTree::bulk_load(&pts);
+        let mut raw = tree.raw_parts();
+        raw.root = raw.levels.len() as u32; // out of range
+        assert!(RTree::from_raw(raw, &pts).is_err());
+
+        let mut raw = tree.raw_parts();
+        raw.entry_offsets.pop();
+        assert!(RTree::from_raw(raw, &pts).is_err());
+
+        let mut raw = tree.raw_parts();
+        if let Some(c) = raw.entry_children.first_mut() {
+            *c = u32::MAX - 1; // leaf points past the point array
+        }
+        assert!(RTree::from_raw(raw, &pts).is_err());
+
+        let mut raw = tree.raw_parts();
+        raw.len += 1; // leaf-entry count no longer matches
+        assert!(RTree::from_raw(raw, &pts).is_err());
     }
 
     fn uniform(n: usize, seed: u64) -> Vec<Point> {

@@ -51,12 +51,15 @@
 //! and the traversal, never its membership in the area.
 
 use std::fs;
+use std::path::Path;
 use std::process::ExitCode;
+use voronoi_area_query::core::snapshot;
 use voronoi_area_query::core::AreaQueryEngine;
 use voronoi_area_query::core::{
-    ExecutionPlan, ExpansionPolicy, MethodChoice, OutputMode, PointClass, PrepareMode, QueryArea,
-    QueryMethod, QuerySpec, ShardedAreaQueryEngine,
+    ExecutionPlan, ExpansionPolicy, LoadedEngine, MethodChoice, OutputMode, PointClass,
+    PrepareMode, QueryArea, QueryMethod, QuerySpec, ShardedAreaQueryEngine,
 };
+use voronoi_area_query::delaunay::{weights_are_uniform, DiagramKind};
 use voronoi_area_query::geom::{Point, Polygon, Rect, Region};
 use voronoi_area_query::viz::candidate_scene;
 use voronoi_area_query::workload::io::{points_from_csv, region_from_wkt};
@@ -85,6 +88,11 @@ struct Options {
     /// engine, validated before the build.
     weights: Option<String>,
     out: Option<String>,
+    /// `vaq build --save FILE` — write the built engine as a snapshot.
+    save: Option<String>,
+    /// `vaq query --load FILE` — serve from a snapshot instead of
+    /// building; build-time flags are cross-checked against the file.
+    load: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -107,6 +115,8 @@ fn parse_args() -> Result<Options, String> {
         payload_bytes: 0,
         weights: None,
         out: None,
+        save: None,
+        load: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -167,18 +177,26 @@ fn parse_args() -> Result<Options, String> {
                 o.weights = Some(args.next().ok_or("--weights needs a path or uniform:R")?)
             }
             "--out" => o.out = Some(args.next().ok_or("--out needs a path")?),
+            "--save" => o.save = Some(args.next().ok_or("--save needs a snapshot path")?),
+            "--load" => o.load = Some(args.next().ok_or("--load needs a snapshot path")?),
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
     }
     Ok(o)
 }
 
-const USAGE: &str = "usage: vaq <query|info|svg> --points FILE.csv \
+const USAGE: &str = "usage: vaq <build|query|info|svg> \
+[--points FILE.csv] [--load FILE.snap] [--save FILE.snap] \
 [--area WKT | --area-file FILE | --window X0,Y0,X1,Y1] \
 [--method auto|voronoi|traditional|brute|both] [--policy segment|cell] \
 [--count] [--prepared] [--verbose] \
 [--shards N|auto] [--threads N|auto] [--knn K --at X,Y] [--payload-bytes N] \
-[--weights FILE|uniform:R] [--out FILE.svg]";
+[--weights FILE|uniform:R] [--out FILE.svg]
+  build requires --points and --save: it builds the engine (plain, or \
+sharded with --shards) and writes a snapshot.
+  query/info accept --load FILE.snap to serve from a snapshot instead of \
+building; --points/--shards/--weights/--payload-bytes passed alongside \
+--load are cross-checked against the snapshot's contents.";
 
 fn main() -> ExitCode {
     match run() {
@@ -192,28 +210,60 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), String> {
     let o = parse_args()?;
-    let points_path = o.points_path.as_deref().ok_or("--points is required")?;
-    let csv =
-        fs::read_to_string(points_path).map_err(|e| format!("cannot read {points_path}: {e}"))?;
-    let points = points_from_csv(&csv).map_err(|e| format!("{points_path}: {e}"))?;
-    if points.is_empty() {
-        return Err(format!("{points_path}: no points"));
+    if o.save.is_some() && o.command != "build" {
+        return Err(String::from(
+            "--save belongs to the build command (`vaq build --points ... --save FILE`)",
+        ));
     }
+    if o.load.is_some() && !matches!(o.command.as_str(), "query" | "info") {
+        return Err(String::from(
+            "--load belongs to the query and info commands",
+        ));
+    }
+    // `--load` serves the snapshot's own point set, so the CSV becomes
+    // optional there (and is cross-checked when given anyway).
+    let points = match o.points_path.as_deref() {
+        Some(points_path) => {
+            let csv = fs::read_to_string(points_path)
+                .map_err(|e| format!("cannot read {points_path}: {e}"))?;
+            let points = points_from_csv(&csv).map_err(|e| format!("{points_path}: {e}"))?;
+            if points.is_empty() {
+                return Err(format!("{points_path}: no points"));
+            }
+            Some(points)
+        }
+        None => None,
+    };
+    let require_points = || {
+        points
+            .clone()
+            .ok_or_else(|| String::from("--points is required"))
+    };
 
     match o.command.as_str() {
-        "info" => info(&points),
+        "build" => build_snapshot(&require_points()?, &o),
+        "info" => match o.load.as_deref() {
+            Some(path) => snapshot_info(path),
+            None => info(&require_points()?),
+        },
         "query" => {
             let area = required_area(&o)?;
-            if o.shards.is_some() {
-                query_sharded(&points, &area, &o)
-            } else {
-                query(&points, &area, &o)
+            match o.load.as_deref() {
+                Some(path) => query_loaded(path, points.as_deref(), &area, &o),
+                None => {
+                    let points = require_points()?;
+                    if o.shards.is_some() {
+                        query_sharded(&points, &area, &o)
+                    } else {
+                        query(&points, &area, &o)
+                    }
+                }
             }
         }
         "svg" => {
             let area = required_area(&o)?;
             let out = o.out.as_deref().ok_or("svg requires --out FILE.svg")?;
-            svg(&points, &area, out)
+            svg(&require_points()?, &area, out)
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
@@ -489,10 +539,9 @@ fn resolve_cli_threads(threads: usize) -> usize {
     workers
 }
 
-fn query(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
-    let methods = parse_methods(&o.method)?;
-    reject_auto_conflicts(o)?;
-    let output = output_mode_for(o)?;
+/// Builds the unsharded engine from the CLI's build-time flags
+/// (payload, weights); shared by `query` and `vaq build --save`.
+fn build_plain_engine(points: &[Point], o: &Options) -> Result<AreaQueryEngine, String> {
     let mut builder = AreaQueryEngine::builder(points).payload_bytes(o.payload_bytes);
     let weights = o
         .weights
@@ -512,6 +561,20 @@ fn query(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
             engine.diagram_kind()
         );
     }
+    Ok(engine)
+}
+
+fn query(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
+    let engine = build_plain_engine(points, o)?;
+    run_query_specs(&engine, area, o)
+}
+
+/// The execution half of the unsharded path: runs every requested
+/// method over an engine that is already built (or snapshot-loaded).
+fn run_query_specs(engine: &AreaQueryEngine, area: &CliArea, o: &Options) -> Result<(), String> {
+    let methods = parse_methods(&o.method)?;
+    reject_auto_conflicts(o)?;
+    let output = output_mode_for(o)?;
     let workers = o.threads.map(resolve_cli_threads);
     let mut session = engine.session();
     // One spec per requested method; `--prepared` query-compiles the area
@@ -594,17 +657,33 @@ fn query(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
 /// path; `--payload-bytes` gives every shard its slice of one logical
 /// record store.
 fn query_sharded(points: &[Point], area: &CliArea, o: &Options) -> Result<(), String> {
-    let methods = parse_methods(&o.method)?;
-    reject_auto_conflicts(o)?;
-    let output = output_mode_for(o)?;
+    let engine = build_sharded_engine(points, o)?;
+    run_sharded_specs(&engine, area, o)
+}
+
+/// Builds the sharded engine from the CLI's build-time flags; shared by
+/// `query --shards` and `vaq build --shards --save`.
+fn build_sharded_engine(points: &[Point], o: &Options) -> Result<ShardedAreaQueryEngine, String> {
     let shards = o.shards.unwrap_or(1);
-    let engine = match o.weights.as_deref() {
+    Ok(match o.weights.as_deref() {
         Some(spec) => {
             let w = parse_weights(spec, points.len())?;
             ShardedAreaQueryEngine::build_weighted_with_payload(points, &w, shards, o.payload_bytes)
         }
         None => ShardedAreaQueryEngine::build_with_payload(points, shards, o.payload_bytes),
-    };
+    })
+}
+
+/// The execution half of the sharded path, over a built or
+/// snapshot-loaded engine.
+fn run_sharded_specs(
+    engine: &ShardedAreaQueryEngine,
+    area: &CliArea,
+    o: &Options,
+) -> Result<(), String> {
+    let methods = parse_methods(&o.method)?;
+    reject_auto_conflicts(o)?;
+    let output = output_mode_for(o)?;
     eprintln!(
         "sharded engine: {} shards over {} points (shard sizes {:?}, {:?} diagram)",
         engine.shard_count(),
@@ -691,6 +770,175 @@ fn query_sharded(points: &[Point], area: &CliArea, o: &Options) -> Result<(), St
             );
         } else {
             emit(&out.indices, o.count_only, &mut printed);
+        }
+    }
+    Ok(())
+}
+
+/// `vaq build --points FILE --save FILE.snap [--shards N] [--weights …]
+/// [--payload-bytes N]`: builds the engine once and writes it as a
+/// snapshot, so later `vaq query --load` invocations reach their first
+/// answer without rebuilding the Voronoi substrate.
+fn build_snapshot(points: &[Point], o: &Options) -> Result<(), String> {
+    let save = o
+        .save
+        .as_deref()
+        .ok_or("build requires --save FILE.snap (where to write the snapshot)")?;
+    if o.shards.is_some() {
+        let engine = build_sharded_engine(points, o)?;
+        eprintln!(
+            "built sharded engine: {} shards over {} points ({:?} diagram)",
+            engine.shard_count(),
+            engine.len(),
+            engine.diagram_kind(),
+        );
+        snapshot::save_sharded(&engine, Path::new(save))
+            .map_err(|e| format!("cannot save {save}: {e}"))?;
+    } else {
+        let engine = build_plain_engine(points, o)?;
+        snapshot::save_engine(&engine, Path::new(save))
+            .map_err(|e| format!("cannot save {save}: {e}"))?;
+    }
+    let info =
+        snapshot::inspect(Path::new(save)).map_err(|e| format!("cannot inspect {save}: {e}"))?;
+    eprintln!(
+        "wrote {save}: {} snapshot, {} bytes, {} section(s), rev {}",
+        info.kind, info.file_len, info.sections, info.git_revision
+    );
+    Ok(())
+}
+
+/// `vaq info --load FILE.snap`: prints the snapshot's header facts
+/// (validated — a corrupt or truncated file is a diagnostic here too).
+fn snapshot_info(path: &str) -> Result<(), String> {
+    let info =
+        snapshot::inspect(Path::new(path)).map_err(|e| format!("cannot inspect {path}: {e}"))?;
+    println!("snapshot:          {path}");
+    println!("kind:              {}", info.kind);
+    println!("format version:    {}", info.version);
+    println!("file size:         {} bytes", info.file_len);
+    println!("sections:          {}", info.sections);
+    println!("written at rev:    {}", info.git_revision);
+    println!("writer build:      {}", info.build_params);
+    Ok(())
+}
+
+/// `vaq query --load FILE.snap`: serves the query from a snapshot.
+/// Build-time flags passed alongside `--load` cannot change a loaded
+/// engine, so each one is cross-checked against what the snapshot
+/// actually holds and a mismatch is a diagnostic, not a silent
+/// difference.
+fn query_loaded(
+    path: &str,
+    points: Option<&[Point]>,
+    area: &CliArea,
+    o: &Options,
+) -> Result<(), String> {
+    let loaded =
+        snapshot::load(Path::new(path)).map_err(|e| format!("cannot load snapshot {path}: {e}"))?;
+    match loaded {
+        LoadedEngine::Plain(engine) => {
+            check_loaded_consistency(
+                path,
+                engine.len(),
+                engine.diagram_kind(),
+                None,
+                engine.record_store().map(|r| r.record_bytes()),
+                points,
+                o,
+            )?;
+            eprintln!(
+                "loaded {path}: plain engine, {} points ({:?} diagram)",
+                engine.len(),
+                engine.diagram_kind(),
+            );
+            run_query_specs(&engine, area, o)
+        }
+        LoadedEngine::Sharded(engine) => {
+            check_loaded_consistency(
+                path,
+                engine.len(),
+                engine.diagram_kind(),
+                Some(engine.shard_count()),
+                engine.payload_record_bytes(),
+                points,
+                o,
+            )?;
+            eprintln!("loaded {path}: sharded engine");
+            run_sharded_specs(&engine, area, o)
+        }
+        LoadedEngine::Dynamic(_) => Err(format!(
+            "{path} holds a dynamic engine snapshot; the CLI serves plain and sharded \
+snapshots (load it programmatically with vaq_core::snapshot::load_dynamic)"
+        )),
+    }
+}
+
+/// The `--load` consistency diagnostics: every build-time flag passed
+/// alongside `--load` must agree with the snapshot.
+fn check_loaded_consistency(
+    path: &str,
+    len: usize,
+    diagram: DiagramKind,
+    shard_count: Option<usize>,
+    record_bytes: Option<usize>,
+    points: Option<&[Point]>,
+    o: &Options,
+) -> Result<(), String> {
+    if let Some(pts) = points {
+        if pts.len() != len {
+            return Err(format!(
+                "--points holds {} points but {path} indexes {len}; a loaded engine \
+serves its own point set, so drop --points or rebuild the snapshot",
+                pts.len()
+            ));
+        }
+    }
+    match (o.shards, shard_count) {
+        (Some(_), None) => {
+            return Err(format!(
+                "--shards conflicts with {path}: the snapshot holds an unsharded engine \
+(sharding is a build-time property; rebuild with `vaq build --shards ... --save`)"
+            ))
+        }
+        (Some(n), Some(have)) if n != 0 && n != have => {
+            return Err(format!(
+                "--shards {n} conflicts with {path}: the snapshot was built with {have} \
+shard(s) (drop --shards or rebuild the snapshot)"
+            ))
+        }
+        _ => {}
+    }
+    if let Some(spec) = o.weights.as_deref() {
+        let w = parse_weights(spec, len)?;
+        let want = if weights_are_uniform(&w) {
+            DiagramKind::Euclidean
+        } else {
+            DiagramKind::Power
+        };
+        if want != diagram {
+            return Err(format!(
+                "--weights {spec} implies a {want:?} diagram but {path} holds a {diagram:?} \
+one (weights are baked in at build time; rebuild with `vaq build --weights ... --save`)"
+            ));
+        }
+    }
+    if o.payload_bytes > 0 {
+        match record_bytes {
+            Some(b) if b == o.payload_bytes => {}
+            Some(b) => {
+                return Err(format!(
+                    "--payload-bytes {} conflicts with {path}: the snapshot's records are \
+{b} bytes each (payloads are baked in at build time)",
+                    o.payload_bytes
+                ))
+            }
+            None => {
+                return Err(format!(
+                    "--payload-bytes conflicts with {path}: the snapshot was built without \
+payload records (rebuild with `vaq build --payload-bytes ... --save`)"
+                ))
+            }
         }
     }
     Ok(())
